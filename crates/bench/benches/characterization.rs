@@ -1,0 +1,40 @@
+//! Workload characterization: IPC, commit-state mix and event rates of
+//! every kernel — the sanity table that shows each synthetic benchmark
+//! actually exhibits its namesake's bottleneck structure (the basis of
+//! the DESIGN.md substitution argument).
+
+use tea_bench::size_from_env;
+use tea_sim::core::simulate;
+use tea_sim::psv::{CommitState, Event};
+use tea_sim::SimConfig;
+use tea_workloads::all_workloads;
+
+fn main() {
+    let size = size_from_env();
+    println!("=== Workload characterization ===\n");
+    println!(
+        "{:<12} {:>6} | {:>5} {:>5} {:>5} {:>5} | {:>6} {:>6} {:>6} {:>6} {:>6}  (PKI = per kilo-instruction)",
+        "benchmark", "IPC", "cmp%", "stl%", "drn%", "fls%", "L1dPKI", "LLCPKI", "TLBPKI", "MBpki", "FLXpki"
+    );
+    for w in all_workloads(size) {
+        let s = simulate(&w.program, SimConfig::default(), &mut []);
+        let pct = |st: CommitState| s.cycles_in(st) as f64 / s.cycles as f64 * 100.0;
+        let pki = |n: u64| n as f64 / s.retired as f64 * 1000.0;
+        println!(
+            "{:<12} {:>6.2} | {:>4.0}% {:>4.0}% {:>4.0}% {:>4.0}% | {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+            w.name,
+            s.ipc(),
+            pct(CommitState::Compute),
+            pct(CommitState::Stalled),
+            pct(CommitState::Drained),
+            pct(CommitState::Flushed),
+            pki(s.event_insts[Event::StL1 as usize]),
+            pki(s.event_insts[Event::StLlc as usize]),
+            pki(s.event_insts[Event::StTlb as usize]),
+            pki(s.event_insts[Event::FlMb as usize]),
+            pki(s.event_insts[Event::FlEx as usize]),
+        );
+    }
+    println!("\nEach kernel's dominant column should match its SPEC namesake's known");
+    println!("behaviour (lbm memory-bound, exchange2 branchy compute, gcc front-end, ...).");
+}

@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks of the simulator and analysis substrate:
+//! simulation throughput, cache/TLB/predictor hot paths, and PICS
+//! aggregation/error computation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tea_core::pics::{Granularity, Pics, UnitMap};
+use tea_core::pics_error;
+use tea_core::sampling::SampleTimer;
+use tea_core::tea::TeaProfiler;
+use tea_isa::Machine;
+use tea_sim::branch::{BranchPredictor, ControlKind};
+use tea_sim::cache::Cache;
+use tea_sim::core::{simulate, Core};
+use tea_sim::psv::{Event, Psv};
+use tea_sim::SimConfig;
+use tea_workloads::{exchange2, lbm, mcf, Size};
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    for (name, program) in [
+        ("exchange2", exchange2::program(Size::Test)),
+        ("lbm", lbm::program(Size::Test)),
+        ("mcf", mcf::program(Size::Test)),
+    ] {
+        let cycles = simulate(&program, SimConfig::default(), &mut []).cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_function(format!("cycles/{name}"), |b| {
+            b.iter(|| simulate(&program, SimConfig::default(), &mut []))
+        });
+    }
+    g.finish();
+}
+
+fn bench_profiler_overhead(c: &mut Criterion) {
+    let program = exchange2::program(Size::Test);
+    let mut g = c.benchmark_group("observer");
+    g.bench_function("no_observer", |b| {
+        b.iter(|| simulate(&program, SimConfig::default(), &mut []))
+    });
+    g.bench_function("tea_profiler", |b| {
+        b.iter(|| {
+            let mut tea = TeaProfiler::new(SampleTimer::periodic(509));
+            let mut core = Core::new(&program, SimConfig::default());
+            core.run(&mut [&mut tea])
+        })
+    });
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let program = exchange2::program(Size::Test);
+    c.bench_function("interpreter/exchange2", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&program);
+            m.run(u64::MAX)
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/strided_access", |b| {
+        b.iter_batched(
+            || Cache::new(SimConfig::default().l1d),
+            |mut cache| {
+                for i in 0..1000u64 {
+                    let _ = cache.access(i * 64, i);
+                    cache.record_fill(i * 64, i + 100);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("branch/gshare_predict", |b| {
+        b.iter_batched(
+            || BranchPredictor::new(&SimConfig::default().branch),
+            |mut bp| {
+                let mut x = 1u64;
+                for i in 0..1000u64 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let _ = bp.predict_and_update(
+                        0x1000 + (i % 16) * 4,
+                        ControlKind::Conditional,
+                        x >> 63 == 1,
+                        0x2000,
+                    );
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pics(c: &mut Criterion) {
+    let program = exchange2::program(Size::Test);
+    let units = UnitMap::new(&program, Granularity::Function);
+    let mut golden = Pics::new();
+    let mut scheme = Pics::new();
+    for i in 0..200u64 {
+        let psv = if i % 3 == 0 {
+            Psv::from_events(&[Event::StL1])
+        } else {
+            Psv::empty()
+        };
+        golden.add(0x1_0000 + i * 4, psv, (i % 17) as f64 + 1.0);
+        scheme.add(0x1_0000 + i * 4, psv, (i % 13) as f64 + 1.0);
+    }
+    c.bench_function("pics/error_metric", |b| {
+        b.iter(|| pics_error(&scheme, &golden, Psv::from_bits(Psv::ALL_BITS), &units))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator_throughput, bench_profiler_overhead, bench_interpreter,
+              bench_cache, bench_predictor, bench_pics
+}
+criterion_main!(benches);

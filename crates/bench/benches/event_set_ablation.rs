@@ -1,0 +1,100 @@
+//! Figure 3 / Section 3's event-selection tradeoff, quantified: how much
+//! of the non-compute time does each nested PSV event subset explain?
+//!
+//! TEA must track its events for *all* in-flight instructions, so every
+//! extra event costs storage in the fetch buffer/ROB/LSU. The paper
+//! exploits the event hierarchy to pick nine events such that 99 % of
+//! remaining eventless commit stalls are < 5.8 cycles. This harness
+//! walks nested subsets of the hierarchy and reports, per subset, the
+//! fraction of attributed non-Base time that would be lost (cycles whose
+//! signature becomes empty under the mask) and the subset's storage
+//! cost.
+
+use tea_bench::size_from_env;
+use tea_core::golden::GoldenReference;
+use tea_sim::core::simulate;
+use tea_sim::psv::{Event, Psv};
+use tea_sim::SimConfig;
+use tea_workloads::all_workloads;
+
+fn main() {
+    let size = size_from_env();
+    println!("=== Event-set ablation: explained time vs PSV width (Figure 3's tradeoff) ===\n");
+    // Nested subsets following the hierarchy: stall roots first, then
+    // dependents, then drain/flush causes.
+    let subsets: [(&str, &[Event]); 6] = [
+        ("1 (ST-L1)", &[Event::StL1]),
+        ("2 (+ST-TLB)", &[Event::StL1, Event::StTlb]),
+        ("3 (+ST-LLC)", &[Event::StL1, Event::StTlb, Event::StLlc]),
+        (
+            "5 (+DR-L1,DR-TLB)",
+            &[Event::StL1, Event::StTlb, Event::StLlc, Event::DrL1, Event::DrTlb],
+        ),
+        (
+            "7 (+FL-MB,FL-EX)",
+            &[
+                Event::StL1,
+                Event::StTlb,
+                Event::StLlc,
+                Event::DrL1,
+                Event::DrTlb,
+                Event::FlMb,
+                Event::FlEx,
+            ],
+        ),
+        ("9 (full TEA)", &Event::ALL),
+    ];
+    // One golden pass per workload; masks are applied offline.
+    let goldens: Vec<_> = all_workloads(size)
+        .into_iter()
+        .map(|w| {
+            let mut g = GoldenReference::new();
+            simulate(&w.program, SimConfig::default(), &mut [&mut g]);
+            (w, g)
+        })
+        .collect();
+    let eventful_total: f64 = goldens
+        .iter()
+        .map(|(_, g)| {
+            g.pics()
+                .iter()
+                .flat_map(|(_, st)| st.iter())
+                .filter(|(p, _)| !p.is_empty())
+                .map(|(_, c)| *c)
+                .sum::<f64>()
+        })
+        .sum();
+    println!(
+        "{:<20} {:>10} {:>22} {:>18}",
+        "event set", "PSV bits", "explained time kept", "ROB+FB storage (B)"
+    );
+    for (label, events) in subsets {
+        let mask: Psv = events.iter().copied().collect();
+        let mut kept = 0.0;
+        for (_, g) in &goldens {
+            kept += g
+                .pics()
+                .iter()
+                .flat_map(|(_, st)| st.iter())
+                .filter(|(p, _)| !p.masked(mask).is_empty())
+                .map(|(_, c)| *c)
+                .sum::<f64>();
+        }
+        let bits = mask.count() as u64;
+        // Storage scales with PSV width: fetch-buffer bits only for the
+        // two front-end events, ROB bits for all.
+        let fe_bits = u64::from(mask.contains(Event::DrL1)) + u64::from(mask.contains(Event::DrTlb));
+        let cfg = SimConfig::default();
+        let storage_bits = fe_bits * cfg.fetch_buffer as u64 + bits * cfg.rob_entries as u64;
+        println!(
+            "{:<20} {:>10} {:>20.1}% {:>18}",
+            label,
+            bits,
+            kept / eventful_total * 100.0,
+            storage_bits.div_ceil(8)
+        );
+    }
+    println!("\nExpected shape: diminishing returns — the first few events explain most");
+    println!("eventful time; the full nine-event set buys complete coverage (the paper's");
+    println!("99% of residual stalls < 5.8 cycles) for ~230 B of ROB+fetch-buffer state.");
+}

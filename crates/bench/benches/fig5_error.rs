@@ -1,0 +1,48 @@
+//! Figure 5: PICS error per benchmark for IBS, SPE, RIS, NCI-TEA and
+//! TEA against the golden reference (instruction granularity).
+
+use tea_bench::{profile_suite, size_from_env, HARNESS_INTERVAL};
+use tea_core::pics::Granularity;
+use tea_core::schemes::Scheme;
+
+fn main() {
+    let size = size_from_env();
+    println!("=== Figure 5: PICS error vs golden reference (instruction granularity) ===\n");
+    let schemes = [Scheme::Ibs, Scheme::Spe, Scheme::Ris, Scheme::NciTea, Scheme::Tea];
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>9} {:>8}",
+        "benchmark", "IBS", "SPE", "RIS", "NCI-TEA", "TEA", "cycles", "samples"
+    );
+    let mut sums = [0.0f64; 5];
+    let suite = profile_suite(size, HARNESS_INTERVAL);
+    for (w, run) in &suite {
+        let mut row = [0.0f64; 5];
+        for (i, s) in schemes.iter().enumerate() {
+            row[i] = run.error(*s, &w.program, Granularity::Instruction);
+            sums[i] += row[i];
+        }
+        println!(
+            "{:<12} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}   {:>9} {:>8}",
+            w.name,
+            row[0] * 100.0,
+            row[1] * 100.0,
+            row[2] * 100.0,
+            row[3] * 100.0,
+            row[4] * 100.0,
+            run.stats.cycles,
+            run.samples[&Scheme::Tea]
+        );
+    }
+    let n = suite.len() as f64;
+    println!(
+        "{:<12} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
+        "average",
+        sums[0] / n * 100.0,
+        sums[1] / n * 100.0,
+        sums[2] / n * 100.0,
+        sums[3] / n * 100.0,
+        sums[4] / n * 100.0
+    );
+    println!("\nPaper averages: IBS 55.6%, SPE 55.5%, RIS 56.0%, NCI-TEA 11.3%, TEA 2.1%.");
+    println!("Expected shape: TEA << NCI-TEA << IBS ~ SPE <~ RIS.");
+}

@@ -1,0 +1,66 @@
+//! Figure 6: PICS for the top-3 instructions of bwaves, omnetpp,
+//! fotonik3d and exchange2 as provided by IBS, TEA and the golden
+//! reference (GR).
+//!
+//! The figure's two findings: (i) IBS's stack heights are wrong because
+//! it is not time-proportional, and (ii) its components are wrong
+//! because of signature misattribution. TEA's stacks track GR closely,
+//! including *combined* events — bwaves' top instructions mix cache and
+//! TLB misses, fotonik3d's are cache-only.
+
+use tea_bench::{profile_all_schemes, size_from_env, HARNESS_INTERVAL, HARNESS_SEED};
+use tea_core::pics::Pics;
+use tea_core::schemes::Scheme;
+use tea_sim::psv::Psv;
+use tea_workloads::fig6_workloads;
+
+fn stack_line(pics: &Pics, addr: u64, total: f64) -> String {
+    let mut comps: Vec<(Psv, f64)> = pics
+        .stack(addr)
+        .map(|s| s.iter().map(|(&p, &c)| (p, c)).collect())
+        .unwrap_or_default();
+    comps.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut out = format!("{:6.2}% = ", 100.0 * pics.instruction_total(addr) / total);
+    for (i, (psv, c)) in comps.iter().take(4).enumerate() {
+        if *c / total < 0.0005 {
+            break;
+        }
+        if i > 0 {
+            out.push_str(" + ");
+        }
+        out.push_str(&format!("{:.2}% {}", 100.0 * c / total, psv));
+    }
+    out
+}
+
+fn main() {
+    let size = size_from_env();
+    println!("=== Figure 6: top-3 instruction PICS — IBS vs TEA vs golden reference ===\n");
+    for w in fig6_workloads(size) {
+        let run = profile_all_schemes(&w.program, HARNESS_INTERVAL, HARNESS_SEED);
+        let golden = run.golden.pics();
+        let total = golden.total();
+        let tea = run.pics[&Scheme::Tea].scaled_to(total);
+        let ibs = run.pics[&Scheme::Ibs].scaled_to(total);
+        println!("--- {} ---", w.name);
+        for (rank, (addr, _)) in golden.top_instructions(3).into_iter().enumerate() {
+            let inst = w.program.inst_at(addr).map(|i| i.to_string()).unwrap_or_default();
+            println!("  #{} {:#x}  {}", rank + 1, addr, inst);
+            println!("     GR : {}", stack_line(golden, addr, total));
+            println!("     TEA: {}", stack_line(&tea, addr, total));
+            println!("     IBS: {}", stack_line(&ibs, addr, total));
+        }
+        // What IBS itself would show the developer instead.
+        let (ibs_top, _) = ibs.top_instructions(1)[0];
+        println!(
+            "  IBS's own #1: {:#x} {}  ({}) — GR gives it {:.2}%",
+            ibs_top,
+            w.program.inst_at(ibs_top).map(|i| i.to_string()).unwrap_or_default(),
+            stack_line(&ibs, ibs_top, total).trim(),
+            100.0 * golden.instruction_total(ibs_top) / total
+        );
+        println!();
+    }
+    println!("Expected shape: TEA's heights and components track GR; IBS's do not.");
+    println!("bwaves/omnetpp tops carry combined cache+TLB events; fotonik3d is cache-only.");
+}

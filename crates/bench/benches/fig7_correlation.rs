@@ -1,0 +1,40 @@
+//! Figure 7: Pearson correlation between per-instruction event counts
+//! and the events' impact on performance (cycle-stack components),
+//! per event across all benchmarks — the quantified case against
+//! event-driven (counter-based) performance analysis.
+//!
+//! Expected shape: the flush events (FL-MB, FL-EX, FL-MO) correlate
+//! strongly (flushes are rarely hidden); TLB and cache misses only
+//! moderately, with ST-LLC above ST-L1 (L1 misses hide more easily);
+//! DR-SQ weakest with the largest spread.
+
+use tea_bench::{size_from_env, HARNESS_SEED};
+use tea_core::correlation::{all_event_correlations, BoxStats};
+use tea_core::golden::GoldenReference;
+use tea_core::render::render_box;
+use tea_sim::core::simulate;
+use tea_sim::psv::Event;
+use tea_sim::SimConfig;
+use tea_workloads::all_workloads;
+
+fn main() {
+    let size = size_from_env();
+    println!("=== Figure 7: event count vs performance impact (Pearson r) ===\n");
+    let mut per_event: Vec<Vec<f64>> = vec![Vec::new(); 9];
+    for w in all_workloads(size) {
+        let mut golden = GoldenReference::new();
+        simulate(&w.program, SimConfig::default(), &mut [&mut golden]);
+        let rs = all_event_correlations(&golden);
+        for (i, r) in rs.into_iter().enumerate() {
+            if let Some(r) = r {
+                per_event[i].push(r);
+            }
+        }
+        let _ = HARNESS_SEED;
+    }
+    println!("{:<8} {:>6} {:>26} {:>6}   (n benchmarks)", "event", "min", "q1 | median | q3", "max");
+    for (i, e) in Event::ALL.into_iter().enumerate() {
+        println!("{}   (n={})", render_box(e.name(), BoxStats::of(&per_event[i])), per_event[i].len());
+    }
+    println!("\nExpected shape: FL-* strongly correlated; ST-LLC > ST-L1; DR-SQ weakest/widest.");
+}

@@ -1,0 +1,60 @@
+//! Extension experiment (Section 3): TEA per logical core under
+//! hardware multithreading. Two hardware threads share the core's
+//! cycles and the entire memory hierarchy; each logical core has its own
+//! TEA unit, and each thread's PICS still identify that thread's own
+//! bottleneck.
+
+use tea_bench::size_from_env;
+use tea_core::golden::GoldenReference;
+use tea_core::sampling::SampleTimer;
+use tea_core::tea::TeaProfiler;
+use tea_sim::core::simulate;
+use tea_sim::smt::SmtCore;
+use tea_sim::trace::Observer;
+use tea_sim::SimConfig;
+use tea_workloads::{fotonik3d, nab};
+
+fn main() {
+    let size = size_from_env();
+    let prog_a = nab::program(size);
+    let prog_b = fotonik3d::program(size);
+    let cfg = SimConfig::default();
+    println!("=== Hardware multithreading: one TEA unit per logical core ===\n");
+
+    let mut solo_a = GoldenReference::new();
+    simulate(&prog_a, cfg.clone(), &mut [&mut solo_a]);
+    let mut solo_b = GoldenReference::new();
+    simulate(&prog_b, cfg.clone(), &mut [&mut solo_b]);
+
+    let mut smt = SmtCore::new(&[&prog_a, &prog_b], &cfg);
+    let mut tea_a = TeaProfiler::new(SampleTimer::with_jitter(512, 64, 61));
+    let mut tea_b = TeaProfiler::new(SampleTimer::with_jitter(512, 64, 62));
+    {
+        let mut obs: Vec<Vec<&mut dyn Observer>> = vec![vec![&mut tea_a], vec![&mut tea_b]];
+        smt.run(&mut obs, u64::MAX);
+    }
+    println!(
+        "global clock {} cycles; thread active cycles: nab {}, fotonik3d {}\n",
+        smt.cycle(),
+        smt.stats(0).cycles,
+        smt.stats(1).cycles
+    );
+    for (tid, (name, tea, solo, program)) in [
+        ("nab", &tea_a, &solo_a, &prog_a),
+        ("fotonik3d", &tea_b, &solo_b, &prog_b),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let smt_top = tea.pics().top_instructions(1)[0].0;
+        let solo_top = solo.pics().top_instructions(1)[0].0;
+        let inst = program.inst_at(smt_top).map(|i| i.to_string()).unwrap_or_default();
+        println!(
+            "thread {tid} ({name:<10}): TEA top {smt_top:#x} ({inst}); solo golden top {solo_top:#x} — {}",
+            if smt_top == solo_top { "MATCH" } else { "differs" }
+        );
+    }
+    println!("\nExpected shape: each logical core's TEA finds its own thread's critical");
+    println!("instruction (nab's fsqrt.d, fotonik3d's stream load) despite cycle-level");
+    println!("interleaving and a fully shared cache hierarchy.");
+}

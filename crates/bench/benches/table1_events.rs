@@ -1,0 +1,13 @@
+//! Table 1: the performance events of TEA, IBS, SPE and RIS.
+
+use tea_core::schemes::{table1, Scheme};
+
+fn main() {
+    println!("=== Table 1: performance events per scheme ===\n");
+    print!("{}", table1());
+    println!();
+    for s in [Scheme::Tea, Scheme::Ibs, Scheme::Spe, Scheme::Ris] {
+        println!("{:<8} PSV storage: {} bits", s.name(), s.psv_bits());
+    }
+    println!("\nPaper: TEA tracks 9 events; IBS/SPE/RIS need 6/5/7 bits for the tagged instruction.");
+}

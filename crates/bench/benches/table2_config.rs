@@ -1,0 +1,13 @@
+//! Table 2: the baseline architecture configuration.
+
+use tea_sim::SimConfig;
+
+fn main() {
+    println!("=== Table 2: baseline architecture configuration ===\n");
+    let cfg = SimConfig::default();
+    cfg.validate();
+    print!("{}", cfg.table2());
+    println!("\nMatches the paper's BOOM configuration (Table 2); timing-only parameters");
+    println!("(FU latencies, DRAM latency, redirect penalties) are the simulator's");
+    println!("calibrated equivalents, documented in DESIGN.md.");
+}

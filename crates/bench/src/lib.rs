@@ -1,0 +1,170 @@
+//! # tea-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! TEA paper (see DESIGN.md's per-experiment index), plus criterion
+//! micro-benchmarks of the simulator itself.
+//!
+//! The library part holds the shared experiment runner:
+//! [`profile_all_schemes`] performs one simulation pass with the golden
+//! reference and every profiling scheme attached — the paper's
+//! out-of-band TraceDoctor methodology, which guarantees all schemes
+//! sample the exact same cycles — and [`ProfiledRun::error`] applies
+//! the Section 4 error metric.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use tea_core::golden::GoldenReference;
+use tea_core::nci::NciProfiler;
+use tea_core::pics::{Granularity, Pics, UnitMap};
+use tea_core::sampling::SampleTimer;
+use tea_core::schemes::Scheme;
+use tea_core::tagging::TaggingProfiler;
+use tea_core::tea::TeaProfiler;
+use tea_core::pics_error;
+use tea_isa::program::Program;
+use tea_sim::core::{Core, SimStats};
+use tea_sim::trace::Observer;
+use tea_sim::SimConfig;
+
+/// Result of one profiled simulation run.
+pub struct ProfiledRun {
+    /// Core statistics of the run.
+    pub stats: SimStats,
+    /// The exact golden reference.
+    pub golden: GoldenReference,
+    /// Sampled PICS per scheme (in sample units).
+    pub pics: HashMap<Scheme, Pics>,
+    /// Samples taken per scheme.
+    pub samples: HashMap<Scheme, u64>,
+}
+
+impl ProfiledRun {
+    /// The Section 4 error of `scheme` at `granularity` for `program`.
+    #[must_use]
+    pub fn error(&self, scheme: Scheme, program: &Program, granularity: Granularity) -> f64 {
+        let units = UnitMap::new(program, granularity);
+        pics_error(&self.pics[&scheme], self.golden.pics(), scheme.event_set(), &units)
+    }
+}
+
+/// All schemes evaluated by [`profile_all_schemes`].
+pub const ALL_SCHEMES: [Scheme; 6] = [
+    Scheme::Tea,
+    Scheme::NciTea,
+    Scheme::Ibs,
+    Scheme::Spe,
+    Scheme::Ris,
+    Scheme::TeaDispatchTagged,
+];
+
+/// Runs `program` once with the golden reference and every scheme
+/// sampling at `interval` cycles (identical jittered timers, so all
+/// schemes fire in the same cycles, as in the paper's methodology).
+#[must_use]
+pub fn profile_all_schemes(program: &Program, interval: u64, seed: u64) -> ProfiledRun {
+    profile_all_schemes_with(program, interval, seed, &SimConfig::default())
+}
+
+/// As [`profile_all_schemes`], with an explicit core configuration.
+#[must_use]
+pub fn profile_all_schemes_with(
+    program: &Program,
+    interval: u64,
+    seed: u64,
+    cfg: &SimConfig,
+) -> ProfiledRun {
+    let timer = || SampleTimer::with_jitter(interval, interval / 8, seed);
+    let mut golden = GoldenReference::new();
+    let mut tea = TeaProfiler::new(timer());
+    let mut nci = NciProfiler::new(timer());
+    let mut ibs = TaggingProfiler::new(Scheme::Ibs, timer());
+    let mut spe = TaggingProfiler::new(Scheme::Spe, timer());
+    let mut ris = TaggingProfiler::new(Scheme::Ris, timer());
+    let mut tea_dt = TaggingProfiler::new(Scheme::TeaDispatchTagged, timer());
+    let stats = {
+        let mut observers: Vec<&mut dyn Observer> = vec![
+            &mut golden,
+            &mut tea,
+            &mut nci,
+            &mut ibs,
+            &mut spe,
+            &mut ris,
+            &mut tea_dt,
+        ];
+        Core::new(program, cfg.clone()).run(&mut observers)
+    };
+    let mut pics = HashMap::new();
+    let mut samples = HashMap::new();
+    samples.insert(Scheme::Tea, tea.samples());
+    samples.insert(Scheme::NciTea, nci.samples());
+    samples.insert(Scheme::Ibs, ibs.samples());
+    samples.insert(Scheme::Spe, spe.samples());
+    samples.insert(Scheme::Ris, ris.samples());
+    samples.insert(Scheme::TeaDispatchTagged, tea_dt.samples());
+    pics.insert(Scheme::Tea, tea.into_pics());
+    pics.insert(Scheme::NciTea, nci.into_pics());
+    pics.insert(Scheme::Ibs, ibs.into_pics());
+    pics.insert(Scheme::Spe, spe.into_pics());
+    pics.insert(Scheme::Ris, ris.into_pics());
+    pics.insert(Scheme::TeaDispatchTagged, tea_dt.into_pics());
+    ProfiledRun { stats, golden, pics, samples }
+}
+
+/// The default sampling interval of the experiment harnesses.
+///
+/// The paper samples every 800 000 cycles over 10^11+-cycle runs; our
+/// runs are ~10^6–10^7 cycles, so the interval is scaled to keep the
+/// samples-per-instruction density comparable (see DESIGN.md).
+pub const HARNESS_INTERVAL: u64 = 512;
+
+/// Deterministic seed shared by all harnesses.
+pub const HARNESS_SEED: u64 = 42;
+
+/// Workload size for the harnesses: `Ref` unless the environment
+/// variable `TEA_SIZE=test` asks for a quick run.
+#[must_use]
+pub fn size_from_env() -> tea_workloads::Size {
+    match std::env::var("TEA_SIZE").as_deref() {
+        Ok("test") | Ok("Test") | Ok("TEST") => tea_workloads::Size::Test,
+        _ => tea_workloads::Size::Ref,
+    }
+}
+
+/// Runs the full 18-benchmark suite, returning per-benchmark profiled
+/// runs together with their programs.
+#[must_use]
+pub fn profile_suite(
+    size: tea_workloads::Size,
+    interval: u64,
+) -> Vec<(tea_workloads::Workload, ProfiledRun)> {
+    tea_workloads::all_workloads(size)
+        .into_iter()
+        .map(|w| {
+            let run = profile_all_schemes(&w.program, interval, HARNESS_SEED);
+            (w, run)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_workloads::{lbm, Size};
+
+    #[test]
+    fn one_pass_profiles_every_scheme() {
+        let p = lbm::program(Size::Test);
+        let run = profile_all_schemes(&p, 509, 7);
+        for s in ALL_SCHEMES {
+            assert!(run.samples[&s] > 50, "{s} took too few samples");
+            let e = run.error(s, &p, Granularity::Instruction);
+            assert!((0.0..=1.0).contains(&e), "{s} error {e}");
+        }
+        // TEA must beat the front-end-tagging schemes on lbm.
+        let tea = run.error(Scheme::Tea, &p, Granularity::Instruction);
+        let ibs = run.error(Scheme::Ibs, &p, Granularity::Instruction);
+        assert!(tea < ibs, "TEA {tea} must beat IBS {ibs}");
+    }
+}

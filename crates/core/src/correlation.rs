@@ -1,0 +1,191 @@
+//! Event-count vs performance-impact correlation (Section 5.3,
+//! Figure 7).
+//!
+//! Event-driven performance analysis counts events and hopes the counts
+//! correlate with performance impact. The paper quantifies how often
+//! that hope is justified: for each event, the Pearson correlation
+//! between an instruction's event count and the cycles in its stack
+//! components containing that event, computed across static
+//! instructions. Flush events correlate strongly (flushes are rarely
+//! hidden); cache/TLB misses only moderately (latency hiding); DR-SQ
+//! weakest with the largest spread.
+
+use tea_sim::psv::Event;
+
+use crate::golden::{EventCounts, GoldenReference};
+use crate::pics::Pics;
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns `None` when either series has zero variance or fewer than
+/// two points (correlation undefined).
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Correlation between `event`'s per-instruction counts and the
+/// per-instruction cycles attributed to components containing `event`,
+/// across all static instructions with at least one retired execution.
+///
+/// Returns `None` if the event never occurred or variance is zero.
+#[must_use]
+pub fn event_impact_correlation(
+    counts: &EventCounts,
+    golden: &Pics,
+    event: Event,
+) -> Option<f64> {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for addr in counts.addrs() {
+        let x = counts.count(addr, event) as f64;
+        let y = golden.stack(addr).map_or(0.0, |stack| {
+            stack
+                .iter()
+                .filter(|(psv, _)| psv.contains(event))
+                .map(|(_, c)| *c)
+                .sum()
+        });
+        xs.push(x);
+        ys.push(y);
+    }
+    pearson(&xs, &ys)
+}
+
+/// Correlations for all nine events from a finished golden reference.
+#[must_use]
+pub fn all_event_correlations(golden: &GoldenReference) -> [Option<f64>; 9] {
+    let mut out = [None; 9];
+    for (i, e) in Event::ALL.into_iter().enumerate() {
+        out[i] = event_impact_correlation(golden.event_counts(), golden.pics(), e);
+    }
+    out
+}
+
+/// Five-number summary (min, q1, median, q3, max) for box plots.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxStats {
+    /// Smallest sample.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// Returns `None` for an empty sample.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Option<BoxStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| {
+            let pos = p * (v.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        Some(BoxStats { min: v[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: *v.last().unwrap() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::psv::Psv;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_is_undefined() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn uncorrelated_series_near_zero() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let ys: Vec<f64> = (0..100).map(|i| ((i / 2) % 2) as f64).collect();
+        assert!(pearson(&xs, &ys).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn event_correlation_tracks_hidden_vs_exposed_misses() {
+        // Two instructions: one whose misses always cost cycles, one
+        // whose misses are fully hidden.
+        let mut counts = EventCounts::default();
+        let mut golden = Pics::new();
+        let miss = Psv::from_events(&[Event::StL1]);
+        // addr A: 10 misses, 1000 cycles of ST-L1 impact.
+        for _ in 0..10 {
+            counts.record(0xa000, miss);
+        }
+        golden.add(0xa000, miss, 1000.0);
+        // addr B: 10 misses, ~no impact (latency hidden).
+        for _ in 0..10 {
+            counts.record(0xb000, miss);
+        }
+        golden.add(0xb000, miss, 1.0);
+        // addr C: no misses, no impact.
+        counts.record(0xc000, Psv::empty());
+        golden.add(0xc000, Psv::empty(), 500.0);
+        let r = event_impact_correlation(&counts, &golden, Event::StL1).unwrap();
+        // Counts (10, 10, 0) vs impact (1000, 1, 0): positive but far
+        // from perfect — the latency-hiding effect the paper quantifies.
+        assert!(r > 0.3 && r < 0.95, "r = {r}");
+    }
+
+    #[test]
+    fn box_stats_of_known_sample() {
+        let b = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(BoxStats::of(&[]), None);
+    }
+}

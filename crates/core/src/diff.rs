@@ -1,0 +1,158 @@
+//! PICS differencing: compare the profiles of two runs (before vs after
+//! an optimisation) instruction by instruction.
+//!
+//! This is how TEA's case studies are actually *used*: after applying
+//! the lbm prefetches or the nab compiler flags, the developer diffs the
+//! new PICS against the old one to see where the time went — which
+//! components collapsed, and which grew to become the next bottleneck
+//! (lbm's DR-SQ store wall).
+
+use tea_sim::psv::Psv;
+
+use crate::pics::Pics;
+
+/// One instruction's change between two profiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffEntry {
+    /// Static instruction address.
+    pub addr: u64,
+    /// Cycles attributed in the "before" profile.
+    pub before: f64,
+    /// Cycles attributed in the "after" profile.
+    pub after: f64,
+    /// Per-signature deltas (after − before), largest magnitude first.
+    pub components: Vec<(Psv, f64)>,
+}
+
+impl DiffEntry {
+    /// Net change in cycles (negative = improvement).
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.after - self.before
+    }
+}
+
+/// Diffs two PICS, returning the `n` instructions with the largest
+/// absolute cycle change, descending (ties broken by address).
+///
+/// Both profiles should be in the same unit (e.g. both scaled to their
+/// run's cycle count) for the deltas to be meaningful.
+#[must_use]
+pub fn diff_pics(before: &Pics, after: &Pics, n: usize) -> Vec<DiffEntry> {
+    let mut addrs: Vec<u64> = before.iter().map(|(a, _)| a).collect();
+    addrs.extend(after.iter().map(|(a, _)| a));
+    addrs.sort_unstable();
+    addrs.dedup();
+    let mut entries: Vec<DiffEntry> = addrs
+        .into_iter()
+        .map(|addr| {
+            let b = before.instruction_total(addr);
+            let a = after.instruction_total(addr);
+            let mut psvs: Vec<Psv> = Vec::new();
+            if let Some(s) = before.stack(addr) {
+                psvs.extend(s.keys().copied());
+            }
+            if let Some(s) = after.stack(addr) {
+                psvs.extend(s.keys().copied());
+            }
+            psvs.sort_unstable();
+            psvs.dedup();
+            let mut components: Vec<(Psv, f64)> = psvs
+                .into_iter()
+                .map(|p| {
+                    let vb = before.stack(addr).and_then(|s| s.get(&p)).copied().unwrap_or(0.0);
+                    let va = after.stack(addr).and_then(|s| s.get(&p)).copied().unwrap_or(0.0);
+                    (p, va - vb)
+                })
+                .filter(|(_, d)| d.abs() > 1e-12)
+                .collect();
+            components
+                .sort_by(|x, y| y.1.abs().partial_cmp(&x.1.abs()).unwrap().then(x.0.cmp(&y.0)));
+            DiffEntry { addr, before: b, after: a, components }
+        })
+        .collect();
+    entries.sort_by(|x, y| {
+        y.delta()
+            .abs()
+            .partial_cmp(&x.delta().abs())
+            .unwrap()
+            .then(x.addr.cmp(&y.addr))
+    });
+    entries.truncate(n);
+    entries
+}
+
+/// Renders a diff as text: one block per instruction with its component
+/// deltas.
+#[must_use]
+pub fn render_diff(entries: &[DiffEntry], program: &tea_isa::Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for e in entries {
+        let inst = program
+            .inst_at(e.addr)
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "?".into());
+        let _ = writeln!(
+            out,
+            "{:#x} {:<28} {:>12.1} -> {:>12.1} cycles ({:+.1})",
+            e.addr,
+            inst,
+            e.before,
+            e.after,
+            e.delta()
+        );
+        for (psv, d) in e.components.iter().take(4) {
+            let _ = writeln!(out, "    {:<32} {:>+12.1}", psv.to_string(), d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::psv::Event;
+
+    fn pics(entries: &[(u64, Psv, f64)]) -> Pics {
+        let mut p = Pics::new();
+        for &(a, s, c) in entries {
+            p.add(a, s, c);
+        }
+        p
+    }
+
+    #[test]
+    fn diff_finds_the_biggest_mover() {
+        let llc = Psv::from_events(&[Event::StLlc]);
+        let drsq = Psv::from_events(&[Event::DrSq]);
+        let before = pics(&[(0x100, llc, 1000.0), (0x200, drsq, 50.0)]);
+        let after = pics(&[(0x100, llc, 100.0), (0x200, drsq, 400.0)]);
+        let d = diff_pics(&before, &after, 10);
+        assert_eq!(d[0].addr, 0x100);
+        assert!((d[0].delta() + 900.0).abs() < 1e-9);
+        assert_eq!(d[1].addr, 0x200);
+        assert!((d[1].delta() - 350.0).abs() < 1e-9);
+        // Component-level deltas carry the signature.
+        assert_eq!(d[0].components[0].0, llc);
+    }
+
+    #[test]
+    fn instructions_only_in_one_profile_are_covered() {
+        let before = pics(&[(0x100, Psv::empty(), 10.0)]);
+        let after = pics(&[(0x200, Psv::empty(), 25.0)]);
+        let d = diff_pics(&before, &after, 10);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].addr, 0x200);
+        assert_eq!(d[0].before, 0.0);
+        assert_eq!(d[1].after, 0.0);
+    }
+
+    #[test]
+    fn identical_profiles_diff_to_nothing_significant() {
+        let p = pics(&[(0x100, Psv::empty(), 5.0)]);
+        let d = diff_pics(&p, &p, 10);
+        assert!(d.iter().all(|e| e.delta().abs() < 1e-12));
+        assert!(d[0].components.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's error metric (Section 4).
+//!
+//! For cycle-stack components `C_{i,j}` (scheme) and `Ĉ_{i,j}` (golden
+//! reference), the correctly attributed cycles are
+//! `C_correct = Σ_i Σ_j min(C_{i,j}, Ĉ_{i,j})` and the error is
+//! `E = (C_total − C_correct) / C_total`, computed at a chosen
+//! granularity (instruction, basic block, function, application).
+//!
+//! Because the schemes support different event sets, the golden
+//! reference is projected onto each scheme's set before comparison
+//! (the paper's fair-comparison rule), and sampled stacks are scaled to
+//! the golden total to convert sample counts into cycle estimates.
+
+use tea_sim::psv::Psv;
+
+use crate::pics::{Pics, UnitMap};
+
+/// Computes the paper's PICS error of `scheme` against `golden`.
+///
+/// * `mask` — the scheme's supported event set; the golden reference is
+///   projected onto it.
+/// * `units` — the aggregation granularity.
+///
+/// Returns a value in `[0, 1]`; 0 means a perfect profile.
+///
+/// # Example
+///
+/// ```
+/// use tea_core::error::pics_error;
+/// use tea_core::pics::{Granularity, Pics, UnitMap};
+/// use tea_isa::asm::Asm;
+/// use tea_sim::psv::Psv;
+///
+/// # fn main() -> Result<(), tea_isa::AsmError> {
+/// let mut a = Asm::new();
+/// a.nop();
+/// a.halt();
+/// let program = a.finish()?;
+/// let units = UnitMap::new(&program, Granularity::Instruction);
+///
+/// let mut golden = Pics::new();
+/// golden.add(0x1_0000, Psv::empty(), 80.0);
+/// golden.add(0x1_0004, Psv::empty(), 20.0);
+///
+/// // A perfect profile has zero error; a fully skewed one does not.
+/// assert_eq!(pics_error(&golden, &golden, Psv::from_bits(Psv::ALL_BITS), &units), 0.0);
+/// let mut skewed = Pics::new();
+/// skewed.add(0x1_0004, Psv::empty(), 100.0);
+/// let e = pics_error(&skewed, &golden, Psv::from_bits(Psv::ALL_BITS), &units);
+/// assert!((e - 0.8).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn pics_error(scheme: &Pics, golden: &Pics, mask: Psv, units: &UnitMap) -> f64 {
+    let total = golden.total();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let golden_units = golden.masked(mask).coarsened(units);
+    let scheme_units = scheme.masked(mask).scaled_to(total).coarsened(units);
+    // Accumulate in sorted order so the floating-point sum is
+    // deterministic regardless of hash-map iteration order.
+    let mut ordered: Vec<(&u64, &crate::pics::CycleStack)> = golden_units.iter().collect();
+    ordered.sort_by_key(|(unit, _)| **unit);
+    let mut correct = 0.0;
+    for (unit, g_stack) in ordered {
+        if let Some(s_stack) = scheme_units.get(unit) {
+            let mut comps: Vec<(&Psv, &f64)> = g_stack.iter().collect();
+            comps.sort_by_key(|(psv, _)| **psv);
+            for (psv, g_cycles) in comps {
+                if let Some(s_cycles) = s_stack.get(psv) {
+                    correct += g_cycles.min(*s_cycles);
+                }
+            }
+        }
+    }
+    ((total - correct) / total).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pics::Granularity;
+    use tea_isa::asm::Asm;
+    use tea_isa::program::Program;
+    use tea_sim::psv::Event;
+
+    fn program() -> Program {
+        let mut a = Asm::new();
+        a.func("f");
+        a.nop();
+        a.nop();
+        a.func("g");
+        a.nop();
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    fn units(g: Granularity) -> UnitMap {
+        UnitMap::new(&program(), g)
+    }
+
+    fn full() -> Psv {
+        Psv::from_bits(Psv::ALL_BITS)
+    }
+
+    #[test]
+    fn identical_pics_have_zero_error() {
+        let mut g = Pics::new();
+        g.add(0x1_0000, Psv::from_events(&[Event::StL1]), 10.0);
+        g.add(0x1_0004, Psv::empty(), 5.0);
+        assert_eq!(pics_error(&g, &g, full(), &units(Granularity::Instruction)), 0.0);
+    }
+
+    #[test]
+    fn signature_misattribution_is_an_error_even_with_correct_height() {
+        let mut g = Pics::new();
+        g.add(0x1_0000, Psv::from_events(&[Event::StL1]), 10.0);
+        let mut s = Pics::new();
+        s.add(0x1_0000, Psv::from_events(&[Event::DrL1]), 10.0);
+        let e = pics_error(&s, &g, full(), &units(Granularity::Instruction));
+        assert_eq!(e, 1.0, "right instruction, wrong component: fully wrong");
+    }
+
+    #[test]
+    fn masking_forgives_unsupported_components() {
+        // Golden: ST-L1 + ST-LLC combined; scheme only supports ST-L1
+        // and reports it. Under the scheme's mask the two agree.
+        let mut g = Pics::new();
+        g.add(0x1_0000, Psv::from_events(&[Event::StL1, Event::StLlc]), 10.0);
+        let mut s = Pics::new();
+        s.add(0x1_0000, Psv::from_events(&[Event::StL1]), 10.0);
+        let mask = Psv::from_events(&[Event::StL1]);
+        assert_eq!(pics_error(&s, &g, mask, &units(Granularity::Instruction)), 0.0);
+        assert_eq!(pics_error(&s, &g, full(), &units(Granularity::Instruction)), 1.0);
+    }
+
+    #[test]
+    fn coarser_granularity_cannot_increase_error() {
+        let mut g = Pics::new();
+        g.add(0x1_0000, Psv::empty(), 10.0);
+        g.add(0x1_0004, Psv::empty(), 10.0);
+        // Scheme swaps the two instructions (same function "f").
+        let mut s = Pics::new();
+        s.add(0x1_0000, Psv::empty(), 4.0);
+        s.add(0x1_0004, Psv::empty(), 16.0);
+        let e_inst = pics_error(&s, &g, full(), &units(Granularity::Instruction));
+        let e_func = pics_error(&s, &g, full(), &units(Granularity::Function));
+        let e_app = pics_error(&s, &g, full(), &units(Granularity::Application));
+        assert!(e_inst > 0.0);
+        assert_eq!(e_func, 0.0, "both instructions are in function f");
+        assert_eq!(e_app, 0.0);
+        assert!(e_func <= e_inst && e_app <= e_func);
+    }
+
+    #[test]
+    fn scaling_normalises_sample_counts() {
+        let mut g = Pics::new();
+        g.add(0x1_0000, Psv::empty(), 75.0);
+        g.add(0x1_0004, Psv::empty(), 25.0);
+        // Scheme observed the same shape but in sample units.
+        let mut s = Pics::new();
+        s.add(0x1_0000, Psv::empty(), 3.0);
+        s.add(0x1_0004, Psv::empty(), 1.0);
+        assert!(pics_error(&s, &g, full(), &units(Granularity::Instruction)) < 1e-9);
+    }
+
+    #[test]
+    fn empty_golden_yields_zero() {
+        let s = Pics::new();
+        let g = Pics::new();
+        assert_eq!(pics_error(&s, &g, full(), &units(Granularity::Instruction)), 0.0);
+    }
+}

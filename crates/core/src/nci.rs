@@ -1,0 +1,122 @@
+//! NCI-TEA: TEA's event set with the Next-Committing-Instruction
+//! sampling policy used by Intel PEBS.
+//!
+//! NCI always attributes the sample to the instruction that commits next
+//! after the sample point. That is correct for the Compute, Stalled and
+//! Drained states but wrong after a pipeline flush: the instruction to
+//! blame is the *last-committed* one (the mispredicted branch or the
+//! excepting instruction), not the first instruction of the refetched
+//! stream. Section 5.1 shows this misattribution costs NCI-TEA ~11 %
+//! average error versus TEA's 2.1 %.
+
+use std::collections::HashMap;
+
+use tea_sim::psv::CommitState;
+use tea_sim::trace::{CycleView, Observer, RetiredInst};
+
+use crate::pics::Pics;
+use crate::sampling::SampleTimer;
+
+/// The NCI-TEA profiler.
+#[derive(Clone, Debug)]
+pub struct NciProfiler {
+    timer: SampleTimer,
+    pics: Pics,
+    pending: HashMap<u64, f64>,
+    samples: u64,
+}
+
+impl NciProfiler {
+    /// Creates an NCI-TEA profiler driven by `timer`.
+    #[must_use]
+    pub fn new(timer: SampleTimer) -> Self {
+        NciProfiler { timer, pics: Pics::new(), pending: HashMap::new(), samples: 0 }
+    }
+
+    /// The sampled PICS (in units of samples).
+    #[must_use]
+    pub fn pics(&self) -> &Pics {
+        &self.pics
+    }
+
+    /// Consumes the profiler, returning its PICS.
+    #[must_use]
+    pub fn into_pics(self) -> Pics {
+        self.pics
+    }
+
+    /// Number of samples taken.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl Observer for NciProfiler {
+    fn on_cycle(&mut self, view: &CycleView<'_>) {
+        if !self.timer.tick() {
+            return;
+        }
+        self.samples += 1;
+        // Always the next-committing instruction — even in the Flushed
+        // state, where this is the misattribution the paper describes.
+        let target = match view.state {
+            CommitState::Compute => view.committed.first().copied(),
+            CommitState::Stalled => view.stalled_head,
+            CommitState::Drained | CommitState::Flushed => view.next_commit,
+        };
+        match (view.state, target) {
+            (CommitState::Compute, Some(t)) => self.pics.add(t.addr, t.psv, 1.0),
+            (_, Some(t)) => *self.pending.entry(t.seq).or_insert(0.0) += 1.0,
+            (_, None) => {}
+        }
+    }
+
+    fn on_retire(&mut self, r: &RetiredInst) {
+        if let Some(w) = self.pending.remove(&r.seq) {
+            self.pics.add(r.addr, r.psv, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::psv::{Event, Psv};
+    use tea_sim::trace::InstRef;
+
+    #[test]
+    fn flushed_state_attributes_to_next_not_last() {
+        let mut nci = NciProfiler::new(SampleTimer::periodic(1));
+        let last = InstRef {
+            seq: 5,
+            addr: 0x1_0000,
+            psv: Psv::from_events(&[Event::FlMb]),
+        };
+        let next = InstRef { seq: 6, addr: 0x1_0004, psv: Psv::empty() };
+        let view = CycleView {
+            cycle: 0,
+            state: CommitState::Flushed,
+            committed: &[],
+            stalled_head: None,
+            next_commit: Some(next),
+            last_committed: Some(last),
+            dispatched: &[],
+            fetched: &[],
+        };
+        nci.on_cycle(&view);
+        nci.on_retire(&RetiredInst {
+            seq: 6,
+            addr: 0x1_0004,
+            psv: Psv::empty(),
+            exec_latency: 1,
+            commit_cycle: 9,
+            dispatch_cycle: 8,
+            class: tea_isa::ExecClass::IntAlu,
+        });
+        // The flush cycle lands on the *wrong* instruction (0x10004),
+        // demonstrating the NCI misattribution.
+        assert_eq!(nci.pics().instruction_total(0x1_0004), 1.0);
+        assert_eq!(nci.pics().instruction_total(0x1_0000), 0.0);
+    }
+}

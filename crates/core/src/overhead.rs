@@ -1,0 +1,203 @@
+//! Storage, power and performance overhead accounting (Section 3's
+//! "Overheads").
+//!
+//! The paper's overhead claims are arithmetic over bit counts plus one
+//! synthesis result; this module reproduces the arithmetic from the
+//! core configuration and calibrates the power model to the paper's
+//! 28 nm Cadence Genus/Joules figure (≈3.2 mW for TEA's ~2000 bits of
+//! state, i.e. ≈1.6 µW per bit — documented substitution for the
+//! proprietary flow).
+
+use tea_sim::SimConfig;
+
+/// TIP's baseline storage overhead (bytes), from the TIP paper via
+/// Section 3.
+pub const TIP_STORAGE_BYTES: u64 = 57;
+
+/// Width of the PSV in bits (nine events).
+pub const PSV_BITS: u64 = 9;
+
+/// Per-sample size in bytes (inherited from TIP; the PSVs pack into the
+/// spare bits of TIP's metadata CSR).
+pub const SAMPLE_BYTES: u64 = 88;
+
+/// Calibrated storage power density: µW per bit of TEA state in the
+/// 28 nm node (chosen so the Table 2 configuration reproduces the
+/// paper's ≈3.2 mW).
+pub const UW_PER_BIT: f64 = 1.57;
+
+/// Cycles of interrupt + sampling-handler work per sample, calibrated
+/// to the paper's 1.1 % overhead at 4 kHz on a 3.2 GHz core.
+pub const HANDLER_CYCLES_PER_SAMPLE: f64 = 8800.0;
+
+/// Reference clock frequency (Hz) of the evaluated core.
+pub const CLOCK_HZ: f64 = 3.2e9;
+
+/// Reference per-core power (W) used for the relative power overhead
+/// (an i7-1260P running stress-ng, per Section 3).
+pub const CORE_POWER_W: f64 = 4.7;
+
+/// Itemised TEA storage overhead, in bits, for one core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageBreakdown {
+    /// 2 bits (DR-L1, DR-TLB) per fetch-buffer entry.
+    pub fetch_buffer_bits: u64,
+    /// Full PSV per ROB entry.
+    pub rob_bits: u64,
+    /// 1 bit (ST-TLB) per LSQ entry.
+    pub lsq_bits: u64,
+    /// PSV register for the last-committed instruction (Flushed state).
+    pub last_committed_bits: u64,
+    /// Three 2-bit fetch registers tracking DR-L1/DR-TLB per packet.
+    pub fetch_regs_bits: u64,
+    /// 2 bits per decode and dispatch slot.
+    pub decode_dispatch_bits: u64,
+    /// DR-SQ tracking register at dispatch.
+    pub dispatch_drsq_bits: u64,
+}
+
+impl StorageBreakdown {
+    /// Computes the breakdown for a core configuration.
+    #[must_use]
+    pub fn for_config(cfg: &SimConfig) -> Self {
+        StorageBreakdown {
+            fetch_buffer_bits: 2 * cfg.fetch_buffer as u64,
+            rob_bits: PSV_BITS * cfg.rob_entries as u64,
+            lsq_bits: (cfg.ldq_entries + cfg.stq_entries) as u64,
+            last_committed_bits: 16, // a PSV padded to a register
+            fetch_regs_bits: 3 * 2,
+            decode_dispatch_bits: 2 * (cfg.fetch_width + cfg.dispatch_width) as u64,
+            dispatch_drsq_bits: 1,
+        }
+    }
+
+    /// Total bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.fetch_buffer_bits
+            + self.rob_bits
+            + self.lsq_bits
+            + self.last_committed_bits
+            + self.fetch_regs_bits
+            + self.decode_dispatch_bits
+            + self.dispatch_drsq_bits
+    }
+
+    /// Total bytes, rounded up.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Fraction of the storage held in the ROB and fetch buffer (the
+    /// paper reports 91.7 %, which is why those two units were
+    /// synthesised for the power estimate).
+    #[must_use]
+    pub fn rob_fetch_buffer_fraction(&self) -> f64 {
+        (self.rob_bits + self.fetch_buffer_bits) as f64 / self.total_bits() as f64
+    }
+
+    /// TEA + TIP storage in bytes (the paper reports 306 B).
+    #[must_use]
+    pub fn with_tip_bytes(&self) -> u64 {
+        self.total_bytes() + TIP_STORAGE_BYTES
+    }
+
+    /// Estimated power of the added state in milliwatts.
+    #[must_use]
+    pub fn power_mw(&self) -> f64 {
+        self.total_bits() as f64 * UW_PER_BIT / 1000.0
+    }
+
+    /// Power overhead relative to one core ([`CORE_POWER_W`]).
+    #[must_use]
+    pub fn power_fraction_of_core(&self) -> f64 {
+        self.power_mw() / 1000.0 / CORE_POWER_W
+    }
+}
+
+/// Runtime overhead of sampling at `freq_hz` (the paper reports 1.1 %
+/// at 4 kHz).
+#[must_use]
+pub fn performance_overhead(freq_hz: f64) -> f64 {
+    freq_hz * HANDLER_CYCLES_PER_SAMPLE / CLOCK_HZ
+}
+
+/// Whether four PSVs plus TIP's 10 metadata bits fit in one 64-bit CSR
+/// (Section 3 shows 46 of 64 bits are used); returns the bits used.
+#[must_use]
+pub fn csr_bits_used(commit_width: usize) -> u64 {
+    10 + PSV_BITS * commit_width as u64
+}
+
+/// Bytes of trace data the golden reference would need to communicate
+/// for `retired` instructions (the paper quotes 2.7 PB for its runs):
+/// one PSV + instruction address + flags per instruction per cycle
+/// observed — approximated as one 16-byte record per retired
+/// instruction plus one per cycle.
+#[must_use]
+pub fn golden_reference_bytes(retired: u64, cycles: u64) -> u64 {
+    16 * (retired + cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown() -> StorageBreakdown {
+        StorageBreakdown::for_config(&SimConfig::default())
+    }
+
+    #[test]
+    fn storage_matches_paper_within_padding() {
+        let b = breakdown();
+        // Paper: 249 B for TEA. The itemised model lands within a few
+        // bytes (the paper does not specify padding).
+        assert_eq!(b.fetch_buffer_bits, 96); // 12 B
+        assert_eq!(b.rob_bits, 1728); // 216 B
+        let bytes = b.total_bytes();
+        assert!(
+            (241..=257).contains(&bytes),
+            "TEA storage {bytes} B should be ~249 B"
+        );
+        let with_tip = b.with_tip_bytes();
+        assert!((298..=314).contains(&with_tip), "TEA+TIP {with_tip} B should be ~306 B");
+    }
+
+    #[test]
+    fn rob_and_fetch_buffer_dominate() {
+        let f = breakdown().rob_fetch_buffer_fraction();
+        assert!((f - 0.917).abs() < 0.04, "fraction {f} should be ~91.7%");
+    }
+
+    #[test]
+    fn power_is_about_three_milliwatts() {
+        let p = breakdown().power_mw();
+        assert!((2.8..=3.6).contains(&p), "power {p} mW should be ~3.2 mW");
+        let frac = breakdown().power_fraction_of_core();
+        assert!(frac < 0.001, "per-core overhead {frac} should be ~0.1%");
+    }
+
+    #[test]
+    fn sampling_overhead_matches_paper_at_4khz() {
+        let o = performance_overhead(4000.0);
+        assert!((o - 0.011).abs() < 0.0005, "overhead {o} should be 1.1%");
+        // Linear in frequency.
+        assert!((performance_overhead(8000.0) - 2.0 * o).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psvs_fit_in_the_tip_csr() {
+        let used = csr_bits_used(SimConfig::default().commit_width);
+        assert_eq!(used, 46);
+        assert!(used <= 64);
+    }
+
+    #[test]
+    fn golden_reference_is_impractical() {
+        // At paper scale (say 10^12 cycles, IPC 1), the golden reference
+        // needs petabytes.
+        let bytes = golden_reference_bytes(1_000_000_000_000, 1_000_000_000_000);
+        assert!(bytes > 10_u64.pow(13));
+    }
+}

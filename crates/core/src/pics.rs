@@ -1,0 +1,353 @@
+//! Per-Instruction Cycle Stacks (PICS) — the paper's central data
+//! structure.
+//!
+//! A PICS maps every static instruction to a *cycle stack*: a breakdown
+//! of the cycles attributed to that instruction across the (combination
+//! of) performance events — [`Psv`] signatures — it was subjected to
+//! during its dynamic executions. Because the attribution is
+//! time-proportional, the height of a stack is the instruction's
+//! contribution to total execution time (answering the paper's Q1) and
+//! the size of each component is the impact of that event combination
+//! (answering Q2).
+
+use std::collections::HashMap;
+
+use tea_isa::program::Program;
+use tea_sim::psv::Psv;
+
+/// Aggregation granularity for cycle stacks (the paper's Figure 9
+/// evaluates Instruction and Function; BasicBlock and Application are
+/// reported to show the same trends).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One unit per static instruction.
+    Instruction,
+    /// One unit per basic block.
+    BasicBlock,
+    /// One unit per function symbol.
+    Function,
+    /// A single unit for the whole application (a classic CPI stack).
+    Application,
+}
+
+impl Granularity {
+    /// All granularities, finest first.
+    pub const ALL: [Granularity; 4] = [
+        Granularity::Instruction,
+        Granularity::BasicBlock,
+        Granularity::Function,
+        Granularity::Application,
+    ];
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Granularity::Instruction => "instruction",
+            Granularity::BasicBlock => "basic-block",
+            Granularity::Function => "function",
+            Granularity::Application => "application",
+        }
+    }
+}
+
+/// Maps instruction addresses to aggregation-unit keys for a program.
+///
+/// Unit keys are representative addresses: the instruction address
+/// itself, its basic-block leader, its function start, or 0 for the
+/// whole application.
+#[derive(Clone, Debug)]
+pub struct UnitMap {
+    granularity: Granularity,
+    block_starts: Vec<u64>,
+    function_starts: Vec<(u64, u64)>,
+}
+
+impl UnitMap {
+    /// Builds a unit map for `program` at `granularity`.
+    #[must_use]
+    pub fn new(program: &Program, granularity: Granularity) -> Self {
+        UnitMap {
+            granularity,
+            block_starts: match granularity {
+                Granularity::BasicBlock => program.basic_block_starts(),
+                _ => Vec::new(),
+            },
+            function_starts: program
+                .functions()
+                .iter()
+                .map(|f| (f.start, f.end))
+                .collect(),
+        }
+    }
+
+    /// The granularity this map aggregates to.
+    #[must_use]
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// The unit key of instruction address `addr`.
+    #[must_use]
+    pub fn unit_of(&self, addr: u64) -> u64 {
+        match self.granularity {
+            Granularity::Instruction => addr,
+            Granularity::Application => 0,
+            Granularity::BasicBlock => {
+                let i = self.block_starts.partition_point(|&s| s <= addr);
+                if i > 0 {
+                    self.block_starts[i - 1]
+                } else {
+                    addr
+                }
+            }
+            Granularity::Function => self
+                .function_starts
+                .iter()
+                .find(|&&(s, e)| (s..e).contains(&addr))
+                .map_or(addr, |&(s, _)| s),
+        }
+    }
+}
+
+/// One cycle stack: cycles per PSV signature.
+pub type CycleStack = HashMap<Psv, f64>;
+
+/// Per-Instruction Cycle Stacks for one program run.
+///
+/// # Example
+///
+/// ```
+/// use tea_core::pics::Pics;
+/// use tea_sim::psv::{Event, Psv};
+///
+/// let mut pics = Pics::new();
+/// pics.add(0x1_0000, Psv::from_events(&[Event::StLlc]), 1000.0);
+/// pics.add(0x1_0000, Psv::empty(), 50.0);
+/// pics.add(0x1_0004, Psv::empty(), 25.0);
+/// assert_eq!(pics.total(), 1075.0);
+/// assert_eq!(pics.instruction_total(0x1_0000), 1050.0);
+/// assert_eq!(pics.top_instructions(1)[0].0, 0x1_0000);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Pics {
+    stacks: HashMap<u64, CycleStack>,
+    total: f64,
+}
+
+impl Pics {
+    /// Creates an empty PICS.
+    #[must_use]
+    pub fn new() -> Self {
+        Pics::default()
+    }
+
+    /// Attributes `cycles` to instruction `addr` under signature `psv`.
+    pub fn add(&mut self, addr: u64, psv: Psv, cycles: f64) {
+        *self.stacks.entry(addr).or_default().entry(psv).or_insert(0.0) += cycles;
+        self.total += cycles;
+    }
+
+    /// Total attributed cycles.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of distinct instructions with attributed cycles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Whether nothing has been attributed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// The cycle stack of one instruction, if any cycles were attributed
+    /// to it.
+    #[must_use]
+    pub fn stack(&self, addr: u64) -> Option<&CycleStack> {
+        self.stacks.get(&addr)
+    }
+
+    /// Total cycles attributed to one instruction (stack height).
+    #[must_use]
+    pub fn instruction_total(&self, addr: u64) -> f64 {
+        self.stacks
+            .get(&addr)
+            .map_or(0.0, |s| s.values().sum())
+    }
+
+    /// Iterates over `(address, stack)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &CycleStack)> + '_ {
+        self.stacks.iter().map(|(&a, s)| (a, s))
+    }
+
+    /// The `n` instructions with the tallest stacks, descending (ties
+    /// broken by address for determinism).
+    #[must_use]
+    pub fn top_instructions(&self, n: usize) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self
+            .stacks
+            .iter()
+            .map(|(&a, s)| (a, s.values().sum()))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Iterates entries sorted by `(address, signature)` — the
+    /// deterministic order used by all transformation methods so that
+    /// floating-point accumulation is reproducible across processes.
+    fn sorted_entries(&self) -> Vec<(u64, Psv, f64)> {
+        let mut v: Vec<(u64, Psv, f64)> = self
+            .stacks
+            .iter()
+            .flat_map(|(&a, s)| s.iter().map(move |(&p, &c)| (a, p, c)))
+            .collect();
+        v.sort_by_key(|&(a, p, _)| (a, p));
+        v
+    }
+
+    /// A copy with every signature restricted to `mask` (projection onto
+    /// a scheme's supported event set, Section 4's fair-comparison rule).
+    #[must_use]
+    pub fn masked(&self, mask: Psv) -> Pics {
+        let mut out = Pics::new();
+        for (addr, psv, cycles) in self.sorted_entries() {
+            out.add(addr, psv.masked(mask), cycles);
+        }
+        out
+    }
+
+    /// A copy scaled so that `total()` equals `target_total` (converts
+    /// sample counts into cycle estimates).
+    ///
+    /// Returns an unscaled copy when the PICS is empty.
+    #[must_use]
+    pub fn scaled_to(&self, target_total: f64) -> Pics {
+        if self.total <= 0.0 {
+            return self.clone();
+        }
+        let k = target_total / self.total;
+        let mut out = Pics::new();
+        for (addr, psv, cycles) in self.sorted_entries() {
+            out.add(addr, psv, cycles * k);
+        }
+        out
+    }
+
+    /// Total cycles per signature across all instructions (the
+    /// application-level cycle stack), sorted by signature for
+    /// deterministic output.
+    #[must_use]
+    pub fn component_totals(&self) -> Vec<(Psv, f64)> {
+        let mut map: HashMap<Psv, f64> = HashMap::new();
+        for (_, psv, cycles) in self.sorted_entries() {
+            *map.entry(psv).or_insert(0.0) += cycles;
+        }
+        let mut v: Vec<(Psv, f64)> = map.into_iter().collect();
+        v.sort_by_key(|&(p, _)| p);
+        v
+    }
+
+    /// Aggregates stacks to coarser units via `units`, returning
+    /// unit-key → stack.
+    #[must_use]
+    pub fn coarsened(&self, units: &UnitMap) -> HashMap<u64, CycleStack> {
+        let mut out: HashMap<u64, CycleStack> = HashMap::new();
+        for (addr, psv, cycles) in self.sorted_entries() {
+            let unit = units.unit_of(addr);
+            *out.entry(unit).or_default().entry(psv).or_insert(0.0) += cycles;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_isa::asm::Asm;
+    use tea_sim::psv::Event;
+
+    fn two_function_program() -> Program {
+        let mut a = Asm::new();
+        a.func("f");
+        a.nop(); // 0x10000
+        a.nop(); // 0x10004
+        a.func("g");
+        a.nop(); // 0x10008
+        a.halt(); // 0x1000c
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn masking_merges_components() {
+        let mut p = Pics::new();
+        let both = Psv::from_events(&[Event::StL1, Event::StTlb]);
+        let l1 = Psv::from_events(&[Event::StL1]);
+        p.add(0x1_0000, both, 10.0);
+        p.add(0x1_0000, l1, 5.0);
+        let m = p.masked(l1);
+        assert_eq!(m.total(), 15.0);
+        assert_eq!(m.stack(0x1_0000).unwrap()[&l1], 15.0);
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let mut p = Pics::new();
+        p.add(0x1_0000, Psv::empty(), 3.0);
+        p.add(0x1_0004, Psv::empty(), 1.0);
+        let s = p.scaled_to(400.0);
+        assert!((s.total() - 400.0).abs() < 1e-9);
+        assert!((s.instruction_total(0x1_0000) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_empty_is_noop() {
+        let p = Pics::new();
+        assert_eq!(p.scaled_to(100.0).total(), 0.0);
+    }
+
+    #[test]
+    fn function_units_aggregate() {
+        let prog = two_function_program();
+        let units = UnitMap::new(&prog, Granularity::Function);
+        let mut p = Pics::new();
+        p.add(0x1_0000, Psv::empty(), 1.0);
+        p.add(0x1_0004, Psv::empty(), 2.0);
+        p.add(0x1_0008, Psv::empty(), 4.0);
+        let c = p.coarsened(&units);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[&0x1_0000][&Psv::empty()], 3.0);
+        assert_eq!(c[&0x1_0008][&Psv::empty()], 4.0);
+    }
+
+    #[test]
+    fn application_unit_is_single_stack() {
+        let prog = two_function_program();
+        let units = UnitMap::new(&prog, Granularity::Application);
+        let mut p = Pics::new();
+        p.add(0x1_0000, Psv::empty(), 1.0);
+        p.add(0x1_0008, Psv::from_events(&[Event::DrL1]), 2.0);
+        let c = p.coarsened(&units);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[&0][&Psv::empty()], 1.0);
+    }
+
+    #[test]
+    fn top_instructions_sorted_and_deterministic() {
+        let mut p = Pics::new();
+        p.add(0x1_0008, Psv::empty(), 5.0);
+        p.add(0x1_0000, Psv::empty(), 5.0);
+        p.add(0x1_0004, Psv::empty(), 9.0);
+        let top = p.top_instructions(3);
+        assert_eq!(top[0].0, 0x1_0004);
+        assert_eq!(top[1].0, 0x1_0000, "ties break by address");
+        assert_eq!(top[2].0, 0x1_0008);
+    }
+}

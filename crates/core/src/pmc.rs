@@ -1,0 +1,152 @@
+//! Event-driven (performance-counter) profiling — the approach the
+//! paper's Section 5.3 quantifies as misleading.
+//!
+//! A [`PmcProfiler`] models one hardware performance counter configured
+//! in sampling mode: it counts occurrences of a single event and, every
+//! `period` occurrences, attributes a sample to the instruction that
+//! caused it (as Intel PEBS or DCPI do). This yields a per-event *count*
+//! profile. Its two fundamental limits, per the paper:
+//!
+//! * counts do not distinguish hidden from non-hidden events — lbm's 11
+//!   loads all miss ~equally often, but only the unhidden one costs
+//!   time (Section 6);
+//! * each counter samples on its own event, so *combined* events can
+//!   never be observed: counting N events yields N independent
+//!   profiles (footnote 5).
+
+use std::collections::HashMap;
+
+use tea_sim::psv::Event;
+use tea_sim::trace::{CycleView, Observer, RetiredInst};
+
+/// One performance counter in sampling mode.
+#[derive(Clone, Debug)]
+pub struct PmcProfiler {
+    event: Event,
+    period: u64,
+    countdown: u64,
+    samples: HashMap<u64, u64>,
+    total_events: u64,
+}
+
+impl PmcProfiler {
+    /// Creates a counter for `event` sampling every `period`-th
+    /// occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(event: Event, period: u64) -> Self {
+        assert!(period > 0, "sampling period must be nonzero");
+        PmcProfiler { event, period, countdown: period, samples: HashMap::new(), total_events: 0 }
+    }
+
+    /// The event being counted.
+    #[must_use]
+    pub fn event(&self) -> Event {
+        self.event
+    }
+
+    /// Total event occurrences counted.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Per-instruction sample counts (the profile a PMU tool reports).
+    #[must_use]
+    pub fn samples(&self) -> &HashMap<u64, u64> {
+        &self.samples
+    }
+
+    /// Estimated event count of instruction `addr` (samples × period).
+    #[must_use]
+    pub fn estimated_count(&self, addr: u64) -> u64 {
+        self.samples.get(&addr).copied().unwrap_or(0) * self.period
+    }
+
+    /// Instructions ranked by sample count, descending (ties by
+    /// address).
+    #[must_use]
+    pub fn ranking(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.samples.iter().map(|(&a, &n)| (a, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl Observer for PmcProfiler {
+    fn on_cycle(&mut self, _view: &CycleView<'_>) {}
+
+    fn on_retire(&mut self, r: &RetiredInst) {
+        if !r.psv.contains(self.event) {
+            return;
+        }
+        self.total_events += 1;
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.period;
+            *self.samples.entry(r.addr).or_insert(0) += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::psv::Psv;
+
+    fn retire(addr: u64, psv: Psv) -> RetiredInst {
+        RetiredInst {
+            seq: 0,
+            addr,
+            psv,
+            commit_cycle: 0,
+            dispatch_cycle: 0,
+            exec_latency: 1,
+            class: tea_isa::ExecClass::Load,
+        }
+    }
+
+    #[test]
+    fn samples_every_nth_occurrence() {
+        let mut pmc = PmcProfiler::new(Event::StL1, 4);
+        let miss = Psv::from_events(&[Event::StL1]);
+        for _ in 0..16 {
+            pmc.on_retire(&retire(0x1000, miss));
+        }
+        assert_eq!(pmc.total_events(), 16);
+        assert_eq!(pmc.samples()[&0x1000], 4);
+        assert_eq!(pmc.estimated_count(0x1000), 16);
+    }
+
+    #[test]
+    fn ignores_other_events() {
+        let mut pmc = PmcProfiler::new(Event::StL1, 1);
+        pmc.on_retire(&retire(0x1000, Psv::from_events(&[Event::StLlc])));
+        pmc.on_retire(&retire(0x1000, Psv::empty()));
+        assert_eq!(pmc.total_events(), 0);
+        assert!(pmc.samples().is_empty());
+    }
+
+    #[test]
+    fn counts_cannot_distinguish_hidden_misses() {
+        // Two instructions with equal miss counts look identical to the
+        // counter — the paper's core criticism of event-driven analysis.
+        let mut pmc = PmcProfiler::new(Event::StL1, 1);
+        let miss = Psv::from_events(&[Event::StL1]);
+        for _ in 0..10 {
+            pmc.on_retire(&retire(0xa000, miss)); // unhidden, costly
+            pmc.on_retire(&retire(0xb000, miss)); // fully hidden, free
+        }
+        let r = pmc.ranking();
+        assert_eq!(r[0].1, r[1].1, "the counter sees no difference");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_period_panics() {
+        let _ = PmcProfiler::new(Event::StL1, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Plain-text rendering of PICS, error tables and box plots — the
+//! output format of the experiment harnesses that regenerate the
+//! paper's figures.
+
+use tea_isa::program::Program;
+use tea_sim::psv::Psv;
+
+use crate::correlation::BoxStats;
+use crate::pics::Pics;
+
+/// Renders the cycle stacks of the top-`n` instructions of `pics` as a
+/// table: one row per (instruction, component), with percentages of
+/// total cycles — the textual form of the paper's Figure 6/10/12 bars.
+#[must_use]
+pub fn render_top_instructions(pics: &Pics, program: &Program, n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let total = pics.total().max(1e-12);
+    for (rank, (addr, height)) in pics.top_instructions(n).into_iter().enumerate() {
+        let mnemonic = program
+            .inst_at(addr)
+            .map_or_else(|| "?".to_string(), |i| i.to_string());
+        let func = program
+            .function_of(addr)
+            .map_or("?", |f| f.name.as_str());
+        let _ = writeln!(
+            out,
+            "#{} {:#x} [{}] {}  — {:.2}% of total",
+            rank + 1,
+            addr,
+            func,
+            mnemonic,
+            100.0 * height / total
+        );
+        let mut comps: Vec<(Psv, f64)> = pics
+            .stack(addr)
+            .map(|s| s.iter().map(|(&p, &c)| (p, c)).collect())
+            .unwrap_or_default();
+        comps.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        for (psv, cycles) in comps {
+            let _ = writeln!(
+                out,
+                "    {:<32} {:>8.3}% of total",
+                psv.to_string(),
+                100.0 * cycles / total
+            );
+        }
+    }
+    out
+}
+
+/// Renders one row of an error table: `name` plus per-benchmark errors
+/// and their mean, as percentages.
+#[must_use]
+pub fn render_error_row(name: &str, errors: &[f64]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{name:<10}");
+    for e in errors {
+        let _ = write!(out, " {:>6.1}", 100.0 * e);
+    }
+    if !errors.is_empty() {
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        let _ = write!(out, " | avg {:>5.1}", 100.0 * mean);
+    }
+    out
+}
+
+/// Renders a box-plot row as text: `min [q1 | median | q3] max`.
+#[must_use]
+pub fn render_box(name: &str, b: Option<BoxStats>) -> String {
+    match b {
+        Some(b) => format!(
+            "{:<8} {:>6.2} [{:>6.2} | {:>6.2} | {:>6.2}] {:>6.2}",
+            name, b.min, b.q1, b.median, b.q3, b.max
+        ),
+        None => format!("{name:<8} (no data)"),
+    }
+}
+
+/// Renders the cycle stacks aggregated to functions: one block per
+/// function, descending by total time — the coarse view a developer
+/// starts from before drilling into instructions.
+#[must_use]
+pub fn render_functions(pics: &Pics, program: &Program, n: usize) -> String {
+    use std::fmt::Write as _;
+    use crate::pics::{Granularity, UnitMap};
+    let units = UnitMap::new(program, Granularity::Function);
+    let coarse = pics.coarsened(&units);
+    let total = pics.total().max(1e-12);
+    let mut funcs: Vec<(u64, f64)> = coarse
+        .iter()
+        .map(|(&u, st)| (u, st.values().sum()))
+        .collect();
+    funcs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut out = String::new();
+    for (unit, height) in funcs.into_iter().take(n) {
+        let name = program.function_of(unit).map_or("?", |f| f.name.as_str());
+        let _ = writeln!(out, "{:<24} {:>6.2}% of total", name, 100.0 * height / total);
+        let mut comps: Vec<(Psv, f64)> =
+            coarse[&unit].iter().map(|(&p, &c)| (p, c)).collect();
+        comps.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        for (psv, cycles) in comps.into_iter().take(5) {
+            if cycles / total < 0.001 {
+                break;
+            }
+            let _ = writeln!(out, "    {:<32} {:>6.2}%", psv.to_string(), 100.0 * cycles / total);
+        }
+    }
+    out
+}
+
+/// Renders the application-level CPI stack: total CPI broken down by
+/// PSV signature. This is the classic cycles-per-instruction stack of
+/// Eyerman et al. (the prior work the paper generalises) — PICS
+/// aggregated all the way up; useful as a first, coarse view before
+/// drilling into instructions.
+#[must_use]
+pub fn render_cpi_stack(pics: &Pics, retired: u64) -> String {
+    use std::fmt::Write as _;
+    let retired = retired.max(1) as f64;
+    let mut comps = pics.component_totals();
+    comps.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let total_cpi = pics.total() / retired;
+    let mut out = format!("CPI {total_cpi:.3} =
+");
+    for (psv, cycles) in comps {
+        let cpi = cycles / retired;
+        if cpi < total_cpi * 0.001 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>7.3}  {}",
+            psv.to_string(),
+            cpi,
+            render_bar(cycles / pics.total(), 24)
+        );
+    }
+    out
+}
+
+/// Renders a PICS as CSV (`addr,function,signature,cycles`) for
+/// external plotting.
+#[must_use]
+pub fn render_csv(pics: &Pics, program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut rows: Vec<(u64, Psv, f64)> = pics
+        .iter()
+        .flat_map(|(a, st)| st.iter().map(move |(&p, &c)| (a, p, c)))
+        .collect();
+    rows.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+    let mut out = String::from("addr,function,signature,cycles\n");
+    for (addr, psv, cycles) in rows {
+        let func = program.function_of(addr).map_or("?", |f| f.name.as_str());
+        let _ = writeln!(out, "{addr:#x},{func},{psv},{cycles}");
+    }
+    out
+}
+
+/// Renders an ASCII horizontal bar of `frac` (0–1) with `width` cells.
+#[must_use]
+pub fn render_bar(frac: f64, width: usize) -> String {
+    let cells = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < cells { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_isa::asm::Asm;
+    use tea_isa::reg::Reg;
+    use tea_sim::psv::Event;
+
+    #[test]
+    fn top_instruction_render_includes_components() {
+        let mut a = Asm::new();
+        a.func("kernel");
+        a.ld(Reg::T0, Reg::A0, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut pics = Pics::new();
+        pics.add(0x1_0000, Psv::from_events(&[Event::StLlc, Event::StL1]), 90.0);
+        pics.add(0x1_0000, Psv::empty(), 10.0);
+        let r = render_top_instructions(&pics, &p, 1);
+        assert!(r.contains("kernel"));
+        assert!(r.contains("ld"));
+        assert!(r.contains("ST-L1+ST-LLC"));
+        assert!(r.contains("Base"));
+        assert!(r.contains("90.000%"));
+    }
+
+    #[test]
+    fn cpi_stack_sums_and_orders() {
+        let mut pics = Pics::new();
+        pics.add(0x1_0000, Psv::empty(), 600.0);
+        pics.add(0x1_0004, Psv::from_events(&[Event::StLlc]), 400.0);
+        let r = render_cpi_stack(&pics, 500);
+        assert!(r.starts_with("CPI 2.000 ="), "{r}");
+        let base = r.find("Base").unwrap();
+        let llc = r.find("ST-LLC").unwrap();
+        assert!(base < llc, "largest component first");
+        assert!(r.contains("1.200"));
+        assert!(r.contains("0.800"));
+    }
+
+    #[test]
+    fn function_render_aggregates() {
+        let mut a = Asm::new();
+        a.func("hot");
+        a.nop();
+        a.nop();
+        a.func("cold");
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut pics = Pics::new();
+        pics.add(0x1_0000, Psv::empty(), 30.0);
+        pics.add(0x1_0004, Psv::from_events(&[Event::StL1]), 60.0);
+        pics.add(0x1_0008, Psv::empty(), 10.0);
+        let r = render_functions(&pics, &p, 2);
+        let hot_pos = r.find("hot").unwrap();
+        let cold_pos = r.find("cold").unwrap();
+        assert!(hot_pos < cold_pos, "hot function listed first");
+        assert!(r.contains("90.00%"));
+        assert!(r.contains("ST-L1"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_component() {
+        let mut a = Asm::new();
+        a.func("f");
+        a.nop();
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut pics = Pics::new();
+        pics.add(0x1_0000, Psv::empty(), 1.0);
+        pics.add(0x1_0000, Psv::from_events(&[Event::FlMb]), 2.0);
+        let csv = render_csv(&pics, &p);
+        assert_eq!(csv.lines().count(), 3, "header + 2 components");
+        assert!(csv.contains("0x10000,f,FL-MB,2"));
+    }
+
+    #[test]
+    fn error_row_formats_mean() {
+        let r = render_error_row("TEA", &[0.02, 0.04]);
+        assert!(r.contains("TEA"));
+        assert!(r.contains("2.0"));
+        assert!(r.contains("avg   3.0"));
+    }
+
+    #[test]
+    fn bar_width_is_respected() {
+        assert_eq!(render_bar(0.5, 10), "#####.....");
+        assert_eq!(render_bar(2.0, 4), "####");
+        assert_eq!(render_bar(-1.0, 4), "....");
+    }
+}

@@ -1,0 +1,193 @@
+//! The performance-analysis schemes of Table 1 and their event sets.
+//!
+//! The paper reports per-scheme PSV storage of 9 bits (TEA), 6 bits
+//! (AMD IBS), 5 bits (Arm SPE) and 7 bits (IBM RIS). The extracted table
+//! does not preserve the per-cell checkmarks, so the baseline event sets
+//! are reconstructed to those sizes from the schemes' public
+//! documentation (see DESIGN.md): all three capture the front-end and
+//! data-side cache/TLB events and branch mispredicts; IBS adds LLC
+//! misses; RIS additionally reports exceptions. None capture DR-SQ or
+//! memory-ordering violations. The error metric masks the golden
+//! reference per scheme, so the reconstruction affects component labels,
+//! not the time-proportionality conclusions.
+
+use tea_sim::psv::{Event, Psv};
+
+/// The full nine-event TEA set.
+#[must_use]
+pub fn tea_event_set() -> Psv {
+    Psv::from_bits(Psv::ALL_BITS)
+}
+
+/// AMD IBS event set (6 events).
+#[must_use]
+pub fn ibs_event_set() -> Psv {
+    Psv::from_events(&[
+        Event::DrL1,
+        Event::DrTlb,
+        Event::FlMb,
+        Event::StL1,
+        Event::StTlb,
+        Event::StLlc,
+    ])
+}
+
+/// Arm SPE event set (5 events).
+#[must_use]
+pub fn spe_event_set() -> Psv {
+    Psv::from_events(&[
+        Event::DrL1,
+        Event::DrTlb,
+        Event::FlMb,
+        Event::StL1,
+        Event::StTlb,
+    ])
+}
+
+/// IBM RIS event set (7 events).
+#[must_use]
+pub fn ris_event_set() -> Psv {
+    Psv::from_events(&[
+        Event::DrL1,
+        Event::DrTlb,
+        Event::FlMb,
+        Event::FlEx,
+        Event::StL1,
+        Event::StTlb,
+        Event::StLlc,
+    ])
+}
+
+/// Where a front-end-tagging scheme marks its instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TagPoint {
+    /// Tag the instruction dispatched in the sample cycle (IBS, SPE).
+    Dispatch,
+    /// Tag the instruction fetched in the sample cycle (RIS).
+    Fetch,
+}
+
+/// One of the profiling schemes compared in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Time-proportional event analysis (this paper).
+    Tea,
+    /// TEA's event set with the Next-Committing-Instruction policy
+    /// (Intel PEBS-style).
+    NciTea,
+    /// AMD Instruction-Based Sampling (dispatch tagging).
+    Ibs,
+    /// Arm Statistical Profiling Extension (dispatch tagging).
+    Spe,
+    /// IBM Random Instruction Sampling (fetch tagging).
+    Ris,
+    /// Ablation: TEA's event set, tagged at dispatch (the paper notes
+    /// this performs like IBS/SPE/RIS).
+    TeaDispatchTagged,
+}
+
+impl Scheme {
+    /// The five schemes of Figure 5, in the paper's order.
+    pub const FIGURE5: [Scheme; 5] =
+        [Scheme::Ibs, Scheme::Spe, Scheme::Ris, Scheme::NciTea, Scheme::Tea];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Tea => "TEA",
+            Scheme::NciTea => "NCI-TEA",
+            Scheme::Ibs => "IBS",
+            Scheme::Spe => "SPE",
+            Scheme::Ris => "RIS",
+            Scheme::TeaDispatchTagged => "TEA-DT",
+        }
+    }
+
+    /// The scheme's supported event set.
+    #[must_use]
+    pub fn event_set(self) -> Psv {
+        match self {
+            Scheme::Tea | Scheme::NciTea | Scheme::TeaDispatchTagged => tea_event_set(),
+            Scheme::Ibs => ibs_event_set(),
+            Scheme::Spe => spe_event_set(),
+            Scheme::Ris => ris_event_set(),
+        }
+    }
+
+    /// PSV storage bits for the tagged/tracked instruction(s), as
+    /// reported in Section 3.
+    #[must_use]
+    pub fn psv_bits(self) -> u32 {
+        self.event_set().count()
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Renders the paper's Table 1: events × schemes.
+#[must_use]
+pub fn table1() -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<8} {:<42} {:>4} {:>4} {:>4} {:>4}",
+        "Event", "Description", "TEA", "IBS", "SPE", "RIS"
+    );
+    for e in Event::ALL {
+        let mark = |set: Psv| if set.contains(e) { "yes" } else { "-" };
+        let _ = writeln!(
+            s,
+            "{:<8} {:<42} {:>4} {:>4} {:>4} {:>4}",
+            e.name(),
+            e.description(),
+            mark(tea_event_set()),
+            mark(ibs_event_set()),
+            mark(spe_event_set()),
+            mark(ris_event_set()),
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_set_sizes_match_paper_storage_bits() {
+        assert_eq!(Scheme::Tea.psv_bits(), 9);
+        assert_eq!(Scheme::Ibs.psv_bits(), 6);
+        assert_eq!(Scheme::Spe.psv_bits(), 5);
+        assert_eq!(Scheme::Ris.psv_bits(), 7);
+    }
+
+    #[test]
+    fn baselines_are_subsets_of_tea() {
+        for s in [Scheme::Ibs, Scheme::Spe, Scheme::Ris] {
+            let set = s.event_set();
+            assert_eq!(set.masked(tea_event_set()), set);
+        }
+    }
+
+    #[test]
+    fn no_baseline_captures_drsq_or_flmo() {
+        for s in [Scheme::Ibs, Scheme::Spe, Scheme::Ris] {
+            assert!(!s.event_set().contains(Event::DrSq));
+            assert!(!s.event_set().contains(Event::FlMo));
+        }
+    }
+
+    #[test]
+    fn table1_renders_all_events() {
+        let t = table1();
+        for e in Event::ALL {
+            assert!(t.contains(e.name()), "missing {e}");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Front-end-tagging profilers: AMD IBS, Arm SPE, IBM RIS, and the
+//! dispatch-tagged TEA ablation.
+//!
+//! These schemes tag the instruction that is *dispatched* (IBS, SPE) or
+//! *fetched* (RIS) in the cycle a sample fires, then record the
+//! performance events the tagged instruction is subjected to while it
+//! travels down the pipeline. Tagging in the front end needs only one
+//! PSV of storage — but it is not time-proportional: during a commit
+//! stall the front end keeps dispatching/fetching *other* instructions,
+//! so the profile is skewed towards instructions that happen to move
+//! through the front end during stalls (Section 2, Figure 2b).
+
+use std::collections::HashMap;
+
+use tea_sim::psv::Psv;
+use tea_sim::trace::{CycleView, Observer, RetiredInst};
+
+use crate::pics::Pics;
+use crate::sampling::SampleTimer;
+use crate::schemes::{Scheme, TagPoint};
+
+/// A front-end-tagging profiler.
+#[derive(Clone, Debug)]
+pub struct TaggingProfiler {
+    scheme: Scheme,
+    point: TagPoint,
+    mask: Psv,
+    timer: SampleTimer,
+    pics: Pics,
+    /// Waiting for the sample timer's tag to attach (armed but no
+    /// instruction moved through the tag point yet).
+    armed: bool,
+    /// Tagged instructions awaiting retirement, keyed by seq.
+    pending: HashMap<u64, f64>,
+    samples: u64,
+}
+
+impl TaggingProfiler {
+    /// Creates a tagging profiler for `scheme` driven by `timer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scheme` is not a front-end-tagging scheme
+    /// ([`Scheme::Tea`] and [`Scheme::NciTea`] have their own types).
+    #[must_use]
+    pub fn new(scheme: Scheme, timer: SampleTimer) -> Self {
+        let point = match scheme {
+            Scheme::Ibs | Scheme::Spe | Scheme::TeaDispatchTagged => TagPoint::Dispatch,
+            Scheme::Ris => TagPoint::Fetch,
+            Scheme::Tea | Scheme::NciTea => {
+                panic!("{scheme} is not a front-end-tagging scheme")
+            }
+        };
+        TaggingProfiler {
+            point,
+            mask: scheme.event_set(),
+            scheme,
+            timer,
+            pics: Pics::new(),
+            armed: false,
+            pending: HashMap::new(),
+            samples: 0,
+        }
+    }
+
+    /// Convenience constructor: AMD IBS (dispatch tagging, 6 events).
+    #[must_use]
+    pub fn ibs(timer: SampleTimer) -> Self {
+        Self::new(Scheme::Ibs, timer)
+    }
+
+    /// Convenience constructor: Arm SPE (dispatch tagging, 5 events).
+    #[must_use]
+    pub fn spe(timer: SampleTimer) -> Self {
+        Self::new(Scheme::Spe, timer)
+    }
+
+    /// Convenience constructor: IBM RIS (fetch tagging, 7 events).
+    #[must_use]
+    pub fn ris(timer: SampleTimer) -> Self {
+        Self::new(Scheme::Ris, timer)
+    }
+
+    /// The scheme being modelled.
+    #[must_use]
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The sampled PICS (in units of samples).
+    #[must_use]
+    pub fn pics(&self) -> &Pics {
+        &self.pics
+    }
+
+    /// Consumes the profiler, returning its PICS.
+    #[must_use]
+    pub fn into_pics(self) -> Pics {
+        self.pics
+    }
+
+    /// Number of samples (tags) attached.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl Observer for TaggingProfiler {
+    fn on_cycle(&mut self, view: &CycleView<'_>) {
+        if self.timer.tick() {
+            self.armed = true;
+        }
+        if !self.armed {
+            return;
+        }
+        let stream = match self.point {
+            TagPoint::Dispatch => view.dispatched,
+            TagPoint::Fetch => view.fetched,
+        };
+        if let Some(tagged) = stream.first() {
+            // Tag the first instruction through the tag point; record
+            // its events at retirement.
+            *self.pending.entry(tagged.seq).or_insert(0.0) += 1.0;
+            self.armed = false;
+            self.samples += 1;
+        }
+    }
+
+    fn on_retire(&mut self, r: &RetiredInst) {
+        if let Some(w) = self.pending.remove(&r.seq) {
+            self.pics.add(r.addr, r.psv.masked(self.mask), w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::psv::{CommitState, Event};
+    use tea_sim::trace::InstRef;
+
+    fn view<'a>(
+        dispatched: &'a [InstRef],
+        fetched: &'a [InstRef],
+    ) -> CycleView<'a> {
+        CycleView {
+            cycle: 0,
+            state: CommitState::Stalled,
+            committed: &[],
+            stalled_head: None,
+            next_commit: None,
+            last_committed: None,
+            dispatched,
+            fetched,
+        }
+    }
+
+    fn iref(seq: u64, addr: u64) -> InstRef {
+        InstRef { seq, addr, psv: Psv::empty() }
+    }
+
+    #[test]
+    fn dispatch_tagging_tags_dispatched_not_stalled() {
+        let mut ibs = TaggingProfiler::ibs(SampleTimer::periodic(1));
+        let dispatched = [iref(40, 0x1_0040)];
+        ibs.on_cycle(&view(&dispatched, &[]));
+        ibs.on_retire(&RetiredInst {
+            seq: 40,
+            addr: 0x1_0040,
+            psv: Psv::from_events(&[Event::DrL1]),
+            exec_latency: 1,
+            commit_cycle: 50,
+            dispatch_cycle: 0,
+            class: tea_isa::ExecClass::IntAlu,
+        });
+        assert_eq!(ibs.pics().instruction_total(0x1_0040), 1.0);
+    }
+
+    #[test]
+    fn armed_tag_waits_for_next_dispatch() {
+        let mut ibs = TaggingProfiler::ibs(SampleTimer::periodic(1));
+        ibs.on_cycle(&view(&[], &[])); // fires, but nothing dispatched
+        assert_eq!(ibs.samples(), 0);
+        let dispatched = [iref(7, 0x1_001c)];
+        ibs.on_cycle(&view(&dispatched, &[]));
+        assert_eq!(ibs.samples(), 1);
+    }
+
+    #[test]
+    fn ris_tags_at_fetch() {
+        let mut ris = TaggingProfiler::ris(SampleTimer::periodic(1));
+        let dispatched = [iref(1, 0x1_0004)];
+        let fetched = [iref(9, 0x1_0024)];
+        ris.on_cycle(&view(&dispatched, &fetched));
+        assert!(ris.pics().is_empty());
+        ris.on_retire(&RetiredInst {
+            seq: 9,
+            addr: 0x1_0024,
+            psv: Psv::empty(),
+            exec_latency: 1,
+            commit_cycle: 12,
+            dispatch_cycle: 2,
+            class: tea_isa::ExecClass::IntAlu,
+        });
+        assert_eq!(ris.pics().instruction_total(0x1_0024), 1.0);
+        assert_eq!(ris.pics().instruction_total(0x1_0004), 0.0);
+    }
+
+    #[test]
+    fn events_outside_the_scheme_mask_are_dropped() {
+        let mut spe = TaggingProfiler::spe(SampleTimer::periodic(1));
+        let dispatched = [iref(3, 0x1_000c)];
+        spe.on_cycle(&view(&dispatched, &[]));
+        // ST-LLC is not in SPE's 5-event set; ST-L1 is.
+        spe.on_retire(&RetiredInst {
+            seq: 3,
+            addr: 0x1_000c,
+            psv: Psv::from_events(&[Event::StL1, Event::StLlc]),
+            exec_latency: 1,
+            commit_cycle: 30,
+            dispatch_cycle: 1,
+            class: tea_isa::ExecClass::Load,
+        });
+        let stack = spe.pics().stack(0x1_000c).unwrap();
+        let key = Psv::from_events(&[Event::StL1]);
+        assert_eq!(stack[&key], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a front-end-tagging scheme")]
+    fn tea_is_not_a_tagging_scheme() {
+        let _ = TaggingProfiler::new(Scheme::Tea, SampleTimer::periodic(1));
+    }
+}

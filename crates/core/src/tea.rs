@@ -1,0 +1,178 @@
+//! The TEA profiler: statistical, time-proportional PSV sampling.
+//!
+//! On every sampling-timer fire, TEA's sample-selection logic (inherited
+//! from TIP) inspects the commit state and selects the instruction(s)
+//! whose latency the core is exposing:
+//!
+//! * **Compute** — the committing instructions, each charged 1/n of the
+//!   sample;
+//! * **Stalled** — the ROB head; the sample is *delayed until the head
+//!   commits* so its PSV is final (Section 3);
+//! * **Drained** — the next-committing instruction, likewise delayed;
+//! * **Flushed** — the *last-committed* instruction, whose PSV (with its
+//!   flush bits) TEA keeps in a dedicated register precisely for this
+//!   case — the detail that separates TEA from NCI-TEA in Section 5.
+
+use std::collections::HashMap;
+
+use tea_sim::psv::CommitState;
+use tea_sim::trace::{CycleView, Observer, RetiredInst};
+
+use crate::pics::Pics;
+use crate::sampling::SampleTimer;
+
+/// The TEA sampling profiler.
+#[derive(Clone, Debug)]
+pub struct TeaProfiler {
+    timer: SampleTimer,
+    pics: Pics,
+    /// Sample weight awaiting the final PSV of a not-yet-retired
+    /// instruction, keyed by seq.
+    pending: HashMap<u64, f64>,
+    samples: u64,
+}
+
+impl TeaProfiler {
+    /// Creates a TEA profiler driven by `timer`.
+    #[must_use]
+    pub fn new(timer: SampleTimer) -> Self {
+        TeaProfiler { timer, pics: Pics::new(), pending: HashMap::new(), samples: 0 }
+    }
+
+    /// The sampled PICS (in units of samples; scale with
+    /// [`Pics::scaled_to`] to convert to cycles).
+    #[must_use]
+    pub fn pics(&self) -> &Pics {
+        &self.pics
+    }
+
+    /// Consumes the profiler, returning its PICS.
+    #[must_use]
+    pub fn into_pics(self) -> Pics {
+        self.pics
+    }
+
+    /// Number of samples taken.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl Observer for TeaProfiler {
+    fn on_cycle(&mut self, view: &CycleView<'_>) {
+        if !self.timer.tick() {
+            return;
+        }
+        self.samples += 1;
+        match view.state {
+            CommitState::Compute => {
+                let n = view.committed.len() as f64;
+                for c in view.committed {
+                    self.pics.add(c.addr, c.psv, 1.0 / n);
+                }
+            }
+            CommitState::Stalled => {
+                if let Some(head) = view.stalled_head {
+                    *self.pending.entry(head.seq).or_insert(0.0) += 1.0;
+                }
+            }
+            CommitState::Drained => {
+                if let Some(next) = view.next_commit {
+                    *self.pending.entry(next.seq).or_insert(0.0) += 1.0;
+                }
+            }
+            CommitState::Flushed => {
+                if let Some(last) = view.last_committed {
+                    self.pics.add(last.addr, last.psv, 1.0);
+                }
+            }
+        }
+    }
+
+    fn on_retire(&mut self, r: &RetiredInst) {
+        if let Some(w) = self.pending.remove(&r.seq) {
+            self.pics.add(r.addr, r.psv, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::GoldenReference;
+    use tea_isa::asm::Asm;
+    use tea_isa::reg::Reg;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn tea_matches_golden_on_a_memory_bound_loop() {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 30_000);
+        a.li(Reg::A0, 0x100_0000);
+        a.bind(top);
+        a.ld(Reg::T2, Reg::A0, 0);
+        a.add(Reg::A1, Reg::A1, Reg::T2);
+        a.addi(Reg::A0, Reg::A0, 4096 + 256);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+        let p = a.finish().unwrap();
+
+        let mut golden = GoldenReference::new();
+        let mut tea = TeaProfiler::new(SampleTimer::with_jitter(509, 60, 1));
+        simulate(&p, SimConfig::default(), &mut [&mut golden, &mut tea]);
+
+        assert!(tea.samples() > 500, "need enough samples, got {}", tea.samples());
+        let g = golden.pics();
+        let t = tea.pics().scaled_to(g.total());
+
+        // The dominant instruction and its dominant component agree.
+        let g_top = g.top_instructions(1)[0];
+        let t_top = t.top_instructions(1)[0];
+        assert_eq!(g_top.0, t_top.0, "TEA must identify the same critical instruction");
+        let rel = (g_top.1 - t_top.1).abs() / g_top.1;
+        assert!(rel < 0.1, "stack heights within 10%: {rel}");
+        let t_stack = t.stack(t_top.0).unwrap();
+        let (&best, _) =
+            t_stack.iter().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+        assert!(best.contains(Event::StLlc));
+    }
+
+    #[test]
+    fn pending_samples_resolve_on_retire() {
+        // Direct unit check of the delayed-sample bookkeeping.
+        use tea_sim::psv::Psv;
+        use tea_sim::trace::InstRef;
+        let mut tea = TeaProfiler::new(SampleTimer::periodic(1));
+        let head = InstRef { seq: 7, addr: 0x1_0000, psv: Psv::empty() };
+        let view = CycleView {
+            cycle: 0,
+            state: CommitState::Stalled,
+            committed: &[],
+            stalled_head: Some(head),
+            next_commit: Some(head),
+            last_committed: None,
+            dispatched: &[],
+            fetched: &[],
+        };
+        tea.on_cycle(&view);
+        assert_eq!(tea.pics().total(), 0.0, "sample must be delayed");
+        let final_psv = Psv::from_events(&[Event::StL1]);
+        tea.on_retire(&RetiredInst {
+            seq: 7,
+            addr: 0x1_0000,
+            psv: final_psv,
+            exec_latency: 1,
+            commit_cycle: 10,
+            dispatch_cycle: 1,
+            class: tea_isa::ExecClass::Load,
+        });
+        assert_eq!(tea.pics().total(), 1.0);
+        assert_eq!(tea.pics().stack(0x1_0000).unwrap()[&final_psv], 1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! TIP: Time-Proportional Instruction Profiling — the prior work TEA
+//! builds on (MICRO 2021), included as the Section 6 baseline.
+//!
+//! TIP uses the same time-proportional sample selection as TEA but
+//! records only the instruction address and the commit *state* (its
+//! "flags") — no Performance Signature Vector. It therefore answers Q1
+//! (which instructions take time) perfectly, and for the paper's lbm
+//! case study it "will identify the performance-critical load and,
+//! unsurprisingly perhaps, report that this load stalls commit" — but it
+//! cannot answer Q2 (*why* it stalls), which is exactly the gap TEA
+//! fills.
+
+use std::collections::HashMap;
+
+use tea_sim::psv::CommitState;
+use tea_sim::trace::{CycleView, Observer, RetiredInst};
+
+/// Per-instruction TIP profile: time split by commit state.
+#[derive(Clone, Debug, Default)]
+pub struct TipProfile {
+    /// addr → samples per commit state, indexed as [`CommitState::ALL`].
+    entries: HashMap<u64, [f64; 4]>,
+    total: f64,
+}
+
+impl TipProfile {
+    /// Total attributed samples.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Per-state samples of one instruction.
+    #[must_use]
+    pub fn stack(&self, addr: u64) -> Option<&[f64; 4]> {
+        self.entries.get(&addr)
+    }
+
+    /// Total samples of one instruction.
+    #[must_use]
+    pub fn instruction_total(&self, addr: u64) -> f64 {
+        self.entries.get(&addr).map_or(0.0, |s| s.iter().sum())
+    }
+
+    /// The `n` instructions with the most attributed time, descending
+    /// (ties broken by address).
+    #[must_use]
+    pub fn top_instructions(&self, n: usize) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self
+            .entries
+            .iter()
+            .map(|(&a, s)| (a, s.iter().sum()))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// The dominant commit state of one instruction, if sampled.
+    #[must_use]
+    pub fn dominant_state(&self, addr: u64) -> Option<CommitState> {
+        let s = self.entries.get(&addr)?;
+        let (i, _) = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+        Some(CommitState::ALL[i])
+    }
+
+    fn add(&mut self, addr: u64, state: CommitState, w: f64) {
+        let i = CommitState::ALL.iter().position(|s| *s == state).unwrap();
+        self.entries.entry(addr).or_default()[i] += w;
+        self.total += w;
+    }
+}
+
+/// The TIP profiler (time-proportional sampling, no PSVs).
+#[derive(Clone, Debug)]
+pub struct TipProfiler {
+    timer: crate::sampling::SampleTimer,
+    profile: TipProfile,
+    /// Delayed samples keyed by seq, with the state they were taken in.
+    pending: HashMap<u64, (f64, CommitState)>,
+    samples: u64,
+}
+
+impl TipProfiler {
+    /// Creates a TIP profiler driven by `timer`.
+    #[must_use]
+    pub fn new(timer: crate::sampling::SampleTimer) -> Self {
+        TipProfiler {
+            timer,
+            profile: TipProfile::default(),
+            pending: HashMap::new(),
+            samples: 0,
+        }
+    }
+
+    /// The profile (in sample units).
+    #[must_use]
+    pub fn profile(&self) -> &TipProfile {
+        &self.profile
+    }
+
+    /// Number of samples taken.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl Observer for TipProfiler {
+    fn on_cycle(&mut self, view: &CycleView<'_>) {
+        if !self.timer.tick() {
+            return;
+        }
+        self.samples += 1;
+        match view.state {
+            CommitState::Compute => {
+                let n = view.committed.len() as f64;
+                for c in view.committed {
+                    self.profile.add(c.addr, CommitState::Compute, 1.0 / n);
+                }
+            }
+            CommitState::Stalled => {
+                if let Some(head) = view.stalled_head {
+                    let e = self.pending.entry(head.seq).or_insert((0.0, CommitState::Stalled));
+                    e.0 += 1.0;
+                }
+            }
+            CommitState::Drained => {
+                if let Some(next) = view.next_commit {
+                    let e = self.pending.entry(next.seq).or_insert((0.0, CommitState::Drained));
+                    e.0 += 1.0;
+                }
+            }
+            CommitState::Flushed => {
+                if let Some(last) = view.last_committed {
+                    self.profile.add(last.addr, CommitState::Flushed, 1.0);
+                }
+            }
+        }
+    }
+
+    fn on_retire(&mut self, r: &RetiredInst) {
+        if let Some((w, state)) = self.pending.remove(&r.seq) {
+            self.profile.add(r.addr, state, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::GoldenReference;
+    use crate::sampling::SampleTimer;
+    use tea_sim::core::simulate;
+    use tea_sim::SimConfig;
+    use tea_workloads::{lbm, Size};
+
+    #[test]
+    fn tip_finds_the_critical_load_but_cannot_explain_it() {
+        let program = lbm::program(Size::Test);
+        let mut tip = TipProfiler::new(SampleTimer::with_jitter(509, 60, 4));
+        let mut golden = GoldenReference::new();
+        simulate(&program, SimConfig::default(), &mut [&mut tip, &mut golden]);
+        let tip_top = tip.profile().top_instructions(1)[0].0;
+        let gr_top = golden.pics().top_instructions(1)[0].0;
+        // Q1: TIP identifies the same critical instruction as the exact
+        // reference...
+        assert_eq!(tip_top, gr_top, "TIP is time-proportional");
+        // ...and reports that it stalls commit (its only "why").
+        assert_eq!(tip.profile().dominant_state(tip_top), Some(CommitState::Stalled));
+    }
+
+    #[test]
+    fn tip_samples_match_tea_attribution_totals() {
+        let program = lbm::program(Size::Test);
+        let mut tip = TipProfiler::new(SampleTimer::periodic(401));
+        let mut tea = crate::tea::TeaProfiler::new(SampleTimer::periodic(401));
+        simulate(&program, SimConfig::default(), &mut [&mut tip, &mut tea]);
+        // Identical timers + identical selection policy = identical
+        // per-instruction totals.
+        assert_eq!(tip.samples(), tea.samples());
+        for (addr, t) in tea.pics().top_instructions(5) {
+            let diff = (tip.profile().instruction_total(addr) - t).abs();
+            assert!(diff < 1e-9, "TIP and TEA totals differ at {addr:#x}");
+        }
+    }
+}

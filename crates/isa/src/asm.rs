@@ -1,0 +1,484 @@
+//! A small assembler: emit instructions, bind labels, declare functions,
+//! and produce a laid-out [`Program`].
+//!
+//! # Example
+//!
+//! ```
+//! use tea_isa::asm::Asm;
+//! use tea_isa::reg::Reg;
+//!
+//! # fn main() -> Result<(), tea_isa::AsmError> {
+//! let mut a = Asm::new();
+//! a.func("count");
+//! let top = a.new_label();
+//! a.li(Reg::T0, 0);
+//! a.bind(top);
+//! a.addi(Reg::T0, Reg::T0, 1);
+//! a.li(Reg::T1, 3);
+//! a.blt(Reg::T0, Reg::T1, top);
+//! a.halt();
+//! let p = a.finish()?;
+//! assert_eq!(p.functions()[0].name, "count");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::program::{Function, Program, INST_BYTES, TEXT_BASE};
+use crate::reg::{FReg, Reg};
+
+/// An assembler label; create with [`Asm::new_label`], place with
+/// [`Asm::bind`], reference from branch/jump emitters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Error produced by [`Asm::finish`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced by a branch or jump but never bound.
+    UnboundLabel {
+        /// Index of the unbound label.
+        label: usize,
+        /// Index of the first instruction referencing it.
+        inst_index: usize,
+    },
+    /// A label was bound more than once.
+    RedefinedLabel {
+        /// Index of the redefined label.
+        label: usize,
+    },
+    /// The program contains no instructions.
+    Empty,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label, inst_index } => {
+                write!(f, "label {label} referenced by instruction {inst_index} was never bound")
+            }
+            AsmError::RedefinedLabel { label } => write!(f, "label {label} bound twice"),
+            AsmError::Empty => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// The assembler. See the [module documentation](self) for an example.
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Label)>,
+    funcs: Vec<(String, usize)>,
+    init_words: Vec<(u64, u64)>,
+    base: u64,
+}
+
+impl Asm {
+    /// Creates an empty assembler with the default text base address.
+    #[must_use]
+    pub fn new() -> Self {
+        Asm { base: TEXT_BASE, ..Asm::default() }
+    }
+
+    /// Creates an empty assembler with a custom text base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    #[must_use]
+    pub fn with_base(base: u64) -> Self {
+        assert_eq!(base % INST_BYTES, 0, "text base must be 4-byte aligned");
+        Asm { base, ..Asm::default() }
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Address the next emitted instruction will have.
+    #[must_use]
+    pub fn here(&self) -> u64 {
+        self.base + self.insts.len() as u64 * INST_BYTES
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was created by a different assembler (index out
+    /// of range). Rebinding is reported by [`Asm::finish`] instead.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            // Keep the first binding; finish() reports the error.
+            self.fixups.push((usize::MAX, label));
+        } else {
+            *slot = Some(self.insts.len());
+        }
+    }
+
+    /// Starts a new function symbol at the current position.
+    ///
+    /// The previous function (if any) ends where this one begins.
+    pub fn func(&mut self, name: impl Into<String>) {
+        self.funcs.push((name.into(), self.insts.len()));
+    }
+
+    /// Records an 8-byte word to be written to memory before execution
+    /// starts (initial data image, e.g. linked-list pointers).
+    pub fn init_word(&mut self, addr: u64, value: u64) {
+        self.init_words.push((addr, value));
+    }
+
+    /// Records an 8-byte float to be written to memory before execution.
+    pub fn init_f64(&mut self, addr: u64, value: f64) {
+        self.init_words.push((addr, value.to_bits()));
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    fn emit_branch(&mut self, inst: Inst, label: Label) {
+        self.fixups.push((self.insts.len(), label));
+        self.insts.push(inst);
+    }
+
+    /// Resolves labels and produces the laid-out [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if a referenced label was never bound, a label
+    /// was bound twice, or no instructions were emitted.
+    pub fn finish(self) -> Result<Program, AsmError> {
+        if self.insts.is_empty() {
+            return Err(AsmError::Empty);
+        }
+        let mut insts = self.insts;
+        for &(inst_index, label) in &self.fixups {
+            if inst_index == usize::MAX {
+                return Err(AsmError::RedefinedLabel { label: label.0 });
+            }
+            let Some(target_idx) = self.labels[label.0] else {
+                return Err(AsmError::UnboundLabel { label: label.0, inst_index });
+            };
+            let target = self.base + target_idx as u64 * INST_BYTES;
+            match &mut insts[inst_index] {
+                Inst::Beq { target: t, .. }
+                | Inst::Bne { target: t, .. }
+                | Inst::Blt { target: t, .. }
+                | Inst::Bge { target: t, .. }
+                | Inst::Jal { target: t, .. } => *t = target,
+                other => unreachable!("fixup on non-control instruction {other}"),
+            }
+        }
+        let mut functions = Vec::with_capacity(self.funcs.len());
+        for (i, (name, start)) in self.funcs.iter().enumerate() {
+            let end = self
+                .funcs
+                .get(i + 1)
+                .map_or(insts.len(), |(_, next_start)| *next_start);
+            functions.push(Function {
+                name: name.clone(),
+                start: self.base + *start as u64 * INST_BYTES,
+                end: self.base + end as u64 * INST_BYTES,
+            });
+        }
+        Ok(Program::from_parts(self.base, insts, functions, self.init_words))
+    }
+
+    // ---- integer ----
+
+    /// Emits `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::Addi { rd, rs1, imm });
+    }
+    /// Emits `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit(Inst::Li { rd, imm });
+    }
+    /// Emits `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Add { rd, rs1, rs2 });
+    }
+    /// Emits `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Sub { rd, rs1, rs2 });
+    }
+    /// Emits `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Mul { rd, rs1, rs2 });
+    }
+    /// Emits `div rd, rs1, rs2`.
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Div { rd, rs1, rs2 });
+    }
+    /// Emits `rem rd, rs1, rs2`.
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Rem { rd, rs1, rs2 });
+    }
+    /// Emits `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::And { rd, rs1, rs2 });
+    }
+    /// Emits `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Or { rd, rs1, rs2 });
+    }
+    /// Emits `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Xor { rd, rs1, rs2 });
+    }
+    /// Emits `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::Andi { rd, rs1, imm });
+    }
+    /// Emits `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::Xori { rd, rs1, imm });
+    }
+    /// Emits `slli rd, rs1, sh`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, sh: u8) {
+        self.emit(Inst::Slli { rd, rs1, sh });
+    }
+    /// Emits `srli rd, rs1, sh`.
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, sh: u8) {
+        self.emit(Inst::Srli { rd, rs1, sh });
+    }
+    /// Emits `slt rd, rs1, rs2`.
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Slt { rd, rs1, rs2 });
+    }
+    /// Emits `sltu rd, rs1, rs2`.
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Inst::Sltu { rd, rs1, rs2 });
+    }
+
+    // ---- memory ----
+
+    /// Emits `ld rd, imm(rs1)`.
+    pub fn ld(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::Ld { rd, rs1, imm });
+    }
+    /// Emits `sd rs2, imm(rs1)`.
+    pub fn sd(&mut self, rs2: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::Sd { rs2, rs1, imm });
+    }
+    /// Emits `fld fd, imm(rs1)`.
+    pub fn fld(&mut self, fd: FReg, rs1: Reg, imm: i64) {
+        self.emit(Inst::Fld { fd, rs1, imm });
+    }
+    /// Emits `fsd fs2, imm(rs1)`.
+    pub fn fsd(&mut self, fs2: FReg, rs1: Reg, imm: i64) {
+        self.emit(Inst::Fsd { fs2, rs1, imm });
+    }
+    /// Emits `prefetch imm(rs1)`.
+    pub fn prefetch(&mut self, rs1: Reg, imm: i64) {
+        self.emit(Inst::Prefetch { rs1, imm });
+    }
+
+    // ---- floating point ----
+
+    /// Emits `fadd.d fd, fs1, fs2`.
+    pub fn fadd_d(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Inst::FaddD { fd, fs1, fs2 });
+    }
+    /// Emits `fsub.d fd, fs1, fs2`.
+    pub fn fsub_d(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Inst::FsubD { fd, fs1, fs2 });
+    }
+    /// Emits `fmul.d fd, fs1, fs2`.
+    pub fn fmul_d(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Inst::FmulD { fd, fs1, fs2 });
+    }
+    /// Emits `fdiv.d fd, fs1, fs2`.
+    pub fn fdiv_d(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+        self.emit(Inst::FdivD { fd, fs1, fs2 });
+    }
+    /// Emits `fsqrt.d fd, fs1`.
+    pub fn fsqrt_d(&mut self, fd: FReg, fs1: FReg) {
+        self.emit(Inst::FsqrtD { fd, fs1 });
+    }
+    /// Emits `fmadd.d fd, fs1, fs2, fs3`.
+    pub fn fmadd_d(&mut self, fd: FReg, fs1: FReg, fs2: FReg, fs3: FReg) {
+        self.emit(Inst::FmaddD { fd, fs1, fs2, fs3 });
+    }
+    /// Emits `flt.d rd, fs1, fs2`.
+    pub fn flt_d(&mut self, rd: Reg, fs1: FReg, fs2: FReg) {
+        self.emit(Inst::FltD { rd, fs1, fs2 });
+    }
+    /// Emits `fli.d fd, value`.
+    pub fn fli_d(&mut self, fd: FReg, value: f64) {
+        self.emit(Inst::FliD { fd, value });
+    }
+    /// Emits `fcvt.d.l fd, rs1`.
+    pub fn fcvt_d_l(&mut self, fd: FReg, rs1: Reg) {
+        self.emit(Inst::FcvtDL { fd, rs1 });
+    }
+    /// Emits `fcvt.l.d rd, fs1`.
+    pub fn fcvt_l_d(&mut self, rd: Reg, fs1: FReg) {
+        self.emit(Inst::FcvtLD { rd, fs1 });
+    }
+    /// Emits `fmv.d fd, fs1`.
+    pub fn fmv_d(&mut self, fd: FReg, fs1: FReg) {
+        self.emit(Inst::FmvD { fd, fs1 });
+    }
+
+    // ---- control flow ----
+
+    /// Emits `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.emit_branch(Inst::Beq { rs1, rs2, target: 0 }, label);
+    }
+    /// Emits `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.emit_branch(Inst::Bne { rs1, rs2, target: 0 }, label);
+    }
+    /// Emits `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.emit_branch(Inst::Blt { rs1, rs2, target: 0 }, label);
+    }
+    /// Emits `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.emit_branch(Inst::Bge { rs1, rs2, target: 0 }, label);
+    }
+    /// Emits `jal rd, label`.
+    pub fn jal(&mut self, rd: Reg, label: Label) {
+        self.emit_branch(Inst::Jal { rd, target: 0 }, label);
+    }
+    /// Emits `jalr rd, imm(rs1)`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Inst::Jalr { rd, rs1, imm });
+    }
+    /// Emits `jal x0, label` (unconditional jump, no link).
+    pub fn j(&mut self, label: Label) {
+        self.jal(Reg::ZERO, label);
+    }
+    /// Emits `jalr x0, 0(rs1)` (indirect jump, used for returns).
+    pub fn jr(&mut self, rs1: Reg) {
+        self.jalr(Reg::ZERO, rs1, 0);
+    }
+
+    // ---- system ----
+
+    /// Emits `fsflags rd, rs1` (always flushes the pipeline at commit).
+    pub fn fsflags(&mut self, rd: Reg, rs1: Reg) {
+        self.emit(Inst::Fsflags { rd, rs1 });
+    }
+    /// Emits `frflags rd` (always flushes the pipeline at commit).
+    pub fn frflags(&mut self, rd: Reg) {
+        self.emit(Inst::Frflags { rd });
+    }
+    /// Emits `ecall` (raises an exception at commit).
+    pub fn ecall(&mut self) {
+        self.emit(Inst::Ecall);
+    }
+    /// Emits `nop`.
+    pub fn nop(&mut self) {
+        self.emit(Inst::Nop);
+    }
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.emit(Inst::Halt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let fwd = a.new_label();
+        let back = a.new_label();
+        a.bind(back);
+        a.addi(Reg::T0, Reg::T0, 1); // index 0
+        a.beq(Reg::T0, Reg::T1, fwd); // index 1
+        a.j(back); // index 2
+        a.bind(fwd);
+        a.halt(); // index 3
+        let p = a.finish().unwrap();
+        match p.insts()[1] {
+            Inst::Beq { target, .. } => assert_eq!(target, p.addr_of(3)),
+            ref other => panic!("expected beq, got {other}"),
+        }
+        match p.insts()[2] {
+            Inst::Jal { target, .. } => assert_eq!(target, p.addr_of(0)),
+            ref other => panic!("expected jal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.beq(Reg::T0, Reg::T1, l);
+        a.halt();
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.nop();
+        a.bind(l);
+        a.halt();
+        assert!(matches!(a.finish(), Err(AsmError::RedefinedLabel { .. })));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(Asm::new().finish().unwrap_err(), AsmError::Empty);
+    }
+
+    #[test]
+    fn function_ranges_partition_text() {
+        let mut a = Asm::new();
+        a.func("f");
+        a.nop();
+        a.nop();
+        a.func("g");
+        a.nop();
+        a.halt();
+        let p = a.finish().unwrap();
+        let fs = p.functions();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].end, fs[1].start);
+        assert_eq!(fs[1].end, p.addr_of(p.len() - 1) + INST_BYTES);
+        assert_eq!(p.function_of(p.addr_of(2)).unwrap().name, "g");
+    }
+
+    #[test]
+    fn init_words_are_preserved() {
+        let mut a = Asm::new();
+        a.init_word(0x9000, 7);
+        a.init_f64(0x9008, 1.5);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.init_words()[0], (0x9000, 7));
+        assert_eq!(p.init_words()[1], (0x9008, 1.5f64.to_bits()));
+    }
+}

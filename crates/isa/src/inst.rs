@@ -1,0 +1,462 @@
+//! The instruction set.
+//!
+//! Instructions are stored fully resolved: branch and jump targets are
+//! absolute addresses (the [`crate::asm::Asm`] assembler patches labels
+//! during [`crate::asm::Asm::finish`]).
+//!
+//! The set is deliberately small but covers everything the TEA paper's
+//! evaluation needs: integer ALU and multiply/divide, double-precision
+//! floating point including the long-latency unpipelined `fdiv.d` and
+//! `fsqrt.d`, loads/stores, a software `prefetch` hint (lbm case study),
+//! conditional branches and jumps, and the always-flushing CSR accesses
+//! `fsflags`/`frflags` (nab case study) plus `ecall`.
+
+use std::fmt;
+
+use crate::reg::{FReg, Reg};
+
+/// A reference to an architectural register, integer or floating point.
+///
+/// Used to describe instruction data dependences to the timing simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegRef {
+    /// An integer register.
+    Int(Reg),
+    /// A floating-point register.
+    Fp(FReg),
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegRef::Int(r) => write!(f, "{r}"),
+            RegRef::Fp(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Functional-unit class of an instruction, used by the timing model to
+/// route it to an issue queue and pick its execution latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Unpipelined integer divide.
+    IntDiv,
+    /// Integer or floating-point load.
+    Load,
+    /// Integer or floating-point store.
+    Store,
+    /// Non-binding software prefetch (lbm case study).
+    Prefetch,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump (`jal`/`jalr`).
+    Jump,
+    /// Pipelined FP add/sub/compare/convert/move.
+    FpAlu,
+    /// Pipelined FP multiply.
+    FpMul,
+    /// Unpipelined FP divide.
+    FpDiv,
+    /// Unpipelined FP square root.
+    FpSqrt,
+    /// CSR access; `fsflags`/`frflags` flush the pipeline at commit on
+    /// this architecture (as on BOOM, per the paper's nab case study).
+    Csr,
+    /// Architectural no-op (also `halt`).
+    Nop,
+}
+
+/// A single machine instruction with resolved (absolute) control targets.
+///
+/// Field meanings follow RISC-V conventions: `rd`/`fd` destination,
+/// `rs1`/`fs1`… sources, `imm` immediate, `sh` shift amount, `target`
+/// absolute branch/jump target.
+#[allow(missing_docs)] // per-variant docs describe the field semantics
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Inst {
+    /// `rd = rs1 + imm`
+    Addi { rd: Reg, rs1: Reg, imm: i64 },
+    /// `rd = imm` (pseudo-instruction; a single ALU op in this ISA)
+    Li { rd: Reg, imm: i64 },
+    /// `rd = rs1 + rs2`
+    Add { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 - rs2`
+    Sub { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 * rs2` (low 64 bits)
+    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 / rs2` (signed; division by zero yields -1 as in RISC-V)
+    Div { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 % rs2` (signed; remainder by zero yields rs1 as in RISC-V)
+    Rem { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 & rs2`
+    And { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 | rs2`
+    Or { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 ^ rs2`
+    Xor { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 & imm`
+    Andi { rd: Reg, rs1: Reg, imm: i64 },
+    /// `rd = rs1 ^ imm`
+    Xori { rd: Reg, rs1: Reg, imm: i64 },
+    /// `rd = rs1 << sh`
+    Slli { rd: Reg, rs1: Reg, sh: u8 },
+    /// `rd = rs1 >> sh` (logical)
+    Srli { rd: Reg, rs1: Reg, sh: u8 },
+    /// `rd = (rs1 as i64) < (rs2 as i64)`
+    Slt { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 < rs2` (unsigned)
+    Sltu { rd: Reg, rs1: Reg, rs2: Reg },
+
+    /// `rd = mem64[rs1 + imm]`
+    Ld { rd: Reg, rs1: Reg, imm: i64 },
+    /// `mem64[rs1 + imm] = rs2`
+    Sd { rs2: Reg, rs1: Reg, imm: i64 },
+    /// `fd = mem_f64[rs1 + imm]`
+    Fld { fd: FReg, rs1: Reg, imm: i64 },
+    /// `mem_f64[rs1 + imm] = fs2`
+    Fsd { fs2: FReg, rs1: Reg, imm: i64 },
+    /// Non-binding prefetch of the line containing `rs1 + imm` into L1D.
+    Prefetch { rs1: Reg, imm: i64 },
+
+    /// `fd = fs1 + fs2`
+    FaddD { fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fd = fs1 - fs2`
+    FsubD { fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fd = fs1 * fs2`
+    FmulD { fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fd = fs1 / fs2` (unpipelined)
+    FdivD { fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fd = sqrt(fs1)` (unpipelined; the nab case study's critical op)
+    FsqrtD { fd: FReg, fs1: FReg },
+    /// `fd = fs1 * fs2 + fs3` (fused multiply-add)
+    FmaddD { fd: FReg, fs1: FReg, fs2: FReg, fs3: FReg },
+    /// `rd = fs1 < fs2` — the IEEE 754 comparison that forces the compiler
+    /// to bracket it with `frflags`/`fsflags` on RISC-V (nab case study).
+    FltD { rd: Reg, fs1: FReg, fs2: FReg },
+    /// `fd = imm` (pseudo FP constant load)
+    FliD { fd: FReg, value: f64 },
+    /// `fd = rs1 as f64` (signed convert)
+    FcvtDL { fd: FReg, rs1: Reg },
+    /// `rd = fs1 as i64` (truncating convert)
+    FcvtLD { rd: Reg, fs1: FReg },
+    /// `fd = fs1` (FP move)
+    FmvD { fd: FReg, fs1: FReg },
+
+    /// Branch to `target` if `rs1 == rs2`.
+    Beq { rs1: Reg, rs2: Reg, target: u64 },
+    /// Branch to `target` if `rs1 != rs2`.
+    Bne { rs1: Reg, rs2: Reg, target: u64 },
+    /// Branch to `target` if `rs1 < rs2` (signed).
+    Blt { rs1: Reg, rs2: Reg, target: u64 },
+    /// Branch to `target` if `rs1 >= rs2` (signed).
+    Bge { rs1: Reg, rs2: Reg, target: u64 },
+    /// Unconditional jump; `rd = pc + 4`.
+    Jal { rd: Reg, target: u64 },
+    /// Indirect jump to `rs1 + imm`; `rd = pc + 4`.
+    Jalr { rd: Reg, rs1: Reg, imm: i64 },
+
+    /// Write the FP exception flags CSR; always flushes the pipeline at
+    /// commit on this architecture.
+    Fsflags { rd: Reg, rs1: Reg },
+    /// Read the FP exception flags CSR; always flushes the pipeline at
+    /// commit on this architecture.
+    Frflags { rd: Reg },
+    /// Environment call; raises an exception (pipeline flush at commit).
+    Ecall,
+    /// No operation.
+    Nop,
+    /// Stop the machine.
+    Halt,
+}
+
+impl Inst {
+    /// The functional-unit class used for issue-queue routing and latency.
+    #[must_use]
+    pub fn class(&self) -> ExecClass {
+        use Inst::*;
+        match self {
+            Addi { .. } | Li { .. } | Add { .. } | Sub { .. } | And { .. } | Or { .. }
+            | Xor { .. } | Andi { .. } | Xori { .. } | Slli { .. } | Srli { .. }
+            | Slt { .. } | Sltu { .. } => ExecClass::IntAlu,
+            Mul { .. } => ExecClass::IntMul,
+            Div { .. } | Rem { .. } => ExecClass::IntDiv,
+            Ld { .. } | Fld { .. } => ExecClass::Load,
+            Sd { .. } | Fsd { .. } => ExecClass::Store,
+            Prefetch { .. } => ExecClass::Prefetch,
+            FaddD { .. } | FsubD { .. } | FltD { .. } | FliD { .. } | FcvtDL { .. }
+            | FcvtLD { .. } | FmvD { .. } => ExecClass::FpAlu,
+            FmulD { .. } | FmaddD { .. } => ExecClass::FpMul,
+            FdivD { .. } => ExecClass::FpDiv,
+            FsqrtD { .. } => ExecClass::FpSqrt,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } => ExecClass::Branch,
+            Jal { .. } | Jalr { .. } => ExecClass::Jump,
+            Fsflags { .. } | Frflags { .. } | Ecall => ExecClass::Csr,
+            Nop | Halt => ExecClass::Nop,
+        }
+    }
+
+    /// Source registers read by this instruction (up to three).
+    #[must_use]
+    pub fn srcs(&self) -> [Option<RegRef>; 3] {
+        use Inst::*;
+        let int = |r: Reg| {
+            if r.is_zero() {
+                None
+            } else {
+                Some(RegRef::Int(r))
+            }
+        };
+        let fp = |r: FReg| Some(RegRef::Fp(r));
+        match *self {
+            Addi { rs1, .. } | Andi { rs1, .. } | Xori { rs1, .. } | Slli { rs1, .. }
+            | Srli { rs1, .. } => [int(rs1), None, None],
+            Li { .. } | FliD { .. } | Frflags { .. } | Ecall | Nop | Halt | Jal { .. } => {
+                [None, None, None]
+            }
+            Add { rs1, rs2, .. }
+            | Sub { rs1, rs2, .. }
+            | Mul { rs1, rs2, .. }
+            | Div { rs1, rs2, .. }
+            | Rem { rs1, rs2, .. }
+            | And { rs1, rs2, .. }
+            | Or { rs1, rs2, .. }
+            | Xor { rs1, rs2, .. }
+            | Slt { rs1, rs2, .. }
+            | Sltu { rs1, rs2, .. }
+            | Beq { rs1, rs2, .. }
+            | Bne { rs1, rs2, .. }
+            | Blt { rs1, rs2, .. }
+            | Bge { rs1, rs2, .. } => [int(rs1), int(rs2), None],
+            Ld { rs1, .. } | Fld { rs1, .. } | Prefetch { rs1, .. } | Jalr { rs1, .. }
+            | Fsflags { rs1, .. } => [int(rs1), None, None],
+            Sd { rs2, rs1, .. } => [int(rs1), int(rs2), None],
+            Fsd { fs2, rs1, .. } => [int(rs1), fp(fs2), None],
+            FaddD { fs1, fs2, .. } | FsubD { fs1, fs2, .. } | FmulD { fs1, fs2, .. }
+            | FdivD { fs1, fs2, .. } | FltD { fs1, fs2, .. } => [fp(fs1), fp(fs2), None],
+            FmaddD { fs1, fs2, fs3, .. } => [fp(fs1), fp(fs2), fp(fs3)],
+            FsqrtD { fs1, .. } | FcvtLD { fs1, .. } | FmvD { fs1, .. } => [fp(fs1), None, None],
+            FcvtDL { rs1, .. } => [int(rs1), None, None],
+        }
+    }
+
+    /// Destination register written by this instruction, if any.
+    ///
+    /// Writes to `x0` are reported as `None` (they are architectural
+    /// no-ops and create no dependence).
+    #[must_use]
+    pub fn dst(&self) -> Option<RegRef> {
+        use Inst::*;
+        let int = |r: Reg| {
+            if r.is_zero() {
+                None
+            } else {
+                Some(RegRef::Int(r))
+            }
+        };
+        match *self {
+            Addi { rd, .. } | Li { rd, .. } | Add { rd, .. } | Sub { rd, .. } | Mul { rd, .. }
+            | Div { rd, .. } | Rem { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. }
+            | Andi { rd, .. } | Xori { rd, .. } | Slli { rd, .. } | Srli { rd, .. }
+            | Slt { rd, .. } | Sltu { rd, .. } | Ld { rd, .. } | FltD { rd, .. }
+            | FcvtLD { rd, .. } | Jal { rd, .. } | Jalr { rd, .. } | Fsflags { rd, .. }
+            | Frflags { rd } => int(rd),
+            Fld { fd, .. } | FaddD { fd, .. } | FsubD { fd, .. } | FmulD { fd, .. }
+            | FdivD { fd, .. } | FsqrtD { fd, .. } | FmaddD { fd, .. } | FliD { fd, .. }
+            | FcvtDL { fd, .. } | FmvD { fd, .. } => Some(RegRef::Fp(fd)),
+            Sd { .. } | Fsd { .. } | Prefetch { .. } | Beq { .. } | Bne { .. } | Blt { .. }
+            | Bge { .. } | Ecall | Nop | Halt => None,
+        }
+    }
+
+    /// Whether this instruction accesses data memory (loads, stores and
+    /// prefetches).
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self.class(),
+            ExecClass::Load | ExecClass::Store | ExecClass::Prefetch
+        )
+    }
+
+    /// Whether this instruction is a conditional branch.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        self.class() == ExecClass::Branch
+    }
+
+    /// Whether committing this instruction flushes the pipeline on this
+    /// architecture (CSR FP-flag accesses and `ecall`), independent of
+    /// dynamic behaviour such as branch misprediction.
+    #[must_use]
+    pub fn flushes_at_commit(&self) -> bool {
+        matches!(self, Inst::Fsflags { .. } | Inst::Frflags { .. } | Inst::Ecall)
+    }
+
+    /// Whether this instruction raises an architectural exception at
+    /// commit (the paper's FL-EX event).
+    #[must_use]
+    pub fn raises_exception(&self) -> bool {
+        self.flushes_at_commit()
+    }
+
+    /// Assembly mnemonic, e.g. `"fsqrt.d"`.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        use Inst::*;
+        match self {
+            Addi { .. } => "addi",
+            Li { .. } => "li",
+            Add { .. } => "add",
+            Sub { .. } => "sub",
+            Mul { .. } => "mul",
+            Div { .. } => "div",
+            Rem { .. } => "rem",
+            And { .. } => "and",
+            Or { .. } => "or",
+            Xor { .. } => "xor",
+            Andi { .. } => "andi",
+            Xori { .. } => "xori",
+            Slli { .. } => "slli",
+            Srli { .. } => "srli",
+            Slt { .. } => "slt",
+            Sltu { .. } => "sltu",
+            Ld { .. } => "ld",
+            Sd { .. } => "sd",
+            Fld { .. } => "fld",
+            Fsd { .. } => "fsd",
+            Prefetch { .. } => "prefetch",
+            FaddD { .. } => "fadd.d",
+            FsubD { .. } => "fsub.d",
+            FmulD { .. } => "fmul.d",
+            FdivD { .. } => "fdiv.d",
+            FsqrtD { .. } => "fsqrt.d",
+            FmaddD { .. } => "fmadd.d",
+            FltD { .. } => "flt.d",
+            FliD { .. } => "fli.d",
+            FcvtDL { .. } => "fcvt.d.l",
+            FcvtLD { .. } => "fcvt.l.d",
+            FmvD { .. } => "fmv.d",
+            Beq { .. } => "beq",
+            Bne { .. } => "bne",
+            Blt { .. } => "blt",
+            Bge { .. } => "bge",
+            Jal { .. } => "jal",
+            Jalr { .. } => "jalr",
+            Fsflags { .. } => "fsflags",
+            Frflags { .. } => "frflags",
+            Ecall => "ecall",
+            Nop => "nop",
+            Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        match *self {
+            Addi { rd, rs1, imm } => write!(f, "addi {rd}, {rs1}, {imm}"),
+            Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Add { rd, rs1, rs2 } => write!(f, "add {rd}, {rs1}, {rs2}"),
+            Sub { rd, rs1, rs2 } => write!(f, "sub {rd}, {rs1}, {rs2}"),
+            Mul { rd, rs1, rs2 } => write!(f, "mul {rd}, {rs1}, {rs2}"),
+            Div { rd, rs1, rs2 } => write!(f, "div {rd}, {rs1}, {rs2}"),
+            Rem { rd, rs1, rs2 } => write!(f, "rem {rd}, {rs1}, {rs2}"),
+            And { rd, rs1, rs2 } => write!(f, "and {rd}, {rs1}, {rs2}"),
+            Or { rd, rs1, rs2 } => write!(f, "or {rd}, {rs1}, {rs2}"),
+            Xor { rd, rs1, rs2 } => write!(f, "xor {rd}, {rs1}, {rs2}"),
+            Andi { rd, rs1, imm } => write!(f, "andi {rd}, {rs1}, {imm}"),
+            Xori { rd, rs1, imm } => write!(f, "xori {rd}, {rs1}, {imm}"),
+            Slli { rd, rs1, sh } => write!(f, "slli {rd}, {rs1}, {sh}"),
+            Srli { rd, rs1, sh } => write!(f, "srli {rd}, {rs1}, {sh}"),
+            Slt { rd, rs1, rs2 } => write!(f, "slt {rd}, {rs1}, {rs2}"),
+            Sltu { rd, rs1, rs2 } => write!(f, "sltu {rd}, {rs1}, {rs2}"),
+            Ld { rd, rs1, imm } => write!(f, "ld {rd}, {imm}({rs1})"),
+            Sd { rs2, rs1, imm } => write!(f, "sd {rs2}, {imm}({rs1})"),
+            Fld { fd, rs1, imm } => write!(f, "fld {fd}, {imm}({rs1})"),
+            Fsd { fs2, rs1, imm } => write!(f, "fsd {fs2}, {imm}({rs1})"),
+            Prefetch { rs1, imm } => write!(f, "prefetch {imm}({rs1})"),
+            FaddD { fd, fs1, fs2 } => write!(f, "fadd.d {fd}, {fs1}, {fs2}"),
+            FsubD { fd, fs1, fs2 } => write!(f, "fsub.d {fd}, {fs1}, {fs2}"),
+            FmulD { fd, fs1, fs2 } => write!(f, "fmul.d {fd}, {fs1}, {fs2}"),
+            FdivD { fd, fs1, fs2 } => write!(f, "fdiv.d {fd}, {fs1}, {fs2}"),
+            FsqrtD { fd, fs1 } => write!(f, "fsqrt.d {fd}, {fs1}"),
+            FmaddD { fd, fs1, fs2, fs3 } => write!(f, "fmadd.d {fd}, {fs1}, {fs2}, {fs3}"),
+            FltD { rd, fs1, fs2 } => write!(f, "flt.d {rd}, {fs1}, {fs2}"),
+            FliD { fd, value } => write!(f, "fli.d {fd}, {value}"),
+            FcvtDL { fd, rs1 } => write!(f, "fcvt.d.l {fd}, {rs1}"),
+            FcvtLD { rd, fs1 } => write!(f, "fcvt.l.d {rd}, {fs1}"),
+            FmvD { fd, fs1 } => write!(f, "fmv.d {fd}, {fs1}"),
+            Beq { rs1, rs2, target } => write!(f, "beq {rs1}, {rs2}, {target:#x}"),
+            Bne { rs1, rs2, target } => write!(f, "bne {rs1}, {rs2}, {target:#x}"),
+            Blt { rs1, rs2, target } => write!(f, "blt {rs1}, {rs2}, {target:#x}"),
+            Bge { rs1, rs2, target } => write!(f, "bge {rs1}, {rs2}, {target:#x}"),
+            Jal { rd, target } => write!(f, "jal {rd}, {target:#x}"),
+            Jalr { rd, rs1, imm } => write!(f, "jalr {rd}, {imm}({rs1})"),
+            Fsflags { rd, rs1 } => write!(f, "fsflags {rd}, {rs1}"),
+            Frflags { rd } => write!(f, "frflags {rd}"),
+            Ecall => write!(f, "ecall"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_routing() {
+        assert_eq!(
+            Inst::FsqrtD { fd: FReg::FT0, fs1: FReg::FT1 }.class(),
+            ExecClass::FpSqrt
+        );
+        assert_eq!(
+            Inst::Ld { rd: Reg::T0, rs1: Reg::A0, imm: 0 }.class(),
+            ExecClass::Load
+        );
+        assert_eq!(Inst::Ecall.class(), ExecClass::Csr);
+    }
+
+    #[test]
+    fn zero_register_creates_no_dependence() {
+        let i = Inst::Add { rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::T0 };
+        assert_eq!(i.dst(), None);
+        assert_eq!(i.srcs(), [None, Some(RegRef::Int(Reg::T0)), None]);
+    }
+
+    #[test]
+    fn flush_markers() {
+        assert!(Inst::Ecall.flushes_at_commit());
+        assert!(Inst::Frflags { rd: Reg::T0 }.flushes_at_commit());
+        assert!(Inst::Fsflags { rd: Reg::ZERO, rs1: Reg::T0 }.flushes_at_commit());
+        assert!(!Inst::Nop.flushes_at_commit());
+    }
+
+    #[test]
+    fn store_sources_include_data_and_base() {
+        let s = Inst::Fsd { fs2: FReg::FA0, rs1: Reg::A1, imm: 8 };
+        let srcs = s.srcs();
+        assert_eq!(srcs[0], Some(RegRef::Int(Reg::A1)));
+        assert_eq!(srcs[1], Some(RegRef::Fp(FReg::FA0)));
+        assert_eq!(s.dst(), None);
+    }
+
+    #[test]
+    fn fmadd_has_three_sources() {
+        let i = Inst::FmaddD { fd: FReg::FT0, fs1: FReg::FT1, fs2: FReg::FT2, fs3: FReg::FT3 };
+        assert!(i.srcs().iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Inst::Ld { rd: Reg::T0, rs1: Reg::A0, imm: 16 };
+        assert_eq!(i.to_string(), "ld x5, 16(x10)");
+        assert_eq!(i.mnemonic(), "ld");
+    }
+}

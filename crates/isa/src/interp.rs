@@ -1,0 +1,618 @@
+//! Functional interpreter producing the committed dynamic instruction
+//! stream.
+//!
+//! [`Machine::step`] executes one instruction architecturally and returns
+//! a [`DynInst`] describing it: program counter, resolved data memory
+//! address, and branch outcome. The `tea-sim` timing model consumes this
+//! stream (trace-driven simulation) and adds all timing behaviour —
+//! caches, TLBs, the out-of-order window, flush penalties — on top.
+
+use std::collections::HashMap;
+
+use crate::inst::Inst;
+use crate::program::{Program, INST_BYTES};
+use crate::reg::{FReg, Reg};
+
+const PAGE_BYTES: u64 = 4096;
+
+/// Outcome of a control-flow instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Whether the branch was taken (always `true` for jumps).
+    pub taken: bool,
+    /// The target address if taken.
+    pub target: u64,
+}
+
+/// One committed dynamic instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DynInst {
+    /// Position in the committed dynamic stream (0-based).
+    pub seq: u64,
+    /// Address of the static instruction.
+    pub pc: u64,
+    /// Index of the static instruction within its [`Program`].
+    pub index: u32,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Resolved data address for loads, stores and prefetches.
+    pub mem_addr: Option<u64>,
+    /// Branch/jump outcome, `None` for non-control instructions.
+    pub branch: Option<BranchOutcome>,
+}
+
+impl DynInst {
+    /// Address of the next instruction in the committed stream
+    /// (fall-through or taken target).
+    #[must_use]
+    pub fn next_pc(&self) -> u64 {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.pc + INST_BYTES,
+        }
+    }
+}
+
+/// Architectural machine state executing one [`Program`].
+///
+/// Memory is a sparse, byte-addressed, zero-initialised 64-bit space.
+///
+/// # Example
+///
+/// ```
+/// use tea_isa::asm::Asm;
+/// use tea_isa::interp::Machine;
+/// use tea_isa::reg::Reg;
+///
+/// # fn main() -> Result<(), tea_isa::AsmError> {
+/// let mut a = Asm::new();
+/// a.li(Reg::T0, 0x8000);
+/// a.li(Reg::T1, 99);
+/// a.sd(Reg::T1, Reg::T0, 8);
+/// a.ld(Reg::T2, Reg::T0, 8);
+/// a.halt();
+/// let p = a.finish()?;
+/// let mut m = Machine::new(&p);
+/// m.run(1_000);
+/// assert_eq!(m.int_reg(Reg::T2), 99);
+/// assert_eq!(m.load_u64(0x8008), 99);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    regs: [u64; Reg::COUNT],
+    fregs: [f64; FReg::COUNT],
+    pc: u64,
+    seq: u64,
+    halted: bool,
+    mem: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine at the program entry point with the program's
+    /// initial memory image applied.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        let mut m = Machine {
+            program,
+            regs: [0; Reg::COUNT],
+            fregs: [0.0; FReg::COUNT],
+            pc: program.base(),
+            seq: 0,
+            halted: false,
+            mem: HashMap::new(),
+        };
+        for &(addr, word) in program.init_words() {
+            m.store_u64(addr, word);
+        }
+        m
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Whether the machine has executed `halt`.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions committed so far.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Reads an integer register.
+    #[must_use]
+    pub fn int_reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Reads a floating-point register.
+    #[must_use]
+    pub fn fp_reg(&self, r: FReg) -> f64 {
+        self.fregs[r.index()]
+    }
+
+    /// Writes an integer register (writes to `x0` are ignored).
+    pub fn set_int_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Writes a floating-point register.
+    pub fn set_fp_reg(&mut self, r: FReg, value: f64) {
+        self.fregs[r.index()] = value;
+    }
+
+    /// Reads an 8-byte little-endian word from memory.
+    #[must_use]
+    pub fn load_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.load_byte(addr + i as u64);
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes an 8-byte little-endian word to memory.
+    pub fn store_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.store_byte(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads an 8-byte IEEE 754 double from memory.
+    #[must_use]
+    pub fn load_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.load_u64(addr))
+    }
+
+    /// Writes an 8-byte IEEE 754 double to memory.
+    pub fn store_f64(&mut self, addr: u64, value: f64) {
+        self.store_u64(addr, value.to_bits());
+    }
+
+    fn load_byte(&self, addr: u64) -> u8 {
+        match self.mem.get(&(addr / PAGE_BYTES)) {
+            Some(page) => page[(addr % PAGE_BYTES) as usize],
+            None => 0,
+        }
+    }
+
+    fn store_byte(&mut self, addr: u64, value: u8) {
+        let page = self
+            .mem
+            .entry(addr / PAGE_BYTES)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES as usize]));
+        page[(addr % PAGE_BYTES) as usize] = value;
+    }
+
+    /// Executes one instruction and returns its dynamic record, or `None`
+    /// once the machine has halted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program counter leaves the text segment (a bug in
+    /// the assembled program).
+    pub fn step(&mut self) -> Option<DynInst> {
+        if self.halted {
+            return None;
+        }
+        let index = self
+            .program
+            .index_of(self.pc)
+            .unwrap_or_else(|| panic!("pc {:#x} escaped the text segment", self.pc));
+        let inst = self.program.insts()[index];
+        let pc = self.pc;
+        let mut mem_addr = None;
+        let mut branch = None;
+        let mut next_pc = pc + INST_BYTES;
+
+        use Inst::*;
+        match inst {
+            Addi { rd, rs1, imm } => {
+                let v = self.int_reg(rs1).wrapping_add(imm as u64);
+                self.set_int_reg(rd, v);
+            }
+            Li { rd, imm } => self.set_int_reg(rd, imm as u64),
+            Add { rd, rs1, rs2 } => {
+                let v = self.int_reg(rs1).wrapping_add(self.int_reg(rs2));
+                self.set_int_reg(rd, v);
+            }
+            Sub { rd, rs1, rs2 } => {
+                let v = self.int_reg(rs1).wrapping_sub(self.int_reg(rs2));
+                self.set_int_reg(rd, v);
+            }
+            Mul { rd, rs1, rs2 } => {
+                let v = self.int_reg(rs1).wrapping_mul(self.int_reg(rs2));
+                self.set_int_reg(rd, v);
+            }
+            Div { rd, rs1, rs2 } => {
+                let a = self.int_reg(rs1) as i64;
+                let b = self.int_reg(rs2) as i64;
+                let v = if b == 0 { -1 } else { a.wrapping_div(b) };
+                self.set_int_reg(rd, v as u64);
+            }
+            Rem { rd, rs1, rs2 } => {
+                let a = self.int_reg(rs1) as i64;
+                let b = self.int_reg(rs2) as i64;
+                let v = if b == 0 { a } else { a.wrapping_rem(b) };
+                self.set_int_reg(rd, v as u64);
+            }
+            And { rd, rs1, rs2 } => {
+                let v = self.int_reg(rs1) & self.int_reg(rs2);
+                self.set_int_reg(rd, v);
+            }
+            Or { rd, rs1, rs2 } => {
+                let v = self.int_reg(rs1) | self.int_reg(rs2);
+                self.set_int_reg(rd, v);
+            }
+            Xor { rd, rs1, rs2 } => {
+                let v = self.int_reg(rs1) ^ self.int_reg(rs2);
+                self.set_int_reg(rd, v);
+            }
+            Andi { rd, rs1, imm } => {
+                let v = self.int_reg(rs1) & imm as u64;
+                self.set_int_reg(rd, v);
+            }
+            Xori { rd, rs1, imm } => {
+                let v = self.int_reg(rs1) ^ imm as u64;
+                self.set_int_reg(rd, v);
+            }
+            Slli { rd, rs1, sh } => {
+                let v = self.int_reg(rs1) << (sh & 63);
+                self.set_int_reg(rd, v);
+            }
+            Srli { rd, rs1, sh } => {
+                let v = self.int_reg(rs1) >> (sh & 63);
+                self.set_int_reg(rd, v);
+            }
+            Slt { rd, rs1, rs2 } => {
+                let v = ((self.int_reg(rs1) as i64) < (self.int_reg(rs2) as i64)) as u64;
+                self.set_int_reg(rd, v);
+            }
+            Sltu { rd, rs1, rs2 } => {
+                let v = (self.int_reg(rs1) < self.int_reg(rs2)) as u64;
+                self.set_int_reg(rd, v);
+            }
+            Ld { rd, rs1, imm } => {
+                let addr = self.int_reg(rs1).wrapping_add(imm as u64);
+                mem_addr = Some(addr);
+                let v = self.load_u64(addr);
+                self.set_int_reg(rd, v);
+            }
+            Sd { rs2, rs1, imm } => {
+                let addr = self.int_reg(rs1).wrapping_add(imm as u64);
+                mem_addr = Some(addr);
+                let v = self.int_reg(rs2);
+                self.store_u64(addr, v);
+            }
+            Fld { fd, rs1, imm } => {
+                let addr = self.int_reg(rs1).wrapping_add(imm as u64);
+                mem_addr = Some(addr);
+                let v = self.load_f64(addr);
+                self.set_fp_reg(fd, v);
+            }
+            Fsd { fs2, rs1, imm } => {
+                let addr = self.int_reg(rs1).wrapping_add(imm as u64);
+                mem_addr = Some(addr);
+                let v = self.fp_reg(fs2);
+                self.store_f64(addr, v);
+            }
+            Prefetch { rs1, imm } => {
+                mem_addr = Some(self.int_reg(rs1).wrapping_add(imm as u64));
+            }
+            FaddD { fd, fs1, fs2 } => {
+                let v = self.fp_reg(fs1) + self.fp_reg(fs2);
+                self.set_fp_reg(fd, v);
+            }
+            FsubD { fd, fs1, fs2 } => {
+                let v = self.fp_reg(fs1) - self.fp_reg(fs2);
+                self.set_fp_reg(fd, v);
+            }
+            FmulD { fd, fs1, fs2 } => {
+                let v = self.fp_reg(fs1) * self.fp_reg(fs2);
+                self.set_fp_reg(fd, v);
+            }
+            FdivD { fd, fs1, fs2 } => {
+                let v = self.fp_reg(fs1) / self.fp_reg(fs2);
+                self.set_fp_reg(fd, v);
+            }
+            FsqrtD { fd, fs1 } => {
+                let v = self.fp_reg(fs1).sqrt();
+                self.set_fp_reg(fd, v);
+            }
+            FmaddD { fd, fs1, fs2, fs3 } => {
+                let v = self.fp_reg(fs1).mul_add(self.fp_reg(fs2), self.fp_reg(fs3));
+                self.set_fp_reg(fd, v);
+            }
+            FltD { rd, fs1, fs2 } => {
+                let v = (self.fp_reg(fs1) < self.fp_reg(fs2)) as u64;
+                self.set_int_reg(rd, v);
+            }
+            FliD { fd, value } => self.set_fp_reg(fd, value),
+            FcvtDL { fd, rs1 } => {
+                let v = self.int_reg(rs1) as i64 as f64;
+                self.set_fp_reg(fd, v);
+            }
+            FcvtLD { rd, fs1 } => {
+                let v = self.fp_reg(fs1) as i64;
+                self.set_int_reg(rd, v as u64);
+            }
+            FmvD { fd, fs1 } => {
+                let v = self.fp_reg(fs1);
+                self.set_fp_reg(fd, v);
+            }
+            Beq { rs1, rs2, target } => {
+                let taken = self.int_reg(rs1) == self.int_reg(rs2);
+                branch = Some(BranchOutcome { taken, target });
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Bne { rs1, rs2, target } => {
+                let taken = self.int_reg(rs1) != self.int_reg(rs2);
+                branch = Some(BranchOutcome { taken, target });
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Blt { rs1, rs2, target } => {
+                let taken = (self.int_reg(rs1) as i64) < (self.int_reg(rs2) as i64);
+                branch = Some(BranchOutcome { taken, target });
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Bge { rs1, rs2, target } => {
+                let taken = (self.int_reg(rs1) as i64) >= (self.int_reg(rs2) as i64);
+                branch = Some(BranchOutcome { taken, target });
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Jal { rd, target } => {
+                self.set_int_reg(rd, pc + INST_BYTES);
+                branch = Some(BranchOutcome { taken: true, target });
+                next_pc = target;
+            }
+            Jalr { rd, rs1, imm } => {
+                let target = self.int_reg(rs1).wrapping_add(imm as u64) & !1;
+                self.set_int_reg(rd, pc + INST_BYTES);
+                branch = Some(BranchOutcome { taken: true, target });
+                next_pc = target;
+            }
+            Fsflags { rd, .. } => {
+                // FP flags CSR is modelled as always zero; the flush
+                // behaviour is what matters for timing.
+                self.set_int_reg(rd, 0);
+            }
+            Frflags { rd } => self.set_int_reg(rd, 0),
+            Ecall | Nop => {}
+            Halt => self.halted = true,
+        }
+
+        let dyn_inst = DynInst {
+            seq: self.seq,
+            pc,
+            index: index as u32,
+            inst,
+            mem_addr,
+            branch,
+        };
+        self.seq += 1;
+        self.pc = next_pc;
+        Some(dyn_inst)
+    }
+
+    /// Runs until halt or until `fuel` instructions have executed,
+    /// returning the number of instructions committed by this call.
+    pub fn run(&mut self, fuel: u64) -> u64 {
+        let mut n = 0;
+        while n < fuel {
+            if self.step().is_none() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> (Program, Vec<DynInst>) {
+        let mut a = Asm::new();
+        build(&mut a);
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        let mut trace = Vec::new();
+        for _ in 0..1_000_000 {
+            match m.step() {
+                Some(d) => trace.push(d),
+                None => break,
+            }
+        }
+        assert!(m.is_halted(), "program did not halt");
+        (p, trace)
+    }
+
+    #[test]
+    fn arithmetic_and_loop() {
+        let (_, trace) = run_program(|a| {
+            let top = a.new_label();
+            a.li(Reg::T0, 0);
+            a.li(Reg::T1, 5);
+            a.li(Reg::T2, 0);
+            a.bind(top);
+            a.add(Reg::T2, Reg::T2, Reg::T0);
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.blt(Reg::T0, Reg::T1, top);
+            a.halt();
+        });
+        // 3 setup + 5 iterations of 3 + halt
+        assert_eq!(trace.len(), 3 + 15 + 1);
+        let branches: Vec<_> = trace.iter().filter_map(|d| d.branch).collect();
+        assert_eq!(branches.len(), 5);
+        assert!(branches[..4].iter().all(|b| b.taken));
+        assert!(!branches[4].taken);
+    }
+
+    #[test]
+    fn memory_round_trip_and_addresses() {
+        let (_, trace) = run_program(|a| {
+            a.li(Reg::A0, 0x2_0000);
+            a.li(Reg::T0, 1234);
+            a.sd(Reg::T0, Reg::A0, 24);
+            a.ld(Reg::T1, Reg::A0, 24);
+            a.halt();
+        });
+        let mem_insts: Vec<_> = trace.iter().filter(|d| d.mem_addr.is_some()).collect();
+        assert_eq!(mem_insts.len(), 2);
+        assert_eq!(mem_insts[0].mem_addr, Some(0x2_0018));
+        assert_eq!(mem_insts[1].mem_addr, Some(0x2_0018));
+    }
+
+    #[test]
+    fn uninitialised_memory_reads_zero() {
+        let mut a = Asm::new();
+        a.li(Reg::A0, 0x5_0000);
+        a.ld(Reg::T0, Reg::A0, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(10);
+        assert_eq!(m.int_reg(Reg::T0), 0);
+    }
+
+    #[test]
+    fn init_words_visible_before_execution() {
+        let mut a = Asm::new();
+        a.init_word(0x3000, 0xdead_beef);
+        a.li(Reg::A0, 0x3000);
+        a.ld(Reg::T0, Reg::A0, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(10);
+        assert_eq!(m.int_reg(Reg::T0), 0xdead_beef);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let mut a = Asm::new();
+        a.fli_d(FReg::FT0, 2.0);
+        a.fli_d(FReg::FT1, 8.0);
+        a.fmul_d(FReg::FT2, FReg::FT0, FReg::FT1); // 16
+        a.fsqrt_d(FReg::FT3, FReg::FT2); // 4
+        a.fmadd_d(FReg::FT4, FReg::FT3, FReg::FT0, FReg::FT1); // 4*2+8 = 16
+        a.flt_d(Reg::T0, FReg::FT0, FReg::FT4); // 2 < 16
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100);
+        assert_eq!(m.fp_reg(FReg::FT3), 4.0);
+        assert_eq!(m.fp_reg(FReg::FT4), 16.0);
+        assert_eq!(m.int_reg(Reg::T0), 1);
+    }
+
+    #[test]
+    fn division_edge_cases_follow_riscv() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 7);
+        a.li(Reg::T1, 0);
+        a.div(Reg::T2, Reg::T0, Reg::T1); // -1
+        a.rem(Reg::T3, Reg::T0, Reg::T1); // 7
+        a.li(Reg::T4, i64::MIN);
+        a.li(Reg::T5, -1);
+        a.div(Reg::T6, Reg::T4, Reg::T5); // i64::MIN
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100);
+        assert_eq!(m.int_reg(Reg::T2) as i64, -1);
+        assert_eq!(m.int_reg(Reg::T3), 7);
+        assert_eq!(m.int_reg(Reg::T6) as i64, i64::MIN);
+    }
+
+    #[test]
+    fn call_and_return_via_jalr() {
+        let (p, trace) = run_program(|a| {
+            let callee = a.new_label();
+            let done = a.new_label();
+            a.func("main");
+            a.jal(Reg::RA, callee); // call
+            a.j(done);
+            a.func("callee");
+            a.bind(callee);
+            a.li(Reg::A0, 77);
+            a.jr(Reg::RA); // return
+            a.func("epilogue");
+            a.bind(done);
+            a.halt();
+        });
+        let jalr = trace.iter().find(|d| d.inst.mnemonic() == "jalr").unwrap();
+        assert_eq!(jalr.branch.unwrap().target, p.addr_of(1));
+        assert_eq!(p.function_of(jalr.pc).unwrap().name, "callee");
+    }
+
+    #[test]
+    fn halt_terminates_stream() {
+        let mut a = Asm::new();
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        assert!(m.step().is_some());
+        assert!(m.step().is_none());
+        assert!(m.is_halted());
+        assert_eq!(m.committed(), 1);
+    }
+
+    #[test]
+    fn seq_numbers_are_dense() {
+        let (_, trace) = run_program(|a| {
+            a.nop();
+            a.nop();
+            a.nop();
+            a.halt();
+        });
+        for (i, d) in trace.iter().enumerate() {
+            assert_eq!(d.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn next_pc_of_taken_and_untaken() {
+        let (p, trace) = run_program(|a| {
+            let skip = a.new_label();
+            a.li(Reg::T0, 1);
+            a.beq(Reg::T0, Reg::ZERO, skip); // not taken
+            a.bne(Reg::T0, Reg::ZERO, skip); // taken
+            a.nop(); // skipped
+            a.bind(skip);
+            a.halt();
+        });
+        let not_taken = &trace[1];
+        assert_eq!(not_taken.next_pc(), not_taken.pc + 4);
+        let taken = &trace[2];
+        assert_eq!(taken.next_pc(), p.addr_of(4));
+        assert_eq!(trace[3].inst.mnemonic(), "halt");
+    }
+}

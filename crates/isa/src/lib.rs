@@ -1,0 +1,64 @@
+//! # tea-isa
+//!
+//! A small RISC-V-flavoured instruction set with an assembler and a
+//! functional interpreter, used as the workload substrate for the TEA
+//! (Time-Proportional Event Analysis, ISCA 2023) reproduction.
+//!
+//! The crate provides three layers:
+//!
+//! * [`inst`] / [`reg`] — the architectural instruction set: integer ALU,
+//!   multiply/divide, double-precision floating point (including the
+//!   `fsqrt.d`/`flt.d`/`fsflags`/`frflags` instructions at the heart of the
+//!   paper's *nab* case study), loads/stores, branches, and a software
+//!   `prefetch` hint (the paper implements one via the ROCC interface for
+//!   the *lbm* case study).
+//! * [`asm`] / [`program`] — an assembler with labels and function symbols
+//!   producing a laid-out [`program::Program`]; function symbols drive the
+//!   function-granularity cycle stacks of the paper's Figure 9.
+//! * [`interp`] — a functional interpreter that executes a program and
+//!   yields the committed dynamic instruction stream ([`interp::DynInst`])
+//!   consumed by the `tea-sim` timing model.
+//!
+//! # Example
+//!
+//! ```
+//! use tea_isa::asm::Asm;
+//! use tea_isa::interp::Machine;
+//! use tea_isa::reg::Reg;
+//!
+//! # fn main() -> Result<(), tea_isa::AsmError> {
+//! let mut a = Asm::new();
+//! a.func("main");
+//! let loop_top = a.new_label();
+//! a.li(Reg::T0, 0);
+//! a.li(Reg::T1, 10);
+//! a.bind(loop_top);
+//! a.addi(Reg::T0, Reg::T0, 1);
+//! a.blt(Reg::T0, Reg::T1, loop_top);
+//! a.halt();
+//! let program = a.finish()?;
+//!
+//! let mut m = Machine::new(&program);
+//! let mut committed = 0u64;
+//! while m.step().is_some() {
+//!     committed += 1;
+//! }
+//! assert_eq!(m.int_reg(Reg::T0), 10);
+//! assert!(committed > 20);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod inst;
+pub mod interp;
+pub mod program;
+pub mod reg;
+
+pub use asm::{Asm, AsmError};
+pub use inst::{ExecClass, Inst, RegRef};
+pub use interp::{DynInst, Machine};
+pub use program::{Function, Program};
+pub use reg::{FReg, Reg};

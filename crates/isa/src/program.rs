@@ -1,0 +1,269 @@
+//! Laid-out programs: instructions at fixed addresses plus a function
+//! symbol table and initial memory image.
+
+use std::fmt;
+
+use crate::inst::Inst;
+
+/// Byte size of every instruction (fixed-width encoding, as in RV64G
+/// without the compressed extension).
+pub const INST_BYTES: u64 = 4;
+
+/// Default base address of the text segment.
+pub const TEXT_BASE: u64 = 0x1_0000;
+
+/// A function symbol: a named, half-open address range `[start, end)` of
+/// the text segment. Drives function-granularity cycle stacks (Figure 9).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Symbol name, e.g. `"stream_collide"`.
+    pub name: String,
+    /// Address of the first instruction.
+    pub start: u64,
+    /// Address one past the last instruction.
+    pub end: u64,
+}
+
+impl Function {
+    /// Whether `addr` falls inside this function.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.start..self.end).contains(&addr)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{:#x}, {:#x})", self.name, self.start, self.end)
+    }
+}
+
+/// A complete, laid-out program.
+///
+/// Produced by [`crate::asm::Asm::finish`]; executed by
+/// [`crate::interp::Machine`].
+#[derive(Clone, Debug)]
+pub struct Program {
+    base: u64,
+    insts: Vec<Inst>,
+    functions: Vec<Function>,
+    init_words: Vec<(u64, u64)>,
+}
+
+impl Program {
+    /// Assembles a program from raw parts.
+    ///
+    /// Most users should go through [`crate::asm::Asm`] instead; this
+    /// constructor exists for tests and generated code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    #[must_use]
+    pub fn from_parts(
+        base: u64,
+        insts: Vec<Inst>,
+        functions: Vec<Function>,
+        init_words: Vec<(u64, u64)>,
+    ) -> Self {
+        assert_eq!(base % INST_BYTES, 0, "text base must be 4-byte aligned");
+        Program { base, insts, functions, init_words }
+    }
+
+    /// Base address of the text segment.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The instructions in layout order.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Address of the instruction at `index`.
+    #[must_use]
+    pub fn addr_of(&self, index: usize) -> u64 {
+        self.base + index as u64 * INST_BYTES
+    }
+
+    /// Index of the instruction at `addr`, if it lies in the text segment.
+    #[must_use]
+    pub fn index_of(&self, addr: u64) -> Option<usize> {
+        if addr < self.base || !(addr - self.base).is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let idx = ((addr - self.base) / INST_BYTES) as usize;
+        (idx < self.insts.len()).then_some(idx)
+    }
+
+    /// The instruction at `addr`, if any.
+    #[must_use]
+    pub fn inst_at(&self, addr: u64) -> Option<&Inst> {
+        self.index_of(addr).map(|i| &self.insts[i])
+    }
+
+    /// The function symbol table, in layout order.
+    #[must_use]
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// The function containing `addr`, if any.
+    #[must_use]
+    pub fn function_of(&self, addr: u64) -> Option<&Function> {
+        self.functions.iter().find(|f| f.contains(addr))
+    }
+
+    /// Initial memory image: 8-byte words to write before execution.
+    #[must_use]
+    pub fn init_words(&self) -> &[(u64, u64)] {
+        &self.init_words
+    }
+
+    /// Iterates over `(address, instruction)` pairs in layout order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Inst)> + '_ {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (self.addr_of(i), inst))
+    }
+
+    /// Addresses of basic-block leaders, sorted ascending.
+    ///
+    /// A leader is the program entry, any branch/jump target, or the
+    /// instruction following a control-flow instruction. Drives
+    /// basic-block-granularity cycle stacks.
+    #[must_use]
+    pub fn basic_block_starts(&self) -> Vec<u64> {
+        let mut leaders = vec![self.base];
+        for (addr, inst) in self.iter() {
+            use crate::inst::Inst;
+            match *inst {
+                Inst::Beq { target, .. }
+                | Inst::Bne { target, .. }
+                | Inst::Blt { target, .. }
+                | Inst::Bge { target, .. }
+                | Inst::Jal { target, .. } => {
+                    leaders.push(target);
+                    leaders.push(addr + INST_BYTES);
+                }
+                Inst::Jalr { .. } => leaders.push(addr + INST_BYTES),
+                _ => {}
+            }
+        }
+        leaders.retain(|&a| self.index_of(a).is_some());
+        leaders.sort_unstable();
+        leaders.dedup();
+        leaders
+    }
+
+    /// The basic-block leader address containing `addr`, if `addr` is in
+    /// the text segment.
+    #[must_use]
+    pub fn basic_block_of(&self, addr: u64) -> Option<u64> {
+        self.index_of(addr)?;
+        let starts = self.basic_block_starts();
+        let i = starts.partition_point(|&s| s <= addr);
+        (i > 0).then(|| starts[i - 1])
+    }
+
+    /// Renders a human-readable disassembly listing.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (addr, inst) in self.iter() {
+            if let Some(f) = self.functions.iter().find(|f| f.start == addr) {
+                let _ = writeln!(out, "{}:", f.name);
+            }
+            let _ = writeln!(out, "  {addr:#8x}: {inst}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn tiny() -> Program {
+        Program::from_parts(
+            TEXT_BASE,
+            vec![
+                Inst::Li { rd: Reg::T0, imm: 1 },
+                Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: 1 },
+                Inst::Halt,
+            ],
+            vec![Function { name: "main".into(), start: TEXT_BASE, end: TEXT_BASE + 12 }],
+            vec![(0x8000, 42)],
+        )
+    }
+
+    #[test]
+    fn addressing_round_trip() {
+        let p = tiny();
+        for i in 0..p.len() {
+            assert_eq!(p.index_of(p.addr_of(i)), Some(i));
+        }
+        assert_eq!(p.index_of(TEXT_BASE - 4), None);
+        assert_eq!(p.index_of(TEXT_BASE + 2), None);
+        assert_eq!(p.index_of(p.addr_of(p.len())), None);
+    }
+
+    #[test]
+    fn function_lookup() {
+        let p = tiny();
+        assert_eq!(p.function_of(TEXT_BASE + 8).unwrap().name, "main");
+        assert!(p.function_of(TEXT_BASE + 12).is_none());
+    }
+
+    #[test]
+    fn disassembly_contains_symbols() {
+        let d = tiny().disassemble();
+        assert!(d.contains("main:"));
+        assert!(d.contains("halt"));
+    }
+
+    #[test]
+    fn basic_blocks_split_at_branches() {
+        // 0: li, 1: beq -> 3, 2: nop, 3: halt
+        let p = Program::from_parts(
+            TEXT_BASE,
+            vec![
+                Inst::Li { rd: Reg::T0, imm: 1 },
+                Inst::Beq { rs1: Reg::T0, rs2: Reg::T0, target: TEXT_BASE + 12 },
+                Inst::Nop,
+                Inst::Halt,
+            ],
+            vec![],
+            vec![],
+        );
+        let starts = p.basic_block_starts();
+        assert_eq!(starts, vec![TEXT_BASE, TEXT_BASE + 8, TEXT_BASE + 12]);
+        assert_eq!(p.basic_block_of(TEXT_BASE + 4), Some(TEXT_BASE));
+        assert_eq!(p.basic_block_of(TEXT_BASE + 8), Some(TEXT_BASE + 8));
+        assert_eq!(p.basic_block_of(TEXT_BASE + 12), Some(TEXT_BASE + 12));
+        assert_eq!(p.basic_block_of(TEXT_BASE + 16), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_base_panics() {
+        let _ = Program::from_parts(3, vec![], vec![], vec![]);
+    }
+}

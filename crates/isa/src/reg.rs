@@ -1,0 +1,220 @@
+//! Architectural register names.
+//!
+//! The ISA has 32 integer registers ([`Reg`]) and 32 double-precision
+//! floating-point registers ([`FReg`]). `x0` ([`Reg::ZERO`]) is hard-wired
+//! to zero, as in RISC-V.
+
+use std::fmt;
+
+/// An integer architectural register, `x0`–`x31`.
+///
+/// `x0` is hard-wired to zero: writes are discarded and reads return 0.
+///
+/// # Example
+///
+/// ```
+/// use tea_isa::reg::Reg;
+/// assert_eq!(Reg::T0.index(), 5);
+/// assert_eq!(Reg::new(5), Reg::T0);
+/// assert_eq!(Reg::T0.to_string(), "x5");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+#[allow(missing_docs)] // the RISC-V ABI names are self-describing
+impl Reg {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address register `x1` (ABI `ra`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2` (ABI `sp`).
+    pub const SP: Reg = Reg(2);
+    /// Argument/result registers `a0`–`a7` (`x10`–`x17`).
+    pub const A0: Reg = Reg(10);
+    pub const A1: Reg = Reg(11);
+    pub const A2: Reg = Reg(12);
+    pub const A3: Reg = Reg(13);
+    pub const A4: Reg = Reg(14);
+    pub const A5: Reg = Reg(15);
+    pub const A6: Reg = Reg(16);
+    pub const A7: Reg = Reg(17);
+    /// Temporary registers `t0`–`t6` (`x5`–`x7`, `x28`–`x31`).
+    pub const T0: Reg = Reg(5);
+    pub const T1: Reg = Reg(6);
+    pub const T2: Reg = Reg(7);
+    pub const T3: Reg = Reg(28);
+    pub const T4: Reg = Reg(29);
+    pub const T5: Reg = Reg(30);
+    pub const T6: Reg = Reg(31);
+    /// Saved registers `s0`–`s11` (`x8`, `x9`, `x18`–`x27`).
+    pub const S0: Reg = Reg(8);
+    pub const S1: Reg = Reg(9);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    pub const S8: Reg = Reg(24);
+    pub const S9: Reg = Reg(25);
+    pub const S10: Reg = Reg(26);
+    pub const S11: Reg = Reg(27);
+
+    /// Number of integer architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "integer register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register's index, 0–31.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A double-precision floating-point register, `f0`–`f31`.
+///
+/// # Example
+///
+/// ```
+/// use tea_isa::reg::FReg;
+/// assert_eq!(FReg::FT0.index(), 0);
+/// assert_eq!(FReg::new(3).to_string(), "f3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+#[allow(missing_docs)] // the RISC-V ABI names are self-describing
+impl FReg {
+    /// Temporary FP registers `ft0`–`ft7` (`f0`–`f7`).
+    pub const FT0: FReg = FReg(0);
+    pub const FT1: FReg = FReg(1);
+    pub const FT2: FReg = FReg(2);
+    pub const FT3: FReg = FReg(3);
+    pub const FT4: FReg = FReg(4);
+    pub const FT5: FReg = FReg(5);
+    pub const FT6: FReg = FReg(6);
+    pub const FT7: FReg = FReg(7);
+    /// Saved FP registers `fs0`, `fs1` (`f8`, `f9`).
+    pub const FS0: FReg = FReg(8);
+    pub const FS1: FReg = FReg(9);
+    /// Argument FP registers `fa0`–`fa7` (`f10`–`f17`).
+    pub const FA0: FReg = FReg(10);
+    pub const FA1: FReg = FReg(11);
+    pub const FA2: FReg = FReg(12);
+    pub const FA3: FReg = FReg(13);
+    pub const FA4: FReg = FReg(14);
+    pub const FA5: FReg = FReg(15);
+    pub const FA6: FReg = FReg(16);
+    pub const FA7: FReg = FReg(17);
+    /// Saved FP registers `fs2`–`fs11` (`f18`–`f27`).
+    pub const FS2: FReg = FReg(18);
+    pub const FS3: FReg = FReg(19);
+    pub const FS4: FReg = FReg(20);
+    pub const FS5: FReg = FReg(21);
+    pub const FS6: FReg = FReg(22);
+    pub const FS7: FReg = FReg(23);
+    pub const FS8: FReg = FReg(24);
+    pub const FS9: FReg = FReg(25);
+    pub const FS10: FReg = FReg(26);
+    pub const FS11: FReg = FReg(27);
+    /// Temporary FP registers `ft8`–`ft11` (`f28`–`f31`).
+    pub const FT8: FReg = FReg(28);
+    pub const FT9: FReg = FReg(29);
+    pub const FT10: FReg = FReg(30);
+    pub const FT11: FReg = FReg(31);
+
+    /// Number of floating-point architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a floating-point register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "fp register index {index} out of range");
+        FReg(index)
+    }
+
+    /// The register's index, 0–31.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_round_trip() {
+        for i in 0..32 {
+            let r = Reg::new(i);
+            assert_eq!(r.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::T0.is_zero());
+        assert_eq!(Reg::ZERO, Reg::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_out_of_range_panics() {
+        let _ = FReg::new(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::A0.to_string(), "x10");
+        assert_eq!(FReg::FA0.to_string(), "f10");
+    }
+
+    #[test]
+    fn named_aliases_map_to_riscv_indices() {
+        assert_eq!(Reg::RA.index(), 1);
+        assert_eq!(Reg::SP.index(), 2);
+        assert_eq!(Reg::T3.index(), 28);
+        assert_eq!(Reg::S11.index(), 27);
+        assert_eq!(FReg::FT8.index(), 28);
+    }
+}

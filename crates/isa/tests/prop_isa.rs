@@ -1,0 +1,281 @@
+//! Property-based tests of the assembler and interpreter: layout
+//! round-trips, ALU semantics against a Rust oracle, and control-flow
+//! integrity for arbitrary generated programs.
+
+use proptest::prelude::*;
+use tea_isa::asm::Asm;
+use tea_isa::inst::Inst;
+use tea_isa::program::{Program, INST_BYTES, TEXT_BASE};
+use tea_isa::reg::Reg;
+use tea_isa::Machine;
+
+proptest! {
+    /// addr_of and index_of are inverse over the whole text segment.
+    #[test]
+    fn address_index_round_trip(n in 1usize..2000) {
+        let p = Program::from_parts(TEXT_BASE, vec![Inst::Nop; n], vec![], vec![]);
+        for i in 0..n {
+            prop_assert_eq!(p.index_of(p.addr_of(i)), Some(i));
+        }
+        prop_assert_eq!(p.index_of(TEXT_BASE + n as u64 * INST_BYTES), None);
+        prop_assert_eq!(p.index_of(TEXT_BASE.wrapping_sub(4)), None);
+    }
+
+    /// Integer ALU semantics match a Rust oracle for arbitrary inputs.
+    #[test]
+    fn alu_matches_oracle(a in any::<i64>(), b in any::<i64>(), sh in 0u8..64, imm in -2048i64..2048) {
+        let mut asm = Asm::new();
+        asm.li(Reg::A0, a);
+        asm.li(Reg::A1, b);
+        asm.add(Reg::T0, Reg::A0, Reg::A1);
+        asm.sub(Reg::T1, Reg::A0, Reg::A1);
+        asm.mul(Reg::T2, Reg::A0, Reg::A1);
+        asm.xor(Reg::T3, Reg::A0, Reg::A1);
+        asm.and(Reg::T4, Reg::A0, Reg::A1);
+        asm.or(Reg::T5, Reg::A0, Reg::A1);
+        asm.slli(Reg::T6, Reg::A0, sh);
+        asm.addi(Reg::S0, Reg::A0, imm);
+        asm.slt(Reg::S1, Reg::A0, Reg::A1);
+        asm.sltu(Reg::S2, Reg::A0, Reg::A1);
+        asm.srli(Reg::S3, Reg::A0, sh);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100);
+        prop_assert!(m.is_halted());
+        let (ua, ub) = (a as u64, b as u64);
+        prop_assert_eq!(m.int_reg(Reg::T0), ua.wrapping_add(ub));
+        prop_assert_eq!(m.int_reg(Reg::T1), ua.wrapping_sub(ub));
+        prop_assert_eq!(m.int_reg(Reg::T2), ua.wrapping_mul(ub));
+        prop_assert_eq!(m.int_reg(Reg::T3), ua ^ ub);
+        prop_assert_eq!(m.int_reg(Reg::T4), ua & ub);
+        prop_assert_eq!(m.int_reg(Reg::T5), ua | ub);
+        prop_assert_eq!(m.int_reg(Reg::T6), ua << sh);
+        prop_assert_eq!(m.int_reg(Reg::S0), ua.wrapping_add(imm as u64));
+        prop_assert_eq!(m.int_reg(Reg::S1), u64::from(a < b));
+        prop_assert_eq!(m.int_reg(Reg::S2), u64::from(ua < ub));
+        prop_assert_eq!(m.int_reg(Reg::S3), ua >> sh);
+    }
+
+    /// Signed division and remainder match the RISC-V definition.
+    #[test]
+    fn div_rem_match_riscv(a in any::<i64>(), b in any::<i64>()) {
+        let mut asm = Asm::new();
+        asm.li(Reg::A0, a);
+        asm.li(Reg::A1, b);
+        asm.div(Reg::T0, Reg::A0, Reg::A1);
+        asm.rem(Reg::T1, Reg::A0, Reg::A1);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100);
+        let (q, r) = if b == 0 {
+            (-1i64, a)
+        } else {
+            (a.wrapping_div(b), a.wrapping_rem(b))
+        };
+        prop_assert_eq!(m.int_reg(Reg::T0) as i64, q);
+        prop_assert_eq!(m.int_reg(Reg::T1) as i64, r);
+    }
+
+    /// Memory is a function: the last store to an address wins, other
+    /// addresses are unaffected.
+    #[test]
+    fn memory_last_write_wins(
+        writes in prop::collection::vec((0u64..256, any::<u64>()), 1..40),
+        probe in 0u64..256,
+    ) {
+        let mut asm = Asm::new();
+        asm.li(Reg::A0, 0x8000);
+        for (slot, value) in &writes {
+            asm.li(Reg::T0, *value as i64);
+            asm.sd(Reg::T0, Reg::A0, (*slot * 8) as i64);
+        }
+        asm.ld(Reg::T1, Reg::A0, (probe * 8) as i64);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(1000);
+        let expected = writes
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == probe)
+            .map_or(0, |(_, v)| *v);
+        prop_assert_eq!(m.int_reg(Reg::T1), expected);
+    }
+
+    /// Every branch target in an assembled program lies inside the text
+    /// segment, and execution never escapes it.
+    #[test]
+    fn control_flow_stays_in_text(seed in any::<u64>()) {
+        // Build a little branch ladder driven by the seed.
+        let mut asm = Asm::new();
+        let l1 = asm.new_label();
+        let l2 = asm.new_label();
+        let done = asm.new_label();
+        asm.li(Reg::T0, (seed % 7) as i64);
+        asm.li(Reg::T1, 3);
+        asm.blt(Reg::T0, Reg::T1, l1);
+        asm.j(l2);
+        asm.bind(l1);
+        asm.addi(Reg::A0, Reg::A0, 1);
+        asm.j(done);
+        asm.bind(l2);
+        asm.addi(Reg::A1, Reg::A1, 1);
+        asm.bind(done);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        for (_, inst) in p.iter() {
+            if let Inst::Beq { target, .. } | Inst::Bne { target, .. }
+                | Inst::Blt { target, .. } | Inst::Bge { target, .. }
+                | Inst::Jal { target, .. } = *inst
+            {
+                prop_assert!(p.index_of(target).is_some(), "target {target:#x} escapes text");
+            }
+        }
+        let mut m = Machine::new(&p);
+        while let Some(d) = m.step() {
+            prop_assert!(p.index_of(d.pc).is_some());
+        }
+        prop_assert_eq!(m.int_reg(Reg::A0) + m.int_reg(Reg::A1), 1);
+    }
+
+    /// Basic blocks partition the program: every instruction belongs to
+    /// exactly one block, and block leaders are sorted and unique.
+    #[test]
+    fn basic_blocks_partition(seed in any::<u64>()) {
+        let mut asm = Asm::new();
+        let l = asm.new_label();
+        asm.li(Reg::T0, (seed % 11) as i64);
+        asm.bind(l);
+        asm.addi(Reg::T0, Reg::T0, -1);
+        asm.bne(Reg::T0, Reg::ZERO, l);
+        asm.nop();
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let starts = p.basic_block_starts();
+        prop_assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        for i in 0..p.len() {
+            let addr = p.addr_of(i);
+            let block = p.basic_block_of(addr);
+            prop_assert!(block.is_some());
+            prop_assert!(block.unwrap() <= addr);
+        }
+    }
+}
+
+mod edge_cases {
+    use tea_isa::asm::Asm;
+    use tea_isa::reg::{FReg, Reg};
+    use tea_isa::Machine;
+
+    #[test]
+    fn negative_offsets_address_below_base() {
+        let mut a = Asm::new();
+        a.li(Reg::A0, 0x9000);
+        a.li(Reg::T0, 55);
+        a.sd(Reg::T0, Reg::A0, -16);
+        a.ld(Reg::T1, Reg::A0, -16);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100);
+        assert_eq!(m.int_reg(Reg::T1), 55);
+        assert_eq!(m.load_u64(0x9000 - 16), 55);
+    }
+
+    #[test]
+    fn unaligned_word_access_works_bytewise() {
+        let mut a = Asm::new();
+        a.li(Reg::A0, 0x9003); // crosses no page but is unaligned
+        a.li(Reg::T0, 0x0102_0304_0506_0708);
+        a.sd(Reg::T0, Reg::A0, 0);
+        a.ld(Reg::T1, Reg::A0, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100);
+        assert_eq!(m.int_reg(Reg::T1), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn page_crossing_word_access_round_trips() {
+        let mut a = Asm::new();
+        a.li(Reg::A0, 0x8000 - 4); // straddles a 4 KiB page boundary
+        a.li(Reg::T0, -1);
+        a.sd(Reg::T0, Reg::A0, 0);
+        a.ld(Reg::T1, Reg::A0, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100);
+        assert_eq!(m.int_reg(Reg::T1), u64::MAX);
+    }
+
+    #[test]
+    fn fp_conversions_round_toward_zero() {
+        let mut a = Asm::new();
+        a.fli_d(FReg::FT0, -2.75);
+        a.fcvt_l_d(Reg::T0, FReg::FT0);
+        a.li(Reg::T1, 7);
+        a.fcvt_d_l(FReg::FT1, Reg::T1);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100);
+        assert_eq!(m.int_reg(Reg::T0) as i64, -2, "truncating convert");
+        assert_eq!(m.fp_reg(FReg::FT1), 7.0);
+    }
+
+    #[test]
+    fn nan_comparison_is_false_and_sqrt_of_negative_is_nan() {
+        let mut a = Asm::new();
+        a.fli_d(FReg::FT0, f64::NAN);
+        a.fli_d(FReg::FT1, 1.0);
+        a.flt_d(Reg::T0, FReg::FT0, FReg::FT1);
+        a.fli_d(FReg::FT2, -4.0);
+        a.fsqrt_d(FReg::FT3, FReg::FT2);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100);
+        assert_eq!(m.int_reg(Reg::T0), 0, "NaN < x is false");
+        assert!(m.fp_reg(FReg::FT3).is_nan());
+    }
+
+    #[test]
+    fn disassembly_golden_snippet() {
+        let mut a = Asm::new();
+        a.func("main");
+        let l = a.new_label();
+        a.li(Reg::T0, 3);
+        a.bind(l);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::ZERO, l);
+        a.halt();
+        let p = a.finish().unwrap();
+        let d = p.disassemble();
+        let expected = "main:\n   \
+             0x10000: li x5, 3\n   \
+             0x10004: addi x5, x5, -1\n   \
+             0x10008: bne x5, x0, 0x10004\n   \
+             0x1000c: halt\n";
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn committed_counter_tracks_dynamic_instructions() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.li(Reg::T0, 4);
+        a.bind(l);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::ZERO, l);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.committed(), 0);
+        m.run(u64::MAX);
+        assert_eq!(m.committed(), 1 + 4 * 2 + 1);
+    }
+}

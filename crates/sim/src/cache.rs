@@ -1,0 +1,310 @@
+//! Set-associative cache timing model with LRU replacement and a bounded
+//! number of outstanding misses (MSHRs).
+//!
+//! The cache is a pure timing structure: it stores tags, not data (data
+//! correctness is the interpreter's job). Fills are tracked as in-flight
+//! until their completion time and merged when a second access touches a
+//! line that is already being filled (a secondary MSHR hit).
+
+use crate::config::CacheConfig;
+
+/// Result of probing a cache for one access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// The line is resident; the access hits.
+    Hit,
+    /// The line is currently being filled; the access completes when the
+    /// fill does (secondary miss, merged into the outstanding MSHR).
+    InFlight {
+        /// Cycle at which the outstanding fill completes.
+        ready: u64,
+    },
+    /// The line is absent; a new fill is required and may start at the
+    /// given cycle (delayed if all MSHRs are busy).
+    Miss {
+        /// Earliest cycle the fill may begin.
+        may_start: u64,
+    },
+}
+
+/// A set-associative, LRU, tag-only timing cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    line_shift: u32,
+    set_mask: u64,
+    /// `sets * ways` tag slots; `u64::MAX` marks invalid.
+    tags: Vec<u64>,
+    /// LRU timestamps parallel to `tags`.
+    stamps: Vec<u64>,
+    tick: u64,
+    /// Outstanding fills: `(line, ready_cycle)`, at most `cfg.mshrs`.
+    inflight: Vec<(u64, u64)>,
+    /// Fills evicted from the MSHR file under exhaustion whose data is
+    /// still in flight; installed when their ready time passes.
+    overflow: Vec<(u64, u64)>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not power-of-two (see
+    /// [`CacheConfig`]).
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two());
+        assert!(cfg.sets.is_power_of_two());
+        assert!(cfg.ways > 0 && cfg.mshrs > 0);
+        Cache {
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg.sets as u64 - 1,
+            tags: vec![u64::MAX; cfg.sets * cfg.ways],
+            stamps: vec![0; cfg.sets * cfg.ways],
+            tick: 0,
+            inflight: Vec::with_capacity(cfg.mshrs),
+            overflow: Vec::new(),
+            accesses: 0,
+            misses: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Converts a byte address to a line number.
+    #[must_use]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Demand accesses observed so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Demand misses observed so far (secondary misses included).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line & self.set_mask) as usize;
+        set * self.cfg.ways..(set + 1) * self.cfg.ways
+    }
+
+    /// Retires completed in-flight fills into the tag array.
+    fn drain_inflight(&mut self, now: u64) {
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].1 <= now {
+                let (line, _) = self.inflight.swap_remove(i);
+                self.install(line);
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if self.overflow[i].1 <= now {
+                let (line, _) = self.overflow.swap_remove(i);
+                self.install(line);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn install(&mut self, line: u64) {
+        self.tick += 1;
+        let range = self.set_range(line);
+        let tick = self.tick;
+        let slots = &mut self.tags[range.clone()];
+        // Already present (e.g. duplicate fill after a merge race).
+        if let Some(pos) = slots.iter().position(|&t| t == line) {
+            self.stamps[range.start + pos] = tick;
+            return;
+        }
+        // Invalid way, else LRU victim.
+        let victim = match slots.iter().position(|&t| t == u64::MAX) {
+            Some(pos) => pos,
+            None => {
+                let mut lru = 0;
+                for w in 1..self.cfg.ways {
+                    if self.stamps[range.start + w] < self.stamps[range.start + lru] {
+                        lru = w;
+                    }
+                }
+                lru
+            }
+        };
+        self.tags[range.start + victim] = line;
+        self.stamps[range.start + victim] = tick;
+    }
+
+    /// Probes the cache for the line containing `addr` at cycle `now`.
+    ///
+    /// A demand access: hit/miss statistics are updated. On
+    /// [`Probe::Miss`] the caller must determine the fill latency from
+    /// the next level and call [`Cache::record_fill`].
+    pub fn access(&mut self, addr: u64, now: u64) -> Probe {
+        let p = self.access_inner(addr, now);
+        self.accesses += 1;
+        if p != Probe::Hit {
+            self.misses += 1;
+        }
+        p
+    }
+
+    /// Probes without counting statistics (prefetches).
+    pub fn access_untracked(&mut self, addr: u64, now: u64) -> Probe {
+        self.access_inner(addr, now)
+    }
+
+    fn access_inner(&mut self, addr: u64, now: u64) -> Probe {
+        self.drain_inflight(now);
+        let line = self.line_of(addr);
+        let range = self.set_range(line);
+        if let Some(pos) = self.tags[range.clone()].iter().position(|&t| t == line) {
+            self.tick += 1;
+            self.stamps[range.start + pos] = self.tick;
+            return Probe::Hit;
+        }
+        if let Some(&(_, ready)) = self
+            .inflight
+            .iter()
+            .chain(self.overflow.iter())
+            .find(|&&(l, _)| l == line)
+        {
+            return Probe::InFlight { ready };
+        }
+        let may_start = if self.inflight.len() < self.cfg.mshrs {
+            now
+        } else {
+            // All MSHRs busy: wait for the earliest outstanding fill.
+            let (idx, &(_, earliest)) = self
+                .inflight
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(_, r))| r)
+                .expect("mshrs > 0");
+            let entry = self.inflight.swap_remove(idx);
+            // The evicted fill's data is still in flight: keep it
+            // visible until its ready time passes.
+            self.overflow.push(entry);
+            earliest.max(now)
+        };
+        Probe::Miss { may_start }
+    }
+
+    /// Whether a fill of this line could start at `now` without evicting
+    /// an outstanding MSHR (used to gate optional prefetches).
+    #[must_use]
+    pub fn mshr_available(&self, _now: u64) -> bool {
+        self.inflight.len() < self.cfg.mshrs
+    }
+
+    /// Registers an in-flight fill of the line containing `addr`
+    /// completing at `ready`.
+    pub fn record_fill(&mut self, addr: u64, ready: u64) {
+        let line = self.line_of(addr);
+        debug_assert!(
+            self.inflight.len() < self.cfg.mshrs,
+            "record_fill without a free MSHR"
+        );
+        self.inflight.push((line, ready));
+    }
+
+    /// Whether the line containing `addr` is resident (testing hook; does
+    /// not update LRU or statistics, and ignores in-flight fills).
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        self.tags[self.set_range(line)].contains(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig { sets: 2, ways: 2, line_bytes: 64, hit_latency: 1, mshrs: 2 })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(matches!(c.access(0x100, 0), Probe::Miss { may_start: 0 }));
+        c.record_fill(0x100, 10);
+        // Before the fill completes: merged into the outstanding MSHR.
+        assert_eq!(c.access(0x104, 5), Probe::InFlight { ready: 10 });
+        // After: resident.
+        assert_eq!(c.access(0x108, 11), Probe::Hit);
+        assert_eq!(c.accesses(), 3);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds lines with even line numbers here (2 sets, 64B lines).
+        // Lines 0, 2, 4 all map to set 0; ways = 2.
+        for (i, line) in [0u64, 2, 4].iter().enumerate() {
+            let addr = line * 64;
+            assert!(matches!(c.access(addr, i as u64 * 100), Probe::Miss { .. }));
+            c.record_fill(addr, i as u64 * 100 + 1);
+        }
+        // After filling 0 then 2 then 4, line 0 must have been evicted.
+        assert!(matches!(c.access(0, 1000), Probe::Miss { .. }));
+        // Line 4 (most recent) still resident.
+        assert_eq!(c.access(4 * 64, 1000), Probe::Hit);
+    }
+
+    #[test]
+    fn mshr_exhaustion_delays_new_miss() {
+        let mut c = tiny();
+        assert!(matches!(c.access(0, 0), Probe::Miss { .. }));
+        c.record_fill(0, 50);
+        assert!(matches!(c.access(64, 0), Probe::Miss { .. }));
+        c.record_fill(64, 80);
+        // Third distinct line with both MSHRs busy: must wait for the
+        // earliest (cycle 50).
+        match c.access(2 * 64, 1) {
+            Probe::Miss { may_start } => assert_eq!(may_start, 50),
+            p => panic!("expected delayed miss, got {p:?}"),
+        }
+    }
+
+    #[test]
+    fn touch_refreshes_lru() {
+        let mut c = tiny();
+        for line in [0u64, 2] {
+            c.access(line * 64, 0);
+            c.record_fill(line * 64, 1);
+        }
+        // Touch line 0 so line 2 becomes LRU.
+        assert_eq!(c.access(0, 10), Probe::Hit);
+        c.access(4 * 64, 11);
+        c.record_fill(4 * 64, 12);
+        assert_eq!(c.access(0, 20), Probe::Hit);
+        assert!(matches!(c.access(2 * 64, 20), Probe::Miss { .. }));
+    }
+
+    #[test]
+    fn untracked_access_does_not_count() {
+        let mut c = tiny();
+        let _ = c.access_untracked(0, 0);
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+}

@@ -1,0 +1,1151 @@
+//! The cycle-level out-of-order core.
+//!
+//! A trace-driven timing model of a BOOM-class 4-way superscalar core
+//! (Table 2): 8-wide fetch into a 48-entry fetch buffer, 4-wide
+//! dispatch into a 192-entry ROB and three issue queues, event-driven
+//! wakeup, a load/store unit with store-to-load forwarding and memory
+//! ordering speculation, and a commit stage classified every cycle into
+//! the paper's four states (Compute / Stalled / Drained / Flushed).
+//!
+//! The functional interpreter supplies the committed-path instruction
+//! stream; the timing model adds speculation effects by squashing and
+//! re-fetching instructions on flushes. Every in-flight instruction
+//! carries a [`Psv`] that accumulates the nine events of Table 1, and
+//! every cycle observers receive a [`CycleView`] — this is TEA's
+//! hardware substrate.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use tea_isa::interp::{DynInst, Machine};
+use tea_isa::program::Program;
+use tea_isa::{ExecClass, Inst, Reg, RegRef};
+
+use crate::branch::{BranchPredictor, BranchStats, ControlKind};
+use crate::config::SimConfig;
+use crate::hierarchy::{HierarchyStats, MemHierarchy};
+use crate::psv::{CommitState, Event, Psv};
+use crate::trace::{CycleView, InstRef, Observer, RetiredInst};
+
+/// Aggregate statistics of one simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Retired (committed) instructions.
+    pub retired: u64,
+    /// Cycles spent in each commit state, indexed as
+    /// [`CommitState::ALL`].
+    pub state_cycles: [u64; 4],
+    /// Retired instructions whose final PSV had each event set, indexed
+    /// by [`Event::ALL`].
+    pub event_insts: [u64; 9],
+    /// Retired instructions subjected to at least one event.
+    pub eventful_insts: u64,
+    /// Retired instructions subjected to two or more events (the
+    /// paper's *combined events*).
+    pub combined_event_insts: u64,
+    /// Pipeline squashes (mispredicts, commit flushes, MO violations).
+    pub squashes: u64,
+    /// Memory ordering violations detected.
+    pub mo_violations: u64,
+    /// Commit-time flushes (exceptions / CSR instructions).
+    pub commit_flushes: u64,
+    /// Injected sampling interrupts taken.
+    pub sampling_interrupts: u64,
+    /// Memory hierarchy statistics.
+    pub hier: HierarchyStats,
+    /// Branch predictor statistics.
+    pub branch: BranchStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles spent in a given commit state.
+    #[must_use]
+    pub fn cycles_in(&self, state: CommitState) -> u64 {
+        self.state_cycles[CommitState::ALL.iter().position(|s| *s == state).unwrap()]
+    }
+
+    /// Fraction of eventful retired instructions that saw combined
+    /// events (the paper reports 30.0 %).
+    #[must_use]
+    pub fn combined_event_fraction(&self) -> f64 {
+        if self.eventful_insts == 0 {
+            0.0
+        } else {
+            self.combined_event_insts as f64 / self.eventful_insts as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SlotRef {
+    idx: u32,
+    gen: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum IqKind {
+    Int,
+    Mem,
+    Fp,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    gen: u32,
+    live: bool,
+    d: DynInst,
+    psv: Psv,
+    unknown_deps: u8,
+    ready_lb: u64,
+    waiters: Vec<SlotRef>,
+    issued: bool,
+    complete: Option<u64>,
+    in_iq: Option<IqKind>,
+    mispredicted: bool,
+    resolved: bool,
+    dispatch_cycle: u64,
+    issue_cycle: u64,
+}
+
+impl Slot {
+    fn vacant() -> Self {
+        Slot {
+            gen: 0,
+            live: false,
+            d: DynInst {
+                seq: 0,
+                pc: 0,
+                index: 0,
+                inst: Inst::Nop,
+                mem_addr: None,
+                branch: None,
+            },
+            psv: Psv::empty(),
+            unknown_deps: 0,
+            ready_lb: 0,
+            waiters: Vec::new(),
+            issued: false,
+            complete: None,
+            in_iq: None,
+            mispredicted: false,
+            resolved: false,
+            dispatch_cycle: 0,
+            issue_cycle: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct IssueQueue {
+    cap: usize,
+    width: usize,
+    count: usize,
+    ready: BinaryHeap<Reverse<(u64, u64, u32, u32)>>, // (ready, seq, idx, gen)
+}
+
+impl IssueQueue {
+    fn new(cap: usize, width: usize) -> Self {
+        IssueQueue { cap, width, count: 0, ready: BinaryHeap::new() }
+    }
+    fn push_ready(&mut self, ready: u64, seq: u64, r: SlotRef) {
+        self.ready.push(Reverse((ready, seq, r.idx, r.gen)));
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LdqEntry {
+    seq: u64,
+    addr: u64,
+    issued_at: Option<u64>,
+    forwarded_from: Option<u64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StqEntry {
+    seq: u64,
+    addr: u64,
+    addr_known: bool,
+    complete: Option<u64>,
+    committed: bool,
+    drain_started: bool,
+    drain_done: u64,
+}
+
+/// Correct-path instruction stream with a replay window, fed by the
+/// functional interpreter.
+struct Stream<'p> {
+    machine: Machine<'p>,
+    buf: VecDeque<DynInst>,
+    base: u64,
+}
+
+impl<'p> Stream<'p> {
+    fn new(program: &'p Program) -> Self {
+        Stream { machine: Machine::new(program), buf: VecDeque::new(), base: 0 }
+    }
+
+    fn get(&mut self, seq: u64) -> Option<DynInst> {
+        while self.base + self.buf.len() as u64 <= seq {
+            match self.machine.step() {
+                Some(d) => self.buf.push_back(d),
+                None => return None,
+            }
+        }
+        self.buf.get((seq - self.base) as usize).copied()
+    }
+
+    fn release_below(&mut self, seq: u64) {
+        while self.base < seq && !self.buf.is_empty() {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+/// Classification snapshot captured at the commit stage.
+#[derive(Clone, Copy, Debug)]
+struct CommitSnapshot {
+    state: CommitState,
+    stalled_head: Option<InstRef>,
+    next_commit: Option<InstRef>,
+}
+
+/// The simulated core.
+pub struct Core<'p> {
+    cfg: SimConfig,
+    stream: Stream<'p>,
+    hier: MemHierarchy,
+    bp: BranchPredictor,
+    cycle: u64,
+    cursor: u64,
+
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    fetch_buf: VecDeque<SlotRef>,
+    rob: VecDeque<SlotRef>,
+    rename: [Option<SlotRef>; 64],
+    int_q: IssueQueue,
+    mem_q: IssueQueue,
+    fp_q: IssueQueue,
+    int_div_free: u64,
+    fp_div_free: u64,
+    fp_sqrt_free: u64,
+    ldq: Vec<LdqEntry>,
+    stq: VecDeque<StqEntry>,
+    events: BinaryHeap<Reverse<(u64, u64, u32, u32)>>, // (cycle, seq, idx, gen)
+
+    fetch_done: bool,
+    fetch_blocked_until: u64,
+    pending_fe_bits: Psv,
+    fetch_stalled_branch: Option<SlotRef>,
+    last_line: Option<u64>,
+    inflight_ctrl: usize,
+    line_shift: u32,
+
+    flush_active: bool,
+    sample_countdown: u64,
+    last_committed: Option<InstRef>,
+    halt_committed: bool,
+    last_commit_cycle: u64,
+
+    committed_buf: Vec<InstRef>,
+    retired_buf: Vec<RetiredInst>,
+    dispatched_buf: Vec<InstRef>,
+    fetched_buf: Vec<InstRef>,
+
+    stats: SimStats,
+}
+
+impl<'p> Core<'p> {
+    /// Creates a core ready to execute `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SimConfig::validate`]).
+    #[must_use]
+    pub fn new(program: &'p Program, cfg: SimConfig) -> Self {
+        cfg.validate();
+        let slot_count = cfg.rob_entries + cfg.fetch_buffer + cfg.fetch_width + 4;
+        Core {
+            hier: MemHierarchy::new(&cfg),
+            bp: BranchPredictor::new(&cfg.branch),
+            stream: Stream::new(program),
+            cycle: 0,
+            cursor: 0,
+            slots: vec![Slot::vacant(); slot_count],
+            free: (0..slot_count as u32).rev().collect(),
+            fetch_buf: VecDeque::with_capacity(cfg.fetch_buffer),
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rename: [None; 64],
+            int_q: IssueQueue::new(cfg.int_iq.entries, cfg.int_iq.issue_width),
+            mem_q: IssueQueue::new(cfg.mem_iq.entries, cfg.mem_iq.issue_width),
+            fp_q: IssueQueue::new(cfg.fp_iq.entries, cfg.fp_iq.issue_width),
+            int_div_free: 0,
+            fp_div_free: 0,
+            fp_sqrt_free: 0,
+            ldq: Vec::with_capacity(cfg.ldq_entries),
+            stq: VecDeque::with_capacity(cfg.stq_entries),
+            events: BinaryHeap::new(),
+            fetch_done: false,
+            fetch_blocked_until: 0,
+            pending_fe_bits: Psv::empty(),
+            fetch_stalled_branch: None,
+            last_line: None,
+            inflight_ctrl: 0,
+            line_shift: cfg.l1i.line_bytes.trailing_zeros(),
+            flush_active: false,
+            sample_countdown: cfg.sampling_injection.map_or(u64::MAX, |s| s.interval),
+            last_committed: None,
+            halt_committed: false,
+            last_commit_cycle: 0,
+            committed_buf: Vec::with_capacity(8),
+            retired_buf: Vec::with_capacity(8),
+            dispatched_buf: Vec::with_capacity(8),
+            fetched_buf: Vec::with_capacity(8),
+            stats: SimStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    fn valid(&self, r: SlotRef) -> bool {
+        let s = &self.slots[r.idx as usize];
+        s.live && s.gen == r.gen
+    }
+
+    fn alloc_slot(&mut self, d: DynInst) -> SlotRef {
+        let idx = self.free.pop().expect("slot pool exhausted");
+        let s = &mut self.slots[idx as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.live = true;
+        s.d = d;
+        s.psv = Psv::empty();
+        s.unknown_deps = 0;
+        s.ready_lb = 0;
+        s.waiters.clear();
+        s.issued = false;
+        s.complete = None;
+        s.in_iq = None;
+        s.mispredicted = false;
+        s.resolved = false;
+        s.dispatch_cycle = 0;
+        s.issue_cycle = 0;
+        SlotRef { idx, gen: s.gen }
+    }
+
+    fn kill_slot(&mut self, idx: u32) {
+        let s = &mut self.slots[idx as usize];
+        debug_assert!(s.live);
+        s.live = false;
+        s.gen = s.gen.wrapping_add(1);
+        if let Some(kind) = s.in_iq.take() {
+            match kind {
+                IqKind::Int => self.int_q.count -= 1,
+                IqKind::Mem => self.mem_q.count -= 1,
+                IqKind::Fp => self.fp_q.count -= 1,
+            }
+        }
+        self.free.push(idx);
+    }
+
+    fn iq_kind(class: ExecClass) -> IqKind {
+        match class {
+            ExecClass::Load | ExecClass::Store | ExecClass::Prefetch => IqKind::Mem,
+            ExecClass::FpAlu | ExecClass::FpMul | ExecClass::FpDiv | ExecClass::FpSqrt => {
+                IqKind::Fp
+            }
+            _ => IqKind::Int,
+        }
+    }
+
+    fn is_ctrl(class: ExecClass) -> bool {
+        matches!(class, ExecClass::Branch | ExecClass::Jump)
+    }
+
+    fn reg_index(r: RegRef) -> usize {
+        match r {
+            RegRef::Int(x) => x.index(),
+            RegRef::Fp(f) => 32 + f.index(),
+        }
+    }
+
+    fn inst_ref(&self, r: SlotRef) -> InstRef {
+        let s = &self.slots[r.idx as usize];
+        InstRef { seq: s.d.seq, addr: s.d.pc, psv: s.psv }
+    }
+
+    // ---- squash ----
+
+    fn squash_from(&mut self, from_seq: u64) {
+        self.stats.squashes += 1;
+        while let Some(&r) = self.rob.back() {
+            if self.slots[r.idx as usize].d.seq >= from_seq {
+                self.rob.pop_back();
+            } else {
+                break;
+            }
+        }
+        while let Some(&r) = self.fetch_buf.back() {
+            if self.slots[r.idx as usize].d.seq >= from_seq {
+                self.fetch_buf.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.ldq.retain(|e| e.seq < from_seq);
+        while let Some(e) = self.stq.back() {
+            if e.seq >= from_seq {
+                self.stq.pop_back();
+            } else {
+                break;
+            }
+        }
+        for idx in 0..self.slots.len() as u32 {
+            if self.slots[idx as usize].live
+                && self.slots[idx as usize].d.seq >= from_seq
+            {
+                self.kill_slot(idx);
+            }
+        }
+        // Rebuild the rename map from the surviving ROB contents.
+        self.rename = [None; 64];
+        for &r in &self.rob {
+            if let Some(dst) = self.slots[r.idx as usize].d.inst.dst() {
+                self.rename[Self::reg_index(dst)] = Some(r);
+            }
+        }
+        // Recount unresolved in-flight control instructions.
+        self.inflight_ctrl = self
+            .rob
+            .iter()
+            .chain(self.fetch_buf.iter())
+            .filter(|r| {
+                let s = &self.slots[r.idx as usize];
+                Self::is_ctrl(s.d.inst.class()) && !s.resolved
+            })
+            .count();
+        if let Some(b) = self.fetch_stalled_branch {
+            if !self.valid(b) {
+                self.fetch_stalled_branch = None;
+            }
+        }
+        self.cursor = self.cursor.min(from_seq);
+        self.last_line = None;
+        self.pending_fe_bits = Psv::empty();
+        self.fetch_done = false;
+    }
+
+    // ---- cycle phases ----
+
+    fn process_events(&mut self) {
+        let now = self.cycle;
+        while let Some(&Reverse((c, _seq, idx, gen))) = self.events.peek() {
+            if c > now {
+                break;
+            }
+            self.events.pop();
+            let r = SlotRef { idx, gen };
+            if !self.valid(r) {
+                continue;
+            }
+            let (comp, waiters, class, mispredicted, already_resolved, seq) = {
+                let s = &mut self.slots[idx as usize];
+                (
+                    s.complete.expect("completion event without completion time"),
+                    std::mem::take(&mut s.waiters),
+                    s.d.inst.class(),
+                    s.mispredicted,
+                    s.resolved,
+                    s.d.seq,
+                )
+            };
+            for w in waiters {
+                if !self.valid(w) {
+                    continue;
+                }
+                let (push, ready, wseq, kind) = {
+                    let ws = &mut self.slots[w.idx as usize];
+                    ws.ready_lb = ws.ready_lb.max(comp);
+                    ws.unknown_deps -= 1;
+                    (
+                        ws.unknown_deps == 0,
+                        ws.ready_lb,
+                        ws.d.seq,
+                        Self::iq_kind(ws.d.inst.class()),
+                    )
+                };
+                if push {
+                    self.iq_mut(kind).push_ready(ready, wseq, w);
+                }
+            }
+            if Self::is_ctrl(class) && !already_resolved {
+                self.slots[idx as usize].resolved = true;
+                self.inflight_ctrl = self.inflight_ctrl.saturating_sub(1);
+                if mispredicted {
+                    self.slots[idx as usize].psv.set(Event::FlMb);
+                    self.squash_from(seq + 1);
+                    self.flush_active = true;
+                    self.fetch_blocked_until =
+                        self.fetch_blocked_until.max(now + self.cfg.redirect_penalty);
+                    self.fetch_stalled_branch = None;
+                }
+            }
+        }
+    }
+
+    fn iq_mut(&mut self, kind: IqKind) -> &mut IssueQueue {
+        match kind {
+            IqKind::Int => &mut self.int_q,
+            IqKind::Mem => &mut self.mem_q,
+            IqKind::Fp => &mut self.fp_q,
+        }
+    }
+
+    fn commit(&mut self) -> CommitSnapshot {
+        let now = self.cycle;
+        self.committed_buf.clear();
+        self.retired_buf.clear();
+        while self.committed_buf.len() < self.cfg.commit_width {
+            let Some(&head) = self.rob.front() else { break };
+            let (complete, seq) = {
+                let s = &self.slots[head.idx as usize];
+                (s.complete, s.d.seq)
+            };
+            let Some(c) = complete else { break };
+            if c > now {
+                break;
+            }
+            let (mut psv, addr, class, dispatch_cycle, exec_latency, inst) = {
+                let s = &self.slots[head.idx as usize];
+                let exec_latency = s.complete.unwrap_or(s.issue_cycle) - s.issue_cycle;
+                (s.psv, s.d.pc, s.d.inst.class(), s.dispatch_cycle, exec_latency, s.d.inst)
+            };
+            if inst.flushes_at_commit() {
+                psv.set(Event::FlEx);
+            }
+            let iref = InstRef { seq, addr, psv };
+            self.committed_buf.push(iref);
+            self.last_committed = Some(iref);
+            self.retired_buf.push(RetiredInst {
+                seq,
+                addr,
+                psv,
+                commit_cycle: now,
+                dispatch_cycle,
+                exec_latency,
+                class,
+            });
+            match class {
+                ExecClass::Load => self.ldq.retain(|e| e.seq != seq),
+                ExecClass::Store => {
+                    if let Some(e) = self.stq.iter_mut().find(|e| e.seq == seq) {
+                        e.committed = true;
+                    }
+                }
+                _ => {}
+            }
+            self.rob.pop_front();
+            self.kill_slot(head.idx);
+            self.stats.retired += 1;
+            self.last_commit_cycle = now;
+            for (i, e) in Event::ALL.into_iter().enumerate() {
+                if psv.contains(e) {
+                    self.stats.event_insts[i] += 1;
+                }
+            }
+            if !psv.is_empty() {
+                self.stats.eventful_insts += 1;
+                if psv.is_combined() {
+                    self.stats.combined_event_insts += 1;
+                }
+            }
+            self.stream.release_below(seq + 1);
+            if inst == Inst::Halt {
+                self.halt_committed = true;
+                break;
+            }
+            if inst.flushes_at_commit() {
+                self.stats.commit_flushes += 1;
+                self.squash_from(seq + 1);
+                self.flush_active = true;
+                self.fetch_blocked_until =
+                    self.fetch_blocked_until.max(now + self.cfg.flush_penalty);
+                break;
+            }
+        }
+        // Classification snapshot at commit time.
+        if !self.committed_buf.is_empty() {
+            CommitSnapshot { state: CommitState::Compute, stalled_head: None, next_commit: None }
+        } else if let Some(&head) = self.rob.front() {
+            CommitSnapshot {
+                state: CommitState::Stalled,
+                stalled_head: Some(self.inst_ref(head)),
+                next_commit: Some(self.inst_ref(head)),
+            }
+        } else if self.flush_active {
+            let next = self.peek_next_commit();
+            CommitSnapshot { state: CommitState::Flushed, stalled_head: None, next_commit: next }
+        } else {
+            let next = self.peek_next_commit();
+            CommitSnapshot { state: CommitState::Drained, stalled_head: None, next_commit: next }
+        }
+    }
+
+    fn peek_next_commit(&mut self) -> Option<InstRef> {
+        if let Some(&front) = self.fetch_buf.front() {
+            return Some(self.inst_ref(front));
+        }
+        self.stream
+            .get(self.cursor)
+            .map(|d| InstRef { seq: d.seq, addr: d.pc, psv: Psv::empty() })
+    }
+
+    fn drain_stores(&mut self) {
+        let now = self.cycle;
+        // Free fully drained stores from the front, in order.
+        while let Some(e) = self.stq.front() {
+            if e.drain_started && e.drain_done <= now {
+                self.stq.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Initiate up to `store_drain_width` writebacks, in order.
+        let mut started = 0;
+        for i in 0..self.stq.len() {
+            if started >= self.cfg.store_drain_width {
+                break;
+            }
+            let e = self.stq[i];
+            if !e.committed {
+                break;
+            }
+            if e.drain_started {
+                continue;
+            }
+            let out = self.hier.access_data(e.addr, now);
+            let entry = &mut self.stq[i];
+            entry.drain_started = true;
+            entry.drain_done = out.ready;
+            started += 1;
+        }
+    }
+
+    fn issue(&mut self) {
+        for kind in [IqKind::Int, IqKind::Mem, IqKind::Fp] {
+            let width = self.iq_mut(kind).width;
+            let mut issued = 0;
+            while issued < width {
+                let cycle = self.cycle;
+                let top = match self.iq_mut(kind).ready.peek() {
+                    Some(&Reverse((ready, _, _, _))) if ready <= cycle => {
+                        self.iq_mut(kind).ready.pop().unwrap()
+                    }
+                    _ => break,
+                };
+                let Reverse((_, seq, idx, gen)) = top;
+                let r = SlotRef { idx, gen };
+                if !self.valid(r) {
+                    continue; // squashed while queued; costs no slot
+                }
+                if self.slots[idx as usize].issued {
+                    continue;
+                }
+                let class = self.slots[idx as usize].d.inst.class();
+                let now = self.cycle;
+                let lat = self.cfg.lat;
+                let complete = match class {
+                    ExecClass::IntAlu
+                    | ExecClass::Branch
+                    | ExecClass::Jump
+                    | ExecClass::Csr
+                    | ExecClass::Nop => now + lat.int_alu,
+                    ExecClass::IntMul => now + lat.int_mul,
+                    ExecClass::IntDiv => {
+                        if self.int_div_free > now {
+                            let free = self.int_div_free;
+                            self.iq_mut(kind).push_ready(free, seq, r);
+                            issued += 1;
+                            continue;
+                        }
+                        self.int_div_free = now + lat.int_div;
+                        now + lat.int_div
+                    }
+                    ExecClass::FpAlu => now + lat.fp_alu,
+                    ExecClass::FpMul => now + lat.fp_mul,
+                    ExecClass::FpDiv => {
+                        if self.fp_div_free > now {
+                            let free = self.fp_div_free;
+                            self.iq_mut(kind).push_ready(free, seq, r);
+                            issued += 1;
+                            continue;
+                        }
+                        self.fp_div_free = now + lat.fp_div;
+                        now + lat.fp_div
+                    }
+                    ExecClass::FpSqrt => {
+                        if self.fp_sqrt_free > now {
+                            let free = self.fp_sqrt_free;
+                            self.iq_mut(kind).push_ready(free, seq, r);
+                            issued += 1;
+                            continue;
+                        }
+                        self.fp_sqrt_free = now + lat.fp_sqrt;
+                        now + lat.fp_sqrt
+                    }
+                    ExecClass::Load => self.issue_load(r),
+                    ExecClass::Store => self.issue_store(r),
+                    ExecClass::Prefetch => self.issue_prefetch(r),
+                };
+                // The slot may have been squashed by its own store's MO
+                // violation handling (never: squashes start strictly
+                // after the issuing instruction), so it is still valid.
+                let s = &mut self.slots[idx as usize];
+                s.issued = true;
+                s.issue_cycle = now;
+                s.complete = Some(complete);
+                if let Some(k) = s.in_iq.take() {
+                    debug_assert_eq!(k, kind);
+                    self.iq_mut(kind).count -= 1;
+                }
+                self.events.push(Reverse((complete, seq, idx, gen)));
+                issued += 1;
+            }
+        }
+    }
+
+    fn issue_load(&mut self, r: SlotRef) -> u64 {
+        let now = self.cycle;
+        let (addr, seq) = {
+            let s = &self.slots[r.idx as usize];
+            (s.d.mem_addr.expect("load without address"), s.d.seq)
+        };
+        let tr = self.hier.translate_data(addr, now);
+        if tr.miss {
+            self.slots[r.idx as usize].psv.set(Event::StTlb);
+        }
+        let word = addr >> 3;
+        let mut forward: Option<(u64, u64)> = None;
+        for e in self.stq.iter().rev() {
+            if e.seq >= seq || !e.addr_known {
+                continue;
+            }
+            if e.addr >> 3 == word {
+                forward = Some((e.seq, e.complete.expect("resolved store without data time")));
+                break;
+            }
+        }
+        let entry = self
+            .ldq
+            .iter_mut()
+            .find(|e| e.seq == seq)
+            .expect("issued load missing from LDQ");
+        entry.issued_at = Some(now);
+        if let Some((sseq, scomp)) = forward {
+            entry.forwarded_from = Some(sseq);
+            tr.ready.max(scomp) + self.cfg.lat.forward
+        } else {
+            let out = self.hier.access_data(addr, tr.ready);
+            if out.l1_miss {
+                self.slots[r.idx as usize].psv.set(Event::StL1);
+            }
+            if out.llc_miss {
+                self.slots[r.idx as usize].psv.set(Event::StLlc);
+            }
+            out.ready
+        }
+    }
+
+    fn issue_store(&mut self, r: SlotRef) -> u64 {
+        let now = self.cycle;
+        let (addr, seq) = {
+            let s = &self.slots[r.idx as usize];
+            (s.d.mem_addr.expect("store without address"), s.d.seq)
+        };
+        let tr = self.hier.translate_data(addr, now);
+        if tr.miss {
+            self.slots[r.idx as usize].psv.set(Event::StTlb);
+        }
+        let complete = tr.ready + 1;
+        if let Some(e) = self.stq.iter_mut().find(|e| e.seq == seq) {
+            e.addr_known = true;
+            e.complete = Some(complete);
+        }
+        // Memory ordering check: a younger load to the same word that
+        // already executed read stale data.
+        let word = addr >> 3;
+        let victim = self
+            .ldq
+            .iter()
+            .filter(|le| {
+                le.seq > seq
+                    && le.issued_at.is_some()
+                    && le.addr >> 3 == word
+                    && le.forwarded_from != Some(seq)
+            })
+            .map(|le| le.seq)
+            .min();
+        if let Some(vseq) = victim {
+            self.slots[r.idx as usize].psv.set(Event::FlMo);
+            self.stats.mo_violations += 1;
+            self.squash_from(vseq);
+            self.flush_active = true;
+            self.fetch_blocked_until =
+                self.fetch_blocked_until.max(now + self.cfg.flush_penalty);
+        }
+        complete
+    }
+
+    fn issue_prefetch(&mut self, r: SlotRef) -> u64 {
+        let now = self.cycle;
+        let addr = self.slots[r.idx as usize].d.mem_addr.expect("prefetch without address");
+        let tr = self.hier.translate_data(addr, now);
+        self.hier.prefetch_data(addr, tr.ready);
+        now + 1
+    }
+
+    fn dispatch(&mut self) {
+        let now = self.cycle;
+        self.dispatched_buf.clear();
+        for _ in 0..self.cfg.dispatch_width {
+            let Some(&front) = self.fetch_buf.front() else { break };
+            let class = self.slots[front.idx as usize].d.inst.class();
+            if self.rob.len() >= self.cfg.rob_entries {
+                break;
+            }
+            let kind = Self::iq_kind(class);
+            if self.iq_mut(kind).count >= self.iq_mut(kind).cap {
+                break;
+            }
+            match class {
+                ExecClass::Load
+                    if self.ldq.len() >= self.cfg.ldq_entries => {
+                        break;
+                    }
+                ExecClass::Store
+                    if self.stq.len() >= self.cfg.stq_entries => {
+                        // The paper's DR-SQ event: a store that cannot
+                        // dispatch because the store queue is full of
+                        // completed-but-not-retired stores.
+                        self.slots[front.idx as usize].psv.set(Event::DrSq);
+                        break;
+                    }
+                _ => {}
+            }
+            self.fetch_buf.pop_front();
+            self.rob.push_back(front);
+            self.flush_active = false;
+            let (d, mut ready_lb, mut unknown) = {
+                let s = &mut self.slots[front.idx as usize];
+                s.dispatch_cycle = now;
+                (s.d, now + 1, 0u8)
+            };
+            self.dispatched_buf.push(self.inst_ref(front));
+            for src in d.inst.srcs().into_iter().flatten() {
+                let ri = Self::reg_index(src);
+                if let Some(pref) = self.rename[ri] {
+                    if self.valid(pref) {
+                        match self.slots[pref.idx as usize].complete {
+                            Some(c) => ready_lb = ready_lb.max(c),
+                            None => {
+                                unknown += 1;
+                                self.slots[pref.idx as usize].waiters.push(front);
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(dst) = d.inst.dst() {
+                self.rename[Self::reg_index(dst)] = Some(front);
+            }
+            {
+                let s = &mut self.slots[front.idx as usize];
+                s.ready_lb = ready_lb;
+                s.unknown_deps = unknown;
+                s.in_iq = Some(kind);
+            }
+            self.iq_mut(kind).count += 1;
+            if unknown == 0 {
+                self.iq_mut(kind).push_ready(ready_lb, d.seq, front);
+            }
+            match class {
+                ExecClass::Load => self.ldq.push(LdqEntry {
+                    seq: d.seq,
+                    addr: d.mem_addr.expect("load without address"),
+                    issued_at: None,
+                    forwarded_from: None,
+                }),
+                ExecClass::Store => self.stq.push_back(StqEntry {
+                    seq: d.seq,
+                    addr: d.mem_addr.expect("store without address"),
+                    addr_known: false,
+                    complete: None,
+                    committed: false,
+                    drain_started: false,
+                    drain_done: 0,
+                }),
+                _ => {}
+            }
+        }
+    }
+
+    fn fetch(&mut self) {
+        let now = self.cycle;
+        self.fetched_buf.clear();
+        if self.fetch_done
+            || now < self.fetch_blocked_until
+            || self.fetch_stalled_branch.is_some()
+        {
+            return;
+        }
+        let mut line_this_cycle: Option<u64> = None;
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_buf.len() >= self.cfg.fetch_buffer {
+                break;
+            }
+            if self.inflight_ctrl >= self.cfg.max_branches {
+                break;
+            }
+            let Some(d) = self.stream.get(self.cursor) else {
+                self.fetch_done = true;
+                break;
+            };
+            let line = d.pc >> self.line_shift;
+            match line_this_cycle {
+                None => {
+                    if self.last_line != Some(line) {
+                        let out = self.hier.access_inst(d.pc, now);
+                        if out.l1i_miss || out.itlb_miss {
+                            self.fetch_blocked_until = out.ready;
+                            if out.l1i_miss {
+                                self.pending_fe_bits.set(Event::DrL1);
+                            }
+                            if out.itlb_miss {
+                                self.pending_fe_bits.set(Event::DrTlb);
+                            }
+                            return;
+                        }
+                    }
+                    line_this_cycle = Some(line);
+                    self.last_line = Some(line);
+                }
+                Some(l) if l != line => break,
+                _ => {}
+            }
+            let r = self.alloc_slot(d);
+            self.slots[r.idx as usize].psv = self.pending_fe_bits;
+            self.pending_fe_bits = Psv::empty();
+            self.fetch_buf.push_back(r);
+            self.fetched_buf.push(self.inst_ref(r));
+            self.cursor += 1;
+            let class = d.inst.class();
+            if Self::is_ctrl(class) {
+                let outcome = d.branch.expect("control instruction without outcome");
+                let kind = match d.inst {
+                    Inst::Jal { rd, .. } if rd == Reg::RA => ControlKind::Call,
+                    Inst::Jal { .. } => ControlKind::DirectJump,
+                    Inst::Jalr { rd, rs1, .. } if rs1 == Reg::RA && rd == Reg::ZERO => {
+                        ControlKind::Return
+                    }
+                    Inst::Jalr { rd, .. } if rd == Reg::RA => ControlKind::IndirectCall,
+                    Inst::Jalr { .. } => ControlKind::IndirectJump,
+                    _ => ControlKind::Conditional,
+                };
+                let mispredict =
+                    self.bp.predict_and_update(d.pc, kind, outcome.taken, outcome.target);
+                self.slots[r.idx as usize].mispredicted = mispredict;
+                self.inflight_ctrl += 1;
+                if mispredict {
+                    self.fetch_stalled_branch = Some(r);
+                    break;
+                }
+                if outcome.taken {
+                    self.last_line = None;
+                    break;
+                }
+            }
+            if d.inst == Inst::Halt {
+                self.fetch_done = true;
+                break;
+            }
+        }
+    }
+
+    /// Runs to completion (the program's `halt` committing), driving the
+    /// observers, and returns the run's statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core makes no forward progress for an extended
+    /// period (a timing-model bug) or the program never halts within
+    /// `u64::MAX` cycles.
+    pub fn run(&mut self, observers: &mut [&mut dyn Observer]) -> SimStats {
+        self.run_for(u64::MAX, observers)
+    }
+
+    /// Runs for at most `max_cycles`, driving the observers.
+    pub fn run_for(&mut self, max_cycles: u64, observers: &mut [&mut dyn Observer]) -> SimStats {
+        let start = self.cycle;
+        while !self.halt_committed && self.cycle - start < max_cycles {
+            self.take_sampling_interrupt();
+            self.process_events();
+            let snapshot = self.commit();
+            self.drain_stores();
+            self.issue();
+            self.dispatch();
+            self.fetch();
+
+            let state_idx = CommitState::ALL
+                .iter()
+                .position(|s| *s == snapshot.state)
+                .unwrap();
+            self.stats.state_cycles[state_idx] += 1;
+            let view = CycleView {
+                cycle: self.cycle,
+                state: snapshot.state,
+                committed: &self.committed_buf,
+                stalled_head: snapshot.stalled_head,
+                next_commit: snapshot.next_commit,
+                last_committed: self.last_committed,
+                dispatched: &self.dispatched_buf,
+                fetched: &self.fetched_buf,
+            };
+            for obs in observers.iter_mut() {
+                obs.on_cycle(&view);
+            }
+            for retired in &self.retired_buf {
+                for obs in observers.iter_mut() {
+                    obs.on_retire(retired);
+                }
+            }
+            assert!(
+                self.cycle - self.last_commit_cycle < 500_000,
+                "no commit for 500k cycles at cycle {} (pc of next inst: {:?}): timing deadlock",
+                self.cycle,
+                self.stream.get(self.cursor).map(|d| d.pc)
+            );
+            self.cycle += 1;
+            self.stats.cycles += 1;
+        }
+        self.stats.hier = self.hier.stats();
+        self.stats.branch = self.bp.stats();
+        if self.halt_committed {
+            for obs in observers.iter_mut() {
+                obs.on_finish(self.stats.cycles);
+            }
+        }
+        self.stats
+    }
+
+    /// Takes a PMU sampling interrupt when the injected sampling timer
+    /// fires: the pipeline is flushed and fetch stalls while the handler
+    /// stores the sample (Section 3's runtime overhead, measured rather
+    /// than modelled).
+    fn take_sampling_interrupt(&mut self) {
+        let Some(inj) = self.cfg.sampling_injection else { return };
+        self.sample_countdown = self.sample_countdown.saturating_sub(1);
+        if self.sample_countdown > 0 {
+            return;
+        }
+        self.sample_countdown = inj.interval;
+        self.stats.sampling_interrupts += 1;
+        // Trap at the next instruction boundary: squash everything that
+        // has not committed and run the handler.
+        let resume_seq = self
+            .rob
+            .front()
+            .map(|r| self.slots[r.idx as usize].d.seq)
+            .or_else(|| self.fetch_buf.front().map(|r| self.slots[r.idx as usize].d.seq))
+            .unwrap_or(self.cursor);
+        self.squash_from(resume_seq);
+        self.flush_active = true;
+        self.fetch_blocked_until = self
+            .fetch_blocked_until
+            .max(self.cycle + self.cfg.flush_penalty + inj.handler_cycles);
+        // The handler makes forward progress even if the program does
+        // not commit during it.
+        self.last_commit_cycle = self.cycle;
+    }
+
+    /// Whether the program's `halt` has committed.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halt_committed
+    }
+
+    /// Current cycle (the core's local clock).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Jumps the local clock forward to `cycle` without simulating the
+    /// skipped cycles (used by [`crate::system::System`] to keep
+    /// descheduled cores aligned with the global clock; skipped cycles
+    /// do not count towards [`SimStats::cycles`]).
+    pub fn advance_clock_to(&mut self, cycle: u64) {
+        if cycle > self.cycle {
+            self.cycle = cycle;
+            self.last_commit_cycle = self.last_commit_cycle.max(cycle.saturating_sub(1));
+        }
+    }
+
+    /// Takes an external interrupt: squashes everything that has not
+    /// committed and blocks fetch for `penalty` cycles (context-switch
+    /// cost). The squashed instructions re-fetch afterwards.
+    pub fn interrupt_flush(&mut self, penalty: u64) {
+        if self.halt_committed {
+            return;
+        }
+        let resume_seq = self
+            .rob
+            .front()
+            .map(|r| self.slots[r.idx as usize].d.seq)
+            .or_else(|| self.fetch_buf.front().map(|r| self.slots[r.idx as usize].d.seq))
+            .unwrap_or(self.cursor);
+        self.squash_from(resume_seq);
+        self.flush_active = true;
+        self.fetch_blocked_until = self.fetch_blocked_until.max(self.cycle + penalty);
+        self.last_commit_cycle = self.cycle;
+    }
+
+    pub(crate) fn hierarchy_mut(&mut self) -> &mut MemHierarchy {
+        &mut self.hier
+    }
+
+    /// Cumulative statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.hier = self.hier.stats();
+        s.branch = self.bp.stats();
+        s
+    }
+}
+
+/// Convenience: simulate `program` under `cfg`, driving `observers`.
+pub fn simulate(
+    program: &Program,
+    cfg: SimConfig,
+    observers: &mut [&mut dyn Observer],
+) -> SimStats {
+    Core::new(program, cfg).run(observers)
+}

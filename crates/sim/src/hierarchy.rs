@@ -1,0 +1,388 @@
+//! The full memory hierarchy: split L1 caches, a shared LLC, two-level
+//! TLBs, and a bandwidth-limited DRAM — Table 2's memory system.
+//!
+//! The hierarchy is a functional timing model: an access returns the
+//! cycle at which its data is available plus the miss flags that feed
+//! the PSV event bits (ST-L1, ST-LLC, ST-TLB, DR-L1, DR-TLB).
+
+use crate::cache::{Cache, Probe};
+use crate::config::SimConfig;
+use crate::tlb::Tlb;
+
+/// Timing and event outcome of one data-side access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataOutcome {
+    /// Cycle at which the data is available to the core.
+    pub ready: u64,
+    /// The access missed in the L1 data cache (sets ST-L1).
+    pub l1_miss: bool,
+    /// The access missed in the LLC (sets ST-LLC for loads).
+    pub llc_miss: bool,
+}
+
+/// Timing and event outcome of one instruction-side access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstOutcome {
+    /// Cycle at which the fetch packet is available.
+    pub ready: u64,
+    /// The fetch missed in the L1 instruction cache (sets DR-L1).
+    pub l1i_miss: bool,
+    /// The fetch missed in the L1 instruction TLB (sets DR-TLB).
+    pub itlb_miss: bool,
+}
+
+/// Timing and event outcome of one address translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranslateOutcome {
+    /// Cycle at which the translation is available.
+    pub ready: u64,
+    /// The first-level TLB missed (sets ST-TLB / DR-TLB).
+    pub miss: bool,
+}
+
+/// Aggregate hierarchy statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1I demand accesses.
+    pub l1i_accesses: u64,
+    /// L1I demand misses.
+    pub l1i_misses: u64,
+    /// L1D demand accesses.
+    pub l1d_accesses: u64,
+    /// L1D demand misses.
+    pub l1d_misses: u64,
+    /// LLC demand accesses.
+    pub llc_accesses: u64,
+    /// LLC demand misses.
+    pub llc_misses: u64,
+    /// L1 D-TLB accesses.
+    pub dtlb_accesses: u64,
+    /// L1 D-TLB misses.
+    pub dtlb_misses: u64,
+    /// L1 I-TLB accesses.
+    pub itlb_accesses: u64,
+    /// L1 I-TLB misses.
+    pub itlb_misses: u64,
+    /// Lines transferred from DRAM.
+    pub dram_lines: u64,
+}
+
+/// The complete memory hierarchy.
+#[derive(Clone, Debug)]
+pub struct MemHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    llc: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    l2_tlb: Tlb,
+    page_shift: u32,
+    l2_tlb_latency: u64,
+    ptw_latency: u64,
+    l1i_latency: u64,
+    l1d_latency: u64,
+    llc_latency: u64,
+    mem_latency: u64,
+    line_interval: u64,
+    line_bytes: u64,
+    next_line_prefetch: bool,
+    dram_next_free: u64,
+    dram_lines: u64,
+}
+
+impl MemHierarchy {
+    /// Builds the hierarchy from a simulator configuration.
+    #[must_use]
+    pub fn new(cfg: &SimConfig) -> Self {
+        MemHierarchy {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            llc: Cache::new(cfg.llc),
+            itlb: Tlb::new(cfg.itlb),
+            dtlb: Tlb::new(cfg.dtlb),
+            l2_tlb: Tlb::new(cfg.l2_tlb),
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            l2_tlb_latency: cfg.l2_tlb.hit_latency,
+            ptw_latency: cfg.ptw_latency,
+            l1i_latency: cfg.l1i.hit_latency,
+            l1d_latency: cfg.l1d.hit_latency,
+            llc_latency: cfg.llc.hit_latency,
+            mem_latency: cfg.mem.latency,
+            line_interval: cfg.mem.min_line_interval,
+            line_bytes: cfg.l1d.line_bytes,
+            next_line_prefetch: cfg.next_line_prefetch,
+            dram_next_free: 0,
+            dram_lines: 0,
+        }
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1i_accesses: self.l1i.accesses(),
+            l1i_misses: self.l1i.misses(),
+            l1d_accesses: self.l1d.accesses(),
+            l1d_misses: self.l1d.misses(),
+            llc_accesses: self.llc.accesses(),
+            llc_misses: self.llc.misses(),
+            dtlb_accesses: self.dtlb.accesses(),
+            dtlb_misses: self.dtlb.misses(),
+            itlb_accesses: self.itlb.accesses(),
+            itlb_misses: self.itlb.misses(),
+            dram_lines: self.dram_lines,
+        }
+    }
+
+    fn dram_fill(&mut self, at: u64) -> u64 {
+        let issue = at.max(self.dram_next_free);
+        self.dram_next_free = issue + self.line_interval;
+        self.dram_lines += 1;
+        issue + self.mem_latency
+    }
+
+    /// Walks the LLC (and DRAM beyond it); returns `(fill_ready,
+    /// llc_missed)`.
+    fn llc_path(&mut self, addr: u64, at: u64, tracked: bool) -> (u64, bool) {
+        let probe = if tracked {
+            self.llc.access(addr, at)
+        } else {
+            self.llc.access_untracked(addr, at)
+        };
+        match probe {
+            Probe::Hit => (at + self.llc_latency, false),
+            Probe::InFlight { ready } => (ready.max(at), true),
+            Probe::Miss { may_start } => {
+                let ready = self.dram_fill(may_start + self.llc_latency);
+                self.llc.record_fill(addr, ready);
+                (ready, true)
+            }
+        }
+    }
+
+    /// Walks the data side from the L1D down; returns fill timing and
+    /// miss flags.
+    fn l1d_path(&mut self, addr: u64, at: u64, tracked: bool) -> DataOutcome {
+        let probe = if tracked {
+            self.l1d.access(addr, at)
+        } else {
+            self.l1d.access_untracked(addr, at)
+        };
+        match probe {
+            Probe::Hit => DataOutcome { ready: at + self.l1d_latency, l1_miss: false, llc_miss: false },
+            Probe::InFlight { ready } => {
+                DataOutcome { ready: ready.max(at + self.l1d_latency), l1_miss: true, llc_miss: false }
+            }
+            Probe::Miss { may_start } => {
+                let (ready, llc_miss) =
+                    self.llc_path(addr, may_start + self.l1d_latency, tracked);
+                self.l1d.record_fill(addr, ready);
+                DataOutcome { ready, l1_miss: true, llc_miss }
+            }
+        }
+    }
+
+    /// A demand data access (load or store write-allocate) at cycle
+    /// `at`. Triggers the next-line prefetcher on a demand L1D miss.
+    pub fn access_data(&mut self, addr: u64, at: u64) -> DataOutcome {
+        let out = self.l1d_path(addr, at, true);
+        if out.l1_miss && self.next_line_prefetch {
+            self.prefetch_data(addr + self.line_bytes, at);
+        }
+        out
+    }
+
+    /// A non-binding prefetch into the L1D (software `prefetch` or the
+    /// next-line prefetcher). Silently dropped when no MSHR is free.
+    pub fn prefetch_data(&mut self, addr: u64, at: u64) {
+        if !self.l1d.mshr_available(at) {
+            return;
+        }
+        if let Probe::Miss { may_start } = self.l1d.access_untracked(addr, at) {
+            let (ready, _) = self.llc_path(addr, may_start + self.l1d_latency, false);
+            self.l1d.record_fill(addr, ready);
+        }
+    }
+
+    /// Translates a data address; `at` is the cycle the AGU produced it.
+    pub fn translate_data(&mut self, addr: u64, at: u64) -> TranslateOutcome {
+        let vpn = addr >> self.page_shift;
+        if self.dtlb.lookup(vpn) {
+            return TranslateOutcome { ready: at, miss: false };
+        }
+        let ready = self.walk_second_level(vpn, at);
+        self.dtlb.fill(vpn);
+        TranslateOutcome { ready, miss: true }
+    }
+
+    /// Translates an instruction address.
+    pub fn translate_inst(&mut self, addr: u64, at: u64) -> TranslateOutcome {
+        let vpn = addr >> self.page_shift;
+        if self.itlb.lookup(vpn) {
+            return TranslateOutcome { ready: at, miss: false };
+        }
+        let ready = self.walk_second_level(vpn, at);
+        self.itlb.fill(vpn);
+        TranslateOutcome { ready, miss: true }
+    }
+
+    fn walk_second_level(&mut self, vpn: u64, at: u64) -> u64 {
+        if self.l2_tlb.lookup(vpn) {
+            at + self.l2_tlb_latency
+        } else {
+            self.l2_tlb.fill(vpn);
+            at + self.l2_tlb_latency + self.ptw_latency
+        }
+    }
+
+    /// An instruction fetch of the line containing `addr` at cycle `at`:
+    /// I-TLB translation in parallel with the L1I access.
+    pub fn access_inst(&mut self, addr: u64, at: u64) -> InstOutcome {
+        let tr = self.translate_inst(addr, at);
+        let (cache_ready, l1i_miss) = match self.l1i.access(addr, at) {
+            Probe::Hit => (at + self.l1i_latency, false),
+            Probe::InFlight { ready } => (ready.max(at + self.l1i_latency), true),
+            Probe::Miss { may_start } => {
+                let (ready, _) = self.llc_path(addr, may_start + self.l1i_latency, true);
+                self.l1i.record_fill(addr, ready);
+                (ready, true)
+            }
+        };
+        InstOutcome { ready: cache_ready.max(tr.ready), l1i_miss, itlb_miss: tr.miss }
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Swaps the shared levels (LLC and DRAM state) with `other`,
+    /// leaving the private levels (L1s, TLBs) untouched. Used by
+    /// [`crate::cmp::CmpSystem`] to let several cores share one LLC:
+    /// the shared state is swapped into the active core for its cycle
+    /// and back out afterwards (O(1): only vector headers move).
+    pub fn swap_shared_levels(&mut self, other: &mut MemHierarchy) {
+        std::mem::swap(&mut self.llc, &mut other.llc);
+        std::mem::swap(&mut self.dram_next_free, &mut other.dram_next_free);
+        std::mem::swap(&mut self.dram_lines, &mut other.dram_lines);
+    }
+
+    /// Whether the L1D currently holds the line of `addr` (testing hook).
+    #[must_use]
+    pub fn l1d_contains(&self, addr: u64) -> bool {
+        self.l1d.contains(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> MemHierarchy {
+        MemHierarchy::new(&SimConfig::default())
+    }
+
+    #[test]
+    fn cold_load_goes_to_dram_and_warms_caches() {
+        let mut h = hier();
+        let cfg = SimConfig::default();
+        let o = h.access_data(0x10_0000, 0);
+        assert!(o.l1_miss && o.llc_miss);
+        // At least L1 + LLC + DRAM latency.
+        assert!(o.ready >= cfg.l1d.hit_latency + cfg.llc.hit_latency + cfg.mem.latency);
+        // Warm hit afterwards.
+        let o2 = h.access_data(0x10_0000, o.ready + 1);
+        assert!(!o2.l1_miss && !o2.llc_miss);
+        assert_eq!(o2.ready, o.ready + 1 + cfg.l1d.hit_latency);
+    }
+
+    #[test]
+    fn llc_hit_after_l1_eviction() {
+        let mut h = hier();
+        let cfg = SimConfig::default();
+        let mut t = 0;
+        // Stream enough distinct lines through a single L1 set to evict
+        // the first one but stay inside the LLC.
+        let set_stride = cfg.l1d.sets as u64 * cfg.l1d.line_bytes;
+        for i in 0..(cfg.l1d.ways as u64 + 2) {
+            let o = h.access_data(0x10_0000 + i * set_stride, t);
+            t = o.ready + 1;
+        }
+        let o = h.access_data(0x10_0000, t);
+        assert!(o.l1_miss, "line must have been evicted from L1");
+        assert!(!o.llc_miss, "line must still be in the 2 MiB LLC");
+    }
+
+    #[test]
+    fn dram_bandwidth_serialises_fills() {
+        let mut h = hier();
+        let cfg = SimConfig::default();
+        // Two concurrent misses to different lines: second fill starts
+        // one line-interval later.
+        let a = h.access_data(0x100_0000, 0);
+        let b = h.access_data(0x200_0000, 0);
+        assert!(b.ready >= a.ready + cfg.mem.min_line_interval);
+    }
+
+    #[test]
+    fn tlb_walk_latency_orders() {
+        let mut h = hier();
+        let cfg = SimConfig::default();
+        // Cold page: L1 miss + L2 miss -> PTW.
+        let t1 = h.translate_data(0x40_0000, 100);
+        assert!(t1.miss);
+        assert_eq!(t1.ready, 100 + cfg.l2_tlb.hit_latency + cfg.ptw_latency);
+        // Same page again: L1 hit.
+        let t2 = h.translate_data(0x40_0008, 200);
+        assert!(!t2.miss);
+        assert_eq!(t2.ready, 200);
+    }
+
+    #[test]
+    fn l2_tlb_catches_l1_evictions() {
+        let mut h = hier();
+        let cfg = SimConfig::default();
+        let page = cfg.page_bytes;
+        // Touch more pages than the 32-entry L1 D-TLB holds.
+        for i in 0..(cfg.dtlb.entries as u64 + 4) {
+            let _ = h.translate_data(i * page, 0);
+        }
+        // First page: L1 miss, L2 hit (1024-entry direct-mapped).
+        let t = h.translate_data(0, 1000);
+        assert!(t.miss);
+        assert_eq!(t.ready, 1000 + cfg.l2_tlb.hit_latency);
+    }
+
+    #[test]
+    fn next_line_prefetch_warms_the_following_line() {
+        let mut h = hier();
+        let o = h.access_data(0x50_0000, 0);
+        assert!(o.l1_miss);
+        // After both fills complete, the *next* line hits in L1 without
+        // a demand miss.
+        let line = h.line_bytes();
+        let o2 = h.access_data(0x50_0000 + line, o.ready + 200);
+        assert!(!o2.l1_miss, "next-line prefetcher should have filled it");
+    }
+
+    #[test]
+    fn software_prefetch_is_silent_and_warms() {
+        let mut h = hier();
+        let before = h.stats();
+        h.prefetch_data(0x60_0000, 0);
+        let after = h.stats();
+        assert_eq!(before.l1d_accesses, after.l1d_accesses, "prefetch is not a demand access");
+        let o = h.access_data(0x60_0000, 500);
+        assert!(!o.l1_miss);
+    }
+
+    #[test]
+    fn inst_fetch_miss_flags() {
+        let mut h = hier();
+        let o = h.access_inst(0x1_0000, 0);
+        assert!(o.l1i_miss && o.itlb_miss);
+        let o2 = h.access_inst(0x1_0000, o.ready + 1);
+        assert!(!o2.l1i_miss && !o2.itlb_miss);
+    }
+}

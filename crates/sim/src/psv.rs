@@ -1,0 +1,329 @@
+//! Performance events and Performance Signature Vectors (PSVs).
+//!
+//! TEA tracks nine performance events for every in-flight instruction
+//! (Table 1 of the paper). Each event is named `X-Y` where `X` is the
+//! non-compute commit state it explains (**DR**ained, **ST**alled,
+//! **FL**ushed) and `Y` is the microarchitectural cause. A [`Psv`] holds
+//! one bit per event; an instruction subjected to several events (e.g. a
+//! load missing in both the L1 data cache and the data TLB) has several
+//! bits set — the paper's *combined events*.
+
+use std::fmt;
+
+/// One of the nine performance events TEA tracks (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Event {
+    /// L1 instruction cache miss (explains the Drained state).
+    DrL1 = 0,
+    /// L1 instruction TLB miss (Drained).
+    DrTlb = 1,
+    /// Store stalled at dispatch on a full store queue (Drained).
+    DrSq = 2,
+    /// Mispredicted branch (Flushed).
+    FlMb = 3,
+    /// Instruction caused an exception (Flushed).
+    FlEx = 4,
+    /// Memory ordering violation (Flushed).
+    FlMo = 5,
+    /// L1 data cache miss (Stalled).
+    StL1 = 6,
+    /// L1 data TLB miss (Stalled).
+    StTlb = 7,
+    /// LLC miss caused by a load instruction (Stalled).
+    StLlc = 8,
+}
+
+impl Event {
+    /// All nine events, in Table 1 order.
+    pub const ALL: [Event; 9] = [
+        Event::DrL1,
+        Event::DrTlb,
+        Event::DrSq,
+        Event::FlMb,
+        Event::FlEx,
+        Event::FlMo,
+        Event::StL1,
+        Event::StTlb,
+        Event::StLlc,
+    ];
+
+    /// The paper's name for the event, e.g. `"ST-L1"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::DrL1 => "DR-L1",
+            Event::DrTlb => "DR-TLB",
+            Event::DrSq => "DR-SQ",
+            Event::FlMb => "FL-MB",
+            Event::FlEx => "FL-EX",
+            Event::FlMo => "FL-MO",
+            Event::StL1 => "ST-L1",
+            Event::StTlb => "ST-TLB",
+            Event::StLlc => "ST-LLC",
+        }
+    }
+
+    /// Table 1's description of the event.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Event::DrL1 => "L1 instruction cache miss",
+            Event::DrTlb => "L1 instruction TLB miss",
+            Event::DrSq => "Store instruction stalled at dispatch",
+            Event::FlMb => "Mispredicted branch",
+            Event::FlEx => "Instruction caused exception",
+            Event::FlMo => "Memory ordering violation",
+            Event::StL1 => "L1 data cache miss",
+            Event::StTlb => "L1 data TLB miss",
+            Event::StLlc => "LLC miss caused by a load instruction",
+        }
+    }
+
+    /// The bit mask of this event inside a [`Psv`].
+    #[must_use]
+    pub fn bit(self) -> u16 {
+        1 << (self as u8)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A Performance Signature Vector: one bit per supported performance
+/// event, attached to every in-flight instruction.
+///
+/// # Example
+///
+/// ```
+/// use tea_sim::psv::{Event, Psv};
+///
+/// let mut psv = Psv::empty();
+/// assert!(psv.is_empty());
+/// psv.set(Event::StL1);
+/// psv.set(Event::StTlb);
+/// assert!(psv.contains(Event::StL1));
+/// assert_eq!(psv.count(), 2);
+/// assert!(psv.is_combined());
+/// assert_eq!(psv.to_string(), "ST-L1+ST-TLB");
+/// assert_eq!(Psv::empty().to_string(), "Base");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Psv(u16);
+
+impl Psv {
+    /// Mask covering all nine defined event bits.
+    pub const ALL_BITS: u16 = 0x1ff;
+
+    /// The empty signature (the paper's *Base* category).
+    #[must_use]
+    pub fn empty() -> Self {
+        Psv(0)
+    }
+
+    /// Builds a signature from raw bits.
+    ///
+    /// Bits outside the nine defined events are discarded.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        Psv(bits & Self::ALL_BITS)
+    }
+
+    /// Builds a signature containing the given events.
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut p = Psv::empty();
+        for &e in events {
+            p.set(e);
+        }
+        p
+    }
+
+    /// Raw bit representation.
+    #[must_use]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Sets an event bit.
+    pub fn set(&mut self, event: Event) {
+        self.0 |= event.bit();
+    }
+
+    /// Whether the event bit is set.
+    #[must_use]
+    pub fn contains(self, event: Event) -> bool {
+        self.0 & event.bit() != 0
+    }
+
+    /// Whether no events are set (the *Base* category).
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of events set.
+    #[must_use]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether this is a *combined event* signature (≥ 2 events).
+    #[must_use]
+    pub fn is_combined(self) -> bool {
+        self.count() >= 2
+    }
+
+    /// Union of two signatures.
+    #[must_use]
+    pub fn union(self, other: Psv) -> Psv {
+        Psv(self.0 | other.0)
+    }
+
+    /// Signature restricted to the events in `mask` (used to project the
+    /// golden reference onto a scheme's supported event set).
+    #[must_use]
+    pub fn masked(self, mask: Psv) -> Psv {
+        Psv(self.0 & mask.0)
+    }
+
+    /// Iterates over the events set in this signature.
+    pub fn iter(self) -> impl Iterator<Item = Event> {
+        Event::ALL.into_iter().filter(move |e| self.contains(*e))
+    }
+}
+
+impl fmt::Display for Psv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("Base");
+        }
+        let mut first = true;
+        for e in self.iter() {
+            if !first {
+                f.write_str("+")?;
+            }
+            f.write_str(e.name())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Event> for Psv {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        let mut p = Psv::empty();
+        for e in iter {
+            p.set(e);
+        }
+        p
+    }
+}
+
+/// The four commit states of the paper's Section 2 taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommitState {
+    /// One or more instructions committed this cycle.
+    Compute,
+    /// The ROB is empty because of a front-end stall.
+    Drained,
+    /// The head of the ROB has not finished executing.
+    Stalled,
+    /// The ROB is empty because an instruction flushed the pipeline.
+    Flushed,
+}
+
+impl CommitState {
+    /// All four states.
+    pub const ALL: [CommitState; 4] = [
+        CommitState::Compute,
+        CommitState::Drained,
+        CommitState::Stalled,
+        CommitState::Flushed,
+    ];
+
+    /// Short name as used in the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CommitState::Compute => "Compute",
+            CommitState::Drained => "Drained",
+            CommitState::Stalled => "Stalled",
+            CommitState::Flushed => "Flushed",
+        }
+    }
+}
+
+impl fmt::Display for CommitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_bits_are_distinct() {
+        let mut seen = 0u16;
+        for e in Event::ALL {
+            assert_eq!(seen & e.bit(), 0, "duplicate bit for {e}");
+            seen |= e.bit();
+        }
+        assert_eq!(seen, Psv::ALL_BITS);
+    }
+
+    #[test]
+    fn set_contains_count() {
+        let mut p = Psv::empty();
+        for (i, e) in Event::ALL.into_iter().enumerate() {
+            assert!(!p.contains(e));
+            p.set(e);
+            assert!(p.contains(e));
+            assert_eq!(p.count() as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn masking_projects_signatures() {
+        let full = Psv::from_events(&[Event::StL1, Event::StLlc, Event::FlMb]);
+        let mask = Psv::from_events(&[Event::StL1, Event::FlMb]);
+        assert_eq!(full.masked(mask), mask);
+        assert_eq!(full.masked(Psv::empty()), Psv::empty());
+    }
+
+    #[test]
+    fn from_bits_discards_undefined() {
+        assert_eq!(Psv::from_bits(0xffff).bits(), Psv::ALL_BITS);
+    }
+
+    #[test]
+    fn display_orders_by_table1() {
+        let p = Psv::from_events(&[Event::StTlb, Event::DrL1]);
+        assert_eq!(p.to_string(), "DR-L1+ST-TLB");
+    }
+
+    #[test]
+    fn iterator_round_trip() {
+        let p = Psv::from_events(&[Event::FlEx, Event::StLlc]);
+        let back: Psv = p.iter().collect();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn union_is_bitwise() {
+        let a = Psv::from_events(&[Event::DrL1]);
+        let b = Psv::from_events(&[Event::DrTlb]);
+        assert_eq!(a.union(b).count(), 2);
+    }
+
+    #[test]
+    fn commit_state_names() {
+        assert_eq!(CommitState::Flushed.name(), "Flushed");
+        assert_eq!(CommitState::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,148 @@
+//! TLB timing model: set-associative (or fully associative) translation
+//! caches with LRU replacement.
+//!
+//! TLBs are modelled as always-correct translation caches — only the
+//! *timing* of a translation matters, plus whether the first level
+//! missed (that is what sets the DR-TLB / ST-TLB PSV bits).
+
+use crate::config::TlbConfig;
+
+/// A single TLB level.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    set_count: usize,
+    /// `sets * ways` virtual page numbers; `u64::MAX` marks invalid.
+    vpns: Vec<u64>,
+    stamps: Vec<u64>,
+    tick: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways`.
+    #[must_use]
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways), "entries must be a multiple of ways");
+        let set_count = cfg.entries / cfg.ways;
+        Tlb {
+            vpns: vec![u64::MAX; cfg.entries],
+            stamps: vec![0; cfg.entries],
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+            set_count,
+            cfg,
+        }
+    }
+
+    /// The configuration this TLB was built with.
+    #[must_use]
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Translations attempted so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_range(&self, vpn: u64) -> std::ops::Range<usize> {
+        let set = (vpn as usize) % self.set_count;
+        set * self.cfg.ways..(set + 1) * self.cfg.ways
+    }
+
+    /// Looks up a virtual page number; returns whether it hit and
+    /// updates LRU state. Does **not** install on miss (use
+    /// [`Tlb::fill`]).
+    pub fn lookup(&mut self, vpn: u64) -> bool {
+        self.accesses += 1;
+        let range = self.set_range(vpn);
+        if let Some(pos) = self.vpns[range.clone()].iter().position(|&t| t == vpn) {
+            self.tick += 1;
+            self.stamps[range.start + pos] = self.tick;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Installs a translation, evicting the LRU way of its set.
+    pub fn fill(&mut self, vpn: u64) {
+        self.tick += 1;
+        let range = self.set_range(vpn);
+        if let Some(pos) = self.vpns[range.clone()].iter().position(|&t| t == vpn) {
+            self.stamps[range.start + pos] = self.tick;
+            return;
+        }
+        let victim = match self.vpns[range.clone()].iter().position(|&t| t == u64::MAX) {
+            Some(pos) => pos,
+            None => {
+                let mut lru = 0;
+                for w in 1..self.cfg.ways {
+                    if self.stamps[range.start + w] < self.stamps[range.start + lru] {
+                        lru = w;
+                    }
+                }
+                lru
+            }
+        };
+        self.vpns[range.start + victim] = vpn;
+        self.stamps[range.start + victim] = self.tick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut t = Tlb::new(TlbConfig { entries: 4, ways: 4, hit_latency: 0 });
+        assert!(!t.lookup(7));
+        t.fill(7);
+        assert!(t.lookup(7));
+        assert_eq!(t.accesses(), 2);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn fully_associative_lru() {
+        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 2, hit_latency: 0 });
+        t.fill(1);
+        t.fill(2);
+        assert!(t.lookup(1)); // refresh 1; 2 becomes LRU
+        t.fill(3); // evicts 2
+        assert!(t.lookup(1));
+        assert!(t.lookup(3));
+        assert!(!t.lookup(2));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut t = Tlb::new(TlbConfig { entries: 4, ways: 1, hit_latency: 8 });
+        t.fill(0);
+        t.fill(4); // same set as 0 in a 4-set direct-mapped TLB
+        assert!(!t.lookup(0));
+        assert!(t.lookup(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_panics() {
+        let _ = Tlb::new(TlbConfig { entries: 5, ways: 2, hit_latency: 0 });
+    }
+}

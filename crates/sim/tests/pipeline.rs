@@ -1,0 +1,510 @@
+//! End-to-end pipeline tests: each exercises a distinct microarchitectural
+//! behaviour of the core and checks both timing plausibility and the PSV
+//! events it must produce.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::{FReg, Reg};
+use tea_sim::core::{simulate, SimStats};
+use tea_sim::psv::{CommitState, Event, Psv};
+use tea_sim::trace::{CycleView, Observer, RetiredInst};
+use tea_sim::SimConfig;
+
+fn build(f: impl FnOnce(&mut Asm)) -> Program {
+    let mut a = Asm::new();
+    f(&mut a);
+    a.finish().expect("assembly failed")
+}
+
+fn run(p: &Program) -> SimStats {
+    simulate(p, SimConfig::default(), &mut [])
+}
+
+/// Collects all retired instructions.
+#[derive(Default)]
+struct RetireLog {
+    retired: Vec<RetiredInst>,
+}
+
+impl Observer for RetireLog {
+    fn on_cycle(&mut self, _v: &CycleView<'_>) {}
+    fn on_retire(&mut self, r: &RetiredInst) {
+        self.retired.push(*r);
+    }
+}
+
+#[test]
+fn independent_alu_stream_approaches_commit_width() {
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 2000);
+        a.bind(top);
+        // Eight independent ALU ops per iteration.
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.addi(Reg::A1, Reg::A1, 1);
+        a.addi(Reg::A2, Reg::A2, 1);
+        a.addi(Reg::A3, Reg::A3, 1);
+        a.addi(Reg::A4, Reg::A4, 1);
+        a.addi(Reg::A5, Reg::A5, 1);
+        a.addi(Reg::A6, Reg::A6, 1);
+        a.addi(Reg::A7, Reg::A7, 1);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let s = run(&p);
+    // 10 instructions per iteration, 4-wide commit: IPC should be > 2.5
+    // (loop-carried increment + branch limit it below the ideal 4).
+    assert!(s.ipc() > 2.5, "ipc = {}", s.ipc());
+}
+
+#[test]
+fn dependent_chain_limits_ipc_to_one() {
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 2000);
+        a.bind(top);
+        // A serial dependence chain through A0.
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let s = run(&p);
+    // 6-deep serial chain per iteration: IPC must be near 8/6 but never
+    // above ~1.6, and clearly below the independent-stream case.
+    assert!(s.ipc() < 1.7, "ipc = {}", s.ipc());
+    assert!(s.ipc() > 0.8, "ipc = {}", s.ipc());
+}
+
+#[test]
+fn llc_missing_load_sets_st_l1_and_st_llc_and_stalls() {
+    // Pointer-chase-like strided loads over 16 MiB: every load misses the
+    // 2 MiB LLC, and the dependent chain prevents overlap.
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::A0, 0x100_0000);
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 400);
+        a.bind(top);
+        a.ld(Reg::T2, Reg::A0, 0);
+        a.addi(Reg::A0, Reg::A0, 4096 + 192);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let mut log = RetireLog::default();
+    let s = simulate(&p, SimConfig::default(), &mut [&mut log]);
+    let st_l1 = s.event_insts[Event::StL1 as usize];
+    let st_llc = s.event_insts[Event::StLlc as usize];
+    assert!(st_l1 >= 390, "ST-L1 on nearly every load, got {st_l1}");
+    assert!(st_llc >= 390, "ST-LLC on nearly every load, got {st_llc}");
+    assert!(
+        s.cycles_in(CommitState::Stalled) > s.cycles / 2,
+        "LLC-missing chain must stall commit most of the time: {} of {}",
+        s.cycles_in(CommitState::Stalled),
+        s.cycles
+    );
+    // Combined ST-L1 + ST-TLB + ST-LLC signatures must appear: the
+    // stride touches a fresh page every iteration.
+    let combined = Psv::from_events(&[Event::StL1, Event::StTlb, Event::StLlc]);
+    assert!(
+        log.retired.iter().any(|r| r.psv == combined),
+        "expected combined cache+TLB miss signatures"
+    );
+}
+
+#[test]
+fn fsflags_flushes_and_sets_fl_ex() {
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 300);
+        a.fli_d(FReg::FT0, 2.0);
+        a.bind(top);
+        a.frflags(Reg::T3);
+        a.flt_d(Reg::T4, FReg::FT0, FReg::FT0);
+        a.fsflags(Reg::ZERO, Reg::T3);
+        a.fsqrt_d(FReg::FT1, FReg::FT0);
+        a.fadd_d(FReg::FT2, FReg::FT1, FReg::FT0);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let s = run(&p);
+    assert_eq!(
+        s.event_insts[Event::FlEx as usize],
+        600,
+        "every frflags/fsflags raises FL-EX"
+    );
+    assert_eq!(s.commit_flushes, 600);
+    assert!(
+        s.cycles_in(CommitState::Flushed) > s.cycles / 10,
+        "commit flushes must produce Flushed cycles: {} of {}",
+        s.cycles_in(CommitState::Flushed),
+        s.cycles
+    );
+}
+
+#[test]
+fn mispredicted_branches_set_fl_mb() {
+    // A data-dependent pseudo-random branch.
+    let p = build(|a| {
+        let top = a.new_label();
+        let skip = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 2000);
+        a.li(Reg::S0, 12345);
+        a.li(Reg::S1, 6364136223846793005);
+        a.li(Reg::S2, 1442695040888963407);
+        a.bind(top);
+        a.mul(Reg::S0, Reg::S0, Reg::S1);
+        a.add(Reg::S0, Reg::S0, Reg::S2);
+        a.srli(Reg::T2, Reg::S0, 62);
+        a.andi(Reg::T2, Reg::T2, 1);
+        a.beq(Reg::T2, Reg::ZERO, skip);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.bind(skip);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let s = run(&p);
+    let fl_mb = s.event_insts[Event::FlMb as usize];
+    assert!(fl_mb > 300, "random branch must mispredict often, got {fl_mb}");
+    assert!(s.cycles_in(CommitState::Flushed) > 0);
+    assert!(s.branch.mispredicted >= fl_mb);
+}
+
+#[test]
+fn store_storm_fills_store_queue_and_sets_dr_sq() {
+    // Stores striding over 8 MiB: every store drains to DRAM, the store
+    // queue fills, and dispatch stalls with DR-SQ (the lbm store wall).
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::A0, 0x200_0000);
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 600);
+        a.bind(top);
+        a.sd(Reg::T0, Reg::A0, 0);
+        a.sd(Reg::T0, Reg::A0, 64);
+        a.sd(Reg::T0, Reg::A0, 128);
+        a.sd(Reg::T0, Reg::A0, 192);
+        a.addi(Reg::A0, Reg::A0, 256);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let s = run(&p);
+    let dr_sq = s.event_insts[Event::DrSq as usize];
+    assert!(dr_sq > 100, "store storm must produce DR-SQ events, got {dr_sq}");
+    assert!(
+        s.cycles_in(CommitState::Drained) > s.cycles / 4,
+        "drained {} of {}",
+        s.cycles_in(CommitState::Drained),
+        s.cycles
+    );
+}
+
+#[test]
+fn giant_code_footprint_sets_dr_l1() {
+    // > 32 KB of straight-line code executed twice: the second pass
+    // still misses (capacity), producing DR-L1 drains.
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 3);
+        a.bind(top);
+        for _ in 0..12_000 {
+            a.addi(Reg::A0, Reg::A0, 1);
+        }
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let s = run(&p);
+    let dr_l1 = s.event_insts[Event::DrL1 as usize];
+    assert!(dr_l1 > 1000, "code footprint must miss the 32 KB L1I, got {dr_l1}");
+    assert!(s.cycles_in(CommitState::Drained) > 0);
+    assert!(s.hier.l1i_misses > 1000);
+}
+
+#[test]
+fn page_strided_loads_set_st_tlb() {
+    // Loads striding one page over 128 pages loop repeatedly: 128 > 32
+    // L1 D-TLB entries, so TLB misses recur (but hit the 1024-entry L2).
+    let p = build(|a| {
+        let outer = a.new_label();
+        let top = a.new_label();
+        a.li(Reg::T5, 0);
+        a.li(Reg::T6, 20);
+        a.bind(outer);
+        a.li(Reg::A0, 0x100_0000);
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 128);
+        a.bind(top);
+        a.ld(Reg::T2, Reg::A0, 0);
+        a.addi(Reg::A0, Reg::A0, 4096);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.addi(Reg::T5, Reg::T5, 1);
+        a.blt(Reg::T5, Reg::T6, outer);
+        a.halt();
+    });
+    let s = run(&p);
+    let st_tlb = s.event_insts[Event::StTlb as usize];
+    assert!(st_tlb > 1000, "page-strided loads must miss the D-TLB, got {st_tlb}");
+    assert!(s.hier.dtlb_misses > 1000);
+}
+
+#[test]
+fn memory_ordering_violation_detected_and_flushed() {
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 100);
+        a.li(Reg::A0, 0x8000);
+        a.li(Reg::T2, 7);
+        a.fli_d(FReg::FT0, 1.0);
+        a.fli_d(FReg::FT1, 3.0);
+        a.bind(top);
+        // Store address depends on a slow FP chain -> resolves late.
+        a.fdiv_d(FReg::FT2, FReg::FT0, FReg::FT1);
+        a.fcvt_l_d(Reg::T3, FReg::FT2); // 0
+        a.add(Reg::T4, Reg::A0, Reg::T3); // = A0
+        a.sd(Reg::T2, Reg::T4, 0);
+        // Younger load to the same address with a ready address ->
+        // issues speculatively before the store resolves.
+        a.ld(Reg::T5, Reg::A0, 0);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let s = run(&p);
+    assert!(s.mo_violations > 20, "expected recurring MO violations, got {}", s.mo_violations);
+    assert!(s.event_insts[Event::FlMo as usize] > 20);
+    assert!(s.squashes >= s.mo_violations);
+}
+
+#[test]
+fn store_to_load_forwarding_avoids_cache_events() {
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 500);
+        a.li(Reg::A0, 0x9000);
+        a.bind(top);
+        a.sd(Reg::T0, Reg::A0, 0);
+        a.ld(Reg::T2, Reg::A0, 0);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let s = run(&p);
+    // Loads forward from the store queue: no ST-L1 on loads.
+    assert_eq!(
+        s.event_insts[Event::StL1 as usize],
+        0,
+        "forwarded loads must not report data-cache misses"
+    );
+    assert_eq!(s.mo_violations, 0, "same-cycle resolution order prevents violations");
+}
+
+#[test]
+fn software_prefetch_hides_strided_miss_latency() {
+    // The paper's lbm scenario: the loop body holds enough instructions
+    // to fill the ROB, which stops the core from issuing the next
+    // iteration's load early enough to hide its DRAM latency. A stride
+    // of four lines defeats the next-line prefetcher; a software
+    // prefetch a few iterations ahead hides the miss.
+    let body = |prefetch: bool| {
+        build(move |a| {
+            let top = a.new_label();
+            a.li(Reg::A0, 0x100_0000);
+            a.li(Reg::T0, 0);
+            a.li(Reg::T1, 400);
+            a.bind(top);
+            if prefetch {
+                a.prefetch(Reg::A0, 256 * 6);
+            }
+            a.ld(Reg::T2, Reg::A0, 0);
+            // 150 independent single-cycle ops fill the ROB.
+            for i in 0..150 {
+                let r = [Reg::A2, Reg::A3, Reg::A4, Reg::A5][i % 4];
+                a.addi(r, r, 1);
+            }
+            a.addi(Reg::A0, Reg::A0, 256);
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.blt(Reg::T0, Reg::T1, top);
+            a.halt();
+        })
+    };
+    let without = run(&body(false));
+    let with = run(&body(true));
+    assert!(
+        (with.cycles as f64) < without.cycles as f64 * 0.8,
+        "prefetching must help: {} vs {}",
+        with.cycles,
+        without.cycles
+    );
+    assert!(
+        with.event_insts[Event::StL1 as usize] * 4 < without.event_insts[Event::StL1 as usize],
+        "prefetched loads must stop missing L1: {} vs {}",
+        with.event_insts[Event::StL1 as usize],
+        without.event_insts[Event::StL1 as usize]
+    );
+}
+
+#[test]
+fn state_cycles_partition_total_cycles() {
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 500);
+        a.li(Reg::A0, 0x50_0000);
+        a.bind(top);
+        a.ld(Reg::T2, Reg::A0, 0);
+        a.addi(Reg::A0, Reg::A0, 64);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let s = run(&p);
+    let sum: u64 = s.state_cycles.iter().sum();
+    assert_eq!(sum, s.cycles, "every cycle is in exactly one commit state");
+    assert!(s.retired == 3 + 4 * 500 + 1);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let p = build(|a| {
+        let top = a.new_label();
+        let skip = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 1000);
+        a.li(Reg::S0, 99);
+        a.li(Reg::A0, 0x30_0000);
+        a.bind(top);
+        a.mul(Reg::S0, Reg::S0, Reg::S0);
+        a.andi(Reg::T2, Reg::S0, 1);
+        a.beq(Reg::T2, Reg::ZERO, skip);
+        a.ld(Reg::T3, Reg::A0, 0);
+        a.bind(skip);
+        a.addi(Reg::A0, Reg::A0, 192);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let a = run(&p);
+    let b = run(&p);
+    assert_eq!(a, b, "two runs of the same program must be bit-identical");
+}
+
+#[test]
+fn retire_stream_is_dense_and_ordered() {
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 200);
+        a.bind(top);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let mut log = RetireLog::default();
+    let s = simulate(&p, SimConfig::default(), &mut [&mut log]);
+    assert_eq!(log.retired.len() as u64, s.retired);
+    for (i, r) in log.retired.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "each dynamic instruction retires exactly once, in order");
+    }
+}
+
+#[test]
+fn drained_at_startup_attributes_to_first_instruction() {
+    // The very first cycles are Drained on a cold I-cache; the paper's
+    // Figure 1 Sample 1 behaviour.
+    struct FirstCycles {
+        states: Vec<(CommitState, Option<u64>)>,
+    }
+    impl Observer for FirstCycles {
+        fn on_cycle(&mut self, v: &CycleView<'_>) {
+            if self.states.len() < 5 {
+                self.states.push((v.state, v.next_commit.map(|i| i.seq)));
+            }
+        }
+        fn on_retire(&mut self, _r: &RetiredInst) {}
+    }
+    let p = build(|a| {
+        a.li(Reg::T0, 1);
+        a.halt();
+    });
+    let mut obs = FirstCycles { states: Vec::new() };
+    simulate(&p, SimConfig::default(), &mut [&mut obs]);
+    assert_eq!(obs.states[0].0, CommitState::Drained);
+    assert_eq!(obs.states[0].1, Some(0), "drain attributed to the next-committing instruction");
+}
+
+#[test]
+fn unpipelined_sqrt_serialises() {
+    // Back-to-back independent sqrts share one unpipelined unit.
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 200);
+        a.fli_d(FReg::FT0, 2.0);
+        a.bind(top);
+        a.fsqrt_d(FReg::FT1, FReg::FT0);
+        a.fsqrt_d(FReg::FT2, FReg::FT0);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let s = run(&p);
+    let sqrt_lat = SimConfig::default().lat.fp_sqrt;
+    // Two sqrts per iteration, serialised: at least 2 * lat cycles each.
+    assert!(
+        s.cycles > 200 * 2 * sqrt_lat,
+        "sqrts must serialise on the unpipelined unit: {} cycles",
+        s.cycles
+    );
+}
+
+#[test]
+fn sampling_injection_costs_the_expected_overhead() {
+    use tea_sim::config::SamplingInjection;
+    // A long, steady ALU loop: overhead should be close to
+    // handler/interval.
+    let p = build(|a| {
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 60_000);
+        a.bind(top);
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.addi(Reg::A1, Reg::A1, 1);
+        a.addi(Reg::A2, Reg::A2, 1);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+    });
+    let base = simulate(&p, SimConfig::default(), &mut []);
+    let cfg = SimConfig {
+        sampling_injection: Some(SamplingInjection { interval: 5_000, handler_cycles: 500 }),
+        ..SimConfig::default()
+    };
+    let sampled = simulate(&p, cfg, &mut []);
+    assert!(sampled.sampling_interrupts > 10, "got {}", sampled.sampling_interrupts);
+    let overhead = sampled.cycles as f64 / base.cycles as f64 - 1.0;
+    // Nominal 500/5000 = 10%, plus pipeline-refill costs.
+    assert!(
+        (0.08..=0.25).contains(&overhead),
+        "overhead {overhead:.3} should be ~10%"
+    );
+    assert_eq!(base.sampling_interrupts, 0);
+}

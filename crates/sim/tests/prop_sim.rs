@@ -1,0 +1,170 @@
+//! Property-based tests of the simulator substrates: cache/TLB
+//! residency invariants, PSV algebra, and predictor sanity under random
+//! access streams.
+
+use proptest::prelude::*;
+use tea_sim::branch::{BranchPredictor, ControlKind};
+use tea_sim::cache::{Cache, Probe};
+use tea_sim::config::{CacheConfig, SimConfig, TlbConfig};
+use tea_sim::psv::{Event, Psv};
+use tea_sim::tlb::Tlb;
+
+fn small_cache() -> Cache {
+    Cache::new(CacheConfig { sets: 4, ways: 2, line_bytes: 64, hit_latency: 1, mshrs: 3 })
+}
+
+proptest! {
+    /// After any access sequence: misses never exceed accesses, a line
+    /// filled and immediately re-probed (after its fill time) hits, and
+    /// statistics are monotone.
+    #[test]
+    fn cache_invariants(addrs in prop::collection::vec(0u64..4096, 1..200)) {
+        let mut c = small_cache();
+        let mut t = 0u64;
+        for &a in &addrs {
+            let before = (c.accesses(), c.misses());
+            match c.access(a, t) {
+                Probe::Hit => {}
+                Probe::InFlight { ready } => prop_assert!(ready >= t || ready <= t + 10_000),
+                Probe::Miss { may_start } => {
+                    prop_assert!(may_start >= t);
+                    c.record_fill(a, may_start + 50);
+                }
+            }
+            let after = (c.accesses(), c.misses());
+            prop_assert_eq!(after.0, before.0 + 1);
+            prop_assert!(after.1 <= before.1 + 1);
+            prop_assert!(after.1 <= after.0);
+            t += 100; // let fills land
+        }
+        // Re-touch the last address: must now hit or be in flight.
+        let last = *addrs.last().unwrap();
+        let probe = c.access(last, t + 1_000);
+        let is_miss = matches!(probe, Probe::Miss { may_start: _ });
+        prop_assert!(!is_miss, "recently filled line must not miss: {:?}", probe);
+    }
+
+    /// A TLB never reports more misses than lookups, and a filled page
+    /// hits until evicted by at least `ways` distinct conflicting fills.
+    #[test]
+    fn tlb_invariants(vpns in prop::collection::vec(0u64..64, 1..200)) {
+        let mut t = Tlb::new(TlbConfig { entries: 8, ways: 2, hit_latency: 0 });
+        for &v in &vpns {
+            if !t.lookup(v) {
+                t.fill(v);
+                prop_assert!(t.lookup(v), "fill must be visible immediately");
+            }
+        }
+        prop_assert!(t.misses() <= t.accesses());
+    }
+
+    /// PSV algebra: union is commutative/associative/idempotent, masking
+    /// is intersection, count matches the iterator.
+    #[test]
+    fn psv_algebra(a_bits in 0u16..512, b_bits in 0u16..512, c_bits in 0u16..512) {
+        let a = Psv::from_bits(a_bits);
+        let b = Psv::from_bits(b_bits);
+        let c = Psv::from_bits(c_bits);
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+        prop_assert_eq!(a.union(a), a);
+        prop_assert_eq!(a.masked(b).bits(), a.bits() & b.bits());
+        prop_assert_eq!(a.count() as usize, a.iter().count());
+        prop_assert_eq!(a.is_empty(), a.count() == 0);
+        // Masking can only reduce.
+        prop_assert!(a.masked(b).count() <= a.count());
+        // Every iterated event is contained.
+        for e in a.iter() {
+            prop_assert!(a.contains(e));
+        }
+    }
+
+    /// Psv ordering used by deterministic accumulation is a total order
+    /// consistent with bits.
+    #[test]
+    fn psv_ordering_total(a_bits in 0u16..512, b_bits in 0u16..512) {
+        let a = Psv::from_bits(a_bits);
+        let b = Psv::from_bits(b_bits);
+        prop_assert_eq!(a.cmp(&b), a.bits().cmp(&b.bits()));
+    }
+
+    /// The predictor's statistics stay consistent under arbitrary
+    /// interleavings of control kinds.
+    #[test]
+    fn predictor_stats_consistent(ops in prop::collection::vec((0u8..6, any::<bool>(), 0u64..16), 1..300)) {
+        let mut p = BranchPredictor::new(&SimConfig::default().branch);
+        for (kind, taken, t) in ops {
+            let kind = match kind {
+                0 => ControlKind::Conditional,
+                1 => ControlKind::DirectJump,
+                2 => ControlKind::Call,
+                3 => ControlKind::IndirectJump,
+                4 => ControlKind::IndirectCall,
+                _ => ControlKind::Return,
+            };
+            let taken = if kind == ControlKind::Conditional { taken } else { true };
+            let _ = p.predict_and_update(0x1000 + t * 4, kind, taken, 0x2000 + t * 64);
+        }
+        prop_assert!(p.stats().mispredicted <= p.stats().predicted);
+        prop_assert!((0.0..=1.0).contains(&p.stats().miss_rate()));
+    }
+
+    /// Event names and bits are a bijection.
+    #[test]
+    fn event_bits_bijective(i in 0usize..9, j in 0usize..9) {
+        let a = Event::ALL[i];
+        let b = Event::ALL[j];
+        prop_assert_eq!(a.bit() == b.bit(), i == j);
+        prop_assert_eq!(a.name() == b.name(), i == j);
+    }
+}
+
+mod random_config {
+    use proptest::prelude::*;
+    use tea_sim::config::IqConfig;
+    use tea_sim::core::simulate;
+    use tea_sim::SimConfig;
+    use tea_workloads::synth;
+
+    fn arb_config() -> impl Strategy<Value = SimConfig> {
+        (
+            2usize..=8,             // fetch width
+            1usize..=4,             // dispatch/commit width
+            16usize..=256,          // rob
+            1usize..=4,             // issue widths
+            4usize..=32,            // ldq/stq
+            2usize..=30,            // max branches
+        )
+            .prop_map(|(fetch, width, rob, issue, lsq, branches)| SimConfig {
+                fetch_width: fetch,
+                dispatch_width: width,
+                commit_width: width,
+                rob_entries: rob.max(width),
+                int_iq: IqConfig { entries: 16.max(rob / 2), issue_width: issue },
+                mem_iq: IqConfig { entries: 16, issue_width: issue.min(2) },
+                fp_iq: IqConfig { entries: 16, issue_width: issue.min(2) },
+                ldq_entries: lsq,
+                stq_entries: lsq,
+                max_branches: branches,
+                ..SimConfig::default()
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The simulator preserves architectural semantics and its core
+        /// invariants under arbitrary structure sizes.
+        #[test]
+        fn invariants_hold_for_random_configs(seed in 0u64..1000, cfg in arb_config()) {
+            let program = synth::random_kernel(seed, 40, 14);
+            let mut m = tea_isa::Machine::new(&program);
+            let functional = m.run(u64::MAX);
+            let stats = simulate(&program, cfg.clone(), &mut []);
+            prop_assert_eq!(stats.retired, functional, "retire count is config-independent");
+            let state_sum: u64 = stats.state_cycles.iter().sum();
+            prop_assert_eq!(state_sum, stats.cycles);
+            prop_assert!(stats.ipc() <= cfg.commit_width as f64 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! `bwaves`-like kernel: FP solver whose strided accesses miss cache
+//! *and* TLB together.
+//!
+//! The paper's Figure 6a shows bwaves' top instructions dominated by
+//! *combined* events — (ST-L1, ST-TLB) and (ST-LLC, ST-TLB) — because
+//! its block-tridiagonal sweeps stride across pages. Optimising it
+//! requires improving both cache and TLB utilisation.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::{FReg, Reg};
+
+use crate::{Size, Workload};
+
+const GRID_BASE: u64 = 0x1000_0000;
+/// One page plus three lines per element: every access touches a fresh
+/// page and a fresh line.
+const STRIDE: u64 = 4096 + 192;
+
+/// Number of iterations by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(2_500, 30_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("mat_times_vec");
+    a.li(Reg::S0, GRID_BASE as i64);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    a.fli_d(FReg::FS0, 1.0625);
+    a.fli_d(FReg::FS1, -0.5);
+    let top = a.new_label();
+    a.bind(top);
+    // Page-striding loads: combined data cache + TLB misses.
+    a.fld(FReg::FT0, Reg::S0, 0);
+    a.fld(FReg::FT1, Reg::S0, 8);
+    a.fld(FReg::FT2, Reg::S0, 64);
+    // Block multiply-accumulate.
+    a.fmadd_d(FReg::FA0, FReg::FT0, FReg::FS0, FReg::FA0);
+    a.fmadd_d(FReg::FA1, FReg::FT1, FReg::FS1, FReg::FA1);
+    a.fmul_d(FReg::FT3, FReg::FT0, FReg::FT1);
+    a.fmadd_d(FReg::FA2, FReg::FT3, FReg::FS0, FReg::FA2);
+    a.fadd_d(FReg::FA3, FReg::FA3, FReg::FT2);
+    a.addi(Reg::S0, Reg::S0, STRIDE as i64);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("bwaves kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "bwaves",
+        description: "block-tridiagonal FP sweeps striding across pages: combined \
+                      cache+TLB miss signatures (Figure 6a)",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn combined_cache_and_tlb_misses_dominate() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        let n = iterations(Size::Test);
+        assert!(s.event_insts[Event::StTlb as usize] > n / 2, "TLB misses too rare");
+        assert!(s.event_insts[Event::StL1 as usize] > n, "cache misses too rare");
+        assert!(s.combined_event_insts > n / 2, "combined events expected");
+    }
+}

@@ -1,0 +1,100 @@
+//! `cactuBSSN`-like kernel: numerical relativity — a very wide FP
+//! expression per grid point.
+//!
+//! CactuBSSN evaluates dozens of FP operations per stencil point, so the
+//! loop is compute-bound with high instruction-level parallelism: most
+//! time is Base (FP pipelines saturated), with a streaming ST-L1 tail as
+//! grid lines are fetched.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::{FReg, Reg};
+
+use crate::{Size, Workload};
+
+const GRID_A: u64 = 0x1000_0000;
+const GRID_B: u64 = 0x2000_0200;
+const GRID_OUT: u64 = 0x3000_0400;
+
+/// Number of grid points by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(3_000, 30_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("bssn_rhs");
+    a.li(Reg::S0, GRID_A as i64);
+    a.li(Reg::S1, GRID_B as i64);
+    a.li(Reg::S2, GRID_OUT as i64);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    a.fli_d(FReg::FS0, 0.5);
+    a.fli_d(FReg::FS1, -0.0625);
+    a.fli_d(FReg::FS2, 2.0);
+    let top = a.new_label();
+    a.bind(top);
+    // Load the metric components for this point.
+    a.fld(FReg::FT0, Reg::S0, 0);
+    a.fld(FReg::FT1, Reg::S0, 8);
+    a.fld(FReg::FT2, Reg::S0, 16);
+    a.fld(FReg::FT3, Reg::S1, 0);
+    a.fld(FReg::FT4, Reg::S1, 8);
+    // A wide FP expression: four independent chains, then combine.
+    // (Models the Ricci tensor evaluation's ILP.)
+    a.fmadd_d(FReg::FA0, FReg::FT0, FReg::FS0, FReg::FT3);
+    a.fmul_d(FReg::FA0, FReg::FA0, FReg::FT1);
+    a.fmadd_d(FReg::FA0, FReg::FA0, FReg::FS2, FReg::FT2);
+    a.fmadd_d(FReg::FA1, FReg::FT1, FReg::FS1, FReg::FT4);
+    a.fmul_d(FReg::FA1, FReg::FA1, FReg::FA1);
+    a.fmadd_d(FReg::FA1, FReg::FA1, FReg::FS0, FReg::FT0);
+    a.fsub_d(FReg::FA2, FReg::FT2, FReg::FT3);
+    a.fmul_d(FReg::FA2, FReg::FA2, FReg::FS2);
+    a.fmadd_d(FReg::FA2, FReg::FA2, FReg::FT4, FReg::FT1);
+    a.fadd_d(FReg::FA3, FReg::FT0, FReg::FT4);
+    a.fmul_d(FReg::FA3, FReg::FA3, FReg::FS1);
+    a.fmadd_d(FReg::FA3, FReg::FA3, FReg::FA3, FReg::FS0);
+    // Combine and store two outputs.
+    a.fmadd_d(FReg::FA4, FReg::FA0, FReg::FA1, FReg::FA2);
+    a.fmadd_d(FReg::FA5, FReg::FA4, FReg::FS0, FReg::FA3);
+    a.fsd(FReg::FA4, Reg::S2, 0);
+    a.fsd(FReg::FA5, Reg::S2, 8);
+    a.addi(Reg::S0, Reg::S0, 24);
+    a.addi(Reg::S1, Reg::S1, 16);
+    a.addi(Reg::S2, Reg::S2, 16);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("cactuBSSN kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "cactuBSSN",
+        description: "wide FP stencil expressions: compute-bound with high ILP, \
+                      streaming cache-miss tail",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::CommitState;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn compute_bound_profile() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert!(s.ipc() > 1.2, "cactuBSSN is ILP-rich, ipc {}", s.ipc());
+        let compute = s.cycles_in(CommitState::Compute) as f64 / s.cycles as f64;
+        assert!(compute > 0.4, "compute share {compute:.2}");
+    }
+}

@@ -1,0 +1,102 @@
+//! `deepsjeng`-like kernel: alpha-beta chess search — integer compute,
+//! unpredictable branches, and hash-table probes.
+//!
+//! Models the mix the real benchmark shows: mostly Base and FL-MB
+//! components with occasional transposition-table misses (the table is
+//! LLC-resident but L1-evicting).
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+
+use crate::{Size, Workload};
+
+const TT_BASE: u64 = 0x0030_0000;
+/// Transposition table: 512 KiB (L1-evicting, LLC-resident).
+const TT_WORDS: u64 = 65_536;
+
+/// Number of search nodes by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(10_000, 100_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("search_node");
+    a.li(Reg::S0, TT_BASE as i64);
+    a.li(Reg::S1, 0xdeeb_57e6); // position hash state
+    a.li(Reg::S2, 6364136223846793005);
+    a.li(Reg::S3, 1442695040888963407);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    let top = a.new_label();
+    let cutoff = a.new_label();
+    let update = a.new_label();
+    let next = a.new_label();
+    a.bind(top);
+    // Hash the position, probe the transposition table.
+    a.mul(Reg::S1, Reg::S1, Reg::S2);
+    a.add(Reg::S1, Reg::S1, Reg::S3);
+    a.srli(Reg::T2, Reg::S1, 30);
+    a.andi(Reg::T2, Reg::T2, (TT_WORDS - 1) as i64);
+    a.slli(Reg::T2, Reg::T2, 3);
+    a.add(Reg::T2, Reg::S0, Reg::T2);
+    a.ld(Reg::T3, Reg::T2, 0);
+    // Score evaluation: a short multiply chain.
+    a.srli(Reg::T4, Reg::S1, 50);
+    a.mul(Reg::T5, Reg::T4, Reg::T4);
+    a.add(Reg::T5, Reg::T5, Reg::T3);
+    // Alpha-beta style unpredictable cutoffs.
+    a.andi(Reg::T6, Reg::T5, 3);
+    a.beq(Reg::T6, Reg::ZERO, cutoff);
+    a.andi(Reg::T6, Reg::T5, 4);
+    a.bne(Reg::T6, Reg::ZERO, update);
+    a.add(Reg::A0, Reg::A0, Reg::T5);
+    a.j(next);
+    a.bind(update);
+    a.sd(Reg::T5, Reg::T2, 0);
+    a.addi(Reg::A1, Reg::A1, 1);
+    a.j(next);
+    a.bind(cutoff);
+    a.addi(Reg::A2, Reg::A2, 1);
+    a.bind(next);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("deepsjeng kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "deepsjeng",
+        description: "alpha-beta search: integer compute, unpredictable cutoff \
+                      branches, L1-evicting transposition-table probes",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn mispredicts_and_l1_misses_mix() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert!(s.event_insts[Event::FlMb as usize] > iterations(Size::Test) / 20);
+        assert!(s.event_insts[Event::StL1 as usize] > iterations(Size::Test) / 20);
+        // The table fits the LLC, so once warm most misses stop at the
+        // LLC (short runs still pay compulsory LLC misses).
+        assert!(
+            s.event_insts[Event::StLlc as usize] < s.event_insts[Event::StL1 as usize]
+        );
+    }
+}

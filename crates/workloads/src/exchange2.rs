@@ -1,0 +1,117 @@
+//! `exchange2`-like kernel: cache-resident, branch-heavy integer puzzle
+//! search.
+//!
+//! SPEC's 548.exchange2 solves sudoku variants: its working set fits in
+//! the L1 caches and its time goes to integer compute and data-dependent
+//! branches. Figure 6d uses it as the benchmark where even IBS does
+//! *least badly* — most components are Base, so only the stack heights
+//! differ. The kernel mixes an LCG-driven candidate generator, small
+//! table lookups, and validation branches.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+
+use crate::{Size, Workload};
+
+const BOARD_BASE: u64 = 0x0020_0000;
+/// Board storage: 4 KiB, L1-resident.
+const BOARD_WORDS: u64 = 512;
+
+/// Number of candidate placements by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(15_000, 150_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("try_digit");
+    a.li(Reg::S0, BOARD_BASE as i64);
+    a.li(Reg::S1, 0x5eed_2023); // LCG state
+    a.li(Reg::S2, 6364136223846793005);
+    a.li(Reg::S3, 1442695040888963407);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    let top = a.new_label();
+    let conflict = a.new_label();
+    let place = a.new_label();
+    let next = a.new_label();
+    a.bind(top);
+    // Generate a candidate cell and digit.
+    a.mul(Reg::S1, Reg::S1, Reg::S2);
+    a.add(Reg::S1, Reg::S1, Reg::S3);
+    a.srli(Reg::T2, Reg::S1, 40);
+    a.andi(Reg::T2, Reg::T2, (BOARD_WORDS - 1) as i64);
+    a.slli(Reg::T3, Reg::T2, 3);
+    a.add(Reg::T3, Reg::S0, Reg::T3);
+    a.ld(Reg::T4, Reg::T3, 0); // current cell value (L1 hit)
+    a.srli(Reg::T5, Reg::S1, 13);
+    a.andi(Reg::T5, Reg::T5, 8);
+    // Validation: branch on cell state and candidate parity.
+    a.bne(Reg::T4, Reg::ZERO, conflict);
+    a.andi(Reg::T6, Reg::S1, 3);
+    a.beq(Reg::T6, Reg::ZERO, place);
+    a.add(Reg::A0, Reg::A0, Reg::T5);
+    a.j(next);
+    a.bind(place);
+    a.addi(Reg::T5, Reg::T5, 1);
+    a.sd(Reg::T5, Reg::T3, 0);
+    a.addi(Reg::A1, Reg::A1, 1);
+    a.j(next);
+    a.bind(conflict);
+    // Backtrack: clear the cell, count the conflict.
+    a.sd(Reg::ZERO, Reg::T3, 0);
+    a.addi(Reg::A2, Reg::A2, 1);
+    a.bind(next);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("exchange2 kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "exchange2",
+        description: "cache-resident branch-heavy integer puzzle search: mostly Base \
+                      components plus branch mispredicts (Figure 6d)",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn branches_mispredict_but_memory_behaves() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert!(
+            s.event_insts[Event::FlMb as usize] > iterations(Size::Test) / 20,
+            "data-dependent branches must mispredict"
+        );
+        // Cache-resident: data-side misses are negligible.
+        assert!(
+            s.event_insts[Event::StLlc as usize] < iterations(Size::Test) / 100,
+            "exchange2 is cache-resident"
+        );
+    }
+
+    #[test]
+    fn placements_and_conflicts_both_happen() {
+        let p = program(Size::Test);
+        let mut m = tea_isa::Machine::new(&p);
+        m.run(20_000_000);
+        assert!(m.is_halted());
+        assert!(m.int_reg(Reg::A1) > 0, "some placements");
+        assert!(m.int_reg(Reg::A2) > 0, "some conflicts");
+    }
+}

@@ -1,0 +1,100 @@
+//! `gcc`-like kernel: a large instruction footprint exercised by a
+//! round-robin of many small pass functions.
+//!
+//! Compilers spread execution across far more code than the 32 KiB L1
+//! instruction cache holds, so the front end drains on instruction
+//! fetch: DR-L1 signatures (with occasional DR-TLB) distinguish this
+//! workload from the data-bound kernels.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+
+use crate::{Size, Workload};
+
+/// Number of generated pass functions.
+const FUNCS: usize = 72;
+/// ALU body length per function (total text ≈ FUNCS × (BODY+2) × 4 B ≈
+/// 38 KiB, exceeding the 32 KiB L1I).
+const BODY: usize = 128;
+
+/// Number of full pass rounds by size. `Ref` is sized so the
+/// instruction-granularity profile of the ~9 k static instructions gets
+/// enough samples at the default interval (see EXPERIMENTS.md on
+/// sampling density).
+#[must_use]
+pub fn rounds(size: Size) -> u64 {
+    size.pick(20, 900)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let n = rounds(size);
+    let mut a = Asm::new();
+    a.func("run_passes");
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, n as i64);
+    let top = a.new_label();
+    let funcs: Vec<_> = (0..FUNCS).map(|_| a.new_label()).collect();
+    a.bind(top);
+    for &f in &funcs {
+        a.jal(Reg::RA, f);
+    }
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    // The pass bodies: straight-line ALU work with one early-out branch.
+    for (k, &f) in funcs.iter().enumerate() {
+        a.func(format!("pass_{k}"));
+        a.bind(f);
+        let skip = a.new_label();
+        a.andi(Reg::T2, Reg::T0, 1);
+        a.beq(Reg::T2, Reg::ZERO, skip);
+        a.addi(Reg::A1, Reg::A1, 1);
+        a.bind(skip);
+        for i in 0..BODY {
+            let r = [Reg::A2, Reg::A3, Reg::A4, Reg::A5][(i + k) % 4];
+            a.addi(r, r, 1);
+        }
+        a.jr(Reg::RA);
+    }
+    a.finish().expect("gcc kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "gcc",
+        description: "72 pass functions totalling ~38 KiB of text: front-end-bound, \
+                      DR-L1 drain signatures",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::{CommitState, Event};
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn text_exceeds_l1i() {
+        let p = program(Size::Test);
+        assert!(p.len() * 4 > 32 * 1024, "text is {} B", p.len() * 4);
+        assert!(p.functions().len() > FUNCS);
+    }
+
+    #[test]
+    fn front_end_drains_on_icache_misses() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert!(
+            s.event_insts[Event::DrL1 as usize] > 100 * rounds(Size::Test),
+            "DR-L1 events: {}",
+            s.event_insts[Event::DrL1 as usize]
+        );
+        assert!(s.cycles_in(CommitState::Drained) > s.cycles / 10);
+    }
+}

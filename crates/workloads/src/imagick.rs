@@ -1,0 +1,96 @@
+//! `imagick`-like kernel: image resize/sharpen over an L1-resident tile
+//! with per-pixel normalisation divides.
+//!
+//! ImageMagick's convolution loops are compute-bound; the per-pixel
+//! divide serialises on the unpipelined FP divider, making that unit
+//! the bottleneck (a Base-dominated stall profile, like nab's sqrt but
+//! without the flushes).
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::{FReg, Reg};
+
+use crate::{Size, Workload};
+
+const TILE_BASE: u64 = 0x0050_0000;
+/// Tile ring: 16 KiB, L1-resident.
+const TILE_BYTES: u64 = 16 * 1024;
+
+/// Number of pixels processed by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(6_000, 60_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("resize_filter");
+    a.li(Reg::S0, TILE_BASE as i64);
+    a.li(Reg::S1, 0);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    a.fli_d(FReg::FS0, 0.25);
+    a.fli_d(FReg::FS1, 1.0);
+    let top = a.new_label();
+    a.bind(top);
+    a.add(Reg::T2, Reg::S0, Reg::S1);
+    // 3-tap filter over the tile ring.
+    a.fld(FReg::FT0, Reg::T2, 0);
+    a.fld(FReg::FT1, Reg::T2, 8);
+    a.fld(FReg::FT2, Reg::T2, 16);
+    a.fmadd_d(FReg::FT3, FReg::FT0, FReg::FS0, FReg::FT1);
+    a.fmadd_d(FReg::FT3, FReg::FT2, FReg::FS0, FReg::FT3);
+    // Normalisation: the unpipelined divide that dominates.
+    a.fadd_d(FReg::FT4, FReg::FT3, FReg::FS1);
+    a.fdiv_d(FReg::FT5, FReg::FT3, FReg::FT4);
+    a.fmadd_d(FReg::FA0, FReg::FT5, FReg::FS1, FReg::FA0);
+    a.fsd(FReg::FT5, Reg::T2, 24);
+    // Advance the ring.
+    a.addi(Reg::S1, Reg::S1, 32);
+    a.li(Reg::T5, (TILE_BYTES - 32) as i64);
+    a.slt(Reg::T6, Reg::T5, Reg::S1);
+    let no_wrap = a.new_label();
+    a.beq(Reg::T6, Reg::ZERO, no_wrap);
+    a.li(Reg::S1, 0);
+    a.bind(no_wrap);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("imagick kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "imagick",
+        description: "convolution + per-pixel normalisation: the unpipelined FP divider \
+                      is the bottleneck; cache-resident tile",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::{CommitState, Event};
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn divider_serialises_the_loop() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        let div_lat = SimConfig::default().lat.fp_div;
+        assert!(
+            s.cycles > iterations(Size::Test) * div_lat,
+            "one unpipelined divide per iteration bounds the loop: {} cycles",
+            s.cycles
+        );
+        // Divider stalls carry no PSV events: a Base-dominated profile.
+        assert!(s.cycles_in(CommitState::Stalled) > s.cycles / 3);
+        assert!(s.event_insts[Event::StLlc as usize] < 100);
+    }
+}

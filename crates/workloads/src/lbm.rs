@@ -1,0 +1,236 @@
+//! `lbm`-like kernel: the paper's first case study (Figures 10 and 11).
+//!
+//! SPEC's 519.lbm streams a lattice-Boltzmann grid whose working set far
+//! exceeds the LLC. Its inner loop (i) loads ~3 fresh cache lines per
+//! cell through 11 load instructions, (ii) contains enough compute to
+//! fill the ROB — which stops the core from issuing the next iteration's
+//! loads early enough to hide their latency — and (iii) writes 19
+//! streams of results, so optimising the loads shifts the bottleneck to
+//! store bandwidth (DR-SQ). The fix the paper evaluates is software
+//! prefetching with a carefully chosen distance.
+//!
+//! [`program_with_prefetch`] reproduces exactly this structure; the
+//! prefetch distance is in iterations, as in Figure 11.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::{FReg, Reg};
+
+use crate::{Size, Workload};
+
+/// Base address of the three source streams (read-only; never written,
+/// so the interpreter backs them with zero pages for free). The bases
+/// are staggered by five cache lines each so concurrent streams spread
+/// across L1 sets instead of thrashing one set, as a real array layout
+/// would.
+const SRC_BASE: [u64; 3] = [0x1000_0000, 0x2000_0140, 0x3000_0280];
+/// Base address of the 19 destination streams.
+const DST_BASE: u64 = 0x8000_0000;
+/// Distance between destination streams (staggered across L1 sets).
+const DST_STRIDE: u64 = 0x0100_0140;
+/// Number of destination streams ("lbm writes 19 cache lines in each
+/// iteration" — one 8-byte slot per stream per iteration here, giving
+/// 19 fresh lines every 8 iterations plus 3 fresh load lines per
+/// iteration).
+const DST_STREAMS: usize = 19;
+/// Filler compute per iteration so the loop body fills the ROB (the
+/// mechanism the paper identifies).
+const FILLER_OPS: usize = 80;
+
+/// Number of iterations by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(600, 9_000)
+}
+
+/// Builds the lbm kernel with software prefetches `distance` iterations
+/// ahead (0 disables prefetching, the unmodified benchmark).
+#[must_use]
+pub fn program_with_prefetch(size: Size, distance: u64) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("stream_collide");
+    // S0..S2: the three source streams; S3: destination cursor;
+    // T0/T1: loop counter/limit.
+    a.li(Reg::S0, SRC_BASE[0] as i64);
+    a.li(Reg::S1, SRC_BASE[1] as i64);
+    a.li(Reg::S2, SRC_BASE[2] as i64);
+    a.li(Reg::S3, DST_BASE as i64);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    a.fli_d(FReg::FS0, 1.5);
+    a.fli_d(FReg::FS1, 0.25);
+    let top = a.new_label();
+    a.bind(top);
+    if distance > 0 {
+        // Prefetch the three cache lines the body will need `distance`
+        // iterations from now (the paper's custom ROCC prefetch).
+        let d = (distance * 64) as i64;
+        a.prefetch(Reg::S0, d);
+        a.prefetch(Reg::S1, d);
+        a.prefetch(Reg::S2, d);
+    }
+    // 11 loads across the three fresh lines (4 + 4 + 3).
+    a.fld(FReg::FT0, Reg::S0, 0);
+    a.fld(FReg::FT1, Reg::S0, 8);
+    a.fld(FReg::FT2, Reg::S0, 16);
+    a.fld(FReg::FT3, Reg::S0, 24);
+    a.fld(FReg::FT4, Reg::S1, 0);
+    a.fld(FReg::FT5, Reg::S1, 8);
+    a.fld(FReg::FT6, Reg::S1, 16);
+    a.fld(FReg::FT7, Reg::S1, 24);
+    a.fld(FReg::FT8, Reg::S2, 0);
+    a.fld(FReg::FT9, Reg::S2, 8);
+    a.fld(FReg::FT10, Reg::S2, 16);
+    // Collision compute: three short dependent chains, then a cross
+    // combination (models the BGK collision operator).
+    a.fadd_d(FReg::FA0, FReg::FT0, FReg::FT1);
+    a.fmul_d(FReg::FA0, FReg::FA0, FReg::FT2);
+    a.fmadd_d(FReg::FA0, FReg::FA0, FReg::FS0, FReg::FT3);
+    a.fadd_d(FReg::FA1, FReg::FT4, FReg::FT5);
+    a.fmul_d(FReg::FA1, FReg::FA1, FReg::FT6);
+    a.fmadd_d(FReg::FA1, FReg::FA1, FReg::FS1, FReg::FT7);
+    a.fadd_d(FReg::FA2, FReg::FT8, FReg::FT9);
+    a.fmadd_d(FReg::FA2, FReg::FA2, FReg::FS0, FReg::FT10);
+    a.fmadd_d(FReg::FA3, FReg::FA0, FReg::FA1, FReg::FA2);
+    a.fadd_d(FReg::FA4, FReg::FA3, FReg::FS1);
+    a.fmul_d(FReg::FA5, FReg::FA3, FReg::FS0);
+    // Filler compute that fills the ROB: independent integer ops.
+    for i in 0..FILLER_OPS {
+        let r = [Reg::A0, Reg::A1, Reg::A2, Reg::A3][i % 4];
+        a.addi(r, r, 1);
+    }
+    // 19 result stores, one per destination stream (one 8-byte slot per
+    // iteration: a fresh line per stream every 8 iterations).
+    for k in 0..DST_STREAMS {
+        let f = [FReg::FA3, FReg::FA4, FReg::FA5][k % 3];
+        a.fsd(f, Reg::S3, (k as u64 * DST_STRIDE) as i64);
+    }
+    // Advance the streams.
+    a.addi(Reg::S0, Reg::S0, 64);
+    a.addi(Reg::S1, Reg::S1, 64);
+    a.addi(Reg::S2, Reg::S2, 64);
+    a.addi(Reg::S3, Reg::S3, 8);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("lbm kernel must assemble")
+}
+
+/// The unmodified benchmark (no software prefetching).
+#[must_use]
+pub fn program(size: Size) -> Program {
+    program_with_prefetch(size, 0)
+}
+
+/// The [`Workload`] wrapper for the suite.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "lbm",
+        description: "lattice-Boltzmann streaming: LLC-missing loads under a ROB-filling \
+                      body, 19 store streams (Figures 10-11 case study)",
+        program: program(size),
+    }
+}
+
+/// Address of the most performance-critical load instruction (the first
+/// `fld` of the body — the paper's Figure 10 `lw`-equivalent).
+#[must_use]
+pub fn critical_load_addr(size: Size, distance: u64) -> u64 {
+    // Skip the 8 setup instructions and any prefetches.
+    let p = program_with_prefetch(size, distance);
+    let addr = p
+        .iter()
+        .find(|(_, i)| i.mnemonic() == "fld")
+        .map(|(a, _)| a)
+        .expect("kernel contains loads");
+    addr
+}
+
+/// Address of the first result store instruction (Figure 11's
+/// performance-critical store).
+#[must_use]
+pub fn critical_store_addr(size: Size, distance: u64) -> u64 {
+    let p = program_with_prefetch(size, distance);
+    let addr = p
+        .iter()
+        .find(|(_, i)| i.mnemonic() == "fsd")
+        .map(|(a, _)| a)
+        .expect("kernel contains stores");
+    addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn kernel_halts_and_writes_all_streams() {
+        let p = program(Size::Test);
+        let mut m = tea_isa::Machine::new(&p);
+        m.run(10_000_000);
+        assert!(m.is_halted());
+        // Every destination stream received values.
+        for k in 0..DST_STREAMS as u64 {
+            let v = m.load_f64(DST_BASE + k * DST_STRIDE);
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn unprefetched_kernel_is_load_bound() {
+        let p = program(Size::Test);
+        let s = simulate(&p, SimConfig::default(), &mut []);
+        // The critical loads must miss the LLC.
+        assert!(
+            s.event_insts[Event::StLlc as usize] > iterations(Size::Test) / 2,
+            "LLC misses: {}",
+            s.event_insts[Event::StLlc as usize]
+        );
+    }
+
+    #[test]
+    fn prefetching_speeds_lbm_up() {
+        let base = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        let opt = simulate(&program_with_prefetch(Size::Test, 3), SimConfig::default(), &mut []);
+        let speedup = base.cycles as f64 / opt.cycles as f64;
+        assert!(
+            speedup > 1.1,
+            "prefetch distance 3 must speed lbm up, got {speedup:.3}"
+        );
+    }
+
+    #[test]
+    fn prefetching_shifts_pressure_to_stores() {
+        use tea_sim::psv::CommitState;
+        let base = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        let opt = simulate(&program_with_prefetch(Size::Test, 4), SimConfig::default(), &mut []);
+        // Faster iterations raise store-queue pressure: the share of
+        // time the ROB drains behind blocked stores (the DR-SQ wall)
+        // must grow, exactly as the paper's Figure 11 shows.
+        let drained_share = |s: &tea_sim::SimStats| {
+            s.cycles_in(CommitState::Drained) as f64 / s.cycles as f64
+        };
+        assert!(
+            drained_share(&opt) > drained_share(&base),
+            "drained share must grow: {:.3} -> {:.3}",
+            drained_share(&base),
+            drained_share(&opt)
+        );
+        // And the DR-SQ event must be present in both runs.
+        assert!(opt.event_insts[Event::DrSq as usize] > 100);
+    }
+
+    #[test]
+    fn critical_instruction_addresses_are_loads_and_stores() {
+        let p = program(Size::Test);
+        let la = critical_load_addr(Size::Test, 0);
+        let sa = critical_store_addr(Size::Test, 0);
+        assert_eq!(p.inst_at(la).unwrap().mnemonic(), "fld");
+        assert_eq!(p.inst_at(sa).unwrap().mnemonic(), "fsd");
+    }
+}

@@ -1,0 +1,92 @@
+//! `leela`-like kernel: Monte-Carlo tree search playouts — random board
+//! probes with moderate branching.
+//!
+//! The board state array is mid-sized (256 KiB): random probes evict the
+//! L1 but hit the LLC, producing a balanced Base / FL-MB / ST-L1 mix.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+
+use crate::{Size, Workload};
+
+const BOARD_BASE: u64 = 0x0060_0000;
+/// Board state: 256 KiB.
+const BOARD_WORDS: u64 = 32_768;
+
+/// Number of playout steps by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(10_000, 100_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("playout");
+    a.li(Reg::S0, BOARD_BASE as i64);
+    a.li(Reg::S1, 0x1ee1a); // playout RNG
+    a.li(Reg::S2, 6364136223846793005);
+    a.li(Reg::S3, 1442695040888963407);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    let top = a.new_label();
+    let occupied = a.new_label();
+    let next = a.new_label();
+    a.bind(top);
+    a.mul(Reg::S1, Reg::S1, Reg::S2);
+    a.add(Reg::S1, Reg::S1, Reg::S3);
+    a.srli(Reg::T2, Reg::S1, 35);
+    a.andi(Reg::T2, Reg::T2, (BOARD_WORDS - 1) as i64);
+    a.slli(Reg::T2, Reg::T2, 3);
+    a.add(Reg::T2, Reg::S0, Reg::T2);
+    a.ld(Reg::T3, Reg::T2, 0); // probe the point (L1-evicting)
+    a.bne(Reg::T3, Reg::ZERO, occupied);
+    // Play a stone: liberties-style neighbour arithmetic.
+    a.srli(Reg::T4, Reg::S1, 20);
+    a.andi(Reg::T4, Reg::T4, 3);
+    a.addi(Reg::T4, Reg::T4, 1);
+    a.sd(Reg::T4, Reg::T2, 0);
+    a.add(Reg::A0, Reg::A0, Reg::T4);
+    a.j(next);
+    a.bind(occupied);
+    // Capture check: clear with probability 1/4.
+    a.andi(Reg::T5, Reg::S1, 3);
+    a.bne(Reg::T5, Reg::ZERO, next);
+    a.sd(Reg::ZERO, Reg::T2, 0);
+    a.addi(Reg::A1, Reg::A1, 1);
+    a.bind(next);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("leela kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "leela",
+        description: "Monte-Carlo playouts over a 256 KiB board: L1-evicting random \
+                      probes with moderate mispredicts",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn balanced_event_mix() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert!(s.event_insts[Event::StL1 as usize] > iterations(Size::Test) / 10);
+        assert!(s.event_insts[Event::FlMb as usize] > iterations(Size::Test) / 30);
+        assert!(s.ipc() > 0.3, "leela is not purely memory-bound");
+    }
+}

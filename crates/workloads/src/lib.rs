@@ -1,0 +1,142 @@
+//! # tea-workloads
+//!
+//! Synthetic SPEC-CPU2017-like workloads for the TEA (ISCA 2023)
+//! reproduction.
+//!
+//! The paper evaluates TEA on SPEC CPU2017 with reference inputs —
+//! proprietary binaries running ~10^12 cycles on FPGA-accelerated RTL
+//! simulation. This crate substitutes kernels, written in the `tea-isa`
+//! mini-ISA, whose *bottleneck structure* mirrors the cited benchmarks:
+//! the dominant PSV signatures, the commit-state mix and the case-study
+//! mechanisms (lbm's exposed streaming loads and store-bandwidth wall,
+//! nab's `fsflags`/`frflags` flushes hiding behind `fsqrt.d`). The
+//! evaluation's shape — which profiling scheme wins and why — is driven
+//! by that structure, not by SPEC semantics; see DESIGN.md.
+//!
+//! # Example
+//!
+//! ```
+//! use tea_workloads::{all_workloads, Size};
+//!
+//! let suite = all_workloads(Size::Test);
+//! assert_eq!(suite.len(), 18);
+//! assert!(suite.iter().any(|w| w.name == "lbm"));
+//! ```
+
+#![warn(missing_docs)]
+
+use tea_isa::program::Program;
+
+pub mod bwaves;
+pub mod cactu;
+pub mod deepsjeng;
+pub mod exchange2;
+pub mod fotonik3d;
+pub mod gcc;
+pub mod imagick;
+pub mod lbm;
+pub mod leela;
+pub mod mcf;
+pub mod nab;
+pub mod omnetpp;
+pub mod perlbench;
+pub mod povray;
+pub mod roms;
+pub mod synth;
+pub mod x264;
+pub mod xalancbmk;
+pub mod xz;
+
+/// Workload scale: `Test` for unit tests (hundreds of thousands of
+/// cycles), `Ref` for the experiment harnesses (millions of cycles —
+/// thousands of samples at the 4 kHz-equivalent interval).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Size {
+    /// Small inputs for fast tests.
+    Test,
+    /// Reference inputs for the paper-reproduction harnesses.
+    Ref,
+}
+
+impl Size {
+    /// Picks an iteration count by size.
+    #[must_use]
+    pub fn pick(self, test: u64, reference: u64) -> u64 {
+        match self {
+            Size::Test => test,
+            Size::Ref => reference,
+        }
+    }
+}
+
+/// A named benchmark program.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// SPEC-style benchmark name, e.g. `"lbm"`.
+    pub name: &'static str,
+    /// One-line description of the behaviour it models.
+    pub description: &'static str,
+    /// The assembled program.
+    pub program: Program,
+}
+
+/// The full 18-benchmark suite used for Figures 5, 7, 8 and 9.
+#[must_use]
+pub fn all_workloads(size: Size) -> Vec<Workload> {
+    vec![
+        lbm::workload(size),
+        nab::workload(size),
+        bwaves::workload(size),
+        omnetpp::workload(size),
+        fotonik3d::workload(size),
+        exchange2::workload(size),
+        mcf::workload(size),
+        deepsjeng::workload(size),
+        leela::workload(size),
+        xz::workload(size),
+        x264::workload(size),
+        gcc::workload(size),
+        perlbench::workload(size),
+        xalancbmk::workload(size),
+        cactu::workload(size),
+        roms::workload(size),
+        imagick::workload(size),
+        povray::workload(size),
+    ]
+}
+
+/// The four benchmarks of the paper's Figure 6 (top-3 instruction
+/// PICS): bwaves, omnetpp, fotonik3d, exchange2.
+#[must_use]
+pub fn fig6_workloads(size: Size) -> Vec<Workload> {
+    vec![
+        bwaves::workload(size),
+        omnetpp::workload(size),
+        fotonik3d::workload(size),
+        exchange2::workload(size),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_unique_names() {
+        let suite = all_workloads(Size::Test);
+        let mut names: Vec<_> = suite.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn all_programs_terminate_functionally() {
+        for w in all_workloads(Size::Test) {
+            let mut m = tea_isa::Machine::new(&w.program);
+            let budget = 60_000_000;
+            m.run(budget);
+            assert!(m.is_halted(), "{} did not halt within {budget} instructions", w.name);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! `mcf`-like kernel: serialized pointer chasing with LLC misses.
+//!
+//! SPEC's 505.mcf walks network-simplex arc lists far larger than the
+//! LLC; its dependent loads cannot be overlapped, so the Stalled commit
+//! state with ST-LLC signatures dominates almost completely.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+
+use crate::{Size, Workload};
+
+const ARENA_BASE: u64 = 0x4000_0000;
+/// One node per cache line, two lines apart to defeat the next-line
+/// prefetcher.
+const NODE_STRIDE: u64 = 128;
+
+/// Number of arena nodes by size (`Ref`: 8 MiB, 4x the LLC).
+#[must_use]
+pub fn node_count(size: Size) -> u64 {
+    size.pick(24_576, 65_536)
+}
+
+/// Number of chase steps by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(4_000, 25_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let nodes = node_count(size);
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("refresh_potential");
+    let mut order: Vec<u64> = (1..nodes).collect();
+    let mut rng = SmallRng::seed_from_u64(0x0cf + nodes);
+    order.shuffle(&mut rng);
+    let addr_of = |i: u64| ARENA_BASE + i * NODE_STRIDE;
+    let mut cur = 0u64;
+    for &next in order.iter().chain(std::iter::once(&0)) {
+        a.init_word(addr_of(cur), addr_of(next));
+        a.init_word(addr_of(cur) + 8, next & 0xffff);
+        cur = next;
+    }
+    a.li(Reg::S0, ARENA_BASE as i64);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    let top = a.new_label();
+    let infeasible = a.new_label();
+    let next = a.new_label();
+    a.bind(top);
+    // Arc cost inspection with a data-dependent feasibility test (the
+    // simplex pricing conditional), then the dependent hop.
+    a.ld(Reg::T2, Reg::S0, 8);
+    a.andi(Reg::T3, Reg::T2, 3);
+    a.beq(Reg::T3, Reg::ZERO, infeasible);
+    a.add(Reg::A0, Reg::A0, Reg::T2);
+    a.slli(Reg::T4, Reg::T2, 2);
+    a.add(Reg::A1, Reg::A1, Reg::T4);
+    a.j(next);
+    a.bind(infeasible);
+    a.addi(Reg::A2, Reg::A2, 1);
+    a.bind(next);
+    a.ld(Reg::S0, Reg::S0, 0);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("mcf kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "mcf",
+        description: "network-simplex pointer chasing over an 8 MiB arena: \
+                      serialized LLC misses, Stalled-dominated",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::{CommitState, Event};
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn chase_is_stall_dominated_with_llc_misses() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert!(
+            s.cycles_in(CommitState::Stalled) > s.cycles / 2,
+            "stalled {} of {}",
+            s.cycles_in(CommitState::Stalled),
+            s.cycles
+        );
+        assert!(s.event_insts[Event::StLlc as usize] > iterations(Size::Test) / 3);
+        assert!(s.ipc() < 1.0, "mcf must be memory-bound, ipc {}", s.ipc());
+    }
+}

@@ -1,0 +1,214 @@
+//! `nab`-like kernel: the paper's second case study (Figure 12).
+//!
+//! SPEC's 544.nab computes molecular dynamics distances: a
+//! sum-of-squares followed by `fsqrt.d`. On RISC-V the compiler brackets
+//! the preceding `flt.d` comparison with `frflags`/`fsflags` to stay
+//! IEEE 754-compliant (no non-excepting compare exists), and on this
+//! architecture those CSR accesses *always flush the pipeline*. The
+//! flushes prevent the core from fetching ahead, so the unpipelined
+//! square root issues too late for its latency to be hidden — the subtle
+//! chain of causation TEA's accurate PICS expose.
+//!
+//! The fixes the paper applies are compiler flags:
+//! [`MathMode::FiniteMath`] removes the flag save/restore (speedup
+//! 1.96× in the paper); [`MathMode::FastMath`] additionally replaces the
+//! IEEE square root with a fast reciprocal-sqrt style approximation
+//! (2.45×).
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::{FReg, Reg};
+
+use crate::{Size, Workload};
+
+/// Coordinate array base (small: L1-resident, as in nab's hot loop).
+const COORD_BASE: u64 = 0x0040_0000;
+/// Bytes of coordinate data cycled through (one L1-resident ring).
+const COORD_RING: u64 = 8 * 1024;
+
+/// Compilation mode of the kernel (the paper's case-study knob).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MathMode {
+    /// IEEE 754-compliant: `frflags`/`flt.d`/`fsflags` bracket every
+    /// comparison, each CSR access flushing the pipeline.
+    Ieee,
+    /// `-ffinite-math-only`: the comparison needs no flag handling; the
+    /// square root remains.
+    FiniteMath,
+    /// `-ffast-math`: no flag handling, and the square root is replaced
+    /// by a pipelined polynomial approximation.
+    FastMath,
+}
+
+impl MathMode {
+    /// All three modes, slowest first.
+    pub const ALL: [MathMode; 3] = [MathMode::Ieee, MathMode::FiniteMath, MathMode::FastMath];
+
+    /// Compiler-flag-style name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MathMode::Ieee => "ieee",
+            MathMode::FiniteMath => "finite-math",
+            MathMode::FastMath => "fast-math",
+        }
+    }
+}
+
+/// Number of iterations by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(3_000, 30_000)
+}
+
+/// Builds the nab kernel in the given math mode.
+#[must_use]
+pub fn program_with_mode(size: Size, mode: MathMode) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("dist_energy");
+    a.li(Reg::S0, COORD_BASE as i64);
+    a.li(Reg::S1, 0); // ring offset
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    a.fli_d(FReg::FS0, 0.75); // reference coordinates
+    a.fli_d(FReg::FS1, 12.5); // cutoff distance squared
+    a.fli_d(FReg::FS2, 0.5); // approximation coefficients
+    a.fli_d(FReg::FS3, 1.0);
+    let top = a.new_label();
+    a.bind(top);
+    // Load the atom's coordinates (L1-resident ring).
+    a.add(Reg::T2, Reg::S0, Reg::S1);
+    a.fld(FReg::FT0, Reg::T2, 0);
+    a.fld(FReg::FT1, Reg::T2, 8);
+    a.fld(FReg::FT2, Reg::T2, 16);
+    // r^2 = dx^2 + dy^2 + dz^2.
+    a.fsub_d(FReg::FT3, FReg::FT0, FReg::FS0);
+    a.fmul_d(FReg::FT4, FReg::FT3, FReg::FT3);
+    a.fsub_d(FReg::FT5, FReg::FT1, FReg::FS0);
+    a.fmadd_d(FReg::FT4, FReg::FT5, FReg::FT5, FReg::FT4);
+    a.fsub_d(FReg::FT6, FReg::FT2, FReg::FS0);
+    a.fmadd_d(FReg::FT4, FReg::FT6, FReg::FT6, FReg::FT4);
+    // Cutoff test. Under IEEE 754, flt.d must not raise on NaN, so the
+    // compiler saves and restores the FP exception flags around it —
+    // and both CSR accesses flush the pipeline on this architecture.
+    match mode {
+        MathMode::Ieee => {
+            a.frflags(Reg::T3);
+            a.flt_d(Reg::T4, FReg::FT4, FReg::FS1);
+            a.fsflags(Reg::ZERO, Reg::T3);
+        }
+        MathMode::FiniteMath | MathMode::FastMath => {
+            a.flt_d(Reg::T4, FReg::FT4, FReg::FS1);
+        }
+    }
+    // r = sqrt(r^2): the performance-critical instruction.
+    match mode {
+        MathMode::Ieee | MathMode::FiniteMath => {
+            a.fsqrt_d(FReg::FT7, FReg::FT4);
+        }
+        MathMode::FastMath => {
+            // -ffast-math codegen: a reciprocal-estimate Newton step —
+            // one (unpipelined, but shorter-latency) divide plus a
+            // pipelined correction instead of the full IEEE sqrt.
+            a.fmadd_d(FReg::FT8, FReg::FT4, FReg::FS2, FReg::FS3);
+            a.fdiv_d(FReg::FT7, FReg::FT4, FReg::FT8);
+            a.fmadd_d(FReg::FT7, FReg::FT7, FReg::FS2, FReg::FS3);
+        }
+    }
+    // Energy contribution using r.
+    a.fmadd_d(FReg::FA0, FReg::FT7, FReg::FS2, FReg::FA0);
+    a.fadd_d(FReg::FA1, FReg::FA1, FReg::FT7);
+    // Advance the ring.
+    a.addi(Reg::S1, Reg::S1, 24);
+    a.li(Reg::T5, (COORD_RING - 24) as i64);
+    a.slt(Reg::T6, Reg::T5, Reg::S1);
+    let no_wrap = a.new_label();
+    a.beq(Reg::T6, Reg::ZERO, no_wrap);
+    a.li(Reg::S1, 0);
+    a.bind(no_wrap);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("nab kernel must assemble")
+}
+
+/// The IEEE-compliant build (the paper's starting point).
+#[must_use]
+pub fn program(size: Size) -> Program {
+    program_with_mode(size, MathMode::Ieee)
+}
+
+/// The [`Workload`] wrapper for the suite.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "nab",
+        description: "molecular-dynamics distances: fsqrt.d issued too late because \
+                      frflags/fsflags flush the pipeline (Figure 12 case study)",
+        program: program(size),
+    }
+}
+
+/// Address of the `fsqrt.d` instruction (IEEE / finite-math builds).
+#[must_use]
+pub fn fsqrt_addr(size: Size, mode: MathMode) -> Option<u64> {
+    let p = program_with_mode(size, mode);
+    let addr = p
+        .iter()
+        .find(|(_, i)| i.mnemonic() == "fsqrt.d")
+        .map(|(a, _)| a);
+    addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn kernel_halts_in_every_mode() {
+        for mode in MathMode::ALL {
+            let p = program_with_mode(Size::Test, mode);
+            let mut m = tea_isa::Machine::new(&p);
+            m.run(5_000_000);
+            assert!(m.is_halted(), "{} did not halt", mode.name());
+        }
+    }
+
+    #[test]
+    fn ieee_mode_flushes_twice_per_iteration() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert_eq!(s.commit_flushes, 2 * iterations(Size::Test));
+        assert_eq!(s.event_insts[Event::FlEx as usize], 2 * iterations(Size::Test));
+    }
+
+    #[test]
+    fn finite_math_speedup_matches_paper_shape() {
+        let ieee = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        let finite = simulate(
+            &program_with_mode(Size::Test, MathMode::FiniteMath),
+            SimConfig::default(),
+            &mut [],
+        );
+        let fast = simulate(
+            &program_with_mode(Size::Test, MathMode::FastMath),
+            SimConfig::default(),
+            &mut [],
+        );
+        let s_finite = ieee.cycles as f64 / finite.cycles as f64;
+        let s_fast = ieee.cycles as f64 / fast.cycles as f64;
+        // The paper reports 1.96x and 2.45x; shape: both large, fast-math
+        // larger.
+        assert!(s_finite > 1.4, "finite-math speedup {s_finite:.2}");
+        assert!(s_fast > s_finite, "fast-math {s_fast:.2} must beat finite-math {s_finite:.2}");
+    }
+
+    #[test]
+    fn fsqrt_address_resolves() {
+        assert!(fsqrt_addr(Size::Test, MathMode::Ieee).is_some());
+        assert!(fsqrt_addr(Size::Test, MathMode::FastMath).is_none());
+    }
+}

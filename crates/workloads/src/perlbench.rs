@@ -1,0 +1,126 @@
+//! `perlbench`-like kernel: a bytecode interpreter dispatch loop.
+//!
+//! Interpreters are dominated by the indirect dispatch jump: the handler
+//! address depends on the (data-dependent) opcode, so the BTB
+//! mispredicts whenever consecutive opcodes differ — heavy FL-MB with a
+//! cache-resident working set.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+
+use crate::{Size, Workload};
+
+/// Number of distinct opcode handlers.
+const HANDLERS: usize = 24;
+/// ALU work per handler.
+const HANDLER_OPS: usize = 12;
+
+/// Number of bytecode operations executed, by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(8_000, 80_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("run_ops");
+    a.li(Reg::S1, 0x9e11_be7c); // bytecode PRNG (models fetched opcodes)
+    a.li(Reg::S2, 6364136223846793005);
+    a.li(Reg::S3, 1442695040888963407);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    let top = a.new_label();
+    let dispatch_table: Vec<_> = (0..HANDLERS).map(|_| a.new_label()).collect();
+    a.bind(top);
+    // Decode the next opcode.
+    a.mul(Reg::S1, Reg::S1, Reg::S2);
+    a.add(Reg::S1, Reg::S1, Reg::S3);
+    a.srli(Reg::T2, Reg::S1, 45);
+    a.li(Reg::T3, HANDLERS as i64);
+    a.rem(Reg::T2, Reg::T2, Reg::T3);
+    // Compute the handler address: table base + op * handler size.
+    // The handler bodies are laid out contiguously after the loop, each
+    // exactly (HANDLER_OPS + 1) instructions long.
+    let handler_bytes = (HANDLER_OPS as i64 + 1) * 4;
+    a.li(Reg::T4, 0); // patched below: base of handler 0
+    let li_base_index = a.len() - 1;
+    a.li(Reg::T6, handler_bytes);
+    a.mul(Reg::T5, Reg::T2, Reg::T6);
+    a.add(Reg::T5, Reg::T4, Reg::T5);
+    a.jalr(Reg::RA, Reg::T5, 0); // the indirect dispatch
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    // Handler bodies.
+    let handlers_start = a.here();
+    for (k, &label) in dispatch_table.iter().enumerate() {
+        a.bind(label);
+        for i in 0..HANDLER_OPS {
+            let r = [Reg::A0, Reg::A1, Reg::A2, Reg::A3][(i + k) % 4];
+            a.addi(r, r, (k as i64 % 7) + 1);
+        }
+        a.jr(Reg::RA);
+    }
+    let mut p = a.finish().expect("perlbench kernel must assemble");
+    // Patch the handler-table base into the placeholder li.
+    let mut insts = p.insts().to_vec();
+    insts[li_base_index] = tea_isa::Inst::Li { rd: Reg::T4, imm: handlers_start as i64 };
+    p = Program::from_parts(
+        p.base(),
+        insts,
+        p.functions().to_vec(),
+        p.init_words().to_vec(),
+    );
+    p
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "perlbench",
+        description: "bytecode interpreter: data-dependent indirect dispatch jumps, \
+                      BTB mispredicts, cache-resident",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn dispatch_executes_all_ops_and_halts() {
+        let p = program(Size::Test);
+        let mut m = tea_isa::Machine::new(&p);
+        m.run(50_000_000);
+        assert!(m.is_halted());
+        // Handlers incremented the accumulators.
+        let total: u64 = [Reg::A0, Reg::A1, Reg::A2, Reg::A3]
+            .iter()
+            .map(|&r| m.int_reg(r))
+            .sum();
+        assert!(total >= iterations(Size::Test) * HANDLER_OPS as u64 / 2);
+    }
+
+    #[test]
+    fn indirect_dispatch_mispredicts() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert!(
+            s.event_insts[Event::FlMb as usize] > iterations(Size::Test) / 3,
+            "varying opcodes must defeat the BTB: {}",
+            s.event_insts[Event::FlMb as usize]
+        );
+        assert!(
+            s.event_insts[Event::StLlc as usize] < 100,
+            "perlbench is cache-resident"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! `povray`-like kernel: ray-sphere intersection tests — FP compute
+//! with square roots behind data-dependent hit/miss branches.
+//!
+//! Ray tracing mixes discriminant arithmetic, an unpredictable
+//! hit-or-miss branch, and a square root only on hits: FL-MB plus
+//! FP-unit stalls, cache-resident.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::{FReg, Reg};
+
+use crate::{Size, Workload};
+
+const SCENE_BASE: u64 = 0x0070_0000;
+/// Scene objects: 8 KiB ring (L1-resident).
+const SCENE_BYTES: u64 = 8 * 1024;
+
+/// Number of rays traced by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(5_000, 50_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("intersect_sphere");
+    a.li(Reg::S0, SCENE_BASE as i64);
+    a.li(Reg::S1, 0);
+    a.li(Reg::S4, 0x9a7_2a7e); // ray PRNG
+    a.li(Reg::S2, 6364136223846793005);
+    a.li(Reg::S3, 1442695040888963407);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    a.fli_d(FReg::FS0, 0.001953125); // 1/512
+    a.fli_d(FReg::FS1, 1.0);
+    a.fli_d(FReg::FS2, 0.5); // squared radius: hit iff dir^2 >= r^2
+    a.fli_d(FReg::FS3, 0.0);
+    let top = a.new_label();
+    let miss = a.new_label();
+    let next = a.new_label();
+    a.bind(top);
+    // Ray direction from the PRNG.
+    a.mul(Reg::S4, Reg::S4, Reg::S2);
+    a.add(Reg::S4, Reg::S4, Reg::S3);
+    a.srli(Reg::T2, Reg::S4, 55);
+    a.fcvt_d_l(FReg::FT0, Reg::T2);
+    a.fmul_d(FReg::FT0, FReg::FT0, FReg::FS0); // in [0, 1)
+    // Sphere parameters from the scene ring.
+    a.add(Reg::T3, Reg::S0, Reg::S1);
+    a.fld(FReg::FT1, Reg::T3, 0);
+    a.fld(FReg::FT2, Reg::T3, 8);
+    // Discriminant dir^2 + obj - r^2 (sign decides the hit; obj is the
+    // per-object term from the scene ring).
+    a.fmadd_d(FReg::FT3, FReg::FT0, FReg::FT0, FReg::FT1);
+    a.fadd_d(FReg::FT3, FReg::FT3, FReg::FT2);
+    a.fsub_d(FReg::FT4, FReg::FT3, FReg::FS2);
+    a.flt_d(Reg::T4, FReg::FT4, FReg::FS3);
+    a.bne(Reg::T4, Reg::ZERO, miss);
+    // Hit: the distance needs a square root (dir^2 + obj >= 0).
+    a.fsqrt_d(FReg::FT5, FReg::FT3);
+    a.fmadd_d(FReg::FA0, FReg::FT5, FReg::FS1, FReg::FA0);
+    a.j(next);
+    a.bind(miss);
+    a.fadd_d(FReg::FA1, FReg::FA1, FReg::FS1);
+    a.bind(next);
+    // Advance the scene ring.
+    a.addi(Reg::S1, Reg::S1, 16);
+    a.li(Reg::T5, (SCENE_BYTES - 16) as i64);
+    a.slt(Reg::T6, Reg::T5, Reg::S1);
+    let no_wrap = a.new_label();
+    a.beq(Reg::T6, Reg::ZERO, no_wrap);
+    a.li(Reg::S1, 0);
+    a.bind(no_wrap);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("povray kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "povray",
+        description: "ray-sphere intersections: discriminant FP compute, unpredictable \
+                      hit branches, square roots on hits",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn hits_and_misses_both_occur() {
+        let p = program(Size::Test);
+        let mut m = tea_isa::Machine::new(&p);
+        m.run(30_000_000);
+        assert!(m.is_halted());
+        assert!(m.fp_reg(FReg::FA0) > 0.0, "some rays hit");
+        assert!(m.fp_reg(FReg::FA1) > 0.0, "some rays miss");
+    }
+
+    #[test]
+    fn branchy_fp_profile() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert!(s.event_insts[Event::FlMb as usize] > iterations(Size::Test) / 40);
+        assert!(s.event_insts[Event::StLlc as usize] < 100, "scene is cache-resident");
+    }
+}

@@ -1,0 +1,88 @@
+//! `roms`-like kernel: ocean modelling — multiple streamed FP arrays
+//! with a page-crossing vertical stride and result stores.
+//!
+//! The vertical (k-direction) sweeps of the real model stride across
+//! pages, mixing ST-TLB into the streaming ST-L1 profile, and the
+//! output stores add DR-SQ pressure phases.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::{FReg, Reg};
+
+use crate::{Size, Workload};
+
+const FIELD_U: u64 = 0x1000_0000;
+const FIELD_V: u64 = 0x2000_0140;
+const FIELD_W: u64 = 0x3000_0280;
+const FIELD_OUT: u64 = 0x8000_0000;
+/// Vertical stride: half a page plus a line, so consecutive points hit
+/// fresh lines and frequently fresh pages.
+const STRIDE: u64 = 2048 + 64;
+
+/// Number of grid points by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(4_000, 40_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("vert_advect");
+    a.li(Reg::S0, FIELD_U as i64);
+    a.li(Reg::S1, FIELD_V as i64);
+    a.li(Reg::S2, FIELD_W as i64);
+    a.li(Reg::S3, FIELD_OUT as i64);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    a.fli_d(FReg::FS0, 0.375);
+    let top = a.new_label();
+    a.bind(top);
+    a.fld(FReg::FT0, Reg::S0, 0);
+    a.fld(FReg::FT1, Reg::S1, 0);
+    a.fld(FReg::FT2, Reg::S2, 0);
+    // Advection update.
+    a.fsub_d(FReg::FT3, FReg::FT0, FReg::FT1);
+    a.fmadd_d(FReg::FT4, FReg::FT3, FReg::FS0, FReg::FT2);
+    a.fmul_d(FReg::FT5, FReg::FT4, FReg::FS0);
+    a.fsd(FReg::FT4, Reg::S3, 0);
+    a.fsd(FReg::FT5, Reg::S3, 8);
+    a.addi(Reg::S0, Reg::S0, STRIDE as i64);
+    a.addi(Reg::S1, Reg::S1, STRIDE as i64);
+    a.addi(Reg::S2, Reg::S2, STRIDE as i64);
+    a.addi(Reg::S3, Reg::S3, 16);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("roms kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "roms",
+        description: "vertical ocean-model sweeps: streamed FP arrays with \
+                      page-crossing strides (ST-L1+ST-TLB) and output stores",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn page_crossing_streams_mix_cache_and_tlb() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        let n = iterations(Size::Test);
+        assert!(s.event_insts[Event::StL1 as usize] > n);
+        assert!(s.event_insts[Event::StTlb as usize] > n / 4, "vertical strides cross pages");
+        assert!(s.combined_event_insts > n / 8);
+    }
+}

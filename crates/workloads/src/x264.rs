@@ -1,0 +1,85 @@
+//! `x264`-like kernel: sum-of-absolute-differences over two frames with
+//! a reconstructed output stream.
+//!
+//! Video encoding streams reference and current blocks (sequential,
+//! prefetcher-friendly) and writes the reconstruction — integer compute
+//! with store traffic, mostly Base components with a streaming ST-L1
+//! tail.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+
+use crate::{Size, Workload};
+
+const REF_BASE: u64 = 0x1000_0000;
+const CUR_BASE: u64 = 0x2000_0000;
+const REC_BASE: u64 = 0x3000_0000;
+
+/// Number of 8-byte pixels processed by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(12_000, 120_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("sad_block");
+    a.li(Reg::S0, REF_BASE as i64);
+    a.li(Reg::S1, CUR_BASE as i64);
+    a.li(Reg::S2, REC_BASE as i64);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    let top = a.new_label();
+    a.bind(top);
+    a.ld(Reg::T2, Reg::S0, 0);
+    a.ld(Reg::T3, Reg::S1, 0);
+    // |ref - cur| via the shift trick: (x ^ (x >> 63)) - (x >> 63).
+    a.sub(Reg::T4, Reg::T2, Reg::T3);
+    a.srli(Reg::T5, Reg::T4, 63);
+    a.sub(Reg::T6, Reg::ZERO, Reg::T5);
+    a.xor(Reg::T4, Reg::T4, Reg::T6);
+    a.add(Reg::T4, Reg::T4, Reg::T5);
+    a.add(Reg::A0, Reg::A0, Reg::T4); // SAD accumulator
+    // Reconstruction: average-ish blend, stored to the output frame.
+    a.add(Reg::T6, Reg::T2, Reg::T3);
+    a.srli(Reg::T6, Reg::T6, 1);
+    a.sd(Reg::T6, Reg::S2, 0);
+    a.addi(Reg::S0, Reg::S0, 8);
+    a.addi(Reg::S1, Reg::S1, 8);
+    a.addi(Reg::S2, Reg::S2, 8);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("x264 kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "x264",
+        description: "SAD + reconstruction over streamed frames: integer compute, \
+                      sequential loads and store traffic",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn streaming_with_store_traffic() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert!(s.ipc() > 1.0, "x264 is compute-heavy, ipc {}", s.ipc());
+        assert!(s.event_insts[Event::StL1 as usize] > 0);
+        assert!(s.hier.dram_lines > iterations(Size::Test) / 10, "streams reach DRAM");
+    }
+}

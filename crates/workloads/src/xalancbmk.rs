@@ -1,0 +1,128 @@
+//! `xalancbmk`-like kernel: XML/XSLT processing modelled as a DOM-tree
+//! walk with tag-dependent branching.
+//!
+//! Nodes are scattered over a multi-megabyte heap (ST-L1/ST-LLC/ST-TLB
+//! combinations) and every node's tag drives an unpredictable dispatch
+//! branch (FL-MB) — the classic pointer-and-branch profile of the real
+//! benchmark.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+
+use crate::{Size, Workload};
+
+const HEAP_BASE: u64 = 0x6000_0000;
+/// One node per 96 bytes (pointer + tag + text length), crossing lines.
+const NODE_STRIDE: u64 = 96;
+
+/// Number of DOM nodes by size (`Ref`: 4.5 MiB of nodes).
+#[must_use]
+pub fn node_count(size: Size) -> u64 {
+    size.pick(16_384, 49_152)
+}
+
+/// Number of visited nodes by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(5_000, 40_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let nodes = node_count(size);
+    let iters = iterations(size);
+    let mut a = Asm::new();
+    a.func("transform_node");
+    let mut order: Vec<u64> = (1..nodes).collect();
+    let mut rng = SmallRng::seed_from_u64(0xa1a + nodes);
+    order.shuffle(&mut rng);
+    let addr_of = |i: u64| HEAP_BASE + i * NODE_STRIDE;
+    let mut cur = 0u64;
+    let mut tag_state = 0x517e_913du64;
+    for &next in order.iter().chain(std::iter::once(&0)) {
+        tag_state = tag_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        a.init_word(addr_of(cur), addr_of(next));
+        a.init_word(addr_of(cur) + 8, tag_state >> 40); // tag
+        a.init_word(addr_of(cur) + 16, tag_state & 0xff); // text length
+        cur = next;
+    }
+    a.li(Reg::S0, HEAP_BASE as i64);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    let top = a.new_label();
+    let element = a.new_label();
+    let text = a.new_label();
+    let visited = a.new_label();
+    a.bind(top);
+    a.ld(Reg::S1, Reg::S0, 0); // next node (dependent chase)
+    a.ld(Reg::T2, Reg::S0, 8); // tag
+    a.ld(Reg::T3, Reg::S0, 16); // text length
+    a.andi(Reg::T4, Reg::T2, 3);
+    a.beq(Reg::T4, Reg::ZERO, element);
+    a.andi(Reg::T5, Reg::T2, 4);
+    a.bne(Reg::T5, Reg::ZERO, text);
+    // Attribute node: accumulate the name hash.
+    a.add(Reg::A0, Reg::A0, Reg::T2);
+    a.j(visited);
+    a.bind(element);
+    // Element node: descend bookkeeping and output-stack push.
+    a.slli(Reg::T6, Reg::T2, 1);
+    a.add(Reg::A1, Reg::A1, Reg::T6);
+    a.sd(Reg::A1, Reg::S0, 24);
+    a.j(visited);
+    a.bind(text);
+    // Text node: copy-length accounting.
+    a.add(Reg::A2, Reg::A2, Reg::T3);
+    a.bind(visited);
+    a.add(Reg::S0, Reg::S1, Reg::ZERO);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("xalancbmk kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "xalancbmk",
+        description: "DOM-tree walk over a scattered multi-MiB heap with tag-dependent \
+                      dispatch branches",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::{CommitState, Event};
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn walk_halts_and_visits_node_kinds() {
+        let p = program(Size::Test);
+        let mut m = tea_isa::Machine::new(&p);
+        m.run(20_000_000);
+        assert!(m.is_halted());
+        assert!(m.int_reg(Reg::A0) > 0 || m.int_reg(Reg::A1) > 0);
+        assert!(m.int_reg(Reg::A2) > 0, "text nodes visited");
+    }
+
+    #[test]
+    fn cache_tlb_and_branch_events_mix() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        let n = iterations(Size::Test);
+        assert!(s.event_insts[Event::StL1 as usize] > n / 2);
+        assert!(s.event_insts[Event::StTlb as usize] > 0);
+        assert!(s.event_insts[Event::FlMb as usize] > n / 20);
+        assert!(s.cycles_in(CommitState::Stalled) > s.cycles / 4);
+    }
+}

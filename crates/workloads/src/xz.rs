@@ -1,0 +1,126 @@
+//! `xz`-like kernel: LZMA match finding — dictionary probes across a
+//! large window with data-dependent control flow.
+//!
+//! The 8 MiB dictionary misses the LLC and spans more pages than the L1
+//! TLB covers, while the match/no-match branches depend on data:
+//! a blend of ST-LLC/ST-TLB signatures and FL-MB.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+
+use crate::{Size, Workload};
+
+const DICT_BASE: u64 = 0x5000_0000;
+const OUT_BASE: u64 = 0x7000_0000;
+/// Dictionary window in 8-byte words (`Ref`: 8 MiB).
+#[must_use]
+pub fn dict_words(size: Size) -> u64 {
+    size.pick(262_144, 1_048_576)
+}
+
+/// Number of match probes by size.
+#[must_use]
+pub fn iterations(size: Size) -> u64 {
+    size.pick(5_000, 50_000)
+}
+
+/// Builds the kernel.
+#[must_use]
+pub fn program(size: Size) -> Program {
+    let iters = iterations(size);
+    let words = dict_words(size);
+    let mut a = Asm::new();
+    a.func("find_match");
+    a.li(Reg::S0, DICT_BASE as i64);
+    a.li(Reg::S1, 0x7a2023); // position hash
+    a.li(Reg::S2, 6364136223846793005);
+    a.li(Reg::S3, 1442695040888963407);
+    a.li(Reg::S4, OUT_BASE as i64);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    let top = a.new_label();
+    let literal = a.new_label();
+    let next = a.new_label();
+    a.bind(top);
+    // Hash chain probe into the big window.
+    a.mul(Reg::S1, Reg::S1, Reg::S2);
+    a.add(Reg::S1, Reg::S1, Reg::S3);
+    a.srli(Reg::T2, Reg::S1, 24);
+    a.andi(Reg::T2, Reg::T2, (words - 1) as i64);
+    a.slli(Reg::T2, Reg::T2, 3);
+    a.add(Reg::T2, Reg::S0, Reg::T2);
+    a.ld(Reg::T3, Reg::T2, 0); // candidate (LLC/TLB-missing)
+    // The window is sparse (zero-filled) in this synthetic input, so
+    // mix the position into the candidate to model real byte content;
+    // T3 still becomes ready only when the load completes.
+    a.xor(Reg::T3, Reg::T3, Reg::T2);
+    a.srli(Reg::T3, Reg::T3, 3);
+    // Overlapping match copy: the output slot is addressed through the
+    // just-loaded candidate (address resolves *late*), while the
+    // read-back of the recent output below uses an immediately-ready
+    // address. When they alias — as overlapping LZ77 copies do — the
+    // early load reads stale data and the core flushes: the paper's
+    // FL-MO memory-ordering violation.
+    a.andi(Reg::T6, Reg::T3, 0x38);
+    a.add(Reg::T6, Reg::S4, Reg::T6);
+    a.sd(Reg::T3, Reg::T6, 0);
+    a.ld(Reg::A2, Reg::S4, 0x18); // recent output byte, may alias
+    a.add(Reg::A3, Reg::A3, Reg::A2);
+    // Compare with the "current" bytes (derived from the hash).
+    a.srli(Reg::T4, Reg::S1, 40);
+    a.andi(Reg::T4, Reg::T4, 7);
+    a.andi(Reg::T5, Reg::T3, 7);
+    a.bne(Reg::T4, Reg::T5, literal);
+    // Match: extend and emit a length-distance pair.
+    a.add(Reg::T6, Reg::T4, Reg::T5);
+    a.sd(Reg::T6, Reg::S4, 64);
+    a.add(Reg::A0, Reg::A0, Reg::T6);
+    a.j(next);
+    a.bind(literal);
+    a.addi(Reg::A1, Reg::A1, 1);
+    a.bind(next);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("xz kernel must assemble")
+}
+
+/// The [`Workload`] wrapper.
+#[must_use]
+pub fn workload(size: Size) -> Workload {
+    Workload {
+        name: "xz",
+        description: "LZMA match finding: random probes into an 8 MiB window \
+                      (LLC+TLB misses) with data-dependent match branches",
+        program: program(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_sim::core::simulate;
+    use tea_sim::psv::Event;
+    use tea_sim::SimConfig;
+
+    #[test]
+    fn window_probes_miss_llc_and_tlb() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        let n = iterations(Size::Test);
+        assert!(s.event_insts[Event::StLlc as usize] > n / 4);
+        assert!(s.event_insts[Event::StTlb as usize] > n / 4);
+        assert!(s.event_insts[Event::FlMb as usize] > n / 50);
+    }
+
+    #[test]
+    fn overlapping_copies_cause_memory_ordering_violations() {
+        let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
+        assert!(
+            s.mo_violations > iterations(Size::Test) / 50,
+            "aliasing copy-back must trigger FL-MO: {}",
+            s.mo_violations
+        );
+        assert!(s.event_insts[Event::FlMo as usize] > 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Compare all five profiling schemes on one workload, from a single
+//! simulation pass: the golden reference scores each of TEA, NCI-TEA,
+//! IBS, SPE and RIS with the paper's Section 4 error metric.
+//!
+//! Run with: `cargo run --release --example compare_profilers [workload]`
+
+use tea_core::golden::GoldenReference;
+use tea_core::nci::NciProfiler;
+use tea_core::pics::{Granularity, UnitMap};
+use tea_core::pics_error;
+use tea_core::sampling::SampleTimer;
+use tea_core::schemes::Scheme;
+use tea_core::tagging::TaggingProfiler;
+use tea_core::tea::TeaProfiler;
+use tea_sim::core::Core;
+use tea_sim::trace::Observer;
+use tea_sim::SimConfig;
+use tea_workloads::{all_workloads, Size};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "omnetpp".into());
+    let workload = all_workloads(Size::Test)
+        .into_iter()
+        .find(|w| w.name == which)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {which}; available:");
+            for w in all_workloads(Size::Test) {
+                eprintln!("  {} — {}", w.name, w.description);
+            }
+            std::process::exit(1);
+        });
+
+    let timer = || SampleTimer::with_jitter(512, 64, 9);
+    let mut golden = GoldenReference::new();
+    let mut tea = TeaProfiler::new(timer());
+    let mut nci = NciProfiler::new(timer());
+    let mut ibs = TaggingProfiler::ibs(timer());
+    let mut spe = TaggingProfiler::spe(timer());
+    let mut ris = TaggingProfiler::ris(timer());
+    let stats = {
+        let mut obs: Vec<&mut dyn Observer> =
+            vec![&mut golden, &mut tea, &mut nci, &mut ibs, &mut spe, &mut ris];
+        Core::new(&workload.program, SimConfig::default()).run(&mut obs)
+    };
+
+    println!(
+        "{} — {}\n{} cycles, IPC {:.2}\n",
+        workload.name,
+        workload.description,
+        stats.cycles,
+        stats.ipc()
+    );
+    println!("{:<10} {:>10} {:>16} {:>16}", "scheme", "samples", "error (instr)", "error (func)");
+    let units_i = UnitMap::new(&workload.program, Granularity::Instruction);
+    let units_f = UnitMap::new(&workload.program, Granularity::Function);
+    let rows: [(&str, Scheme, &tea_core::pics::Pics, u64); 5] = [
+        ("TEA", Scheme::Tea, tea.pics(), tea.samples()),
+        ("NCI-TEA", Scheme::NciTea, nci.pics(), nci.samples()),
+        ("IBS", Scheme::Ibs, ibs.pics(), ibs.samples()),
+        ("SPE", Scheme::Spe, spe.pics(), spe.samples()),
+        ("RIS", Scheme::Ris, ris.pics(), ris.samples()),
+    ];
+    for (name, scheme, pics, samples) in rows {
+        let e_i = pics_error(pics, golden.pics(), scheme.event_set(), &units_i);
+        let e_f = pics_error(pics, golden.pics(), scheme.event_set(), &units_f);
+        println!(
+            "{:<10} {:>10} {:>15.1}% {:>15.1}%",
+            name,
+            samples,
+            e_i * 100.0,
+            e_f * 100.0
+        );
+    }
+    println!("\nTime-proportional sampling (TEA) should win at both granularities.");
+}

@@ -1,0 +1,44 @@
+//! Per-process PICS under multiprogramming: two processes time-share
+//! the simulated core (round-robin, shared caches/TLBs/DRAM), each with
+//! its own TEA profiler attached — the Section 3 claim that PID-tagged
+//! samples make TEA work beyond single-programmed runs.
+//!
+//! Run with: `cargo run --release --example multiprocess`
+
+use tea_core::render::render_top_instructions;
+use tea_core::sampling::SampleTimer;
+use tea_core::tea::TeaProfiler;
+use tea_sim::system::System;
+use tea_sim::trace::Observer;
+use tea_sim::SimConfig;
+use tea_workloads::{mcf, nab, Size};
+
+fn main() {
+    let prog_a = mcf::program(Size::Test);
+    let prog_b = nab::program(Size::Test);
+    let cfg = SimConfig::default();
+
+    let mut sys = System::new(&[&prog_a, &prog_b], &cfg, 10_000, 100);
+    let mut tea = [
+        TeaProfiler::new(SampleTimer::with_jitter(512, 64, 31)),
+        TeaProfiler::new(SampleTimer::with_jitter(512, 64, 32)),
+    ];
+    while let Some(pid) = sys.next_runnable() {
+        let mut obs: Vec<&mut dyn Observer> = vec![&mut tea[pid]];
+        sys.run_slice(pid, &mut obs);
+    }
+
+    println!(
+        "system finished at global cycle {}; per-process cycles: mcf {}, nab {}\n",
+        sys.global_clock(),
+        sys.stats(0).cycles,
+        sys.stats(1).cycles
+    );
+    for (pid, (name, program)) in [("mcf", &prog_a), ("nab", &prog_b)].into_iter().enumerate() {
+        println!("process {pid} ({name}): TEA top instructions ({} samples)", tea[pid].samples());
+        print!("{}", render_top_instructions(tea[pid].pics(), program, 2));
+        println!();
+    }
+    println!("Each process's profile shows its own bottleneck (mcf's chase load,");
+    println!("nab's fsqrt/flush pair) despite sharing the core and memory system.");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: write a small kernel, run it on the simulated
+//! out-of-order core with TEA attached, and print its Per-Instruction
+//! Cycle Stacks.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tea_core::golden::GoldenReference;
+use tea_core::render::render_top_instructions;
+use tea_core::sampling::SampleTimer;
+use tea_core::tea::TeaProfiler;
+use tea_isa::asm::Asm;
+use tea_isa::reg::Reg;
+use tea_sim::core::Core;
+use tea_sim::SimConfig;
+
+fn main() -> Result<(), tea_isa::AsmError> {
+    // A loop whose load misses the LLC: the classic "why is this slow?"
+    let mut a = Asm::new();
+    a.func("sum_strided");
+    let top = a.new_label();
+    a.li(Reg::A0, 0x100_0000); // array base
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, 50_000);
+    a.bind(top);
+    a.ld(Reg::T2, Reg::A0, 0); // the culprit
+    a.add(Reg::A1, Reg::A1, Reg::T2);
+    a.addi(Reg::A0, Reg::A0, 4096 + 256); // page+line stride
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    let program = a.finish()?;
+
+    // Attach TEA (sampling) and the golden reference (exact) and run.
+    let mut tea = TeaProfiler::new(SampleTimer::default_experiment(1));
+    let mut golden = GoldenReference::new();
+    let stats = Core::new(&program, SimConfig::default()).run(&mut [&mut tea, &mut golden]);
+
+    println!(
+        "ran {} instructions in {} cycles (IPC {:.2}), {} TEA samples\n",
+        stats.retired,
+        stats.cycles,
+        stats.ipc(),
+        tea.samples()
+    );
+    let scaled = tea.pics().scaled_to(golden.pics().total());
+    println!("TEA's Per-Instruction Cycle Stacks (top 3):");
+    print!("{}", render_top_instructions(&scaled, &program, 3));
+    println!("golden reference (exact):");
+    print!("{}", render_top_instructions(golden.pics(), &program, 3));
+    println!(
+        "combined-event fraction: {:.1}% of eventful instructions",
+        stats.combined_event_fraction() * 100.0
+    );
+    Ok(())
+}

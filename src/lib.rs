@@ -1,0 +1,42 @@
+//! # tea
+//!
+//! A full Rust reproduction of **"TEA: Time-Proportional Event
+//! Analysis"** (ISCA 2023): time-proportional Per-Instruction Cycle
+//! Stacks (PICS) built on a from-scratch cycle-level out-of-order core
+//! simulator.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`isa`] — the mini RISC-V-flavoured ISA, assembler and interpreter;
+//! * [`sim`] — the BOOM-class out-of-order timing simulator with
+//!   per-instruction Performance Signature Vectors;
+//! * [`core`] — TEA itself plus the NCI/IBS/SPE/RIS baselines, the
+//!   golden reference, error metrics and overhead models;
+//! * [`workloads`] — the synthetic SPEC-CPU2017-like benchmark suite.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured results. The runnable
+//! entry points live in `examples/` and the figure-regenerating
+//! harnesses in `crates/bench/benches/`.
+//!
+//! # Example
+//!
+//! ```
+//! use tea::core::golden::GoldenReference;
+//! use tea::sim::core::simulate;
+//! use tea::sim::SimConfig;
+//! use tea::workloads::{nab, Size};
+//!
+//! let program = nab::program(Size::Test);
+//! let mut golden = GoldenReference::new();
+//! let stats = simulate(&program, SimConfig::default(), &mut [&mut golden]);
+//! // Every cycle is attributed to exactly one instruction's stack.
+//! assert!((golden.pics().total() - stats.cycles as f64).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tea_core as core;
+pub use tea_isa as isa;
+pub use tea_sim as sim;
+pub use tea_workloads as workloads;

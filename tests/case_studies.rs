@@ -1,0 +1,97 @@
+//! Integration tests of the paper's two case studies (Section 6): the
+//! analyses must *explain* the problems, and the fixes must deliver
+//! paper-shaped speedups.
+
+use tea_core::golden::GoldenReference;
+use tea_sim::core::simulate;
+use tea_sim::psv::Event;
+use tea_sim::SimConfig;
+use tea_workloads::nab::MathMode;
+use tea_workloads::{lbm, nab, Size};
+
+#[test]
+fn lbm_critical_load_is_llc_dominated_in_the_pics() {
+    let program = lbm::program(Size::Test);
+    let mut golden = GoldenReference::new();
+    simulate(&program, SimConfig::default(), &mut [&mut golden]);
+    let (top_addr, top_cycles) = golden.pics().top_instructions(1)[0];
+    assert_eq!(
+        program.inst_at(top_addr).unwrap().mnemonic(),
+        "fld",
+        "the dominant instruction must be a streaming load"
+    );
+    assert!(
+        top_cycles / golden.pics().total() > 0.15,
+        "the critical load dominates the profile"
+    );
+    // Its dominant signature includes ST-LLC: "this lw always misses in
+    // the LLC".
+    let stack = golden.pics().stack(top_addr).unwrap();
+    let (&psv, _) = stack.iter().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+    assert!(psv.contains(Event::StLlc) && psv.contains(Event::StL1));
+}
+
+#[test]
+fn lbm_prefetch_sweep_has_an_interior_optimum() {
+    let cycles: Vec<u64> = (0..=6)
+        .map(|d| {
+            simulate(&lbm::program_with_prefetch(Size::Test, d), SimConfig::default(), &mut [])
+                .cycles
+        })
+        .collect();
+    let best = (0..=6).min_by_key(|&d| cycles[d]).unwrap();
+    assert!(
+        (2..=5).contains(&best),
+        "optimal distance should be interior (paper: 3), got {best} from {cycles:?}"
+    );
+    let speedup = cycles[0] as f64 / cycles[best] as f64;
+    assert!(
+        speedup > 1.15 && speedup < 1.6,
+        "speedup at the optimum should be paper-shaped (~1.28x), got {speedup:.3}"
+    );
+}
+
+#[test]
+fn nab_fsqrt_time_is_base_and_flushes_explain_it() {
+    let program = nab::program(Size::Test);
+    let mut golden = GoldenReference::new();
+    let stats = simulate(&program, SimConfig::default(), &mut [&mut golden]);
+    let fsqrt = nab::fsqrt_addr(Size::Test, MathMode::Ieee).unwrap();
+    let fsqrt_cycles = golden.pics().instruction_total(fsqrt);
+    assert!(
+        fsqrt_cycles / golden.pics().total() > 0.10,
+        "fsqrt.d must be performance-critical: {:.3}",
+        fsqrt_cycles / golden.pics().total()
+    );
+    // Its own stack is overwhelmingly Base — no events on the sqrt.
+    let stack = golden.pics().stack(fsqrt).unwrap();
+    let base = stack.get(&tea_sim::psv::Psv::empty()).copied().unwrap_or(0.0);
+    assert!(
+        base / fsqrt_cycles > 0.9,
+        "fsqrt.d time must be event-free (Base): {:.3}",
+        base / fsqrt_cycles
+    );
+    // The flushes appear as FL-EX on the CSR instructions.
+    assert_eq!(stats.event_insts[Event::FlEx as usize], 2 * nab::iterations(Size::Test));
+}
+
+#[test]
+fn nab_fix_speedups_are_paper_shaped() {
+    let ieee = simulate(&nab::program(Size::Test), SimConfig::default(), &mut []).cycles;
+    let finite =
+        simulate(&nab::program_with_mode(Size::Test, MathMode::FiniteMath), SimConfig::default(), &mut [])
+            .cycles;
+    let fast =
+        simulate(&nab::program_with_mode(Size::Test, MathMode::FastMath), SimConfig::default(), &mut [])
+            .cycles;
+    let s_finite = ieee as f64 / finite as f64;
+    let s_fast = ieee as f64 / fast as f64;
+    assert!(
+        (1.4..=3.0).contains(&s_finite),
+        "finite-math speedup {s_finite:.2} (paper: 1.96x)"
+    );
+    assert!(
+        s_fast > s_finite && s_fast < 4.0,
+        "fast-math speedup {s_fast:.2} must exceed finite-math {s_finite:.2} (paper: 2.45x)"
+    );
+}

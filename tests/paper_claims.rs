@@ -1,0 +1,124 @@
+//! Codified paper claims: the headline numbers and orderings of the
+//! paper's evaluation, asserted at test scale with tolerances wide
+//! enough for the scaled-down sample budgets but tight enough that a
+//! regression in any subsystem (simulator timing, attribution policy,
+//! error metric) breaks them.
+
+use tea_bench::profile_all_schemes;
+use tea_core::golden::GoldenReference;
+use tea_core::overhead::{csr_bits_used, performance_overhead, StorageBreakdown};
+use tea_core::pics::Granularity;
+use tea_core::schemes::Scheme;
+use tea_sim::core::simulate;
+use tea_sim::SimConfig;
+use tea_workloads::{all_workloads, omnetpp, Size};
+
+/// Section 5.1: the scheme ordering TEA < NCI-TEA < {IBS, SPE, RIS}
+/// holds on average across the suite.
+#[test]
+fn figure5_average_ordering() {
+    let mut sums = std::collections::HashMap::new();
+    let suite = all_workloads(Size::Test);
+    for w in &suite {
+        let run = profile_all_schemes(&w.program, 509, 13);
+        for s in Scheme::FIGURE5 {
+            *sums.entry(s).or_insert(0.0) += run.error(s, &w.program, Granularity::Instruction);
+        }
+    }
+    let n = suite.len() as f64;
+    let avg = |s: Scheme| sums[&s] / n;
+    assert!(avg(Scheme::Tea) < avg(Scheme::NciTea) * 0.8, "TEA must clearly beat NCI-TEA");
+    for baseline in [Scheme::Ibs, Scheme::Spe, Scheme::Ris] {
+        assert!(
+            avg(Scheme::NciTea) < avg(baseline) * 0.6,
+            "NCI-TEA must clearly beat {baseline}"
+        );
+    }
+    // Magnitude bands (wide: test-size sampling noise).
+    assert!(avg(Scheme::Tea) < 0.25, "TEA average {:.3}", avg(Scheme::Tea));
+    assert!(avg(Scheme::Ibs) > 0.4, "IBS average {:.3}", avg(Scheme::Ibs));
+}
+
+/// Figure 8: TEA's error is statistical — it must not grow as the
+/// sampling interval shrinks (checked on one benchmark, three octaves).
+#[test]
+fn figure8_tea_error_monotone_in_frequency() {
+    let p = omnetpp::program(Size::Test);
+    let mut errors = Vec::new();
+    for interval in [2048u64, 512, 128] {
+        let run = profile_all_schemes(&p, interval, 3);
+        errors.push(run.error(Scheme::Tea, &p, Granularity::Instruction));
+    }
+    assert!(
+        errors[2] <= errors[0] + 0.02,
+        "16x more samples must not hurt: {errors:?}"
+    );
+}
+
+/// Figure 9: coarser granularity never increases any scheme's error.
+#[test]
+fn figure9_granularity_monotone() {
+    let p = omnetpp::program(Size::Test);
+    let run = profile_all_schemes(&p, 509, 5);
+    for s in Scheme::FIGURE5 {
+        let inst = run.error(s, &p, Granularity::Instruction);
+        let func = run.error(s, &p, Granularity::Function);
+        assert!(func <= inst + 1e-9, "{s}: {func} > {inst}");
+    }
+}
+
+/// Section 2/5: combined events are a significant minority of eventful
+/// executions across the suite (paper: 30.0 %).
+#[test]
+fn combined_event_fraction_is_a_significant_minority() {
+    let mut eventful = 0u64;
+    let mut combined = 0u64;
+    for w in all_workloads(Size::Test) {
+        let s = simulate(&w.program, SimConfig::default(), &mut []);
+        eventful += s.eventful_insts;
+        combined += s.combined_event_insts;
+    }
+    let frac = combined as f64 / eventful as f64;
+    assert!(
+        (0.05..=0.6).contains(&frac),
+        "combined fraction {frac:.3} out of the plausible band around 30%"
+    );
+}
+
+/// Section 3: the nine events explain all long stalls — eventless
+/// commit stalls (beyond execution latency) are short everywhere.
+#[test]
+fn eventless_stalls_are_short_across_the_suite() {
+    for w in all_workloads(Size::Test) {
+        let mut g = GoldenReference::new();
+        simulate(&w.program, SimConfig::default(), &mut [&mut g]);
+        if let Some(p99) = g.eventless_stall_quantile(0.99) {
+            assert!(
+                p99 <= 10.0,
+                "{}: eventless stall p99 {p99} (paper: 5.8 cycles)",
+                w.name
+            );
+        }
+    }
+}
+
+/// Section 3 overheads: the storage/power/CSR arithmetic.
+#[test]
+fn section3_overheads() {
+    let b = StorageBreakdown::for_config(&SimConfig::default());
+    assert!((241..=257).contains(&b.total_bytes()), "~249 B");
+    assert!((2.8..=3.6).contains(&b.power_mw()), "~3.2 mW");
+    assert_eq!(csr_bits_used(4), 46);
+    assert!((performance_overhead(4000.0) - 0.011).abs() < 0.001, "1.1% at 4 kHz");
+}
+
+/// Section 5.1 footnote: IBS and SPE are near-identical (their event
+/// sets differ only by ST-LLC), as the paper's 55.6 vs 55.5 shows.
+#[test]
+fn ibs_and_spe_are_near_identical() {
+    let p = omnetpp::program(Size::Test);
+    let run = profile_all_schemes(&p, 509, 7);
+    let ibs = run.error(Scheme::Ibs, &p, Granularity::Instruction);
+    let spe = run.error(Scheme::Spe, &p, Granularity::Instruction);
+    assert!((ibs - spe).abs() < 0.05, "IBS {ibs:.3} vs SPE {spe:.3}");
+}
