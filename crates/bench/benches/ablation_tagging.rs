@@ -15,7 +15,12 @@ use tea_core::schemes::Scheme;
 fn main() {
     let size = size_from_env();
     println!("=== Ablation: tagging point and flush attribution ===\n");
-    let schemes = [Scheme::Ibs, Scheme::TeaDispatchTagged, Scheme::NciTea, Scheme::Tea];
+    let schemes = [
+        Scheme::Ibs,
+        Scheme::TeaDispatchTagged,
+        Scheme::NciTea,
+        Scheme::Tea,
+    ];
     println!(
         "{:<12} {:>7} {:>8} {:>8} {:>7}   flushes",
         "benchmark", "IBS", "TEA-DT", "NCI-TEA", "TEA"

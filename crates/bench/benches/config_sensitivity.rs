@@ -4,10 +4,13 @@
 //! similar for other microarchitectures"); here we re-run the Figure 5
 //! comparison on a little (2-wide, 48-ROB), the default (4-wide,
 //! 192-ROB), and a big (8-wide, 320-ROB) core.
+//!
+//! The (workload × config) matrix runs through the experiment engine.
 
-use tea_bench::{profile_all_schemes_with, size_from_env, HARNESS_INTERVAL, HARNESS_SEED};
+use tea_bench::{size_from_env, HARNESS_INTERVAL, HARNESS_SEED};
 use tea_core::pics::Granularity;
 use tea_core::schemes::Scheme;
+use tea_exp::{Engine, Matrix};
 use tea_sim::SimConfig;
 use tea_workloads::all_workloads;
 
@@ -18,21 +21,39 @@ fn main() {
         .into_iter()
         .filter(|w| subset.contains(&w.name))
         .collect();
-    println!("=== TEA vs IBS across core configurations (avg error over 6 workloads) ===\n");
-    println!("{:<26} {:>8} {:>8} {:>8}", "core", "IBS", "NCI-TEA", "TEA");
-    for (name, cfg) in [
+    let configs = [
         ("little (2-wide, 48 ROB)", SimConfig::little()),
         ("default (4-wide, 192 ROB)", SimConfig::default()),
         ("big (8-wide, 320 ROB)", SimConfig::big()),
-    ] {
+    ];
+
+    let matrix = Matrix::new()
+        .workloads(workloads.clone())
+        .configs(configs.to_vec())
+        .intervals(&[HARNESS_INTERVAL])
+        .seeds(&[HARNESS_SEED]);
+    let run = Engine::from_env().run("config-sensitivity", matrix.cells());
+
+    println!("=== TEA vs IBS across core configurations (avg error over 6 workloads) ===\n");
+    println!("{:<26} {:>8} {:>8} {:>8}", "core", "IBS", "NCI-TEA", "TEA");
+    // Matrix order is workload-major with configs inside each workload;
+    // aggregate by config name.
+    for (name, _) in &configs {
         let mut sums = [0.0f64; 3];
-        for w in &workloads {
-            let run = profile_all_schemes_with(&w.program, HARNESS_INTERVAL, HARNESS_SEED, &cfg);
-            for (i, s) in [Scheme::Ibs, Scheme::NciTea, Scheme::Tea].iter().enumerate() {
-                sums[i] += run.error(*s, &w.program, Granularity::Instruction);
+        let cells = run.cells.iter().filter(|c| c.spec.config_name == *name);
+        let mut n = 0usize;
+        for cell in cells {
+            for (i, s) in [Scheme::Ibs, Scheme::NciTea, Scheme::Tea]
+                .iter()
+                .enumerate()
+            {
+                sums[i] += cell
+                    .error(*s, Granularity::Instruction)
+                    .expect("golden attached");
             }
+            n += 1;
         }
-        let n = workloads.len() as f64;
+        let n = n as f64;
         println!(
             "{:<26} {:>7.1} {:>8.1} {:>8.1}",
             name,
@@ -43,4 +64,5 @@ fn main() {
     }
     println!("\nExpected shape: TEA stays in the low single digits on every core; the");
     println!("front-end-tagging error is structural on all of them.");
+    let _ = run.write_artifact();
 }

@@ -28,7 +28,13 @@ fn main() {
         ("3 (+ST-LLC)", &[Event::StL1, Event::StTlb, Event::StLlc]),
         (
             "5 (+DR-L1,DR-TLB)",
-            &[Event::StL1, Event::StTlb, Event::StLlc, Event::DrL1, Event::DrTlb],
+            &[
+                Event::StL1,
+                Event::StTlb,
+                Event::StLlc,
+                Event::DrL1,
+                Event::DrTlb,
+            ],
         ),
         (
             "7 (+FL-MB,FL-EX)",
@@ -83,7 +89,8 @@ fn main() {
         let bits = mask.count() as u64;
         // Storage scales with PSV width: fetch-buffer bits only for the
         // two front-end events, ROB bits for all.
-        let fe_bits = u64::from(mask.contains(Event::DrL1)) + u64::from(mask.contains(Event::DrTlb));
+        let fe_bits =
+            u64::from(mask.contains(Event::DrL1)) + u64::from(mask.contains(Event::DrTlb));
         let cfg = SimConfig::default();
         let storage_bits = fe_bits * cfg.fetch_buffer as u64 + bits * cfg.rob_entries as u64;
         println!(

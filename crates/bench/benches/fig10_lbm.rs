@@ -31,14 +31,23 @@ fn main() {
         "--- step 0, prior work (TIP): top instruction {:#x} ({}), dominant state {} ---\n\
          (correct instruction, but no events: the developer must guess the cause)\n",
         tip_top,
-        program.inst_at(tip_top).map(|i| i.to_string()).unwrap_or_default(),
-        tip.profile().dominant_state(tip_top).map(|s| s.name()).unwrap_or("?"),
+        program
+            .inst_at(tip_top)
+            .map(|i| i.to_string())
+            .unwrap_or_default(),
+        tip.profile()
+            .dominant_state(tip_top)
+            .map(|s| s.name())
+            .unwrap_or("?"),
     );
     let run = profile_all_schemes(&program, HARNESS_INTERVAL, HARNESS_SEED);
     let total = run.golden.pics().total();
 
     println!("--- (a) golden reference, top 4 instructions ---");
-    print!("{}", render_top_instructions(run.golden.pics(), &program, 4));
+    print!(
+        "{}",
+        render_top_instructions(run.golden.pics(), &program, 4)
+    );
     println!("--- (a) TEA, top 4 instructions ---");
     print!(
         "{}",
@@ -52,12 +61,21 @@ fn main() {
 
     let critical = lbm::critical_load_addr(size, 0);
     let g_share = run.golden.pics().instruction_total(critical) / total;
-    let t_share =
-        run.pics[&Scheme::Tea].scaled_to(total).instruction_total(critical) / total;
-    let i_share =
-        run.pics[&Scheme::Ibs].scaled_to(total).instruction_total(critical) / total;
+    let t_share = run.pics[&Scheme::Tea]
+        .scaled_to(total)
+        .instruction_total(critical)
+        / total;
+    let i_share = run.pics[&Scheme::Ibs]
+        .scaled_to(total)
+        .instruction_total(critical)
+        / total;
     println!("\ncritical load {critical:#x} share of execution time:");
-    println!("  GR {:.1}%   TEA {:.1}%   IBS {:.1}%", g_share * 100.0, t_share * 100.0, i_share * 100.0);
+    println!(
+        "  GR {:.1}%   TEA {:.1}%   IBS {:.1}%",
+        g_share * 100.0,
+        t_share * 100.0,
+        i_share * 100.0
+    );
     println!("\nExpected shape: GR and TEA put the same dominant ST-L1+ST-LLC stack on the");
     println!("critical load; IBS scatters the time over dispatch-neighbour instructions.");
 }

@@ -8,9 +8,9 @@
 //! DR-SQ categories grow. The optimum balances the two (paper: distance
 //! 3, 1.28x).
 
+use tea_bench::size_from_env;
 use tea_core::golden::GoldenReference;
 use tea_core::render::render_bar;
-use tea_bench::size_from_env;
 use tea_sim::core::simulate;
 use tea_sim::psv::Event;
 use tea_sim::SimConfig;
@@ -58,7 +58,9 @@ fn main() {
         };
         let ld_total = golden.pics().instruction_total(load) / total;
         let ld_llc = comp(load, &|p| p.contains(Event::StLlc));
-        let ld_l1 = comp(load, &|p| p.contains(Event::StL1) && !p.contains(Event::StLlc));
+        let ld_l1 = comp(load, &|p| {
+            p.contains(Event::StL1) && !p.contains(Event::StLlc)
+        });
         let st_total = golden.pics().instruction_total(store) / total;
         let st_drsq = comp(store, &|p| p.contains(Event::DrSq));
         let speedup = base_cycles as f64 / stats.cycles as f64;

@@ -20,7 +20,10 @@ fn main() {
     let total = run.golden.pics().total();
 
     println!("--- (a) golden reference, top 5 instructions ---");
-    print!("{}", render_top_instructions(run.golden.pics(), &program, 5));
+    print!(
+        "{}",
+        render_top_instructions(run.golden.pics(), &program, 5)
+    );
     println!("--- (a) TEA, top 5 instructions ---");
     print!(
         "{}",
@@ -37,14 +40,30 @@ fn main() {
     println!(
         "  GR {:.1}%   TEA {:.1}%   IBS {:.1}%",
         run.golden.pics().instruction_total(fsqrt) / total * 100.0,
-        run.pics[&Scheme::Tea].scaled_to(total).instruction_total(fsqrt) / total * 100.0,
-        run.pics[&Scheme::Ibs].scaled_to(total).instruction_total(fsqrt) / total * 100.0,
+        run.pics[&Scheme::Tea]
+            .scaled_to(total)
+            .instruction_total(fsqrt)
+            / total
+            * 100.0,
+        run.pics[&Scheme::Ibs]
+            .scaled_to(total)
+            .instruction_total(fsqrt)
+            / total
+            * 100.0,
     );
 
     println!("\n--- the fix: relaxing IEEE 754 compliance ---");
-    let ieee = simulate(&nab::program_with_mode(size, MathMode::Ieee), SimConfig::default(), &mut []);
+    let ieee = simulate(
+        &nab::program_with_mode(size, MathMode::Ieee),
+        SimConfig::default(),
+        &mut [],
+    );
     for mode in [MathMode::FiniteMath, MathMode::FastMath] {
-        let s = simulate(&nab::program_with_mode(size, mode), SimConfig::default(), &mut []);
+        let s = simulate(
+            &nab::program_with_mode(size, mode),
+            SimConfig::default(),
+            &mut [],
+        );
         println!(
             "  {:<12} {:>9} cycles  speedup {:.2}x  (flushes {} -> {})",
             mode.name(),

@@ -1,39 +1,64 @@
 //! Figure 5: PICS error per benchmark for IBS, SPE, RIS, NCI-TEA and
 //! TEA against the golden reference (instruction granularity).
+//!
+//! Runs through the experiment engine: one cell per benchmark, fanned
+//! out across `RAYON_NUM_THREADS`/`TEA_THREADS` workers, with a
+//! `tea-experiment/v1` JSON artifact dropped under `target/experiments/`.
 
-use tea_bench::{profile_suite, size_from_env, HARNESS_INTERVAL};
+use tea_bench::{size_from_env, HARNESS_INTERVAL, HARNESS_SEED};
 use tea_core::pics::Granularity;
 use tea_core::schemes::Scheme;
+use tea_exp::{CellSpec, Engine};
+use tea_workloads::all_workloads;
 
 fn main() {
     let size = size_from_env();
     println!("=== Figure 5: PICS error vs golden reference (instruction granularity) ===\n");
-    let schemes = [Scheme::Ibs, Scheme::Spe, Scheme::Ris, Scheme::NciTea, Scheme::Tea];
+    let schemes = [
+        Scheme::Ibs,
+        Scheme::Spe,
+        Scheme::Ris,
+        Scheme::NciTea,
+        Scheme::Tea,
+    ];
+
+    let cells = all_workloads(size)
+        .iter()
+        .map(|w| {
+            CellSpec::for_workload(w)
+                .interval(HARNESS_INTERVAL)
+                .seed(HARNESS_SEED)
+        })
+        .collect();
+    let engine = Engine::from_env();
+    let run = engine.run("fig5-error", cells);
+
     println!(
         "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>9} {:>8}",
         "benchmark", "IBS", "SPE", "RIS", "NCI-TEA", "TEA", "cycles", "samples"
     );
     let mut sums = [0.0f64; 5];
-    let suite = profile_suite(size, HARNESS_INTERVAL);
-    for (w, run) in &suite {
+    for cell in &run.cells {
         let mut row = [0.0f64; 5];
         for (i, s) in schemes.iter().enumerate() {
-            row[i] = run.error(*s, &w.program, Granularity::Instruction);
+            row[i] = cell
+                .error(*s, Granularity::Instruction)
+                .expect("golden attached");
             sums[i] += row[i];
         }
         println!(
             "{:<12} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}   {:>9} {:>8}",
-            w.name,
+            cell.spec.workload,
             row[0] * 100.0,
             row[1] * 100.0,
             row[2] * 100.0,
             row[3] * 100.0,
             row[4] * 100.0,
-            run.stats.cycles,
-            run.samples[&Scheme::Tea]
+            cell.stats.cycles,
+            cell.samples[&Scheme::Tea]
         );
     }
-    let n = suite.len() as f64;
+    let n = run.cells.len() as f64;
     println!(
         "{:<12} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
         "average",
@@ -45,4 +70,15 @@ fn main() {
     );
     println!("\nPaper averages: IBS 55.6%, SPE 55.5%, RIS 56.0%, NCI-TEA 11.3%, TEA 2.1%.");
     println!("Expected shape: TEA << NCI-TEA << IBS ~ SPE <~ RIS.");
+    println!(
+        "\n{} cells on {} threads in {:.2}s ({:.2} Msim-inst/s aggregate)",
+        run.cells.len(),
+        run.threads,
+        run.wall.as_secs_f64(),
+        run.sim_mips()
+    );
+    match run.write_artifact() {
+        Ok(path) => println!("results artifact: {}", path.display()),
+        Err(e) => eprintln!("could not write results artifact: {e}"),
+    }
 }

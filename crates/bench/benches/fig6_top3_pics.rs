@@ -44,7 +44,11 @@ fn main() {
         let ibs = run.pics[&Scheme::Ibs].scaled_to(total);
         println!("--- {} ---", w.name);
         for (rank, (addr, _)) in golden.top_instructions(3).into_iter().enumerate() {
-            let inst = w.program.inst_at(addr).map(|i| i.to_string()).unwrap_or_default();
+            let inst = w
+                .program
+                .inst_at(addr)
+                .map(|i| i.to_string())
+                .unwrap_or_default();
             println!("  #{} {:#x}  {}", rank + 1, addr, inst);
             println!("     GR : {}", stack_line(golden, addr, total));
             println!("     TEA: {}", stack_line(&tea, addr, total));
@@ -55,7 +59,10 @@ fn main() {
         println!(
             "  IBS's own #1: {:#x} {}  ({}) — GR gives it {:.2}%",
             ibs_top,
-            w.program.inst_at(ibs_top).map(|i| i.to_string()).unwrap_or_default(),
+            w.program
+                .inst_at(ibs_top)
+                .map(|i| i.to_string())
+                .unwrap_or_default(),
             stack_line(&ibs, ibs_top, total).trim(),
             100.0 * golden.instruction_total(ibs_top) / total
         );

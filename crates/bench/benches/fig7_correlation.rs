@@ -32,9 +32,16 @@ fn main() {
         }
         let _ = HARNESS_SEED;
     }
-    println!("{:<8} {:>6} {:>26} {:>6}   (n benchmarks)", "event", "min", "q1 | median | q3", "max");
+    println!(
+        "{:<8} {:>6} {:>26} {:>6}   (n benchmarks)",
+        "event", "min", "q1 | median | q3", "max"
+    );
     for (i, e) in Event::ALL.into_iter().enumerate() {
-        println!("{}   (n={})", render_box(e.name(), BoxStats::of(&per_event[i])), per_event[i].len());
+        println!(
+            "{}   (n={})",
+            render_box(e.name(), BoxStats::of(&per_event[i])),
+            per_event[i].len()
+        );
     }
     println!("\nExpected shape: FL-* strongly correlated; ST-LLC > ST-L1; DR-SQ weakest/widest.");
 }

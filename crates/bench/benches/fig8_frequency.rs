@@ -5,35 +5,51 @@
 //! sweep the scaled sampling interval around the 512-cycle
 //! "4 kHz-equivalent" by the same power-of-two factors: longer
 //! intervals (lower frequency) cost accuracy, shorter ones saturate.
+//!
+//! The (workload × interval) matrix runs through the experiment engine
+//! as one flat fan-out rather than one suite pass per interval.
 
-use tea_bench::{profile_suite, size_from_env};
+use tea_bench::{size_from_env, HARNESS_SEED};
 use tea_core::pics::Granularity;
 use tea_core::schemes::Scheme;
+use tea_exp::{Engine, Matrix};
+use tea_workloads::all_workloads;
 
 fn main() {
     let size = size_from_env();
     println!("=== Figure 8: error vs sampling frequency (interval sweep) ===\n");
     let schemes = [Scheme::Ibs, Scheme::Ris, Scheme::NciTea, Scheme::Tea];
-    println!(
-        "{:<22} {:>7} {:>7} {:>7} {:>7}",
-        "interval (freq equiv)", "IBS", "RIS", "NCI-TEA", "TEA"
-    );
-    for (interval, label) in [
+    let sweep = [
         (4096u64, "0.5 kHz-equiv"),
         (2048, "1 kHz-equiv"),
         (1024, "2 kHz-equiv"),
         (512, "4 kHz-equiv"),
         (256, "8 kHz-equiv"),
         (128, "16 kHz-equiv"),
-    ] {
-        let suite = profile_suite(size, interval);
+    ];
+    let intervals: Vec<u64> = sweep.iter().map(|&(i, _)| i).collect();
+
+    let workloads = all_workloads(size);
+    let n = workloads.len() as f64;
+    let matrix = Matrix::new()
+        .workloads(workloads)
+        .intervals(&intervals)
+        .seeds(&[HARNESS_SEED]);
+    let run = Engine::from_env().run("fig8-frequency", matrix.cells());
+
+    println!(
+        "{:<22} {:>7} {:>7} {:>7} {:>7}",
+        "interval (freq equiv)", "IBS", "RIS", "NCI-TEA", "TEA"
+    );
+    for (interval, label) in sweep {
         let mut sums = [0.0f64; 4];
-        for (w, run) in &suite {
+        for cell in run.cells.iter().filter(|c| c.spec.interval == interval) {
             for (i, s) in schemes.iter().enumerate() {
-                sums[i] += run.error(*s, &w.program, Granularity::Instruction);
+                sums[i] += cell
+                    .error(*s, Granularity::Instruction)
+                    .expect("golden attached");
             }
         }
-        let n = suite.len() as f64;
         println!(
             "{:<22} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
             format!("{interval} ({label})"),
@@ -45,4 +61,5 @@ fn main() {
     }
     println!("\nExpected shape: error flattens at and above the 4 kHz-equivalent; the");
     println!("scheme ordering (TEA < NCI-TEA < IBS/RIS) holds at every frequency.");
+    let _ = run.write_artifact();
 }

@@ -13,7 +13,13 @@ use tea_core::schemes::Scheme;
 fn main() {
     let size = size_from_env();
     println!("=== Figure 9: error by analysis granularity ===\n");
-    let schemes = [Scheme::Ibs, Scheme::Spe, Scheme::Ris, Scheme::NciTea, Scheme::Tea];
+    let schemes = [
+        Scheme::Ibs,
+        Scheme::Spe,
+        Scheme::Ris,
+        Scheme::NciTea,
+        Scheme::Tea,
+    ];
     let suite = profile_suite(size, HARNESS_INTERVAL);
     println!(
         "{:<14} {:>7} {:>7} {:>7} {:>7} {:>7}",

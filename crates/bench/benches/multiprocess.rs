@@ -64,7 +64,10 @@ fn main() {
     ] {
         let co_top = tea.pics().top_instructions(1)[0].0;
         let solo_top = solo.pics().top_instructions(1)[0].0;
-        let inst = program.inst_at(co_top).map(|i| i.to_string()).unwrap_or_default();
+        let inst = program
+            .inst_at(co_top)
+            .map(|i| i.to_string())
+            .unwrap_or_default();
         println!(
             "{name:<10} per-process TEA top instruction {co_top:#x} ({inst}); solo golden top {solo_top:#x} — {}",
             if co_top == solo_top { "MATCH" } else { "differs (interference shifted the bottleneck)" }

@@ -2,8 +2,8 @@
 //! overhead of TEA, reproduced from the core configuration.
 
 use tea_core::overhead::{
-    csr_bits_used, golden_reference_bytes, performance_overhead, StorageBreakdown,
-    SAMPLE_BYTES, TIP_STORAGE_BYTES,
+    csr_bits_used, golden_reference_bytes, performance_overhead, StorageBreakdown, SAMPLE_BYTES,
+    TIP_STORAGE_BYTES,
 };
 use tea_sim::core::simulate;
 use tea_sim::SimConfig;
@@ -14,16 +14,41 @@ fn main() {
     let cfg = SimConfig::default();
     let b = StorageBreakdown::for_config(&cfg);
     println!("storage (bits):");
-    println!("  fetch buffer (2b x {:>3} entries)   {:>6}", cfg.fetch_buffer, b.fetch_buffer_bits);
-    println!("  ROB PSVs     (9b x {:>3} entries)   {:>6}", cfg.rob_entries, b.rob_bits);
-    println!("  LSU ST-TLB   (1b x {:>3} entries)   {:>6}", cfg.ldq_entries + cfg.stq_entries, b.lsq_bits);
-    println!("  last-committed PSV register        {:>6}", b.last_committed_bits);
-    println!("  fetch packet registers             {:>6}", b.fetch_regs_bits);
-    println!("  decode/dispatch staging            {:>6}", b.decode_dispatch_bits);
-    println!("  dispatch DR-SQ                     {:>6}", b.dispatch_drsq_bits);
+    println!(
+        "  fetch buffer (2b x {:>3} entries)   {:>6}",
+        cfg.fetch_buffer, b.fetch_buffer_bits
+    );
+    println!(
+        "  ROB PSVs     (9b x {:>3} entries)   {:>6}",
+        cfg.rob_entries, b.rob_bits
+    );
+    println!(
+        "  LSU ST-TLB   (1b x {:>3} entries)   {:>6}",
+        cfg.ldq_entries + cfg.stq_entries,
+        b.lsq_bits
+    );
+    println!(
+        "  last-committed PSV register        {:>6}",
+        b.last_committed_bits
+    );
+    println!(
+        "  fetch packet registers             {:>6}",
+        b.fetch_regs_bits
+    );
+    println!(
+        "  decode/dispatch staging            {:>6}",
+        b.decode_dispatch_bits
+    );
+    println!(
+        "  dispatch DR-SQ                     {:>6}",
+        b.dispatch_drsq_bits
+    );
     println!("  -------------------------------------------");
     println!("  TEA total   {:>4} B   (paper: 249 B)", b.total_bytes());
-    println!("  TEA + TIP   {:>4} B   (paper: 306 B; TIP alone {TIP_STORAGE_BYTES} B)", b.with_tip_bytes());
+    println!(
+        "  TEA + TIP   {:>4} B   (paper: 306 B; TIP alone {TIP_STORAGE_BYTES} B)",
+        b.with_tip_bytes()
+    );
     println!(
         "  ROB+fetch-buffer fraction {:.1}%   (paper: 91.7%)",
         b.rob_fetch_buffer_fraction() * 100.0
@@ -35,12 +60,19 @@ fn main() {
         b.power_fraction_of_core() * 100.0
     );
     println!();
-    println!("sample path: {} B per sample; CSR bits used {} of 64   (paper: 88 B, 46 bits)",
-        SAMPLE_BYTES, csr_bits_used(cfg.commit_width));
+    println!(
+        "sample path: {} B per sample; CSR bits used {} of 64   (paper: 88 B, 46 bits)",
+        SAMPLE_BYTES,
+        csr_bits_used(cfg.commit_width)
+    );
     println!();
     println!("performance overhead of sampling (handler model):");
     for freq in [1000.0, 2000.0, 4000.0, 8000.0, 16000.0] {
-        println!("  {:>6.0} Hz  {:>6.2}%", freq, performance_overhead(freq) * 100.0);
+        println!(
+            "  {:>6.0} Hz  {:>6.2}%",
+            freq,
+            performance_overhead(freq) * 100.0
+        );
     }
     println!("  (paper: 1.1% at 4 kHz)");
     println!();

@@ -28,7 +28,10 @@ fn main() {
     for w in all_workloads(size) {
         let base = simulate(&w.program, SimConfig::default(), &mut []).cycles;
         let mut row = [0.0f64; 4];
-        for (i, interval) in [3_200_000u64, 800_000, 400_000, 200_000].into_iter().enumerate() {
+        for (i, interval) in [3_200_000u64, 800_000, 400_000, 200_000]
+            .into_iter()
+            .enumerate()
+        {
             let cfg = SimConfig {
                 sampling_injection: Some(SamplingInjection {
                     interval,

@@ -5,11 +5,15 @@
 //! mean ± standard deviation of the error per scheme: TEA's spread
 //! should be small and its worst seed still far below every baseline's
 //! best seed.
+//!
+//! The (workload × seed) matrix runs through the experiment engine —
+//! forty shared-nothing cells, fanned out over the worker pool.
 
-use tea_bench::{profile_all_schemes, size_from_env, HARNESS_INTERVAL};
+use tea_bench::{size_from_env, HARNESS_INTERVAL};
 use tea_core::pics::Granularity;
 use tea_core::schemes::Scheme;
-use tea_workloads::{all_workloads, Size};
+use tea_exp::{Engine, Matrix};
+use tea_workloads::all_workloads;
 
 fn main() {
     let size = size_from_env();
@@ -19,15 +23,28 @@ fn main() {
         .filter(|w| subset.contains(&w.name))
         .collect();
     let schemes = [Scheme::Ibs, Scheme::NciTea, Scheme::Tea];
+    let seeds: Vec<u64> = (0..10u64).map(|s| s * 7 + 1).collect();
+
+    let matrix = Matrix::new()
+        .workloads(workloads.clone())
+        .intervals(&[HARNESS_INTERVAL])
+        .seeds(&seeds);
+    let run = Engine::from_env().run("seed-variance", matrix.cells());
+
     println!("=== Error across 10 sampling seeds (mean ± std, worst) ===\n");
-    println!("{:<12} {:>24} {:>24} {:>24}", "benchmark", "IBS", "NCI-TEA", "TEA");
-    let _ = Size::Test;
-    for w in &workloads {
+    println!(
+        "{:<12} {:>24} {:>24} {:>24}",
+        "benchmark", "IBS", "NCI-TEA", "TEA"
+    );
+    // Matrix order is workload-major, seeds innermost: chunk by seeds.
+    for (w, cells) in workloads.iter().zip(run.cells.chunks(seeds.len())) {
         let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-        for seed in 0..10u64 {
-            let run = profile_all_schemes(&w.program, HARNESS_INTERVAL, seed * 7 + 1);
+        for cell in cells {
             for (i, s) in schemes.iter().enumerate() {
-                per_scheme[i].push(run.error(*s, &w.program, Granularity::Instruction));
+                per_scheme[i].push(
+                    cell.error(*s, Granularity::Instruction)
+                        .expect("golden attached"),
+                );
             }
         }
         let fmt = |v: &[f64]| {
@@ -35,7 +52,12 @@ fn main() {
             let mean = v.iter().sum::<f64>() / n;
             let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
             let worst = v.iter().cloned().fold(0.0f64, f64::max);
-            format!("{:5.1} ± {:4.1} (w {:4.1})", mean * 100.0, var.sqrt() * 100.0, worst * 100.0)
+            format!(
+                "{:5.1} ± {:4.1} (w {:4.1})",
+                mean * 100.0,
+                var.sqrt() * 100.0,
+                worst * 100.0
+            )
         };
         println!(
             "{:<12} {:>24} {:>24} {:>24}",
@@ -48,4 +70,5 @@ fn main() {
     println!("\nExpected shape: TEA's worst seed stays an order of magnitude below the");
     println!("baselines' best; the baselines' spread is tiny because their error is");
     println!("structural, not statistical.");
+    let _ = run.write_artifact();
 }

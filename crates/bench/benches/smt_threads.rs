@@ -48,7 +48,10 @@ fn main() {
     {
         let smt_top = tea.pics().top_instructions(1)[0].0;
         let solo_top = solo.pics().top_instructions(1)[0].0;
-        let inst = program.inst_at(smt_top).map(|i| i.to_string()).unwrap_or_default();
+        let inst = program
+            .inst_at(smt_top)
+            .map(|i| i.to_string())
+            .unwrap_or_default();
         println!(
             "thread {tid} ({name:<10}): TEA top {smt_top:#x} ({inst}); solo golden top {solo_top:#x} — {}",
             if smt_top == solo_top { "MATCH" } else { "differs" }

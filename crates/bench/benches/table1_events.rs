@@ -9,5 +9,7 @@ fn main() {
     for s in [Scheme::Tea, Scheme::Ibs, Scheme::Spe, Scheme::Ris] {
         println!("{:<8} PSV storage: {} bits", s.name(), s.psv_bits());
     }
-    println!("\nPaper: TEA tracks 9 events; IBS/SPE/RIS need 6/5/7 bits for the tagged instruction.");
+    println!(
+        "\nPaper: TEA tracks 9 events; IBS/SPE/RIS need 6/5/7 bits for the tagged instruction."
+    );
 }

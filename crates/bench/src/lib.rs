@@ -4,29 +4,32 @@
 //! TEA paper (see DESIGN.md's per-experiment index), plus criterion
 //! micro-benchmarks of the simulator itself.
 //!
-//! The library part holds the shared experiment runner:
-//! [`profile_all_schemes`] performs one simulation pass with the golden
-//! reference and every profiling scheme attached — the paper's
-//! out-of-band TraceDoctor methodology, which guarantees all schemes
-//! sample the exact same cycles — and [`ProfiledRun::error`] applies
-//! the Section 4 error metric.
+//! The harnesses run on the shared experiment engine
+//! ([`tea_exp::Engine`]): each figure declares its cells (workload ×
+//! config × interval × seed), the engine fans them out across a worker
+//! pool, and the figure keeps only its aggregation and printing. The
+//! [`ProfiledRun`] wrapper and [`profile_all_schemes`] /
+//! [`profile_suite`] entry points survive as thin adapters over the
+//! engine — one simulation pass with the golden reference and every
+//! profiling scheme attached (the paper's out-of-band TraceDoctor
+//! methodology, which guarantees all schemes sample the exact same
+//! cycles), with [`ProfiledRun::error`] applying the Section 4 error
+//! metric.
 
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
 
 use tea_core::golden::GoldenReference;
-use tea_core::nci::NciProfiler;
 use tea_core::pics::{Granularity, Pics, UnitMap};
-use tea_core::sampling::SampleTimer;
-use tea_core::schemes::Scheme;
-use tea_core::tagging::TaggingProfiler;
-use tea_core::tea::TeaProfiler;
 use tea_core::pics_error;
+use tea_core::schemes::Scheme;
+use tea_exp::{CellResult, CellSpec, Engine};
 use tea_isa::program::Program;
-use tea_sim::core::{Core, SimStats};
-use tea_sim::trace::Observer;
+use tea_sim::core::SimStats;
 use tea_sim::SimConfig;
+
+pub use tea_exp::ALL_SCHEMES;
 
 /// Result of one profiled simulation run.
 pub struct ProfiledRun {
@@ -45,19 +48,29 @@ impl ProfiledRun {
     #[must_use]
     pub fn error(&self, scheme: Scheme, program: &Program, granularity: Granularity) -> f64 {
         let units = UnitMap::new(program, granularity);
-        pics_error(&self.pics[&scheme], self.golden.pics(), scheme.event_set(), &units)
+        pics_error(
+            &self.pics[&scheme],
+            self.golden.pics(),
+            scheme.event_set(),
+            &units,
+        )
+    }
+
+    /// Unwraps an engine cell into the harness-facing shape.
+    ///
+    /// Panics if the cell ran without the golden reference.
+    #[must_use]
+    pub fn from_cell(cell: CellResult) -> ProfiledRun {
+        ProfiledRun {
+            stats: cell.stats,
+            golden: cell
+                .golden
+                .expect("harness cells attach the golden reference"),
+            pics: cell.pics,
+            samples: cell.samples,
+        }
     }
 }
-
-/// All schemes evaluated by [`profile_all_schemes`].
-pub const ALL_SCHEMES: [Scheme; 6] = [
-    Scheme::Tea,
-    Scheme::NciTea,
-    Scheme::Ibs,
-    Scheme::Spe,
-    Scheme::Ris,
-    Scheme::TeaDispatchTagged,
-];
 
 /// Runs `program` once with the golden reference and every scheme
 /// sampling at `interval` cycles (identical jittered timers, so all
@@ -75,52 +88,19 @@ pub fn profile_all_schemes_with(
     seed: u64,
     cfg: &SimConfig,
 ) -> ProfiledRun {
-    let timer = || SampleTimer::with_jitter(interval, interval / 8, seed);
-    let mut golden = GoldenReference::new();
-    let mut tea = TeaProfiler::new(timer());
-    let mut nci = NciProfiler::new(timer());
-    let mut ibs = TaggingProfiler::new(Scheme::Ibs, timer());
-    let mut spe = TaggingProfiler::new(Scheme::Spe, timer());
-    let mut ris = TaggingProfiler::new(Scheme::Ris, timer());
-    let mut tea_dt = TaggingProfiler::new(Scheme::TeaDispatchTagged, timer());
-    let stats = {
-        let mut observers: Vec<&mut dyn Observer> = vec![
-            &mut golden,
-            &mut tea,
-            &mut nci,
-            &mut ibs,
-            &mut spe,
-            &mut ris,
-            &mut tea_dt,
-        ];
-        Core::new(program, cfg.clone()).run(&mut observers)
-    };
-    let mut pics = HashMap::new();
-    let mut samples = HashMap::new();
-    samples.insert(Scheme::Tea, tea.samples());
-    samples.insert(Scheme::NciTea, nci.samples());
-    samples.insert(Scheme::Ibs, ibs.samples());
-    samples.insert(Scheme::Spe, spe.samples());
-    samples.insert(Scheme::Ris, ris.samples());
-    samples.insert(Scheme::TeaDispatchTagged, tea_dt.samples());
-    pics.insert(Scheme::Tea, tea.into_pics());
-    pics.insert(Scheme::NciTea, nci.into_pics());
-    pics.insert(Scheme::Ibs, ibs.into_pics());
-    pics.insert(Scheme::Spe, spe.into_pics());
-    pics.insert(Scheme::Ris, ris.into_pics());
-    pics.insert(Scheme::TeaDispatchTagged, tea_dt.into_pics());
-    ProfiledRun { stats, golden, pics, samples }
+    let spec = CellSpec::new("adhoc", program.clone())
+        .config("custom", cfg.clone())
+        .interval(interval)
+        .seed(seed);
+    ProfiledRun::from_cell(tea_exp::run_cell(0, spec))
 }
 
-/// The default sampling interval of the experiment harnesses.
-///
-/// The paper samples every 800 000 cycles over 10^11+-cycle runs; our
-/// runs are ~10^6–10^7 cycles, so the interval is scaled to keep the
-/// samples-per-instruction density comparable (see DESIGN.md).
-pub const HARNESS_INTERVAL: u64 = 512;
+/// The default sampling interval of the experiment harnesses
+/// (see [`tea_exp::DEFAULT_INTERVAL`] for the scaling rationale).
+pub const HARNESS_INTERVAL: u64 = tea_exp::DEFAULT_INTERVAL;
 
 /// Deterministic seed shared by all harnesses.
-pub const HARNESS_SEED: u64 = 42;
+pub const HARNESS_SEED: u64 = tea_exp::DEFAULT_SEED;
 
 /// Workload size for the harnesses: `Ref` unless the environment
 /// variable `TEA_SIZE=test` asks for a quick run.
@@ -132,19 +112,28 @@ pub fn size_from_env() -> tea_workloads::Size {
     }
 }
 
-/// Runs the full 18-benchmark suite, returning per-benchmark profiled
-/// runs together with their programs.
+/// Runs the full 18-benchmark suite through the engine (parallel when
+/// `RAYON_NUM_THREADS`/`TEA_THREADS` allow), returning per-benchmark
+/// profiled runs together with their programs.
 #[must_use]
 pub fn profile_suite(
     size: tea_workloads::Size,
     interval: u64,
 ) -> Vec<(tea_workloads::Workload, ProfiledRun)> {
-    tea_workloads::all_workloads(size)
-        .into_iter()
+    let workloads = tea_workloads::all_workloads(size);
+    let cells = workloads
+        .iter()
         .map(|w| {
-            let run = profile_all_schemes(&w.program, interval, HARNESS_SEED);
-            (w, run)
+            CellSpec::for_workload(w)
+                .interval(interval)
+                .seed(HARNESS_SEED)
         })
+        .collect();
+    let run = Engine::from_env().quiet().run("suite", cells);
+    workloads
+        .into_iter()
+        .zip(run.cells)
+        .map(|(w, cell)| (w, ProfiledRun::from_cell(cell)))
         .collect()
 }
 

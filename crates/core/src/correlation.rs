@@ -51,11 +51,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 ///
 /// Returns `None` if the event never occurred or variance is zero.
 #[must_use]
-pub fn event_impact_correlation(
-    counts: &EventCounts,
-    golden: &Pics,
-    event: Event,
-) -> Option<f64> {
+pub fn event_impact_correlation(counts: &EventCounts, golden: &Pics, event: Event) -> Option<f64> {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for addr in counts.addrs() {
@@ -116,7 +112,13 @@ impl BoxStats {
             let frac = pos - lo as f64;
             v[lo] * (1.0 - frac) + v[hi] * frac
         };
-        Some(BoxStats { min: v[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: *v.last().unwrap() })
+        Some(BoxStats {
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *v.last().unwrap(),
+        })
     }
 }
 

@@ -60,15 +60,32 @@ pub fn diff_pics(before: &Pics, after: &Pics, n: usize) -> Vec<DiffEntry> {
             let mut components: Vec<(Psv, f64)> = psvs
                 .into_iter()
                 .map(|p| {
-                    let vb = before.stack(addr).and_then(|s| s.get(&p)).copied().unwrap_or(0.0);
-                    let va = after.stack(addr).and_then(|s| s.get(&p)).copied().unwrap_or(0.0);
+                    let vb = before
+                        .stack(addr)
+                        .and_then(|s| s.get(&p))
+                        .copied()
+                        .unwrap_or(0.0);
+                    let va = after
+                        .stack(addr)
+                        .and_then(|s| s.get(&p))
+                        .copied()
+                        .unwrap_or(0.0);
                     (p, va - vb)
                 })
                 .filter(|(_, d)| d.abs() > 1e-12)
                 .collect();
-            components
-                .sort_by(|x, y| y.1.abs().partial_cmp(&x.1.abs()).unwrap().then(x.0.cmp(&y.0)));
-            DiffEntry { addr, before: b, after: a, components }
+            components.sort_by(|x, y| {
+                y.1.abs()
+                    .partial_cmp(&x.1.abs())
+                    .unwrap()
+                    .then(x.0.cmp(&y.0))
+            });
+            DiffEntry {
+                addr,
+                before: b,
+                after: a,
+                components,
+            }
         })
         .collect();
     entries.sort_by(|x, y| {

@@ -110,7 +110,10 @@ mod tests {
         let mut g = Pics::new();
         g.add(0x1_0000, Psv::from_events(&[Event::StL1]), 10.0);
         g.add(0x1_0004, Psv::empty(), 5.0);
-        assert_eq!(pics_error(&g, &g, full(), &units(Granularity::Instruction)), 0.0);
+        assert_eq!(
+            pics_error(&g, &g, full(), &units(Granularity::Instruction)),
+            0.0
+        );
     }
 
     #[test]
@@ -128,12 +131,22 @@ mod tests {
         // Golden: ST-L1 + ST-LLC combined; scheme only supports ST-L1
         // and reports it. Under the scheme's mask the two agree.
         let mut g = Pics::new();
-        g.add(0x1_0000, Psv::from_events(&[Event::StL1, Event::StLlc]), 10.0);
+        g.add(
+            0x1_0000,
+            Psv::from_events(&[Event::StL1, Event::StLlc]),
+            10.0,
+        );
         let mut s = Pics::new();
         s.add(0x1_0000, Psv::from_events(&[Event::StL1]), 10.0);
         let mask = Psv::from_events(&[Event::StL1]);
-        assert_eq!(pics_error(&s, &g, mask, &units(Granularity::Instruction)), 0.0);
-        assert_eq!(pics_error(&s, &g, full(), &units(Granularity::Instruction)), 1.0);
+        assert_eq!(
+            pics_error(&s, &g, mask, &units(Granularity::Instruction)),
+            0.0
+        );
+        assert_eq!(
+            pics_error(&s, &g, full(), &units(Granularity::Instruction)),
+            1.0
+        );
     }
 
     #[test]
@@ -170,6 +183,9 @@ mod tests {
     fn empty_golden_yields_zero() {
         let s = Pics::new();
         let g = Pics::new();
-        assert_eq!(pics_error(&s, &g, full(), &units(Granularity::Instruction)), 0.0);
+        assert_eq!(
+            pics_error(&s, &g, full(), &units(Granularity::Instruction)),
+            0.0
+        );
     }
 }

@@ -79,6 +79,9 @@ pub struct GoldenReference {
     stall_by_seq: HashMap<u64, u64>,
     event_counts: EventCounts,
     total_cycles: u64,
+    /// Compute cycles observed with an empty committed slice (a
+    /// CycleView-contract violation; diagnostic, normally zero).
+    unattributed_compute_cycles: u64,
 }
 
 impl GoldenReference {
@@ -110,6 +113,22 @@ impl GoldenReference {
     #[must_use]
     pub fn total_cycles(&self) -> u64 {
         self.total_cycles
+    }
+
+    /// Cycles attributed to not-yet-retired instructions. Zero at
+    /// end-of-run: pending weight resolves at retirement or is re-keyed
+    /// on squash to a seq that retires.
+    #[must_use]
+    pub fn pending_cycles(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Compute cycles that carried no committed instructions (a
+    /// CycleView-contract violation counted instead of silently
+    /// producing infinite weights; normally zero).
+    #[must_use]
+    pub fn unattributed_compute_cycles(&self) -> u64 {
+        self.unattributed_compute_cycles
     }
 
     /// Raw commit-stall durations (in cycles) of retired instructions
@@ -144,6 +163,20 @@ impl Observer for GoldenReference {
         self.total_cycles += 1;
         match view.state {
             CommitState::Compute => {
+                // Non-empty by the CycleView contract; an empty slice
+                // would turn 1/n into a silent inf weight. Count it as a
+                // diagnostic rather than corrupting the PICS.
+                debug_assert!(
+                    !view.committed.is_empty(),
+                    "Compute cycle with no committers"
+                );
+                if view.committed.is_empty() {
+                    self.unattributed_compute_cycles += 1;
+                    if let Some((seq, n)) = self.stall_run.take() {
+                        self.stall_by_seq.insert(seq, n);
+                    }
+                    return;
+                }
                 let n = view.committed.len() as f64;
                 for c in view.committed {
                     // PSVs of committing instructions are final.
@@ -179,6 +212,39 @@ impl Observer for GoldenReference {
         if view.state != CommitState::Stalled {
             if let Some((seq, n)) = self.stall_run.take() {
                 self.stall_by_seq.insert(seq, n);
+            }
+        }
+    }
+
+    fn on_squash(&mut self, from_seq: u64) {
+        // Cycles charged to squashed seqs are real elapsed time; re-key
+        // them to the squash point (refetched, guaranteed to retire) so
+        // they are not resolved against a post-refetch PSV rebuilt from
+        // scratch — the exact-reference counterpart of TeaProfiler's
+        // delayed-sample handling. Fold in seq order: HashMap iteration
+        // order is randomized and f64 accumulation must stay
+        // bit-reproducible.
+        let mut displaced: Vec<(u64, f64)> = self
+            .pending
+            .iter()
+            .filter(|(&seq, _)| seq >= from_seq)
+            .map(|(&seq, &w)| (seq, w))
+            .collect();
+        if !displaced.is_empty() {
+            displaced.sort_unstable_by_key(|&(seq, _)| seq);
+            self.pending.retain(|&seq, _| seq < from_seq);
+            let slot = self.pending.entry(from_seq).or_insert(0.0);
+            for (_, w) in displaced {
+                *slot += w;
+            }
+        }
+        // A stall run on a squashed head ends at the squash; bank its
+        // duration under the head's seq (the refetched instruction
+        // consumes it at retirement).
+        if let Some((seq, n)) = self.stall_run {
+            if seq >= from_seq {
+                self.stall_by_seq.insert(seq.min(from_seq), n);
+                self.stall_run = None;
             }
         }
     }
@@ -272,7 +338,10 @@ mod tests {
             .iter()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap();
-        assert!(best_psv.contains(Event::StLlc), "dominant component {best_psv}");
+        assert!(
+            best_psv.contains(Event::StLlc),
+            "dominant component {best_psv}"
+        );
     }
 
     #[test]

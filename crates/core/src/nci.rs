@@ -30,7 +30,12 @@ impl NciProfiler {
     /// Creates an NCI-TEA profiler driven by `timer`.
     #[must_use]
     pub fn new(timer: SampleTimer) -> Self {
-        NciProfiler { timer, pics: Pics::new(), pending: HashMap::new(), samples: 0 }
+        NciProfiler {
+            timer,
+            pics: Pics::new(),
+            pending: HashMap::new(),
+            samples: 0,
+        }
     }
 
     /// The sampled PICS (in units of samples).
@@ -49,6 +54,12 @@ impl NciProfiler {
     #[must_use]
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Delayed samples not yet resolved to a retired instruction.
+    #[must_use]
+    pub fn pending_samples(&self) -> usize {
+        self.pending.len()
     }
 }
 
@@ -77,6 +88,25 @@ impl Observer for NciProfiler {
             self.pics.add(r.addr, r.psv, w);
         }
     }
+
+    fn on_squash(&mut self, from_seq: u64) {
+        // Same re-keying as TeaProfiler (fold in seq order so f64
+        // accumulation stays bit-reproducible).
+        let mut displaced: Vec<(u64, f64)> = self
+            .pending
+            .iter()
+            .filter(|(&seq, _)| seq >= from_seq)
+            .map(|(&seq, &w)| (seq, w))
+            .collect();
+        if !displaced.is_empty() {
+            displaced.sort_unstable_by_key(|&(seq, _)| seq);
+            self.pending.retain(|&seq, _| seq < from_seq);
+            let slot = self.pending.entry(from_seq).or_insert(0.0);
+            for (_, w) in displaced {
+                *slot += w;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -93,7 +123,11 @@ mod tests {
             addr: 0x1_0000,
             psv: Psv::from_events(&[Event::FlMb]),
         };
-        let next = InstRef { seq: 6, addr: 0x1_0004, psv: Psv::empty() };
+        let next = InstRef {
+            seq: 6,
+            addr: 0x1_0004,
+            psv: Psv::empty(),
+        };
         let view = CycleView {
             cycle: 0,
             state: CommitState::Flushed,

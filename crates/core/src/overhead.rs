@@ -161,7 +161,10 @@ mod tests {
             "TEA storage {bytes} B should be ~249 B"
         );
         let with_tip = b.with_tip_bytes();
-        assert!((298..=314).contains(&with_tip), "TEA+TIP {with_tip} B should be ~306 B");
+        assert!(
+            (298..=314).contains(&with_tip),
+            "TEA+TIP {with_tip} B should be ~306 B"
+        );
     }
 
     #[test]

@@ -63,6 +63,12 @@ pub struct UnitMap {
     function_starts: Vec<(u64, u64)>,
 }
 
+/// The unit key of addresses that precede every basic-block leader
+/// (outside the program's text segment). Using one shared key keeps
+/// such strays in a single "unknown" unit instead of splintering the
+/// aggregate into per-address pseudo-blocks.
+pub const UNKNOWN_UNIT: u64 = u64::MAX;
+
 impl UnitMap {
     /// Builds a unit map for `program` at `granularity`.
     #[must_use]
@@ -98,7 +104,9 @@ impl UnitMap {
                 if i > 0 {
                     self.block_starts[i - 1]
                 } else {
-                    addr
+                    // Before the first leader: a raw-address fallback
+                    // would make every stray its own unit.
+                    UNKNOWN_UNIT
                 }
             }
             Granularity::Function => self
@@ -144,7 +152,12 @@ impl Pics {
 
     /// Attributes `cycles` to instruction `addr` under signature `psv`.
     pub fn add(&mut self, addr: u64, psv: Psv, cycles: f64) {
-        *self.stacks.entry(addr).or_default().entry(psv).or_insert(0.0) += cycles;
+        *self
+            .stacks
+            .entry(addr)
+            .or_default()
+            .entry(psv)
+            .or_insert(0.0) += cycles;
         self.total += cycles;
     }
 
@@ -176,9 +189,7 @@ impl Pics {
     /// Total cycles attributed to one instruction (stack height).
     #[must_use]
     pub fn instruction_total(&self, addr: u64) -> f64 {
-        self.stacks
-            .get(&addr)
-            .map_or(0.0, |s| s.values().sum())
+        self.stacks.get(&addr).map_or(0.0, |s| s.values().sum())
     }
 
     /// Iterates over `(address, stack)` pairs in unspecified order.
@@ -337,6 +348,25 @@ mod tests {
         let c = p.coarsened(&units);
         assert_eq!(c.len(), 1);
         assert_eq!(c[&0][&Psv::empty()], 1.0);
+    }
+
+    #[test]
+    fn basic_block_strays_share_the_unknown_unit() {
+        let prog = two_function_program();
+        let units = UnitMap::new(&prog, Granularity::BasicBlock);
+        // In-segment addresses map to their block leader...
+        assert_eq!(units.unit_of(0x1_0004), 0x1_0000);
+        // ...but addresses preceding the first leader must not splinter
+        // into per-address pseudo-blocks: they share one unknown unit.
+        assert_eq!(units.unit_of(0x8_000), UNKNOWN_UNIT);
+        assert_eq!(units.unit_of(0x0), UNKNOWN_UNIT);
+        assert_eq!(units.unit_of(0x8_000), units.unit_of(0x4));
+        let mut p = Pics::new();
+        p.add(0x8_000, Psv::empty(), 1.0);
+        p.add(0x4, Psv::empty(), 2.0);
+        let c = p.coarsened(&units);
+        assert_eq!(c.len(), 1, "strays aggregate into a single unit");
+        assert_eq!(c[&UNKNOWN_UNIT][&Psv::empty()], 3.0);
     }
 
     #[test]

@@ -39,7 +39,13 @@ impl PmcProfiler {
     #[must_use]
     pub fn new(event: Event, period: u64) -> Self {
         assert!(period > 0, "sampling period must be nonzero");
-        PmcProfiler { event, period, countdown: period, samples: HashMap::new(), total_events: 0 }
+        PmcProfiler {
+            event,
+            period,
+            countdown: period,
+            samples: HashMap::new(),
+            total_events: 0,
+        }
     }
 
     /// The event being counted.

@@ -20,9 +20,7 @@ pub fn render_top_instructions(pics: &Pics, program: &Program, n: usize) -> Stri
         let mnemonic = program
             .inst_at(addr)
             .map_or_else(|| "?".to_string(), |i| i.to_string());
-        let func = program
-            .function_of(addr)
-            .map_or("?", |f| f.name.as_str());
+        let func = program.function_of(addr).map_or("?", |f| f.name.as_str());
         let _ = writeln!(
             out,
             "#{} {:#x} [{}] {}  — {:.2}% of total",
@@ -83,8 +81,8 @@ pub fn render_box(name: &str, b: Option<BoxStats>) -> String {
 /// starts from before drilling into instructions.
 #[must_use]
 pub fn render_functions(pics: &Pics, program: &Program, n: usize) -> String {
-    use std::fmt::Write as _;
     use crate::pics::{Granularity, UnitMap};
+    use std::fmt::Write as _;
     let units = UnitMap::new(program, Granularity::Function);
     let coarse = pics.coarsened(&units);
     let total = pics.total().max(1e-12);
@@ -96,15 +94,24 @@ pub fn render_functions(pics: &Pics, program: &Program, n: usize) -> String {
     let mut out = String::new();
     for (unit, height) in funcs.into_iter().take(n) {
         let name = program.function_of(unit).map_or("?", |f| f.name.as_str());
-        let _ = writeln!(out, "{:<24} {:>6.2}% of total", name, 100.0 * height / total);
-        let mut comps: Vec<(Psv, f64)> =
-            coarse[&unit].iter().map(|(&p, &c)| (p, c)).collect();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6.2}% of total",
+            name,
+            100.0 * height / total
+        );
+        let mut comps: Vec<(Psv, f64)> = coarse[&unit].iter().map(|(&p, &c)| (p, c)).collect();
         comps.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         for (psv, cycles) in comps.into_iter().take(5) {
             if cycles / total < 0.001 {
                 break;
             }
-            let _ = writeln!(out, "    {:<32} {:>6.2}%", psv.to_string(), 100.0 * cycles / total);
+            let _ = writeln!(
+                out,
+                "    {:<32} {:>6.2}%",
+                psv.to_string(),
+                100.0 * cycles / total
+            );
         }
     }
     out
@@ -122,8 +129,10 @@ pub fn render_cpi_stack(pics: &Pics, retired: u64) -> String {
     let mut comps = pics.component_totals();
     comps.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     let total_cpi = pics.total() / retired;
-    let mut out = format!("CPI {total_cpi:.3} =
-");
+    let mut out = format!(
+        "CPI {total_cpi:.3} =
+"
+    );
     for (psv, cycles) in comps {
         let cpi = cycles / retired;
         if cpi < total_cpi * 0.001 {
@@ -184,7 +193,11 @@ mod tests {
         a.halt();
         let p = a.finish().unwrap();
         let mut pics = Pics::new();
-        pics.add(0x1_0000, Psv::from_events(&[Event::StLlc, Event::StL1]), 90.0);
+        pics.add(
+            0x1_0000,
+            Psv::from_events(&[Event::StLlc, Event::StL1]),
+            90.0,
+        );
         pics.add(0x1_0000, Psv::empty(), 10.0);
         let r = render_top_instructions(&pics, &p, 1);
         assert!(r.contains("kernel"));

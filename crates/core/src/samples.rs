@@ -87,7 +87,10 @@ pub fn read_samples(r: &mut impl Read) -> io::Result<Vec<Sample>> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a TEA sample file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a TEA sample file",
+        ));
     }
     let mut b2 = [0u8; 2];
     r.read_exact(&mut b2)?;
@@ -120,7 +123,12 @@ pub fn read_samples(r: &mut impl Read) -> io::Result<Vec<Sample>> {
             r.read_exact(&mut b2)?;
             entries.push((addr, Psv::from_bits(u16::from_le_bytes(b2))));
         }
-        samples.push(Sample { timestamp, state, pid, entries });
+        samples.push(Sample {
+            timestamp,
+            state,
+            pid,
+            entries,
+        });
     }
     Ok(samples)
 }
@@ -159,7 +167,12 @@ impl SampleRecorder {
     /// Creates a recorder tagging samples with `pid`.
     #[must_use]
     pub fn new(timer: SampleTimer, pid: u32) -> Self {
-        SampleRecorder { timer, pid, pending: Vec::new(), samples: Vec::new() }
+        SampleRecorder {
+            timer,
+            pid,
+            pending: Vec::new(),
+            samples: Vec::new(),
+        }
     }
 
     /// Samples collected so far.
@@ -189,12 +202,14 @@ impl Observer for SampleRecorder {
             }),
             CommitState::Stalled => {
                 if let Some(head) = view.stalled_head {
-                    self.pending.push((head.seq, view.cycle, CommitState::Stalled));
+                    self.pending
+                        .push((head.seq, view.cycle, CommitState::Stalled));
                 }
             }
             CommitState::Drained => {
                 if let Some(next) = view.next_commit {
-                    self.pending.push((next.seq, view.cycle, CommitState::Drained));
+                    self.pending
+                        .push((next.seq, view.cycle, CommitState::Drained));
                 }
             }
             CommitState::Flushed => {
@@ -272,7 +287,11 @@ mod tests {
         let program = mcf::program(Size::Test);
         let mut recorder = SampleRecorder::new(SampleTimer::periodic(397), 1);
         let mut online = TeaProfiler::new(SampleTimer::periodic(397));
-        simulate(&program, SimConfig::default(), &mut [&mut recorder, &mut online]);
+        simulate(
+            &program,
+            SimConfig::default(),
+            &mut [&mut recorder, &mut online],
+        );
         let mut buf = Vec::new();
         write_samples(&mut buf, recorder.samples()).unwrap();
         let back = read_samples(&mut buf.as_slice()).unwrap();

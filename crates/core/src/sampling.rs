@@ -51,7 +51,10 @@ impl SampleTimer {
     #[must_use]
     pub fn with_jitter(interval: u64, jitter: u64, seed: u64) -> Self {
         assert!(interval > 0, "sampling interval must be nonzero");
-        assert!(jitter < interval, "jitter must be smaller than the interval");
+        assert!(
+            jitter < interval,
+            "jitter must be smaller than the interval"
+        );
         let mut t = SampleTimer {
             interval,
             jitter,

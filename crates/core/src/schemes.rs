@@ -88,8 +88,13 @@ pub enum Scheme {
 
 impl Scheme {
     /// The five schemes of Figure 5, in the paper's order.
-    pub const FIGURE5: [Scheme; 5] =
-        [Scheme::Ibs, Scheme::Spe, Scheme::Ris, Scheme::NciTea, Scheme::Tea];
+    pub const FIGURE5: [Scheme; 5] = [
+        Scheme::Ibs,
+        Scheme::Spe,
+        Scheme::Ris,
+        Scheme::NciTea,
+        Scheme::Tea,
+    ];
 
     /// Display name.
     #[must_use]

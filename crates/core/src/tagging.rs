@@ -140,10 +140,7 @@ mod tests {
     use tea_sim::psv::{CommitState, Event};
     use tea_sim::trace::InstRef;
 
-    fn view<'a>(
-        dispatched: &'a [InstRef],
-        fetched: &'a [InstRef],
-    ) -> CycleView<'a> {
+    fn view<'a>(dispatched: &'a [InstRef], fetched: &'a [InstRef]) -> CycleView<'a> {
         CycleView {
             cycle: 0,
             state: CommitState::Stalled,
@@ -157,7 +154,11 @@ mod tests {
     }
 
     fn iref(seq: u64, addr: u64) -> InstRef {
-        InstRef { seq, addr, psv: Psv::empty() }
+        InstRef {
+            seq,
+            addr,
+            psv: Psv::empty(),
+        }
     }
 
     #[test]

@@ -36,7 +36,12 @@ impl TeaProfiler {
     /// Creates a TEA profiler driven by `timer`.
     #[must_use]
     pub fn new(timer: SampleTimer) -> Self {
-        TeaProfiler { timer, pics: Pics::new(), pending: HashMap::new(), samples: 0 }
+        TeaProfiler {
+            timer,
+            pics: Pics::new(),
+            pending: HashMap::new(),
+            samples: 0,
+        }
     }
 
     /// The sampled PICS (in units of samples; scale with
@@ -57,6 +62,14 @@ impl TeaProfiler {
     pub fn samples(&self) -> u64 {
         self.samples
     }
+
+    /// Delayed samples not yet resolved to a retired instruction.
+    /// Zero at end-of-run: every pending sample either resolves at
+    /// retirement or is re-keyed on squash to a seq that retires.
+    #[must_use]
+    pub fn pending_samples(&self) -> usize {
+        self.pending.len()
+    }
 }
 
 impl Observer for TeaProfiler {
@@ -67,6 +80,15 @@ impl Observer for TeaProfiler {
         self.samples += 1;
         match view.state {
             CommitState::Compute => {
+                // `committed` is non-empty by the CycleView contract; an
+                // empty slice would turn 1/n into a silent inf weight.
+                debug_assert!(
+                    !view.committed.is_empty(),
+                    "Compute cycle with no committers"
+                );
+                if view.committed.is_empty() {
+                    return;
+                }
                 let n = view.committed.len() as f64;
                 for c in view.committed {
                     self.pics.add(c.addr, c.psv, 1.0 / n);
@@ -93,6 +115,33 @@ impl Observer for TeaProfiler {
     fn on_retire(&mut self, r: &RetiredInst) {
         if let Some(w) = self.pending.remove(&r.seq) {
             self.pics.add(r.addr, r.psv, w);
+        }
+    }
+
+    fn on_squash(&mut self, from_seq: u64) {
+        // Delayed samples keyed at or beyond the squash point describe
+        // cycles that really elapsed (Section 3: samples are
+        // time-proportional), but their instructions are being squashed
+        // and will retire again with a PSV rebuilt from scratch.
+        // Re-key the weight to the squash point itself — the refetched
+        // instruction at `from_seq` becomes the post-squash ROB head
+        // once fetch resumes and is guaranteed to retire — instead of
+        // leaving it attached to signatures the squash invalidated.
+        // Fold in seq order: HashMap iteration order is randomized, and
+        // f64 accumulation must stay bit-reproducible across runs.
+        let mut displaced: Vec<(u64, f64)> = self
+            .pending
+            .iter()
+            .filter(|(&seq, _)| seq >= from_seq)
+            .map(|(&seq, &w)| (seq, w))
+            .collect();
+        if !displaced.is_empty() {
+            displaced.sort_unstable_by_key(|&(seq, _)| seq);
+            self.pending.retain(|&seq, _| seq < from_seq);
+            let slot = self.pending.entry(from_seq).or_insert(0.0);
+            for (_, w) in displaced {
+                *slot += w;
+            }
         }
     }
 }
@@ -127,19 +176,28 @@ mod tests {
         let mut tea = TeaProfiler::new(SampleTimer::with_jitter(509, 60, 1));
         simulate(&p, SimConfig::default(), &mut [&mut golden, &mut tea]);
 
-        assert!(tea.samples() > 500, "need enough samples, got {}", tea.samples());
+        assert!(
+            tea.samples() > 500,
+            "need enough samples, got {}",
+            tea.samples()
+        );
         let g = golden.pics();
         let t = tea.pics().scaled_to(g.total());
 
         // The dominant instruction and its dominant component agree.
         let g_top = g.top_instructions(1)[0];
         let t_top = t.top_instructions(1)[0];
-        assert_eq!(g_top.0, t_top.0, "TEA must identify the same critical instruction");
+        assert_eq!(
+            g_top.0, t_top.0,
+            "TEA must identify the same critical instruction"
+        );
         let rel = (g_top.1 - t_top.1).abs() / g_top.1;
         assert!(rel < 0.1, "stack heights within 10%: {rel}");
         let t_stack = t.stack(t_top.0).unwrap();
-        let (&best, _) =
-            t_stack.iter().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+        let (&best, _) = t_stack
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
         assert!(best.contains(Event::StLlc));
     }
 
@@ -149,7 +207,11 @@ mod tests {
         use tea_sim::psv::Psv;
         use tea_sim::trace::InstRef;
         let mut tea = TeaProfiler::new(SampleTimer::periodic(1));
-        let head = InstRef { seq: 7, addr: 0x1_0000, psv: Psv::empty() };
+        let head = InstRef {
+            seq: 7,
+            addr: 0x1_0000,
+            psv: Psv::empty(),
+        };
         let view = CycleView {
             cycle: 0,
             state: CommitState::Stalled,

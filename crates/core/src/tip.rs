@@ -107,6 +107,12 @@ impl TipProfiler {
     pub fn samples(&self) -> u64 {
         self.samples
     }
+
+    /// Delayed samples not yet resolved to a retired instruction.
+    #[must_use]
+    pub fn pending_samples(&self) -> usize {
+        self.pending.len()
+    }
 }
 
 impl Observer for TipProfiler {
@@ -117,6 +123,15 @@ impl Observer for TipProfiler {
         self.samples += 1;
         match view.state {
             CommitState::Compute => {
+                // Non-empty by the CycleView contract; an empty slice
+                // would turn 1/n into a silent inf weight.
+                debug_assert!(
+                    !view.committed.is_empty(),
+                    "Compute cycle with no committers"
+                );
+                if view.committed.is_empty() {
+                    return;
+                }
                 let n = view.committed.len() as f64;
                 for c in view.committed {
                     self.profile.add(c.addr, CommitState::Compute, 1.0 / n);
@@ -124,13 +139,19 @@ impl Observer for TipProfiler {
             }
             CommitState::Stalled => {
                 if let Some(head) = view.stalled_head {
-                    let e = self.pending.entry(head.seq).or_insert((0.0, CommitState::Stalled));
+                    let e = self
+                        .pending
+                        .entry(head.seq)
+                        .or_insert((0.0, CommitState::Stalled));
                     e.0 += 1.0;
                 }
             }
             CommitState::Drained => {
                 if let Some(next) = view.next_commit {
-                    let e = self.pending.entry(next.seq).or_insert((0.0, CommitState::Drained));
+                    let e = self
+                        .pending
+                        .entry(next.seq)
+                        .or_insert((0.0, CommitState::Drained));
                     e.0 += 1.0;
                 }
             }
@@ -145,6 +166,31 @@ impl Observer for TipProfiler {
     fn on_retire(&mut self, r: &RetiredInst) {
         if let Some((w, state)) = self.pending.remove(&r.seq) {
             self.profile.add(r.addr, state, w);
+        }
+    }
+
+    fn on_squash(&mut self, from_seq: u64) {
+        // Same re-keying as TeaProfiler: delayed samples on squashed
+        // seqs move to the squash point, which is refetched and retires.
+        // The displaced weight keeps the state of its oldest sample.
+        // Fold in seq order: HashMap iteration order is randomized, and
+        // f64 accumulation must stay bit-reproducible across runs.
+        let mut displaced: Vec<(u64, f64, CommitState)> = self
+            .pending
+            .iter()
+            .filter(|(&seq, _)| seq >= from_seq)
+            .map(|(&seq, &(w, state))| (seq, w, state))
+            .collect();
+        if !displaced.is_empty() {
+            displaced.sort_unstable_by_key(|&(seq, _, _)| seq);
+            self.pending.retain(|&seq, _| seq < from_seq);
+            let e = self
+                .pending
+                .entry(from_seq)
+                .or_insert((0.0, displaced[0].2));
+            for (_, w, _) in displaced {
+                e.0 += w;
+            }
         }
     }
 }
@@ -170,7 +216,10 @@ mod tests {
         // reference...
         assert_eq!(tip_top, gr_top, "TIP is time-proportional");
         // ...and reports that it stalls commit (its only "why").
-        assert_eq!(tip.profile().dominant_state(tip_top), Some(CommitState::Stalled));
+        assert_eq!(
+            tip.profile().dominant_state(tip_top),
+            Some(CommitState::Stalled)
+        );
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Regression tests for pending-sample bookkeeping under heavy
+//! pipeline squashing (the silent leak fixed by `Observer::on_squash`).
+//!
+//! The kernel mixes xorshift-driven unpredictable branches (mispredict
+//! squashes) with periodic `ecall`s (commit flushes), so delayed
+//! Stalled/Drained samples are frequently keyed at sequence numbers the
+//! pipeline then squashes. The golden invariant must survive exactly,
+//! and every profiler's pending table must drain to empty.
+
+use tea_core::golden::GoldenReference;
+use tea_core::nci::NciProfiler;
+use tea_core::sampling::SampleTimer;
+use tea_core::tea::TeaProfiler;
+use tea_core::tip::TipProfiler;
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+use tea_sim::core::simulate;
+use tea_sim::SimConfig;
+
+fn flush_heavy_program(iters: i64) -> Program {
+    let mut a = Asm::new();
+    a.func("churn");
+    a.li(Reg::S1, 0x243f_6a88_85a3_08d3u64 as i64); // xorshift64 state
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters);
+    let top = a.new_label();
+    let skip = a.new_label();
+    let no_flush = a.new_label();
+    a.bind(top);
+    // xorshift64: the low bit is effectively random, so the branch
+    // below defeats the predictor on ~half the iterations.
+    a.slli(Reg::T2, Reg::S1, 13);
+    a.xor(Reg::S1, Reg::S1, Reg::T2);
+    a.srli(Reg::T2, Reg::S1, 7);
+    a.xor(Reg::S1, Reg::S1, Reg::T2);
+    a.slli(Reg::T2, Reg::S1, 17);
+    a.xor(Reg::S1, Reg::S1, Reg::T2);
+    a.andi(Reg::T3, Reg::S1, 1);
+    a.beq(Reg::T3, Reg::ZERO, skip);
+    a.addi(Reg::A0, Reg::A0, 1);
+    a.bind(skip);
+    // Every 64th iteration (on average): a serializing ecall, which
+    // flushes the pipeline at commit.
+    a.andi(Reg::T4, Reg::S1, 63);
+    a.bne(Reg::T4, Reg::ZERO, no_flush);
+    a.ecall();
+    a.bind(no_flush);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    a.halt();
+    a.finish().expect("flush-heavy kernel must assemble")
+}
+
+#[test]
+fn golden_invariant_survives_flush_heavy_run() {
+    let p = flush_heavy_program(20_000);
+    let mut golden = GoldenReference::new();
+    let stats = simulate(&p, SimConfig::default(), &mut [&mut golden]);
+
+    // The kernel really is flush-heavy.
+    assert!(
+        stats.squashes > 1_000,
+        "want a squash-heavy run, got {}",
+        stats.squashes
+    );
+    assert!(
+        stats.commit_flushes > 100,
+        "want commit flushes, got {}",
+        stats.commit_flushes
+    );
+
+    // The exact attribution covers every single cycle: the u64 counter
+    // exactly, the f64 PICS total up to 1/n Compute-split rounding.
+    assert_eq!(golden.total_cycles(), stats.cycles);
+    let drift = (golden.pics().total() - stats.cycles as f64).abs();
+    assert!(
+        drift < 1e-6,
+        "golden total drifted {drift} from {}",
+        stats.cycles
+    );
+
+    // Nothing stuck in flight, nothing silently dropped.
+    assert_eq!(
+        golden.pending_cycles(),
+        0,
+        "stall cycles left pending after halt"
+    );
+    assert_eq!(golden.unattributed_compute_cycles(), 0);
+}
+
+#[test]
+fn profilers_drain_all_pending_samples_despite_squashes() {
+    let p = flush_heavy_program(20_000);
+    // Dense periodic sampling maximizes delayed (Stalled/Drained)
+    // samples sitting in the pending tables when squashes hit.
+    let mut tea = TeaProfiler::new(SampleTimer::periodic(5));
+    let mut nci = NciProfiler::new(SampleTimer::periodic(5));
+    let mut tip = TipProfiler::new(SampleTimer::periodic(5));
+    let stats = simulate(
+        &p,
+        SimConfig::default(),
+        &mut [&mut tea, &mut nci, &mut tip],
+    );
+    assert!(stats.squashes > 1_000);
+
+    assert!(
+        tea.samples() > 1_000,
+        "need sampling pressure, got {}",
+        tea.samples()
+    );
+    // The fix under test: with on_squash re-keying, no delayed sample
+    // can outlive the run keyed at a squashed sequence number.
+    assert_eq!(tea.pending_samples(), 0, "TEA leaked pending samples");
+    assert_eq!(nci.pending_samples(), 0, "NCI-TEA leaked pending samples");
+    assert_eq!(tip.pending_samples(), 0, "TIP leaked pending samples");
+
+    // Every taken sample landed in the profile (none vanished into a
+    // dropped pending entry).
+    assert!(
+        (tea.pics().total() - tea.samples() as f64).abs() < 1e-6,
+        "TEA attributed {} of {} samples",
+        tea.pics().total(),
+        tea.samples()
+    );
+    assert!(
+        (tip.profile().total() - tip.samples() as f64).abs() < 1e-6,
+        "TIP attributed {} of {} samples",
+        tip.profile().total(),
+        tip.samples()
+    );
+}

@@ -1,0 +1,381 @@
+//! A minimal JSON document model and serializer for the engine's
+//! results artifacts.
+//!
+//! The workspace builds offline with no registry access, so a serde
+//! dependency is out of reach; the artifact schema (see
+//! docs/INTERNALS.md) is small and flat enough that a hand-rolled
+//! writer is the simpler tool anyway. Object keys keep their insertion
+//! order, so serialization is deterministic: two artifacts differ only
+//! where their measurements differ.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// Integers get dedicated variants so cycle and instruction counters
+/// serialize exactly rather than through an `f64` round-trip.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, serialized exactly.
+    UInt(u64),
+    /// A signed integer, serialized exactly.
+    Int(i64),
+    /// A float, serialized via Rust's shortest-roundtrip formatting.
+    /// Non-finite values serialize as `null` (JSON has no NaN/inf).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes the value to a compact JSON string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes the value with two-space indentation.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(f) => write_f64(*f, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Rust's Display is shortest-roundtrip, but prints integral floats
+    // without a fractional part ("1"), which is still a valid JSON
+    // number; keep it as-is.
+    let _ = write!(out, "{f}");
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Checks that `s` is one syntactically valid JSON value (with nothing
+/// but whitespace after it). Used by the artifact tests; not a full
+/// parser — it validates structure, it does not build a document.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at offset {pos}")),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+        Ok(pos + lit.len())
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut p: usize| {
+        let s = p;
+        while p < b.len() && b[p].is_ascii_digit() {
+            p += 1;
+        }
+        (p, p > s)
+    };
+    let (p, ok) = digits(b, pos);
+    if !ok {
+        return Err(format!("bad number at offset {start}"));
+    }
+    pos = p;
+    if b.get(pos) == Some(&b'.') {
+        let (p, ok) = digits(b, pos + 1);
+        if !ok {
+            return Err(format!("bad fraction at offset {pos}"));
+        }
+        pos = p;
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        let (p, ok) = digits(b, pos);
+        if !ok {
+            return Err(format!("bad exponent at offset {pos}"));
+        }
+        pos = p;
+    }
+    Ok(pos)
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos += 1; // opening quote
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(pos + 2..pos + 6).ok_or("truncated \\u escape")?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at offset {pos}"));
+                    }
+                    pos += 6;
+                }
+                _ => return Err(format!("bad escape at offset {pos}")),
+            },
+            c if c < 0x20 => return Err(format!("raw control byte in string at offset {pos}")),
+            _ => pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn array(b: &[u8], pos: usize) -> Result<usize, String> {
+    let mut pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = skip_ws(b, value(b, pos)?);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+fn object(b: &[u8], pos: usize) -> Result<usize, String> {
+    let mut pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}"));
+        }
+        pos = skip_ws(b, string(b, pos)?);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        pos = skip_ws(b, value(b, skip_ws(b, pos + 1))?);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_validates_a_nested_document() {
+        let doc = Json::obj(vec![
+            ("name", Json::Str("fig5 \"quoted\"\n".into())),
+            ("threads", Json::UInt(8)),
+            ("wall_seconds", Json::Num(1.25)),
+            ("offset", Json::Int(-3)),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+            (
+                "cells",
+                Json::Arr(vec![
+                    Json::obj(vec![("cycles", Json::UInt(u64::MAX))]),
+                    Json::Arr(vec![]),
+                    Json::Obj(vec![]),
+                ]),
+            ),
+        ]);
+        let compact = doc.render();
+        validate(&compact).expect("compact output must be valid JSON");
+        let pretty = doc.render_pretty();
+        validate(&pretty).expect("pretty output must be valid JSON");
+        assert!(compact.contains("18446744073709551615"), "u64::MAX exact");
+        assert!(compact.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::Num(0.1).render(), "0.1");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "01x",
+            "\"unterminated",
+            "[] []",
+            "{'a':1}",
+            "[1 2]",
+            "nulL",
+            "1.e5",
+            "--1",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} must be rejected");
+        }
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-0.5e-3",
+            "[1,2,3]",
+            "  {\"a\": [true, null]}  ",
+        ] {
+            validate(good).unwrap_or_else(|e| panic!("{good:?} must validate: {e}"));
+        }
+    }
+}

@@ -1,0 +1,777 @@
+//! # tea-exp
+//!
+//! The shared experiment engine behind every TEA harness.
+//!
+//! A run is a matrix of *cells* — one `(workload, core config, scheme
+//! set, sampling interval, seed)` point each. Cells are shared-nothing:
+//! each one owns its program, its core, and its observers, so the
+//! engine fans them out across a scoped thread pool with no
+//! synchronization beyond handing out indices. All observers of a cell
+//! ride one [`tea_sim::core::Core::run`] pass (the paper's out-of-band
+//! TraceDoctor methodology: every scheme samples the exact same
+//! cycles).
+//!
+//! Results come back in cell order regardless of completion order, so
+//! a parallel run is bit-identical to a serial one — the simulator and
+//! profilers are deterministic, and nothing about scheduling leaks into
+//! the numbers. [`RunResult::to_json`] serializes a machine-readable
+//! artifact (schema `tea-experiment/v1`, see docs/INTERNALS.md);
+//! [`RunResult::write_artifact`] drops it under `target/experiments/`.
+//!
+//! Thread count: `RAYON_NUM_THREADS` (the conventional knob), then
+//! `TEA_THREADS`, then the machine's available parallelism.
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tea_core::golden::GoldenReference;
+use tea_core::nci::NciProfiler;
+use tea_core::pics::{Granularity, Pics, UnitMap};
+use tea_core::pics_error;
+use tea_core::sampling::SampleTimer;
+use tea_core::schemes::Scheme;
+use tea_core::tagging::TaggingProfiler;
+use tea_core::tea::TeaProfiler;
+use tea_core::tip::{TipProfile, TipProfiler};
+use tea_isa::program::Program;
+use tea_sim::core::{Core, SimStats};
+use tea_sim::psv::CommitState;
+use tea_sim::trace::Observer;
+use tea_sim::SimConfig;
+use tea_workloads::Workload;
+
+use json::Json;
+
+/// Every sampling scheme the engine can attach to a cell.
+pub const ALL_SCHEMES: [Scheme; 6] = [
+    Scheme::Tea,
+    Scheme::NciTea,
+    Scheme::Ibs,
+    Scheme::Spe,
+    Scheme::Ris,
+    Scheme::TeaDispatchTagged,
+];
+
+/// The harnesses' default sampling interval (cycles). The paper samples
+/// every 800 000 cycles over 10^11+-cycle runs; our runs are ~10^6–10^7
+/// cycles, so the interval is scaled to keep the samples-per-instruction
+/// density comparable (see DESIGN.md).
+pub const DEFAULT_INTERVAL: u64 = 512;
+
+/// Deterministic jitter seed shared by the harnesses.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// One point of an experiment matrix: a program simulated under one
+/// core configuration with one set of observers.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// Workload (or ad-hoc program) name, used in reports and JSON.
+    pub workload: String,
+    /// The program to simulate.
+    pub program: Program,
+    /// Human-readable name of the core configuration.
+    pub config_name: String,
+    /// The core configuration.
+    pub config: SimConfig,
+    /// Sampling interval in cycles (all schemes share one jittered
+    /// timer sequence, so they fire in the same cycles).
+    pub interval: u64,
+    /// Jitter seed of the sampling timers.
+    pub seed: u64,
+    /// Sampling schemes to attach.
+    pub schemes: Vec<Scheme>,
+    /// Attach the exact golden reference (needed for error metrics).
+    pub golden: bool,
+    /// Attach the TIP baseline profiler.
+    pub tip: bool,
+}
+
+impl CellSpec {
+    /// A cell with the default config, interval, seed and all schemes.
+    #[must_use]
+    pub fn new(workload: impl Into<String>, program: Program) -> Self {
+        CellSpec {
+            workload: workload.into(),
+            program,
+            config_name: "default".to_string(),
+            config: SimConfig::default(),
+            interval: DEFAULT_INTERVAL,
+            seed: DEFAULT_SEED,
+            schemes: ALL_SCHEMES.to_vec(),
+            golden: true,
+            tip: false,
+        }
+    }
+
+    /// A cell for a named workload (clones its program).
+    #[must_use]
+    pub fn for_workload(w: &Workload) -> Self {
+        CellSpec::new(w.name, w.program.clone())
+    }
+
+    /// Sets the core configuration (with a name for reports).
+    #[must_use]
+    pub fn config(mut self, name: impl Into<String>, config: SimConfig) -> Self {
+        self.config_name = name.into();
+        self.config = config;
+        self
+    }
+
+    /// Sets the sampling interval.
+    #[must_use]
+    pub fn interval(mut self, interval: u64) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Sets the sampling jitter seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the scheme set.
+    #[must_use]
+    pub fn schemes(mut self, schemes: &[Scheme]) -> Self {
+        self.schemes = schemes.to_vec();
+        self
+    }
+
+    /// Attaches the TIP baseline.
+    #[must_use]
+    pub fn with_tip(mut self) -> Self {
+        self.tip = true;
+        self
+    }
+
+    /// Drops all observers: simulate for [`SimStats`] only.
+    #[must_use]
+    pub fn stats_only(mut self) -> Self {
+        self.schemes.clear();
+        self.golden = false;
+        self.tip = false;
+        self
+    }
+}
+
+/// The measured outcome of one cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Position of the cell in the run's matrix.
+    pub index: usize,
+    /// The spec that produced this result (owns the program, so error
+    /// metrics can build unit maps without reaching back to the caller).
+    pub spec: CellSpec,
+    /// Core statistics of the simulation pass.
+    pub stats: SimStats,
+    /// The exact reference, when `spec.golden` was set.
+    pub golden: Option<GoldenReference>,
+    /// The TIP baseline profile, when `spec.tip` was set.
+    pub tip: Option<TipProfile>,
+    /// Sampled PICS per scheme (in sample units).
+    pub pics: HashMap<Scheme, Pics>,
+    /// Samples taken per scheme.
+    pub samples: HashMap<Scheme, u64>,
+    /// Wall-clock time of the simulation pass.
+    pub wall: Duration,
+}
+
+impl CellResult {
+    /// The Section 4 error of `scheme` at `granularity`, or `None` if
+    /// the cell ran without the golden reference or without the scheme.
+    #[must_use]
+    pub fn error(&self, scheme: Scheme, granularity: Granularity) -> Option<f64> {
+        let golden = self.golden.as_ref()?;
+        let pics = self.pics.get(&scheme)?;
+        let units = UnitMap::new(&self.spec.program, granularity);
+        Some(pics_error(pics, golden.pics(), scheme.event_set(), &units))
+    }
+
+    /// Simulated instructions per wall-clock second, in millions.
+    #[must_use]
+    pub fn sim_mips(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.stats.retired as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    }
+
+    /// Samples taken across all schemes.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.samples.values().sum()
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("workload", Json::Str(self.spec.workload.clone())),
+            ("config", Json::Str(self.spec.config_name.clone())),
+            ("interval", Json::UInt(self.spec.interval)),
+            ("seed", Json::UInt(self.spec.seed)),
+            ("cycles", Json::UInt(self.stats.cycles)),
+            ("instructions", Json::UInt(self.stats.retired)),
+            ("ipc", Json::Num(self.stats.ipc())),
+            (
+                "state_cycles",
+                Json::Obj(
+                    CommitState::ALL
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            (s.name().to_string(), Json::UInt(self.stats.state_cycles[i]))
+                        })
+                        .collect(),
+                ),
+            ),
+            ("squashes", Json::UInt(self.stats.squashes)),
+            ("commit_flushes", Json::UInt(self.stats.commit_flushes)),
+            ("mo_violations", Json::UInt(self.stats.mo_violations)),
+            ("wall_seconds", Json::Num(self.wall.as_secs_f64())),
+            ("sim_mips", Json::Num(self.sim_mips())),
+        ];
+        fields.push((
+            "golden_total_cycles",
+            self.golden
+                .as_ref()
+                .map_or(Json::Null, |g| Json::Num(g.pics().total())),
+        ));
+        // Iterate spec.schemes (not the HashMaps) so field order is
+        // deterministic.
+        fields.push((
+            "samples",
+            Json::Obj(
+                self.spec
+                    .schemes
+                    .iter()
+                    .map(|s| (s.name().to_string(), Json::UInt(self.samples[s])))
+                    .collect(),
+            ),
+        ));
+        if self.golden.is_some() {
+            fields.push((
+                "error_instruction",
+                Json::Obj(
+                    self.spec
+                        .schemes
+                        .iter()
+                        .map(|s| {
+                            let e = self.error(*s, Granularity::Instruction).unwrap_or(f64::NAN);
+                            (s.name().to_string(), Json::Num(e))
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Resolves the worker count: `RAYON_NUM_THREADS`, then `TEA_THREADS`,
+/// then the machine's available parallelism.
+#[must_use]
+pub fn threads_from_env() -> usize {
+    for var in ["RAYON_NUM_THREADS", "TEA_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The experiment engine: a worker-pool executor for cell matrices.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    threads: usize,
+    progress: bool,
+}
+
+impl Engine {
+    /// An engine sized by [`threads_from_env`], with progress reporting.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Engine {
+            threads: threads_from_env(),
+            progress: true,
+        }
+    }
+
+    /// A single-threaded engine (cells run in matrix order).
+    #[must_use]
+    pub fn serial() -> Self {
+        Engine {
+            threads: 1,
+            progress: true,
+        }
+    }
+
+    /// An engine with an explicit worker count.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            threads: threads.max(1),
+            progress: true,
+        }
+    }
+
+    /// Disables the per-cell progress line on stderr.
+    #[must_use]
+    pub fn quiet(mut self) -> Self {
+        self.progress = false;
+        self
+    }
+
+    /// The worker count this engine will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every cell and returns the results **in cell order** —
+    /// results do not depend on which worker ran which cell, so a
+    /// parallel run is bit-identical to [`Engine::serial`].
+    #[must_use]
+    pub fn run(&self, name: &str, cells: Vec<CellSpec>) -> RunResult {
+        let t0 = Instant::now();
+        let total = cells.len();
+        let workers = self.threads.min(total.max(1));
+        // Cells are handed to exactly one worker each (shared-nothing);
+        // the slot Mutexes only guard the ownership transfer.
+        let slots: Vec<Mutex<Option<CellSpec>>> =
+            cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let results: Vec<Mutex<Option<CellResult>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let spec = slots[i]
+                        .lock()
+                        .expect("cell slot poisoned")
+                        .take()
+                        .expect("each cell is claimed exactly once");
+                    let r = run_cell(i, spec);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if self.progress {
+                        eprintln!(
+                            "[{name}] {finished:>3}/{total} {:<14} {:<10} {:>8} cycles  \
+                             {:>6.2}s  {:>7.2} Msim-inst/s",
+                            r.spec.workload,
+                            r.spec.config_name,
+                            r.stats.cycles,
+                            r.wall.as_secs_f64(),
+                            r.sim_mips(),
+                        );
+                    }
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        let cells: Vec<CellResult> = results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every cell produces a result")
+            })
+            .collect();
+        RunResult {
+            name: name.to_string(),
+            threads: workers,
+            wall: t0.elapsed(),
+            cells,
+        }
+    }
+}
+
+/// Runs one cell: builds its observers, performs the single simulation
+/// pass, and packages the measurements.
+#[must_use]
+pub fn run_cell(index: usize, spec: CellSpec) -> CellResult {
+    let t0 = Instant::now();
+    let timer = || SampleTimer::with_jitter(spec.interval, spec.interval / 8, spec.seed);
+    let mut golden = if spec.golden {
+        Some(GoldenReference::new())
+    } else {
+        None
+    };
+    let mut tip = if spec.tip {
+        Some(TipProfiler::new(timer()))
+    } else {
+        None
+    };
+    let mut scheme_obs: Vec<(Scheme, SchemeObserver)> = spec
+        .schemes
+        .iter()
+        .map(|&s| (s, SchemeObserver::new(s, timer())))
+        .collect();
+    let stats = {
+        let mut observers: Vec<&mut dyn Observer> = Vec::new();
+        if let Some(g) = golden.as_mut() {
+            observers.push(g);
+        }
+        if let Some(t) = tip.as_mut() {
+            observers.push(t);
+        }
+        for (_, o) in &mut scheme_obs {
+            observers.push(o.as_observer());
+        }
+        Core::new(&spec.program, spec.config.clone()).run(&mut observers)
+    };
+    let wall = t0.elapsed();
+    let mut pics = HashMap::new();
+    let mut samples = HashMap::new();
+    for (scheme, obs) in scheme_obs {
+        samples.insert(scheme, obs.samples());
+        pics.insert(scheme, obs.into_pics());
+    }
+    CellResult {
+        index,
+        spec,
+        stats,
+        golden,
+        tip: tip.map(|t| t.profile().clone()),
+        pics,
+        samples,
+        wall,
+    }
+}
+
+/// A scheme's profiler behind one constructor, so cells can hold a
+/// heterogeneous observer set in a plain `Vec`.
+enum SchemeObserver {
+    Tea(TeaProfiler),
+    Nci(NciProfiler),
+    Tagging(TaggingProfiler),
+}
+
+impl SchemeObserver {
+    fn new(scheme: Scheme, timer: SampleTimer) -> Self {
+        match scheme {
+            Scheme::Tea => SchemeObserver::Tea(TeaProfiler::new(timer)),
+            Scheme::NciTea => SchemeObserver::Nci(NciProfiler::new(timer)),
+            Scheme::Ibs | Scheme::Spe | Scheme::Ris | Scheme::TeaDispatchTagged => {
+                SchemeObserver::Tagging(TaggingProfiler::new(scheme, timer))
+            }
+        }
+    }
+
+    fn as_observer(&mut self) -> &mut dyn Observer {
+        match self {
+            SchemeObserver::Tea(o) => o,
+            SchemeObserver::Nci(o) => o,
+            SchemeObserver::Tagging(o) => o,
+        }
+    }
+
+    fn samples(&self) -> u64 {
+        match self {
+            SchemeObserver::Tea(o) => o.samples(),
+            SchemeObserver::Nci(o) => o.samples(),
+            SchemeObserver::Tagging(o) => o.samples(),
+        }
+    }
+
+    fn into_pics(self) -> Pics {
+        match self {
+            SchemeObserver::Tea(o) => o.into_pics(),
+            SchemeObserver::Nci(o) => o.into_pics(),
+            SchemeObserver::Tagging(o) => o.into_pics(),
+        }
+    }
+}
+
+/// The outcome of an [`Engine::run`]: all cell results plus run-level
+/// timing.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Run name (used for the artifact filename).
+    pub name: String,
+    /// Workers the engine actually used.
+    pub threads: usize,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Per-cell results, in matrix order.
+    pub cells: Vec<CellResult>,
+}
+
+impl RunResult {
+    /// Instructions simulated across all cells.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.cells.iter().map(|c| c.stats.retired).sum()
+    }
+
+    /// Aggregate simulated instructions per wall-second, in millions.
+    #[must_use]
+    pub fn sim_mips(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_instructions() as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    }
+
+    /// The run as a `tea-experiment/v1` JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str("tea-experiment/v1".to_string())),
+            ("name", Json::Str(self.name.clone())),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("cells_total", Json::UInt(self.cells.len() as u64)),
+            ("wall_seconds", Json::Num(self.wall.as_secs_f64())),
+            ("sim_mips", Json::Num(self.sim_mips())),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(CellResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the JSON artifact to `$TEA_RESULTS_DIR` (default
+    /// `target/experiments/` under the workspace root) as
+    /// `<name>.json`, returning its path.
+    ///
+    /// Cargo runs test and bench binaries with the package directory
+    /// as the working directory, so the default anchors to the
+    /// outermost ancestor holding a `Cargo.lock` rather than to the
+    /// CWD; every harness then writes to the same place.
+    pub fn write_artifact(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("TEA_RESULTS_DIR").map_or_else(
+            |_| workspace_root().join("target/experiments"),
+            PathBuf::from,
+        );
+        std::fs::create_dir_all(&dir)?;
+        let safe: String = self
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{safe}.json"));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().render_pretty().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// The outermost ancestor of the current directory that holds a
+/// `Cargo.lock` — the workspace root when run under cargo — or the
+/// current directory itself when no lockfile is in sight.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    cwd.ancestors()
+        .filter(|dir| dir.join("Cargo.lock").is_file())
+        .last()
+        .map_or(cwd.clone(), PathBuf::from)
+}
+
+/// Builder for the cross product of workloads × configs × intervals ×
+/// seeds, each cell carrying one scheme set.
+///
+/// Cell order is deterministic: workload-major, then config, then
+/// interval, then seed — the same order a hand-rolled nested loop
+/// would produce.
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    workloads: Vec<Workload>,
+    configs: Vec<(String, SimConfig)>,
+    intervals: Vec<u64>,
+    seeds: Vec<u64>,
+    schemes: Vec<Scheme>,
+    golden: bool,
+    tip: bool,
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::new()
+    }
+}
+
+impl Matrix {
+    /// An empty matrix with the default config, interval, seed and all
+    /// schemes (plus the golden reference).
+    #[must_use]
+    pub fn new() -> Self {
+        Matrix {
+            workloads: Vec::new(),
+            configs: vec![("default".to_string(), SimConfig::default())],
+            intervals: vec![DEFAULT_INTERVAL],
+            seeds: vec![DEFAULT_SEED],
+            schemes: ALL_SCHEMES.to_vec(),
+            golden: true,
+            tip: false,
+        }
+    }
+
+    /// Sets the workloads axis.
+    #[must_use]
+    pub fn workloads(mut self, workloads: Vec<Workload>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Sets the core-configuration axis.
+    #[must_use]
+    pub fn configs(mut self, configs: Vec<(&str, SimConfig)>) -> Self {
+        self.configs = configs
+            .into_iter()
+            .map(|(n, c)| (n.to_string(), c))
+            .collect();
+        self
+    }
+
+    /// Sets the sampling-interval axis.
+    #[must_use]
+    pub fn intervals(mut self, intervals: &[u64]) -> Self {
+        self.intervals = intervals.to_vec();
+        self
+    }
+
+    /// Sets the jitter-seed axis.
+    #[must_use]
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Sets the scheme set attached to every cell.
+    #[must_use]
+    pub fn schemes(mut self, schemes: &[Scheme]) -> Self {
+        self.schemes = schemes.to_vec();
+        self
+    }
+
+    /// Toggles the golden reference on every cell.
+    #[must_use]
+    pub fn golden(mut self, golden: bool) -> Self {
+        self.golden = golden;
+        self
+    }
+
+    /// Toggles the TIP baseline on every cell.
+    #[must_use]
+    pub fn tip(mut self, tip: bool) -> Self {
+        self.tip = tip;
+        self
+    }
+
+    /// Expands the cross product into cell specs.
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(
+            self.workloads.len() * self.configs.len() * self.intervals.len() * self.seeds.len(),
+        );
+        for w in &self.workloads {
+            for (cfg_name, cfg) in &self.configs {
+                for &interval in &self.intervals {
+                    for &seed in &self.seeds {
+                        let mut spec = CellSpec::for_workload(w)
+                            .config(cfg_name.clone(), cfg.clone())
+                            .interval(interval)
+                            .seed(seed)
+                            .schemes(&self.schemes);
+                        spec.golden = self.golden;
+                        spec.tip = self.tip;
+                        cells.push(spec);
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_workloads::{lbm, Size};
+
+    #[test]
+    fn matrix_expands_workload_major() {
+        let m = Matrix::new()
+            .workloads(vec![lbm::workload(Size::Test)])
+            .configs(vec![
+                ("little", SimConfig::little()),
+                ("big", SimConfig::big()),
+            ])
+            .seeds(&[1, 2, 3]);
+        let cells = m.cells();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].config_name, "little");
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[2].seed, 3);
+        assert_eq!(cells[3].config_name, "big");
+        assert!(cells.iter().all(|c| c.workload == "lbm"));
+    }
+
+    #[test]
+    fn one_cell_runs_all_observers_in_one_pass() {
+        let spec = CellSpec::new("lbm", lbm::program(Size::Test)).with_tip();
+        let run = Engine::serial().quiet().run("unit", vec![spec]);
+        assert_eq!(run.cells.len(), 1);
+        let c = &run.cells[0];
+        assert!(c.stats.cycles > 0);
+        // Golden invariant: exact attribution covers every cycle (the
+        // u64 counter exactly; the f64 PICS total up to 1/n rounding).
+        let golden = c.golden.as_ref().expect("golden attached by default");
+        assert_eq!(golden.total_cycles(), c.stats.cycles);
+        assert!((golden.pics().total() - c.stats.cycles as f64).abs() < 1e-6);
+        // TIP and all six schemes rode the same pass.
+        assert!(c.tip.is_some());
+        for s in ALL_SCHEMES {
+            assert!(c.samples[&s] > 0, "{s} took no samples");
+            let e = c.error(s, Granularity::Instruction).unwrap();
+            assert!((0.0..=1.0).contains(&e), "{s} error {e}");
+        }
+    }
+
+    #[test]
+    fn stats_only_cells_carry_no_profiles() {
+        let spec = CellSpec::new("lbm", lbm::program(Size::Test)).stats_only();
+        let run = Engine::serial().quiet().run("stats", vec![spec]);
+        let c = &run.cells[0];
+        assert!(c.golden.is_none() && c.tip.is_none() && c.pics.is_empty());
+        assert!(c.stats.cycles > 0);
+        assert!(c.error(Scheme::Tea, Granularity::Instruction).is_none());
+    }
+
+    #[test]
+    fn json_artifact_is_valid() {
+        let spec = CellSpec::new("lbm", lbm::program(Size::Test));
+        let run = Engine::serial().quiet().run("json-unit", vec![spec]);
+        let doc = run.to_json();
+        json::validate(&doc.render()).expect("compact artifact must be valid JSON");
+        json::validate(&doc.render_pretty()).expect("pretty artifact must be valid JSON");
+        let text = doc.render();
+        assert!(text.contains("\"schema\":\"tea-experiment/v1\""));
+        assert!(text.contains("\"error_instruction\""));
+    }
+}

@@ -1,0 +1,104 @@
+//! The engine's cardinal guarantee: a parallel run is bit-identical to
+//! a serial run of the same matrix. Cells are shared-nothing and the
+//! simulator is deterministic, so nothing about worker scheduling may
+//! leak into the numbers.
+
+use tea_core::pics::Granularity;
+use tea_exp::{Engine, Matrix, RunResult, ALL_SCHEMES};
+use tea_workloads::{deepsjeng, lbm, Size};
+
+/// Everything measurement-like about a run, excluding wall-clock
+/// timing (the only field allowed to differ between runs).
+fn fingerprint(run: &RunResult) -> Vec<String> {
+    run.cells
+        .iter()
+        .map(|c| {
+            let golden = c.golden.as_ref().expect("golden attached");
+            let mut s = format!(
+                "{} cfg={} seed={} stats={:?} golden={:016x}",
+                c.spec.workload,
+                c.spec.config_name,
+                c.spec.seed,
+                c.stats,
+                golden.pics().total().to_bits(),
+            );
+            for &scheme in &ALL_SCHEMES {
+                let e_i = c.error(scheme, Granularity::Instruction).unwrap();
+                let e_f = c.error(scheme, Granularity::Function).unwrap();
+                s.push_str(&format!(
+                    " {}:{}:{:016x}:{:016x}",
+                    scheme.name(),
+                    c.samples[&scheme],
+                    e_i.to_bits(),
+                    e_f.to_bits(),
+                ));
+            }
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_2x2_matrix_is_bit_identical_to_serial() {
+    let matrix = Matrix::new()
+        .workloads(vec![
+            lbm::workload(Size::Test),
+            deepsjeng::workload(Size::Test),
+        ])
+        .seeds(&[11, 29]);
+
+    let serial = Engine::new(1)
+        .quiet()
+        .run("identity-serial", matrix.cells());
+    let parallel = Engine::new(4)
+        .quiet()
+        .run("identity-parallel", matrix.cells());
+
+    assert_eq!(serial.cells.len(), 4);
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 4, "2x2 matrix must actually fan out");
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "parallel run must be bit-identical to serial"
+    );
+}
+
+#[test]
+fn results_come_back_in_matrix_order() {
+    let matrix = Matrix::new()
+        .workloads(vec![
+            lbm::workload(Size::Test),
+            deepsjeng::workload(Size::Test),
+        ])
+        .seeds(&[11, 29]);
+    let cells = matrix.cells();
+    let expected: Vec<(String, u64)> = cells.iter().map(|c| (c.workload.clone(), c.seed)).collect();
+    let run = Engine::new(3).quiet().run("order", cells);
+    let got: Vec<(String, u64)> = run
+        .cells
+        .iter()
+        .map(|c| (c.spec.workload.clone(), c.spec.seed))
+        .collect();
+    assert_eq!(got, expected);
+    for (i, c) in run.cells.iter().enumerate() {
+        assert_eq!(c.index, i);
+    }
+}
+
+#[test]
+fn thread_count_honours_rayon_env_convention() {
+    // Safe here: this integration-test binary's other tests never read
+    // the environment.
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+    std::env::set_var("TEA_THREADS", "7");
+    assert_eq!(tea_exp::threads_from_env(), 3, "RAYON_NUM_THREADS wins");
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(
+        tea_exp::threads_from_env(),
+        7,
+        "TEA_THREADS is the fallback"
+    );
+    std::env::remove_var("TEA_THREADS");
+    assert!(tea_exp::threads_from_env() >= 1);
+}

@@ -58,7 +58,10 @@ impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AsmError::UnboundLabel { label, inst_index } => {
-                write!(f, "label {label} referenced by instruction {inst_index} was never bound")
+                write!(
+                    f,
+                    "label {label} referenced by instruction {inst_index} was never bound"
+                )
             }
             AsmError::RedefinedLabel { label } => write!(f, "label {label} bound twice"),
             AsmError::Empty => write!(f, "program contains no instructions"),
@@ -83,7 +86,10 @@ impl Asm {
     /// Creates an empty assembler with the default text base address.
     #[must_use]
     pub fn new() -> Self {
-        Asm { base: TEXT_BASE, ..Asm::default() }
+        Asm {
+            base: TEXT_BASE,
+            ..Asm::default()
+        }
     }
 
     /// Creates an empty assembler with a custom text base address.
@@ -94,7 +100,10 @@ impl Asm {
     #[must_use]
     pub fn with_base(base: u64) -> Self {
         assert_eq!(base % INST_BYTES, 0, "text base must be 4-byte aligned");
-        Asm { base, ..Asm::default() }
+        Asm {
+            base,
+            ..Asm::default()
+        }
     }
 
     /// Number of instructions emitted so far.
@@ -180,7 +189,10 @@ impl Asm {
                 return Err(AsmError::RedefinedLabel { label: label.0 });
             }
             let Some(target_idx) = self.labels[label.0] else {
-                return Err(AsmError::UnboundLabel { label: label.0, inst_index });
+                return Err(AsmError::UnboundLabel {
+                    label: label.0,
+                    inst_index,
+                });
             };
             let target = self.base + target_idx as u64 * INST_BYTES;
             match &mut insts[inst_index] {
@@ -204,7 +216,12 @@ impl Asm {
                 end: self.base + end as u64 * INST_BYTES,
             });
         }
-        Ok(Program::from_parts(self.base, insts, functions, self.init_words))
+        Ok(Program::from_parts(
+            self.base,
+            insts,
+            functions,
+            self.init_words,
+        ))
     }
 
     // ---- integer ----
@@ -348,19 +365,47 @@ impl Asm {
 
     /// Emits `beq rs1, rs2, label`.
     pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) {
-        self.emit_branch(Inst::Beq { rs1, rs2, target: 0 }, label);
+        self.emit_branch(
+            Inst::Beq {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
     /// Emits `bne rs1, rs2, label`.
     pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) {
-        self.emit_branch(Inst::Bne { rs1, rs2, target: 0 }, label);
+        self.emit_branch(
+            Inst::Bne {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
     /// Emits `blt rs1, rs2, label`.
     pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) {
-        self.emit_branch(Inst::Blt { rs1, rs2, target: 0 }, label);
+        self.emit_branch(
+            Inst::Blt {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
     /// Emits `bge rs1, rs2, label`.
     pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) {
-        self.emit_branch(Inst::Bge { rs1, rs2, target: 0 }, label);
+        self.emit_branch(
+            Inst::Bge {
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        );
     }
     /// Emits `jal rd, label`.
     pub fn jal(&mut self, rd: Reg, label: Label) {

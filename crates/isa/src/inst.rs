@@ -133,7 +133,12 @@ pub enum Inst {
     /// `fd = sqrt(fs1)` (unpipelined; the nab case study's critical op)
     FsqrtD { fd: FReg, fs1: FReg },
     /// `fd = fs1 * fs2 + fs3` (fused multiply-add)
-    FmaddD { fd: FReg, fs1: FReg, fs2: FReg, fs3: FReg },
+    FmaddD {
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+        fs3: FReg,
+    },
     /// `rd = fs1 < fs2` — the IEEE 754 comparison that forces the compiler
     /// to bracket it with `frflags`/`fsflags` on RISC-V (nab case study).
     FltD { rd: Reg, fs1: FReg, fs2: FReg },
@@ -179,16 +184,31 @@ impl Inst {
     pub fn class(&self) -> ExecClass {
         use Inst::*;
         match self {
-            Addi { .. } | Li { .. } | Add { .. } | Sub { .. } | And { .. } | Or { .. }
-            | Xor { .. } | Andi { .. } | Xori { .. } | Slli { .. } | Srli { .. }
-            | Slt { .. } | Sltu { .. } => ExecClass::IntAlu,
+            Addi { .. }
+            | Li { .. }
+            | Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Andi { .. }
+            | Xori { .. }
+            | Slli { .. }
+            | Srli { .. }
+            | Slt { .. }
+            | Sltu { .. } => ExecClass::IntAlu,
             Mul { .. } => ExecClass::IntMul,
             Div { .. } | Rem { .. } => ExecClass::IntDiv,
             Ld { .. } | Fld { .. } => ExecClass::Load,
             Sd { .. } | Fsd { .. } => ExecClass::Store,
             Prefetch { .. } => ExecClass::Prefetch,
-            FaddD { .. } | FsubD { .. } | FltD { .. } | FliD { .. } | FcvtDL { .. }
-            | FcvtLD { .. } | FmvD { .. } => ExecClass::FpAlu,
+            FaddD { .. }
+            | FsubD { .. }
+            | FltD { .. }
+            | FliD { .. }
+            | FcvtDL { .. }
+            | FcvtLD { .. }
+            | FmvD { .. } => ExecClass::FpAlu,
             FmulD { .. } | FmaddD { .. } => ExecClass::FpMul,
             FdivD { .. } => ExecClass::FpDiv,
             FsqrtD { .. } => ExecClass::FpSqrt,
@@ -212,7 +232,10 @@ impl Inst {
         };
         let fp = |r: FReg| Some(RegRef::Fp(r));
         match *self {
-            Addi { rs1, .. } | Andi { rs1, .. } | Xori { rs1, .. } | Slli { rs1, .. }
+            Addi { rs1, .. }
+            | Andi { rs1, .. }
+            | Xori { rs1, .. }
+            | Slli { rs1, .. }
             | Srli { rs1, .. } => [int(rs1), None, None],
             Li { .. } | FliD { .. } | Frflags { .. } | Ecall | Nop | Halt | Jal { .. } => {
                 [None, None, None]
@@ -231,12 +254,18 @@ impl Inst {
             | Bne { rs1, rs2, .. }
             | Blt { rs1, rs2, .. }
             | Bge { rs1, rs2, .. } => [int(rs1), int(rs2), None],
-            Ld { rs1, .. } | Fld { rs1, .. } | Prefetch { rs1, .. } | Jalr { rs1, .. }
+            Ld { rs1, .. }
+            | Fld { rs1, .. }
+            | Prefetch { rs1, .. }
+            | Jalr { rs1, .. }
             | Fsflags { rs1, .. } => [int(rs1), None, None],
             Sd { rs2, rs1, .. } => [int(rs1), int(rs2), None],
             Fsd { fs2, rs1, .. } => [int(rs1), fp(fs2), None],
-            FaddD { fs1, fs2, .. } | FsubD { fs1, fs2, .. } | FmulD { fs1, fs2, .. }
-            | FdivD { fs1, fs2, .. } | FltD { fs1, fs2, .. } => [fp(fs1), fp(fs2), None],
+            FaddD { fs1, fs2, .. }
+            | FsubD { fs1, fs2, .. }
+            | FmulD { fs1, fs2, .. }
+            | FdivD { fs1, fs2, .. }
+            | FltD { fs1, fs2, .. } => [fp(fs1), fp(fs2), None],
             FmaddD { fs1, fs2, fs3, .. } => [fp(fs1), fp(fs2), fp(fs3)],
             FsqrtD { fs1, .. } | FcvtLD { fs1, .. } | FmvD { fs1, .. } => [fp(fs1), None, None],
             FcvtDL { rs1, .. } => [int(rs1), None, None],
@@ -258,17 +287,49 @@ impl Inst {
             }
         };
         match *self {
-            Addi { rd, .. } | Li { rd, .. } | Add { rd, .. } | Sub { rd, .. } | Mul { rd, .. }
-            | Div { rd, .. } | Rem { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. }
-            | Andi { rd, .. } | Xori { rd, .. } | Slli { rd, .. } | Srli { rd, .. }
-            | Slt { rd, .. } | Sltu { rd, .. } | Ld { rd, .. } | FltD { rd, .. }
-            | FcvtLD { rd, .. } | Jal { rd, .. } | Jalr { rd, .. } | Fsflags { rd, .. }
+            Addi { rd, .. }
+            | Li { rd, .. }
+            | Add { rd, .. }
+            | Sub { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | Rem { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Andi { rd, .. }
+            | Xori { rd, .. }
+            | Slli { rd, .. }
+            | Srli { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Ld { rd, .. }
+            | FltD { rd, .. }
+            | FcvtLD { rd, .. }
+            | Jal { rd, .. }
+            | Jalr { rd, .. }
+            | Fsflags { rd, .. }
             | Frflags { rd } => int(rd),
-            Fld { fd, .. } | FaddD { fd, .. } | FsubD { fd, .. } | FmulD { fd, .. }
-            | FdivD { fd, .. } | FsqrtD { fd, .. } | FmaddD { fd, .. } | FliD { fd, .. }
-            | FcvtDL { fd, .. } | FmvD { fd, .. } => Some(RegRef::Fp(fd)),
-            Sd { .. } | Fsd { .. } | Prefetch { .. } | Beq { .. } | Bne { .. } | Blt { .. }
-            | Bge { .. } | Ecall | Nop | Halt => None,
+            Fld { fd, .. }
+            | FaddD { fd, .. }
+            | FsubD { fd, .. }
+            | FmulD { fd, .. }
+            | FdivD { fd, .. }
+            | FsqrtD { fd, .. }
+            | FmaddD { fd, .. }
+            | FliD { fd, .. }
+            | FcvtDL { fd, .. }
+            | FmvD { fd, .. } => Some(RegRef::Fp(fd)),
+            Sd { .. }
+            | Fsd { .. }
+            | Prefetch { .. }
+            | Beq { .. }
+            | Bne { .. }
+            | Blt { .. }
+            | Bge { .. }
+            | Ecall
+            | Nop
+            | Halt => None,
         }
     }
 
@@ -293,7 +354,10 @@ impl Inst {
     /// dynamic behaviour such as branch misprediction.
     #[must_use]
     pub fn flushes_at_commit(&self) -> bool {
-        matches!(self, Inst::Fsflags { .. } | Inst::Frflags { .. } | Inst::Ecall)
+        matches!(
+            self,
+            Inst::Fsflags { .. } | Inst::Frflags { .. } | Inst::Ecall
+        )
     }
 
     /// Whether this instruction raises an architectural exception at
@@ -413,11 +477,20 @@ mod tests {
     #[test]
     fn class_routing() {
         assert_eq!(
-            Inst::FsqrtD { fd: FReg::FT0, fs1: FReg::FT1 }.class(),
+            Inst::FsqrtD {
+                fd: FReg::FT0,
+                fs1: FReg::FT1
+            }
+            .class(),
             ExecClass::FpSqrt
         );
         assert_eq!(
-            Inst::Ld { rd: Reg::T0, rs1: Reg::A0, imm: 0 }.class(),
+            Inst::Ld {
+                rd: Reg::T0,
+                rs1: Reg::A0,
+                imm: 0
+            }
+            .class(),
             ExecClass::Load
         );
         assert_eq!(Inst::Ecall.class(), ExecClass::Csr);
@@ -425,7 +498,11 @@ mod tests {
 
     #[test]
     fn zero_register_creates_no_dependence() {
-        let i = Inst::Add { rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::T0 };
+        let i = Inst::Add {
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::T0,
+        };
         assert_eq!(i.dst(), None);
         assert_eq!(i.srcs(), [None, Some(RegRef::Int(Reg::T0)), None]);
     }
@@ -434,13 +511,21 @@ mod tests {
     fn flush_markers() {
         assert!(Inst::Ecall.flushes_at_commit());
         assert!(Inst::Frflags { rd: Reg::T0 }.flushes_at_commit());
-        assert!(Inst::Fsflags { rd: Reg::ZERO, rs1: Reg::T0 }.flushes_at_commit());
+        assert!(Inst::Fsflags {
+            rd: Reg::ZERO,
+            rs1: Reg::T0
+        }
+        .flushes_at_commit());
         assert!(!Inst::Nop.flushes_at_commit());
     }
 
     #[test]
     fn store_sources_include_data_and_base() {
-        let s = Inst::Fsd { fs2: FReg::FA0, rs1: Reg::A1, imm: 8 };
+        let s = Inst::Fsd {
+            fs2: FReg::FA0,
+            rs1: Reg::A1,
+            imm: 8,
+        };
         let srcs = s.srcs();
         assert_eq!(srcs[0], Some(RegRef::Int(Reg::A1)));
         assert_eq!(srcs[1], Some(RegRef::Fp(FReg::FA0)));
@@ -449,13 +534,22 @@ mod tests {
 
     #[test]
     fn fmadd_has_three_sources() {
-        let i = Inst::FmaddD { fd: FReg::FT0, fs1: FReg::FT1, fs2: FReg::FT2, fs3: FReg::FT3 };
+        let i = Inst::FmaddD {
+            fd: FReg::FT0,
+            fs1: FReg::FT1,
+            fs2: FReg::FT2,
+            fs3: FReg::FT3,
+        };
         assert!(i.srcs().iter().all(Option::is_some));
     }
 
     #[test]
     fn display_smoke() {
-        let i = Inst::Ld { rd: Reg::T0, rs1: Reg::A0, imm: 16 };
+        let i = Inst::Ld {
+            rd: Reg::T0,
+            rs1: Reg::A0,
+            imm: 16,
+        };
         assert_eq!(i.to_string(), "ld x5, 16(x10)");
         assert_eq!(i.mnemonic(), "ld");
     }

@@ -387,13 +387,19 @@ impl<'p> Machine<'p> {
             }
             Jal { rd, target } => {
                 self.set_int_reg(rd, pc + INST_BYTES);
-                branch = Some(BranchOutcome { taken: true, target });
+                branch = Some(BranchOutcome {
+                    taken: true,
+                    target,
+                });
                 next_pc = target;
             }
             Jalr { rd, rs1, imm } => {
                 let target = self.int_reg(rs1).wrapping_add(imm as u64) & !1;
                 self.set_int_reg(rd, pc + INST_BYTES);
-                branch = Some(BranchOutcome { taken: true, target });
+                branch = Some(BranchOutcome {
+                    taken: true,
+                    target,
+                });
                 next_pc = target;
             }
             Fsflags { rd, .. } => {

@@ -67,7 +67,12 @@ impl Program {
         init_words: Vec<(u64, u64)>,
     ) -> Self {
         assert_eq!(base % INST_BYTES, 0, "text base must be 4-byte aligned");
-        Program { base, insts, functions, init_words }
+        Program {
+            base,
+            insts,
+            functions,
+            init_words,
+        }
     }
 
     /// Base address of the text segment.
@@ -205,11 +210,22 @@ mod tests {
         Program::from_parts(
             TEXT_BASE,
             vec![
-                Inst::Li { rd: Reg::T0, imm: 1 },
-                Inst::Addi { rd: Reg::T0, rs1: Reg::T0, imm: 1 },
+                Inst::Li {
+                    rd: Reg::T0,
+                    imm: 1,
+                },
+                Inst::Addi {
+                    rd: Reg::T0,
+                    rs1: Reg::T0,
+                    imm: 1,
+                },
                 Inst::Halt,
             ],
-            vec![Function { name: "main".into(), start: TEXT_BASE, end: TEXT_BASE + 12 }],
+            vec![Function {
+                name: "main".into(),
+                start: TEXT_BASE,
+                end: TEXT_BASE + 12,
+            }],
             vec![(0x8000, 42)],
         )
     }
@@ -245,8 +261,15 @@ mod tests {
         let p = Program::from_parts(
             TEXT_BASE,
             vec![
-                Inst::Li { rd: Reg::T0, imm: 1 },
-                Inst::Beq { rs1: Reg::T0, rs2: Reg::T0, target: TEXT_BASE + 12 },
+                Inst::Li {
+                    rd: Reg::T0,
+                    imm: 1,
+                },
+                Inst::Beq {
+                    rs1: Reg::T0,
+                    rs2: Reg::T0,
+                    target: TEXT_BASE + 12,
+                },
                 Inst::Nop,
                 Inst::Halt,
             ],

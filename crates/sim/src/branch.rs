@@ -227,13 +227,18 @@ mod tests {
         let mut misses = 0;
         let n = 2000;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 62) & 1 == 1;
             if p.predict_and_update(0x3000, ControlKind::Conditional, taken, 0x3100) {
                 misses += 1;
             }
         }
-        assert!(misses > n / 5, "random branches should mispredict often: {misses}/{n}");
+        assert!(
+            misses > n / 5,
+            "random branches should mispredict often: {misses}/{n}"
+        );
     }
 
     #[test]
@@ -268,6 +273,10 @@ mod tests {
         }
         assert_eq!(p.stats().predicted, 200);
         assert!(p.stats().mispredicted <= p.stats().predicted);
-        assert!(p.stats().miss_rate() <= 0.2, "rate {}", p.stats().miss_rate());
+        assert!(
+            p.stats().miss_rate() <= 0.2,
+            "rate {}",
+            p.stats().miss_rate()
+        );
     }
 }

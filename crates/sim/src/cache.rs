@@ -238,7 +238,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> Cache {
-        Cache::new(CacheConfig { sets: 2, ways: 2, line_bytes: 64, hit_latency: 1, mshrs: 2 })
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+            mshrs: 2,
+        })
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl<'p> CmpSystem<'p> {
     ///
     /// Panics if `observers.len() != core_count()`.
     pub fn tick(&mut self, observers: &mut [Vec<&mut dyn Observer>]) {
-        assert_eq!(observers.len(), self.cores.len(), "one observer set per core");
+        assert_eq!(
+            observers.len(),
+            self.cores.len(),
+            "one observer set per core"
+        );
         for (core, obs) in self.cores.iter_mut().zip(observers.iter_mut()) {
             if core.is_halted() {
                 continue;
@@ -192,7 +196,10 @@ mod tests {
         let mut cmp = CmpSystem::new(&[&p], &SimConfig::default());
         let stats = cmp.run_to_completion(10_000_000);
         assert_eq!(stats[0].retired, direct.retired);
-        assert_eq!(stats[0].cycles, direct.cycles, "lockstep must not perturb timing");
+        assert_eq!(
+            stats[0].cycles, direct.cycles,
+            "lockstep must not perturb timing"
+        );
         assert_eq!(stats[0].state_cycles, direct.state_cycles);
     }
 }

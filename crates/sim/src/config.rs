@@ -177,15 +177,36 @@ impl Default for SimConfig {
             dispatch_width: 4,
             commit_width: 4,
             rob_entries: 192,
-            int_iq: IqConfig { entries: 80, issue_width: 4 },
-            mem_iq: IqConfig { entries: 48, issue_width: 2 },
-            fp_iq: IqConfig { entries: 48, issue_width: 2 },
+            int_iq: IqConfig {
+                entries: 80,
+                issue_width: 4,
+            },
+            mem_iq: IqConfig {
+                entries: 48,
+                issue_width: 2,
+            },
+            fp_iq: IqConfig {
+                entries: 48,
+                issue_width: 2,
+            },
             ldq_entries: 32,
             stq_entries: 32,
             max_branches: 30,
             store_drain_width: 1,
-            l1i: CacheConfig { sets: 64, ways: 8, line_bytes: 64, hit_latency: 1, mshrs: 4 },
-            l1d: CacheConfig { sets: 64, ways: 8, line_bytes: 64, hit_latency: 3, mshrs: 16 },
+            l1i: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 1,
+                mshrs: 4,
+            },
+            l1d: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 3,
+                mshrs: 16,
+            },
             llc: CacheConfig {
                 sets: 2048,
                 ways: 16,
@@ -194,12 +215,27 @@ impl Default for SimConfig {
                 mshrs: 12,
             },
             next_line_prefetch: true,
-            itlb: TlbConfig { entries: 32, ways: 32, hit_latency: 0 },
-            dtlb: TlbConfig { entries: 32, ways: 32, hit_latency: 0 },
-            l2_tlb: TlbConfig { entries: 1024, ways: 1, hit_latency: 8 },
+            itlb: TlbConfig {
+                entries: 32,
+                ways: 32,
+                hit_latency: 0,
+            },
+            dtlb: TlbConfig {
+                entries: 32,
+                ways: 32,
+                hit_latency: 0,
+            },
+            l2_tlb: TlbConfig {
+                entries: 1024,
+                ways: 1,
+                hit_latency: 8,
+            },
             ptw_latency: 60,
             page_bytes: 4096,
-            mem: MemConfig { latency: 100, min_line_interval: 13 },
+            mem: MemConfig {
+                latency: 100,
+                min_line_interval: 13,
+            },
             lat: LatencyConfig {
                 int_alu: 1,
                 int_mul: 3,
@@ -210,7 +246,12 @@ impl Default for SimConfig {
                 fp_sqrt: 26,
                 forward: 2,
             },
-            branch: BranchConfig { pht_bits: 14, history_bits: 12, btb_bits: 11, ras_entries: 16 },
+            branch: BranchConfig {
+                pht_bits: 14,
+                history_bits: 12,
+                btb_bits: 11,
+                ras_entries: 16,
+            },
             redirect_penalty: 5,
             flush_penalty: 7,
             sampling_injection: None,
@@ -229,15 +270,42 @@ impl SimConfig {
             dispatch_width: 2,
             commit_width: 2,
             rob_entries: 48,
-            int_iq: IqConfig { entries: 24, issue_width: 2 },
-            mem_iq: IqConfig { entries: 12, issue_width: 1 },
-            fp_iq: IqConfig { entries: 12, issue_width: 1 },
+            int_iq: IqConfig {
+                entries: 24,
+                issue_width: 2,
+            },
+            mem_iq: IqConfig {
+                entries: 12,
+                issue_width: 1,
+            },
+            fp_iq: IqConfig {
+                entries: 12,
+                issue_width: 1,
+            },
             ldq_entries: 12,
             stq_entries: 12,
             max_branches: 12,
-            l1i: CacheConfig { sets: 32, ways: 8, line_bytes: 64, hit_latency: 1, mshrs: 2 },
-            l1d: CacheConfig { sets: 32, ways: 8, line_bytes: 64, hit_latency: 3, mshrs: 8 },
-            llc: CacheConfig { sets: 512, ways: 16, line_bytes: 64, hit_latency: 18, mshrs: 8 },
+            l1i: CacheConfig {
+                sets: 32,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 1,
+                mshrs: 2,
+            },
+            l1d: CacheConfig {
+                sets: 32,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 3,
+                mshrs: 8,
+            },
+            llc: CacheConfig {
+                sets: 512,
+                ways: 16,
+                line_bytes: 64,
+                hit_latency: 18,
+                mshrs: 8,
+            },
             ..SimConfig::default()
         }
     }
@@ -252,9 +320,18 @@ impl SimConfig {
             dispatch_width: 8,
             commit_width: 8,
             rob_entries: 320,
-            int_iq: IqConfig { entries: 120, issue_width: 6 },
-            mem_iq: IqConfig { entries: 64, issue_width: 3 },
-            fp_iq: IqConfig { entries: 64, issue_width: 3 },
+            int_iq: IqConfig {
+                entries: 120,
+                issue_width: 6,
+            },
+            mem_iq: IqConfig {
+                entries: 64,
+                issue_width: 3,
+            },
+            fp_iq: IqConfig {
+                entries: 64,
+                issue_width: 3,
+            },
             ldq_entries: 48,
             stq_entries: 48,
             max_branches: 48,
@@ -272,8 +349,14 @@ impl SimConfig {
         assert!(self.fetch_width > 0 && self.dispatch_width > 0 && self.commit_width > 0);
         assert!(self.rob_entries >= self.commit_width);
         for c in [&self.l1i, &self.l1d, &self.llc] {
-            assert!(c.line_bytes.is_power_of_two(), "cache line size must be a power of two");
-            assert!(c.sets.is_power_of_two(), "cache set count must be a power of two");
+            assert!(
+                c.line_bytes.is_power_of_two(),
+                "cache line size must be a power of two"
+            );
+            assert!(
+                c.sets.is_power_of_two(),
+                "cache set count must be a power of two"
+            );
             assert!(c.ways > 0 && c.mshrs > 0);
         }
         assert!(self.page_bytes.is_power_of_two());
@@ -288,14 +371,15 @@ impl SimConfig {
     pub fn table2(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "Core      | OoO BOOM-like: {}-wide fetch, {}-wide decode/commit",
-            self.fetch_width, self.dispatch_width);
+        let _ = writeln!(
+            s,
+            "Core      | OoO BOOM-like: {}-wide fetch, {}-wide decode/commit",
+            self.fetch_width, self.dispatch_width
+        );
         let _ = writeln!(
             s,
             "Front-end | {}-entry fetch buffer, gshare {}-bit PHT, max {} outstanding branches",
-            self.fetch_buffer,
-            self.branch.pht_bits,
-            self.max_branches
+            self.fetch_buffer, self.branch.pht_bits, self.max_branches
         );
         let _ = writeln!(
             s,
@@ -308,8 +392,11 @@ impl SimConfig {
             self.fp_iq.entries,
             self.fp_iq.issue_width
         );
-        let _ = writeln!(s, "LSU       | {}-entry load queue, {}-entry store queue",
-            self.ldq_entries, self.stq_entries);
+        let _ = writeln!(
+            s,
+            "LSU       | {}-entry load queue, {}-entry store queue",
+            self.ldq_entries, self.stq_entries
+        );
         let _ = writeln!(
             s,
             "L1        | {} KB {}-way I-cache, {} KB {}-way D-cache w/ {} MSHRs, next-line prefetcher: {}",

@@ -157,7 +157,12 @@ struct IssueQueue {
 
 impl IssueQueue {
     fn new(cap: usize, width: usize) -> Self {
-        IssueQueue { cap, width, count: 0, ready: BinaryHeap::new() }
+        IssueQueue {
+            cap,
+            width,
+            count: 0,
+            ready: BinaryHeap::new(),
+        }
     }
     fn push_ready(&mut self, ready: u64, seq: u64, r: SlotRef) {
         self.ready.push(Reverse((ready, seq, r.idx, r.gen)));
@@ -193,7 +198,11 @@ struct Stream<'p> {
 
 impl<'p> Stream<'p> {
     fn new(program: &'p Program) -> Self {
-        Stream { machine: Machine::new(program), buf: VecDeque::new(), base: 0 }
+        Stream {
+            machine: Machine::new(program),
+            buf: VecDeque::new(),
+            base: 0,
+        }
     }
 
     fn get(&mut self, seq: u64) -> Option<DynInst> {
@@ -264,6 +273,9 @@ pub struct Core<'p> {
     retired_buf: Vec<RetiredInst>,
     dispatched_buf: Vec<InstRef>,
     fetched_buf: Vec<InstRef>,
+    /// Squash points raised since observers were last notified; drained
+    /// into [`Observer::on_squash`] ahead of each cycle's `on_cycle`.
+    squashed_buf: Vec<u64>,
 
     stats: SimStats,
 }
@@ -315,6 +327,7 @@ impl<'p> Core<'p> {
             retired_buf: Vec::with_capacity(8),
             dispatched_buf: Vec::with_capacity(8),
             fetched_buf: Vec::with_capacity(8),
+            squashed_buf: Vec::with_capacity(4),
             stats: SimStats::default(),
             cfg,
         }
@@ -389,13 +402,18 @@ impl<'p> Core<'p> {
 
     fn inst_ref(&self, r: SlotRef) -> InstRef {
         let s = &self.slots[r.idx as usize];
-        InstRef { seq: s.d.seq, addr: s.d.pc, psv: s.psv }
+        InstRef {
+            seq: s.d.seq,
+            addr: s.d.pc,
+            psv: s.psv,
+        }
     }
 
     // ---- squash ----
 
     fn squash_from(&mut self, from_seq: u64) {
         self.stats.squashes += 1;
+        self.squashed_buf.push(from_seq);
         while let Some(&r) = self.rob.back() {
             if self.slots[r.idx as usize].d.seq >= from_seq {
                 self.rob.pop_back();
@@ -419,9 +437,7 @@ impl<'p> Core<'p> {
             }
         }
         for idx in 0..self.slots.len() as u32 {
-            if self.slots[idx as usize].live
-                && self.slots[idx as usize].d.seq >= from_seq
-            {
+            if self.slots[idx as usize].live && self.slots[idx as usize].d.seq >= from_seq {
                 self.kill_slot(idx);
             }
         }
@@ -469,7 +485,8 @@ impl<'p> Core<'p> {
             let (comp, waiters, class, mispredicted, already_resolved, seq) = {
                 let s = &mut self.slots[idx as usize];
                 (
-                    s.complete.expect("completion event without completion time"),
+                    s.complete
+                        .expect("completion event without completion time"),
                     std::mem::take(&mut s.waiters),
                     s.d.inst.class(),
                     s.mispredicted,
@@ -503,8 +520,9 @@ impl<'p> Core<'p> {
                     self.slots[idx as usize].psv.set(Event::FlMb);
                     self.squash_from(seq + 1);
                     self.flush_active = true;
-                    self.fetch_blocked_until =
-                        self.fetch_blocked_until.max(now + self.cfg.redirect_penalty);
+                    self.fetch_blocked_until = self
+                        .fetch_blocked_until
+                        .max(now + self.cfg.redirect_penalty);
                     self.fetch_stalled_branch = None;
                 }
             }
@@ -536,7 +554,14 @@ impl<'p> Core<'p> {
             let (mut psv, addr, class, dispatch_cycle, exec_latency, inst) = {
                 let s = &self.slots[head.idx as usize];
                 let exec_latency = s.complete.unwrap_or(s.issue_cycle) - s.issue_cycle;
-                (s.psv, s.d.pc, s.d.inst.class(), s.dispatch_cycle, exec_latency, s.d.inst)
+                (
+                    s.psv,
+                    s.d.pc,
+                    s.d.inst.class(),
+                    s.dispatch_cycle,
+                    exec_latency,
+                    s.d.inst,
+                )
             };
             if inst.flushes_at_commit() {
                 psv.set(Event::FlEx);
@@ -593,7 +618,11 @@ impl<'p> Core<'p> {
         }
         // Classification snapshot at commit time.
         if !self.committed_buf.is_empty() {
-            CommitSnapshot { state: CommitState::Compute, stalled_head: None, next_commit: None }
+            CommitSnapshot {
+                state: CommitState::Compute,
+                stalled_head: None,
+                next_commit: None,
+            }
         } else if let Some(&head) = self.rob.front() {
             CommitSnapshot {
                 state: CommitState::Stalled,
@@ -602,10 +631,18 @@ impl<'p> Core<'p> {
             }
         } else if self.flush_active {
             let next = self.peek_next_commit();
-            CommitSnapshot { state: CommitState::Flushed, stalled_head: None, next_commit: next }
+            CommitSnapshot {
+                state: CommitState::Flushed,
+                stalled_head: None,
+                next_commit: next,
+            }
         } else {
             let next = self.peek_next_commit();
-            CommitSnapshot { state: CommitState::Drained, stalled_head: None, next_commit: next }
+            CommitSnapshot {
+                state: CommitState::Drained,
+                stalled_head: None,
+                next_commit: next,
+            }
         }
     }
 
@@ -613,9 +650,11 @@ impl<'p> Core<'p> {
         if let Some(&front) = self.fetch_buf.front() {
             return Some(self.inst_ref(front));
         }
-        self.stream
-            .get(self.cursor)
-            .map(|d| InstRef { seq: d.seq, addr: d.pc, psv: Psv::empty() })
+        self.stream.get(self.cursor).map(|d| InstRef {
+            seq: d.seq,
+            addr: d.pc,
+            psv: Psv::empty(),
+        })
     }
 
     fn drain_stores(&mut self) {
@@ -808,15 +847,17 @@ impl<'p> Core<'p> {
             self.stats.mo_violations += 1;
             self.squash_from(vseq);
             self.flush_active = true;
-            self.fetch_blocked_until =
-                self.fetch_blocked_until.max(now + self.cfg.flush_penalty);
+            self.fetch_blocked_until = self.fetch_blocked_until.max(now + self.cfg.flush_penalty);
         }
         complete
     }
 
     fn issue_prefetch(&mut self, r: SlotRef) -> u64 {
         let now = self.cycle;
-        let addr = self.slots[r.idx as usize].d.mem_addr.expect("prefetch without address");
+        let addr = self.slots[r.idx as usize]
+            .d
+            .mem_addr
+            .expect("prefetch without address");
         let tr = self.hier.translate_data(addr, now);
         self.hier.prefetch_data(addr, tr.ready);
         now + 1
@@ -826,7 +867,9 @@ impl<'p> Core<'p> {
         let now = self.cycle;
         self.dispatched_buf.clear();
         for _ in 0..self.cfg.dispatch_width {
-            let Some(&front) = self.fetch_buf.front() else { break };
+            let Some(&front) = self.fetch_buf.front() else {
+                break;
+            };
             let class = self.slots[front.idx as usize].d.inst.class();
             if self.rob.len() >= self.cfg.rob_entries {
                 break;
@@ -836,18 +879,16 @@ impl<'p> Core<'p> {
                 break;
             }
             match class {
-                ExecClass::Load
-                    if self.ldq.len() >= self.cfg.ldq_entries => {
-                        break;
-                    }
-                ExecClass::Store
-                    if self.stq.len() >= self.cfg.stq_entries => {
-                        // The paper's DR-SQ event: a store that cannot
-                        // dispatch because the store queue is full of
-                        // completed-but-not-retired stores.
-                        self.slots[front.idx as usize].psv.set(Event::DrSq);
-                        break;
-                    }
+                ExecClass::Load if self.ldq.len() >= self.cfg.ldq_entries => {
+                    break;
+                }
+                ExecClass::Store if self.stq.len() >= self.cfg.stq_entries => {
+                    // The paper's DR-SQ event: a store that cannot
+                    // dispatch because the store queue is full of
+                    // completed-but-not-retired stores.
+                    self.slots[front.idx as usize].psv.set(Event::DrSq);
+                    break;
+                }
                 _ => {}
             }
             self.fetch_buf.pop_front();
@@ -910,9 +951,7 @@ impl<'p> Core<'p> {
     fn fetch(&mut self) {
         let now = self.cycle;
         self.fetched_buf.clear();
-        if self.fetch_done
-            || now < self.fetch_blocked_until
-            || self.fetch_stalled_branch.is_some()
+        if self.fetch_done || now < self.fetch_blocked_until || self.fetch_stalled_branch.is_some()
         {
             return;
         }
@@ -970,7 +1009,8 @@ impl<'p> Core<'p> {
                     _ => ControlKind::Conditional,
                 };
                 let mispredict =
-                    self.bp.predict_and_update(d.pc, kind, outcome.taken, outcome.target);
+                    self.bp
+                        .predict_and_update(d.pc, kind, outcome.taken, outcome.target);
                 self.slots[r.idx as usize].mispredicted = mispredict;
                 self.inflight_ctrl += 1;
                 if mispredict {
@@ -1018,6 +1058,16 @@ impl<'p> Core<'p> {
                 .position(|s| *s == snapshot.state)
                 .unwrap();
             self.stats.state_cycles[state_idx] += 1;
+            // Squash notifications precede the cycle view so profilers
+            // re-key delayed samples before attributing this cycle.
+            if !self.squashed_buf.is_empty() {
+                for &from_seq in &self.squashed_buf {
+                    for obs in observers.iter_mut() {
+                        obs.on_squash(from_seq);
+                    }
+                }
+                self.squashed_buf.clear();
+            }
             let view = CycleView {
                 cycle: self.cycle,
                 state: snapshot.state,
@@ -1048,6 +1098,16 @@ impl<'p> Core<'p> {
         self.stats.hier = self.hier.stats();
         self.stats.branch = self.bp.stats();
         if self.halt_committed {
+            // A squash raised in the halt-committing cycle's later
+            // pipeline phases must still reach observers.
+            if !self.squashed_buf.is_empty() {
+                for &from_seq in &self.squashed_buf {
+                    for obs in observers.iter_mut() {
+                        obs.on_squash(from_seq);
+                    }
+                }
+                self.squashed_buf.clear();
+            }
             for obs in observers.iter_mut() {
                 obs.on_finish(self.stats.cycles);
             }
@@ -1060,7 +1120,9 @@ impl<'p> Core<'p> {
     /// stores the sample (Section 3's runtime overhead, measured rather
     /// than modelled).
     fn take_sampling_interrupt(&mut self) {
-        let Some(inj) = self.cfg.sampling_injection else { return };
+        let Some(inj) = self.cfg.sampling_injection else {
+            return;
+        };
         self.sample_countdown = self.sample_countdown.saturating_sub(1);
         if self.sample_countdown > 0 {
             return;
@@ -1073,7 +1135,11 @@ impl<'p> Core<'p> {
             .rob
             .front()
             .map(|r| self.slots[r.idx as usize].d.seq)
-            .or_else(|| self.fetch_buf.front().map(|r| self.slots[r.idx as usize].d.seq))
+            .or_else(|| {
+                self.fetch_buf
+                    .front()
+                    .map(|r| self.slots[r.idx as usize].d.seq)
+            })
             .unwrap_or(self.cursor);
         self.squash_from(resume_seq);
         self.flush_active = true;
@@ -1119,7 +1185,11 @@ impl<'p> Core<'p> {
             .rob
             .front()
             .map(|r| self.slots[r.idx as usize].d.seq)
-            .or_else(|| self.fetch_buf.front().map(|r| self.slots[r.idx as usize].d.seq))
+            .or_else(|| {
+                self.fetch_buf
+                    .front()
+                    .map(|r| self.slots[r.idx as usize].d.seq)
+            })
             .unwrap_or(self.cursor);
         self.squash_from(resume_seq);
         self.flush_active = true;

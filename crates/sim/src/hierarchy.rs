@@ -169,15 +169,24 @@ impl MemHierarchy {
             self.l1d.access_untracked(addr, at)
         };
         match probe {
-            Probe::Hit => DataOutcome { ready: at + self.l1d_latency, l1_miss: false, llc_miss: false },
-            Probe::InFlight { ready } => {
-                DataOutcome { ready: ready.max(at + self.l1d_latency), l1_miss: true, llc_miss: false }
-            }
+            Probe::Hit => DataOutcome {
+                ready: at + self.l1d_latency,
+                l1_miss: false,
+                llc_miss: false,
+            },
+            Probe::InFlight { ready } => DataOutcome {
+                ready: ready.max(at + self.l1d_latency),
+                l1_miss: true,
+                llc_miss: false,
+            },
             Probe::Miss { may_start } => {
-                let (ready, llc_miss) =
-                    self.llc_path(addr, may_start + self.l1d_latency, tracked);
+                let (ready, llc_miss) = self.llc_path(addr, may_start + self.l1d_latency, tracked);
                 self.l1d.record_fill(addr, ready);
-                DataOutcome { ready, l1_miss: true, llc_miss }
+                DataOutcome {
+                    ready,
+                    l1_miss: true,
+                    llc_miss,
+                }
             }
         }
     }
@@ -208,7 +217,10 @@ impl MemHierarchy {
     pub fn translate_data(&mut self, addr: u64, at: u64) -> TranslateOutcome {
         let vpn = addr >> self.page_shift;
         if self.dtlb.lookup(vpn) {
-            return TranslateOutcome { ready: at, miss: false };
+            return TranslateOutcome {
+                ready: at,
+                miss: false,
+            };
         }
         let ready = self.walk_second_level(vpn, at);
         self.dtlb.fill(vpn);
@@ -219,7 +231,10 @@ impl MemHierarchy {
     pub fn translate_inst(&mut self, addr: u64, at: u64) -> TranslateOutcome {
         let vpn = addr >> self.page_shift;
         if self.itlb.lookup(vpn) {
-            return TranslateOutcome { ready: at, miss: false };
+            return TranslateOutcome {
+                ready: at,
+                miss: false,
+            };
         }
         let ready = self.walk_second_level(vpn, at);
         self.itlb.fill(vpn);
@@ -248,7 +263,11 @@ impl MemHierarchy {
                 (ready, true)
             }
         };
-        InstOutcome { ready: cache_ready.max(tr.ready), l1i_miss, itlb_miss: tr.miss }
+        InstOutcome {
+            ready: cache_ready.max(tr.ready),
+            l1i_miss,
+            itlb_miss: tr.miss,
+        }
     }
 
     /// Line size in bytes.
@@ -372,7 +391,10 @@ mod tests {
         let before = h.stats();
         h.prefetch_data(0x60_0000, 0);
         let after = h.stats();
-        assert_eq!(before.l1d_accesses, after.l1d_accesses, "prefetch is not a demand access");
+        assert_eq!(
+            before.l1d_accesses, after.l1d_accesses,
+            "prefetch is not a demand access"
+        );
         let o = h.access_data(0x60_0000, 500);
         assert!(!o.l1_miss);
     }

@@ -57,10 +57,16 @@ impl<'p> SmtCore<'p> {
     /// Panics if `programs` is empty.
     #[must_use]
     pub fn new(programs: &[&'p Program], cfg: &SimConfig) -> Self {
-        assert!(!programs.is_empty(), "an SMT core needs at least one thread");
+        assert!(
+            !programs.is_empty(),
+            "an SMT core needs at least one thread"
+        );
         let per_thread = partitioned(cfg, programs.len());
         SmtCore {
-            threads: programs.iter().map(|p| Core::new(p, per_thread.clone())).collect(),
+            threads: programs
+                .iter()
+                .map(|p| Core::new(p, per_thread.clone()))
+                .collect(),
             shared: MemHierarchy::new(cfg),
             cycle: 0,
         }
@@ -114,7 +120,11 @@ impl<'p> SmtCore<'p> {
     ///
     /// Panics if `observers.len() != thread_count()`.
     pub fn tick(&mut self, observers: &mut [Vec<&mut dyn Observer>]) {
-        assert_eq!(observers.len(), self.threads.len(), "one observer set per thread");
+        assert_eq!(
+            observers.len(),
+            self.threads.len(),
+            "one observer set per thread"
+        );
         let n = self.threads.len();
         // Pick the next live thread in round-robin order.
         let chosen = (0..n)

@@ -43,12 +43,7 @@ impl<'p> System<'p> {
     ///
     /// Panics if `programs` is empty or `slice` is zero.
     #[must_use]
-    pub fn new(
-        programs: &[&'p Program],
-        cfg: &SimConfig,
-        slice: u64,
-        switch_penalty: u64,
-    ) -> Self {
+    pub fn new(programs: &[&'p Program], cfg: &SimConfig, slice: u64, switch_penalty: u64) -> Self {
         assert!(!programs.is_empty(), "a system needs at least one process");
         assert!(slice > 0, "time slice must be nonzero");
         System {
@@ -156,7 +151,7 @@ mod tests {
         a.addi(Reg::T0, Reg::T0, 1);
         a.blt(Reg::T0, Reg::T1, top);
         a.halt();
-    a.finish().unwrap()
+        a.finish().unwrap()
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl Tlb {
     /// Panics if `entries` is not a multiple of `ways`.
     #[must_use]
     pub fn new(cfg: TlbConfig) -> Self {
-        assert!(cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways), "entries must be a multiple of ways");
+        assert!(
+            cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways),
+            "entries must be a multiple of ways"
+        );
         let set_count = cfg.entries / cfg.ways;
         Tlb {
             vpns: vec![u64::MAX; cfg.entries],
@@ -111,7 +114,11 @@ mod tests {
 
     #[test]
     fn miss_fill_hit() {
-        let mut t = Tlb::new(TlbConfig { entries: 4, ways: 4, hit_latency: 0 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 4,
+            hit_latency: 0,
+        });
         assert!(!t.lookup(7));
         t.fill(7);
         assert!(t.lookup(7));
@@ -121,7 +128,11 @@ mod tests {
 
     #[test]
     fn fully_associative_lru() {
-        let mut t = Tlb::new(TlbConfig { entries: 2, ways: 2, hit_latency: 0 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 2,
+            ways: 2,
+            hit_latency: 0,
+        });
         t.fill(1);
         t.fill(2);
         assert!(t.lookup(1)); // refresh 1; 2 becomes LRU
@@ -133,7 +144,11 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let mut t = Tlb::new(TlbConfig { entries: 4, ways: 1, hit_latency: 8 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 1,
+            hit_latency: 8,
+        });
         t.fill(0);
         t.fill(4); // same set as 0 in a 4-set direct-mapped TLB
         assert!(!t.lookup(0));
@@ -143,6 +158,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of ways")]
     fn bad_geometry_panics() {
-        let _ = Tlb::new(TlbConfig { entries: 5, ways: 2, hit_latency: 0 });
+        let _ = Tlb::new(TlbConfig {
+            entries: 5,
+            ways: 2,
+            hit_latency: 0,
+        });
     }
 }

@@ -89,15 +89,9 @@ impl CycleView<'_> {
     pub fn time_proportional_targets(&self) -> &[InstRef] {
         match self.state {
             CommitState::Compute => self.committed,
-            CommitState::Stalled => {
-                self.stalled_head.as_slice()
-            }
-            CommitState::Drained => {
-                self.next_commit.as_slice()
-            }
-            CommitState::Flushed => {
-                self.last_committed.as_slice()
-            }
+            CommitState::Stalled => self.stalled_head.as_slice(),
+            CommitState::Drained => self.next_commit.as_slice(),
+            CommitState::Flushed => self.last_committed.as_slice(),
         }
     }
 }
@@ -113,6 +107,23 @@ pub trait Observer {
 
     /// Called once per retired instruction with its final PSV.
     fn on_retire(&mut self, retired: &RetiredInst);
+
+    /// Called when the pipeline squashes every in-flight instruction
+    /// with `seq >= from_seq` (mispredict recovery, commit-time flush,
+    /// memory-order violation, sampling or external interrupt).
+    ///
+    /// Squashed instructions are refetched and later retire under the
+    /// *same* seq, but with a PSV rebuilt from scratch — so a delayed
+    /// sample held for a squashed seq would silently resolve against a
+    /// post-refetch signature that no longer describes the cycles the
+    /// sample represents (and in a sliced run may never resolve at
+    /// all). Profilers holding delayed weight keyed at or beyond
+    /// `from_seq` should re-attribute it at the squash point; see
+    /// `TeaProfiler` in `tea-core` for the canonical handling.
+    ///
+    /// Delivered before the same cycle's [`Observer::on_cycle`], once
+    /// per squash event in pipeline order.
+    fn on_squash(&mut self, _from_seq: u64) {}
 
     /// Called once when the simulation finishes.
     fn on_finish(&mut self, _total_cycles: u64) {}
@@ -132,7 +143,11 @@ mod tests {
     use super::*;
 
     fn inst(seq: u64) -> InstRef {
-        InstRef { seq, addr: 0x1_0000 + seq * 4, psv: Psv::empty() }
+        InstRef {
+            seq,
+            addr: 0x1_0000 + seq * 4,
+            psv: Psv::empty(),
+        }
     }
 
     #[test]
@@ -150,13 +165,25 @@ mod tests {
         };
         assert_eq!(v.time_proportional_targets().len(), 2);
 
-        let v2 = CycleView { state: CommitState::Stalled, committed: &[], ..v };
+        let v2 = CycleView {
+            state: CommitState::Stalled,
+            committed: &[],
+            ..v
+        };
         assert_eq!(v2.time_proportional_targets()[0].seq, 3);
 
-        let v3 = CycleView { state: CommitState::Drained, committed: &[], ..v };
+        let v3 = CycleView {
+            state: CommitState::Drained,
+            committed: &[],
+            ..v
+        };
         assert_eq!(v3.time_proportional_targets()[0].seq, 4);
 
-        let v4 = CycleView { state: CommitState::Flushed, committed: &[], ..v };
+        let v4 = CycleView {
+            state: CommitState::Flushed,
+            committed: &[],
+            ..v
+        };
         assert_eq!(v4.time_proportional_targets()[0].seq, 0);
     }
 

@@ -178,7 +178,10 @@ fn mispredicted_branches_set_fl_mb() {
     });
     let s = run(&p);
     let fl_mb = s.event_insts[Event::FlMb as usize];
-    assert!(fl_mb > 300, "random branch must mispredict often, got {fl_mb}");
+    assert!(
+        fl_mb > 300,
+        "random branch must mispredict often, got {fl_mb}"
+    );
     assert!(s.cycles_in(CommitState::Flushed) > 0);
     assert!(s.branch.mispredicted >= fl_mb);
 }
@@ -204,7 +207,10 @@ fn store_storm_fills_store_queue_and_sets_dr_sq() {
     });
     let s = run(&p);
     let dr_sq = s.event_insts[Event::DrSq as usize];
-    assert!(dr_sq > 100, "store storm must produce DR-SQ events, got {dr_sq}");
+    assert!(
+        dr_sq > 100,
+        "store storm must produce DR-SQ events, got {dr_sq}"
+    );
     assert!(
         s.cycles_in(CommitState::Drained) > s.cycles / 4,
         "drained {} of {}",
@@ -231,7 +237,10 @@ fn giant_code_footprint_sets_dr_l1() {
     });
     let s = run(&p);
     let dr_l1 = s.event_insts[Event::DrL1 as usize];
-    assert!(dr_l1 > 1000, "code footprint must miss the 32 KB L1I, got {dr_l1}");
+    assert!(
+        dr_l1 > 1000,
+        "code footprint must miss the 32 KB L1I, got {dr_l1}"
+    );
     assert!(s.cycles_in(CommitState::Drained) > 0);
     assert!(s.hier.l1i_misses > 1000);
 }
@@ -260,7 +269,10 @@ fn page_strided_loads_set_st_tlb() {
     });
     let s = run(&p);
     let st_tlb = s.event_insts[Event::StTlb as usize];
-    assert!(st_tlb > 1000, "page-strided loads must miss the D-TLB, got {st_tlb}");
+    assert!(
+        st_tlb > 1000,
+        "page-strided loads must miss the D-TLB, got {st_tlb}"
+    );
     assert!(s.hier.dtlb_misses > 1000);
 }
 
@@ -288,7 +300,11 @@ fn memory_ordering_violation_detected_and_flushed() {
         a.halt();
     });
     let s = run(&p);
-    assert!(s.mo_violations > 20, "expected recurring MO violations, got {}", s.mo_violations);
+    assert!(
+        s.mo_violations > 20,
+        "expected recurring MO violations, got {}",
+        s.mo_violations
+    );
     assert!(s.event_insts[Event::FlMo as usize] > 20);
     assert!(s.squashes >= s.mo_violations);
 }
@@ -314,7 +330,10 @@ fn store_to_load_forwarding_avoids_cache_events() {
         0,
         "forwarded loads must not report data-cache misses"
     );
-    assert_eq!(s.mo_violations, 0, "same-cycle resolution order prevents violations");
+    assert_eq!(
+        s.mo_violations, 0,
+        "same-cycle resolution order prevents violations"
+    );
 }
 
 #[test]
@@ -422,7 +441,10 @@ fn retire_stream_is_dense_and_ordered() {
     let s = simulate(&p, SimConfig::default(), &mut [&mut log]);
     assert_eq!(log.retired.len() as u64, s.retired);
     for (i, r) in log.retired.iter().enumerate() {
-        assert_eq!(r.seq, i as u64, "each dynamic instruction retires exactly once, in order");
+        assert_eq!(
+            r.seq, i as u64,
+            "each dynamic instruction retires exactly once, in order"
+        );
     }
 }
 
@@ -448,7 +470,11 @@ fn drained_at_startup_attributes_to_first_instruction() {
     let mut obs = FirstCycles { states: Vec::new() };
     simulate(&p, SimConfig::default(), &mut [&mut obs]);
     assert_eq!(obs.states[0].0, CommitState::Drained);
-    assert_eq!(obs.states[0].1, Some(0), "drain attributed to the next-committing instruction");
+    assert_eq!(
+        obs.states[0].1,
+        Some(0),
+        "drain attributed to the next-committing instruction"
+    );
 }
 
 #[test]
@@ -495,11 +521,18 @@ fn sampling_injection_costs_the_expected_overhead() {
     });
     let base = simulate(&p, SimConfig::default(), &mut []);
     let cfg = SimConfig {
-        sampling_injection: Some(SamplingInjection { interval: 5_000, handler_cycles: 500 }),
+        sampling_injection: Some(SamplingInjection {
+            interval: 5_000,
+            handler_cycles: 500,
+        }),
         ..SimConfig::default()
     };
     let sampled = simulate(&p, cfg, &mut []);
-    assert!(sampled.sampling_interrupts > 10, "got {}", sampled.sampling_interrupts);
+    assert!(
+        sampled.sampling_interrupts > 10,
+        "got {}",
+        sampled.sampling_interrupts
+    );
     let overhead = sampled.cycles as f64 / base.cycles as f64 - 1.0;
     // Nominal 500/5000 = 10%, plus pipeline-refill costs.
     assert!(

@@ -10,7 +10,13 @@ use tea_sim::psv::{Event, Psv};
 use tea_sim::tlb::Tlb;
 
 fn small_cache() -> Cache {
-    Cache::new(CacheConfig { sets: 4, ways: 2, line_bytes: 64, hit_latency: 1, mshrs: 3 })
+    Cache::new(CacheConfig {
+        sets: 4,
+        ways: 2,
+        line_bytes: 64,
+        hit_latency: 1,
+        mshrs: 3,
+    })
 }
 
 proptest! {
@@ -128,21 +134,30 @@ mod random_config {
 
     fn arb_config() -> impl Strategy<Value = SimConfig> {
         (
-            2usize..=8,             // fetch width
-            1usize..=4,             // dispatch/commit width
-            16usize..=256,          // rob
-            1usize..=4,             // issue widths
-            4usize..=32,            // ldq/stq
-            2usize..=30,            // max branches
+            2usize..=8,    // fetch width
+            1usize..=4,    // dispatch/commit width
+            16usize..=256, // rob
+            1usize..=4,    // issue widths
+            4usize..=32,   // ldq/stq
+            2usize..=30,   // max branches
         )
             .prop_map(|(fetch, width, rob, issue, lsq, branches)| SimConfig {
                 fetch_width: fetch,
                 dispatch_width: width,
                 commit_width: width,
                 rob_entries: rob.max(width),
-                int_iq: IqConfig { entries: 16.max(rob / 2), issue_width: issue },
-                mem_iq: IqConfig { entries: 16, issue_width: issue.min(2) },
-                fp_iq: IqConfig { entries: 16, issue_width: issue.min(2) },
+                int_iq: IqConfig {
+                    entries: 16.max(rob / 2),
+                    issue_width: issue,
+                },
+                mem_iq: IqConfig {
+                    entries: 16,
+                    issue_width: issue.min(2),
+                },
+                fp_iq: IqConfig {
+                    entries: 16,
+                    issue_width: issue.min(2),
+                },
                 ldq_entries: lsq,
                 stq_entries: lsq,
                 max_branches: branches,

@@ -36,8 +36,14 @@ fn rob_size_limits_memory_level_parallelism() {
         a.blt(Reg::T0, Reg::T1, top);
         a.halt();
     });
-    let small = SimConfig { rob_entries: 32, ..SimConfig::default() };
-    let big = SimConfig { rob_entries: 384, ..SimConfig::default() };
+    let small = SimConfig {
+        rob_entries: 32,
+        ..SimConfig::default()
+    };
+    let big = SimConfig {
+        rob_entries: 384,
+        ..SimConfig::default()
+    };
     let s_small = simulate(&p, small, &mut []);
     let s_big = simulate(&p, big, &mut []);
     assert!(
@@ -46,7 +52,10 @@ fn rob_size_limits_memory_level_parallelism() {
         s_big.cycles,
         s_small.cycles
     );
-    assert_eq!(s_big.retired, s_small.retired, "timing must not change semantics");
+    assert_eq!(
+        s_big.retired, s_small.retired,
+        "timing must not change semantics"
+    );
 }
 
 #[test]
@@ -65,7 +74,10 @@ fn tiny_issue_queue_throttles_ilp() {
         a.halt();
     });
     let narrow = SimConfig {
-        int_iq: tea_sim::config::IqConfig { entries: 4, issue_width: 1 },
+        int_iq: tea_sim::config::IqConfig {
+            entries: 4,
+            issue_width: 1,
+        },
         ..SimConfig::default()
     };
     let s_narrow = simulate(&p, narrow, &mut []);
@@ -97,7 +109,10 @@ fn load_queue_capacity_bounds_outstanding_loads() {
         a.blt(Reg::T0, Reg::T1, top);
         a.halt();
     });
-    let tiny = SimConfig { ldq_entries: 2, ..SimConfig::default() };
+    let tiny = SimConfig {
+        ldq_entries: 2,
+        ..SimConfig::default()
+    };
     let s_tiny = simulate(&p, tiny, &mut []);
     let s_full = simulate(&p, SimConfig::default(), &mut []);
     assert!(
@@ -127,7 +142,10 @@ fn branch_limit_throttles_fetch_of_branchy_code() {
         a.blt(Reg::T0, Reg::T1, top);
         a.halt();
     });
-    let strict = SimConfig { max_branches: 2, ..SimConfig::default() };
+    let strict = SimConfig {
+        max_branches: 2,
+        ..SimConfig::default()
+    };
     let s_strict = simulate(&p, strict, &mut []);
     let s_default = simulate(&p, SimConfig::default(), &mut []);
     assert!(
@@ -155,9 +173,15 @@ fn fewer_mshrs_serialise_misses() {
         a.blt(Reg::T0, Reg::T1, top);
         a.halt();
     });
-    let mut one_mshr = SimConfig { next_line_prefetch: false, ..SimConfig::default() };
+    let mut one_mshr = SimConfig {
+        next_line_prefetch: false,
+        ..SimConfig::default()
+    };
     one_mshr.l1d.mshrs = 1;
-    let many = SimConfig { next_line_prefetch: false, ..SimConfig::default() };
+    let many = SimConfig {
+        next_line_prefetch: false,
+        ..SimConfig::default()
+    };
     let s_one = simulate(&p, one_mshr, &mut []);
     let s_many = simulate(&p, many, &mut []);
     assert!(
@@ -184,8 +208,14 @@ fn store_drain_width_moves_the_store_wall() {
         a.blt(Reg::T0, Reg::T1, top);
         a.halt();
     });
-    let slow = SimConfig { store_drain_width: 1, ..SimConfig::default() };
-    let fast = SimConfig { store_drain_width: 4, ..SimConfig::default() };
+    let slow = SimConfig {
+        store_drain_width: 1,
+        ..SimConfig::default()
+    };
+    let fast = SimConfig {
+        store_drain_width: 4,
+        ..SimConfig::default()
+    };
     let s_slow = simulate(&p, slow, &mut []);
     let s_fast = simulate(&p, fast, &mut []);
     assert!(
@@ -213,7 +243,10 @@ fn fp_issue_width_bounds_fp_throughput() {
         a.halt();
     });
     let narrow = SimConfig {
-        fp_iq: tea_sim::config::IqConfig { entries: 48, issue_width: 1 },
+        fp_iq: tea_sim::config::IqConfig {
+            entries: 48,
+            issue_width: 1,
+        },
         ..SimConfig::default()
     };
     let s_narrow = simulate(&p, narrow, &mut []);
@@ -248,7 +281,10 @@ fn disabling_the_prefetcher_hurts_sequential_streams() {
         a.blt(Reg::T0, Reg::T1, top);
         a.halt();
     });
-    let off = SimConfig { next_line_prefetch: false, ..SimConfig::default() };
+    let off = SimConfig {
+        next_line_prefetch: false,
+        ..SimConfig::default()
+    };
     let s_off = simulate(&p, off, &mut []);
     let s_on = simulate(&p, SimConfig::default(), &mut []);
     assert!(
@@ -275,7 +311,10 @@ fn commit_width_caps_ipc() {
         a.halt();
     });
     for width in [1usize, 2, 4] {
-        let cfg = SimConfig { commit_width: width, ..SimConfig::default() };
+        let cfg = SimConfig {
+            commit_width: width,
+            ..SimConfig::default()
+        };
         let s = simulate(&p, cfg, &mut []);
         assert!(
             s.ipc() <= width as f64 + 1e-9,

@@ -75,8 +75,14 @@ mod tests {
     fn combined_cache_and_tlb_misses_dominate() {
         let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
         let n = iterations(Size::Test);
-        assert!(s.event_insts[Event::StTlb as usize] > n / 2, "TLB misses too rare");
-        assert!(s.event_insts[Event::StL1 as usize] > n, "cache misses too rare");
+        assert!(
+            s.event_insts[Event::StTlb as usize] > n / 2,
+            "TLB misses too rare"
+        );
+        assert!(
+            s.event_insts[Event::StL1 as usize] > n,
+            "cache misses too rare"
+        );
         assert!(s.combined_event_insts > n / 2, "combined events expected");
     }
 }

@@ -95,8 +95,6 @@ mod tests {
         assert!(s.event_insts[Event::StL1 as usize] > iterations(Size::Test) / 20);
         // The table fits the LLC, so once warm most misses stop at the
         // LLC (short runs still pay compulsory LLC misses).
-        assert!(
-            s.event_insts[Event::StLlc as usize] < s.event_insts[Event::StL1 as usize]
-        );
+        assert!(s.event_insts[Event::StLlc as usize] < s.event_insts[Event::StL1 as usize]);
     }
 }

@@ -75,7 +75,10 @@ mod tests {
         let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
         let st_l1 = s.event_insts[Event::StL1 as usize];
         let st_tlb = s.event_insts[Event::StTlb as usize];
-        assert!(st_l1 > iterations(Size::Test) / 16, "streams must miss: {st_l1}");
+        assert!(
+            st_l1 > iterations(Size::Test) / 16,
+            "streams must miss: {st_l1}"
+        );
         assert!(
             st_tlb * 20 < st_l1,
             "sequential streams are TLB-friendly: {st_tlb} TLB vs {st_l1} L1"

@@ -196,7 +196,11 @@ mod tests {
     #[test]
     fn prefetching_speeds_lbm_up() {
         let base = simulate(&program(Size::Test), SimConfig::default(), &mut []);
-        let opt = simulate(&program_with_prefetch(Size::Test, 3), SimConfig::default(), &mut []);
+        let opt = simulate(
+            &program_with_prefetch(Size::Test, 3),
+            SimConfig::default(),
+            &mut [],
+        );
         let speedup = base.cycles as f64 / opt.cycles as f64;
         assert!(
             speedup > 1.1,
@@ -208,13 +212,16 @@ mod tests {
     fn prefetching_shifts_pressure_to_stores() {
         use tea_sim::psv::CommitState;
         let base = simulate(&program(Size::Test), SimConfig::default(), &mut []);
-        let opt = simulate(&program_with_prefetch(Size::Test, 4), SimConfig::default(), &mut []);
+        let opt = simulate(
+            &program_with_prefetch(Size::Test, 4),
+            SimConfig::default(),
+            &mut [],
+        );
         // Faster iterations raise store-queue pressure: the share of
         // time the ROB drains behind blocked stores (the DR-SQ wall)
         // must grow, exactly as the paper's Figure 11 shows.
-        let drained_share = |s: &tea_sim::SimStats| {
-            s.cycles_in(CommitState::Drained) as f64 / s.cycles as f64
-        };
+        let drained_share =
+            |s: &tea_sim::SimStats| s.cycles_in(CommitState::Drained) as f64 / s.cycles as f64;
         assert!(
             drained_share(&opt) > drained_share(&base),
             "drained share must grow: {:.3} -> {:.3}",

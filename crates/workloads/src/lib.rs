@@ -136,7 +136,11 @@ mod tests {
             let mut m = tea_isa::Machine::new(&w.program);
             let budget = 60_000_000;
             m.run(budget);
-            assert!(m.is_halted(), "{} did not halt within {budget} instructions", w.name);
+            assert!(
+                m.is_halted(),
+                "{} did not halt within {budget} instructions",
+                w.name
+            );
         }
     }
 }

@@ -182,7 +182,10 @@ mod tests {
     fn ieee_mode_flushes_twice_per_iteration() {
         let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
         assert_eq!(s.commit_flushes, 2 * iterations(Size::Test));
-        assert_eq!(s.event_insts[Event::FlEx as usize], 2 * iterations(Size::Test));
+        assert_eq!(
+            s.event_insts[Event::FlEx as usize],
+            2 * iterations(Size::Test)
+        );
     }
 
     #[test]
@@ -203,7 +206,10 @@ mod tests {
         // The paper reports 1.96x and 2.45x; shape: both large, fast-math
         // larger.
         assert!(s_finite > 1.4, "finite-math speedup {s_finite:.2}");
-        assert!(s_fast > s_finite, "fast-math {s_fast:.2} must beat finite-math {s_finite:.2}");
+        assert!(
+            s_fast > s_finite,
+            "fast-math {s_fast:.2} must beat finite-math {s_finite:.2}"
+        );
     }
 
     #[test]

@@ -131,6 +131,9 @@ mod tests {
         );
         assert!(s.event_insts[Event::StL1 as usize] > iterations(Size::Test) / 2);
         assert!(s.event_insts[Event::StTlb as usize] > 0);
-        assert!(s.event_insts[Event::FlMb as usize] > 0, "payload branches mispredict");
+        assert!(
+            s.event_insts[Event::FlMb as usize] > 0,
+            "payload branches mispredict"
+        );
     }
 }

@@ -68,7 +68,10 @@ pub fn program(size: Size) -> Program {
     let mut p = a.finish().expect("perlbench kernel must assemble");
     // Patch the handler-table base into the placeholder li.
     let mut insts = p.insts().to_vec();
-    insts[li_base_index] = tea_isa::Inst::Li { rd: Reg::T4, imm: handlers_start as i64 };
+    insts[li_base_index] = tea_isa::Inst::Li {
+        rd: Reg::T4,
+        imm: handlers_start as i64,
+    };
     p = Program::from_parts(
         p.base(),
         insts,

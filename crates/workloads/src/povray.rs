@@ -48,7 +48,7 @@ pub fn program(size: Size) -> Program {
     a.srli(Reg::T2, Reg::S4, 55);
     a.fcvt_d_l(FReg::FT0, Reg::T2);
     a.fmul_d(FReg::FT0, FReg::FT0, FReg::FS0); // in [0, 1)
-    // Sphere parameters from the scene ring.
+                                               // Sphere parameters from the scene ring.
     a.add(Reg::T3, Reg::S0, Reg::S1);
     a.fld(FReg::FT1, Reg::T3, 0);
     a.fld(FReg::FT2, Reg::T3, 8);
@@ -112,6 +112,9 @@ mod tests {
     fn branchy_fp_profile() {
         let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
         assert!(s.event_insts[Event::FlMb as usize] > iterations(Size::Test) / 40);
-        assert!(s.event_insts[Event::StLlc as usize] < 100, "scene is cache-resident");
+        assert!(
+            s.event_insts[Event::StLlc as usize] < 100,
+            "scene is cache-resident"
+        );
     }
 }

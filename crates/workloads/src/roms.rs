@@ -82,7 +82,10 @@ mod tests {
         let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
         let n = iterations(Size::Test);
         assert!(s.event_insts[Event::StL1 as usize] > n);
-        assert!(s.event_insts[Event::StTlb as usize] > n / 4, "vertical strides cross pages");
+        assert!(
+            s.event_insts[Event::StTlb as usize] > n / 4,
+            "vertical strides cross pages"
+        );
         assert!(s.combined_event_insts > n / 8);
     }
 }

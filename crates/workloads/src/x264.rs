@@ -44,7 +44,7 @@ pub fn program(size: Size) -> Program {
     a.xor(Reg::T4, Reg::T4, Reg::T6);
     a.add(Reg::T4, Reg::T4, Reg::T5);
     a.add(Reg::A0, Reg::A0, Reg::T4); // SAD accumulator
-    // Reconstruction: average-ish blend, stored to the output frame.
+                                      // Reconstruction: average-ish blend, stored to the output frame.
     a.add(Reg::T6, Reg::T2, Reg::T3);
     a.srli(Reg::T6, Reg::T6, 1);
     a.sd(Reg::T6, Reg::S2, 0);
@@ -80,6 +80,9 @@ mod tests {
         let s = simulate(&program(Size::Test), SimConfig::default(), &mut []);
         assert!(s.ipc() > 1.0, "x264 is compute-heavy, ipc {}", s.ipc());
         assert!(s.event_insts[Event::StL1 as usize] > 0);
-        assert!(s.hier.dram_lines > iterations(Size::Test) / 10, "streams reach DRAM");
+        assert!(
+            s.hier.dram_lines > iterations(Size::Test) / 10,
+            "streams reach DRAM"
+        );
     }
 }

@@ -51,9 +51,9 @@ pub fn program(size: Size) -> Program {
     a.slli(Reg::T2, Reg::T2, 3);
     a.add(Reg::T2, Reg::S0, Reg::T2);
     a.ld(Reg::T3, Reg::T2, 0); // candidate (LLC/TLB-missing)
-    // The window is sparse (zero-filled) in this synthetic input, so
-    // mix the position into the candidate to model real byte content;
-    // T3 still becomes ready only when the load completes.
+                               // The window is sparse (zero-filled) in this synthetic input, so
+                               // mix the position into the candidate to model real byte content;
+                               // T3 still becomes ready only when the load completes.
     a.xor(Reg::T3, Reg::T3, Reg::T2);
     a.srli(Reg::T3, Reg::T3, 3);
     // Overlapping match copy: the output slot is addressed through the

@@ -2,19 +2,14 @@
 //! simulation pass: the golden reference scores each of TEA, NCI-TEA,
 //! IBS, SPE and RIS with the paper's Section 4 error metric.
 //!
+//! The run is one cell of the experiment engine — the same code path
+//! the figure harnesses fan out in parallel.
+//!
 //! Run with: `cargo run --release --example compare_profilers [workload]`
 
-use tea_core::golden::GoldenReference;
-use tea_core::nci::NciProfiler;
-use tea_core::pics::{Granularity, UnitMap};
-use tea_core::pics_error;
-use tea_core::sampling::SampleTimer;
+use tea_core::pics::Granularity;
 use tea_core::schemes::Scheme;
-use tea_core::tagging::TaggingProfiler;
-use tea_core::tea::TeaProfiler;
-use tea_sim::core::Core;
-use tea_sim::trace::Observer;
-use tea_sim::SimConfig;
+use tea_exp::{CellSpec, Engine};
 use tea_workloads::{all_workloads, Size};
 
 fn main() {
@@ -30,43 +25,46 @@ fn main() {
             std::process::exit(1);
         });
 
-    let timer = || SampleTimer::with_jitter(512, 64, 9);
-    let mut golden = GoldenReference::new();
-    let mut tea = TeaProfiler::new(timer());
-    let mut nci = NciProfiler::new(timer());
-    let mut ibs = TaggingProfiler::ibs(timer());
-    let mut spe = TaggingProfiler::spe(timer());
-    let mut ris = TaggingProfiler::ris(timer());
-    let stats = {
-        let mut obs: Vec<&mut dyn Observer> =
-            vec![&mut golden, &mut tea, &mut nci, &mut ibs, &mut spe, &mut ris];
-        Core::new(&workload.program, SimConfig::default()).run(&mut obs)
-    };
+    let schemes = [
+        Scheme::Tea,
+        Scheme::NciTea,
+        Scheme::Ibs,
+        Scheme::Spe,
+        Scheme::Ris,
+    ];
+    let spec = CellSpec::for_workload(&workload)
+        .interval(512)
+        .seed(9)
+        .schemes(&schemes);
+    let run = Engine::serial()
+        .quiet()
+        .run("compare-profilers", vec![spec]);
+    let cell = &run.cells[0];
 
     println!(
-        "{} — {}\n{} cycles, IPC {:.2}\n",
+        "{} — {}\n{} cycles, IPC {:.2} (simulated in {:.2}s, {:.2} Msim-inst/s)\n",
         workload.name,
         workload.description,
-        stats.cycles,
-        stats.ipc()
+        cell.stats.cycles,
+        cell.stats.ipc(),
+        cell.wall.as_secs_f64(),
+        cell.sim_mips()
     );
-    println!("{:<10} {:>10} {:>16} {:>16}", "scheme", "samples", "error (instr)", "error (func)");
-    let units_i = UnitMap::new(&workload.program, Granularity::Instruction);
-    let units_f = UnitMap::new(&workload.program, Granularity::Function);
-    let rows: [(&str, Scheme, &tea_core::pics::Pics, u64); 5] = [
-        ("TEA", Scheme::Tea, tea.pics(), tea.samples()),
-        ("NCI-TEA", Scheme::NciTea, nci.pics(), nci.samples()),
-        ("IBS", Scheme::Ibs, ibs.pics(), ibs.samples()),
-        ("SPE", Scheme::Spe, spe.pics(), spe.samples()),
-        ("RIS", Scheme::Ris, ris.pics(), ris.samples()),
-    ];
-    for (name, scheme, pics, samples) in rows {
-        let e_i = pics_error(pics, golden.pics(), scheme.event_set(), &units_i);
-        let e_f = pics_error(pics, golden.pics(), scheme.event_set(), &units_f);
+    println!(
+        "{:<10} {:>10} {:>16} {:>16}",
+        "scheme", "samples", "error (instr)", "error (func)"
+    );
+    for scheme in schemes {
+        let e_i = cell
+            .error(scheme, Granularity::Instruction)
+            .expect("golden attached");
+        let e_f = cell
+            .error(scheme, Granularity::Function)
+            .expect("golden attached");
         println!(
             "{:<10} {:>10} {:>15.1}% {:>15.1}%",
-            name,
-            samples,
+            scheme.name(),
+            cell.samples[&scheme],
             e_i * 100.0,
             e_f * 100.0
         );

@@ -21,7 +21,10 @@ fn main() {
     let mut tea = TeaProfiler::new(SampleTimer::with_jitter(512, 64, 3));
     let mut golden = GoldenReference::new();
     let base = Core::new(&program, SimConfig::default()).run(&mut [&mut tea, &mut golden]);
-    println!("unmodified lbm: {} cycles. TEA's view of the top instructions:\n", base.cycles);
+    println!(
+        "unmodified lbm: {} cycles. TEA's view of the top instructions:\n",
+        base.cycles
+    );
     print!(
         "{}",
         render_top_instructions(&tea.pics().scaled_to(golden.pics().total()), &program, 3)
@@ -34,7 +37,10 @@ fn main() {
         let p = lbm::program_with_prefetch(size, distance);
         let stats = Core::new(&p, SimConfig::default()).run(&mut []);
         let speedup = base.cycles as f64 / stats.cycles as f64;
-        println!("prefetch distance {distance}: {} cycles, speedup {speedup:.3}x", stats.cycles);
+        println!(
+            "prefetch distance {distance}: {} cycles, speedup {speedup:.3}x",
+            stats.cycles
+        );
         if stats.cycles < best.1 {
             best = (distance, stats.cycles);
         }

@@ -35,7 +35,10 @@ fn main() {
         sys.stats(1).cycles
     );
     for (pid, (name, program)) in [("mcf", &prog_a), ("nab", &prog_b)].into_iter().enumerate() {
-        println!("process {pid} ({name}): TEA top instructions ({} samples)", tea[pid].samples());
+        println!(
+            "process {pid} ({name}): TEA top instructions ({} samples)",
+            tea[pid].samples()
+        );
         print!("{}", render_top_instructions(tea[pid].pics(), program, 2));
         println!();
     }

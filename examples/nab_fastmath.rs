@@ -22,7 +22,10 @@ fn main() {
     let mut golden = GoldenReference::new();
     let ieee = Core::new(&program, SimConfig::default()).run(&mut [&mut tea, &mut golden]);
 
-    println!("nab (IEEE-compliant): {} cycles, {} pipeline flushes", ieee.cycles, ieee.commit_flushes);
+    println!(
+        "nab (IEEE-compliant): {} cycles, {} pipeline flushes",
+        ieee.cycles, ieee.commit_flushes
+    );
     println!("\nTEA's top instructions:");
     print!(
         "{}",

@@ -5,6 +5,7 @@
 //! tea-cli simulate <workload> [--size test|ref]
 //! tea-cli profile <workload> [--size test|ref] [--interval N] [--top N]
 //! tea-cli compare <workload> [--size test|ref] [--interval N]
+//! tea-cli suite [workload...] [--size test|ref] [--interval N] [--threads N] [--json out.json]
 //! tea-cli disasm <workload> [--lines N]
 //! tea-cli record <workload> <out.teas> [--size test|ref] [--interval N]
 //! tea-cli report <in.teas> <workload> [--top N]
@@ -16,18 +17,16 @@ use std::process::ExitCode;
 
 use tea_core::diff::{diff_pics, render_diff};
 use tea_core::golden::GoldenReference;
-use tea_core::nci::NciProfiler;
 use tea_core::pics::{Granularity, UnitMap};
 use tea_core::pics_error;
 use tea_core::render::{render_cpi_stack, render_functions, render_top_instructions};
 use tea_core::samples::{pics_from_samples, read_samples, write_samples, SampleRecorder};
 use tea_core::sampling::SampleTimer;
 use tea_core::schemes::Scheme;
-use tea_core::tagging::TaggingProfiler;
 use tea_core::tea::TeaProfiler;
+use tea_exp::{CellSpec, Engine};
 use tea_sim::core::Core;
 use tea_sim::psv::CommitState;
-use tea_sim::trace::Observer;
 use tea_sim::SimConfig;
 use tea_workloads::{all_workloads, Size, Workload};
 
@@ -37,6 +36,8 @@ struct Args {
     interval: u64,
     top: usize,
     lines: usize,
+    threads: usize,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,12 +47,12 @@ fn parse_args() -> Result<Args, String> {
         interval: 512,
         top: 5,
         lines: 40,
+        threads: 0,
+        json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut grab = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--size" => {
                 args.size = match grab("--size")?.as_str() {
@@ -66,12 +67,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad interval: {e}"))?
             }
             "--top" => {
-                args.top = grab("--top")?.parse().map_err(|e| format!("bad top: {e}"))?
+                args.top = grab("--top")?
+                    .parse()
+                    .map_err(|e| format!("bad top: {e}"))?
             }
             "--lines" => {
-                args.lines =
-                    grab("--lines")?.parse().map_err(|e| format!("bad lines: {e}"))?
+                args.lines = grab("--lines")?
+                    .parse()
+                    .map_err(|e| format!("bad lines: {e}"))?
             }
+            "--threads" => {
+                args.threads = grab("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad threads: {e}"))?
+            }
+            "--json" => args.json = Some(grab("--json")?),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => args.positional.push(other.to_string()),
         }
@@ -94,10 +104,19 @@ fn cmd_list() {
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
-    let name = args.positional.get(1).ok_or("simulate needs a workload name")?;
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("simulate needs a workload name")?;
     let w = find_workload(name, args.size)?;
     let stats = Core::new(&w.program, SimConfig::default()).run(&mut []);
-    println!("{}: {} instructions, {} cycles, IPC {:.3}", w.name, stats.retired, stats.cycles, stats.ipc());
+    println!(
+        "{}: {} instructions, {} cycles, IPC {:.3}",
+        w.name,
+        stats.retired,
+        stats.cycles,
+        stats.ipc()
+    );
     for state in CommitState::ALL {
         println!(
             "  {:<8} {:>10} cycles ({:>5.1}%)",
@@ -118,12 +137,18 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_profile(args: &Args) -> Result<(), String> {
-    let name = args.positional.get(1).ok_or("profile needs a workload name")?;
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("profile needs a workload name")?;
     let w = find_workload(name, args.size)?;
-    let mut tea = TeaProfiler::new(SampleTimer::with_jitter(args.interval, args.interval / 8, 42));
+    let mut tea = TeaProfiler::new(SampleTimer::with_jitter(
+        args.interval,
+        args.interval / 8,
+        42,
+    ));
     let mut golden = GoldenReference::new();
-    let stats = Core::new(&w.program, SimConfig::default())
-        .run(&mut [&mut tea, &mut golden]);
+    let stats = Core::new(&w.program, SimConfig::default()).run(&mut [&mut tea, &mut golden]);
     println!(
         "{}: {} cycles, {} TEA samples (interval {})\n",
         w.name,
@@ -143,41 +168,114 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
-    let name = args.positional.get(1).ok_or("compare needs a workload name")?;
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("compare needs a workload name")?;
     let w = find_workload(name, args.size)?;
-    let timer = || SampleTimer::with_jitter(args.interval, args.interval / 8, 42);
-    let mut golden = GoldenReference::new();
-    let mut tea = TeaProfiler::new(timer());
-    let mut nci = NciProfiler::new(timer());
-    let mut ibs = TaggingProfiler::ibs(timer());
-    let mut spe = TaggingProfiler::spe(timer());
-    let mut ris = TaggingProfiler::ris(timer());
-    {
-        let mut obs: Vec<&mut dyn Observer> =
-            vec![&mut golden, &mut tea, &mut nci, &mut ibs, &mut spe, &mut ris];
-        Core::new(&w.program, SimConfig::default()).run(&mut obs);
-    }
-    let units = UnitMap::new(&w.program, Granularity::Instruction);
+    let schemes = [
+        Scheme::Tea,
+        Scheme::NciTea,
+        Scheme::Ibs,
+        Scheme::Spe,
+        Scheme::Ris,
+    ];
+    let spec = CellSpec::for_workload(&w)
+        .interval(args.interval)
+        .schemes(&schemes);
+    let run = Engine::serial().quiet().run("compare", vec![spec]);
+    let cell = &run.cells[0];
     println!("{}: PICS error vs golden (instruction granularity)", w.name);
-    for (label, scheme, pics) in [
-        ("TEA", Scheme::Tea, tea.pics()),
-        ("NCI-TEA", Scheme::NciTea, nci.pics()),
-        ("IBS", Scheme::Ibs, ibs.pics()),
-        ("SPE", Scheme::Spe, spe.pics()),
-        ("RIS", Scheme::Ris, ris.pics()),
-    ] {
+    for scheme in schemes {
+        let e = cell
+            .error(scheme, Granularity::Instruction)
+            .expect("golden attached");
+        println!("  {:<8} {:>6.1}%", scheme.name(), e * 100.0);
+    }
+    Ok(())
+}
+
+/// Runs a workload set through the experiment engine in parallel and
+/// prints the Figure 5-style error matrix plus run timing; `--json`
+/// writes the `tea-experiment/v1` artifact to an explicit path.
+fn cmd_suite(args: &Args) -> Result<(), String> {
+    let selected: Vec<String> = args.positional[1..].to_vec();
+    let mut workloads = all_workloads(args.size);
+    if !selected.is_empty() {
+        workloads.retain(|w| selected.iter().any(|s| s == w.name));
+        if workloads.len() != selected.len() {
+            return Err("unknown workload in selection; run `tea-cli list`".to_string());
+        }
+    }
+    let engine = if args.threads == 0 {
+        Engine::from_env()
+    } else {
+        Engine::new(args.threads)
+    };
+    let cells = workloads
+        .iter()
+        .map(|w| CellSpec::for_workload(w).interval(args.interval))
+        .collect();
+    let run = engine.run("suite", cells);
+
+    let schemes = [
+        Scheme::Ibs,
+        Scheme::Spe,
+        Scheme::Ris,
+        Scheme::NciTea,
+        Scheme::Tea,
+    ];
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>9} {:>7}",
+        "benchmark", "IBS", "SPE", "RIS", "NCI-TEA", "TEA", "cycles", "wall(s)"
+    );
+    for cell in &run.cells {
+        let e = |s| {
+            cell.error(s, Granularity::Instruction)
+                .expect("golden attached")
+                * 100.0
+        };
         println!(
-            "  {:<8} {:>6.1}%",
-            label,
-            pics_error(pics, golden.pics(), scheme.event_set(), &units) * 100.0
+            "{:<12} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}   {:>9} {:>7.2}",
+            cell.spec.workload,
+            e(schemes[0]),
+            e(schemes[1]),
+            e(schemes[2]),
+            e(schemes[3]),
+            e(schemes[4]),
+            cell.stats.cycles,
+            cell.wall.as_secs_f64()
         );
+    }
+    println!(
+        "{} cells on {} threads in {:.2}s ({:.2} Msim-inst/s aggregate)",
+        run.cells.len(),
+        run.threads,
+        run.wall.as_secs_f64(),
+        run.sim_mips()
+    );
+    if let Some(path) = &args.json {
+        std::fs::write(path, run.to_json().render_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("results artifact: {path}");
+    } else {
+        match run.write_artifact() {
+            Ok(path) => println!("results artifact: {}", path.display()),
+            Err(e) => eprintln!("could not write results artifact: {e}"),
+        }
     }
     Ok(())
 }
 
 fn cmd_record(args: &Args) -> Result<(), String> {
-    let name = args.positional.get(1).ok_or("record needs a workload name")?;
-    let path = args.positional.get(2).ok_or("record needs an output path")?;
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("record needs a workload name")?;
+    let path = args
+        .positional
+        .get(2)
+        .ok_or("record needs an output path")?;
     let w = find_workload(name, args.size)?;
     let mut recorder = SampleRecorder::new(
         SampleTimer::with_jitter(args.interval, args.interval / 8, 42),
@@ -197,12 +295,20 @@ fn cmd_record(args: &Args) -> Result<(), String> {
 
 fn cmd_report(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or("report needs a sample file")?;
-    let name = args.positional.get(2).ok_or("report needs the workload name")?;
+    let name = args
+        .positional
+        .get(2)
+        .ok_or("report needs the workload name")?;
     let w = find_workload(name, args.size)?;
     let mut file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let samples = read_samples(&mut file).map_err(|e| format!("read {path}: {e}"))?;
     let pics = pics_from_samples(&samples, None);
-    println!("{}: {} samples -> PICS, top {} instructions:", w.name, samples.len(), args.top);
+    println!(
+        "{}: {} samples -> PICS, top {} instructions:",
+        w.name,
+        samples.len(),
+        args.top
+    );
     print!("{}", render_top_instructions(&pics, &w.program, args.top));
     Ok(())
 }
@@ -214,7 +320,10 @@ fn golden_pics(program: &tea_isa::Program) -> tea_core::pics::Pics {
 }
 
 fn cmd_functions(args: &Args) -> Result<(), String> {
-    let name = args.positional.get(1).ok_or("functions needs a workload name")?;
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("functions needs a workload name")?;
     let w = find_workload(name, args.size)?;
     let pics = golden_pics(&w.program);
     println!("{}: time by function (exact golden reference)", w.name);
@@ -233,7 +342,11 @@ fn cmd_cpi(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_casestudy(args: &Args) -> Result<(), String> {
-    let which = args.positional.get(1).map(String::as_str).ok_or("casestudy needs lbm or nab")?;
+    let which = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("casestudy needs lbm or nab")?;
     match which {
         "lbm" => {
             use tea_workloads::lbm;
@@ -252,12 +365,26 @@ fn cmd_casestudy(args: &Args) -> Result<(), String> {
             // The two programs differ by the three prefetch instructions,
             // shifting addresses; diff by order is not meaningful, so show
             // each profile's top movers side by side instead.
-            print!("{}", render_diff(&diff_pics(&before, &before.scaled_to(after.total()), 3), &before_p));
-            println!("
-before, top 3:");
-            print!("{}", tea_core::render::render_top_instructions(&before, &before_p, 3));
+            print!(
+                "{}",
+                render_diff(
+                    &diff_pics(&before, &before.scaled_to(after.total()), 3),
+                    &before_p
+                )
+            );
+            println!(
+                "
+before, top 3:"
+            );
+            print!(
+                "{}",
+                tea_core::render::render_top_instructions(&before, &before_p, 3)
+            );
             println!("after (distance 3), top 3:");
-            print!("{}", tea_core::render::render_top_instructions(&after, &after_p, 3));
+            print!(
+                "{}",
+                tea_core::render::render_top_instructions(&after, &after_p, 3)
+            );
             // Distances 1 and 3 share a layout, so a true per-instruction
             // diff applies: where did the remaining time move?
             let d1 = golden_pics(&lbm::program_with_prefetch(args.size, 1));
@@ -280,9 +407,15 @@ before, top 3:");
                 before.total() / after.total()
             );
             println!("before, top 4:");
-            print!("{}", tea_core::render::render_top_instructions(&before, &before_p, 4));
+            print!(
+                "{}",
+                tea_core::render::render_top_instructions(&before, &before_p, 4)
+            );
             println!("after, top 4:");
-            print!("{}", tea_core::render::render_top_instructions(&after, &after_p, 4));
+            print!(
+                "{}",
+                tea_core::render::render_top_instructions(&after, &after_p, 4)
+            );
             println!("-> the FL-EX flush stacks disappear with the flag CSRs; the fsqrt");
             println!("   remains but its latency now overlaps across iterations.");
         }
@@ -292,7 +425,10 @@ before, top 3:");
 }
 
 fn cmd_disasm(args: &Args) -> Result<(), String> {
-    let name = args.positional.get(1).ok_or("disasm needs a workload name")?;
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("disasm needs a workload name")?;
     let w = find_workload(name, args.size)?;
     let listing = w.program.disassemble();
     for line in listing.lines().take(args.lines) {
@@ -313,7 +449,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cmd = args.positional.first().map(String::as_str).unwrap_or("help");
+    let cmd = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
     let result = match cmd {
         "list" => {
             cmd_list();
@@ -322,6 +462,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args),
         "profile" => cmd_profile(&args),
         "compare" => cmd_compare(&args),
+        "suite" => cmd_suite(&args),
         "record" => cmd_record(&args),
         "casestudy" => cmd_casestudy(&args),
         "functions" => cmd_functions(&args),
@@ -334,6 +475,7 @@ fn main() -> ExitCode {
                  usage:\n  tea-cli list\n  tea-cli simulate <workload> [--size test|ref]\n  \
                  tea-cli profile <workload> [--size test|ref] [--interval N] [--top N]\n  \
                  tea-cli compare <workload> [--size test|ref] [--interval N]\n  \
+                 tea-cli suite [workload...] [--size test|ref] [--interval N] [--threads N] [--json out.json]\n  \
                  tea-cli record <workload> <out.teas> [--size test|ref] [--interval N]\n  \
                  tea-cli report <in.teas> <workload> [--top N]\n  \
                  tea-cli casestudy <lbm|nab> [--size test|ref]\n  \

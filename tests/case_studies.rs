@@ -27,7 +27,10 @@ fn lbm_critical_load_is_llc_dominated_in_the_pics() {
     // Its dominant signature includes ST-LLC: "this lw always misses in
     // the LLC".
     let stack = golden.pics().stack(top_addr).unwrap();
-    let (&psv, _) = stack.iter().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+    let (&psv, _) = stack
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
     assert!(psv.contains(Event::StLlc) && psv.contains(Event::StL1));
 }
 
@@ -35,8 +38,12 @@ fn lbm_critical_load_is_llc_dominated_in_the_pics() {
 fn lbm_prefetch_sweep_has_an_interior_optimum() {
     let cycles: Vec<u64> = (0..=6)
         .map(|d| {
-            simulate(&lbm::program_with_prefetch(Size::Test, d), SimConfig::default(), &mut [])
-                .cycles
+            simulate(
+                &lbm::program_with_prefetch(Size::Test, d),
+                SimConfig::default(),
+                &mut [],
+            )
+            .cycles
         })
         .collect();
     let best = (0..=6).min_by_key(|&d| cycles[d]).unwrap();
@@ -65,25 +72,37 @@ fn nab_fsqrt_time_is_base_and_flushes_explain_it() {
     );
     // Its own stack is overwhelmingly Base — no events on the sqrt.
     let stack = golden.pics().stack(fsqrt).unwrap();
-    let base = stack.get(&tea_sim::psv::Psv::empty()).copied().unwrap_or(0.0);
+    let base = stack
+        .get(&tea_sim::psv::Psv::empty())
+        .copied()
+        .unwrap_or(0.0);
     assert!(
         base / fsqrt_cycles > 0.9,
         "fsqrt.d time must be event-free (Base): {:.3}",
         base / fsqrt_cycles
     );
     // The flushes appear as FL-EX on the CSR instructions.
-    assert_eq!(stats.event_insts[Event::FlEx as usize], 2 * nab::iterations(Size::Test));
+    assert_eq!(
+        stats.event_insts[Event::FlEx as usize],
+        2 * nab::iterations(Size::Test)
+    );
 }
 
 #[test]
 fn nab_fix_speedups_are_paper_shaped() {
     let ieee = simulate(&nab::program(Size::Test), SimConfig::default(), &mut []).cycles;
-    let finite =
-        simulate(&nab::program_with_mode(Size::Test, MathMode::FiniteMath), SimConfig::default(), &mut [])
-            .cycles;
-    let fast =
-        simulate(&nab::program_with_mode(Size::Test, MathMode::FastMath), SimConfig::default(), &mut [])
-            .cycles;
+    let finite = simulate(
+        &nab::program_with_mode(Size::Test, MathMode::FiniteMath),
+        SimConfig::default(),
+        &mut [],
+    )
+    .cycles;
+    let fast = simulate(
+        &nab::program_with_mode(Size::Test, MathMode::FastMath),
+        SimConfig::default(),
+        &mut [],
+    )
+    .cycles;
     let s_finite = ieee as f64 / finite as f64;
     let s_fast = ieee as f64 / fast as f64;
     assert!(

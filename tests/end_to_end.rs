@@ -33,7 +33,10 @@ fn tea_beats_front_end_tagging_on_every_workload() {
 fn tea_is_at_least_as_good_as_nci_on_flush_heavy_workloads() {
     // nab flushes constantly; the last-committed-instruction rule is
     // exactly what separates TEA from NCI-TEA there.
-    let w = all_workloads(Size::Test).into_iter().find(|w| w.name == "nab").unwrap();
+    let w = all_workloads(Size::Test)
+        .into_iter()
+        .find(|w| w.name == "nab")
+        .unwrap();
     let run = profile_all_schemes(&w.program, 509, 11);
     let tea = run.error(Scheme::Tea, &w.program, Granularity::Instruction);
     let nci = run.error(Scheme::NciTea, &w.program, Granularity::Instruction);
@@ -59,7 +62,10 @@ fn golden_reference_attributes_every_cycle_on_every_workload() {
 
 #[test]
 fn profiled_runs_are_deterministic() {
-    let w = all_workloads(Size::Test).into_iter().find(|w| w.name == "omnetpp").unwrap();
+    let w = all_workloads(Size::Test)
+        .into_iter()
+        .find(|w| w.name == "omnetpp")
+        .unwrap();
     let a = profile_all_schemes(&w.program, 509, 11);
     let b = profile_all_schemes(&w.program, 509, 11);
     assert_eq!(a.stats, b.stats);
@@ -73,7 +79,10 @@ fn profiled_runs_are_deterministic() {
 
 #[test]
 fn errors_do_not_increase_at_coarser_granularity() {
-    let w = all_workloads(Size::Test).into_iter().find(|w| w.name == "leela").unwrap();
+    let w = all_workloads(Size::Test)
+        .into_iter()
+        .find(|w| w.name == "leela")
+        .unwrap();
     let run = profile_all_schemes(&w.program, 509, 3);
     for s in ALL_SCHEMES {
         let inst = run.error(s, &w.program, Granularity::Instruction);
@@ -95,7 +104,11 @@ fn dispatch_tagged_tea_is_no_better_than_ibs_class() {
     let mut n = 0.0;
     for w in all_workloads(Size::Test) {
         let run = profile_all_schemes(&w.program, 509, 5);
-        dt_sum += run.error(Scheme::TeaDispatchTagged, &w.program, Granularity::Instruction);
+        dt_sum += run.error(
+            Scheme::TeaDispatchTagged,
+            &w.program,
+            Granularity::Instruction,
+        );
         tea_sum += run.error(Scheme::Tea, &w.program, Granularity::Instruction);
         n += 1.0;
     }

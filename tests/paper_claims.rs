@@ -27,7 +27,10 @@ fn figure5_average_ordering() {
     }
     let n = suite.len() as f64;
     let avg = |s: Scheme| sums[&s] / n;
-    assert!(avg(Scheme::Tea) < avg(Scheme::NciTea) * 0.8, "TEA must clearly beat NCI-TEA");
+    assert!(
+        avg(Scheme::Tea) < avg(Scheme::NciTea) * 0.8,
+        "TEA must clearly beat NCI-TEA"
+    );
     for baseline in [Scheme::Ibs, Scheme::Spe, Scheme::Ris] {
         assert!(
             avg(Scheme::NciTea) < avg(baseline) * 0.6,
@@ -35,8 +38,16 @@ fn figure5_average_ordering() {
         );
     }
     // Magnitude bands (wide: test-size sampling noise).
-    assert!(avg(Scheme::Tea) < 0.25, "TEA average {:.3}", avg(Scheme::Tea));
-    assert!(avg(Scheme::Ibs) > 0.4, "IBS average {:.3}", avg(Scheme::Ibs));
+    assert!(
+        avg(Scheme::Tea) < 0.25,
+        "TEA average {:.3}",
+        avg(Scheme::Tea)
+    );
+    assert!(
+        avg(Scheme::Ibs) > 0.4,
+        "IBS average {:.3}",
+        avg(Scheme::Ibs)
+    );
 }
 
 /// Figure 8: TEA's error is statistical — it must not grow as the
@@ -109,7 +120,10 @@ fn section3_overheads() {
     assert!((241..=257).contains(&b.total_bytes()), "~249 B");
     assert!((2.8..=3.6).contains(&b.power_mw()), "~3.2 mW");
     assert_eq!(csr_bits_used(4), 46);
-    assert!((performance_overhead(4000.0) - 0.011).abs() < 0.001, "1.1% at 4 kHz");
+    assert!(
+        (performance_overhead(4000.0) - 0.011).abs() < 0.001,
+        "1.1% at 4 kHz"
+    );
 }
 
 /// Section 5.1 footnote: IBS and SPE are near-identical (their event

@@ -3,10 +3,10 @@
 //! metric-level laws that must hold for *any* cycle stack.
 
 use proptest::prelude::*;
-use tea_core::pics::{Granularity, Pics, UnitMap};
-use tea_core::pics_error;
 use tea_core::correlation::pearson;
 use tea_core::golden::GoldenReference;
+use tea_core::pics::{Granularity, Pics, UnitMap};
+use tea_core::pics_error;
 use tea_sim::core::{simulate, Core};
 use tea_sim::psv::{CommitState, Event, Psv};
 use tea_sim::SimConfig;

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments without a crates.io mirror, so
+//! the external `criterion` dev-dependency is replaced by this vendored
+//! crate. It keeps criterion's API for the subset the micro-benchmarks
+//! use — [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`criterion_group!`] and
+//! [`criterion_main!`] — but replaces the statistical engine with a
+//! straightforward warmup + timed-batch mean/min report on stdout. That
+//! is enough to compare hot paths release-to-release; it makes no
+//! attempt at criterion's outlier analysis or HTML reports.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`] (all variants behave the
+/// same here: one setup per measured invocation).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean and minimum wall time per iteration of the last routine.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call (fills caches, faults pages).
+        std::hint::black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.sample_size as u32, min));
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.sample_size as u32, min));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(id: &str, mean: Duration, min: Duration, throughput: Option<Throughput>) {
+    let rate = throughput.map_or(String::new(), |t| {
+        let per_sec = |n: u64| n as f64 / mean.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => format!("  {:.3} Melem/s", per_sec(n) / 1e6),
+            Throughput::Bytes(n) => format!("  {:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0)),
+        }
+    });
+    println!(
+        "{id:<40} mean {:>10}  min {:>10}{rate}",
+        fmt_duration(mean),
+        fmt_duration(min)
+    );
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed invocations per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        if let Some((mean, min)) = b.result {
+            report(&id, mean, min, None);
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent
+    /// benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        if let Some((mean, min)) = b.result {
+            report(&id, mean, min, self.throughput);
+        }
+        self
+    }
+
+    /// Finishes the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: a generator function wiring targets to a
+/// configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    crate::criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn harness_runs_all_shapes() {
+        benches();
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments without network access or a
+//! crates.io registry mirror, so the external `rand` dependency is
+//! replaced by this vendored crate exposing exactly the subset the
+//! workload generators use: [`rngs::SmallRng`], [`SeedableRng`],
+//! [`Rng::gen_range`] over primitive integer ranges, and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction the real `SmallRng` uses on 64-bit targets. The streams
+//! are deterministic per seed, which is the only property the workloads
+//! rely on: the generated programs *are* the benchmark definitions, so
+//! any fixed high-quality stream is canonical for this repository.
+
+#![warn(missing_docs)]
+
+/// Random number generators.
+pub mod rngs {
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_seed_u64(seed: u64) -> Self {
+            // Expand the seed with SplitMix64, as rand_xoshiro does.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_u64_impl()
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng::from_seed_u64(seed)
+        }
+    }
+}
+
+/// The raw-output interface every generator implements.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open integer ranges only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+// Lemire-style unbiased bounded sampling would be overkill here; a
+// simple widening-multiply reduction has bias below 2^-40 for every
+// span the workloads use, and determinism is the only hard requirement.
+fn bounded<G: RngCore>(rng: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = u64::from(self.end as u64 - self.start as u64);
+                self.start + bounded(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64 - lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t; // full u64 domain
+                }
+                lo + bounded(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u8, u16, u32, u64);
+
+impl SampleRange<usize> for core::ops::Range<usize> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + bounded(rng, span) as usize
+    }
+}
+
+impl SampleRange<usize> for core::ops::RangeInclusive<usize> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + bounded(rng, (hi - lo) as u64 + 1) as usize
+    }
+}
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(bounded(rng, span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64);
+
+/// Sequence-related extensions.
+pub mod seq {
+    use crate::RngCore;
+
+    /// Slice extensions (only [`shuffle`](SliceRandom::shuffle) is
+    /// provided).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<G: RngCore>(&mut self, rng: &mut G);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<G: RngCore>(&mut self, rng: &mut G) {
+            for i in (1..self.len()).rev() {
+                let j = crate::bounded(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut r = SmallRng::seed_from_u64(seed);
+            (0..16)
+                .map(|_| r.gen_range(0u64..1_000_000))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let a = r.gen_range(-64i64..64);
+            assert!((-64..64).contains(&a));
+            let b = r.gen_range(0u8..8);
+            assert!(b < 8);
+            let c = r.gen_range(30u8..60);
+            assert!((30..60).contains(&c));
+            let d = r.gen_range(0usize..3);
+            assert!(d < 3);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u64> = (0..100).collect();
+        let mut r = SmallRng::seed_from_u64(3);
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle must move something");
+    }
+}
