@@ -43,6 +43,7 @@ fn main() {
         let cells = run.cells.iter().filter(|c| c.spec.config_name == *name);
         let mut n = 0usize;
         for cell in cells {
+            let cell = cell.result().expect("figure cells must complete");
             for (i, s) in [Scheme::Ibs, Scheme::NciTea, Scheme::Tea]
                 .iter()
                 .enumerate()

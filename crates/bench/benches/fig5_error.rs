@@ -39,6 +39,7 @@ fn main() {
     );
     let mut sums = [0.0f64; 5];
     for cell in &run.cells {
+        let cell = cell.result().expect("figure cells must complete");
         let mut row = [0.0f64; 5];
         for (i, s) in schemes.iter().enumerate() {
             row[i] = cell

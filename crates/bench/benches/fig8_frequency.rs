@@ -44,6 +44,7 @@ fn main() {
     for (interval, label) in sweep {
         let mut sums = [0.0f64; 4];
         for cell in run.cells.iter().filter(|c| c.spec.interval == interval) {
+            let cell = cell.result().expect("figure cells must complete");
             for (i, s) in schemes.iter().enumerate() {
                 sums[i] += cell
                     .error(*s, Granularity::Instruction)

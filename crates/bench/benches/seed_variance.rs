@@ -40,6 +40,7 @@ fn main() {
     for (w, cells) in workloads.iter().zip(run.cells.chunks(seeds.len())) {
         let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
         for cell in cells {
+            let cell = cell.result().expect("figure cells must complete");
             for (i, s) in schemes.iter().enumerate() {
                 per_scheme[i].push(
                     cell.error(*s, Granularity::Instruction)

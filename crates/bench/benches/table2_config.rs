@@ -5,7 +5,7 @@ use tea_sim::SimConfig;
 fn main() {
     println!("=== Table 2: baseline architecture configuration ===\n");
     let cfg = SimConfig::default();
-    cfg.validate();
+    cfg.validate().expect("Table 2 config is valid");
     print!("{}", cfg.table2());
     println!("\nMatches the paper's BOOM configuration (Table 2); timing-only parameters");
     println!("(FU latencies, DRAM latency, redirect penalties) are the simulator's");

@@ -92,7 +92,8 @@ pub fn profile_all_schemes_with(
         .config("custom", cfg.clone())
         .interval(interval)
         .seed(seed);
-    ProfiledRun::from_cell(tea_exp::run_cell(0, spec))
+    let cell = tea_exp::run_cell(0, spec).expect("ad-hoc profiling cell completes");
+    ProfiledRun::from_cell(cell)
 }
 
 /// The default sampling interval of the experiment harnesses
@@ -133,7 +134,12 @@ pub fn profile_suite(
     workloads
         .into_iter()
         .zip(run.cells)
-        .map(|(w, cell)| (w, ProfiledRun::from_cell(cell)))
+        .map(|(w, cell)| {
+            let cell = cell
+                .into_result()
+                .expect("suite workloads are known-good and must complete");
+            (w, ProfiledRun::from_cell(cell))
+        })
         .collect()
 }
 

@@ -1,0 +1,200 @@
+//! Reading experiment artifacts back: the `tea-experiment/v2` schema
+//! and its status-less `v1` predecessor.
+//!
+//! v2 artifacts carry a per-cell `status` (`ok` / `failed` /
+//! `timed-out` / `skipped`), an `attempts` count, an `error` object on
+//! failed cells, and run-level status counts. v1 artifacts predate
+//! fault tolerance — every cell in one is a completed cell — so the
+//! reader maps them to `status: ok`, `attempts: 1`.
+
+use crate::json::{self, Json};
+use crate::{CellStatus, ExpError};
+
+/// A run artifact read back from JSON, with the fields shared by both
+/// schema versions lifted out. The full document stays available in
+/// [`RunSummary::doc`] for anything schema-specific.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// The artifact's schema tag (`tea-experiment/v1` or `…/v2`).
+    pub schema: String,
+    /// Run name.
+    pub name: String,
+    /// Per-cell summaries, in matrix order.
+    pub cells: Vec<CellSummary>,
+    /// The complete parsed document.
+    pub doc: Json,
+}
+
+impl RunSummary {
+    /// Cells with the given status.
+    #[must_use]
+    pub fn count(&self, status: CellStatus) -> usize {
+        self.cells.iter().filter(|c| c.status == status).count()
+    }
+
+    /// Whether every cell completed.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.cells.iter().all(|c| c.status == CellStatus::Ok)
+    }
+}
+
+/// One cell of a read-back artifact.
+#[derive(Clone, Debug)]
+pub struct CellSummary {
+    /// Workload name.
+    pub workload: String,
+    /// Core-configuration name.
+    pub config: String,
+    /// Sampling interval in cycles.
+    pub interval: u64,
+    /// Sampling jitter seed.
+    pub seed: u64,
+    /// Terminal status (`Ok` for every v1 cell).
+    pub status: CellStatus,
+    /// Attempts consumed (1 for every v1 cell).
+    pub attempts: u32,
+    /// Simulated cycles; `None` on cells that never completed.
+    pub cycles: Option<u64>,
+    /// Retired instructions; `None` on cells that never completed.
+    pub instructions: Option<u64>,
+    /// The failed cell's [`ExpError::kind`] tag, when present.
+    pub error_kind: Option<String>,
+    /// The failed cell's error message, when present.
+    pub error_message: Option<String>,
+}
+
+/// Parses an artifact in either schema version.
+///
+/// # Errors
+///
+/// Returns [`ExpError::Journal`] describing the first problem: invalid
+/// JSON, an unknown schema tag, or a cell missing required fields.
+pub fn read_artifact(text: &str) -> Result<RunSummary, ExpError> {
+    let bad = |reason: String| ExpError::Journal { reason };
+    let doc = json::parse(text).map_err(|e| bad(format!("artifact is not valid JSON: {e}")))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("artifact has no schema tag".to_string()))?
+        .to_string();
+    if schema != "tea-experiment/v1" && schema != "tea-experiment/v2" {
+        return Err(bad(format!("unknown artifact schema {schema:?}")));
+    }
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("artifact has no cells array".to_string()))?;
+    let cells = cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| read_cell(cell).map_err(|e| bad(format!("cell {i}: {e}"))))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(RunSummary {
+        schema,
+        name,
+        cells,
+        doc,
+    })
+}
+
+fn read_cell(cell: &Json) -> Result<CellSummary, String> {
+    let str_field = |key: &str| {
+        cell.get(key)
+            .and_then(Json::as_str)
+            .map(ToString::to_string)
+            .ok_or_else(|| format!("missing string field {key:?}"))
+    };
+    let uint_field = |key: &str| {
+        cell.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing integer field {key:?}"))
+    };
+    // v1 cells have no status fields: every cell in a v1 artifact is a
+    // completed cell.
+    let status = match cell.get("status") {
+        None => CellStatus::Ok,
+        Some(s) => {
+            let name = s.as_str().ok_or("status is not a string")?;
+            CellStatus::from_name(name).ok_or_else(|| format!("unknown status {name:?}"))?
+        }
+    };
+    let attempts = cell.get("attempts").and_then(Json::as_u64).unwrap_or(1) as u32;
+    let error = cell.get("error");
+    Ok(CellSummary {
+        workload: str_field("workload")?,
+        config: str_field("config")?,
+        interval: uint_field("interval")?,
+        seed: uint_field("seed")?,
+        status,
+        attempts,
+        cycles: cell.get("cycles").and_then(Json::as_u64),
+        instructions: cell.get("instructions").and_then(Json::as_u64),
+        error_kind: error
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .map(ToString::to_string),
+        error_message: error
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .map(ToString::to_string),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_a_v1_artifact_as_all_ok() {
+        let text = r#"{
+            "schema": "tea-experiment/v1",
+            "name": "old",
+            "cells": [
+                {"workload":"lbm","config":"default","interval":512,"seed":42,
+                 "cycles":1000,"instructions":800}
+            ]
+        }"#;
+        let run = read_artifact(text).expect("v1 artifacts stay readable");
+        assert_eq!(run.schema, "tea-experiment/v1");
+        assert!(run.all_ok());
+        assert_eq!(run.cells[0].status, CellStatus::Ok);
+        assert_eq!(run.cells[0].attempts, 1);
+        assert_eq!(run.cells[0].cycles, Some(1000));
+    }
+
+    #[test]
+    fn reads_a_v2_artifact_with_failures() {
+        let text = r#"{
+            "schema": "tea-experiment/v2",
+            "name": "new",
+            "cells": [
+                {"workload":"lbm","config":"default","interval":512,"seed":42,
+                 "status":"ok","attempts":2,"cycles":1000,"instructions":800},
+                {"workload":"bad","config":"default","interval":512,"seed":42,
+                 "status":"failed","attempts":1,
+                 "error":{"kind":"panic","message":"boom"}}
+            ]
+        }"#;
+        let run = read_artifact(text).expect("v2 artifact reads");
+        assert!(!run.all_ok());
+        assert_eq!(run.count(CellStatus::Failed), 1);
+        assert_eq!(run.cells[0].attempts, 2);
+        assert_eq!(run.cells[1].error_kind.as_deref(), Some("panic"));
+        assert_eq!(run.cells[1].cycles, None);
+    }
+
+    #[test]
+    fn rejects_garbage_and_unknown_schemas() {
+        assert!(read_artifact("not json").is_err());
+        assert!(read_artifact(r#"{"schema":"tea-experiment/v3","cells":[]}"#).is_err());
+        assert!(read_artifact(r#"{"name":"x","cells":[]}"#).is_err());
+        let missing = r#"{"schema":"tea-experiment/v2","name":"x","cells":[{"workload":"a"}]}"#;
+        assert!(read_artifact(missing).is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! The checkpoint-resume journal.
+//!
+//! As cells finish, the engine appends one JSON line per cell to
+//! `target/experiments/<name>.journal.jsonl` (schema `tea-journal/v1`):
+//!
+//! ```json
+//! {"schema":"tea-journal/v1","index":3,"fingerprint":"9a…","status":"ok",
+//!  "attempts":1,"cell":{…rendered v2 cell object…}}
+//! ```
+//!
+//! `fingerprint` is an FNV-1a hash over the cell's full spec (workload,
+//! config, interval, seed, schemes, program), so a resume against a
+//! *changed* matrix re-runs the changed cells instead of splicing stale
+//! measurements. On [`crate::Engine::resume`], the journal is loaded
+//! (last line per index wins, and a torn final line from a crash
+//! mid-write is simply ignored), `ok` entries with matching
+//! fingerprints are restored verbatim, and everything else re-runs.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::json::{self, Json};
+use crate::{results_dir, safe_name, CellOutcome, CellSpec, CellStatus};
+
+/// Schema tag of a journal line.
+pub const JOURNAL_SCHEMA: &str = "tea-journal/v1";
+
+/// One journaled cell outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// Cell index in the run's matrix.
+    pub index: usize,
+    /// Spec fingerprint at the time the cell ran.
+    pub fingerprint: String,
+    /// Terminal status of the journaled attempt(s).
+    pub status: CellStatus,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// The cell's rendered `tea-experiment/v2` artifact object.
+    pub cell: Json,
+}
+
+impl JournalEntry {
+    /// Captures an outcome as a journal entry.
+    #[must_use]
+    pub fn of(outcome: &CellOutcome) -> Self {
+        JournalEntry {
+            index: outcome.index,
+            fingerprint: spec_fingerprint(&outcome.spec),
+            status: outcome.status,
+            attempts: outcome.attempts,
+            cell: outcome.to_json(),
+        }
+    }
+
+    fn to_line(&self) -> String {
+        Json::obj(vec![
+            ("schema", Json::Str(JOURNAL_SCHEMA.to_string())),
+            ("index", Json::UInt(self.index as u64)),
+            ("fingerprint", Json::Str(self.fingerprint.clone())),
+            ("status", Json::Str(self.status.name().to_string())),
+            ("attempts", Json::UInt(u64::from(self.attempts))),
+            ("cell", self.cell.clone()),
+        ])
+        .render()
+    }
+
+    fn from_line(line: &str) -> Option<Self> {
+        let doc = json::parse(line).ok()?;
+        if doc.get("schema")?.as_str()? != JOURNAL_SCHEMA {
+            return None;
+        }
+        Some(JournalEntry {
+            index: doc.get("index")?.as_u64()? as usize,
+            fingerprint: doc.get("fingerprint")?.as_str()?.to_string(),
+            status: CellStatus::from_name(doc.get("status")?.as_str()?)?,
+            attempts: doc.get("attempts")?.as_u64()? as u32,
+            cell: doc.get("cell")?.clone(),
+        })
+    }
+}
+
+/// An append-only journal for one named run.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Where the journal of run `name` lives.
+    #[must_use]
+    pub fn path_for(name: &str) -> PathBuf {
+        results_dir().join(format!("{}.journal.jsonl", safe_name(name)))
+    }
+
+    /// Creates (truncating) the journal for a fresh run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn create(name: &str) -> std::io::Result<Self> {
+        let path = Self::path_for(name);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = File::create(&path)?;
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Opens the journal for appending (creating it if absent), for a
+    /// resumed run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be opened.
+    pub fn append_to(name: &str) -> std::io::Result<Self> {
+        let path = Self::path_for(name);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal file's path.
+    #[must_use]
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+
+    /// Appends one entry and flushes it to disk. Best-effort: an I/O
+    /// failure here must not fail the cell whose result it records, so
+    /// errors are reported on stderr and swallowed — the worst case is
+    /// a resume that re-runs the cell.
+    pub fn record(&self, entry: &JournalEntry) {
+        let line = entry.to_line();
+        let mut file = match self.file.lock() {
+            Ok(f) => f,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
+            eprintln!(
+                "warning: could not journal cell {} to {}: {e}",
+                entry.index,
+                self.path.display()
+            );
+        }
+    }
+
+    /// Loads the journal of run `name`: the surviving entry per index
+    /// (last line wins). Unreadable or torn lines are skipped — a crash
+    /// mid-append truncates at most the final line, and a resume simply
+    /// re-runs that cell. A missing journal loads as empty.
+    #[must_use]
+    pub fn load(name: &str) -> HashMap<usize, JournalEntry> {
+        let mut entries = HashMap::new();
+        let Ok(text) = std::fs::read_to_string(Self::path_for(name)) else {
+            return entries;
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(entry) = JournalEntry::from_line(line) {
+                entries.insert(entry.index, entry);
+            }
+        }
+        entries
+    }
+}
+
+/// An FNV-1a-64 fingerprint over everything that determines a cell's
+/// result: workload name, config (name and full contents), interval,
+/// seed, scheme set, observer toggles, budget, fault injection, and the
+/// program itself. Deterministic across processes (no hasher
+/// randomization), so journals written by one invocation validate in
+/// the next.
+#[must_use]
+pub fn spec_fingerprint(spec: &CellSpec) -> String {
+    let mut desc = String::new();
+    let _ = write!(
+        desc,
+        "{}|{}|{:?}|{}|{}|{:?}|{}|{}|{:?}|{:?}|",
+        spec.workload,
+        spec.config_name,
+        spec.config,
+        spec.interval,
+        spec.seed,
+        spec.schemes,
+        spec.golden,
+        spec.tip,
+        spec.budget,
+        spec.fault,
+    );
+    let _ = write!(desc, "{:#x}|", spec.program.base());
+    let _ = write!(
+        desc,
+        "{:?}|{:?}",
+        spec.program.insts(),
+        spec.program.init_words()
+    );
+    format!("{:016x}", fnv1a64(desc.as_bytes()))
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn entries_round_trip_through_their_line_format() {
+        let entry = JournalEntry {
+            index: 7,
+            fingerprint: "00ff".to_string(),
+            status: CellStatus::TimedOut,
+            attempts: 3,
+            cell: Json::obj(vec![
+                ("workload", Json::Str("lbm".into())),
+                ("cycles", Json::UInt(12345)),
+            ]),
+        };
+        let line = entry.to_line();
+        assert!(!line.contains('\n'), "journal lines must be single lines");
+        let back = JournalEntry::from_line(&line).expect("line parses");
+        assert_eq!(back, entry);
+        // Torn / foreign lines are rejected, not fatal.
+        assert!(JournalEntry::from_line(&line[..line.len() - 4]).is_none());
+        assert!(JournalEntry::from_line("{\"schema\":\"other/v1\"}").is_none());
+        assert!(JournalEntry::from_line("").is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_full_spec() {
+        let program = tea_workloads::lbm::program(tea_workloads::Size::Test);
+        let a = CellSpec::new("w", program.clone());
+        let same = CellSpec::new("w", program.clone());
+        assert_eq!(spec_fingerprint(&a), spec_fingerprint(&same));
+        let seeded = CellSpec::new("w", program.clone()).seed(99);
+        assert_ne!(spec_fingerprint(&a), spec_fingerprint(&seeded));
+        let budgeted = CellSpec::new("w", program).budget(1000);
+        assert_ne!(spec_fingerprint(&a), spec_fingerprint(&budgeted));
+    }
+}

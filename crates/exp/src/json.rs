@@ -136,6 +136,219 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Looks up a key in an object; `None` for missing keys and
+    /// non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (accepting non-negative `Int`s).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            Json::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (accepting any numeric variant).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(n) => Some(*n as f64),
+            Json::Int(n) => Some(*n as f64),
+            Json::Num(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object fields, if it is an object.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// A deep copy with every object field named in `keys` removed, at
+    /// any nesting depth. Used to strip wall-clock fields before
+    /// comparing artifacts for bit-identity.
+    #[must_use]
+    pub fn without_keys(&self, keys: &[&str]) -> Json {
+        match self {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .iter()
+                    .filter(|(k, _)| !keys.contains(&k.as_str()))
+                    .map(|(k, v)| (k.clone(), v.without_keys(keys)))
+                    .collect(),
+            ),
+            Json::Arr(items) => Json::Arr(items.iter().map(|v| v.without_keys(keys)).collect()),
+            other => other.clone(),
+        }
+    }
+}
+
+/// Parses one JSON value (with nothing but whitespace after it) into a
+/// [`Json`] document. Integers without a fraction or exponent parse to
+/// [`Json::UInt`]/[`Json::Int`] so counters round-trip exactly; numbers
+/// with either parse to [`Json::Num`].
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error, with its byte
+/// offset.
+pub fn parse(s: &str) -> Result<Json, String> {
+    let b = s.as_bytes();
+    let pos = skip_ws(b, 0);
+    let (doc, pos) = parse_value(b, pos)?;
+    let pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(doc)
+}
+
+fn parse_value(b: &[u8], pos: usize) -> Result<(Json, usize), String> {
+    match b.get(pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => literal(b, pos, b"true").map(|p| (Json::Bool(true), p)),
+        Some(b'f') => literal(b, pos, b"false").map(|p| (Json::Bool(false), p)),
+        Some(b'n') => literal(b, pos, b"null").map(|p| (Json::Null, p)),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at offset {pos}")),
+    }
+}
+
+fn parse_number(b: &[u8], pos: usize) -> Result<(Json, usize), String> {
+    let end = number(b, pos)?;
+    let text = std::str::from_utf8(&b[pos..end]).map_err(|e| e.to_string())?;
+    let is_float = text.contains(['.', 'e', 'E']);
+    let doc = if is_float {
+        Json::Num(
+            text.parse::<f64>()
+                .map_err(|e| format!("bad number {text:?}: {e}"))?,
+        )
+    } else if text.starts_with('-') {
+        Json::Int(
+            text.parse::<i64>()
+                .map_err(|e| format!("bad integer {text:?}: {e}"))?,
+        )
+    } else {
+        Json::UInt(
+            text.parse::<u64>()
+                .map_err(|e| format!("bad integer {text:?}: {e}"))?,
+        )
+    };
+    Ok((doc, end))
+}
+
+fn parse_string(b: &[u8], pos: usize) -> Result<(Json, usize), String> {
+    let end = string(b, pos)?;
+    let raw = std::str::from_utf8(&b[pos + 1..end - 1]).map_err(|e| e.to_string())?;
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                // Surrogate pairs are not produced by our writer; map
+                // lone surrogates to the replacement character.
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            other => return Err(format!("bad escape {other:?}")),
+        }
+    }
+    Ok((Json::Str(out), end))
+}
+
+fn parse_array(b: &[u8], pos: usize) -> Result<(Json, usize), String> {
+    let mut pos = skip_ws(b, pos + 1);
+    let mut items = Vec::new();
+    if b.get(pos) == Some(&b']') {
+        return Ok((Json::Arr(items), pos + 1));
+    }
+    loop {
+        let (item, p) = parse_value(b, pos)?;
+        items.push(item);
+        pos = skip_ws(b, p);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok((Json::Arr(items), pos + 1)),
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: usize) -> Result<(Json, usize), String> {
+    let mut pos = skip_ws(b, pos + 1);
+    let mut fields = Vec::new();
+    if b.get(pos) == Some(&b'}') {
+        return Ok((Json::Obj(fields), pos + 1));
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}"));
+        }
+        let (key, p) = parse_string(b, pos)?;
+        let Json::Str(key) = key else { unreachable!() };
+        pos = skip_ws(b, p);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        let (val, p) = parse_value(b, skip_ws(b, pos + 1))?;
+        fields.push((key, val));
+        pos = skip_ws(b, p);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok((Json::Obj(fields), pos + 1)),
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
 fn push_indent(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
@@ -347,6 +560,63 @@ mod tests {
         assert_eq!(Json::Num(f64::NAN).render(), "null");
         assert_eq!(Json::Num(f64::INFINITY).render(), "null");
         assert_eq!(Json::Num(0.1).render(), "0.1");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::obj(vec![
+            ("name", Json::Str("fig5 \"quoted\"\n\t\u{8}".into())),
+            ("threads", Json::UInt(8)),
+            ("huge", Json::UInt(u64::MAX)),
+            ("offset", Json::Int(-3)),
+            ("wall_seconds", Json::Num(1.25)),
+            ("tiny", Json::Num(-0.5e-3)),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+            (
+                "cells",
+                Json::Arr(vec![
+                    Json::obj(vec![("cycles", Json::UInt(123))]),
+                    Json::Arr(vec![]),
+                    Json::Obj(vec![]),
+                ]),
+            ),
+        ]);
+        for text in [doc.render(), doc.render_pretty()] {
+            let parsed = parse(&text).expect("rendered output must parse");
+            assert_eq!(parsed, doc);
+            // Render-parse-render is a fixed point.
+            assert_eq!(parsed.render(), doc.render());
+        }
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(parse("7").unwrap(), Json::UInt(7));
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("7.5").unwrap(), Json::Num(7.5));
+        assert_eq!(parse("7e2").unwrap(), Json::Num(700.0));
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+    }
+
+    #[test]
+    fn accessors_and_without_keys() {
+        let doc = parse(r#"{"a":{"wall":1.5,"n":3},"b":[{"wall":2.5}],"s":"x"}"#).unwrap();
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            doc.get("a").and_then(|a| a.get("n")).and_then(Json::as_u64),
+            Some(3)
+        );
+        let stripped = doc.without_keys(&["wall"]);
+        assert_eq!(stripped.get("a").unwrap().get("wall"), None);
+        assert_eq!(
+            stripped.get("b").unwrap().as_arr().unwrap()[0].get("wall"),
+            None
+        );
+        assert_eq!(
+            stripped.get("a").and_then(|a| a.get("n")),
+            Some(&Json::UInt(3))
+        );
     }
 
     #[test]

@@ -15,20 +15,38 @@
 //! a parallel run is bit-identical to a serial one — the simulator and
 //! profilers are deterministic, and nothing about scheduling leaks into
 //! the numbers. [`RunResult::to_json`] serializes a machine-readable
-//! artifact (schema `tea-experiment/v1`, see docs/INTERNALS.md);
-//! [`RunResult::write_artifact`] drops it under `target/experiments/`.
+//! artifact (schema `tea-experiment/v2`, see docs/INTERNALS.md);
+//! [`RunResult::write_artifact`] drops it under `target/experiments/`
+//! atomically (temp file + rename).
+//!
+//! The engine is fault-tolerant: each cell body runs under
+//! `catch_unwind`, so a panicking cell becomes a [`CellStatus::Failed`]
+//! outcome carrying a structured [`ExpError`] instead of tearing down
+//! the pool; transient failures are retried with capped deterministic
+//! backoff ([`Engine::max_retries`]); a per-cell cycle budget turns
+//! runaway simulations into [`CellStatus::TimedOut`]
+//! ([`Engine::cell_budget`]); and [`Engine::run_journaled`] +
+//! [`Engine::resume`] checkpoint completed cells to a
+//! `target/experiments/<name>.journal.jsonl` journal so an interrupted
+//! sweep re-runs only missing or failed cells — the merged artifact is
+//! bit-identical (over [`RunResult::deterministic_json`]) to an
+//! uninterrupted run.
 //!
 //! Thread count: `RAYON_NUM_THREADS` (the conventional knob), then
 //! `TEA_THREADS`, then the machine's available parallelism.
 
 #![warn(missing_docs)]
 
+pub mod artifact;
+pub mod error;
+pub mod journal;
 pub mod json;
 
 use std::collections::HashMap;
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -48,6 +66,8 @@ use tea_sim::trace::Observer;
 use tea_sim::SimConfig;
 use tea_workloads::Workload;
 
+pub use error::ExpError;
+use journal::{spec_fingerprint, Journal, JournalEntry};
 use json::Json;
 
 /// Every sampling scheme the engine can attach to a cell.
@@ -92,6 +112,65 @@ pub struct CellSpec {
     pub golden: bool,
     /// Attach the TIP baseline profiler.
     pub tip: bool,
+    /// Per-cell cycle budget; a cell still running after this many
+    /// simulated cycles is cut off as [`CellStatus::TimedOut`].
+    /// Overrides [`Engine::cell_budget`] when set.
+    pub budget: Option<u64>,
+    /// Injected failure, for exercising the engine's fault tolerance.
+    pub fault: Option<Fault>,
+}
+
+/// An injected cell failure, used by the fault-injection tests and the
+/// CLI's `--inject-panic` smoke path. Faults fire before the simulation
+/// pass, keyed on the engine's 1-based attempt counter, so a fault
+/// injected "until attempt N" exercises the retry path deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic while the attempt number is below `n`
+    /// (`PanicUntilAttempt(u32::MAX)` panics on every attempt).
+    PanicUntilAttempt(u32),
+    /// Fail with [`ExpError::Injected`] while the attempt number is
+    /// below `n`.
+    ErrorUntilAttempt(u32),
+}
+
+/// Terminal status of one cell in a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell completed and carries measurements.
+    Ok,
+    /// The cell failed (panic, rejected config, program fault, injected
+    /// fault) after exhausting its retries.
+    Failed,
+    /// The cell exceeded its cycle budget.
+    TimedOut,
+    /// The cell never ran (fail-fast abort after an earlier failure).
+    Skipped,
+}
+
+impl CellStatus {
+    /// The status name used in artifacts and journals.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Failed => "failed",
+            CellStatus::TimedOut => "timed-out",
+            CellStatus::Skipped => "skipped",
+        }
+    }
+
+    /// Parses an artifact/journal status name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "ok" => Some(CellStatus::Ok),
+            "failed" => Some(CellStatus::Failed),
+            "timed-out" => Some(CellStatus::TimedOut),
+            "skipped" => Some(CellStatus::Skipped),
+            _ => None,
+        }
+    }
 }
 
 impl CellSpec {
@@ -108,6 +187,8 @@ impl CellSpec {
             schemes: ALL_SCHEMES.to_vec(),
             golden: true,
             tip: false,
+            budget: None,
+            fault: None,
         }
     }
 
@@ -159,6 +240,20 @@ impl CellSpec {
         self.schemes.clear();
         self.golden = false;
         self.tip = false;
+        self
+    }
+
+    /// Sets a per-cell cycle budget (see [`CellSpec::budget`]).
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Injects a failure (see [`Fault`]).
+    #[must_use]
+    pub fn fault(mut self, fault: Fault) -> Self {
+        self.fault = Some(fault);
         self
     }
 }
@@ -213,12 +308,11 @@ impl CellResult {
         self.samples.values().sum()
     }
 
-    fn to_json(&self) -> Json {
+    /// The measurement fields of the cell's artifact object (everything
+    /// after the identity and status fields, which [`CellOutcome`]
+    /// contributes).
+    fn measurement_fields(&self) -> Vec<(&'static str, Json)> {
         let mut fields = vec![
-            ("workload", Json::Str(self.spec.workload.clone())),
-            ("config", Json::Str(self.spec.config_name.clone())),
-            ("interval", Json::UInt(self.spec.interval)),
-            ("seed", Json::UInt(self.spec.seed)),
             ("cycles", Json::UInt(self.stats.cycles)),
             ("instructions", Json::UInt(self.stats.retired)),
             ("ipc", Json::Num(self.stats.ipc())),
@@ -273,7 +367,7 @@ impl CellResult {
                 ),
             ));
         }
-        Json::obj(fields)
+        fields
     }
 }
 
@@ -293,39 +387,61 @@ pub fn threads_from_env() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// The experiment engine: a worker-pool executor for cell matrices.
+/// The experiment engine: a fault-tolerant worker-pool executor for
+/// cell matrices.
 #[derive(Clone, Debug)]
 pub struct Engine {
     threads: usize,
     progress: bool,
+    max_retries: u32,
+    backoff: Duration,
+    backoff_cap: Duration,
+    cell_budget: Option<u64>,
+    fail_fast: bool,
+}
+
+/// A unit of work handed to the pool: a spec to run, or an outcome
+/// restored from the resume journal.
+enum CellWork {
+    Run(Box<CellSpec>),
+    Restored(Box<CellOutcome>),
+}
+
+impl CellWork {
+    fn run(spec: CellSpec) -> Self {
+        CellWork::Run(Box::new(spec))
+    }
 }
 
 impl Engine {
+    fn with_threads(threads: usize) -> Self {
+        Engine {
+            threads,
+            progress: true,
+            max_retries: 0,
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            cell_budget: None,
+            fail_fast: false,
+        }
+    }
+
     /// An engine sized by [`threads_from_env`], with progress reporting.
     #[must_use]
     pub fn from_env() -> Self {
-        Engine {
-            threads: threads_from_env(),
-            progress: true,
-        }
+        Engine::with_threads(threads_from_env())
     }
 
     /// A single-threaded engine (cells run in matrix order).
     #[must_use]
     pub fn serial() -> Self {
-        Engine {
-            threads: 1,
-            progress: true,
-        }
+        Engine::with_threads(1)
     }
 
     /// An engine with an explicit worker count.
     #[must_use]
     pub fn new(threads: usize) -> Self {
-        Engine {
-            threads: threads.max(1),
-            progress: true,
-        }
+        Engine::with_threads(threads.max(1))
     }
 
     /// Disables the per-cell progress line on stderr.
@@ -335,28 +451,131 @@ impl Engine {
         self
     }
 
+    /// Retries transient cell failures (panics, injected faults) up to
+    /// `n` additional times. Deterministic failures — rejected configs,
+    /// architectural program faults, exceeded cycle budgets — are never
+    /// retried.
+    #[must_use]
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Sets the deterministic retry backoff: attempt `k` waits
+    /// `min(base << (k-1), cap)`. The default is 50 ms doubling up to
+    /// 2 s; tests pass `Duration::ZERO` to retry immediately.
+    #[must_use]
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Caps every cell at `budget` simulated cycles (a deterministic
+    /// watchdog: the simulator's own clock, not wall time). Cells still
+    /// running at the budget become [`CellStatus::TimedOut`]. A cell's
+    /// own [`CellSpec::budget`] takes precedence.
+    #[must_use]
+    pub fn cell_budget(mut self, budget: u64) -> Self {
+        self.cell_budget = Some(budget);
+        self
+    }
+
+    /// Stops claiming new cells after the first failure; unclaimed
+    /// cells finish as [`CellStatus::Skipped`]. Cells already in flight
+    /// run to completion.
+    #[must_use]
+    pub fn fail_fast(mut self) -> Self {
+        self.fail_fast = true;
+        self
+    }
+
     /// The worker count this engine will use.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Runs every cell and returns the results **in cell order** —
+    /// Runs every cell and returns the outcomes **in cell order** —
     /// results do not depend on which worker ran which cell, so a
-    /// parallel run is bit-identical to [`Engine::serial`].
+    /// parallel run is bit-identical to [`Engine::serial`] (over
+    /// [`RunResult::deterministic_json`]).
+    ///
+    /// A failing cell never tears down the run: its panic or error is
+    /// captured as a [`CellStatus::Failed`] / [`CellStatus::TimedOut`]
+    /// outcome and every other cell completes normally.
     #[must_use]
     pub fn run(&self, name: &str, cells: Vec<CellSpec>) -> RunResult {
+        let work = cells.into_iter().map(CellWork::run).collect();
+        self.run_inner(name, work, None)
+    }
+
+    /// Like [`Engine::run`], journaling every completed cell to
+    /// `target/experiments/<name>.journal.jsonl` (truncating any
+    /// previous journal) so an interrupted run can be picked up by
+    /// [`Engine::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the journal file cannot be created.
+    pub fn run_journaled(&self, name: &str, cells: Vec<CellSpec>) -> std::io::Result<RunResult> {
+        let journal = Journal::create(name)?;
+        let work = cells.into_iter().map(CellWork::run).collect();
+        Ok(self.run_inner(name, work, Some(&journal)))
+    }
+
+    /// Resumes an interrupted [`Engine::run_journaled`] run: cells whose
+    /// journal entry is `ok` and whose spec fingerprint still matches
+    /// are restored verbatim; missing, failed, timed-out and skipped
+    /// cells are re-run (and journaled). Because the simulator is
+    /// deterministic, the merged result is bit-identical (over
+    /// [`RunResult::deterministic_json`]) to an uninterrupted run.
+    ///
+    /// A missing journal is not an error — every cell simply re-runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the journal file cannot be opened for
+    /// appending.
+    pub fn resume(&self, name: &str, cells: Vec<CellSpec>) -> std::io::Result<RunResult> {
+        let entries = Journal::load(name);
+        let journal = Journal::append_to(name)?;
+        let work = cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let fingerprint = spec_fingerprint(&spec);
+                match entries.get(&i) {
+                    Some(e) if e.status == CellStatus::Ok && e.fingerprint == fingerprint => {
+                        CellWork::Restored(Box::new(CellOutcome {
+                            index: i,
+                            spec,
+                            status: CellStatus::Ok,
+                            attempts: e.attempts,
+                            wall: Duration::ZERO,
+                            data: CellData::Restored(e.cell.clone()),
+                        }))
+                    }
+                    _ => CellWork::run(spec),
+                }
+            })
+            .collect();
+        Ok(self.run_inner(name, work, Some(&journal)))
+    }
+
+    fn run_inner(&self, name: &str, work: Vec<CellWork>, journal: Option<&Journal>) -> RunResult {
         let t0 = Instant::now();
-        let total = cells.len();
+        let total = work.len();
         let workers = self.threads.min(total.max(1));
         // Cells are handed to exactly one worker each (shared-nothing);
         // the slot Mutexes only guard the ownership transfer.
-        let slots: Vec<Mutex<Option<CellSpec>>> =
-            cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-        let results: Vec<Mutex<Option<CellResult>>> =
+        let slots: Vec<Mutex<Option<CellWork>>> =
+            work.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let results: Vec<Mutex<Option<CellOutcome>>> =
             (0..total).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
@@ -364,34 +583,43 @@ impl Engine {
                     if i >= total {
                         break;
                     }
-                    let spec = slots[i]
+                    let work = slots[i]
                         .lock()
                         .expect("cell slot poisoned")
                         .take()
                         .expect("each cell is claimed exactly once");
-                    let r = run_cell(i, spec);
+                    let outcome = match work {
+                        CellWork::Restored(outcome) => *outcome,
+                        CellWork::Run(spec) => {
+                            if self.fail_fast && abort.load(Ordering::Relaxed) {
+                                CellOutcome::skipped(i, *spec)
+                            } else {
+                                self.execute_cell(i, *spec)
+                            }
+                        }
+                    };
+                    if self.fail_fast && outcome.status != CellStatus::Ok {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if let Some(j) = journal {
+                        if !matches!(outcome.data, CellData::Restored(_)) {
+                            j.record(&JournalEntry::of(&outcome));
+                        }
+                    }
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if self.progress {
-                        eprintln!(
-                            "[{name}] {finished:>3}/{total} {:<14} {:<10} {:>8} cycles  \
-                             {:>6.2}s  {:>7.2} Msim-inst/s",
-                            r.spec.workload,
-                            r.spec.config_name,
-                            r.stats.cycles,
-                            r.wall.as_secs_f64(),
-                            r.sim_mips(),
-                        );
+                        self.progress_line(name, finished, total, &outcome);
                     }
-                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                    *results[i].lock().expect("result slot poisoned") = Some(outcome);
                 });
             }
         });
-        let cells: Vec<CellResult> = results
+        let cells: Vec<CellOutcome> = results
             .into_iter()
             .map(|m| {
                 m.into_inner()
                     .expect("result slot poisoned")
-                    .expect("every cell produces a result")
+                    .expect("every cell produces an outcome")
             })
             .collect();
         RunResult {
@@ -401,13 +629,187 @@ impl Engine {
             cells,
         }
     }
+
+    fn progress_line(&self, name: &str, finished: usize, total: usize, outcome: &CellOutcome) {
+        match &outcome.data {
+            CellData::Fresh(r) => eprintln!(
+                "[{name}] {finished:>3}/{total} {:<14} {:<10} {:>8} cycles  \
+                 {:>6.2}s  {:>7.2} Msim-inst/s",
+                r.spec.workload,
+                r.spec.config_name,
+                r.stats.cycles,
+                r.wall.as_secs_f64(),
+                r.sim_mips(),
+            ),
+            CellData::Restored(_) => eprintln!(
+                "[{name}] {finished:>3}/{total} {:<14} {:<10} restored from journal",
+                outcome.spec.workload, outcome.spec.config_name,
+            ),
+            CellData::Failed(e) => eprintln!(
+                "[{name}] {finished:>3}/{total} {:<14} {:<10} {}: {e}",
+                outcome.spec.workload,
+                outcome.spec.config_name,
+                outcome.status.name(),
+            ),
+        }
+    }
+
+    /// Runs one cell under `catch_unwind` with retry and backoff.
+    fn execute_cell(&self, index: usize, spec: CellSpec) -> CellOutcome {
+        let t0 = Instant::now();
+        let budget = spec.budget.or(self.cell_budget);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match run_cell_guarded(index, &spec, attempt, budget) {
+                Ok(result) => {
+                    return CellOutcome {
+                        index,
+                        spec,
+                        status: CellStatus::Ok,
+                        attempts: attempt,
+                        wall: t0.elapsed(),
+                        data: CellData::Fresh(Box::new(result)),
+                    }
+                }
+                Err(e) => {
+                    if e.is_transient() && attempt <= self.max_retries {
+                        let delay = backoff_delay(self.backoff, self.backoff_cap, attempt);
+                        if delay > Duration::ZERO {
+                            std::thread::sleep(delay);
+                        }
+                        continue;
+                    }
+                    let status = match e {
+                        ExpError::Timeout { .. } => CellStatus::TimedOut,
+                        _ => CellStatus::Failed,
+                    };
+                    return CellOutcome {
+                        index,
+                        spec,
+                        status,
+                        attempts: attempt,
+                        wall: t0.elapsed(),
+                        data: CellData::Failed(e),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The deterministic capped exponential backoff before retry `attempt+1`:
+/// `min(base << (attempt-1), cap)`.
+fn backoff_delay(base: Duration, cap: Duration, attempt: u32) -> Duration {
+    let shift = (attempt - 1).min(16);
+    base.saturating_mul(1u32 << shift).min(cap)
+}
+
+/// Runs one cell attempt with panics captured as [`ExpError::Panic`].
+fn run_cell_guarded(
+    index: usize,
+    spec: &CellSpec,
+    attempt: u32,
+    budget: Option<u64>,
+) -> Result<CellResult, ExpError> {
+    quiet_panics::install();
+    let spec = spec.clone();
+    quiet_panics::with_quiet(|| {
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_cell_attempt(index, spec, attempt, budget)
+        })) {
+            Ok(inner) => inner,
+            Err(payload) => Err(ExpError::Panic {
+                // `&*payload`, not `&payload`: coercing `&Box<dyn Any>`
+                // would downcast against the Box itself and never match.
+                message: panic_message(&*payload),
+            }),
+        }
+    })
+}
+
+/// Downcasts a `catch_unwind` payload to its message where possible.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Suppression of the default panic hook's stderr backtrace while a
+/// cell body runs under `catch_unwind`: a cell failure is an expected,
+/// captured outcome, not a crash worth a traceback per retry.
+mod quiet_panics {
+    use std::cell::Cell;
+    use std::sync::Once;
+
+    thread_local! {
+        static QUIET: Cell<bool> = const { Cell::new(false) };
+    }
+    static INSTALL: Once = Once::new();
+
+    /// Installs (once, process-wide) a panic hook that stays silent on
+    /// threads currently inside [`with_quiet`] and delegates to the
+    /// previous hook everywhere else.
+    pub fn install() {
+        INSTALL.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !QUIET.with(Cell::get) {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// Runs `f` with this thread's panics silenced.
+    pub fn with_quiet<T>(f: impl FnOnce() -> T) -> T {
+        QUIET.with(|q| q.set(true));
+        let r = f();
+        QUIET.with(|q| q.set(false));
+        r
+    }
 }
 
 /// Runs one cell: builds its observers, performs the single simulation
 /// pass, and packages the measurements.
-#[must_use]
-pub fn run_cell(index: usize, spec: CellSpec) -> CellResult {
+///
+/// This is the engine's single-cell entry point for harnesses that run
+/// one spec without a pool: no `catch_unwind`, no retry; the cell's own
+/// [`CellSpec::budget`] applies.
+///
+/// # Errors
+///
+/// Returns [`ExpError::Config`] for a rejected configuration,
+/// [`ExpError::Sim`] for an architectural program fault,
+/// [`ExpError::Timeout`] for an exceeded cycle budget, and
+/// [`ExpError::Injected`] for an injected fault.
+pub fn run_cell(index: usize, spec: CellSpec) -> Result<CellResult, ExpError> {
+    let budget = spec.budget;
+    run_cell_attempt(index, spec, 1, budget)
+}
+
+/// One attempt of one cell. `attempt` is 1-based and keys injected
+/// faults; `budget` caps the simulation in simulated cycles.
+fn run_cell_attempt(
+    index: usize,
+    spec: CellSpec,
+    attempt: u32,
+    budget: Option<u64>,
+) -> Result<CellResult, ExpError> {
     let t0 = Instant::now();
+    match spec.fault {
+        Some(Fault::PanicUntilAttempt(n)) if attempt < n => {
+            panic!("injected panic on attempt {attempt} (cell {index})")
+        }
+        Some(Fault::ErrorUntilAttempt(n)) if attempt < n => {
+            return Err(ExpError::Injected { attempt });
+        }
+        _ => {}
+    }
     let timer = || SampleTimer::with_jitter(spec.interval, spec.interval / 8, spec.seed);
     let mut golden = if spec.golden {
         Some(GoldenReference::new())
@@ -435,7 +837,20 @@ pub fn run_cell(index: usize, spec: CellSpec) -> CellResult {
         for (_, o) in &mut scheme_obs {
             observers.push(o.as_observer());
         }
-        Core::new(&spec.program, spec.config.clone()).run(&mut observers)
+        let mut core =
+            Core::try_new(&spec.program, spec.config.clone()).map_err(ExpError::Config)?;
+        match budget {
+            Some(max) => {
+                let stats = core
+                    .try_run_for(max, &mut observers)
+                    .map_err(ExpError::Sim)?;
+                if !core.is_halted() {
+                    return Err(ExpError::Timeout { budget: max });
+                }
+                stats
+            }
+            None => core.try_run(&mut observers).map_err(ExpError::Sim)?,
+        }
     };
     let wall = t0.elapsed();
     let mut pics = HashMap::new();
@@ -444,7 +859,7 @@ pub fn run_cell(index: usize, spec: CellSpec) -> CellResult {
         samples.insert(scheme, obs.samples());
         pics.insert(scheme, obs.into_pics());
     }
-    CellResult {
+    Ok(CellResult {
         index,
         spec,
         stats,
@@ -453,7 +868,7 @@ pub fn run_cell(index: usize, spec: CellSpec) -> CellResult {
         pics,
         samples,
         wall,
-    }
+    })
 }
 
 /// A scheme's profiler behind one constructor, so cells can hold a
@@ -500,7 +915,135 @@ impl SchemeObserver {
     }
 }
 
-/// The outcome of an [`Engine::run`]: all cell results plus run-level
+/// What a finished cell carries.
+#[derive(Clone, Debug)]
+pub enum CellData {
+    /// Measurements from a cell simulated in this process (boxed: a
+    /// result dwarfs the error variants).
+    Fresh(Box<CellResult>),
+    /// The rendered artifact object of a cell restored from a resume
+    /// journal. The in-memory measurement structures (PICS, golden
+    /// reference) are not re-materialized; the stored JSON is spliced
+    /// into the merged artifact verbatim.
+    Restored(Json),
+    /// The structured error of a failed, timed-out or skipped cell.
+    Failed(ExpError),
+}
+
+/// The terminal outcome of one cell: its status, how many attempts it
+/// took, and either its measurements or its structured error.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// Position of the cell in the run's matrix.
+    pub index: usize,
+    /// The spec the cell ran under.
+    pub spec: CellSpec,
+    /// Terminal status.
+    pub status: CellStatus,
+    /// Attempts consumed (1 for a first-try success; 0 for a skipped
+    /// cell that never ran).
+    pub attempts: u32,
+    /// Wall-clock time spent on the cell across all attempts.
+    pub wall: Duration,
+    /// The measurements or the error.
+    pub data: CellData,
+}
+
+impl CellOutcome {
+    fn skipped(index: usize, spec: CellSpec) -> Self {
+        CellOutcome {
+            index,
+            spec,
+            status: CellStatus::Skipped,
+            attempts: 0,
+            wall: Duration::ZERO,
+            data: CellData::Failed(ExpError::Skipped),
+        }
+    }
+
+    /// The cell's measurements, when it completed in this process.
+    /// `None` for failed cells and for cells restored from a journal.
+    #[must_use]
+    pub fn result(&self) -> Option<&CellResult> {
+        match &self.data {
+            CellData::Fresh(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The cell's structured error, when it failed.
+    #[must_use]
+    pub fn error(&self) -> Option<&ExpError> {
+        match &self.data {
+            CellData::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether the cell completed.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status == CellStatus::Ok
+    }
+
+    /// Unwraps into the cell's measurements.
+    ///
+    /// # Errors
+    ///
+    /// The cell's [`ExpError`] if it failed, or [`ExpError::Journal`]
+    /// for a journal-restored cell (which carries no in-memory
+    /// measurements).
+    pub fn into_result(self) -> Result<CellResult, ExpError> {
+        match self.data {
+            CellData::Fresh(r) => Ok(*r),
+            CellData::Failed(e) => Err(e),
+            CellData::Restored(_) => Err(ExpError::Journal {
+                reason: "restored cells carry no in-memory measurements".to_string(),
+            }),
+        }
+    }
+
+    /// Instructions the cell retired (0 when it failed; read back from
+    /// the stored JSON for restored cells).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        match &self.data {
+            CellData::Fresh(r) => r.stats.retired,
+            CellData::Restored(doc) => doc.get("instructions").and_then(Json::as_u64).unwrap_or(0),
+            CellData::Failed(_) => 0,
+        }
+    }
+
+    /// The cell as its `tea-experiment/v2` artifact object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        if let CellData::Restored(doc) = &self.data {
+            return doc.clone();
+        }
+        let mut fields = vec![
+            ("workload", Json::Str(self.spec.workload.clone())),
+            ("config", Json::Str(self.spec.config_name.clone())),
+            ("interval", Json::UInt(self.spec.interval)),
+            ("seed", Json::UInt(self.spec.seed)),
+            ("status", Json::Str(self.status.name().to_string())),
+            ("attempts", Json::UInt(u64::from(self.attempts))),
+        ];
+        match &self.data {
+            CellData::Fresh(r) => fields.extend(r.measurement_fields()),
+            CellData::Failed(e) => fields.push((
+                "error",
+                Json::obj(vec![
+                    ("kind", Json::Str(e.kind().to_string())),
+                    ("message", Json::Str(e.to_string())),
+                ]),
+            )),
+            CellData::Restored(_) => unreachable!("handled above"),
+        }
+        Json::obj(fields)
+    }
+}
+
+/// The outcome of an [`Engine::run`]: all cell outcomes plus run-level
 /// timing.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -510,15 +1053,15 @@ pub struct RunResult {
     pub threads: usize,
     /// Wall-clock time of the whole run.
     pub wall: Duration,
-    /// Per-cell results, in matrix order.
-    pub cells: Vec<CellResult>,
+    /// Per-cell outcomes, in matrix order.
+    pub cells: Vec<CellOutcome>,
 }
 
 impl RunResult {
-    /// Instructions simulated across all cells.
+    /// Instructions simulated across all completed cells.
     #[must_use]
     pub fn total_instructions(&self) -> u64 {
-        self.cells.iter().map(|c| c.stats.retired).sum()
+        self.cells.iter().map(CellOutcome::instructions).sum()
     }
 
     /// Aggregate simulated instructions per wall-second, in millions.
@@ -532,53 +1075,111 @@ impl RunResult {
         }
     }
 
-    /// The run as a `tea-experiment/v1` JSON document.
+    /// Cells with the given status.
+    #[must_use]
+    pub fn count(&self, status: CellStatus) -> u64 {
+        self.cells.iter().filter(|c| c.status == status).count() as u64
+    }
+
+    /// Whether every cell completed.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.cells.iter().all(CellOutcome::is_ok)
+    }
+
+    /// The completed cells' measurements (journal-restored cells are
+    /// not included — they carry only their stored JSON).
+    pub fn ok_cells(&self) -> impl Iterator<Item = &CellResult> {
+        self.cells.iter().filter_map(CellOutcome::result)
+    }
+
+    /// The run as a `tea-experiment/v2` JSON document. Use
+    /// [`artifact::read_artifact`] to read both v2 and the status-less
+    /// v1 schema back.
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::Str("tea-experiment/v1".to_string())),
+            ("schema", Json::Str("tea-experiment/v2".to_string())),
             ("name", Json::Str(self.name.clone())),
             ("threads", Json::UInt(self.threads as u64)),
             ("cells_total", Json::UInt(self.cells.len() as u64)),
+            ("cells_ok", Json::UInt(self.count(CellStatus::Ok))),
+            ("cells_failed", Json::UInt(self.count(CellStatus::Failed))),
+            (
+                "cells_timed_out",
+                Json::UInt(self.count(CellStatus::TimedOut)),
+            ),
+            ("cells_skipped", Json::UInt(self.count(CellStatus::Skipped))),
             ("wall_seconds", Json::Num(self.wall.as_secs_f64())),
             ("sim_mips", Json::Num(self.sim_mips())),
             (
                 "cells",
-                Json::Arr(self.cells.iter().map(CellResult::to_json).collect()),
+                Json::Arr(self.cells.iter().map(CellOutcome::to_json).collect()),
             ),
         ])
+    }
+
+    /// The artifact with its wall-clock-dependent fields
+    /// (`wall_seconds`, `sim_mips`, `threads`) stripped at every depth:
+    /// the projection over which a parallel run, a serial run, and a
+    /// resumed run of the same matrix are bit-identical.
+    #[must_use]
+    pub fn deterministic_json(&self) -> Json {
+        self.to_json()
+            .without_keys(&["wall_seconds", "sim_mips", "threads"])
     }
 
     /// Writes the JSON artifact to `$TEA_RESULTS_DIR` (default
     /// `target/experiments/` under the workspace root) as
     /// `<name>.json`, returning its path.
     ///
+    /// The write is atomic — the document lands in a temp file in the
+    /// same directory which is then renamed over the target — so a
+    /// crash mid-write never leaves a truncated artifact.
+    ///
     /// Cargo runs test and bench binaries with the package directory
     /// as the working directory, so the default anchors to the
     /// outermost ancestor holding a `Cargo.lock` rather than to the
     /// CWD; every harness then writes to the same place.
     pub fn write_artifact(&self) -> std::io::Result<PathBuf> {
-        let dir = std::env::var("TEA_RESULTS_DIR").map_or_else(
-            |_| workspace_root().join("target/experiments"),
-            PathBuf::from,
-        );
+        let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
-        let safe: String = self
-            .name
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
-                    c
-                } else {
-                    '-'
-                }
-            })
-            .collect();
+        let safe = safe_name(&self.name);
         let path = dir.join(format!("{safe}.json"));
-        let mut file = std::fs::File::create(&path)?;
-        file.write_all(self.to_json().render_pretty().as_bytes())?;
+        let tmp = dir.join(format!(".{safe}.json.tmp.{}", std::process::id()));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.to_json().render_pretty().as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
         Ok(path)
     }
+}
+
+/// The directory run artifacts and journals land in:
+/// `$TEA_RESULTS_DIR`, defaulting to `target/experiments/` under the
+/// workspace root.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    std::env::var("TEA_RESULTS_DIR").map_or_else(
+        |_| workspace_root().join("target/experiments"),
+        PathBuf::from,
+    )
+}
+
+/// A run name reduced to filename-safe characters.
+#[must_use]
+pub fn safe_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// The outermost ancestor of the current directory that holds a
@@ -737,7 +1338,9 @@ mod tests {
         let spec = CellSpec::new("lbm", lbm::program(Size::Test)).with_tip();
         let run = Engine::serial().quiet().run("unit", vec![spec]);
         assert_eq!(run.cells.len(), 1);
-        let c = &run.cells[0];
+        assert!(run.all_ok());
+        assert_eq!(run.cells[0].attempts, 1);
+        let c = run.cells[0].result().expect("cell completed");
         assert!(c.stats.cycles > 0);
         // Golden invariant: exact attribution covers every cycle (the
         // u64 counter exactly; the f64 PICS total up to 1/n rounding).
@@ -757,7 +1360,7 @@ mod tests {
     fn stats_only_cells_carry_no_profiles() {
         let spec = CellSpec::new("lbm", lbm::program(Size::Test)).stats_only();
         let run = Engine::serial().quiet().run("stats", vec![spec]);
-        let c = &run.cells[0];
+        let c = run.cells[0].result().expect("cell completed");
         assert!(c.golden.is_none() && c.tip.is_none() && c.pics.is_empty());
         assert!(c.stats.cycles > 0);
         assert!(c.error(Scheme::Tea, Granularity::Instruction).is_none());
@@ -771,7 +1374,23 @@ mod tests {
         json::validate(&doc.render()).expect("compact artifact must be valid JSON");
         json::validate(&doc.render_pretty()).expect("pretty artifact must be valid JSON");
         let text = doc.render();
-        assert!(text.contains("\"schema\":\"tea-experiment/v1\""));
+        assert!(text.contains("\"schema\":\"tea-experiment/v2\""));
+        assert!(text.contains("\"status\":\"ok\""));
+        assert!(text.contains("\"cells_ok\":1"));
         assert!(text.contains("\"error_instruction\""));
+        let summary = artifact::read_artifact(&text).expect("engine output reads back");
+        assert!(summary.all_ok());
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        assert_eq!(backoff_delay(base, cap, 1), Duration::from_millis(50));
+        assert_eq!(backoff_delay(base, cap, 2), Duration::from_millis(100));
+        assert_eq!(backoff_delay(base, cap, 5), Duration::from_millis(800));
+        assert_eq!(backoff_delay(base, cap, 9), cap);
+        assert_eq!(backoff_delay(base, cap, 40), cap, "shift saturates");
+        assert_eq!(backoff_delay(Duration::ZERO, cap, 3), Duration::ZERO);
     }
 }

@@ -1,0 +1,135 @@
+//! Property tests of the `tea-experiment/v2` artifact: any mix of ok,
+//! failed, timed-out and skipped cells — with adversarial strings in
+//! the error messages — survives render → parse → summarise intact.
+
+use proptest::prelude::*;
+use tea_exp::artifact::read_artifact;
+use tea_exp::json::Json;
+use tea_exp::CellStatus;
+
+fn status_of(code: u8) -> CellStatus {
+    match code % 4 {
+        0 => CellStatus::Ok,
+        1 => CellStatus::Failed,
+        2 => CellStatus::TimedOut,
+        _ => CellStatus::Skipped,
+    }
+}
+
+const ERROR_KINDS: [&str; 4] = ["panic", "timeout", "config", "sim"];
+
+/// Builds a v2 artifact document the way the engine shapes it: ok cells
+/// carry measurements, the rest carry an error object.
+fn synth_artifact(cells: &[(u8, u32, u64, u64, u64)]) -> Json {
+    let rendered: Vec<Json> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, &(code, attempts, cycles, instructions, seed))| {
+            let status = status_of(code);
+            let mut fields = vec![
+                ("workload", Json::Str(format!("w{i}"))),
+                ("config", Json::Str("default".to_string())),
+                ("interval", Json::UInt(512)),
+                ("seed", Json::UInt(seed)),
+                ("status", Json::Str(status.name().to_string())),
+                ("attempts", Json::UInt(u64::from(attempts))),
+            ];
+            if status == CellStatus::Ok {
+                fields.push(("cycles", Json::UInt(cycles)));
+                fields.push(("instructions", Json::UInt(instructions)));
+                fields.push(("wall_seconds", Json::Num(0.25)));
+            } else {
+                // Hostile message content: quotes, backslashes, control
+                // characters, non-ASCII — the escaper must hold.
+                let message = format!("cell \"{seed}\" \\ died\n\tat cycle {cycles} \u{1f980}");
+                fields.push((
+                    "error",
+                    Json::obj(vec![
+                        (
+                            "kind",
+                            Json::Str(ERROR_KINDS[code as usize % 4].to_string()),
+                        ),
+                        ("message", Json::Str(message)),
+                    ]),
+                ));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    let ok = cells
+        .iter()
+        .filter(|c| status_of(c.0) == CellStatus::Ok)
+        .count();
+    Json::obj(vec![
+        ("schema", Json::Str("tea-experiment/v2".to_string())),
+        ("name", Json::Str("prop".to_string())),
+        ("cells_ok", Json::UInt(ok as u64)),
+        ("cells", Json::Arr(rendered)),
+    ])
+}
+
+proptest! {
+    #[test]
+    fn v2_artifacts_round_trip(
+        cells in prop::collection::vec(
+            (0u8..8, 1u32..5, 0u64..1_000_000, 0u64..1_000_000, 0u64..1000),
+            0..10,
+        )
+    ) {
+        let doc = synth_artifact(&cells);
+        for text in [doc.render(), doc.render_pretty()] {
+            let summary = read_artifact(&text).expect("rendered artifact parses");
+            prop_assert_eq!(&summary.schema, "tea-experiment/v2");
+            prop_assert_eq!(summary.cells.len(), cells.len());
+            for (i, (cell, &(code, attempts, cycles, instructions, seed))) in
+                summary.cells.iter().zip(&cells).enumerate()
+            {
+                let status = status_of(code);
+                prop_assert_eq!(&cell.workload, &format!("w{i}"));
+                prop_assert_eq!(cell.seed, seed);
+                prop_assert_eq!(cell.status, status);
+                prop_assert_eq!(cell.attempts, attempts);
+                if status == CellStatus::Ok {
+                    prop_assert_eq!(cell.cycles, Some(cycles));
+                    prop_assert_eq!(cell.instructions, Some(instructions));
+                    prop_assert!(cell.error_kind.is_none());
+                } else {
+                    prop_assert!(cell.cycles.is_none());
+                    let kind = ERROR_KINDS[code as usize % 4];
+                    prop_assert_eq!(cell.error_kind.as_deref(), Some(kind));
+                    let message = cell.error_message.as_deref().expect("message kept");
+                    prop_assert!(
+                        message.contains('"') && message.contains('\\')
+                            && message.contains('\n') && message.contains('\u{1f980}'),
+                        "hostile characters must survive the round trip: {:?}",
+                        message
+                    );
+                }
+            }
+            let ok = summary.count(CellStatus::Ok);
+            prop_assert_eq!(
+                summary.doc.get("cells_ok").and_then(Json::as_u64),
+                Some(ok as u64)
+            );
+            prop_assert_eq!(summary.all_ok(), ok == cells.len());
+        }
+    }
+
+    /// The parser itself never panics on mangled artifacts: any prefix
+    /// of a valid document either parses or errors cleanly.
+    #[test]
+    fn truncated_artifacts_error_cleanly(
+        cells in prop::collection::vec(
+            (0u8..8, 1u32..5, 0u64..1_000_000, 0u64..1_000_000, 0u64..1000),
+            1..6,
+        ),
+        cut in 0usize..2000,
+    ) {
+        let text = synth_artifact(&cells).render_pretty();
+        let mut cut = cut.min(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = read_artifact(&text[..cut]);
+    }
+}

@@ -13,6 +13,7 @@ fn fingerprint(run: &RunResult) -> Vec<String> {
     run.cells
         .iter()
         .map(|c| {
+            let c = c.result().expect("cell completed");
             let golden = c.golden.as_ref().expect("golden attached");
             let mut s = format!(
                 "{} cfg={} seed={} stats={:?} golden={:016x}",
@@ -47,12 +48,8 @@ fn parallel_2x2_matrix_is_bit_identical_to_serial() {
         ])
         .seeds(&[11, 29]);
 
-    let serial = Engine::new(1)
-        .quiet()
-        .run("identity-serial", matrix.cells());
-    let parallel = Engine::new(4)
-        .quiet()
-        .run("identity-parallel", matrix.cells());
+    let serial = Engine::new(1).quiet().run("identity", matrix.cells());
+    let parallel = Engine::new(4).quiet().run("identity", matrix.cells());
 
     assert_eq!(serial.cells.len(), 4);
     assert_eq!(serial.threads, 1);
@@ -61,6 +58,11 @@ fn parallel_2x2_matrix_is_bit_identical_to_serial() {
         fingerprint(&serial),
         fingerprint(&parallel),
         "parallel run must be bit-identical to serial"
+    );
+    assert_eq!(
+        serial.deterministic_json().render_pretty(),
+        parallel.deterministic_json().render_pretty(),
+        "the deterministic artifact projection must be byte-identical"
     );
 }
 

@@ -1,0 +1,133 @@
+//! Checkpoint-resume: a journaled run that lost cells (crash, panic,
+//! timeout) is completed by `Engine::resume`, and the merged artifact
+//! is bit-identical to an uninterrupted run.
+
+use std::time::Duration;
+
+use tea_exp::journal::Journal;
+use tea_exp::{CellSpec, CellStatus, Engine, Fault};
+use tea_workloads::{deepsjeng, lbm, Size};
+
+fn specs() -> Vec<CellSpec> {
+    vec![
+        CellSpec::for_workload(&lbm::workload(Size::Test)).seed(11),
+        CellSpec::for_workload(&deepsjeng::workload(Size::Test)).seed(11),
+        CellSpec::for_workload(&lbm::workload(Size::Test)).seed(29),
+    ]
+}
+
+fn eager(threads: usize) -> Engine {
+    Engine::new(threads)
+        .quiet()
+        .backoff(Duration::ZERO, Duration::ZERO)
+}
+
+#[test]
+fn resume_reruns_only_the_failed_cell_and_merges_bit_identically() {
+    let name = "resume-merge";
+    // First pass: the middle cell panics and lands in the journal as
+    // failed; the outer two complete and are journaled ok.
+    let mut broken = specs();
+    broken[1] = broken[1].clone().fault(Fault::PanicUntilAttempt(u32::MAX));
+    let first = eager(2)
+        .run_journaled(name, broken)
+        .expect("journal created");
+    assert_eq!(first.count(CellStatus::Ok), 2);
+    assert_eq!(first.cells[1].status, CellStatus::Failed);
+    assert!(Journal::path_for(name).is_file());
+
+    // Second pass with the fault removed: the ok cells are restored
+    // from the journal (not re-simulated), the failed cell re-runs.
+    let resumed = eager(2).resume(name, specs()).expect("journal reopened");
+    assert!(resumed.all_ok());
+    assert!(
+        resumed.cells[0].result().is_none() && resumed.cells[0].is_ok(),
+        "cell 0 must be restored from the journal, not re-run"
+    );
+    assert!(
+        resumed.cells[1].result().is_some(),
+        "the failed cell must re-run"
+    );
+    assert!(
+        resumed.cells[2].result().is_none() && resumed.cells[2].is_ok(),
+        "cell 2 must be restored from the journal, not re-run"
+    );
+
+    // The merged artifact is bit-identical to a clean uninterrupted run.
+    let clean = eager(1).run(name, specs());
+    assert_eq!(
+        resumed.deterministic_json().render_pretty(),
+        clean.deterministic_json().render_pretty(),
+        "resume must merge to the uninterrupted artifact, byte for byte"
+    );
+}
+
+#[test]
+fn a_changed_spec_invalidates_its_journal_entry() {
+    let name = "resume-fingerprint";
+    let first = eager(1)
+        .run_journaled(name, specs())
+        .expect("journal created");
+    assert!(first.all_ok());
+
+    // Same matrix but one cell's seed changed: its fingerprint no
+    // longer matches, so it re-runs; the untouched cells restore.
+    let mut changed = specs();
+    changed[2] = CellSpec::for_workload(&lbm::workload(Size::Test)).seed(31);
+    let resumed = eager(1).resume(name, changed).expect("journal reopened");
+    assert!(resumed.all_ok());
+    assert!(resumed.cells[0].result().is_none(), "unchanged: restored");
+    assert!(resumed.cells[1].result().is_none(), "unchanged: restored");
+    assert!(
+        resumed.cells[2].result().is_some(),
+        "stale measurements must never be spliced into a changed cell"
+    );
+}
+
+#[test]
+fn a_torn_journal_tail_only_costs_a_rerun_of_that_cell() {
+    let name = "resume-torn";
+    let first = eager(1)
+        .run_journaled(name, specs())
+        .expect("journal created");
+    assert!(first.all_ok());
+
+    // Simulate a crash mid-append: keep the first journal line intact
+    // and tear the second one in half.
+    let path = Journal::path_for(name);
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+    let mut lines = text.lines();
+    let keep = lines.next().expect("journal has a first line").to_string();
+    let torn = lines.next().expect("journal has a second line");
+    let torn = &torn[..torn.len() / 2];
+    std::fs::write(&path, format!("{keep}\n{torn}")).expect("journal rewritten");
+
+    let resumed = eager(1).resume(name, specs()).expect("journal reopened");
+    assert!(resumed.all_ok());
+    assert!(resumed.cells[0].result().is_none(), "intact entry restores");
+    assert!(resumed.cells[1].result().is_some(), "torn entry re-runs");
+    assert!(resumed.cells[2].result().is_some(), "lost entry re-runs");
+
+    let clean = eager(1).run(name, specs());
+    assert_eq!(
+        resumed.deterministic_json().render_pretty(),
+        clean.deterministic_json().render_pretty()
+    );
+}
+
+#[test]
+fn resume_without_a_journal_is_a_plain_run() {
+    let name = "resume-fresh-never-journaled";
+    let _ = std::fs::remove_file(Journal::path_for(name));
+    let run = eager(1).resume(name, specs()).expect("journal created");
+    assert!(run.all_ok());
+    assert!(
+        run.cells.iter().all(|c| c.result().is_some()),
+        "nothing to restore: every cell runs"
+    );
+    let clean = eager(1).run(name, specs());
+    assert_eq!(
+        run.deterministic_json().render_pretty(),
+        clean.deterministic_json().render_pretty()
+    );
+}

@@ -23,9 +23,7 @@
 //! # }
 //! ```
 
-use std::error::Error;
-use std::fmt;
-
+use crate::error::IsaError;
 use crate::inst::Inst;
 use crate::program::{Function, Program, INST_BYTES, TEXT_BASE};
 use crate::reg::{FReg, Reg};
@@ -35,41 +33,9 @@ use crate::reg::{FReg, Reg};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Label(usize);
 
-/// Error produced by [`Asm::finish`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum AsmError {
-    /// A label was referenced by a branch or jump but never bound.
-    UnboundLabel {
-        /// Index of the unbound label.
-        label: usize,
-        /// Index of the first instruction referencing it.
-        inst_index: usize,
-    },
-    /// A label was bound more than once.
-    RedefinedLabel {
-        /// Index of the redefined label.
-        label: usize,
-    },
-    /// The program contains no instructions.
-    Empty,
-}
-
-impl fmt::Display for AsmError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AsmError::UnboundLabel { label, inst_index } => {
-                write!(
-                    f,
-                    "label {label} referenced by instruction {inst_index} was never bound"
-                )
-            }
-            AsmError::RedefinedLabel { label } => write!(f, "label {label} bound twice"),
-            AsmError::Empty => write!(f, "program contains no instructions"),
-        }
-    }
-}
-
-impl Error for AsmError {}
+/// Error produced by [`Asm::finish`] (the assembler subset of
+/// [`IsaError`], kept as an alias for source compatibility).
+pub type AsmError = IsaError;
 
 /// The assembler. See the [module documentation](self) for an example.
 #[derive(Clone, Debug, Default)]
@@ -80,6 +46,9 @@ pub struct Asm {
     funcs: Vec<(String, usize)>,
     init_words: Vec<(u64, u64)>,
     base: u64,
+    /// Errors detected while emitting (rebinding, foreign labels,
+    /// misaligned base); reported by [`Asm::finish`] in detection order.
+    errors: Vec<IsaError>,
 }
 
 impl Asm {
@@ -94,16 +63,18 @@ impl Asm {
 
     /// Creates an empty assembler with a custom text base address.
     ///
-    /// # Panics
-    ///
-    /// Panics if `base` is not 4-byte aligned.
+    /// A misaligned base is reported as [`IsaError::MisalignedBase`] by
+    /// [`Asm::finish`] rather than panicking here.
     #[must_use]
     pub fn with_base(base: u64) -> Self {
-        assert_eq!(base % INST_BYTES, 0, "text base must be 4-byte aligned");
-        Asm {
+        let mut a = Asm {
             base,
             ..Asm::default()
+        };
+        if !base.is_multiple_of(INST_BYTES) {
+            a.errors.push(IsaError::MisalignedBase { base });
         }
+        a
     }
 
     /// Number of instructions emitted so far.
@@ -132,15 +103,21 @@ impl Asm {
 
     /// Binds `label` to the current position.
     ///
-    /// # Panics
-    ///
-    /// Panics if the label was created by a different assembler (index out
-    /// of range). Rebinding is reported by [`Asm::finish`] instead.
+    /// Binding a label twice, or binding a label created by a different
+    /// assembler, is reported by [`Asm::finish`] as
+    /// [`IsaError::RedefinedLabel`] / [`IsaError::ForeignLabel`]; the
+    /// first binding is kept in the meantime.
     pub fn bind(&mut self, label: Label) {
-        let slot = &mut self.labels[label.0];
-        if slot.is_some() {
-            // Keep the first binding; finish() reports the error.
-            self.fixups.push((usize::MAX, label));
+        let Some(slot) = self.labels.get_mut(label.0) else {
+            self.errors.push(IsaError::ForeignLabel { label: label.0 });
+            return;
+        };
+        if let Some(first) = *slot {
+            self.errors.push(IsaError::RedefinedLabel {
+                label: label.0,
+                first,
+                again: self.insts.len(),
+            });
         } else {
             *slot = Some(self.insts.len());
         }
@@ -177,21 +154,27 @@ impl Asm {
     ///
     /// # Errors
     ///
-    /// Returns [`AsmError`] if a referenced label was never bound, a label
-    /// was bound twice, or no instructions were emitted.
-    pub fn finish(self) -> Result<Program, AsmError> {
+    /// Returns the first [`IsaError`] detected: a misaligned base, a
+    /// rebound or foreign label, a referenced label that was never
+    /// bound, or an empty program. Every variant carries the
+    /// instruction index and mnemonic involved.
+    pub fn finish(self) -> Result<Program, IsaError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
         if self.insts.is_empty() {
-            return Err(AsmError::Empty);
+            return Err(IsaError::Empty);
         }
         let mut insts = self.insts;
         for &(inst_index, label) in &self.fixups {
-            if inst_index == usize::MAX {
-                return Err(AsmError::RedefinedLabel { label: label.0 });
-            }
-            let Some(target_idx) = self.labels[label.0] else {
-                return Err(AsmError::UnboundLabel {
+            let Some(slot) = self.labels.get(label.0) else {
+                return Err(IsaError::ForeignLabel { label: label.0 });
+            };
+            let Some(target_idx) = *slot else {
+                return Err(IsaError::UnboundLabel {
                     label: label.0,
                     inst_index,
+                    mnemonic: insts[inst_index].mnemonic(),
                 });
             };
             let target = self.base + target_idx as u64 * INST_BYTES;
@@ -201,7 +184,12 @@ impl Asm {
                 | Inst::Blt { target: t, .. }
                 | Inst::Bge { target: t, .. }
                 | Inst::Jal { target: t, .. } => *t = target,
-                other => unreachable!("fixup on non-control instruction {other}"),
+                other => {
+                    return Err(IsaError::FixupOnNonControl {
+                        inst_index,
+                        mnemonic: other.mnemonic(),
+                    })
+                }
             }
         }
         let mut functions = Vec::with_capacity(self.funcs.len());

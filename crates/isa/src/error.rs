@@ -1,0 +1,148 @@
+//! Structured, contextual errors for the ISA layer.
+//!
+//! Every variant carries enough context (instruction index, opcode
+//! mnemonic, operand values) to locate the offending instruction
+//! without a debugger. Higher layers wrap the error unchanged:
+//! `tea-sim` surfaces it as `SimError::Isa` and the experiment engine
+//! as `ExpError::Sim`, so a bad program aborts one experiment cell with
+//! a diagnosable report instead of tearing down the whole suite.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the assembler ([`crate::asm::Asm::finish`]) and the
+/// functional interpreter ([`crate::interp::Machine::try_step`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IsaError {
+    /// The program counter left the text segment during execution
+    /// (a wild `jalr`, a return through a clobbered link register, or
+    /// fall-through past the last instruction without `halt`).
+    PcEscaped {
+        /// The escaped program counter value.
+        pc: u64,
+        /// Dynamic position (instructions committed) when it happened.
+        seq: u64,
+        /// Index of the last instruction executed, if any.
+        last_index: Option<u32>,
+        /// Mnemonic of the last instruction executed, if any.
+        last_mnemonic: Option<&'static str>,
+    },
+    /// A label was referenced by a branch or jump but never bound.
+    UnboundLabel {
+        /// Index of the unbound label.
+        label: usize,
+        /// Index of the first instruction referencing it.
+        inst_index: usize,
+        /// Mnemonic of that referencing instruction.
+        mnemonic: &'static str,
+    },
+    /// A label was bound more than once.
+    RedefinedLabel {
+        /// Index of the redefined label.
+        label: usize,
+        /// Instruction index of the first (kept) binding.
+        first: usize,
+        /// Instruction index where it was bound again.
+        again: usize,
+    },
+    /// A label created by a different assembler was bound or referenced.
+    ForeignLabel {
+        /// Index of the foreign label.
+        label: usize,
+    },
+    /// The text base address is not instruction-aligned.
+    MisalignedBase {
+        /// The offending base address.
+        base: u64,
+    },
+    /// Internal consistency failure: a branch fixup pointed at a
+    /// non-control instruction.
+    FixupOnNonControl {
+        /// Index of the instruction the fixup pointed at.
+        inst_index: usize,
+        /// Mnemonic of that instruction.
+        mnemonic: &'static str,
+    },
+    /// The program contains no instructions.
+    Empty,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::PcEscaped {
+                pc,
+                seq,
+                last_index,
+                last_mnemonic,
+            } => {
+                write!(
+                    f,
+                    "pc {pc:#x} escaped the text segment after {seq} committed instructions"
+                )?;
+                if let (Some(i), Some(m)) = (last_index, last_mnemonic) {
+                    write!(f, " (last executed: {m} at index {i})")?;
+                }
+                Ok(())
+            }
+            IsaError::UnboundLabel {
+                label,
+                inst_index,
+                mnemonic,
+            } => write!(
+                f,
+                "label {label} referenced by {mnemonic} at instruction {inst_index} was never bound"
+            ),
+            IsaError::RedefinedLabel {
+                label,
+                first,
+                again,
+            } => write!(
+                f,
+                "label {label} bound twice (at instruction {first}, then {again})"
+            ),
+            IsaError::ForeignLabel { label } => {
+                write!(f, "label {label} belongs to a different assembler")
+            }
+            IsaError::MisalignedBase { base } => {
+                write!(f, "text base {base:#x} is not 4-byte aligned")
+            }
+            IsaError::FixupOnNonControl {
+                inst_index,
+                mnemonic,
+            } => write!(
+                f,
+                "branch fixup points at non-control instruction {mnemonic} at index {inst_index}"
+            ),
+            IsaError::Empty => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = IsaError::PcEscaped {
+            pc: 0xdead_0000,
+            seq: 42,
+            last_index: Some(7),
+            last_mnemonic: Some("jalr"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("0xdead0000"));
+        assert!(s.contains("42 committed"));
+        assert!(s.contains("jalr"));
+        assert!(s.contains("index 7"));
+        let u = IsaError::UnboundLabel {
+            label: 3,
+            inst_index: 9,
+            mnemonic: "beq",
+        };
+        assert!(u.to_string().contains("beq"));
+    }
+}

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::IsaError;
 use crate::inst::Inst;
 use crate::program::{Program, INST_BYTES};
 use crate::reg::{FReg, Reg};
@@ -87,6 +88,7 @@ pub struct Machine<'p> {
     pc: u64,
     seq: u64,
     halted: bool,
+    last_index: Option<u32>,
     mem: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
 }
 
@@ -102,6 +104,7 @@ impl<'p> Machine<'p> {
             pc: program.base(),
             seq: 0,
             halted: false,
+            last_index: None,
             mem: HashMap::new(),
         };
         for &(addr, word) in program.init_words() {
@@ -207,15 +210,35 @@ impl<'p> Machine<'p> {
     /// # Panics
     ///
     /// Panics if the program counter leaves the text segment (a bug in
-    /// the assembled program).
+    /// the assembled program). Use [`Machine::try_step`] for the
+    /// structured, non-panicking equivalent.
     pub fn step(&mut self) -> Option<DynInst> {
+        self.try_step().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Executes one instruction and returns its dynamic record;
+    /// `Ok(None)` once the machine has halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::PcEscaped`] — with the escaped address, the
+    /// dynamic position, and the last executed instruction — if the
+    /// program counter leaves the text segment (a wild `jalr`, a return
+    /// through a clobbered link register, or missing `halt`).
+    pub fn try_step(&mut self) -> Result<Option<DynInst>, IsaError> {
         if self.halted {
-            return None;
+            return Ok(None);
         }
-        let index = self
-            .program
-            .index_of(self.pc)
-            .unwrap_or_else(|| panic!("pc {:#x} escaped the text segment", self.pc));
+        let Some(index) = self.program.index_of(self.pc) else {
+            return Err(IsaError::PcEscaped {
+                pc: self.pc,
+                seq: self.seq,
+                last_index: self.last_index,
+                last_mnemonic: self
+                    .last_index
+                    .map(|i| self.program.insts()[i as usize].mnemonic()),
+            });
+        };
         let inst = self.program.insts()[index];
         let pc = self.pc;
         let mut mem_addr = None;
@@ -422,7 +445,8 @@ impl<'p> Machine<'p> {
         };
         self.seq += 1;
         self.pc = next_pc;
-        Some(dyn_inst)
+        self.last_index = Some(index as u32);
+        Ok(Some(dyn_inst))
     }
 
     /// Runs until halt or until `fuel` instructions have executed,
@@ -601,6 +625,47 @@ mod tests {
         });
         for (i, d) in trace.iter().enumerate() {
             assert_eq!(d.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn pc_escape_is_a_contextual_error() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 0xdead_0000);
+        a.jr(Reg::T0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        assert!(m.try_step().unwrap().is_some()); // li
+        assert!(m.try_step().unwrap().is_some()); // jr
+        let err = m.try_step().unwrap_err();
+        match err {
+            IsaError::PcEscaped {
+                pc,
+                seq,
+                last_index,
+                last_mnemonic,
+            } => {
+                assert_eq!(pc, 0xdead_0000);
+                assert_eq!(seq, 2);
+                assert_eq!(last_index, Some(1));
+                assert_eq!(last_mnemonic, Some("jalr"));
+            }
+            other => panic!("expected PcEscaped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "escaped the text segment")]
+    fn step_panics_on_escape_with_context() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 0x40);
+        a.jr(Reg::T0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(&p);
+        for _ in 0..3 {
+            m.step();
         }
     }
 

@@ -52,12 +52,14 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod error;
 pub mod inst;
 pub mod interp;
 pub mod program;
 pub mod reg;
 
 pub use asm::{Asm, AsmError};
+pub use error::IsaError;
 pub use inst::{ExecClass, Inst, RegRef};
 pub use interp::{DynInst, Machine};
 pub use program::{Function, Program};

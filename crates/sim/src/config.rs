@@ -4,6 +4,8 @@
 //! 4-way-superscalar configuration evaluated on FireSim), scaled where a
 //! parameter only exists in RTL. All sizes are entries unless stated.
 
+use crate::error::SimError;
+
 /// Configuration of one set-associative cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -340,30 +342,99 @@ impl SimConfig {
     }
 
     /// Validates structural invariants (power-of-two geometries, nonzero
-    /// widths).
+    /// widths, queues that fit inside the ROB).
     ///
-    /// # Panics
+    /// Called by [`crate::core::Core::try_new`] before any state is
+    /// built, so a nonsensical configuration is rejected at cell-spec
+    /// time with a named field instead of panicking deep inside the
+    /// timing model.
     ///
-    /// Panics with a descriptive message on an invalid configuration.
-    pub fn validate(&self) {
-        assert!(self.fetch_width > 0 && self.dispatch_width > 0 && self.commit_width > 0);
-        assert!(self.rob_entries >= self.commit_width);
-        for c in [&self.l1i, &self.l1d, &self.llc] {
-            assert!(
-                c.line_bytes.is_power_of_two(),
-                "cache line size must be a power of two"
-            );
-            assert!(
-                c.sets.is_power_of_two(),
-                "cache set count must be a power of two"
-            );
-            assert!(c.ways > 0 && c.mshrs > 0);
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending field
+    /// and the violated constraint.
+    pub fn validate(&self) -> Result<(), SimError> {
+        fn fail(field: &'static str, reason: impl Into<String>) -> Result<(), SimError> {
+            Err(SimError::InvalidConfig {
+                field,
+                reason: reason.into(),
+            })
         }
-        assert!(self.page_bytes.is_power_of_two());
-        for t in [&self.itlb, &self.dtlb, &self.l2_tlb] {
-            assert!(t.entries > 0 && t.ways > 0 && t.entries % t.ways == 0);
+        for (field, v) in [
+            ("fetch_width", self.fetch_width),
+            ("dispatch_width", self.dispatch_width),
+            ("commit_width", self.commit_width),
+            ("max_branches", self.max_branches),
+            ("store_drain_width", self.store_drain_width),
+            ("ldq_entries", self.ldq_entries),
+            ("stq_entries", self.stq_entries),
+        ] {
+            if v == 0 {
+                return fail(field, "must be nonzero");
+            }
         }
-        assert!(self.mem.min_line_interval > 0);
+        if self.fetch_buffer == 0 {
+            return fail("fetch_buffer", "must be nonzero");
+        }
+        if self.rob_entries < self.commit_width {
+            return fail("rob_entries", "must be at least commit_width");
+        }
+        if self.ldq_entries > self.rob_entries {
+            return fail("ldq_entries", "load queue cannot exceed the ROB");
+        }
+        if self.stq_entries > self.rob_entries {
+            return fail("stq_entries", "store queue cannot exceed the ROB");
+        }
+        for (field, iq) in [
+            ("int_iq", &self.int_iq),
+            ("mem_iq", &self.mem_iq),
+            ("fp_iq", &self.fp_iq),
+        ] {
+            if iq.entries == 0 || iq.issue_width == 0 {
+                return fail(field, "entries and issue_width must be nonzero");
+            }
+        }
+        for (field, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("llc", &self.llc)] {
+            if !c.line_bytes.is_power_of_two() {
+                return fail(field, "line size must be a power of two");
+            }
+            if !c.sets.is_power_of_two() {
+                return fail(field, "set count must be a power of two");
+            }
+            if c.ways == 0 {
+                return fail(field, "must have at least one way");
+            }
+            if c.mshrs == 0 {
+                return fail(field, "must have at least one MSHR");
+            }
+        }
+        if !self.page_bytes.is_power_of_two() || self.page_bytes < self.l1d.line_bytes {
+            return fail("page_bytes", "must be a power of two >= the line size");
+        }
+        for (field, t) in [
+            ("itlb", &self.itlb),
+            ("dtlb", &self.dtlb),
+            ("l2_tlb", &self.l2_tlb),
+        ] {
+            if t.entries == 0 || t.ways == 0 {
+                return fail(field, "entries and ways must be nonzero");
+            }
+            if t.entries % t.ways != 0 {
+                return fail(field, "entries must be a multiple of ways");
+            }
+        }
+        if self.mem.latency == 0 {
+            return fail("mem.latency", "must be nonzero");
+        }
+        if self.mem.min_line_interval == 0 {
+            return fail("mem.min_line_interval", "must be nonzero");
+        }
+        if let Some(s) = &self.sampling_injection {
+            if s.interval == 0 {
+                return fail("sampling_injection.interval", "must be nonzero");
+            }
+        }
+        Ok(())
     }
 
     /// Renders the configuration as the paper's Table 2 rows.
@@ -435,7 +506,7 @@ mod tests {
     #[test]
     fn default_matches_table2_headlines() {
         let c = SimConfig::default();
-        c.validate();
+        c.validate().expect("Table 2 config is valid");
         assert_eq!(c.rob_entries, 192);
         assert_eq!(c.fetch_width, 8);
         assert_eq!(c.fetch_buffer, 48);
@@ -457,17 +528,51 @@ mod tests {
 
     #[test]
     fn presets_are_valid_and_ordered() {
-        SimConfig::little().validate();
-        SimConfig::big().validate();
+        SimConfig::little().validate().expect("little is valid");
+        SimConfig::big().validate().expect("big is valid");
         assert!(SimConfig::little().rob_entries < SimConfig::default().rob_entries);
         assert!(SimConfig::big().rob_entries > SimConfig::default().rob_entries);
     }
 
-    #[test]
-    #[should_panic]
-    fn invalid_config_panics() {
+    fn field_of(err: SimError) -> &'static str {
+        match err {
+            SimError::InvalidConfig { field, .. } => field,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    fn broken(mutate: impl FnOnce(&mut SimConfig)) -> SimError {
         let mut c = SimConfig::default();
-        c.l1d.sets = 63;
-        c.validate();
+        mutate(&mut c);
+        c.validate().unwrap_err()
+    }
+
+    #[test]
+    fn invalid_configs_name_the_offending_field() {
+        assert_eq!(field_of(broken(|c| c.l1d.sets = 63)), "l1d");
+        assert_eq!(field_of(broken(|c| c.commit_width = 0)), "commit_width");
+        assert_eq!(
+            field_of(broken(|c| c.ldq_entries = c.rob_entries + 1)),
+            "ldq_entries"
+        );
+        assert_eq!(
+            field_of(broken(|c| c.stq_entries = c.rob_entries + 1)),
+            "stq_entries"
+        );
+        assert_eq!(field_of(broken(|c| c.llc.ways = 0)), "llc");
+        assert_eq!(field_of(broken(|c| c.l2_tlb.ways = 3)), "l2_tlb");
+        assert_eq!(
+            field_of(broken(|c| c.mem.min_line_interval = 0)),
+            "mem.min_line_interval"
+        );
+        assert_eq!(
+            field_of(broken(|c| {
+                c.sampling_injection = Some(SamplingInjection {
+                    interval: 0,
+                    handler_cycles: 10,
+                });
+            })),
+            "sampling_injection.interval"
+        );
     }
 }

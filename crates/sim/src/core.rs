@@ -19,10 +19,11 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use tea_isa::interp::{DynInst, Machine};
 use tea_isa::program::Program;
-use tea_isa::{ExecClass, Inst, Reg, RegRef};
+use tea_isa::{ExecClass, Inst, IsaError, Reg, RegRef};
 
 use crate::branch::{BranchPredictor, BranchStats, ControlKind};
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::hierarchy::{HierarchyStats, MemHierarchy};
 use crate::psv::{CommitState, Event, Psv};
 use crate::trace::{CycleView, InstRef, Observer, RetiredInst};
@@ -194,6 +195,10 @@ struct Stream<'p> {
     machine: Machine<'p>,
     buf: VecDeque<DynInst>,
     base: u64,
+    /// First architectural fault hit by the interpreter (e.g. the pc
+    /// escaping the text segment). Once set, the stream reports
+    /// end-of-program and [`Core::try_run_for`] surfaces the error.
+    error: Option<IsaError>,
 }
 
 impl<'p> Stream<'p> {
@@ -202,14 +207,22 @@ impl<'p> Stream<'p> {
             machine: Machine::new(program),
             buf: VecDeque::new(),
             base: 0,
+            error: None,
         }
     }
 
     fn get(&mut self, seq: u64) -> Option<DynInst> {
         while self.base + self.buf.len() as u64 <= seq {
-            match self.machine.step() {
-                Some(d) => self.buf.push_back(d),
-                None => return None,
+            if self.error.is_some() {
+                return None;
+            }
+            match self.machine.try_step() {
+                Ok(Some(d)) => self.buf.push_back(d),
+                Ok(None) => return None,
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
             }
         }
         self.buf.get((seq - self.base) as usize).copied()
@@ -286,12 +299,24 @@ impl<'p> Core<'p> {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
-    /// [`SimConfig::validate`]).
+    /// [`SimConfig::validate`]); use [`Core::try_new`] to reject a bad
+    /// configuration as a value instead.
     #[must_use]
     pub fn new(program: &'p Program, cfg: SimConfig) -> Self {
-        cfg.validate();
+        Self::try_new(program, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a core ready to execute `program`, validating the
+    /// configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending field
+    /// when the configuration violates a structural invariant.
+    pub fn try_new(program: &'p Program, cfg: SimConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
         let slot_count = cfg.rob_entries + cfg.fetch_buffer + cfg.fetch_width + 4;
-        Core {
+        Ok(Core {
             hier: MemHierarchy::new(&cfg),
             bp: BranchPredictor::new(&cfg.branch),
             stream: Stream::new(program),
@@ -330,7 +355,7 @@ impl<'p> Core<'p> {
             squashed_buf: Vec::with_capacity(4),
             stats: SimStats::default(),
             cfg,
-        }
+        })
     }
 
     /// The configuration in use.
@@ -1034,15 +1059,51 @@ impl<'p> Core<'p> {
     ///
     /// # Panics
     ///
-    /// Panics if the core makes no forward progress for an extended
-    /// period (a timing-model bug) or the program never halts within
-    /// `u64::MAX` cycles.
+    /// Panics if the program faults architecturally (see
+    /// [`Core::try_run`]), the core makes no forward progress for an
+    /// extended period (a timing-model bug), or the program never halts
+    /// within `u64::MAX` cycles.
     pub fn run(&mut self, observers: &mut [&mut dyn Observer]) -> SimStats {
         self.run_for(u64::MAX, observers)
     }
 
     /// Runs for at most `max_cycles`, driving the observers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program faults architecturally (see
+    /// [`Core::try_run_for`]) or the core makes no forward progress for
+    /// an extended period.
     pub fn run_for(&mut self, max_cycles: u64, observers: &mut [&mut dyn Observer]) -> SimStats {
+        self.try_run_for(max_cycles, observers)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs to completion, surfacing architectural program faults as
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// See [`Core::try_run_for`].
+    pub fn try_run(&mut self, observers: &mut [&mut dyn Observer]) -> Result<SimStats, SimError> {
+        self.try_run_for(u64::MAX, observers)
+    }
+
+    /// Runs for at most `max_cycles`, driving the observers, surfacing
+    /// architectural program faults as values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Isa`] when the functional interpreter faults
+    /// while feeding the correct-path stream — e.g. the pc escapes the
+    /// text segment through a wild `jalr`. The error carries the
+    /// instruction context; statistics accumulated so far are kept on
+    /// the core but not returned.
+    pub fn try_run_for(
+        &mut self,
+        max_cycles: u64,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<SimStats, SimError> {
         let start = self.cycle;
         while !self.halt_committed && self.cycle - start < max_cycles {
             self.take_sampling_interrupt();
@@ -1086,6 +1147,11 @@ impl<'p> Core<'p> {
                     obs.on_retire(retired);
                 }
             }
+            if let Some(e) = self.stream.error.clone() {
+                self.stats.hier = self.hier.stats();
+                self.stats.branch = self.bp.stats();
+                return Err(SimError::Isa(e));
+            }
             assert!(
                 self.cycle - self.last_commit_cycle < 500_000,
                 "no commit for 500k cycles at cycle {} (pc of next inst: {:?}): timing deadlock",
@@ -1112,7 +1178,7 @@ impl<'p> Core<'p> {
                 obs.on_finish(self.stats.cycles);
             }
         }
-        self.stats
+        Ok(self.stats)
     }
 
     /// Takes a PMU sampling interrupt when the injected sampling timer

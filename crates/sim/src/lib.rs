@@ -48,6 +48,7 @@ pub mod cache;
 pub mod cmp;
 pub mod config;
 pub mod core;
+pub mod error;
 pub mod hierarchy;
 pub mod psv;
 pub mod smt;
@@ -57,5 +58,6 @@ pub mod trace;
 
 pub use crate::core::{simulate, Core, SimStats};
 pub use config::SimConfig;
+pub use error::SimError;
 pub use psv::{CommitState, Event, Psv};
 pub use trace::{CycleView, InstRef, Observer, RetiredInst};

@@ -259,11 +259,11 @@ mod tests {
     #[test]
     fn partitioning_respects_minimums() {
         let cfg = partitioned(&SimConfig::default(), 2);
-        cfg.validate();
+        cfg.validate().expect("half partition is valid");
         assert_eq!(cfg.rob_entries, 96);
         assert_eq!(cfg.ldq_entries, 16);
         let many = partitioned(&SimConfig::default(), 64);
-        many.validate();
+        many.validate().expect("minimum partition is valid");
         assert!(many.rob_entries >= 4);
     }
 }

@@ -141,27 +141,33 @@ mod random_config {
             4usize..=32,   // ldq/stq
             2usize..=30,   // max branches
         )
-            .prop_map(|(fetch, width, rob, issue, lsq, branches)| SimConfig {
-                fetch_width: fetch,
-                dispatch_width: width,
-                commit_width: width,
-                rob_entries: rob.max(width),
-                int_iq: IqConfig {
-                    entries: 16.max(rob / 2),
-                    issue_width: issue,
-                },
-                mem_iq: IqConfig {
-                    entries: 16,
-                    issue_width: issue.min(2),
-                },
-                fp_iq: IqConfig {
-                    entries: 16,
-                    issue_width: issue.min(2),
-                },
-                ldq_entries: lsq,
-                stq_entries: lsq,
-                max_branches: branches,
-                ..SimConfig::default()
+            .prop_map(|(fetch, width, rob, issue, lsq, branches)| {
+                let rob = rob.max(width);
+                // SimConfig::validate rejects a load/store queue larger
+                // than the ROB, so clamp the generated LSQ.
+                let lsq = lsq.min(rob);
+                SimConfig {
+                    fetch_width: fetch,
+                    dispatch_width: width,
+                    commit_width: width,
+                    rob_entries: rob,
+                    int_iq: IqConfig {
+                        entries: 16.max(rob / 2),
+                        issue_width: issue,
+                    },
+                    mem_iq: IqConfig {
+                        entries: 16,
+                        issue_width: issue.min(2),
+                    },
+                    fp_iq: IqConfig {
+                        entries: 16,
+                        issue_width: issue.min(2),
+                    },
+                    ldq_entries: lsq,
+                    stq_entries: lsq,
+                    max_branches: branches,
+                    ..SimConfig::default()
+                }
             })
     }
 

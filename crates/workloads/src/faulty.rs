@@ -1,0 +1,124 @@
+//! Fault-injection kernels for exercising the experiment engine's
+//! fault tolerance.
+//!
+//! Real sweep harnesses meet three kinds of bad cell: a program that
+//! never terminates (caught by the engine's cycle budget), a program
+//! whose control flow escapes the text segment (caught as a structured
+//! `IsaError`), and a harness bug that panics (caught by the engine's
+//! `catch_unwind` isolation). This module provides the first two as
+//! deterministic miniature kernels; panic injection lives in the engine
+//! itself (`tea_exp::Fault`), since a panic is a property of the cell
+//! body, not of the simulated program.
+//!
+//! These workloads are deliberately **not** part of
+//! [`crate::all_workloads`] — they exist to fail.
+
+use tea_isa::asm::Asm;
+use tea_isa::program::Program;
+use tea_isa::reg::Reg;
+
+use crate::{Size, Workload};
+
+/// How the kernel misbehaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// A well-behaved control kernel that terminates quickly (for
+    /// baselines next to the faulty ones).
+    Clean,
+    /// An infinite loop: commits forever without halting, so only a
+    /// cycle budget stops it.
+    Diverge,
+    /// Jumps through a register holding a wild address, making the pc
+    /// escape the text segment (`IsaError::PcEscaped`).
+    EscapePc,
+}
+
+/// The address the [`FaultMode::EscapePc`] kernel jumps to: far outside
+/// any text segment.
+pub const WILD_ADDR: u64 = 0xdead_0000;
+
+/// Builds the kernel for `mode`. All three modes share a short warm-up
+/// loop so faulty cells look like ordinary cells until they misbehave.
+#[must_use]
+pub fn program(size: Size, mode: FaultMode) -> Program {
+    let iters = size.pick(50, 500);
+    let mut a = Asm::new();
+    a.func("faulty");
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, iters as i64);
+    let top = a.new_label();
+    a.bind(top);
+    a.addi(Reg::A0, Reg::A0, 3);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::T1, top);
+    match mode {
+        FaultMode::Clean => {}
+        FaultMode::Diverge => {
+            // Spin forever, committing every cycle: the engine's cycle
+            // budget is the only way out.
+            let spin = a.new_label();
+            a.bind(spin);
+            a.addi(Reg::A1, Reg::A1, 1);
+            a.j(spin);
+        }
+        FaultMode::EscapePc => {
+            a.li(Reg::T2, WILD_ADDR as i64);
+            a.jr(Reg::T2);
+        }
+    }
+    a.halt();
+    a.finish().expect("faulty kernel must assemble")
+}
+
+/// The [`Workload`] wrapper (not part of the standard suite).
+#[must_use]
+pub fn workload(size: Size, mode: FaultMode) -> Workload {
+    let (name, description) = match mode {
+        FaultMode::Clean => ("faulty-clean", "well-behaved control kernel"),
+        FaultMode::Diverge => ("faulty-diverge", "infinite loop; needs a cycle budget"),
+        FaultMode::EscapePc => ("faulty-escape", "pc escapes the text segment"),
+    };
+    Workload {
+        name,
+        description,
+        program: program(size, mode),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_mode_halts() {
+        let p = program(Size::Test, FaultMode::Clean);
+        let mut m = tea_isa::Machine::new(&p);
+        m.run(1_000_000);
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    fn diverge_mode_never_halts() {
+        let p = program(Size::Test, FaultMode::Diverge);
+        let mut m = tea_isa::Machine::new(&p);
+        m.run(1_000_000);
+        assert!(!m.is_halted(), "diverging kernel must still be running");
+    }
+
+    #[test]
+    fn escape_mode_faults_with_context() {
+        let p = program(Size::Test, FaultMode::EscapePc);
+        let mut m = tea_isa::Machine::new(&p);
+        let err = loop {
+            match m.try_step() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("kernel must fault, not halt"),
+                Err(e) => break e,
+            }
+        };
+        match err {
+            tea_isa::IsaError::PcEscaped { pc, .. } => assert_eq!(pc, WILD_ADDR),
+            other => panic!("expected PcEscaped, got {other:?}"),
+        }
+    }
+}

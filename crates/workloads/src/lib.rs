@@ -31,6 +31,7 @@ pub mod bwaves;
 pub mod cactu;
 pub mod deepsjeng;
 pub mod exchange2;
+pub mod faulty;
 pub mod fotonik3d;
 pub mod gcc;
 pub mod imagick;

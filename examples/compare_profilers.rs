@@ -39,7 +39,7 @@ fn main() {
     let run = Engine::serial()
         .quiet()
         .run("compare-profilers", vec![spec]);
-    let cell = &run.cells[0];
+    let cell = run.cells[0].result().expect("cell completes");
 
     println!(
         "{} — {}\n{} cycles, IPC {:.2} (simulated in {:.2}s, {:.2} Msim-inst/s)\n",

@@ -6,6 +6,8 @@
 //! tea-cli profile <workload> [--size test|ref] [--interval N] [--top N]
 //! tea-cli compare <workload> [--size test|ref] [--interval N]
 //! tea-cli suite [workload...] [--size test|ref] [--interval N] [--threads N] [--json out.json]
+//!               [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]
+//!               [--inject-panic <workload>] [--inject-diverge <workload>]
 //! tea-cli disasm <workload> [--lines N]
 //! tea-cli record <workload> <out.teas> [--size test|ref] [--interval N]
 //! tea-cli report <in.teas> <workload> [--top N]
@@ -24,7 +26,7 @@ use tea_core::samples::{pics_from_samples, read_samples, write_samples, SampleRe
 use tea_core::sampling::SampleTimer;
 use tea_core::schemes::Scheme;
 use tea_core::tea::TeaProfiler;
-use tea_exp::{CellSpec, Engine};
+use tea_exp::{CellSpec, CellStatus, Engine, Fault};
 use tea_sim::core::Core;
 use tea_sim::psv::CommitState;
 use tea_sim::SimConfig;
@@ -38,6 +40,12 @@ struct Args {
     lines: usize,
     threads: usize,
     json: Option<String>,
+    resume: bool,
+    max_retries: u32,
+    cell_timeout: Option<u64>,
+    fail_fast: bool,
+    inject_panic: Option<String>,
+    inject_diverge: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +57,12 @@ fn parse_args() -> Result<Args, String> {
         lines: 40,
         threads: 0,
         json: None,
+        resume: false,
+        max_retries: 1,
+        cell_timeout: None,
+        fail_fast: false,
+        inject_panic: None,
+        inject_diverge: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -82,6 +96,22 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad threads: {e}"))?
             }
             "--json" => args.json = Some(grab("--json")?),
+            "--resume" => args.resume = true,
+            "--max-retries" => {
+                args.max_retries = grab("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("bad max-retries: {e}"))?
+            }
+            "--cell-timeout" => {
+                args.cell_timeout = Some(
+                    grab("--cell-timeout")?
+                        .parse()
+                        .map_err(|e| format!("bad cell-timeout: {e}"))?,
+                )
+            }
+            "--fail-fast" => args.fail_fast = true,
+            "--inject-panic" => args.inject_panic = Some(grab("--inject-panic")?),
+            "--inject-diverge" => args.inject_diverge = Some(grab("--inject-diverge")?),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => args.positional.push(other.to_string()),
         }
@@ -184,7 +214,9 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         .interval(args.interval)
         .schemes(&schemes);
     let run = Engine::serial().quiet().run("compare", vec![spec]);
-    let cell = &run.cells[0];
+    let cell = run.cells[0]
+        .result()
+        .ok_or_else(|| format!("{name} did not complete: {}", describe_error(&run.cells[0])))?;
     println!("{}: PICS error vs golden (instruction granularity)", w.name);
     for scheme in schemes {
         let e = cell
@@ -195,9 +227,23 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One line describing why a cell did not complete.
+fn describe_error(cell: &tea_exp::CellOutcome) -> String {
+    cell.error()
+        .map_or_else(|| "unknown error".to_string(), ToString::to_string)
+}
+
 /// Runs a workload set through the experiment engine in parallel and
 /// prints the Figure 5-style error matrix plus run timing; `--json`
-/// writes the `tea-experiment/v1` artifact to an explicit path.
+/// writes the `tea-experiment/v2` artifact to an explicit path.
+///
+/// Cells run under panic isolation with retry (`--max-retries`, one by
+/// default) and an optional cycle budget (`--cell-timeout`); each run journals
+/// to `target/experiments/suite.journal.jsonl`, and `--resume` re-runs
+/// only the cells the journal does not already hold as `ok`. The
+/// `--inject-*` flags deliberately break one cell (for exercising the
+/// fault-tolerance path end to end). Exits non-zero if any cell does
+/// not complete.
 fn cmd_suite(args: &Args) -> Result<(), String> {
     let selected: Vec<String> = args.positional[1..].to_vec();
     let mut workloads = all_workloads(args.size);
@@ -207,16 +253,61 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
             return Err("unknown workload in selection; run `tea-cli list`".to_string());
         }
     }
-    let engine = if args.threads == 0 {
+    let mut engine = if args.threads == 0 {
         Engine::from_env()
     } else {
         Engine::new(args.threads)
     };
+    engine = engine.max_retries(args.max_retries);
+    if let Some(budget) = args.cell_timeout {
+        engine = engine.cell_budget(budget);
+    }
+    if args.fail_fast {
+        engine = engine.fail_fast();
+    }
+    if let Some(name) = &args.inject_diverge {
+        if args.cell_timeout.is_none() {
+            return Err("--inject-diverge needs --cell-timeout (the cell never halts)".to_string());
+        }
+        if !workloads.iter().any(|w| w.name == name.as_str()) {
+            return Err(format!("--inject-diverge: unknown workload {name}"));
+        }
+    }
+    if let Some(name) = &args.inject_panic {
+        if !workloads.iter().any(|w| w.name == name.as_str()) {
+            return Err(format!("--inject-panic: unknown workload {name}"));
+        }
+    }
     let cells = workloads
         .iter()
-        .map(|w| CellSpec::for_workload(w).interval(args.interval))
+        .map(|w| {
+            let mut spec = if args.inject_diverge.as_deref() == Some(w.name) {
+                // Swap in the diverging kernel under the workload's
+                // name: the cell burns its whole cycle budget and times
+                // out.
+                CellSpec::new(
+                    w.name,
+                    tea_workloads::faulty::program(
+                        args.size,
+                        tea_workloads::faulty::FaultMode::Diverge,
+                    ),
+                )
+            } else {
+                CellSpec::for_workload(w)
+            };
+            spec = spec.interval(args.interval);
+            if args.inject_panic.as_deref() == Some(w.name) {
+                spec = spec.fault(Fault::PanicUntilAttempt(u32::MAX));
+            }
+            spec
+        })
         .collect();
-    let run = engine.run("suite", cells);
+    let run = if args.resume {
+        engine.resume("suite", cells)
+    } else {
+        engine.run_journaled("suite", cells)
+    }
+    .map_err(|e| format!("suite journal: {e}"))?;
 
     let schemes = [
         Scheme::Ibs,
@@ -226,30 +317,53 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
         Scheme::Tea,
     ];
     println!(
-        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>9} {:>7}",
-        "benchmark", "IBS", "SPE", "RIS", "NCI-TEA", "TEA", "cycles", "wall(s)"
+        "{:<12} {:<9} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>9} {:>7}",
+        "benchmark", "status", "IBS", "SPE", "RIS", "NCI-TEA", "TEA", "cycles", "wall(s)"
     );
     for cell in &run.cells {
-        let e = |s| {
-            cell.error(s, Granularity::Instruction)
-                .expect("golden attached")
-                * 100.0
-        };
-        println!(
-            "{:<12} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}   {:>9} {:>7.2}",
-            cell.spec.workload,
-            e(schemes[0]),
-            e(schemes[1]),
-            e(schemes[2]),
-            e(schemes[3]),
-            e(schemes[4]),
-            cell.stats.cycles,
-            cell.wall.as_secs_f64()
-        );
+        match cell.result() {
+            Some(r) => {
+                let e = |s| {
+                    r.error(s, Granularity::Instruction)
+                        .expect("golden attached")
+                        * 100.0
+                };
+                println!(
+                    "{:<12} {:<9} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}   {:>9} {:>7.2}",
+                    r.spec.workload,
+                    cell.status.name(),
+                    e(schemes[0]),
+                    e(schemes[1]),
+                    e(schemes[2]),
+                    e(schemes[3]),
+                    e(schemes[4]),
+                    r.stats.cycles,
+                    cell.wall.as_secs_f64()
+                );
+            }
+            None if cell.is_ok() => println!(
+                "{:<12} {:<9} (restored from journal, {} instructions)",
+                cell.spec.workload,
+                cell.status.name(),
+                cell.instructions(),
+            ),
+            None => println!(
+                "{:<12} {:<9} attempts {}: {}",
+                cell.spec.workload,
+                cell.status.name(),
+                cell.attempts,
+                describe_error(cell),
+            ),
+        }
     }
     println!(
-        "{} cells on {} threads in {:.2}s ({:.2} Msim-inst/s aggregate)",
+        "{} cells ({} ok, {} failed, {} timed out, {} skipped) on {} threads in {:.2}s \
+         ({:.2} Msim-inst/s aggregate)",
         run.cells.len(),
+        run.count(CellStatus::Ok),
+        run.count(CellStatus::Failed),
+        run.count(CellStatus::TimedOut),
+        run.count(CellStatus::Skipped),
         run.threads,
         run.wall.as_secs_f64(),
         run.sim_mips()
@@ -263,6 +377,12 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
             Ok(path) => println!("results artifact: {}", path.display()),
             Err(e) => eprintln!("could not write results artifact: {e}"),
         }
+    }
+    if !run.all_ok() {
+        let n = run.cells.len() as u64 - run.count(CellStatus::Ok);
+        return Err(format!(
+            "{n} cell(s) did not complete; re-run with `suite --resume` after fixing"
+        ));
     }
     Ok(())
 }
@@ -476,6 +596,8 @@ fn main() -> ExitCode {
                  tea-cli profile <workload> [--size test|ref] [--interval N] [--top N]\n  \
                  tea-cli compare <workload> [--size test|ref] [--interval N]\n  \
                  tea-cli suite [workload...] [--size test|ref] [--interval N] [--threads N] [--json out.json]\n  \
+                 \u{20}             [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]\n  \
+                 \u{20}             [--inject-panic <workload>] [--inject-diverge <workload>]\n  \
                  tea-cli record <workload> <out.teas> [--size test|ref] [--interval N]\n  \
                  tea-cli report <in.teas> <workload> [--top N]\n  \
                  tea-cli casestudy <lbm|nab> [--size test|ref]\n  \
