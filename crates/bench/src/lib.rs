@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod throughput;
+
 use std::collections::HashMap;
 
 use tea_core::golden::GoldenReference;

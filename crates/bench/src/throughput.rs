@@ -1,0 +1,428 @@
+//! Simulator-throughput measurement: the `tea-cli bench` backend.
+//!
+//! Every figure and table of the reproduction is bottlenecked by the
+//! same hot path — `Core::try_run_for` driving the attribution
+//! observers — so this module measures exactly that, in two
+//! configurations per workload:
+//!
+//! * **sim** — the bare simulator with no observers attached (upper
+//!   bound: timing model only);
+//! * **profiled** — the standard experiment configuration: the golden
+//!   reference plus all five sampling schemes, i.e. the load every
+//!   harness cell pays.
+//!
+//! The headline metrics are simulated cycles per wall-clock second and
+//! sample-attribution throughput (samples resolved per second). Results
+//! are written to `BENCH_sim_throughput.json` at the workspace root in
+//! a stable schema (`tea-bench-throughput/v1`) so the release-to-release
+//! trajectory is machine-trackable; see [`render_artifact`].
+
+use std::time::Instant;
+
+use tea_core::golden::GoldenReference;
+use tea_core::nci::NciProfiler;
+use tea_core::sampling::SampleTimer;
+use tea_core::tagging::TaggingProfiler;
+use tea_core::tea::TeaProfiler;
+use tea_exp::json::Json;
+use tea_sim::core::Core;
+use tea_sim::trace::{CycleView, Observer, RetiredInst};
+use tea_sim::SimConfig;
+use tea_workloads::Workload;
+
+/// Measured throughput of one workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadThroughput {
+    /// Workload name.
+    pub name: String,
+    /// Simulated cycles of one run.
+    pub cycles: u64,
+    /// Retired instructions of one run.
+    pub instructions: u64,
+    /// Samples attributed across all schemes in the profiled run.
+    pub samples: u64,
+    /// Best wall time of the bare simulation (seconds).
+    pub sim_wall: f64,
+    /// Best wall time with golden + all schemes attached (seconds).
+    pub profiled_wall: f64,
+}
+
+impl WorkloadThroughput {
+    /// Simulated cycles per second, bare simulator.
+    #[must_use]
+    pub fn sim_cycles_per_second(&self) -> f64 {
+        rate(self.cycles as f64, self.sim_wall)
+    }
+
+    /// Simulated cycles per second under the full profiler set.
+    #[must_use]
+    pub fn profiled_cycles_per_second(&self) -> f64 {
+        rate(self.cycles as f64, self.profiled_wall)
+    }
+
+    /// Samples attributed per second in the profiled configuration.
+    #[must_use]
+    pub fn samples_per_second(&self) -> f64 {
+        rate(self.samples as f64, self.profiled_wall)
+    }
+}
+
+fn rate(n: f64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        n / secs
+    } else {
+        0.0
+    }
+}
+
+/// A full suite measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Workload size the suite ran at (`"test"` or `"ref"`).
+    pub size: String,
+    /// Sampling interval of the profiled configuration.
+    pub interval: u64,
+    /// Timed repetitions per configuration (best-of is reported).
+    pub iterations: u32,
+    /// Per-workload measurements.
+    pub workloads: Vec<WorkloadThroughput>,
+}
+
+impl ThroughputReport {
+    /// Total simulated cycles across the suite (one run each).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.workloads.iter().map(|w| w.cycles).sum()
+    }
+
+    /// Total samples attributed across the suite.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.workloads.iter().map(|w| w.samples).sum()
+    }
+
+    /// Aggregate bare-simulator cycles per second (total cycles over
+    /// total best wall time).
+    #[must_use]
+    pub fn sim_cycles_per_second(&self) -> f64 {
+        let wall: f64 = self.workloads.iter().map(|w| w.sim_wall).sum();
+        rate(self.total_cycles() as f64, wall)
+    }
+
+    /// Aggregate profiled cycles per second.
+    #[must_use]
+    pub fn profiled_cycles_per_second(&self) -> f64 {
+        let wall: f64 = self.workloads.iter().map(|w| w.profiled_wall).sum();
+        rate(self.total_cycles() as f64, wall)
+    }
+
+    /// Aggregate samples attributed per second.
+    #[must_use]
+    pub fn samples_per_second(&self) -> f64 {
+        let wall: f64 = self.workloads.iter().map(|w| w.profiled_wall).sum();
+        rate(self.total_samples() as f64, wall)
+    }
+
+    /// The aggregate measurement as a JSON object (the shape of the
+    /// artifact's `before` / `after` fields).
+    #[must_use]
+    pub fn summary_json(&self) -> Json {
+        Json::obj(vec![
+            ("cycles", Json::UInt(self.total_cycles())),
+            ("samples", Json::UInt(self.total_samples())),
+            (
+                "sim_cycles_per_second",
+                Json::Num(self.sim_cycles_per_second()),
+            ),
+            (
+                "profiled_cycles_per_second",
+                Json::Num(self.profiled_cycles_per_second()),
+            ),
+            ("samples_per_second", Json::Num(self.samples_per_second())),
+        ])
+    }
+
+    /// The per-workload rows as a JSON array.
+    #[must_use]
+    pub fn workloads_json(&self) -> Json {
+        Json::Arr(
+            self.workloads
+                .iter()
+                .map(|w| {
+                    Json::obj(vec![
+                        ("name", Json::Str(w.name.clone())),
+                        ("cycles", Json::UInt(w.cycles)),
+                        ("instructions", Json::UInt(w.instructions)),
+                        ("samples", Json::UInt(w.samples)),
+                        (
+                            "sim_cycles_per_second",
+                            Json::Num(w.sim_cycles_per_second()),
+                        ),
+                        (
+                            "profiled_cycles_per_second",
+                            Json::Num(w.profiled_cycles_per_second()),
+                        ),
+                        ("samples_per_second", Json::Num(w.samples_per_second())),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The standard profiled observer set: golden reference plus the five
+/// sampling schemes of the paper's comparison (one jittered timer
+/// sequence, so all schemes fire in the same cycles).
+struct ProfiledObservers {
+    golden: GoldenReference,
+    tea: TeaProfiler,
+    nci: NciProfiler,
+    ibs: TaggingProfiler,
+    spe: TaggingProfiler,
+    ris: TaggingProfiler,
+}
+
+impl ProfiledObservers {
+    fn new(interval: u64, seed: u64) -> Self {
+        let timer = || SampleTimer::with_jitter(interval, interval / 8, seed);
+        ProfiledObservers {
+            golden: GoldenReference::new(),
+            tea: TeaProfiler::new(timer()),
+            nci: NciProfiler::new(timer()),
+            ibs: TaggingProfiler::ibs(timer()),
+            spe: TaggingProfiler::spe(timer()),
+            ris: TaggingProfiler::ris(timer()),
+        }
+    }
+
+    fn samples(&self) -> u64 {
+        self.tea.samples()
+            + self.nci.samples()
+            + self.ibs.samples()
+            + self.spe.samples()
+            + self.ris.samples()
+    }
+}
+
+/// The set is itself one observer: a real profiling tool composes its
+/// analyses statically, so the core pays a single virtual call per
+/// pipeline event and the fan-out below inlines.
+impl Observer for ProfiledObservers {
+    fn on_cycle(&mut self, view: &CycleView<'_>) {
+        self.golden.on_cycle(view);
+        self.tea.on_cycle(view);
+        self.nci.on_cycle(view);
+        self.ibs.on_cycle(view);
+        self.spe.on_cycle(view);
+        self.ris.on_cycle(view);
+    }
+
+    fn on_retire(&mut self, retired: &RetiredInst) {
+        self.golden.on_retire(retired);
+        self.tea.on_retire(retired);
+        self.nci.on_retire(retired);
+        self.ibs.on_retire(retired);
+        self.spe.on_retire(retired);
+        self.ris.on_retire(retired);
+    }
+
+    fn on_squash(&mut self, from_seq: u64) {
+        self.golden.on_squash(from_seq);
+        self.tea.on_squash(from_seq);
+        self.nci.on_squash(from_seq);
+        self.ibs.on_squash(from_seq);
+        self.spe.on_squash(from_seq);
+        self.ris.on_squash(from_seq);
+    }
+
+    fn on_finish(&mut self, total_cycles: u64) {
+        self.golden.on_finish(total_cycles);
+        self.tea.on_finish(total_cycles);
+        self.nci.on_finish(total_cycles);
+        self.ibs.on_finish(total_cycles);
+        self.spe.on_finish(total_cycles);
+        self.ris.on_finish(total_cycles);
+    }
+}
+
+/// Runs `w` once under the standard profiled observer set, returning
+/// `(cycles, samples)`. This is the exact workload one `profiled` cell
+/// of the throughput report times; the criterion bench wraps it so the
+/// same code path can be measured under `cargo bench`.
+#[must_use]
+pub fn profiled_run(w: &Workload, interval: u64, seed: u64) -> (u64, u64) {
+    let mut obs = ProfiledObservers::new(interval, seed);
+    let mut core = Core::new(&w.program, SimConfig::default());
+    let stats = {
+        let mut refs: [&mut dyn Observer; 1] = [&mut obs];
+        core.run(&mut refs)
+    };
+    (stats.cycles, obs.samples())
+}
+
+/// Measures one workload: `iters` timed runs of each configuration,
+/// reporting the fastest (wall-clock noise shrinks the minimum, not the
+/// mean).
+#[must_use]
+pub fn measure_workload(w: &Workload, interval: u64, seed: u64, iters: u32) -> WorkloadThroughput {
+    let iters = iters.max(1);
+    let mut cycles = 0;
+    let mut instructions = 0;
+    let mut sim_wall = f64::INFINITY;
+    for _ in 0..iters {
+        let mut core = Core::new(&w.program, SimConfig::default());
+        let t0 = Instant::now();
+        let stats = core.run(&mut []);
+        sim_wall = sim_wall.min(t0.elapsed().as_secs_f64());
+        cycles = stats.cycles;
+        instructions = stats.retired;
+    }
+    let mut samples = 0;
+    let mut profiled_wall = f64::INFINITY;
+    for _ in 0..iters {
+        let mut obs = ProfiledObservers::new(interval, seed);
+        let mut core = Core::new(&w.program, SimConfig::default());
+        {
+            let mut refs: [&mut dyn Observer; 1] = [&mut obs];
+            let t0 = Instant::now();
+            core.run(&mut refs);
+            profiled_wall = profiled_wall.min(t0.elapsed().as_secs_f64());
+        }
+        samples = obs.samples();
+    }
+    WorkloadThroughput {
+        name: w.name.to_string(),
+        cycles,
+        instructions,
+        samples,
+        sim_wall,
+        profiled_wall,
+    }
+}
+
+/// Measures a workload set at `interval`, `iters` repetitions each.
+#[must_use]
+pub fn measure_suite(
+    workloads: &[Workload],
+    size: &str,
+    interval: u64,
+    iters: u32,
+) -> ThroughputReport {
+    ThroughputReport {
+        size: size.to_string(),
+        interval,
+        iterations: iters.max(1),
+        workloads: workloads
+            .iter()
+            .map(|w| measure_workload(w, interval, crate::HARNESS_SEED, iters))
+            .collect(),
+    }
+}
+
+/// Schema identifier of the throughput artifact.
+pub const THROUGHPUT_SCHEMA: &str = "tea-bench-throughput/v1";
+
+/// Builds the `BENCH_sim_throughput.json` document from the current
+/// measurement plus an optional preserved baseline (`before`). When no
+/// baseline exists yet, the current measurement doubles as the
+/// baseline so the schema is stable from the first run.
+#[must_use]
+pub fn render_artifact(report: &ThroughputReport, before: Option<Json>) -> Json {
+    let after = report.summary_json();
+    let before = before.unwrap_or_else(|| after.clone());
+    let ratio = |key: &str| {
+        let b = before.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        let a = after.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        if b > 0.0 {
+            Json::Num(a / b)
+        } else {
+            Json::Null
+        }
+    };
+    let speedup = Json::obj(vec![
+        ("sim_cycles_per_second", ratio("sim_cycles_per_second")),
+        (
+            "profiled_cycles_per_second",
+            ratio("profiled_cycles_per_second"),
+        ),
+        ("samples_per_second", ratio("samples_per_second")),
+    ]);
+    Json::obj(vec![
+        ("schema", Json::Str(THROUGHPUT_SCHEMA.to_string())),
+        (
+            "suite",
+            Json::obj(vec![
+                ("size", Json::Str(report.size.clone())),
+                ("interval", Json::UInt(report.interval)),
+                ("iterations", Json::UInt(u64::from(report.iterations))),
+                ("workloads", Json::UInt(report.workloads.len() as u64)),
+            ]),
+        ),
+        ("before", before),
+        ("after", after),
+        ("speedup", speedup),
+        ("per_workload", report.workloads_json()),
+    ])
+}
+
+/// Extracts the preserved baseline (`before` object) from an existing
+/// artifact, if `text` parses as one with a matching schema.
+#[must_use]
+pub fn existing_baseline(text: &str) -> Option<Json> {
+    let doc = tea_exp::json::parse(text).ok()?;
+    if doc.get("schema")?.as_str()? != THROUGHPUT_SCHEMA {
+        return None;
+    }
+    doc.get("before").cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_workloads::{all_workloads, Size};
+
+    fn tiny_report() -> ThroughputReport {
+        let w: Vec<Workload> = all_workloads(Size::Test)
+            .into_iter()
+            .filter(|w| w.name == "lbm")
+            .collect();
+        measure_suite(&w, "test", 512, 1)
+    }
+
+    #[test]
+    fn report_rates_are_positive_and_artifact_is_valid_json() {
+        let r = tiny_report();
+        assert!(r.total_cycles() > 0);
+        assert!(r.total_samples() > 0);
+        assert!(r.sim_cycles_per_second() > 0.0);
+        assert!(r.profiled_cycles_per_second() > 0.0);
+        assert!(r.profiled_cycles_per_second() <= r.sim_cycles_per_second() * 2.0);
+        let doc = render_artifact(&r, None);
+        let text = doc.render_pretty();
+        tea_exp::json::validate(&text).expect("artifact is well-formed JSON");
+        let parsed = tea_exp::json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(THROUGHPUT_SCHEMA)
+        );
+        // No baseline: before == after, speedup 1.0.
+        let s = parsed.get("speedup").unwrap();
+        let v = s
+            .get("profiled_cycles_per_second")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_is_preserved_across_reruns() {
+        let r = tiny_report();
+        let first = render_artifact(&r, None).render_pretty();
+        let baseline = existing_baseline(&first).expect("baseline extractable");
+        let doc = render_artifact(&r, Some(baseline.clone()));
+        assert_eq!(doc.get("before"), Some(&baseline));
+        // Garbage or schema-mismatched text yields no baseline.
+        assert!(existing_baseline("not json").is_none());
+        assert!(existing_baseline("{\"schema\": \"other/v9\"}").is_none());
+    }
+}

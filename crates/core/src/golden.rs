@@ -14,7 +14,7 @@
 //! instructions TEA assigns no event to (the "99 % < 5.8 cycles" claim
 //! of Section 3).
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use tea_sim::psv::{CommitState, Event, Psv};
 use tea_sim::trace::{CycleView, Observer, RetiredInst};
@@ -23,43 +23,52 @@ use crate::pics::Pics;
 
 /// Per-static-instruction dynamic event counts (how many retired
 /// executions of the instruction had each event set).
+///
+/// Executions and per-event counts live in one record so recording a
+/// retirement — a per-retired-instruction hot path — costs a single map
+/// lookup.
 #[derive(Clone, Debug, Default)]
 pub struct EventCounts {
-    counts: HashMap<u64, [u64; 9]>,
-    executions: HashMap<u64, u64>,
+    per_addr: FxHashMap<u64, AddrCounts>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct AddrCounts {
+    executions: u64,
+    events: [u64; 9],
 }
 
 impl EventCounts {
     /// Records one retired execution.
+    #[inline]
     pub fn record(&mut self, addr: u64, psv: Psv) {
-        *self.executions.entry(addr).or_insert(0) += 1;
-        if psv.is_empty() {
-            self.counts.entry(addr).or_insert([0; 9]);
-            return;
-        }
-        let c = self.counts.entry(addr).or_insert([0; 9]);
-        for (i, e) in Event::ALL.into_iter().enumerate() {
-            if psv.contains(e) {
-                c[i] += 1;
-            }
+        let c = self.per_addr.entry(addr).or_default();
+        c.executions += 1;
+        // Walk only the set bits instead of testing all nine events.
+        let mut bits = psv.bits();
+        while bits != 0 {
+            c.events[bits.trailing_zeros() as usize] += 1;
+            bits &= bits - 1;
         }
     }
 
     /// Event count of `event` at instruction `addr`.
     #[must_use]
     pub fn count(&self, addr: u64, event: Event) -> u64 {
-        self.counts.get(&addr).map_or(0, |c| c[event as usize])
+        self.per_addr
+            .get(&addr)
+            .map_or(0, |c| c.events[event as usize])
     }
 
     /// Retired executions of instruction `addr`.
     #[must_use]
     pub fn executions(&self, addr: u64) -> u64 {
-        self.executions.get(&addr).copied().unwrap_or(0)
+        self.per_addr.get(&addr).map_or(0, |c| c.executions)
     }
 
     /// All instruction addresses seen.
     pub fn addrs(&self) -> impl Iterator<Item = u64> + '_ {
-        self.executions.keys().copied()
+        self.per_addr.keys().copied()
     }
 }
 
@@ -71,12 +80,20 @@ impl EventCounts {
 pub struct GoldenReference {
     pics: Pics,
     /// Cycles attributed to not-yet-retired instructions, keyed by seq.
-    pending: HashMap<u64, f64>,
+    pending: FxHashMap<u64, f64>,
+    /// One-entry write-back cache in front of `pending`: commit stalls
+    /// and drains charge the *same* seq for many consecutive cycles, so
+    /// the per-cycle map update collapses to a register increment. The
+    /// entry is written back when the charged seq changes, retires, or
+    /// a squash needs a coherent map. Weights are integer-valued cycle
+    /// counts (exact in f64), so the deferred batch add is
+    /// bit-identical to per-cycle adds.
+    pending_hot: Option<(u64, f64)>,
     /// Consecutive Stalled cycles charged to the current ROB head.
     stall_run: Option<(u64, u64)>, // (seq, cycles so far)
     /// Stall durations of retired instructions with an empty PSV.
     eventless_stalls: Vec<u64>,
-    stall_by_seq: HashMap<u64, u64>,
+    stall_by_seq: FxHashMap<u64, u64>,
     event_counts: EventCounts,
     total_cycles: u64,
     /// Compute cycles observed with an empty committed slice (a
@@ -120,7 +137,33 @@ impl GoldenReference {
     /// on squash to a seq that retires.
     #[must_use]
     pub fn pending_cycles(&self) -> usize {
-        self.pending.len()
+        let hot_only = self
+            .pending_hot
+            .is_some_and(|(seq, _)| !self.pending.contains_key(&seq));
+        self.pending.len() + usize::from(hot_only)
+    }
+
+    /// Charges one cycle of pending weight to `seq` through the
+    /// one-entry hot cache.
+    #[inline]
+    fn pend_cycle(&mut self, seq: u64) {
+        match &mut self.pending_hot {
+            Some((s, w)) if *s == seq => *w += 1.0,
+            hot => {
+                if let Some((s, w)) = hot.take() {
+                    *self.pending.entry(s).or_insert(0.0) += w;
+                }
+                *hot = Some((seq, 1.0));
+            }
+        }
+    }
+
+    /// Writes the hot pending entry back into the map.
+    #[inline]
+    fn flush_pending_hot(&mut self) {
+        if let Some((s, w)) = self.pending_hot.take() {
+            *self.pending.entry(s).or_insert(0.0) += w;
+        }
     }
 
     /// Compute cycles that carried no committed instructions (a
@@ -138,6 +181,17 @@ impl GoldenReference {
     #[must_use]
     pub fn eventless_stalls(&self) -> &[u64] {
         &self.eventless_stalls
+    }
+
+    /// Closes the active commit-stall run, if any, recording its length
+    /// against the seq that caused it. Called from every `on_cycle` arm
+    /// that ends a run, so the common attribution paths carry no extra
+    /// end-of-cycle state comparison.
+    #[inline]
+    fn close_stall_run(&mut self) {
+        if let Some((seq, n)) = self.stall_run.take() {
+            self.stall_by_seq.insert(seq, n);
+        }
     }
 
     /// The `q`-quantile (0.0–1.0) of commit-stall durations among
@@ -172,57 +226,53 @@ impl Observer for GoldenReference {
                 );
                 if view.committed.is_empty() {
                     self.unattributed_compute_cycles += 1;
-                    if let Some((seq, n)) = self.stall_run.take() {
-                        self.stall_by_seq.insert(seq, n);
-                    }
+                    self.close_stall_run();
                     return;
                 }
-                let n = view.committed.len() as f64;
+                self.close_stall_run();
+                let w = 1.0 / view.committed.len() as f64;
                 for c in view.committed {
                     // PSVs of committing instructions are final.
-                    self.pics.add(c.addr, c.psv, 1.0 / n);
+                    self.pics.add(c.addr, c.psv, w);
                 }
             }
             CommitState::Stalled => {
                 if let Some(head) = view.stalled_head {
-                    *self.pending.entry(head.seq).or_insert(0.0) += 1.0;
+                    self.pend_cycle(head.seq);
                     self.stall_run = match self.stall_run {
                         Some((seq, n)) if seq == head.seq => Some((seq, n + 1)),
                         _ => {
-                            if let Some((seq, n)) = self.stall_run.take() {
-                                self.stall_by_seq.insert(seq, n);
-                            }
+                            self.close_stall_run();
                             Some((head.seq, 1))
                         }
                     };
                 }
             }
             CommitState::Drained => {
+                self.close_stall_run();
                 if let Some(next) = view.next_commit {
-                    *self.pending.entry(next.seq).or_insert(0.0) += 1.0;
+                    self.pend_cycle(next.seq);
                 }
             }
             CommitState::Flushed => {
+                self.close_stall_run();
                 if let Some(last) = view.last_committed {
                     // Already retired; its PSV is final.
                     self.pics.add(last.addr, last.psv, 1.0);
                 }
             }
         }
-        if view.state != CommitState::Stalled {
-            if let Some((seq, n)) = self.stall_run.take() {
-                self.stall_by_seq.insert(seq, n);
-            }
-        }
     }
 
     fn on_squash(&mut self, from_seq: u64) {
+        // The re-keying below must see every charged cycle in the map.
+        self.flush_pending_hot();
         // Cycles charged to squashed seqs are real elapsed time; re-key
         // them to the squash point (refetched, guaranteed to retire) so
         // they are not resolved against a post-refetch PSV rebuilt from
         // scratch — the exact-reference counterpart of TeaProfiler's
-        // delayed-sample handling. Fold in seq order: HashMap iteration
-        // order is randomized and f64 accumulation must stay
+        // delayed-sample handling. Fold in seq order: map iteration
+        // order is unspecified and f64 accumulation must stay
         // bit-reproducible.
         let mut displaced: Vec<(u64, f64)> = self
             .pending
@@ -251,8 +301,15 @@ impl Observer for GoldenReference {
 
     fn on_retire(&mut self, r: &RetiredInst) {
         self.event_counts.record(r.addr, r.psv);
-        if let Some(cycles) = self.pending.remove(&r.seq) {
-            self.pics.add(r.addr, r.psv, cycles);
+        if self.pending_hot.is_some_and(|(seq, _)| seq == r.seq) {
+            self.flush_pending_hot();
+        }
+        // Compute-dominated stretches leave both maps empty; skip the
+        // probes entirely on that hot path.
+        if !self.pending.is_empty() {
+            if let Some(cycles) = self.pending.remove(&r.seq) {
+                self.pics.add(r.addr, r.psv, cycles);
+            }
         }
         // Close an open stall run on the retiring instruction.
         if let Some((seq, n)) = self.stall_run {
@@ -260,6 +317,9 @@ impl Observer for GoldenReference {
                 self.stall_by_seq.insert(seq, n);
                 self.stall_run = None;
             }
+        }
+        if self.stall_by_seq.is_empty() {
+            return;
         }
         if let Some(n) = self.stall_by_seq.remove(&r.seq) {
             if r.psv.is_empty() {

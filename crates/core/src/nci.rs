@@ -9,7 +9,7 @@
 //! stream. Section 5.1 shows this misattribution costs NCI-TEA ~11 %
 //! average error versus TEA's 2.1 %.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use tea_sim::psv::CommitState;
 use tea_sim::trace::{CycleView, Observer, RetiredInst};
@@ -22,7 +22,7 @@ use crate::sampling::SampleTimer;
 pub struct NciProfiler {
     timer: SampleTimer,
     pics: Pics,
-    pending: HashMap<u64, f64>,
+    pending: FxHashMap<u64, f64>,
     samples: u64,
 }
 
@@ -33,7 +33,7 @@ impl NciProfiler {
         NciProfiler {
             timer,
             pics: Pics::new(),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             samples: 0,
         }
     }
@@ -84,6 +84,10 @@ impl Observer for NciProfiler {
     }
 
     fn on_retire(&mut self, r: &RetiredInst) {
+        // Hot path: most retirements have no delayed sample attached.
+        if self.pending.is_empty() {
+            return;
+        }
         if let Some(w) = self.pending.remove(&r.seq) {
             self.pics.add(r.addr, r.psv, w);
         }

@@ -10,8 +10,7 @@
 //! the size of each component is the impact of that event combination
 //! (answering Q2).
 
-use std::collections::HashMap;
-
+use fxhash::FxHashMap;
 use tea_isa::program::Program;
 use tea_sim::psv::Psv;
 
@@ -118,8 +117,175 @@ impl UnitMap {
     }
 }
 
+/// Number of distinct PSV signatures (nine event bits → 512 values).
+const STACK_SLOTS: usize = Psv::ALL_BITS as usize + 1;
+/// Presence-bitmap words covering [`STACK_SLOTS`] slots.
+const STACK_WORDS: usize = STACK_SLOTS / 64;
+
+/// Every PSV value, indexed by its bit pattern, so iterators can hand
+/// out `&Psv` references without storing keys per stack.
+static PSV_TABLE: [Psv; STACK_SLOTS] = {
+    let mut t = [Psv::empty(); STACK_SLOTS];
+    let mut i = 0;
+    while i < STACK_SLOTS {
+        t[i] = Psv::from_bits(i as u16);
+        i += 1;
+    }
+    t
+};
+
 /// One cycle stack: cycles per PSV signature.
-pub type CycleStack = HashMap<Psv, f64>;
+///
+/// The signature space is tiny (nine event bits → 512 values), so the
+/// stack is a dense slot array indexed directly by [`Psv::bits`] with a
+/// presence bitmap, instead of a `HashMap<Psv, f64>`: attribution on
+/// the simulator hot path becomes an or-bit plus an indexed add, with
+/// no hashing and no allocation after the stack is created.
+///
+/// The API mirrors the map it replaced ([`CycleStack::get`] /
+/// [`CycleStack::iter`] / indexing / `keys` / `values`), with one
+/// deliberate improvement: iteration is in ascending signature order —
+/// the order every consumer previously had to sort into — so
+/// floating-point folds over a stack are deterministic by construction.
+#[derive(Clone)]
+pub struct CycleStack {
+    slots: Box<[f64; STACK_SLOTS]>,
+    present: [u64; STACK_WORDS],
+}
+
+impl CycleStack {
+    /// Creates an empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        CycleStack {
+            slots: Box::new([0.0; STACK_SLOTS]),
+            present: [0; STACK_WORDS],
+        }
+    }
+
+    /// Adds `cycles` to the `psv` component. A zero-cycle add still
+    /// materialises the component, matching the entry semantics of the
+    /// map this replaced.
+    #[inline]
+    pub fn add(&mut self, psv: Psv, cycles: f64) {
+        let i = psv.bits() as usize;
+        self.present[i >> 6] |= 1 << (i & 63);
+        self.slots[i] += cycles;
+    }
+
+    #[inline]
+    fn is_present(&self, i: usize) -> bool {
+        self.present[i >> 6] >> (i & 63) & 1 != 0
+    }
+
+    /// Cycles attributed to `psv`, if that component exists.
+    #[must_use]
+    pub fn get(&self, psv: &Psv) -> Option<&f64> {
+        let i = psv.bits() as usize;
+        if self.is_present(i) {
+            Some(&self.slots[i])
+        } else {
+            None
+        }
+    }
+
+    /// Number of components in the stack.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.present.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the stack has no components.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.present.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates components in ascending signature order.
+    #[must_use]
+    pub fn iter(&self) -> CycleStackIter<'_> {
+        CycleStackIter {
+            stack: self,
+            next_word: 0,
+            word: 0,
+        }
+    }
+
+    /// Iterates the signatures present, in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &Psv> + '_ {
+        self.iter().map(|(p, _)| p)
+    }
+
+    /// Iterates the component weights, in ascending signature order.
+    pub fn values(&self) -> impl Iterator<Item = &f64> + '_ {
+        self.iter().map(|(_, c)| c)
+    }
+}
+
+impl Default for CycleStack {
+    fn default() -> Self {
+        CycleStack::new()
+    }
+}
+
+impl std::ops::Index<&Psv> for CycleStack {
+    type Output = f64;
+
+    fn index(&self, psv: &Psv) -> &f64 {
+        self.get(psv).expect("no component for signature")
+    }
+}
+
+impl PartialEq for CycleStack {
+    fn eq(&self, other: &Self) -> bool {
+        self.present == other.present
+            && self.iter().zip(other.iter()).all(|((_, a), (_, b))| a == b)
+    }
+}
+
+impl std::fmt::Debug for CycleStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a CycleStack {
+    type Item = (&'a Psv, &'a f64);
+    type IntoIter = CycleStackIter<'a>;
+
+    fn into_iter(self) -> CycleStackIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`CycleStack`]'s components in ascending signature
+/// order. Walks the presence bitmap a word at a time, clearing the
+/// lowest set bit per step.
+pub struct CycleStackIter<'a> {
+    stack: &'a CycleStack,
+    next_word: usize,
+    word: u64,
+}
+
+impl<'a> Iterator for CycleStackIter<'a> {
+    type Item = (&'a Psv, &'a f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.word != 0 {
+                let bit = self.word.trailing_zeros() as usize;
+                self.word &= self.word - 1;
+                let i = (self.next_word - 1) * 64 + bit;
+                return Some((&PSV_TABLE[i], &self.stack.slots[i]));
+            }
+            if self.next_word == STACK_WORDS {
+                return None;
+            }
+            self.word = self.stack.present[self.next_word];
+            self.next_word += 1;
+        }
+    }
+}
 
 /// Per-Instruction Cycle Stacks for one program run.
 ///
@@ -139,7 +305,7 @@ pub type CycleStack = HashMap<Psv, f64>;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Pics {
-    stacks: HashMap<u64, CycleStack>,
+    stacks: FxHashMap<u64, CycleStack>,
     total: f64,
 }
 
@@ -151,13 +317,9 @@ impl Pics {
     }
 
     /// Attributes `cycles` to instruction `addr` under signature `psv`.
+    #[inline]
     pub fn add(&mut self, addr: u64, psv: Psv, cycles: f64) {
-        *self
-            .stacks
-            .entry(addr)
-            .or_default()
-            .entry(psv)
-            .or_insert(0.0) += cycles;
+        self.stacks.entry(addr).or_default().add(psv, cycles);
         self.total += cycles;
     }
 
@@ -257,23 +419,23 @@ impl Pics {
     /// deterministic output.
     #[must_use]
     pub fn component_totals(&self) -> Vec<(Psv, f64)> {
-        let mut map: HashMap<Psv, f64> = HashMap::new();
+        // A CycleStack is itself the natural per-signature accumulator,
+        // and its iteration order is already ascending by signature.
+        let mut acc = CycleStack::new();
         for (_, psv, cycles) in self.sorted_entries() {
-            *map.entry(psv).or_insert(0.0) += cycles;
+            acc.add(psv, cycles);
         }
-        let mut v: Vec<(Psv, f64)> = map.into_iter().collect();
-        v.sort_by_key(|&(p, _)| p);
-        v
+        acc.iter().map(|(&p, &c)| (p, c)).collect()
     }
 
     /// Aggregates stacks to coarser units via `units`, returning
     /// unit-key → stack.
     #[must_use]
-    pub fn coarsened(&self, units: &UnitMap) -> HashMap<u64, CycleStack> {
-        let mut out: HashMap<u64, CycleStack> = HashMap::new();
+    pub fn coarsened(&self, units: &UnitMap) -> FxHashMap<u64, CycleStack> {
+        let mut out: FxHashMap<u64, CycleStack> = FxHashMap::default();
         for (addr, psv, cycles) in self.sorted_entries() {
             let unit = units.unit_of(addr);
-            *out.entry(unit).or_default().entry(psv).or_insert(0.0) += cycles;
+            out.entry(unit).or_default().add(psv, cycles);
         }
         out
     }
@@ -379,5 +541,227 @@ mod tests {
         assert_eq!(top[0].0, 0x1_0004);
         assert_eq!(top[1].0, 0x1_0000, "ties break by address");
         assert_eq!(top[2].0, 0x1_0008);
+    }
+
+    #[test]
+    fn dense_stack_matches_map_semantics() {
+        let mut s = CycleStack::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        let p1 = Psv::from_bits(0x1ff);
+        let p0 = Psv::empty();
+        s.add(p1, 2.5);
+        s.add(p0, 0.0); // zero-weight add still creates the component
+        s.add(p1, 0.5);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&p1), Some(&3.0));
+        assert_eq!(s.get(&p0), Some(&0.0));
+        assert_eq!(s.get(&Psv::from_bits(7)), None);
+        assert_eq!(s[&p1], 3.0);
+        let items: Vec<(Psv, f64)> = s.iter().map(|(&p, &c)| (p, c)).collect();
+        assert_eq!(
+            items,
+            vec![(p0, 0.0), (p1, 3.0)],
+            "ascending signature order"
+        );
+        assert_eq!(s.keys().copied().collect::<Vec<_>>(), vec![p0, p1]);
+        assert_eq!(s.values().sum::<f64>(), 3.0);
+        let t = s.clone();
+        assert_eq!(s, t);
+        let mut u = t.clone();
+        u.add(Psv::from_bits(7), 0.0);
+        assert_ne!(s, u, "presence differs even at zero weight");
+    }
+}
+
+/// Model-based fuzzing of the dense [`CycleStack`] against the
+/// `HashMap<Psv, f64>` representation it replaced.
+///
+/// The model reimplements the original map-backed `Pics` transforms,
+/// folding in the same explicitly sorted `(addr, psv)` order the
+/// original code used. Every comparison below is **bit-exact** (`==` on
+/// `f64`, no tolerance): the dense representation must be a pure
+/// storage change with no observable effect on any artifact number.
+#[cfg(test)]
+mod dense_vs_map_model {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct ModelPics {
+        stacks: HashMap<u64, HashMap<Psv, f64>>,
+        total: f64,
+    }
+
+    impl ModelPics {
+        fn add(&mut self, addr: u64, psv: Psv, cycles: f64) {
+            *self
+                .stacks
+                .entry(addr)
+                .or_default()
+                .entry(psv)
+                .or_insert(0.0) += cycles;
+            self.total += cycles;
+        }
+
+        fn sorted_entries(&self) -> Vec<(u64, Psv, f64)> {
+            let mut v: Vec<(u64, Psv, f64)> = self
+                .stacks
+                .iter()
+                .flat_map(|(&a, s)| s.iter().map(move |(&p, &c)| (a, p, c)))
+                .collect();
+            v.sort_by_key(|&(a, p, _)| (a, p));
+            v
+        }
+
+        fn masked(&self, mask: Psv) -> ModelPics {
+            let mut out = ModelPics::default();
+            for (addr, psv, cycles) in self.sorted_entries() {
+                out.add(addr, psv.masked(mask), cycles);
+            }
+            out
+        }
+
+        fn scaled_to(&self, target_total: f64) -> ModelPics {
+            let k = target_total / self.total;
+            let mut out = ModelPics::default();
+            for (addr, psv, cycles) in self.sorted_entries() {
+                out.add(addr, psv, cycles * k);
+            }
+            out
+        }
+
+        fn component_totals(&self) -> Vec<(Psv, f64)> {
+            let mut map: HashMap<Psv, f64> = HashMap::new();
+            for (_, psv, cycles) in self.sorted_entries() {
+                *map.entry(psv).or_insert(0.0) += cycles;
+            }
+            let mut v: Vec<(Psv, f64)> = map.into_iter().collect();
+            v.sort_by_key(|&(p, _)| p);
+            v
+        }
+
+        fn coarsened(&self, units: &UnitMap) -> HashMap<u64, HashMap<Psv, f64>> {
+            let mut out: HashMap<u64, HashMap<Psv, f64>> = HashMap::new();
+            for (addr, psv, cycles) in self.sorted_entries() {
+                let unit = units.unit_of(addr);
+                *out.entry(unit).or_default().entry(psv).or_insert(0.0) += cycles;
+            }
+            out
+        }
+    }
+
+    /// Asserts bit-exact agreement between a dense `Pics` and the model.
+    fn assert_same(dense: &Pics, model: &ModelPics) {
+        assert_eq!(
+            dense.total().to_bits(),
+            model.total.to_bits(),
+            "totals diverge"
+        );
+        assert_eq!(dense.len(), model.stacks.len());
+        for (addr, m_stack) in &model.stacks {
+            let d_stack = dense.stack(*addr).expect("address missing from dense");
+            assert_eq!(d_stack.len(), m_stack.len(), "stack {addr:#x} size");
+            for bits in 0..=Psv::ALL_BITS {
+                let p = Psv::from_bits(bits);
+                match (d_stack.get(&p), m_stack.get(&p)) {
+                    (None, None) => {}
+                    (Some(d), Some(m)) => assert_eq!(
+                        d.to_bits(),
+                        m.to_bits(),
+                        "stack {addr:#x} component {p} diverges"
+                    ),
+                    (d, m) => panic!("stack {addr:#x} presence of {p}: {d:?} vs {m:?}"),
+                }
+            }
+        }
+    }
+
+    fn apply(ops: &[(u8, u16, i32)]) -> (Pics, ModelPics) {
+        let mut dense = Pics::new();
+        let mut model = ModelPics::default();
+        for &(addr, bits, w) in ops {
+            // A handful of addresses so stacks accumulate collisions;
+            // weights include zero and negatives.
+            let addr = 0x1_0000 + u64::from(addr % 8) * 4;
+            let psv = Psv::from_bits(bits);
+            let w = f64::from(w) / 8.0;
+            dense.add(addr, psv, w);
+            model.add(addr, psv, w);
+        }
+        (dense, model)
+    }
+
+    proptest! {
+        #[test]
+        fn accumulation_is_bit_identical(
+            ops in prop::collection::vec((any::<u8>(), 0u16..512, -64i32..256), 0..200)
+        ) {
+            let (dense, model) = apply(&ops);
+            assert_same(&dense, &model);
+        }
+
+        #[test]
+        fn transforms_are_bit_identical(
+            ops in prop::collection::vec((any::<u8>(), 0u16..512, 0i32..256), 1..120),
+            mask_bits in 0u16..512,
+        ) {
+            let (dense, model) = apply(&ops);
+            let mask = Psv::from_bits(mask_bits);
+
+            assert_same(&dense.masked(mask), &model.masked(mask));
+            if model.total > 0.0 {
+                assert_same(&dense.scaled_to(1000.0), &model.scaled_to(1000.0));
+            }
+
+            let d_tot = dense.component_totals();
+            let m_tot = model.component_totals();
+            prop_assert_eq!(d_tot.len(), m_tot.len());
+            for ((dp, dc), (mp, mc)) in d_tot.iter().zip(m_tot.iter()) {
+                prop_assert_eq!(dp, mp);
+                prop_assert_eq!(dc.to_bits(), mc.to_bits());
+            }
+
+            // Application granularity exercises multi-address merge into
+            // one unit without needing a real program layout.
+            let prog = {
+                let mut a = tea_isa::asm::Asm::new();
+                a.func("f");
+                for _ in 0..8 {
+                    a.nop();
+                }
+                a.halt();
+                a.finish().unwrap()
+            };
+            for g in [Granularity::Instruction, Granularity::Application] {
+                let units = UnitMap::new(&prog, g);
+                let d_coarse = dense.coarsened(&units);
+                let m_coarse = model.coarsened(&units);
+                prop_assert_eq!(d_coarse.len(), m_coarse.len());
+                for (unit, m_stack) in &m_coarse {
+                    let d_stack = &d_coarse[unit];
+                    prop_assert_eq!(d_stack.len(), m_stack.len());
+                    for (p, m_c) in m_stack {
+                        prop_assert_eq!(d_stack[p].to_bits(), m_c.to_bits());
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn iteration_is_ascending_and_complete(
+            ops in prop::collection::vec((any::<u8>(), 0u16..512, 0i32..64), 0..100)
+        ) {
+            let (dense, model) = apply(&ops);
+            for (addr, stack) in dense.iter() {
+                let keys: Vec<Psv> = stack.keys().copied().collect();
+                let mut sorted = keys.clone();
+                sorted.sort();
+                prop_assert_eq!(&keys, &sorted, "iteration not ascending");
+                prop_assert_eq!(keys.len(), model.stacks[&addr].len());
+            }
+        }
     }
 }

@@ -14,7 +14,7 @@
 //!   never be observed: counting N events yields N independent
 //!   profiles (footnote 5).
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use tea_sim::psv::Event;
 use tea_sim::trace::{CycleView, Observer, RetiredInst};
@@ -25,7 +25,7 @@ pub struct PmcProfiler {
     event: Event,
     period: u64,
     countdown: u64,
-    samples: HashMap<u64, u64>,
+    samples: FxHashMap<u64, u64>,
     total_events: u64,
 }
 
@@ -43,7 +43,7 @@ impl PmcProfiler {
             event,
             period,
             countdown: period,
-            samples: HashMap::new(),
+            samples: FxHashMap::default(),
             total_events: 0,
         }
     }
@@ -62,7 +62,7 @@ impl PmcProfiler {
 
     /// Per-instruction sample counts (the profile a PMU tool reports).
     #[must_use]
-    pub fn samples(&self) -> &HashMap<u64, u64> {
+    pub fn samples(&self) -> &FxHashMap<u64, u64> {
         &self.samples
     }
 

@@ -43,7 +43,7 @@ pub struct Sample {
 }
 
 fn state_code(s: CommitState) -> u8 {
-    CommitState::ALL.iter().position(|x| *x == s).unwrap() as u8
+    s.index() as u8
 }
 
 fn state_from(code: u8) -> io::Result<CommitState> {

@@ -10,7 +10,7 @@
 //! so the profile is skewed towards instructions that happen to move
 //! through the front end during stalls (Section 2, Figure 2b).
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use tea_sim::psv::Psv;
 use tea_sim::trace::{CycleView, Observer, RetiredInst};
@@ -31,7 +31,7 @@ pub struct TaggingProfiler {
     /// instruction moved through the tag point yet).
     armed: bool,
     /// Tagged instructions awaiting retirement, keyed by seq.
-    pending: HashMap<u64, f64>,
+    pending: FxHashMap<u64, f64>,
     samples: u64,
 }
 
@@ -58,7 +58,7 @@ impl TaggingProfiler {
             timer,
             pics: Pics::new(),
             armed: false,
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             samples: 0,
         }
     }
@@ -128,6 +128,12 @@ impl Observer for TaggingProfiler {
     }
 
     fn on_retire(&mut self, r: &RetiredInst) {
+        // Hot path: pending is only populated between a tag and its
+        // retirement, so nearly every call can return on the emptiness
+        // probe without hashing the seq.
+        if self.pending.is_empty() {
+            return;
+        }
         if let Some(w) = self.pending.remove(&r.seq) {
             self.pics.add(r.addr, r.psv.masked(self.mask), w);
         }

@@ -13,7 +13,7 @@
 //!   flush bits) TEA keeps in a dedicated register precisely for this
 //!   case — the detail that separates TEA from NCI-TEA in Section 5.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use tea_sim::psv::CommitState;
 use tea_sim::trace::{CycleView, Observer, RetiredInst};
@@ -28,7 +28,7 @@ pub struct TeaProfiler {
     pics: Pics,
     /// Sample weight awaiting the final PSV of a not-yet-retired
     /// instruction, keyed by seq.
-    pending: HashMap<u64, f64>,
+    pending: FxHashMap<u64, f64>,
     samples: u64,
 }
 
@@ -39,7 +39,7 @@ impl TeaProfiler {
         TeaProfiler {
             timer,
             pics: Pics::new(),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             samples: 0,
         }
     }
@@ -113,6 +113,11 @@ impl Observer for TeaProfiler {
     }
 
     fn on_retire(&mut self, r: &RetiredInst) {
+        // Hot path: most retirements have no delayed sample attached, and
+        // the emptiness probe is far cheaper than hashing the seq.
+        if self.pending.is_empty() {
+            return;
+        }
         if let Some(w) = self.pending.remove(&r.seq) {
             self.pics.add(r.addr, r.psv, w);
         }
@@ -127,7 +132,7 @@ impl Observer for TeaProfiler {
         // instruction at `from_seq` becomes the post-squash ROB head
         // once fetch resumes and is guaranteed to retire — instead of
         // leaving it attached to signatures the squash invalidated.
-        // Fold in seq order: HashMap iteration order is randomized, and
+        // Fold in seq order: map iteration order is unspecified, and
         // f64 accumulation must stay bit-reproducible across runs.
         let mut displaced: Vec<(u64, f64)> = self
             .pending

@@ -10,7 +10,7 @@
 //! cannot answer Q2 (*why* it stalls), which is exactly the gap TEA
 //! fills.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use tea_sim::psv::CommitState;
 use tea_sim::trace::{CycleView, Observer, RetiredInst};
@@ -19,7 +19,7 @@ use tea_sim::trace::{CycleView, Observer, RetiredInst};
 #[derive(Clone, Debug, Default)]
 pub struct TipProfile {
     /// addr → samples per commit state, indexed as [`CommitState::ALL`].
-    entries: HashMap<u64, [f64; 4]>,
+    entries: FxHashMap<u64, [f64; 4]>,
     total: f64,
 }
 
@@ -68,8 +68,7 @@ impl TipProfile {
     }
 
     fn add(&mut self, addr: u64, state: CommitState, w: f64) {
-        let i = CommitState::ALL.iter().position(|s| *s == state).unwrap();
-        self.entries.entry(addr).or_default()[i] += w;
+        self.entries.entry(addr).or_default()[state.index()] += w;
         self.total += w;
     }
 }
@@ -80,7 +79,7 @@ pub struct TipProfiler {
     timer: crate::sampling::SampleTimer,
     profile: TipProfile,
     /// Delayed samples keyed by seq, with the state they were taken in.
-    pending: HashMap<u64, (f64, CommitState)>,
+    pending: FxHashMap<u64, (f64, CommitState)>,
     samples: u64,
 }
 
@@ -91,7 +90,7 @@ impl TipProfiler {
         TipProfiler {
             timer,
             profile: TipProfile::default(),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             samples: 0,
         }
     }
@@ -164,6 +163,10 @@ impl Observer for TipProfiler {
     }
 
     fn on_retire(&mut self, r: &RetiredInst) {
+        // Hot path: most retirements have no delayed sample attached.
+        if self.pending.is_empty() {
+            return;
+        }
         if let Some((w, state)) = self.pending.remove(&r.seq) {
             self.profile.add(r.addr, state, w);
         }
@@ -173,7 +176,7 @@ impl Observer for TipProfiler {
         // Same re-keying as TeaProfiler: delayed samples on squashed
         // seqs move to the squash point, which is refetched and retires.
         // The displaced weight keeps the state of its oldest sample.
-        // Fold in seq order: HashMap iteration order is randomized, and
+        // Fold in seq order: map iteration order is unspecified, and
         // f64 accumulation must stay bit-reproducible across runs.
         let mut displaced: Vec<(u64, f64, CommitState)> = self
             .pending

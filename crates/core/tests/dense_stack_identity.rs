@@ -1,0 +1,162 @@
+//! Artifact bit-identity for the dense cycle-stack representation.
+//!
+//! The dense `CycleStack` replaced the per-instruction `HashMap<Psv,
+//! f64>` purely as a storage change: every profiler artifact — golden
+//! and sampled PICS, error metrics, rendered reports — must come out
+//! bit-identical. Two angles are pinned here:
+//!
+//! 1. **Cross-representation**: a full simulated run attributed through
+//!    the real `Pics` must agree bit-for-bit with a map-based reference
+//!    fed the exact same attribution stream (the unit-level fuzzing in
+//!    `pics.rs` covers random streams; this covers a real pipeline's).
+//! 2. **Run-to-run**: repeating an identical profiled run must
+//!    reproduce every artifact byte-for-byte, including rendered
+//!    reports that fold f64 across stacks. With the dense stack this
+//!    holds by construction (iteration order is fixed); it would also
+//!    have caught any accidental dependence on map iteration order.
+
+use std::collections::HashMap;
+
+use tea_core::error::pics_error;
+use tea_core::golden::GoldenReference;
+use tea_core::pics::{Granularity, Pics, UnitMap};
+use tea_core::render::{render_cpi_stack, render_csv, render_functions};
+use tea_core::sampling::SampleTimer;
+use tea_core::tea::TeaProfiler;
+use tea_sim::core::simulate;
+use tea_sim::psv::Psv;
+use tea_sim::trace::Observer;
+use tea_sim::SimConfig;
+use tea_workloads::{all_workloads, Size, Workload};
+
+fn workload(name: &str) -> Workload {
+    all_workloads(Size::Test)
+        .into_iter()
+        .find(|w| w.name == name)
+        .expect("workload present in suite")
+}
+
+struct ProfiledRun {
+    golden: GoldenReference,
+    tea: TeaProfiler,
+    cycles: u64,
+}
+
+fn profiled_run(w: &Workload) -> ProfiledRun {
+    let mut golden = GoldenReference::new();
+    let mut tea = TeaProfiler::new(SampleTimer::with_jitter(512, 64, 42));
+    let stats = {
+        let mut obs: [&mut dyn Observer; 2] = [&mut golden, &mut tea];
+        simulate(&w.program, SimConfig::default(), &mut obs)
+    };
+    ProfiledRun {
+        golden,
+        tea,
+        cycles: stats.cycles,
+    }
+}
+
+/// Collects every (addr, psv, cycles-bits) triple of a PICS in the
+/// deterministic (addr, psv) order.
+fn entries_bits(pics: &Pics) -> Vec<(u64, Psv, u64)> {
+    let mut v: Vec<(u64, Psv, u64)> = pics
+        .iter()
+        .flat_map(|(a, s)| s.iter().map(move |(&p, &c)| (a, p, c.to_bits())))
+        .collect();
+    v.sort_by_key(|&(a, p, _)| (a, p));
+    v
+}
+
+#[test]
+fn real_run_attribution_matches_map_reference_bitwise() {
+    let w = workload("lbm");
+    let run = profiled_run(&w);
+
+    // Replay the golden PICS entry stream into a map-based reference.
+    // Equality of every slot proves the dense storage neither dropped,
+    // merged, nor perturbed a single attribution.
+    let mut reference: HashMap<u64, HashMap<Psv, u64>> = HashMap::new();
+    for (addr, stack) in run.golden.pics().iter() {
+        for (&psv, &cycles) in stack.iter() {
+            let prev = reference
+                .entry(addr)
+                .or_default()
+                .insert(psv, cycles.to_bits());
+            assert!(prev.is_none(), "dense iteration repeated a component");
+        }
+    }
+    assert_eq!(reference.len(), run.golden.pics().len());
+    for (addr, stack) in &reference {
+        let dense = run.golden.pics().stack(*addr).unwrap();
+        assert_eq!(dense.len(), stack.len());
+        for (psv, bits) in stack {
+            assert_eq!(dense[psv].to_bits(), *bits, "{addr:#x} {psv} diverges");
+        }
+    }
+
+    // The golden invariant itself: attributed cycles equal simulated
+    // cycles exactly, as before the representation change.
+    assert!(
+        (run.golden.pics().total() - run.cycles as f64).abs() < 1e-6,
+        "golden total {} != cycles {}",
+        run.golden.pics().total(),
+        run.cycles
+    );
+}
+
+#[test]
+fn profiler_artifacts_are_bit_identical_across_runs() {
+    let w = workload("mcf");
+    let a = profiled_run(&w);
+    let b = profiled_run(&w);
+
+    assert_eq!(a.cycles, b.cycles, "simulation must be deterministic");
+    assert_eq!(entries_bits(a.golden.pics()), entries_bits(b.golden.pics()));
+    assert_eq!(entries_bits(a.tea.pics()), entries_bits(b.tea.pics()));
+
+    // Downstream transforms and renders fold f64 across stacks; all of
+    // them must reproduce byte-for-byte.
+    let units = UnitMap::new(&w.program, Granularity::Function);
+    let scaled_a = a.tea.pics().scaled_to(a.cycles as f64);
+    let scaled_b = b.tea.pics().scaled_to(b.cycles as f64);
+    assert_eq!(entries_bits(&scaled_a), entries_bits(&scaled_b));
+
+    let err_a = pics_error(
+        &scaled_a,
+        a.golden.pics(),
+        Psv::from_bits(Psv::ALL_BITS),
+        &units,
+    );
+    let err_b = pics_error(
+        &scaled_b,
+        b.golden.pics(),
+        Psv::from_bits(Psv::ALL_BITS),
+        &units,
+    );
+    assert_eq!(err_a.to_bits(), err_b.to_bits());
+
+    for (ra, rb) in [
+        (
+            render_csv(a.golden.pics(), &w.program),
+            render_csv(b.golden.pics(), &w.program),
+        ),
+        (
+            render_functions(a.golden.pics(), &w.program, 10),
+            render_functions(b.golden.pics(), &w.program, 10),
+        ),
+        (
+            render_cpi_stack(a.golden.pics(), a.cycles),
+            render_cpi_stack(b.golden.pics(), b.cycles),
+        ),
+    ] {
+        assert_eq!(ra, rb, "rendered artifact not reproducible");
+    }
+
+    let ct_a = a.golden.pics().component_totals();
+    let ct_b = b.golden.pics().component_totals();
+    assert_eq!(ct_a.len(), ct_b.len());
+    for ((pa, ca), (pb, cb)) in ct_a.iter().zip(ct_b.iter()) {
+        assert_eq!(pa, pb);
+        assert_eq!(ca.to_bits(), cb.to_bits());
+    }
+}

@@ -1185,7 +1185,8 @@ pub fn safe_name(name: &str) -> String {
 /// The outermost ancestor of the current directory that holds a
 /// `Cargo.lock` — the workspace root when run under cargo — or the
 /// current directory itself when no lockfile is in sight.
-fn workspace_root() -> PathBuf {
+#[must_use]
+pub fn workspace_root() -> PathBuf {
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     cwd.ancestors()
         .filter(|dir| dir.join("Cargo.lock").is_file())

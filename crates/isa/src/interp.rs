@@ -7,7 +7,7 @@
 //! stream (trace-driven simulation) and adds all timing behaviour —
 //! caches, TLBs, the out-of-order window, flush penalties — on top.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use crate::error::IsaError;
 use crate::inst::Inst;
@@ -89,7 +89,7 @@ pub struct Machine<'p> {
     seq: u64,
     halted: bool,
     last_index: Option<u32>,
-    mem: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    mem: FxHashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
 }
 
 impl<'p> Machine<'p> {
@@ -105,7 +105,7 @@ impl<'p> Machine<'p> {
             seq: 0,
             halted: false,
             last_index: None,
-            mem: HashMap::new(),
+            mem: FxHashMap::default(),
         };
         for &(addr, word) in program.init_words() {
             m.store_u64(addr, word);
@@ -164,6 +164,20 @@ impl<'p> Machine<'p> {
     /// Reads an 8-byte little-endian word from memory.
     #[must_use]
     pub fn load_u64(&self, addr: u64) -> u64 {
+        // Fast path for words within one page: a single map probe and an
+        // 8-byte copy. Only a page-straddling access (off > 4088) needs
+        // the byte-by-byte walk across two pages.
+        let off = (addr % PAGE_BYTES) as usize;
+        if off + 8 <= PAGE_BYTES as usize {
+            return match self.mem.get(&(addr / PAGE_BYTES)) {
+                Some(page) => {
+                    let mut bytes = [0u8; 8];
+                    bytes.copy_from_slice(&page[off..off + 8]);
+                    u64::from_le_bytes(bytes)
+                }
+                None => 0,
+            };
+        }
         let mut bytes = [0u8; 8];
         for (i, b) in bytes.iter_mut().enumerate() {
             *b = self.load_byte(addr + i as u64);
@@ -173,6 +187,15 @@ impl<'p> Machine<'p> {
 
     /// Writes an 8-byte little-endian word to memory.
     pub fn store_u64(&mut self, addr: u64, value: u64) {
+        let off = (addr % PAGE_BYTES) as usize;
+        if off + 8 <= PAGE_BYTES as usize {
+            let page = self
+                .mem
+                .entry(addr / PAGE_BYTES)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES as usize]));
+            page[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         for (i, b) in value.to_le_bytes().iter().enumerate() {
             self.store_byte(addr + i as u64, *b);
         }

@@ -74,7 +74,7 @@ impl SimStats {
     /// Cycles spent in a given commit state.
     #[must_use]
     pub fn cycles_in(&self, state: CommitState) -> u64 {
-        self.state_cycles[CommitState::ALL.iter().position(|s| *s == state).unwrap()]
+        self.state_cycles[state.index()]
     }
 
     /// Fraction of eventful retired instructions that saw combined
@@ -289,6 +289,9 @@ pub struct Core<'p> {
     /// Squash points raised since observers were last notified; drained
     /// into [`Observer::on_squash`] ahead of each cycle's `on_cycle`.
     squashed_buf: Vec<u64>,
+    /// Spare waiter buffer rotated through slots in `process_events`, so
+    /// waking a completion's dependents never allocates in steady state.
+    waiters_scratch: Vec<SlotRef>,
 
     stats: SimStats,
 }
@@ -353,6 +356,7 @@ impl<'p> Core<'p> {
             dispatched_buf: Vec::with_capacity(8),
             fetched_buf: Vec::with_capacity(8),
             squashed_buf: Vec::with_capacity(4),
+            waiters_scratch: Vec::new(),
             stats: SimStats::default(),
             cfg,
         })
@@ -507,19 +511,24 @@ impl<'p> Core<'p> {
             if !self.valid(r) {
                 continue;
             }
-            let (comp, waiters, class, mispredicted, already_resolved, seq) = {
+            // Rotate the slot's waiter list out through the scratch
+            // buffer (and leave the scratch's spare capacity behind in
+            // the slot) instead of `mem::take`, which would free this
+            // list and cost a fresh allocation per completion.
+            let mut waiters = std::mem::take(&mut self.waiters_scratch);
+            let (comp, class, mispredicted, already_resolved, seq) = {
                 let s = &mut self.slots[idx as usize];
+                std::mem::swap(&mut s.waiters, &mut waiters);
                 (
                     s.complete
                         .expect("completion event without completion time"),
-                    std::mem::take(&mut s.waiters),
                     s.d.inst.class(),
                     s.mispredicted,
                     s.resolved,
                     s.d.seq,
                 )
             };
-            for w in waiters {
+            for &w in &waiters {
                 if !self.valid(w) {
                     continue;
                 }
@@ -538,6 +547,8 @@ impl<'p> Core<'p> {
                     self.iq_mut(kind).push_ready(ready, wseq, w);
                 }
             }
+            waiters.clear();
+            self.waiters_scratch = waiters;
             if Self::is_ctrl(class) && !already_resolved {
                 self.slots[idx as usize].resolved = true;
                 self.inflight_ctrl = self.inflight_ctrl.saturating_sub(1);
@@ -604,7 +615,15 @@ impl<'p> Core<'p> {
                 class,
             });
             match class {
-                ExecClass::Load => self.ldq.retain(|e| e.seq != seq),
+                ExecClass::Load => {
+                    // The LDQ is seq-ordered and loads retire
+                    // oldest-first, so the entry is almost always at
+                    // position 0 — stop at the first hit instead of
+                    // testing the whole queue.
+                    if let Some(pos) = self.ldq.iter().position(|e| e.seq == seq) {
+                        self.ldq.remove(pos);
+                    }
+                }
                 ExecClass::Store => {
                     if let Some(e) = self.stq.iter_mut().find(|e| e.seq == seq) {
                         e.committed = true;
@@ -616,15 +635,17 @@ impl<'p> Core<'p> {
             self.kill_slot(head.idx);
             self.stats.retired += 1;
             self.last_commit_cycle = now;
-            for (i, e) in Event::ALL.into_iter().enumerate() {
-                if psv.contains(e) {
-                    self.stats.event_insts[i] += 1;
-                }
-            }
-            if !psv.is_empty() {
+            // Most retired instructions have an empty PSV; walk only the
+            // set bits instead of testing all nine events.
+            let mut bits = psv.bits();
+            if bits != 0 {
                 self.stats.eventful_insts += 1;
                 if psv.is_combined() {
                     self.stats.combined_event_insts += 1;
+                }
+                while bits != 0 {
+                    self.stats.event_insts[bits.trailing_zeros() as usize] += 1;
+                    bits &= bits - 1;
                 }
             }
             self.stream.release_below(seq + 1);
@@ -649,10 +670,11 @@ impl<'p> Core<'p> {
                 next_commit: None,
             }
         } else if let Some(&head) = self.rob.front() {
+            let head_ref = self.inst_ref(head);
             CommitSnapshot {
                 state: CommitState::Stalled,
-                stalled_head: Some(self.inst_ref(head)),
-                next_commit: Some(self.inst_ref(head)),
+                stalled_head: Some(head_ref),
+                next_commit: Some(head_ref),
             }
         } else if self.flush_active {
             let next = self.peek_next_commit();
@@ -1114,21 +1136,10 @@ impl<'p> Core<'p> {
             self.dispatch();
             self.fetch();
 
-            let state_idx = CommitState::ALL
-                .iter()
-                .position(|s| *s == snapshot.state)
-                .unwrap();
-            self.stats.state_cycles[state_idx] += 1;
+            self.stats.state_cycles[snapshot.state.index()] += 1;
             // Squash notifications precede the cycle view so profilers
             // re-key delayed samples before attributing this cycle.
-            if !self.squashed_buf.is_empty() {
-                for &from_seq in &self.squashed_buf {
-                    for obs in observers.iter_mut() {
-                        obs.on_squash(from_seq);
-                    }
-                }
-                self.squashed_buf.clear();
-            }
+            self.notify_squashes(observers);
             let view = CycleView {
                 cycle: self.cycle,
                 state: snapshot.state,
@@ -1142,14 +1153,19 @@ impl<'p> Core<'p> {
             for obs in observers.iter_mut() {
                 obs.on_cycle(&view);
             }
-            for retired in &self.retired_buf {
-                for obs in observers.iter_mut() {
-                    obs.on_retire(retired);
+            if !self.retired_buf.is_empty() {
+                for retired in &self.retired_buf {
+                    for obs in observers.iter_mut() {
+                        obs.on_retire(retired);
+                    }
                 }
             }
-            if let Some(e) = self.stream.error.clone() {
+            // Probe before cloning: the clone of the (almost always
+            // absent) error used to run every cycle.
+            if self.stream.error.is_some() {
                 self.stats.hier = self.hier.stats();
                 self.stats.branch = self.bp.stats();
+                let e = self.stream.error.clone().expect("checked above");
                 return Err(SimError::Isa(e));
             }
             assert!(
@@ -1166,19 +1182,27 @@ impl<'p> Core<'p> {
         if self.halt_committed {
             // A squash raised in the halt-committing cycle's later
             // pipeline phases must still reach observers.
-            if !self.squashed_buf.is_empty() {
-                for &from_seq in &self.squashed_buf {
-                    for obs in observers.iter_mut() {
-                        obs.on_squash(from_seq);
-                    }
-                }
-                self.squashed_buf.clear();
-            }
+            self.notify_squashes(observers);
             for obs in observers.iter_mut() {
                 obs.on_finish(self.stats.cycles);
             }
         }
         Ok(self.stats)
+    }
+
+    /// Delivers (and drains) any buffered squash notifications to every
+    /// observer. No-op when nothing was squashed, so the per-cycle call
+    /// costs one emptiness check.
+    fn notify_squashes(&mut self, observers: &mut [&mut dyn Observer]) {
+        if self.squashed_buf.is_empty() {
+            return;
+        }
+        for &from_seq in &self.squashed_buf {
+            for obs in observers.iter_mut() {
+                obs.on_squash(from_seq);
+            }
+        }
+        self.squashed_buf.clear();
     }
 
     /// Takes a PMU sampling interrupt when the injected sampling timer

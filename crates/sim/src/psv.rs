@@ -120,7 +120,7 @@ impl Psv {
 
     /// The empty signature (the paper's *Base* category).
     #[must_use]
-    pub fn empty() -> Self {
+    pub const fn empty() -> Self {
         Psv(0)
     }
 
@@ -128,7 +128,7 @@ impl Psv {
     ///
     /// Bits outside the nine defined events are discarded.
     #[must_use]
-    pub fn from_bits(bits: u16) -> Self {
+    pub const fn from_bits(bits: u16) -> Self {
         Psv(bits & Self::ALL_BITS)
     }
 
@@ -144,7 +144,7 @@ impl Psv {
 
     /// Raw bit representation.
     #[must_use]
-    pub fn bits(self) -> u16 {
+    pub const fn bits(self) -> u16 {
         self.0
     }
 
@@ -224,16 +224,20 @@ impl FromIterator<Event> for Psv {
 }
 
 /// The four commit states of the paper's Section 2 taxonomy.
+///
+/// Discriminants are the state's position in [`CommitState::ALL`], so
+/// [`CommitState::index`] is a cast rather than a search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
 pub enum CommitState {
     /// One or more instructions committed this cycle.
-    Compute,
+    Compute = 0,
     /// The ROB is empty because of a front-end stall.
-    Drained,
+    Drained = 1,
     /// The head of the ROB has not finished executing.
-    Stalled,
+    Stalled = 2,
     /// The ROB is empty because an instruction flushed the pipeline.
-    Flushed,
+    Flushed = 3,
 }
 
 impl CommitState {
@@ -244,6 +248,14 @@ impl CommitState {
         CommitState::Stalled,
         CommitState::Flushed,
     ];
+
+    /// This state's position in [`CommitState::ALL`] — the index used
+    /// for `state_cycles`-style per-state arrays. A constant-time cast;
+    /// `commit_state_index_matches_all_order` pins the correspondence.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 
     /// Short name as used in the paper.
     #[must_use]
@@ -325,5 +337,19 @@ mod tests {
     fn commit_state_names() {
         assert_eq!(CommitState::Flushed.name(), "Flushed");
         assert_eq!(CommitState::ALL.len(), 4);
+    }
+
+    #[test]
+    fn commit_state_index_matches_all_order() {
+        // `state_cycles` arrays, the sample-file state codes and the TIP
+        // per-state entries are all indexed as CommitState::ALL; the
+        // cast-based index must never drift from that order.
+        for (i, s) in CommitState::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i, "{s} index drifted from ALL order");
+        }
+        assert_eq!(CommitState::Compute.index(), 0);
+        assert_eq!(CommitState::Drained.index(), 1);
+        assert_eq!(CommitState::Stalled.index(), 2);
+        assert_eq!(CommitState::Flushed.index(), 3);
     }
 }

@@ -8,6 +8,8 @@
 //! tea-cli suite [workload...] [--size test|ref] [--interval N] [--threads N] [--json out.json]
 //!               [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]
 //!               [--inject-panic <workload>] [--inject-diverge <workload>]
+//! tea-cli bench [workload...] [--size test|ref] [--interval N] [--iters N] [--json out.json]
+//!               [--set-baseline]
 //! tea-cli disasm <workload> [--lines N]
 //! tea-cli record <workload> <out.teas> [--size test|ref] [--interval N]
 //! tea-cli report <in.teas> <workload> [--top N]
@@ -46,6 +48,8 @@ struct Args {
     fail_fast: bool,
     inject_panic: Option<String>,
     inject_diverge: Option<String>,
+    iters: u32,
+    set_baseline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         fail_fast: false,
         inject_panic: None,
         inject_diverge: None,
+        iters: 3,
+        set_baseline: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -110,6 +116,12 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--fail-fast" => args.fail_fast = true,
+            "--iters" => {
+                args.iters = grab("--iters")?
+                    .parse()
+                    .map_err(|e| format!("bad iters: {e}"))?
+            }
+            "--set-baseline" => args.set_baseline = true,
             "--inject-panic" => args.inject_panic = Some(grab("--inject-panic")?),
             "--inject-diverge" => args.inject_diverge = Some(grab("--inject-diverge")?),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
@@ -387,6 +399,84 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Measures simulator throughput (bare and under the full profiler
+/// set) over a workload selection and updates the tracked
+/// `BENCH_sim_throughput.json` artifact at the workspace root. The
+/// artifact's `before` baseline is preserved across reruns so the
+/// release-to-release speedup stays visible; `--set-baseline` resets it
+/// to the current measurement.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use tea_bench::throughput::{existing_baseline, measure_suite, render_artifact};
+
+    let selected: Vec<String> = args.positional[1..].to_vec();
+    let mut workloads = all_workloads(args.size);
+    if !selected.is_empty() {
+        workloads.retain(|w| selected.iter().any(|s| s == w.name));
+        if workloads.len() != selected.len() {
+            return Err("unknown workload in selection; run `tea-cli list`".to_string());
+        }
+    }
+    let size_name = match args.size {
+        Size::Test => "test",
+        Size::Ref => "ref",
+    };
+    eprintln!(
+        "benchmarking {} workloads at size {size_name}, interval {}, best of {} runs...",
+        workloads.len(),
+        args.interval,
+        args.iters
+    );
+    let report = measure_suite(&workloads, size_name, args.interval, args.iters);
+    println!(
+        "{:<12} {:>12} {:>10} {:>16} {:>16} {:>14}",
+        "workload", "cycles", "samples", "sim cyc/s", "profiled cyc/s", "samples/s"
+    );
+    for w in &report.workloads {
+        println!(
+            "{:<12} {:>12} {:>10} {:>16.0} {:>16.0} {:>14.0}",
+            w.name,
+            w.cycles,
+            w.samples,
+            w.sim_cycles_per_second(),
+            w.profiled_cycles_per_second(),
+            w.samples_per_second()
+        );
+    }
+    println!(
+        "{:<12} {:>12} {:>10} {:>16.0} {:>16.0} {:>14.0}",
+        "total",
+        report.total_cycles(),
+        report.total_samples(),
+        report.sim_cycles_per_second(),
+        report.profiled_cycles_per_second(),
+        report.samples_per_second()
+    );
+    let path = args.json.clone().unwrap_or_else(|| {
+        tea_exp::workspace_root()
+            .join("BENCH_sim_throughput.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let baseline = if args.set_baseline {
+        None
+    } else {
+        std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| existing_baseline(&text))
+    };
+    let doc = render_artifact(&report, baseline);
+    if let Some(v) = doc
+        .get("speedup")
+        .and_then(|s| s.get("profiled_cycles_per_second"))
+        .and_then(tea_exp::json::Json::as_f64)
+    {
+        println!("speedup vs baseline (profiled cycles/s): {v:.2}x");
+    }
+    std::fs::write(&path, doc.render_pretty()).map_err(|e| format!("write {path}: {e}"))?;
+    println!("throughput artifact: {path}");
+    Ok(())
+}
+
 fn cmd_record(args: &Args) -> Result<(), String> {
     let name = args
         .positional
@@ -583,6 +673,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&args),
         "compare" => cmd_compare(&args),
         "suite" => cmd_suite(&args),
+        "bench" => cmd_bench(&args),
         "record" => cmd_record(&args),
         "casestudy" => cmd_casestudy(&args),
         "functions" => cmd_functions(&args),
@@ -598,6 +689,8 @@ fn main() -> ExitCode {
                  tea-cli suite [workload...] [--size test|ref] [--interval N] [--threads N] [--json out.json]\n  \
                  \u{20}             [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]\n  \
                  \u{20}             [--inject-panic <workload>] [--inject-diverge <workload>]\n  \
+                 tea-cli bench [workload...] [--size test|ref] [--interval N] [--iters N]\n  \
+                 \u{20}             [--json out.json] [--set-baseline]\n  \
                  tea-cli record <workload> <out.teas> [--size test|ref] [--interval N]\n  \
                  tea-cli report <in.teas> <workload> [--top N]\n  \
                  tea-cli casestudy <lbm|nab> [--size test|ref]\n  \

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `fxhash` / `rustc-hash` crates.
+//!
+//! This workspace builds in environments without network access or a
+//! crates.io registry mirror, so the hasher used on the attribution hot
+//! path is vendored here. It implements the Fx hash function — the
+//! multiply-and-rotate word hash the Rust compiler uses for its
+//! internal tables — which is dramatically cheaper than std's
+//! SipHash-1-3 for the small integer keys (instruction addresses,
+//! sequence numbers) that dominate the profilers' maps, at the cost of
+//! DoS resistance this workload does not need.
+//!
+//! Unlike `std::collections::HashMap`'s default `RandomState`, the
+//! hasher is deterministic: a map built from the same insertion
+//! sequence iterates in the same order in every process. Nothing in the
+//! workspace *relies* on that (all artifact paths fold in explicitly
+//! sorted order), but it removes a source of run-to-run noise.
+
+#![warn(missing_docs)]
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Deterministic builder for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx word hasher: `state = (rotl(state, 5) ^ word) * SEED` per
+/// input word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&rest[..8]);
+            self.add_to_hash(u64::from_ne_bytes(buf));
+            rest = &rest[8..];
+        }
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_ne_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, f64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            *m.entry(i % 97).or_insert(0.0) += 1.0;
+        }
+        assert_eq!(m.len(), 97);
+        assert_eq!(m[&0], 11.0);
+        let s: FxHashSet<u64> = (0..50).collect();
+        assert!(s.contains(&49) && !s.contains(&50));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        let hash_of = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(hash_of(42), hash_of(42), "no per-process randomness");
+        // Neighbouring keys must land in different buckets of a
+        // power-of-two table (the high bits carry entropy).
+        let buckets: std::collections::HashSet<u64> = (0..64).map(|i| hash_of(i) >> 57).collect();
+        assert!(
+            buckets.len() > 16,
+            "only {} distinct buckets",
+            buckets.len()
+        );
+    }
+
+    #[test]
+    fn byte_writes_agree_with_word_writes_on_length() {
+        // Different input lengths must not collide trivially.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0, 0]);
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 0, 0, 0, 0, 0, 9]);
+        assert_ne!(a.finish(), c.finish());
+        let _ = b.finish();
+    }
+}
