@@ -80,6 +80,10 @@ fn main() {
     );
     match run.write_artifact() {
         Ok(path) => println!("results artifact: {}", path.display()),
-        Err(e) => eprintln!("could not write results artifact: {e}"),
+        Err(e) => tea_obs::warn(
+            "tea_bench::fig5_error",
+            "could not write results artifact",
+            &[("error", tea_obs::Value::str(e.to_string()))],
+        ),
     }
 }

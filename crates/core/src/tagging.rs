@@ -104,6 +104,15 @@ impl TaggingProfiler {
     pub fn samples(&self) -> u64 {
         self.samples
     }
+
+    /// Number of tagged instructions still awaiting retirement — the
+    /// pending-map size. Non-zero after a run means tags that never
+    /// resolved (their instruction neither retired nor was re-keyed on
+    /// squash), i.e. dropped samples.
+    #[must_use]
+    pub fn pending_samples(&self) -> usize {
+        self.pending.len()
+    }
 }
 
 impl Observer for TaggingProfiler {

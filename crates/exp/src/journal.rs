@@ -23,11 +23,16 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
+use tea_obs::Value;
+
 use crate::json::{self, Json};
 use crate::{results_dir, safe_name, CellOutcome, CellSpec, CellStatus};
 
 /// Schema tag of a journal line.
 pub const JOURNAL_SCHEMA: &str = "tea-journal/v1";
+
+/// Tracing target of journal-emitted records.
+const JOURNAL_TARGET: &str = "tea_exp::journal";
 
 /// One journaled cell outcome.
 #[derive(Clone, Debug, PartialEq)]
@@ -141,7 +146,7 @@ impl Journal {
 
     /// Appends one entry and flushes it to disk. Best-effort: an I/O
     /// failure here must not fail the cell whose result it records, so
-    /// errors are reported on stderr and swallowed — the worst case is
+    /// errors become WARN events and are swallowed — the worst case is
     /// a resume that re-runs the cell.
     pub fn record(&self, entry: &JournalEntry) {
         let line = entry.to_line();
@@ -150,32 +155,51 @@ impl Journal {
             Err(poisoned) => poisoned.into_inner(),
         };
         if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
-            eprintln!(
-                "warning: could not journal cell {} to {}: {e}",
-                entry.index,
-                self.path.display()
+            tea_obs::warn(
+                JOURNAL_TARGET,
+                "could not journal cell",
+                &[
+                    ("index", Value::from(entry.index)),
+                    ("path", Value::str(self.path.display().to_string())),
+                    ("error", Value::str(e.to_string())),
+                ],
             );
         }
     }
 
     /// Loads the journal of run `name`: the surviving entry per index
-    /// (last line wins). Unreadable or torn lines are skipped — a crash
-    /// mid-append truncates at most the final line, and a resume simply
-    /// re-runs that cell. A missing journal loads as empty.
+    /// (last line wins). Unreadable or torn lines are recovered from by
+    /// skipping them — a crash mid-append truncates at most the final
+    /// line, and a resume simply re-runs that cell; each skip is
+    /// reported as a WARN event carrying the line's byte offset. A
+    /// missing journal loads as empty.
     #[must_use]
     pub fn load(name: &str) -> HashMap<usize, JournalEntry> {
         let mut entries = HashMap::new();
-        let Ok(text) = std::fs::read_to_string(Self::path_for(name)) else {
+        let path = Self::path_for(name);
+        let Ok(text) = std::fs::read_to_string(&path) else {
             return entries;
         };
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
+        let mut offset = 0usize;
+        for raw in text.split_inclusive('\n') {
+            let line = raw.trim();
+            if !line.is_empty() {
+                match JournalEntry::from_line(line) {
+                    Some(entry) => {
+                        entries.insert(entry.index, entry);
+                    }
+                    None => tea_obs::warn(
+                        JOURNAL_TARGET,
+                        "skipping torn journal line; its cell will re-run",
+                        &[
+                            ("byte_offset", Value::from(offset)),
+                            ("line_bytes", Value::from(raw.len())),
+                            ("path", Value::str(path.display().to_string())),
+                        ],
+                    ),
+                }
             }
-            if let Some(entry) = JournalEntry::from_line(line) {
-                entries.insert(entry.index, entry);
-            }
+            offset += raw.len();
         }
         entries
     }

@@ -60,6 +60,7 @@ use tea_core::tagging::TaggingProfiler;
 use tea_core::tea::TeaProfiler;
 use tea_core::tip::{TipProfile, TipProfiler};
 use tea_isa::program::Program;
+use tea_obs::{Level, Value};
 use tea_sim::core::{Core, SimStats};
 use tea_sim::psv::CommitState;
 use tea_sim::trace::Observer;
@@ -563,10 +564,36 @@ impl Engine {
         Ok(self.run_inner(name, work, Some(&journal)))
     }
 
+    /// The level engine progress events are emitted at: `Info` for a
+    /// reporting engine, `Debug` (hidden at default stderr verbosity)
+    /// for a [`Engine::quiet`] one. Trace sinks capture both.
+    fn event_level(&self) -> Level {
+        if self.progress {
+            Level::Info
+        } else {
+            Level::Debug
+        }
+    }
+
     fn run_inner(&self, name: &str, work: Vec<CellWork>, journal: Option<&Journal>) -> RunResult {
         let t0 = Instant::now();
         let total = work.len();
         let workers = self.threads.min(total.max(1));
+        let mut run_span = tea_obs::span(
+            Level::Debug,
+            ENGINE_TARGET,
+            "run",
+            &[
+                ("name", Value::str(name)),
+                ("cells", Value::from(total)),
+                ("workers", Value::from(workers)),
+            ],
+        );
+        for (i, w) in work.iter().enumerate() {
+            if let CellWork::Run(spec) = w {
+                tea_obs::debug(ENGINE_TARGET, "cell queued", &cell_fields(i, spec));
+            }
+        }
         // Cells are handed to exactly one worker each (shared-nothing);
         // the slot Mutexes only guard the ownership transfer.
         let slots: Vec<Mutex<Option<CellWork>>> =
@@ -577,40 +604,43 @@ impl Engine {
         let done = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let work = slots[i]
-                        .lock()
-                        .expect("cell slot poisoned")
-                        .take()
-                        .expect("each cell is claimed exactly once");
-                    let outcome = match work {
-                        CellWork::Restored(outcome) => *outcome,
-                        CellWork::Run(spec) => {
-                            if self.fail_fast && abort.load(Ordering::Relaxed) {
-                                CellOutcome::skipped(i, *spec)
-                            } else {
-                                self.execute_cell(i, *spec)
+            for worker in 0..workers {
+                let (slots, results) = (&slots, &results);
+                let (next, done, abort) = (&next, &done, &abort);
+                s.spawn(move || {
+                    tea_obs::set_thread_name(&format!("engine-worker-{worker}"));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let work = slots[i]
+                            .lock()
+                            .expect("cell slot poisoned")
+                            .take()
+                            .expect("each cell is claimed exactly once");
+                        let outcome = match work {
+                            CellWork::Restored(outcome) => *outcome,
+                            CellWork::Run(spec) => {
+                                if self.fail_fast && abort.load(Ordering::Relaxed) {
+                                    CellOutcome::skipped(i, *spec)
+                                } else {
+                                    self.run_cell_traced(i, *spec)
+                                }
+                            }
+                        };
+                        if self.fail_fast && outcome.status != CellStatus::Ok {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        if let Some(j) = journal {
+                            if !matches!(outcome.data, CellData::Restored(_)) {
+                                j.record(&JournalEntry::of(&outcome));
                             }
                         }
-                    };
-                    if self.fail_fast && outcome.status != CellStatus::Ok {
-                        abort.store(true, Ordering::Relaxed);
-                    }
-                    if let Some(j) = journal {
-                        if !matches!(outcome.data, CellData::Restored(_)) {
-                            j.record(&JournalEntry::of(&outcome));
-                        }
-                    }
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if self.progress {
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         self.progress_line(name, finished, total, &outcome);
+                        *results[i].lock().expect("result slot poisoned") = Some(outcome);
                     }
-                    *results[i].lock().expect("result slot poisoned") = Some(outcome);
                 });
             }
         });
@@ -622,17 +652,39 @@ impl Engine {
                     .expect("every cell produces an outcome")
             })
             .collect();
+        record_run_metrics(&cells);
+        let wall = t0.elapsed();
+        run_span.record("wall_ms", wall.as_millis() as u64);
+        drop(run_span);
         RunResult {
             name: name.to_string(),
             threads: workers,
-            wall: t0.elapsed(),
+            wall,
             cells,
         }
     }
 
+    /// Wraps one fresh cell in its tracing span (the cell's lane entry
+    /// in a Chrome trace, on the executing worker's thread) and start
+    /// event, then runs it.
+    fn run_cell_traced(&self, index: usize, spec: CellSpec) -> CellOutcome {
+        let fields = cell_fields(index, &spec);
+        let mut span = tea_obs::span(Level::Debug, ENGINE_TARGET, "cell", &fields);
+        tea_obs::event(self.event_level(), ENGINE_TARGET, "cell start", &fields);
+        let outcome = self.execute_cell(index, spec);
+        span.record("status", outcome.status.name());
+        span.record("attempts", u64::from(outcome.attempts));
+        if let CellData::Failed(e) = &outcome.data {
+            span.record("cause", e.kind());
+        }
+        outcome
+    }
+
+    /// Emits the per-cell finish event carrying the old stderr progress
+    /// line as its message plus structured outcome fields.
     fn progress_line(&self, name: &str, finished: usize, total: usize, outcome: &CellOutcome) {
-        match &outcome.data {
-            CellData::Fresh(r) => eprintln!(
+        let message = match &outcome.data {
+            CellData::Fresh(r) => format!(
                 "[{name}] {finished:>3}/{total} {:<14} {:<10} {:>8} cycles  \
                  {:>6.2}s  {:>7.2} Msim-inst/s",
                 r.spec.workload,
@@ -641,17 +693,27 @@ impl Engine {
                 r.wall.as_secs_f64(),
                 r.sim_mips(),
             ),
-            CellData::Restored(_) => eprintln!(
+            CellData::Restored(_) => format!(
                 "[{name}] {finished:>3}/{total} {:<14} {:<10} restored from journal",
                 outcome.spec.workload, outcome.spec.config_name,
             ),
-            CellData::Failed(e) => eprintln!(
+            CellData::Failed(e) => format!(
                 "[{name}] {finished:>3}/{total} {:<14} {:<10} {}: {e}",
                 outcome.spec.workload,
                 outcome.spec.config_name,
                 outcome.status.name(),
             ),
-        }
+        };
+        tea_obs::event(
+            self.event_level(),
+            ENGINE_TARGET,
+            &message,
+            &[
+                ("index", Value::from(outcome.index)),
+                ("status", Value::str(outcome.status.name())),
+                ("attempts", Value::from(u64::from(outcome.attempts))),
+            ],
+        );
     }
 
     /// Runs one cell under `catch_unwind` with retry and backoff.
@@ -675,6 +737,19 @@ impl Engine {
                 Err(e) => {
                     if e.is_transient() && attempt <= self.max_retries {
                         let delay = backoff_delay(self.backoff, self.backoff_cap, attempt);
+                        tea_obs::warn(
+                            ENGINE_TARGET,
+                            "cell retrying",
+                            &[
+                                ("index", Value::from(index)),
+                                ("workload", Value::str(&*spec.workload)),
+                                ("attempt", Value::from(u64::from(attempt))),
+                                ("cause", Value::str(e.kind())),
+                                ("message", Value::str(e.to_string())),
+                                ("backoff_ms", Value::from(delay.as_millis() as u64)),
+                            ],
+                        );
+                        metrics().counter("engine.retries").inc();
                         if delay > Duration::ZERO {
                             std::thread::sleep(delay);
                         }
@@ -694,6 +769,52 @@ impl Engine {
                     };
                 }
             }
+        }
+    }
+}
+
+/// Tracing target of every engine-emitted record.
+const ENGINE_TARGET: &str = "tea_exp::engine";
+
+/// Shorthand for the process-global metrics registry.
+fn metrics() -> &'static tea_obs::metrics::Registry {
+    tea_obs::metrics::global()
+}
+
+/// The identifying fields stamped on a cell's queued/start/span records.
+fn cell_fields(index: usize, spec: &CellSpec) -> [(&'static str, Value); 3] {
+    [
+        ("index", Value::from(index)),
+        ("workload", Value::str(&*spec.workload)),
+        ("config", Value::str(&*spec.config_name)),
+    ]
+}
+
+/// Publishes a finished run's per-status cell counts and attempt
+/// histogram into the metrics registry. Counter adds commute, so the
+/// totals are independent of worker count and scheduling.
+fn record_run_metrics(cells: &[CellOutcome]) {
+    let m = metrics();
+    let attempts = m.histogram("engine.cell_attempts", &[1, 2, 3, 4, 8]);
+    for outcome in cells {
+        let status = match outcome.status {
+            CellStatus::Ok => {
+                if matches!(outcome.data, CellData::Restored(_)) {
+                    "restored"
+                } else {
+                    "ok"
+                }
+            }
+            CellStatus::Failed => "failed",
+            CellStatus::TimedOut => "timed_out",
+            CellStatus::Skipped => "skipped",
+        };
+        m.counter(&format!("engine.cells_{status}")).inc();
+        if outcome.attempts > 0 {
+            attempts.observe(u64::from(outcome.attempts));
+        }
+        if let CellData::Failed(ExpError::Panic { .. }) = &outcome.data {
+            m.counter("engine.panics").inc();
         }
     }
 }
@@ -853,6 +974,7 @@ fn run_cell_attempt(
         }
     };
     let wall = t0.elapsed();
+    record_profiler_metrics(golden.as_ref(), tip.as_ref(), &scheme_obs);
     let mut pics = HashMap::new();
     let mut samples = HashMap::new();
     for (scheme, obs) in scheme_obs {
@@ -869,6 +991,39 @@ fn run_cell_attempt(
         samples,
         wall,
     })
+}
+
+/// Publishes one finished cell attempt's profiler measurements:
+/// samples taken, samples dropped (still pending — never attributed to
+/// a retired instruction — when the run finished) per scheme, and the
+/// golden reference's attribution totals. One batch of relaxed atomic
+/// adds per cell, off the simulation hot path.
+fn record_profiler_metrics(
+    golden: Option<&GoldenReference>,
+    tip: Option<&TipProfiler>,
+    scheme_obs: &[(Scheme, SchemeObserver)],
+) {
+    let m = metrics();
+    for (scheme, obs) in scheme_obs {
+        let name = scheme.name();
+        m.counter(&format!("profiler.{name}.samples_taken"))
+            .add(obs.samples());
+        m.counter(&format!("profiler.{name}.samples_dropped"))
+            .add(obs.pending_samples() as u64);
+    }
+    if let Some(t) = tip {
+        m.counter("profiler.TIP.samples_taken").add(t.samples());
+        m.counter("profiler.TIP.samples_dropped")
+            .add(t.pending_samples() as u64);
+    }
+    if let Some(g) = golden {
+        m.counter("profiler.golden.attributed_cycles")
+            .add(g.total_cycles());
+        m.counter("profiler.golden.pending_map_size")
+            .add(g.pending_cycles() as u64);
+        m.counter("profiler.golden.unattributed_compute_cycles")
+            .add(g.unattributed_compute_cycles());
+    }
 }
 
 /// A scheme's profiler behind one constructor, so cells can hold a
@@ -903,6 +1058,15 @@ impl SchemeObserver {
             SchemeObserver::Tea(o) => o.samples(),
             SchemeObserver::Nci(o) => o.samples(),
             SchemeObserver::Tagging(o) => o.samples(),
+        }
+    }
+
+    /// Samples still pending (taken but never attributed) at finish.
+    fn pending_samples(&self) -> usize {
+        match self {
+            SchemeObserver::Tea(o) => o.pending_samples(),
+            SchemeObserver::Nci(o) => o.pending_samples(),
+            SchemeObserver::Tagging(o) => o.pending_samples(),
         }
     }
 

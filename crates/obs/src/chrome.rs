@@ -1,0 +1,194 @@
+//! Chrome trace-event exporter.
+//!
+//! [`ChromeTraceSink`] collects spans, events and thread names from
+//! the tracing facade and renders them in the Chrome trace-event JSON
+//! format, loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`. Spans become `B`/`E` duration events on their
+//! emitting thread's lane, point events become thread-scoped instants,
+//! and [`crate::set_thread_name`] calls become `thread_name` metadata
+//! so engine worker lanes are labeled.
+
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::sink::{push_json_str, OwnedRecord, Sink};
+use crate::{Record, Value};
+
+/// A [`Sink`] that buffers every record and renders a Chrome trace.
+///
+/// Install with [`crate::add_sink`], then call [`write_to`] once the
+/// traced work is done.
+///
+/// [`write_to`]: ChromeTraceSink::write_to
+#[derive(Default)]
+pub struct ChromeTraceSink {
+    records: Mutex<Vec<OwnedRecord>>,
+}
+
+/// The process id stamped on every trace event (the trace format wants
+/// one; a single simulator process has nothing to distinguish).
+const PID: u64 = 1;
+
+fn push_ts_us(out: &mut String, ts_ns: u64) {
+    // Trace-event timestamps are microseconds; keep nanosecond
+    // precision with a fractional part.
+    out.push_str(&format!("{:.3}", ts_ns as f64 / 1e3));
+}
+
+fn push_args(out: &mut String, fields: &[(String, Value)]) {
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, k);
+        out.push(':');
+        v.render_json(out);
+    }
+    out.push('}');
+}
+
+fn push_common(out: &mut String, name: &str, ph: char, ts_ns: u64, tid: u64) {
+    out.push_str("{\"name\":");
+    push_json_str(out, name);
+    out.push_str(&format!(",\"ph\":\"{ph}\",\"ts\":"));
+    push_ts_us(out, ts_ns);
+    out.push_str(&format!(",\"pid\":{PID},\"tid\":{tid}"));
+}
+
+fn render_event(record: &OwnedRecord, out: &mut String) {
+    let meta = record.meta();
+    match record {
+        OwnedRecord::SpanBegin { name, fields, .. } => {
+            push_common(out, name, 'B', meta.ts_ns, meta.thread);
+            out.push_str(",\"cat\":");
+            push_json_str(out, meta.target);
+            push_args(out, fields);
+            out.push('}');
+        }
+        OwnedRecord::SpanEnd { name, fields, .. } => {
+            push_common(out, name, 'E', meta.ts_ns, meta.thread);
+            push_args(out, fields);
+            out.push('}');
+        }
+        OwnedRecord::Event {
+            message, fields, ..
+        } => {
+            push_common(out, message, 'i', meta.ts_ns, meta.thread);
+            out.push_str(",\"s\":\"t\",\"cat\":");
+            push_json_str(out, meta.target);
+            push_args(out, fields);
+            out.push('}');
+        }
+        OwnedRecord::ThreadName { name, .. } => {
+            push_common(out, "thread_name", 'M', meta.ts_ns, meta.thread);
+            out.push_str(",\"args\":{\"name\":");
+            push_json_str(out, name);
+            out.push_str("}}");
+        }
+    }
+}
+
+impl ChromeTraceSink {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> ChromeTraceSink {
+        ChromeTraceSink::default()
+    }
+
+    /// Number of records collected so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// True when nothing has been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the collected records as a Chrome trace-event JSON
+    /// document (`{"displayTimeUnit": ..., "traceEvents": [...]}`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let records = self.records.lock().unwrap();
+        let mut out = String::with_capacity(64 + records.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, record) in records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            render_event(record, &mut out);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Write the trace JSON to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn record(&self, record: &Record<'_>) {
+        self.records.lock().unwrap().push(OwnedRecord::of(record));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Level, Meta};
+
+    fn meta(ts_ns: u64, thread: u64) -> Meta {
+        Meta {
+            level: Level::Info,
+            target: "tea_obs::test",
+            ts_ns,
+            thread,
+        }
+    }
+
+    #[test]
+    fn renders_span_lanes_and_metadata() {
+        let sink = ChromeTraceSink::new();
+        sink.record(&Record::ThreadName {
+            meta: meta(0, 7),
+            name: "worker-0",
+        });
+        sink.record(&Record::SpanBegin {
+            meta: meta(1_500, 7),
+            id: 1,
+            parent: None,
+            name: "cell",
+            fields: &[("workload", Value::str("lbm"))],
+        });
+        sink.record(&Record::Event {
+            meta: meta(2_000, 7),
+            message: "retry",
+            fields: &[("attempt", Value::U64(2))],
+        });
+        sink.record(&Record::SpanEnd {
+            meta: meta(9_000, 7),
+            id: 1,
+            name: "cell",
+            dur_ns: 7_500,
+            fields: &[("status", Value::str("ok"))],
+        });
+
+        let json = sink.to_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":1,\"tid\":7,\
+             \"args\":{\"name\":\"worker-0\"}}"
+        ));
+        assert!(json.contains("\"ph\":\"B\",\"ts\":1.500,\"pid\":1,\"tid\":7"));
+        assert!(json.contains("\"args\":{\"workload\":\"lbm\"}"));
+        assert!(json.contains("\"ph\":\"E\",\"ts\":9.000"));
+        assert!(json.contains("\"args\":{\"status\":\"ok\"}"));
+        assert!(json.contains("\"ph\":\"i\",\"ts\":2.000"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+}

@@ -1,0 +1,646 @@
+//! # tea-obs
+//!
+//! Zero-dependency observability layer for the TEA reproduction.
+//!
+//! Three pieces, designed to stay out of the simulator's hot loop:
+//!
+//! * a structured **tracing facade** — spans and events carrying
+//!   key/value fields, a level, a monotonic timestamp (nanoseconds
+//!   since process start) and a small stable thread id — dispatched to
+//!   pluggable [`Sink`]s (human-readable stderr, JSON-lines file, an
+//!   in-memory ring buffer for tests, and a Chrome trace-event
+//!   collector in [`chrome`]);
+//! * a lock-cheap **metrics registry** ([`metrics`]) of counters,
+//!   gauges and fixed-bucket histograms backed by relaxed atomics,
+//!   with a deterministic [`metrics::Snapshot`] serialized as a
+//!   `tea-metrics/v1` JSON artifact;
+//! * a **Chrome trace-event exporter** ([`chrome::ChromeTraceSink`])
+//!   that turns spans into per-thread lanes loadable in Perfetto or
+//!   `chrome://tracing`.
+//!
+//! The facade is process-global: emitting an event walks the installed
+//! sink list under a read lock. Nothing here allocates on the caller's
+//! behalf unless a sink is installed that needs owned data, and the
+//! simulator only touches the registry (relaxed atomic adds) at
+//! run-completion boundaries, never per cycle.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod sink;
+
+pub use sink::{JsonlSink, OwnedRecord, RingSink, Sink, StderrSink};
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Levels and field values
+// ---------------------------------------------------------------------------
+
+/// Severity of an event or span, ordered from most to least verbose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Finest-grained detail (span begins, per-item chatter).
+    Trace,
+    /// Diagnostic detail useful when something misbehaves.
+    Debug,
+    /// Normal operational progress (per-cell engine lines).
+    Info,
+    /// Something recoverable went wrong (torn journal line, retry).
+    Warn,
+    /// Something failed for good.
+    Error,
+}
+
+impl Level {
+    /// Upper-case fixed-width name, for log prefixes.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Trace => "TRACE",
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+
+    /// Parse a case-insensitive level name (`trace`..`error`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::Trace),
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically-typed field value attached to an event or span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values serialize as JSON `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string.
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Render the value as a JSON fragment into `out`.
+    pub fn render_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) if v.is_finite() => out.push_str(&v.to_string()),
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => sink::push_json_str(out, s),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// A key/value field: static key, dynamic value.
+pub type Field = (&'static str, Value);
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// Common metadata stamped on every record at emission time.
+#[derive(Clone, Copy, Debug)]
+pub struct Meta {
+    /// Severity.
+    pub level: Level,
+    /// Emitting module (e.g. `tea_exp::engine`).
+    pub target: &'static str,
+    /// Monotonic nanoseconds since process start.
+    pub ts_ns: u64,
+    /// Small stable per-thread id (1-based, assigned on first use).
+    pub thread: u64,
+}
+
+/// A borrowed record as handed to sinks; sinks that need to keep it
+/// convert to an [`OwnedRecord`].
+#[derive(Debug)]
+pub enum Record<'a> {
+    /// A point-in-time event.
+    Event {
+        /// Metadata.
+        meta: Meta,
+        /// Human-readable message.
+        message: &'a str,
+        /// Structured fields.
+        fields: &'a [Field],
+    },
+    /// A span opened (pushed on the emitting thread's span stack).
+    SpanBegin {
+        /// Metadata.
+        meta: Meta,
+        /// Unique span id (process-global).
+        id: u64,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name.
+        name: &'a str,
+        /// Fields captured at open.
+        fields: &'a [Field],
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Metadata (timestamp is the close time).
+        meta: Meta,
+        /// Id matching the corresponding [`Record::SpanBegin`].
+        id: u64,
+        /// Span name.
+        name: &'a str,
+        /// Wall duration of the span in nanoseconds.
+        dur_ns: u64,
+        /// Fields recorded over the span's lifetime (via
+        /// [`Span::record`]), reported at close.
+        fields: &'a [Field],
+    },
+    /// A thread announced a human-readable lane name.
+    ThreadName {
+        /// Metadata.
+        meta: Meta,
+        /// Lane name (e.g. `engine-worker-3`).
+        name: &'a str,
+    },
+}
+
+impl Record<'_> {
+    /// The record's metadata.
+    #[must_use]
+    pub fn meta(&self) -> Meta {
+        match self {
+            Record::Event { meta, .. }
+            | Record::SpanBegin { meta, .. }
+            | Record::SpanEnd { meta, .. }
+            | Record::ThreadName { meta, .. } => *meta,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global state: clock, thread ids, sink list
+// ---------------------------------------------------------------------------
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process-wide tracing epoch (the
+/// first call into the facade). Saturates at `u64::MAX` after ~584
+/// years of uptime.
+#[must_use]
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|c| {
+        let mut id = c.get();
+        if id == 0 {
+            id = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(id);
+        }
+        id
+    })
+}
+
+type SinkList = RwLock<Vec<(u64, Arc<dyn Sink>)>>;
+
+fn sinks() -> &'static SinkList {
+    static SINKS: OnceLock<SinkList> = OnceLock::new();
+    SINKS.get_or_init(|| RwLock::new(vec![(0, default_stderr().clone() as Arc<dyn Sink>)]))
+}
+
+fn default_stderr() -> &'static Arc<StderrSink> {
+    static STDERR: OnceLock<Arc<StderrSink>> = OnceLock::new();
+    STDERR.get_or_init(|| Arc::new(StderrSink::new(Level::Info)))
+}
+
+/// Handle returned by [`add_sink`], used to [`remove_sink`] later.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SinkId(u64);
+
+/// Install an additional sink. The default stderr sink stays installed;
+/// use [`set_stderr_level`] to silence it.
+pub fn add_sink(sink: Arc<dyn Sink>) -> SinkId {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    sinks().write().unwrap().push((id, sink));
+    SinkId(id)
+}
+
+/// Remove a sink previously installed with [`add_sink`].
+pub fn remove_sink(id: SinkId) {
+    sinks().write().unwrap().retain(|(i, _)| *i != id.0);
+}
+
+/// Set the minimum level the built-in stderr sink prints at.
+/// `None` silences it entirely.
+pub fn set_stderr_level(level: Option<Level>) {
+    default_stderr().set_level(level);
+}
+
+fn dispatch(record: &Record<'_>) {
+    for (_, sink) in sinks().read().unwrap().iter() {
+        sink.record(record);
+    }
+}
+
+fn meta(level: Level, target: &'static str) -> Meta {
+    Meta {
+        level,
+        target,
+        ts_ns: now_ns(),
+        thread: thread_id(),
+    }
+}
+
+/// Announce a human-readable name for the calling thread's trace lane.
+/// Sinks that group by thread (Chrome trace) use it as the lane label.
+pub fn set_thread_name(name: &str) {
+    dispatch(&Record::ThreadName {
+        meta: meta(Level::Info, "tea_obs"),
+        name,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Emit a structured event at `level`.
+pub fn event(level: Level, target: &'static str, message: &str, fields: &[Field]) {
+    dispatch(&Record::Event {
+        meta: meta(level, target),
+        message,
+        fields,
+    });
+}
+
+/// Emit a [`Level::Trace`] event.
+pub fn trace(target: &'static str, message: &str, fields: &[Field]) {
+    event(Level::Trace, target, message, fields);
+}
+
+/// Emit a [`Level::Debug`] event.
+pub fn debug(target: &'static str, message: &str, fields: &[Field]) {
+    event(Level::Debug, target, message, fields);
+}
+
+/// Emit a [`Level::Info`] event.
+pub fn info(target: &'static str, message: &str, fields: &[Field]) {
+    event(Level::Info, target, message, fields);
+}
+
+/// Emit a [`Level::Warn`] event.
+pub fn warn(target: &'static str, message: &str, fields: &[Field]) {
+    event(Level::Warn, target, message, fields);
+}
+
+/// Emit a [`Level::Error`] event.
+pub fn error(target: &'static str, message: &str, fields: &[Field]) {
+    event(Level::Error, target, message, fields);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span. Dropping it emits the matching [`Record::SpanEnd`]
+/// with the wall duration and any fields added via [`Span::record`].
+///
+/// Spans nest per thread: a span opened while another is open on the
+/// same thread reports that span as its parent. They are deliberately
+/// `!Send` — a span must close on the thread that opened it.
+#[must_use = "a span closes (and is reported) when dropped"]
+pub struct Span {
+    id: u64,
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    start_ns: u64,
+    end_fields: Vec<Field>,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Open a span at `level`. `fields` are reported on the begin record;
+/// fields added later via [`Span::record`] are reported at close.
+pub fn span(level: Level, target: &'static str, name: &'static str, fields: &[Field]) -> Span {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    let m = meta(level, target);
+    dispatch(&Record::SpanBegin {
+        meta: m,
+        id,
+        parent,
+        name,
+        fields,
+    });
+    Span {
+        id,
+        level,
+        target,
+        name,
+        start_ns: m.ts_ns,
+        end_fields: Vec::new(),
+        _not_send: PhantomData,
+    }
+}
+
+impl Span {
+    /// The span's process-unique id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attach a field to be reported when the span closes.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        self.end_fields.push((key, value.into()));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            debug_assert_eq!(s.last().copied(), Some(self.id), "span close out of order");
+            s.retain(|&id| id != self.id);
+        });
+        let m = meta(self.level, self.target);
+        dispatch(&Record::SpanEnd {
+            meta: m,
+            id: self.id,
+            name: self.name,
+            dur_ns: m.ts_ns.saturating_sub(self.start_ns),
+            fields: &self.end_fields,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sinks and thread ids are process-global; keep facade tests from
+    /// interleaving records.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn level_parse_and_order() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn span_nesting_and_field_capture() {
+        let _g = lock();
+        let ring = Arc::new(RingSink::new(64));
+        let id = add_sink(ring.clone());
+
+        {
+            let mut outer = span(
+                Level::Debug,
+                "tea_obs::test",
+                "outer",
+                &[("cell", Value::U64(3))],
+            );
+            {
+                let mut inner = span(Level::Debug, "tea_obs::test", "inner", &[]);
+                inner.record("status", "ok");
+                event(
+                    Level::Info,
+                    "tea_obs::test",
+                    "midpoint",
+                    &[("x", Value::I64(-1)), ("why", Value::str("because"))],
+                );
+            }
+            outer.record("attempts", 2u64);
+        }
+        remove_sink(id);
+
+        let records = ring.records();
+        assert_eq!(records.len(), 5, "begin, begin, event, end, end");
+
+        let (outer_id, outer_parent) = match &records[0] {
+            OwnedRecord::SpanBegin {
+                id,
+                parent,
+                name,
+                fields,
+                ..
+            } => {
+                assert_eq!(name, "outer");
+                assert_eq!(fields, &[("cell".to_string(), Value::U64(3))]);
+                (*id, *parent)
+            }
+            other => panic!("expected outer SpanBegin, got {other:?}"),
+        };
+        assert_eq!(outer_parent, None);
+
+        match &records[1] {
+            OwnedRecord::SpanBegin { parent, name, .. } => {
+                assert_eq!(name, "inner");
+                assert_eq!(*parent, Some(outer_id), "inner span nests under outer");
+            }
+            other => panic!("expected inner SpanBegin, got {other:?}"),
+        }
+
+        match &records[2] {
+            OwnedRecord::Event {
+                message,
+                fields,
+                meta,
+                ..
+            } => {
+                assert_eq!(message, "midpoint");
+                assert_eq!(meta.level, Level::Info);
+                assert_eq!(fields[0], ("x".to_string(), Value::I64(-1)));
+                assert_eq!(fields[1], ("why".to_string(), Value::str("because")));
+            }
+            other => panic!("expected Event, got {other:?}"),
+        }
+
+        match &records[3] {
+            OwnedRecord::SpanEnd { name, fields, .. } => {
+                assert_eq!(name, "inner");
+                assert_eq!(fields, &[("status".to_string(), Value::str("ok"))]);
+            }
+            other => panic!("expected inner SpanEnd, got {other:?}"),
+        }
+
+        match &records[4] {
+            OwnedRecord::SpanEnd {
+                id, name, fields, ..
+            } => {
+                assert_eq!(*id, outer_id);
+                assert_eq!(name, "outer");
+                assert_eq!(fields, &[("attempts".to_string(), Value::U64(2))]);
+            }
+            other => panic!("expected outer SpanEnd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ring_sink_caps_length() {
+        let _g = lock();
+        let ring = Arc::new(RingSink::new(4));
+        let id = add_sink(ring.clone());
+        for i in 0..10u64 {
+            event(
+                Level::Info,
+                "tea_obs::test",
+                "tick",
+                &[("i", Value::U64(i))],
+            );
+        }
+        remove_sink(id);
+        let records = ring.records();
+        assert_eq!(records.len(), 4, "ring keeps only the newest records");
+        match &records[3] {
+            OwnedRecord::Event { fields, .. } => {
+                assert_eq!(fields[0].1, Value::U64(9));
+            }
+            other => panic!("expected Event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_and_threads_distinct() {
+        let _g = lock();
+        let ring = Arc::new(RingSink::new(16));
+        let id = add_sink(ring.clone());
+        event(Level::Debug, "tea_obs::test", "main-thread", &[]);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                set_thread_name("obs-test-helper");
+                event(Level::Debug, "tea_obs::test", "helper-thread", &[]);
+            });
+        });
+        remove_sink(id);
+        let records = ring.records();
+        assert_eq!(records.len(), 3);
+        let m0 = records[0].meta();
+        let m2 = records[2].meta();
+        assert!(m0.ts_ns <= m2.ts_ns, "monotonic timestamps");
+        assert_ne!(m0.thread, m2.thread, "distinct thread ids");
+        match &records[1] {
+            OwnedRecord::ThreadName { name, meta } => {
+                assert_eq!(name, "obs-test-helper");
+                assert_eq!(meta.thread, m2.thread);
+            }
+            other => panic!("expected ThreadName, got {other:?}"),
+        }
+    }
+}

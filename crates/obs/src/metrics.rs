@@ -1,0 +1,431 @@
+//! Lock-cheap metrics registry: counters, gauges and fixed-bucket
+//! histograms backed by relaxed atomics, with a deterministic
+//! [`Snapshot`] serialized as a `tea-metrics/v1` JSON artifact.
+//!
+//! Registration takes a mutex on a name-keyed `BTreeMap` (cold path:
+//! callers cache the returned `Arc`); updates are single relaxed
+//! atomic RMWs, safe to call from any thread with no ordering
+//! requirements — totals are only read at snapshot points. Because
+//! counter updates commute, snapshot totals are identical across
+//! serial and parallel runs of the same work.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Schema identifier of the metrics artifact.
+pub const METRICS_SCHEMA: &str = "tea-metrics/v1";
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+/// Monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram. Bucket `i` counts observations `v` with
+/// `v <= bounds[i]` (and `v > bounds[i-1]`); one implicit overflow
+/// bucket catches everything above the last bound.
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.into(),
+            buckets,
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation of `v`.
+    pub fn observe(&self, v: u64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Record `n` observations of `v` with one pair of atomic adds.
+    pub fn observe_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+    }
+
+    /// The configured upper bounds (exclusive of the overflow bucket).
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A name-keyed collection of instruments. Most code uses the
+/// process-wide [`global()`] registry; tests may build their own.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or register the counter called `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the gauge called `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the histogram called `name` with the given
+    /// strictly-increasing bucket `bounds`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different kind or with
+    /// different bounds.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => {
+                assert_eq!(
+                    h.bounds(),
+                    bounds,
+                    "histogram {name:?} re-registered with different bounds"
+                );
+                h.clone()
+            }
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Capture a deterministic point-in-time snapshot: instruments
+    /// sorted by name, values read with relaxed loads.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().unwrap();
+        let values = metrics
+            .iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        bounds: h.bounds().to_vec(),
+                        counts: h.counts(),
+                        sum: h.sum.load(Ordering::Relaxed),
+                    },
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        Snapshot {
+            ts_ns: crate::now_ns(),
+            metrics: values,
+        }
+    }
+
+    /// Drop every registered instrument. Intended for tests that need
+    /// a clean slate on the [`global()`] registry; existing cached
+    /// `Arc` handles keep counting into detached instruments.
+    pub fn reset(&self) {
+        self.metrics.lock().unwrap().clear();
+    }
+}
+
+/// The process-wide registry every production call site records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// Snapshot value of a single instrument.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram {
+        /// Configured bucket upper bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket counts; the final entry is the overflow bucket.
+        counts: Vec<u64>,
+        /// Sum of all observed values.
+        sum: u64,
+    },
+}
+
+/// A deterministic point-in-time capture of a [`Registry`].
+///
+/// Two snapshots of the same completed work compare equal via
+/// [`Snapshot::metrics`] regardless of thread interleaving; only
+/// [`Snapshot::ts_ns`] is wall-time dependent.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Monotonic capture timestamp (excluded from determinism
+    /// comparisons).
+    pub ts_ns: u64,
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// The captured instruments, sorted by name.
+    #[must_use]
+    pub fn metrics(&self) -> &BTreeMap<String, MetricValue> {
+        &self.metrics
+    }
+
+    /// The value of the counter called `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Render the `tea-metrics/v1` artifact: pretty-printed at the top
+    /// level, one compact line per instrument, keys in sorted order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(METRICS_SCHEMA);
+        out.push_str("\",\n  \"ts_ns\": ");
+        out.push_str(&self.ts_ns.to_string());
+        out.push_str(",\n  \"metrics\": {");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            crate::sink::push_json_str(&mut out, name);
+            out.push_str(": ");
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{{\"type\": \"counter\", \"value\": {v}}}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{{\"type\": \"gauge\", \"value\": {v}}}"));
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                } => {
+                    out.push_str("{\"type\": \"histogram\", \"sum\": ");
+                    out.push_str(&sum.to_string());
+                    out.push_str(", \"buckets\": [");
+                    for (j, count) in counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        match bounds.get(j) {
+                            Some(le) => {
+                                out.push_str(&format!("{{\"le\": {le}, \"count\": {count}}}"))
+                            }
+                            None => out.push_str(&format!("{{\"le\": null, \"count\": {count}}}")),
+                        }
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        let c = reg.counter("x.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(reg.counter("x.count").get(), 5, "same instrument by name");
+
+        let g = reg.gauge("x.level");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        // Exactly on a bound lands in that bound's bucket (le semantics).
+        h.observe(0);
+        h.observe(10);
+        h.observe(11);
+        h.observe(100);
+        h.observe(101);
+        h.observe(1000);
+        h.observe(1001); // overflow
+        h.observe_n(5, 3); // bulk observations land in the first bucket
+
+        let snap = reg.snapshot();
+        match snap.metrics().get("lat").unwrap() {
+            MetricValue::Histogram {
+                bounds,
+                counts,
+                sum,
+            } => {
+                assert_eq!(bounds, &[10, 100, 1000]);
+                assert_eq!(counts, &[5, 2, 2, 1], "le-10, le-100, le-1000, overflow");
+                assert_eq!(*sum, 10 + 11 + 100 + 101 + 1000 + 1001 + 5 * 3);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let reg = Registry::new();
+        let _ = reg.histogram("bad", &[10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("dual");
+        let _ = reg.gauge("dual");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_renders_schema() {
+        let reg = Registry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").inc();
+        reg.gauge("c.third").set(-9);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.metrics().keys().map(String::as_str).collect();
+        assert_eq!(names, ["a.first", "b.second", "c.third"]);
+
+        let json = snap.to_json();
+        assert!(json.contains("\"schema\": \"tea-metrics/v1\""));
+        assert!(json.contains("\"a.first\": {\"type\": \"counter\", \"value\": 1}"));
+        assert!(json.contains("\"c.third\": {\"type\": \"gauge\", \"value\": -9}"));
+    }
+
+    #[test]
+    fn parallel_counter_totals_are_deterministic() {
+        let reg = Registry::new();
+        let c = reg.counter("work.items");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

@@ -1,0 +1,442 @@
+//! Pluggable tracing sinks: human-readable stderr, JSON-lines file,
+//! and an in-memory ring buffer for tests.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use crate::{Level, Meta, Record, Value};
+
+/// A destination for tracing records. Implementations must be cheap to
+/// call and thread-safe; filtering is the sink's own responsibility.
+pub trait Sink: Send + Sync {
+    /// Deliver one record. Borrowed data is only valid for the call;
+    /// keep an [`OwnedRecord`] if the sink retains records.
+    fn record(&self, record: &Record<'_>);
+}
+
+/// Escape `s` as a JSON string (with quotes) onto `out`.
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_fields_json(out: &mut String, fields: &[(String, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, k);
+        out.push(':');
+        v.render_json(out);
+    }
+    out.push('}');
+}
+
+// ---------------------------------------------------------------------------
+// Owned records
+// ---------------------------------------------------------------------------
+
+/// An owned copy of a [`Record`], for sinks that retain records past
+/// the emitting call (ring buffer, Chrome trace collector).
+#[derive(Clone, Debug)]
+pub enum OwnedRecord {
+    /// See [`Record::Event`].
+    Event {
+        /// Metadata.
+        meta: Meta,
+        /// Message.
+        message: String,
+        /// Fields.
+        fields: Vec<(String, Value)>,
+    },
+    /// See [`Record::SpanBegin`].
+    SpanBegin {
+        /// Metadata.
+        meta: Meta,
+        /// Span id.
+        id: u64,
+        /// Parent span id, if nested.
+        parent: Option<u64>,
+        /// Span name.
+        name: String,
+        /// Fields captured at open.
+        fields: Vec<(String, Value)>,
+    },
+    /// See [`Record::SpanEnd`].
+    SpanEnd {
+        /// Metadata.
+        meta: Meta,
+        /// Span id.
+        id: u64,
+        /// Span name.
+        name: String,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+        /// Fields recorded over the span's lifetime.
+        fields: Vec<(String, Value)>,
+    },
+    /// See [`Record::ThreadName`].
+    ThreadName {
+        /// Metadata.
+        meta: Meta,
+        /// Lane name.
+        name: String,
+    },
+}
+
+fn own_fields(fields: &[(&'static str, Value)]) -> Vec<(String, Value)> {
+    fields
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), v.clone()))
+        .collect()
+}
+
+impl OwnedRecord {
+    /// Deep-copy a borrowed record.
+    #[must_use]
+    pub fn of(record: &Record<'_>) -> OwnedRecord {
+        match record {
+            Record::Event {
+                meta,
+                message,
+                fields,
+            } => OwnedRecord::Event {
+                meta: *meta,
+                message: (*message).to_string(),
+                fields: own_fields(fields),
+            },
+            Record::SpanBegin {
+                meta,
+                id,
+                parent,
+                name,
+                fields,
+            } => OwnedRecord::SpanBegin {
+                meta: *meta,
+                id: *id,
+                parent: *parent,
+                name: (*name).to_string(),
+                fields: own_fields(fields),
+            },
+            Record::SpanEnd {
+                meta,
+                id,
+                name,
+                dur_ns,
+                fields,
+            } => OwnedRecord::SpanEnd {
+                meta: *meta,
+                id: *id,
+                name: (*name).to_string(),
+                dur_ns: *dur_ns,
+                fields: own_fields(fields),
+            },
+            Record::ThreadName { meta, name } => OwnedRecord::ThreadName {
+                meta: *meta,
+                name: (*name).to_string(),
+            },
+        }
+    }
+
+    /// The record's metadata.
+    #[must_use]
+    pub fn meta(&self) -> Meta {
+        match self {
+            OwnedRecord::Event { meta, .. }
+            | OwnedRecord::SpanBegin { meta, .. }
+            | OwnedRecord::SpanEnd { meta, .. }
+            | OwnedRecord::ThreadName { meta, .. } => *meta,
+        }
+    }
+
+    /// Render the record as one compact JSON object (the JSON-lines
+    /// representation used by [`JsonlSink`]).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let meta = self.meta();
+        let kind = match self {
+            OwnedRecord::Event { .. } => "event",
+            OwnedRecord::SpanBegin { .. } => "span_begin",
+            OwnedRecord::SpanEnd { .. } => "span_end",
+            OwnedRecord::ThreadName { .. } => "thread_name",
+        };
+        out.push_str("{\"t\":");
+        push_json_str(&mut out, kind);
+        out.push_str(&format!(
+            ",\"ts_ns\":{},\"thread\":{},\"level\":",
+            meta.ts_ns, meta.thread
+        ));
+        push_json_str(&mut out, meta.level.name());
+        out.push_str(",\"target\":");
+        push_json_str(&mut out, meta.target);
+        match self {
+            OwnedRecord::Event {
+                message, fields, ..
+            } => {
+                out.push_str(",\"message\":");
+                push_json_str(&mut out, message);
+                out.push_str(",\"fields\":");
+                push_fields_json(&mut out, fields);
+            }
+            OwnedRecord::SpanBegin {
+                id,
+                parent,
+                name,
+                fields,
+                ..
+            } => {
+                out.push_str(&format!(",\"id\":{id},\"parent\":"));
+                match parent {
+                    Some(p) => out.push_str(&p.to_string()),
+                    None => out.push_str("null"),
+                }
+                out.push_str(",\"name\":");
+                push_json_str(&mut out, name);
+                out.push_str(",\"fields\":");
+                push_fields_json(&mut out, fields);
+            }
+            OwnedRecord::SpanEnd {
+                id,
+                name,
+                dur_ns,
+                fields,
+                ..
+            } => {
+                out.push_str(&format!(",\"id\":{id},\"dur_ns\":{dur_ns},\"name\":"));
+                push_json_str(&mut out, name);
+                out.push_str(",\"fields\":");
+                push_fields_json(&mut out, fields);
+            }
+            OwnedRecord::ThreadName { name, .. } => {
+                out.push_str(",\"name\":");
+                push_json_str(&mut out, name);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stderr sink
+// ---------------------------------------------------------------------------
+
+/// Human-readable stderr sink. Prints events at or above its level;
+/// span closes print at `Debug` and below, span opens at `Trace`.
+pub struct StderrSink {
+    /// Encoded level: 0..=4 map to [`Level`], 5 means off.
+    level: AtomicU8,
+}
+
+const LEVEL_OFF: u8 = 5;
+
+fn level_code(level: Option<Level>) -> u8 {
+    match level {
+        Some(Level::Trace) => 0,
+        Some(Level::Debug) => 1,
+        Some(Level::Info) => 2,
+        Some(Level::Warn) => 3,
+        Some(Level::Error) => 4,
+        None => LEVEL_OFF,
+    }
+}
+
+impl StderrSink {
+    /// Create a sink printing records at or above `level`.
+    #[must_use]
+    pub fn new(level: Level) -> StderrSink {
+        StderrSink {
+            level: AtomicU8::new(level_code(Some(level))),
+        }
+    }
+
+    /// Change the minimum printed level; `None` silences the sink.
+    pub fn set_level(&self, level: Option<Level>) {
+        self.level.store(level_code(level), Ordering::Relaxed);
+    }
+
+    fn enabled(&self, level: Level) -> bool {
+        level_code(Some(level)) >= self.level.load(Ordering::Relaxed)
+    }
+
+    fn prefix(meta: Meta) -> String {
+        format!(
+            "[{:9.3}s {:5} {}]",
+            meta.ts_ns as f64 / 1e9,
+            meta.level.name(),
+            meta.target
+        )
+    }
+
+    fn fields_suffix(fields: &[(&'static str, Value)]) -> String {
+        let mut out = String::new();
+        for (k, v) in fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            match v {
+                Value::Str(s) if s.contains(' ') => out.push_str(&format!("{s:?}")),
+                v => out.push_str(&v.to_string()),
+            }
+        }
+        out
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&self, record: &Record<'_>) {
+        match record {
+            Record::Event {
+                meta,
+                message,
+                fields,
+            } if self.enabled(meta.level) => {
+                eprintln!(
+                    "{} {}{}",
+                    Self::prefix(*meta),
+                    message,
+                    Self::fields_suffix(fields)
+                );
+            }
+            Record::SpanEnd {
+                meta,
+                name,
+                dur_ns,
+                fields,
+                ..
+            } if self.enabled(Level::Debug) && self.enabled(meta.level) => {
+                eprintln!(
+                    "{} {} done in {:.3}ms{}",
+                    Self::prefix(*meta),
+                    name,
+                    *dur_ns as f64 / 1e6,
+                    Self::fields_suffix(fields)
+                );
+            }
+            Record::SpanBegin {
+                meta, name, fields, ..
+            } if self.enabled(Level::Trace) => {
+                eprintln!(
+                    "{} {} begin{}",
+                    Self::prefix(*meta),
+                    name,
+                    Self::fields_suffix(fields)
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON-lines sink
+// ---------------------------------------------------------------------------
+
+/// Writes every record as one JSON object per line to a file.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().unwrap().flush()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, record: &Record<'_>) {
+        let line = OwnedRecord::of(record).to_json_line();
+        let mut out = self.out.lock().unwrap();
+        // Diagnostics must never take the process down.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring-buffer sink
+// ---------------------------------------------------------------------------
+
+/// In-memory sink keeping the newest `capacity` records; the test
+/// harness's window into what the facade emitted.
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<OwnedRecord>>,
+}
+
+impl RingSink {
+    /// Create a ring keeping at most `capacity` records (oldest
+    /// dropped first).
+    #[must_use]
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Snapshot of the retained records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<OwnedRecord> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Retained [`OwnedRecord::Event`]s only, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<OwnedRecord> {
+        self.records()
+            .into_iter()
+            .filter(|r| matches!(r, OwnedRecord::Event { .. }))
+            .collect()
+    }
+
+    /// Drop all retained records.
+    pub fn clear(&self) {
+        self.buf.lock().unwrap().clear();
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, record: &Record<'_>) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(OwnedRecord::of(record));
+    }
+}

@@ -294,6 +294,23 @@ pub struct Core<'p> {
     waiters_scratch: Vec<SlotRef>,
 
     stats: SimStats,
+
+    #[cfg(feature = "obs")]
+    obs: ObsAccum,
+}
+
+/// Local accumulators for the `obs` feature: plain counters updated in
+/// the cycle loop, published to the global [`tea_obs::metrics`]
+/// registry in one batch of relaxed atomic adds when the run halts.
+#[cfg(feature = "obs")]
+#[derive(Default)]
+struct ObsAccum {
+    /// Cycles by observer-buffer (commit-buffer) occupancy: index `w`
+    /// counts cycles that committed `w` instructions, `8` means 8+.
+    occupancy: [u64; 9],
+    /// Guards against double-publishing when `try_run_for` is called
+    /// again on an already-halted core.
+    flushed: bool,
 }
 
 impl<'p> Core<'p> {
@@ -358,6 +375,8 @@ impl<'p> Core<'p> {
             squashed_buf: Vec::with_capacity(4),
             waiters_scratch: Vec::new(),
             stats: SimStats::default(),
+            #[cfg(feature = "obs")]
+            obs: ObsAccum::default(),
             cfg,
         })
     }
@@ -1137,6 +1156,10 @@ impl<'p> Core<'p> {
             self.fetch();
 
             self.stats.state_cycles[snapshot.state.index()] += 1;
+            #[cfg(feature = "obs")]
+            {
+                self.obs.occupancy[self.committed_buf.len().min(8)] += 1;
+            }
             // Squash notifications precede the cycle view so profilers
             // re-key delayed samples before attributing this cycle.
             self.notify_squashes(observers);
@@ -1186,8 +1209,45 @@ impl<'p> Core<'p> {
             for obs in observers.iter_mut() {
                 obs.on_finish(self.stats.cycles);
             }
+            #[cfg(feature = "obs")]
+            self.publish_obs_metrics();
         }
         Ok(self.stats)
+    }
+
+    /// Publishes the run's counter totals into the global
+    /// [`tea_obs::metrics`] registry: aggregate cycles/commits/squashes,
+    /// cache and TLB miss totals, and the observer-buffer occupancy
+    /// histogram. Called once per run, at halt — a handful of relaxed
+    /// atomic adds, nothing per cycle. Totals accumulate across every
+    /// core the process runs, so suite-level metrics are the sum over
+    /// cells and identical for serial and parallel schedules.
+    #[cfg(feature = "obs")]
+    fn publish_obs_metrics(&mut self) {
+        if self.obs.flushed {
+            return;
+        }
+        self.obs.flushed = true;
+        let m = tea_obs::metrics::global();
+        m.counter("sim.runs").inc();
+        m.counter("sim.cycles").add(self.stats.cycles);
+        m.counter("sim.commits").add(self.stats.retired);
+        m.counter("sim.squashes").add(self.stats.squashes);
+        m.counter("sim.commit_flushes")
+            .add(self.stats.commit_flushes);
+        m.counter("sim.mo_violations").add(self.stats.mo_violations);
+        m.counter("sim.sampling_interrupts")
+            .add(self.stats.sampling_interrupts);
+        let h = &self.stats.hier;
+        m.counter("sim.cache.l1i_misses").add(h.l1i_misses);
+        m.counter("sim.cache.l1d_misses").add(h.l1d_misses);
+        m.counter("sim.cache.llc_misses").add(h.llc_misses);
+        m.counter("sim.tlb.itlb_misses").add(h.itlb_misses);
+        m.counter("sim.tlb.dtlb_misses").add(h.dtlb_misses);
+        let occupancy = m.histogram("sim.observer_buffer_occupancy", &[0, 1, 2, 3, 4, 5, 6, 7]);
+        for (width, &cycles) in self.obs.occupancy.iter().enumerate() {
+            occupancy.observe_n(width as u64, cycles);
+        }
     }
 
     /// Delivers (and drains) any buffered squash notifications to every

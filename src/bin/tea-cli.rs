@@ -16,8 +16,16 @@
 //! tea-cli casestudy <lbm|nab> [--size test|ref]
 //! tea-cli functions <workload> [--size test|ref] [--top N]
 //! ```
+//!
+//! Observability flags, valid on every command:
+//! `--log-level trace|debug|info|warn|error|off` tunes the stderr log
+//! (default `info`: `suite` prints a live per-cell start/finish line);
+//! `--trace-out FILE` writes a Chrome trace-event JSON (load it at
+//! <https://ui.perfetto.dev>) with one lane per engine worker;
+//! `--metrics-out FILE` writes the `tea-metrics/v1` counters artifact.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use tea_core::diff::{diff_pics, render_diff};
 use tea_core::golden::GoldenReference;
@@ -29,6 +37,7 @@ use tea_core::sampling::SampleTimer;
 use tea_core::schemes::Scheme;
 use tea_core::tea::TeaProfiler;
 use tea_exp::{CellSpec, CellStatus, Engine, Fault};
+use tea_obs::chrome::ChromeTraceSink;
 use tea_sim::core::Core;
 use tea_sim::psv::CommitState;
 use tea_sim::SimConfig;
@@ -50,6 +59,9 @@ struct Args {
     inject_diverge: Option<String>,
     iters: u32,
     set_baseline: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    log_level: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +81,9 @@ fn parse_args() -> Result<Args, String> {
         inject_diverge: None,
         iters: 3,
         set_baseline: false,
+        trace_out: None,
+        metrics_out: None,
+        log_level: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -122,6 +137,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad iters: {e}"))?
             }
             "--set-baseline" => args.set_baseline = true,
+            "--trace-out" => args.trace_out = Some(grab("--trace-out")?),
+            "--metrics-out" => args.metrics_out = Some(grab("--metrics-out")?),
+            "--log-level" => args.log_level = Some(grab("--log-level")?),
             "--inject-panic" => args.inject_panic = Some(grab("--inject-panic")?),
             "--inject-diverge" => args.inject_diverge = Some(grab("--inject-diverge")?),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
@@ -368,11 +386,13 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
             ),
         }
     }
+    let retried = run.cells.iter().filter(|c| c.attempts > 1).count();
     println!(
-        "{} cells ({} ok, {} failed, {} timed out, {} skipped) on {} threads in {:.2}s \
-         ({:.2} Msim-inst/s aggregate)",
+        "{} cells ({} ok, {} retried, {} failed, {} timed out, {} skipped) on {} threads \
+         in {:.2}s ({:.2} Msim-inst/s aggregate)",
         run.cells.len(),
         run.count(CellStatus::Ok),
+        retried,
         run.count(CellStatus::Failed),
         run.count(CellStatus::TimedOut),
         run.count(CellStatus::Skipped),
@@ -651,9 +671,66 @@ fn cmd_disasm(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Applies `--log-level` and installs the Chrome trace collector when
+/// `--trace-out` was given. Returns the collector so [`main`] can save
+/// it after the command finishes.
+fn init_observability(args: &Args) -> Result<Option<Arc<ChromeTraceSink>>, String> {
+    if let Some(level) = &args.log_level {
+        let parsed = match level.as_str() {
+            "off" => None,
+            other => Some(tea_obs::Level::parse(other).ok_or_else(|| {
+                format!("bad --log-level {other}; use trace|debug|info|warn|error|off")
+            })?),
+        };
+        tea_obs::set_stderr_level(parsed);
+    }
+    Ok(args.trace_out.as_ref().map(|_| {
+        let sink = Arc::new(ChromeTraceSink::new());
+        tea_obs::add_sink(sink.clone());
+        tea_obs::set_thread_name("tea-cli main");
+        sink
+    }))
+}
+
+/// Writes the `--trace-out` / `--metrics-out` artifacts, validating
+/// that each renders as well-formed JSON before it lands on disk.
+/// Runs even when the command failed — that is when a trace is most
+/// interesting — and never turns a succeeded command into a failure.
+fn write_observability_artifacts(args: &Args, trace: Option<&ChromeTraceSink>) {
+    if let (Some(path), Some(sink)) = (&args.trace_out, trace) {
+        let json = sink.to_json();
+        debug_assert!(
+            tea_exp::json::validate(&json).is_ok(),
+            "chrome trace must render as valid JSON"
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("trace written to {path} (load at https://ui.perfetto.dev)"),
+            Err(e) => eprintln!("could not write trace {path}: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        let json = tea_obs::metrics::global().snapshot().to_json();
+        debug_assert!(
+            tea_exp::json::validate(&json).is_ok(),
+            "metrics snapshot must render as valid JSON"
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("metrics written to {path}"),
+            Err(e) => eprintln!("could not write metrics {path}: {e}"),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace_sink = match init_observability(&args) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -696,11 +773,16 @@ fn main() -> ExitCode {
                  tea-cli casestudy <lbm|nab> [--size test|ref]\n  \
                  tea-cli functions <workload> [--size test|ref] [--top N]\n  \
                  tea-cli cpi <workload> [--size test|ref]\n  \
-                 tea-cli disasm <workload> [--lines N]"
+                 tea-cli disasm <workload> [--lines N]\n\n\
+                 observability (any command):\n  \
+                 --log-level trace|debug|info|warn|error|off\n  \
+                 --trace-out FILE   Chrome trace-event JSON (Perfetto-loadable)\n  \
+                 --metrics-out FILE tea-metrics/v1 counters artifact"
             );
             Ok(())
         }
     };
+    write_observability_artifacts(&args, trace_sink.as_deref());
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
