@@ -1,15 +1,20 @@
 //! Criterion benchmark of end-to-end simulator throughput: bare
-//! simulated cycles/second, and the same run under the full profiled
-//! observer set (golden reference plus the five sampling schemes).
+//! simulated cycles/second, the same run under the full profiled
+//! observer set (golden reference plus the five sampling schemes), and
+//! the profiled run replaying a pre-captured instruction trace (the
+//! warm-trace-cache path of an experiment matrix).
 //!
 //! `tea-cli bench` measures the identical code paths and writes the
 //! tracked `BENCH_sim_throughput.json` artifact; this harness exists so
 //! `cargo bench --bench sim_throughput` gives the same numbers with
 //! criterion's warmup/batching for quick local before/after comparison.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use tea_bench::throughput::profiled_run;
+use tea_bench::throughput::{profiled_replay_run, profiled_run};
 use tea_bench::HARNESS_SEED;
+use tea_isa::CapturedTrace;
 use tea_sim::core::simulate;
 use tea_sim::SimConfig;
 use tea_workloads::{all_workloads, Size, Workload};
@@ -50,6 +55,20 @@ fn bench_profiled_sim(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_replayed_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput/replay");
+    for w in representative_workloads() {
+        let trace =
+            Arc::new(CapturedTrace::capture_default(&w.program).expect("bench workloads halt"));
+        let (cycles, _) = profiled_replay_run(&w.program, &trace, SAMPLE_INTERVAL, HARNESS_SEED);
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_function(w.name, |b| {
+            b.iter(|| profiled_replay_run(&w.program, &trace, SAMPLE_INTERVAL, HARNESS_SEED))
+        });
+    }
+    g.finish();
+}
+
 fn bench_sample_attribution(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_throughput/samples");
     for w in representative_workloads() {
@@ -66,6 +85,7 @@ criterion_group!(
     benches,
     bench_bare_sim,
     bench_profiled_sim,
+    bench_replayed_sim,
     bench_sample_attribution
 );
 criterion_main!(benches);

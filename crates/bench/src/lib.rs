@@ -65,9 +65,11 @@ impl ProfiledRun {
     pub fn from_cell(cell: CellResult) -> ProfiledRun {
         ProfiledRun {
             stats: cell.stats,
-            golden: cell
-                .golden
-                .expect("harness cells attach the golden reference"),
+            golden: std::sync::Arc::try_unwrap(
+                cell.golden
+                    .expect("harness cells attach the golden reference"),
+            )
+            .unwrap_or_else(|shared| (*shared).clone()),
             pics: cell.pics,
             samples: cell.samples,
         }

@@ -12,11 +12,25 @@
 //!   harness cell pays.
 //!
 //! The headline metrics are simulated cycles per wall-clock second and
-//! sample-attribution throughput (samples resolved per second). Results
-//! are written to `BENCH_sim_throughput.json` at the workspace root in
-//! a stable schema (`tea-bench-throughput/v1`) so the release-to-release
-//! trajectory is machine-trackable; see [`render_artifact`].
+//! sample-attribution throughput (samples resolved per second). Since
+//! the capture/replay subsystem landed, each workload is additionally
+//! timed in a third configuration:
+//!
+//! * **replay** — the profiled configuration fed from a pre-captured
+//!   [`CapturedTrace`] instead of the live interpreter, i.e. what every
+//!   warm-cache cell of an experiment matrix pays;
+//!
+//! and the report carries a whole-suite **matrix** measurement
+//! ([`measure_matrix`]): one multi-seed experiment matrix (several
+//! cells per workload) run through `tea_exp::Engine` with the trace
+//! cache off, then against a warm caller-owned cache
+//! (`Engine::run_with_cache`), so the interpret-vs-replay win shows up
+//! as end-to-end wall clock. Results are written to
+//! `BENCH_sim_throughput.json` at the workspace root in a stable schema
+//! (`tea-bench-throughput/v1`) so the release-to-release trajectory is
+//! machine-trackable; see [`render_artifact`].
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use tea_core::golden::GoldenReference;
@@ -25,6 +39,8 @@ use tea_core::sampling::SampleTimer;
 use tea_core::tagging::TaggingProfiler;
 use tea_core::tea::TeaProfiler;
 use tea_exp::json::Json;
+use tea_exp::{Engine, Matrix};
+use tea_isa::CapturedTrace;
 use tea_sim::core::Core;
 use tea_sim::trace::{CycleView, Observer, RetiredInst};
 use tea_sim::SimConfig;
@@ -45,6 +61,12 @@ pub struct WorkloadThroughput {
     pub sim_wall: f64,
     /// Best wall time with golden + all schemes attached (seconds).
     pub profiled_wall: f64,
+    /// Wall time of one trace capture (the cost a matrix pays once per
+    /// workload before replay starts paying off).
+    pub capture_wall: f64,
+    /// Best wall time of the profiled configuration replaying the
+    /// captured trace instead of interpreting live.
+    pub replay_wall: f64,
 }
 
 impl WorkloadThroughput {
@@ -64,6 +86,13 @@ impl WorkloadThroughput {
     #[must_use]
     pub fn samples_per_second(&self) -> f64 {
         rate(self.samples as f64, self.profiled_wall)
+    }
+
+    /// Simulated cycles per second, profiled and replaying the
+    /// captured trace.
+    #[must_use]
+    pub fn replay_cycles_per_second(&self) -> f64 {
+        rate(self.cycles as f64, self.replay_wall)
     }
 }
 
@@ -86,6 +115,51 @@ pub struct ThroughputReport {
     pub iterations: u32,
     /// Per-workload measurements.
     pub workloads: Vec<WorkloadThroughput>,
+    /// Whole-suite matrix wall clock, trace cache off vs on.
+    pub matrix: MatrixThroughput,
+}
+
+/// End-to-end wall clock of one multi-seed experiment matrix run
+/// through the engine twice: interpreting every cell live
+/// (`trace_cache(false)`) and against a warm caller-owned cache
+/// (`Engine::run_with_cache` after an untimed warming run), where
+/// every cell replays its workload's shared capture and all golden
+/// references are already published.
+#[derive(Clone, Debug)]
+pub struct MatrixThroughput {
+    /// Cells per workload (the seed-axis width).
+    pub cells_per_workload: u64,
+    /// Total cells in the matrix.
+    pub cells: u64,
+    /// Best wall time with the trace cache off (seconds).
+    pub interpret_wall: f64,
+    /// Best wall time against the warm cache (seconds).
+    pub replay_wall: f64,
+}
+
+impl MatrixThroughput {
+    /// Whole-suite speedup of the warm trace cache over per-cell live
+    /// interpretation.
+    #[must_use]
+    pub fn warm_speedup(&self) -> f64 {
+        if self.replay_wall > 0.0 {
+            self.interpret_wall / self.replay_wall
+        } else {
+            0.0
+        }
+    }
+
+    /// The measurement as the artifact's `matrix` object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cells_per_workload", Json::UInt(self.cells_per_workload)),
+            ("cells", Json::UInt(self.cells)),
+            ("interpret_wall_seconds", Json::Num(self.interpret_wall)),
+            ("replay_wall_seconds", Json::Num(self.replay_wall)),
+            ("warm_speedup", Json::Num(self.warm_speedup())),
+        ])
+    }
 }
 
 impl ThroughputReport {
@@ -123,6 +197,13 @@ impl ThroughputReport {
         rate(self.total_samples() as f64, wall)
     }
 
+    /// Aggregate profiled cycles per second over the replay path.
+    #[must_use]
+    pub fn replay_cycles_per_second(&self) -> f64 {
+        let wall: f64 = self.workloads.iter().map(|w| w.replay_wall).sum();
+        rate(self.total_cycles() as f64, wall)
+    }
+
     /// The aggregate measurement as a JSON object (the shape of the
     /// artifact's `before` / `after` fields).
     #[must_use]
@@ -138,7 +219,12 @@ impl ThroughputReport {
                 "profiled_cycles_per_second",
                 Json::Num(self.profiled_cycles_per_second()),
             ),
+            (
+                "replay_cycles_per_second",
+                Json::Num(self.replay_cycles_per_second()),
+            ),
             ("samples_per_second", Json::Num(self.samples_per_second())),
+            ("matrix_warm_speedup", Json::Num(self.matrix.warm_speedup())),
         ])
     }
 
@@ -162,6 +248,11 @@ impl ThroughputReport {
                             "profiled_cycles_per_second",
                             Json::Num(w.profiled_cycles_per_second()),
                         ),
+                        (
+                            "replay_cycles_per_second",
+                            Json::Num(w.replay_cycles_per_second()),
+                        ),
+                        ("capture_wall_seconds", Json::Num(w.capture_wall)),
                         ("samples_per_second", Json::Num(w.samples_per_second())),
                     ])
                 })
@@ -260,6 +351,26 @@ pub fn profiled_run(w: &Workload, interval: u64, seed: u64) -> (u64, u64) {
     (stats.cycles, obs.samples())
 }
 
+/// [`profiled_run`] over the replay path: the same observer set, the
+/// same timing model, but the instruction stream comes from `trace`
+/// instead of the live interpreter — what a warm-trace-cache matrix
+/// cell executes.
+#[must_use]
+pub fn profiled_replay_run(
+    program: &tea_isa::program::Program,
+    trace: &Arc<CapturedTrace>,
+    interval: u64,
+    seed: u64,
+) -> (u64, u64) {
+    let mut obs = ProfiledObservers::new(interval, seed);
+    let mut core = Core::with_trace(program, Arc::clone(trace), SimConfig::default());
+    let stats = {
+        let mut refs: [&mut dyn Observer; 1] = [&mut obs];
+        core.run(&mut refs)
+    };
+    (stats.cycles, obs.samples())
+}
+
 /// Measures one workload: `iters` timed runs of each configuration,
 /// reporting the fastest (wall-clock noise shrinks the minimum, not the
 /// mean).
@@ -290,6 +401,16 @@ pub fn measure_workload(w: &Workload, interval: u64, seed: u64, iters: u32) -> W
         }
         samples = obs.samples();
     }
+    let t0 = Instant::now();
+    let trace =
+        Arc::new(CapturedTrace::capture_default(&w.program).expect("benchmark workloads halt"));
+    let capture_wall = t0.elapsed().as_secs_f64();
+    let mut replay_wall = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let _ = profiled_replay_run(&w.program, &trace, interval, seed);
+        replay_wall = replay_wall.min(t0.elapsed().as_secs_f64());
+    }
     WorkloadThroughput {
         name: w.name.to_string(),
         cycles,
@@ -297,6 +418,57 @@ pub fn measure_workload(w: &Workload, interval: u64, seed: u64, iters: u32) -> W
         samples,
         sim_wall,
         profiled_wall,
+        capture_wall,
+        replay_wall,
+    }
+}
+
+/// Seeds of the whole-suite matrix measurement: four cells per
+/// workload, the smallest matrix where capture cost must amortize.
+pub const MATRIX_SEEDS: [u64; 4] = [11, 29, 42, 97];
+
+/// Measures one experiment matrix (`workloads` × [`MATRIX_SEEDS`], the
+/// full scheme set and golden reference on every cell) end to end
+/// through a serial [`Engine`]: once interpreting every cell live
+/// (`trace_cache(false)`) and once against a **warm** caller-owned
+/// [`tea_exp::TraceCache`] — an untimed warming run captures every
+/// trace and publishes every golden reference, then the timed runs
+/// replay throughout (`Engine::run_with_cache`). Serial, so the
+/// comparison measures the replay path rather than scheduling.
+#[must_use]
+pub fn measure_matrix(workloads: &[Workload], interval: u64, iters: u32) -> MatrixThroughput {
+    let cells = Matrix::new()
+        .workloads(workloads.to_vec())
+        .intervals(&[interval])
+        .seeds(&MATRIX_SEEDS)
+        .cells();
+    let engine = Engine::serial().quiet().trace_cache(false);
+    let mut interpret_wall = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let run = engine.run("bench-matrix", cells.clone());
+        interpret_wall = interpret_wall.min(t0.elapsed().as_secs_f64());
+        assert!(run.all_ok(), "benchmark matrix cells must complete");
+    }
+    let engine = Engine::serial().quiet();
+    let cache = tea_exp::TraceCache::new();
+    // Warming run (untimed): captures every workload's trace and
+    // publishes every (program, config) golden reference.
+    assert!(engine
+        .run_with_cache("bench-matrix", cells.clone(), &cache)
+        .all_ok());
+    let mut replay_wall = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let run = engine.run_with_cache("bench-matrix", cells.clone(), &cache);
+        replay_wall = replay_wall.min(t0.elapsed().as_secs_f64());
+        assert!(run.all_ok(), "benchmark matrix cells must complete");
+    }
+    MatrixThroughput {
+        cells_per_workload: MATRIX_SEEDS.len() as u64,
+        cells: cells.len() as u64,
+        interpret_wall,
+        replay_wall,
     }
 }
 
@@ -316,6 +488,7 @@ pub fn measure_suite(
             .iter()
             .map(|w| measure_workload(w, interval, crate::HARNESS_SEED, iters))
             .collect(),
+        matrix: measure_matrix(workloads, interval, iters),
     }
 }
 
@@ -345,6 +518,10 @@ pub fn render_artifact(report: &ThroughputReport, before: Option<Json>) -> Json 
             "profiled_cycles_per_second",
             ratio("profiled_cycles_per_second"),
         ),
+        (
+            "replay_cycles_per_second",
+            ratio("replay_cycles_per_second"),
+        ),
         ("samples_per_second", ratio("samples_per_second")),
     ]);
     Json::obj(vec![
@@ -361,6 +538,7 @@ pub fn render_artifact(report: &ThroughputReport, before: Option<Json>) -> Json 
         ("before", before),
         ("after", after),
         ("speedup", speedup),
+        ("matrix", report.matrix.to_json()),
         ("per_workload", report.workloads_json()),
     ])
 }

@@ -238,7 +238,7 @@ pub fn spec_fingerprint(spec: &CellSpec) -> String {
     format!("{:016x}", fnv1a64(desc.as_bytes()))
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

@@ -6,7 +6,11 @@
 //! set, sampling interval, seed)` point each. Cells are shared-nothing:
 //! each one owns its program, its core, and its observers, so the
 //! engine fans them out across a scoped thread pool with no
-//! synchronization beyond handing out indices. All observers of a cell
+//! synchronization beyond handing out indices — except one read-only
+//! structure: a per-run [`TraceCache`] interprets each workload once
+//! and every cell of that workload replays the shared
+//! [`tea_isa::CapturedTrace`] (bit-identically; disable with
+//! [`Engine::trace_cache`]). All observers of a cell
 //! ride one [`tea_sim::core::Core::run`] pass (the paper's out-of-band
 //! TraceDoctor methodology: every scheme samples the exact same
 //! cycles).
@@ -41,13 +45,14 @@ pub mod artifact;
 pub mod error;
 pub mod journal;
 pub mod json;
+pub mod trace_cache;
 
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tea_core::golden::GoldenReference;
@@ -68,6 +73,10 @@ use tea_sim::SimConfig;
 use tea_workloads::Workload;
 
 pub use error::ExpError;
+pub use trace_cache::TraceCache;
+
+use trace_cache::GoldenCheckout;
+
 use journal::{spec_fingerprint, Journal, JournalEntry};
 use json::Json;
 
@@ -269,8 +278,11 @@ pub struct CellResult {
     pub spec: CellSpec,
     /// Core statistics of the simulation pass.
     pub stats: SimStats,
-    /// The exact reference, when `spec.golden` was set.
-    pub golden: Option<GoldenReference>,
+    /// The exact reference, when `spec.golden` was set. Behind an
+    /// `Arc`: cells of one `(program, config)` pair share one finished
+    /// reference through the engine's trace cache, so a cell may hold
+    /// the same allocation as its siblings.
+    pub golden: Option<Arc<GoldenReference>>,
     /// The TIP baseline profile, when `spec.tip` was set.
     pub tip: Option<TipProfile>,
     /// Sampled PICS per scheme (in sample units).
@@ -399,6 +411,7 @@ pub struct Engine {
     backoff_cap: Duration,
     cell_budget: Option<u64>,
     fail_fast: bool,
+    trace_cache: bool,
 }
 
 /// A unit of work handed to the pool: a spec to run, or an outcome
@@ -424,6 +437,7 @@ impl Engine {
             backoff_cap: Duration::from_secs(2),
             cell_budget: None,
             fail_fast: false,
+            trace_cache: true,
         }
     }
 
@@ -491,6 +505,18 @@ impl Engine {
         self
     }
 
+    /// Toggles the per-run captured-trace cache (default **on**): each
+    /// workload's functional execution is interpreted once and every
+    /// other cell replays the shared [`tea_isa::CapturedTrace`]. Replay
+    /// is bit-identical to live interpretation; disabling the cache
+    /// (`tea-cli --no-trace-cache`) exists as an escape hatch and for
+    /// the identity tests themselves.
+    #[must_use]
+    pub fn trace_cache(mut self, enabled: bool) -> Self {
+        self.trace_cache = enabled;
+        self
+    }
+
     /// The worker count this engine will use.
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -509,6 +535,29 @@ impl Engine {
     pub fn run(&self, name: &str, cells: Vec<CellSpec>) -> RunResult {
         let work = cells.into_iter().map(CellWork::run).collect();
         self.run_inner(name, work, None)
+    }
+
+    /// [`Engine::run`] drawing captured traces and shared golden
+    /// references from a caller-owned [`TraceCache`] instead of a
+    /// fresh per-run one.
+    ///
+    /// One functional execution then serves *every* matrix the cache
+    /// outlives — sweeps split across several [`Engine::run`] calls
+    /// (interval scans, config ladders, repeated measurements) stop
+    /// re-interpreting their workloads on each call. The cache is
+    /// warmed as a side effect: the first run captures, later runs
+    /// replay. Results are bit-identical to [`Engine::run`] with the
+    /// cache enabled (and to cache-off runs; see the replay-identity
+    /// tests).
+    #[must_use]
+    pub fn run_with_cache(
+        &self,
+        name: &str,
+        cells: Vec<CellSpec>,
+        cache: &TraceCache,
+    ) -> RunResult {
+        let work = cells.into_iter().map(CellWork::run).collect();
+        self.run_inner_with(name, work, None, Some(cache))
     }
 
     /// Like [`Engine::run`], journaling every completed cell to
@@ -576,6 +625,16 @@ impl Engine {
     }
 
     fn run_inner(&self, name: &str, work: Vec<CellWork>, journal: Option<&Journal>) -> RunResult {
+        self.run_inner_with(name, work, journal, None)
+    }
+
+    fn run_inner_with(
+        &self,
+        name: &str,
+        work: Vec<CellWork>,
+        journal: Option<&Journal>,
+        shared_cache: Option<&TraceCache>,
+    ) -> RunResult {
         let t0 = Instant::now();
         let total = work.len();
         let workers = self.threads.min(total.max(1));
@@ -594,6 +653,12 @@ impl Engine {
                 tea_obs::debug(ENGINE_TARGET, "cell queued", &cell_fields(i, spec));
             }
         }
+        // One trace cache serves the whole run: the first cell of each
+        // workload interprets it, every later cell replays the capture.
+        // A caller-owned cache (Engine::run_with_cache) takes priority
+        // and survives the run, sharing captures across runs.
+        let own_cache = (shared_cache.is_none() && self.trace_cache).then(TraceCache::new);
+        let cache = shared_cache.or(own_cache.as_ref());
         // Cells are handed to exactly one worker each (shared-nothing);
         // the slot Mutexes only guard the ownership transfer.
         let slots: Vec<Mutex<Option<CellWork>>> =
@@ -625,7 +690,7 @@ impl Engine {
                                 if self.fail_fast && abort.load(Ordering::Relaxed) {
                                     CellOutcome::skipped(i, *spec)
                                 } else {
-                                    self.run_cell_traced(i, *spec)
+                                    self.run_cell_traced(i, *spec, cache)
                                 }
                             }
                         };
@@ -667,11 +732,16 @@ impl Engine {
     /// Wraps one fresh cell in its tracing span (the cell's lane entry
     /// in a Chrome trace, on the executing worker's thread) and start
     /// event, then runs it.
-    fn run_cell_traced(&self, index: usize, spec: CellSpec) -> CellOutcome {
+    fn run_cell_traced(
+        &self,
+        index: usize,
+        spec: CellSpec,
+        cache: Option<&TraceCache>,
+    ) -> CellOutcome {
         let fields = cell_fields(index, &spec);
         let mut span = tea_obs::span(Level::Debug, ENGINE_TARGET, "cell", &fields);
         tea_obs::event(self.event_level(), ENGINE_TARGET, "cell start", &fields);
-        let outcome = self.execute_cell(index, spec);
+        let outcome = self.execute_cell(index, spec, cache);
         span.record("status", outcome.status.name());
         span.record("attempts", u64::from(outcome.attempts));
         if let CellData::Failed(e) = &outcome.data {
@@ -717,13 +787,18 @@ impl Engine {
     }
 
     /// Runs one cell under `catch_unwind` with retry and backoff.
-    fn execute_cell(&self, index: usize, spec: CellSpec) -> CellOutcome {
+    fn execute_cell(
+        &self,
+        index: usize,
+        spec: CellSpec,
+        cache: Option<&TraceCache>,
+    ) -> CellOutcome {
         let t0 = Instant::now();
         let budget = spec.budget.or(self.cell_budget);
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            match run_cell_guarded(index, &spec, attempt, budget) {
+            match run_cell_guarded(index, &spec, attempt, budget, cache) {
                 Ok(result) => {
                     return CellOutcome {
                         index,
@@ -832,12 +907,13 @@ fn run_cell_guarded(
     spec: &CellSpec,
     attempt: u32,
     budget: Option<u64>,
+    cache: Option<&TraceCache>,
 ) -> Result<CellResult, ExpError> {
     quiet_panics::install();
     let spec = spec.clone();
     quiet_panics::with_quiet(|| {
         match catch_unwind(AssertUnwindSafe(|| {
-            run_cell_attempt(index, spec, attempt, budget)
+            run_cell_attempt(index, spec, attempt, budget, cache)
         })) {
             Ok(inner) => inner,
             Err(payload) => Err(ExpError::Panic {
@@ -910,16 +986,19 @@ mod quiet_panics {
 /// [`ExpError::Injected`] for an injected fault.
 pub fn run_cell(index: usize, spec: CellSpec) -> Result<CellResult, ExpError> {
     let budget = spec.budget;
-    run_cell_attempt(index, spec, 1, budget)
+    run_cell_attempt(index, spec, 1, budget, None)
 }
 
 /// One attempt of one cell. `attempt` is 1-based and keys injected
-/// faults; `budget` caps the simulation in simulated cycles.
+/// faults; `budget` caps the simulation in simulated cycles; `cache`
+/// supplies a shared captured trace when the engine's trace cache is
+/// on (an uncacheable program falls back to live interpretation).
 fn run_cell_attempt(
     index: usize,
     spec: CellSpec,
     attempt: u32,
     budget: Option<u64>,
+    cache: Option<&TraceCache>,
 ) -> Result<CellResult, ExpError> {
     let t0 = Instant::now();
     match spec.fault {
@@ -932,8 +1011,29 @@ fn run_cell_attempt(
         _ => {}
     }
     let timer = || SampleTimer::with_jitter(spec.interval, spec.interval / 8, spec.seed);
+    // Hash the program once per cell; both cache lookups key on it.
+    let program_key = cache.map(|_| trace_cache::program_fingerprint(&spec.program));
+    // The golden reference is seed- and interval-independent, so cells
+    // of one (program, config) pair share one finished reference: the
+    // claim winner computes and publishes it, later cells skip the
+    // observer entirely, and claim-race losers compute locally.
+    let mut golden_shared = None;
+    let mut golden_ticket = None;
     let mut golden = if spec.golden {
-        Some(GoldenReference::new())
+        match cache
+            .zip(program_key)
+            .map(|(c, key)| c.golden_checkout_keyed(key, &spec.config))
+        {
+            Some(GoldenCheckout::Shared(g)) => {
+                golden_shared = Some(g);
+                None
+            }
+            Some(GoldenCheckout::Compute(ticket)) => {
+                golden_ticket = ticket;
+                Some(GoldenReference::new())
+            }
+            None => Some(GoldenReference::new()),
+        }
     } else {
         None
     };
@@ -958,8 +1058,14 @@ fn run_cell_attempt(
         for (_, o) in &mut scheme_obs {
             observers.push(o.as_observer());
         }
-        let mut core =
-            Core::try_new(&spec.program, spec.config.clone()).map_err(ExpError::Config)?;
+        let trace = cache
+            .zip(program_key)
+            .and_then(|(c, key)| c.checkout_keyed(key, &spec.program));
+        let mut core = match trace {
+            Some(trace) => Core::try_with_trace(&spec.program, trace, spec.config.clone()),
+            None => Core::try_new(&spec.program, spec.config.clone()),
+        }
+        .map_err(ExpError::Config)?;
         match budget {
             Some(max) => {
                 let stats = core
@@ -974,7 +1080,19 @@ fn run_cell_attempt(
         }
     };
     let wall = t0.elapsed();
-    record_profiler_metrics(golden.as_ref(), tip.as_ref(), &scheme_obs);
+    // The run succeeded: publish a claimed reference for later cells of
+    // the pair, or adopt the shared one so the cell's artifact (and the
+    // profiler.golden.* counters) are identical to a computed run's.
+    let golden = match golden.map(Arc::new) {
+        Some(g) => {
+            if let Some(ticket) = golden_ticket {
+                ticket.publish(Arc::clone(&g));
+            }
+            Some(g)
+        }
+        None => golden_shared,
+    };
+    record_profiler_metrics(golden.as_deref(), tip.as_ref(), &scheme_obs);
     let mut pics = HashMap::new();
     let mut samples = HashMap::new();
     for (scheme, obs) in scheme_obs {

@@ -1,0 +1,490 @@
+//! The per-run captured-trace cache.
+//!
+//! An experiment matrix re-simulates each workload under many `(config,
+//! interval, seed, scheme)` points, but the committed dynamic stream
+//! depends only on the program — so the engine interprets each program
+//! **once** ([`tea_isa::CapturedTrace`]) and every other cell replays
+//! the shared trace through [`tea_sim::core::Core::try_with_trace`].
+//!
+//! Coordination is build-once under races: each program keys (by an
+//! FNV-1a fingerprint of its content, not its workload name — fault
+//! injection swaps programs under unchanged names) an
+//! `Arc<OnceLock<…>>` slot, and `OnceLock::get_or_init` guarantees
+//! exactly one winner interprets while concurrent cells of the same
+//! workload block and then share the winner's trace. Programs whose
+//! capture overflows the instruction ceiling (diverging or enormous
+//! workloads) park a `None` in their slot so every cell falls back to
+//! live interpretation without re-attempting the capture.
+//!
+//! The cache publishes `trace_cache.*` metrics. The counters are
+//! defined to be schedule-independent so serial and parallel runs
+//! snapshot identically: a *hit* is a request satisfied by a trace some
+//! other request built, a *miss* is a request that found no built trace
+//! (whether it then built one or the program is uncacheable), and
+//! exactly one build/uncacheable event fires per program per run. The
+//! `trace_cache.resident_bytes` gauge rises as traces are captured and
+//! falls back when the cache drops at the end of its run.
+//!
+//! The cache also shares finished [`GoldenReference`]s across cells.
+//! The golden reference observes only the timing model — never the
+//! sampling seed or interval — so every cell of one `(program, config)`
+//! pair produces the bit-identical reference, and all but the first can
+//! skip the observer's per-cycle attribution work entirely. Unlike
+//! traces, a golden reference is a *by-product* of a full simulation,
+//! so the coordination is a non-blocking claim: the first cell to ask
+//! gets a [`GoldenTicket`] and publishes its reference after its run
+//! succeeds; concurrent cells that lose the claim race compute their
+//! own reference locally rather than block on a whole simulation; and
+//! a claimant that fails (panic, timeout, fault) releases the claim on
+//! drop so a later cell can publish. The golden cache deliberately
+//! emits **no** metrics: claim outcomes are scheduling-dependent, and
+//! counting them would break the serial/parallel metric-snapshot
+//! equality the `trace_cache.*` counters guarantee.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tea_core::golden::GoldenReference;
+use tea_isa::capture::{CapturedTrace, DEFAULT_CAPTURE_LIMIT};
+use tea_isa::program::Program;
+use tea_obs::Value;
+use tea_sim::SimConfig;
+
+use crate::metrics;
+
+/// Tracing target of cache-emitted records.
+const CACHE_TARGET: &str = "tea_exp::trace_cache";
+
+/// One program's slot: unset until some request resolves it, then
+/// either the shared trace or `None` for an uncacheable program.
+type Slot = Arc<OnceLock<Option<Arc<CapturedTrace>>>>;
+
+/// One `(program, config)` pair's golden-reference slot.
+#[derive(Debug, Default)]
+struct GoldenSlot {
+    /// Whether some in-flight cell holds the compute claim.
+    claimed: AtomicBool,
+    /// The published reference, once a claimant's run succeeds.
+    value: OnceLock<Arc<GoldenReference>>,
+}
+
+/// The outcome of [`TraceCache::golden_checkout`].
+pub enum GoldenCheckout {
+    /// A finished reference published by an earlier cell of the same
+    /// `(program, config)` pair; attach no golden observer.
+    Shared(Arc<GoldenReference>),
+    /// This cell computes its own reference. With a ticket, it holds
+    /// the publish claim and should call [`GoldenTicket::publish`]
+    /// after its run succeeds; without one (it lost the claim race, or
+    /// no cache is attached), it computes locally and publishes
+    /// nothing.
+    Compute(Option<GoldenTicket>),
+}
+
+/// The publish claim on one golden-reference slot. Dropping the ticket
+/// without publishing (the claimant panicked, timed out, or faulted)
+/// releases the claim so a later cell of the same pair can take it.
+pub struct GoldenTicket {
+    slot: Arc<GoldenSlot>,
+    published: bool,
+}
+
+impl GoldenTicket {
+    /// Publishes the claimant's finished reference for every later
+    /// cell of the same `(program, config)` pair to share.
+    pub fn publish(mut self, golden: Arc<GoldenReference>) {
+        let _ = self.slot.value.set(golden);
+        self.published = true;
+    }
+}
+
+impl Drop for GoldenTicket {
+    fn drop(&mut self) {
+        if !self.published {
+            self.slot.claimed.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// A build-once cache of captured instruction traces and finished
+/// golden references, keyed by program (and config) content. One cache
+/// serves one engine run; dropping it releases every trace (and
+/// returns the `trace_cache.resident_bytes` gauge to its prior level).
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    limit: u64,
+    slots: Mutex<HashMap<u64, Slot>>,
+    golden: Mutex<HashMap<(u64, u64), Arc<GoldenSlot>>>,
+}
+
+impl TraceCache {
+    /// An empty cache with the [`DEFAULT_CAPTURE_LIMIT`] ceiling.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_limit(DEFAULT_CAPTURE_LIMIT)
+    }
+
+    /// An empty cache that refuses to capture programs committing more
+    /// than `limit` instructions (they fall back to live
+    /// interpretation).
+    #[must_use]
+    pub fn with_limit(limit: u64) -> Self {
+        TraceCache {
+            limit,
+            slots: Mutex::new(HashMap::new()),
+            golden: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared trace for `program`, capturing it on first request.
+    ///
+    /// Returns `None` when the program is uncacheable (its capture
+    /// overflowed the instruction ceiling); the caller must interpret
+    /// live. Concurrent requests for one program block until the single
+    /// capture finishes, then share it.
+    #[must_use]
+    pub fn checkout(&self, program: &Program) -> Option<Arc<CapturedTrace>> {
+        self.checkout_keyed(program_fingerprint(program), program)
+    }
+
+    /// [`TraceCache::checkout`] with the program's fingerprint already
+    /// in hand, so a cell that talks to both the trace and the golden
+    /// cache hashes its program once.
+    pub(crate) fn checkout_keyed(&self, key: u64, program: &Program) -> Option<Arc<CapturedTrace>> {
+        let m = metrics();
+        m.counter("trace_cache.requests").inc();
+        let slot = {
+            let mut slots = self.slots.lock().expect("trace cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        // `get_or_init` runs the closure on exactly one request per
+        // program; racing requests block here and share the outcome.
+        let mut built = false;
+        let entry = slot.get_or_init(|| {
+            built = true;
+            self.capture(program, key)
+        });
+        if built || entry.is_none() {
+            m.counter("trace_cache.misses").inc();
+        } else {
+            m.counter("trace_cache.hits").inc();
+        }
+        entry.clone()
+    }
+
+    /// The one-per-program capture body behind the slot's `OnceLock`.
+    fn capture(&self, program: &Program, key: u64) -> Option<Arc<CapturedTrace>> {
+        let m = metrics();
+        match CapturedTrace::capture(program, self.limit) {
+            Some(trace) => {
+                m.counter("trace_cache.builds").inc();
+                m.gauge("trace_cache.resident_bytes")
+                    .add(trace.resident_bytes() as i64);
+                tea_obs::debug(
+                    CACHE_TARGET,
+                    "trace captured",
+                    &[
+                        ("program", Value::from(key)),
+                        ("instructions", Value::from(trace.len())),
+                        ("resident_bytes", Value::from(trace.resident_bytes())),
+                    ],
+                );
+                Some(Arc::new(trace))
+            }
+            None => {
+                m.counter("trace_cache.uncacheable").inc();
+                tea_obs::warn(
+                    CACHE_TARGET,
+                    "trace capture overflowed; cells fall back to live interpretation",
+                    &[
+                        ("program", Value::from(key)),
+                        ("limit", Value::from(self.limit)),
+                    ],
+                );
+                None
+            }
+        }
+    }
+
+    /// Joins the golden-reference sharing scheme for one cell of
+    /// `(program, config)`.
+    ///
+    /// Returns [`GoldenCheckout::Shared`] when an earlier cell of the
+    /// same pair already published its finished reference,
+    /// [`GoldenCheckout::Compute`] with a [`GoldenTicket`] when this
+    /// cell wins the claim (publish after the run succeeds), and
+    /// [`GoldenCheckout::Compute`] without a ticket when another cell
+    /// is mid-computation — the caller computes locally rather than
+    /// block on a whole simulation.
+    #[must_use]
+    pub fn golden_checkout(&self, program: &Program, config: &SimConfig) -> GoldenCheckout {
+        self.golden_checkout_keyed(program_fingerprint(program), config)
+    }
+
+    /// [`TraceCache::golden_checkout`] with the program's fingerprint
+    /// already in hand.
+    pub(crate) fn golden_checkout_keyed(
+        &self,
+        program_key: u64,
+        config: &SimConfig,
+    ) -> GoldenCheckout {
+        let key = (program_key, config_fingerprint(config));
+        let slot = {
+            let mut golden = self.golden.lock().expect("golden cache poisoned");
+            Arc::clone(golden.entry(key).or_default())
+        };
+        if let Some(v) = slot.value.get() {
+            return GoldenCheckout::Shared(Arc::clone(v));
+        }
+        if slot
+            .claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            GoldenCheckout::Compute(Some(GoldenTicket {
+                slot,
+                published: false,
+            }))
+        } else {
+            GoldenCheckout::Compute(None)
+        }
+    }
+
+    /// Heap bytes currently held by cached traces.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        let slots = self.slots.lock().expect("trace cache poisoned");
+        slots
+            .values()
+            .filter_map(|s| s.get())
+            .flatten()
+            .map(|t| t.resident_bytes())
+            .sum()
+    }
+}
+
+impl Drop for TraceCache {
+    fn drop(&mut self) {
+        let resident = self
+            .slots
+            .get_mut()
+            .map(|slots| {
+                slots
+                    .values()
+                    .filter_map(|s| s.get())
+                    .flatten()
+                    .map(|t| t.resident_bytes())
+                    .sum::<usize>()
+            })
+            .unwrap_or(0);
+        if resident > 0 {
+            metrics()
+                .gauge("trace_cache.resident_bytes")
+                .add(-(resident as i64));
+        }
+    }
+}
+
+/// A streaming FNV-1a-64 state: formatted fragments fold straight into
+/// the hash instead of accumulating in an intermediate `String` (the
+/// memory image of a workload runs to tens of thousands of words, and
+/// the fingerprint is on the per-cell path).
+struct FnvStream(u64);
+
+impl FnvStream {
+    fn new() -> Self {
+        FnvStream(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+impl std::fmt::Write for FnvStream {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// FNV-1a fingerprint of a program's *content* (layout base,
+/// instructions, initialized memory) — everything that determines its
+/// committed dynamic stream, and nothing that doesn't (names, function
+/// symbols).
+#[must_use]
+pub fn program_fingerprint(program: &Program) -> u64 {
+    let mut h = FnvStream::new();
+    h.update(&program.base().to_le_bytes());
+    let _ = write!(h, "{:?}", program.insts());
+    // The memory image is the bulk of a program; hash it numerically
+    // rather than through the formatter.
+    for &(addr, word) in program.init_words() {
+        h.update(&addr.to_le_bytes());
+        h.update(&word.to_le_bytes());
+    }
+    h.0
+}
+
+/// FNV-1a fingerprint of a full timing configuration — the other half
+/// of the golden-reference key. Two cells share a reference only when
+/// both their program and every timing parameter match; the sampling
+/// interval and seed are deliberately absent (the golden reference
+/// never samples).
+#[must_use]
+pub fn config_fingerprint(config: &SimConfig) -> u64 {
+    let mut h = FnvStream::new();
+    let _ = write!(h, "{config:?}");
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_workloads::faulty::{self, FaultMode};
+    use tea_workloads::{lbm, xz, Size};
+
+    #[test]
+    fn checkout_builds_once_and_shares() {
+        let cache = TraceCache::new();
+        let p = lbm::program(Size::Test);
+        let a = cache.checkout(&p).expect("lbm halts");
+        let b = cache.checkout(&p).expect("lbm halts");
+        assert!(Arc::ptr_eq(&a, &b), "second checkout shares the capture");
+        assert_eq!(cache.resident_bytes(), a.resident_bytes());
+    }
+
+    #[test]
+    fn distinct_programs_get_distinct_traces() {
+        let cache = TraceCache::new();
+        let a = cache.checkout(&lbm::program(Size::Test)).unwrap();
+        let b = cache.checkout(&xz::program(Size::Test)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(
+            program_fingerprint(&lbm::program(Size::Test)),
+            program_fingerprint(&xz::program(Size::Test)),
+        );
+        assert_eq!(
+            cache.resident_bytes(),
+            a.resident_bytes() + b.resident_bytes()
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_program_content_not_name() {
+        // Fault injection swaps a workload's program under an unchanged
+        // name; the cache must key on content.
+        let healthy = lbm::program(Size::Test);
+        let diverging = faulty::program(Size::Test, FaultMode::Diverge);
+        assert_ne!(
+            program_fingerprint(&healthy),
+            program_fingerprint(&diverging)
+        );
+        assert_eq!(program_fingerprint(&healthy), program_fingerprint(&healthy));
+    }
+
+    #[test]
+    fn diverging_program_is_uncacheable_and_capture_is_not_reattempted() {
+        let cache = TraceCache::with_limit(10_000);
+        let p = faulty::program(Size::Test, FaultMode::Diverge);
+        assert!(cache.checkout(&p).is_none());
+        // The overflow outcome is parked in the slot: a second checkout
+        // must not spend another 10k interpreted instructions to
+        // rediscover it (observable via the build/uncacheable metrics,
+        // but cheapest to pin via the resident footprint staying zero).
+        assert!(cache.checkout(&p).is_none());
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn streaming_fnv_matches_the_reference_implementation() {
+        // Published FNV-1a 64-bit test vector; the streaming state must
+        // agree with `journal::fnv1a64` so fingerprints stay stable.
+        let mut h = FnvStream::new();
+        h.update(b"foobar");
+        assert_eq!(h.0, 0x8594_4171_f739_67e8);
+        assert_eq!(FnvStream::new().0, 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn golden_checkout_claims_once_then_shares_the_published_reference() {
+        let cache = TraceCache::new();
+        let p = lbm::program(Size::Test);
+        let cfg = SimConfig::default();
+        let ticket = match cache.golden_checkout(&p, &cfg) {
+            GoldenCheckout::Compute(Some(t)) => t,
+            _ => panic!("first checkout wins the claim"),
+        };
+        // While the claimant computes, racing cells compute locally
+        // instead of blocking on a whole simulation.
+        assert!(matches!(
+            cache.golden_checkout(&p, &cfg),
+            GoldenCheckout::Compute(None)
+        ));
+        ticket.publish(Arc::new(GoldenReference::new()));
+        match cache.golden_checkout(&p, &cfg) {
+            GoldenCheckout::Shared(shared) => assert_eq!(shared.total_cycles(), 0),
+            _ => panic!("published reference is shared"),
+        }
+    }
+
+    #[test]
+    fn dropped_ticket_releases_the_claim_for_a_later_cell() {
+        // A claimant that fails (panic, timeout, fault) never calls
+        // publish; its ticket drop must hand the claim to a later cell
+        // or the pair would compute locally forever.
+        let cache = TraceCache::new();
+        let p = lbm::program(Size::Test);
+        let cfg = SimConfig::default();
+        let ticket = match cache.golden_checkout(&p, &cfg) {
+            GoldenCheckout::Compute(Some(t)) => t,
+            _ => panic!("first checkout wins the claim"),
+        };
+        drop(ticket);
+        assert!(matches!(
+            cache.golden_checkout(&p, &cfg),
+            GoldenCheckout::Compute(Some(_))
+        ));
+    }
+
+    #[test]
+    fn golden_key_spans_program_and_config() {
+        let cache = TraceCache::new();
+        let p = lbm::program(Size::Test);
+        let cfg = SimConfig::default();
+        let mut wide = SimConfig::default();
+        wide.rob_entries *= 2;
+        assert_ne!(config_fingerprint(&cfg), config_fingerprint(&wide));
+        // Distinct configs get distinct slots: both claims succeed.
+        let t1 = match cache.golden_checkout(&p, &cfg) {
+            GoldenCheckout::Compute(Some(t)) => t,
+            _ => panic!("first pair claims"),
+        };
+        let t2 = match cache.golden_checkout(&p, &wide) {
+            GoldenCheckout::Compute(Some(t)) => t,
+            _ => panic!("second pair claims independently"),
+        };
+        drop((t1, t2));
+    }
+
+    #[test]
+    fn concurrent_checkouts_share_one_capture() {
+        let cache = TraceCache::new();
+        let p = lbm::program(Size::Test);
+        let traces: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| cache.checkout(&p).expect("lbm halts")))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t), "all threads share one trace");
+        }
+        assert_eq!(cache.resident_bytes(), traces[0].resident_bytes());
+    }
+}

@@ -1,0 +1,108 @@
+//! The trace cache's cardinal guarantee: a profiled run that replays a
+//! captured instruction trace is bit-identical to one that re-interprets
+//! the workload from scratch. The captured stream is the committed
+//! correct path, which depends only on program content — so no artifact
+//! byte may change when the cache is on, off, or pre-warmed.
+
+use tea_core::pics::Granularity;
+use tea_exp::{Engine, Matrix, RunResult, TraceCache, ALL_SCHEMES};
+use tea_workloads::{deepsjeng, lbm, xz, Size};
+
+fn matrix() -> Matrix {
+    Matrix::new()
+        .workloads(vec![
+            lbm::workload(Size::Test),
+            xz::workload(Size::Test),
+            deepsjeng::workload(Size::Test),
+        ])
+        .seeds(&[11, 42])
+}
+
+/// Everything measurement-like about a run, excluding wall-clock
+/// timing (the only field allowed to differ between runs).
+fn fingerprint(run: &RunResult) -> Vec<String> {
+    run.cells
+        .iter()
+        .map(|c| {
+            let c = c.result().expect("cell completed");
+            let golden = c.golden.as_ref().expect("golden attached");
+            let mut s = format!(
+                "{} seed={} stats={:?} golden={:016x}",
+                c.spec.workload,
+                c.spec.seed,
+                c.stats,
+                golden.pics().total().to_bits(),
+            );
+            for &scheme in &ALL_SCHEMES {
+                let e = c.error(scheme, Granularity::Instruction).unwrap();
+                s.push_str(&format!(
+                    " {}:{}:{:016x}",
+                    scheme.name(),
+                    c.samples[&scheme],
+                    e.to_bits(),
+                ));
+            }
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn replayed_runs_match_interpreted_runs_bit_for_bit() {
+    let interpreted = Engine::serial()
+        .quiet()
+        .trace_cache(false)
+        .run("identity", matrix().cells());
+    let replayed = Engine::serial().quiet().run("identity", matrix().cells());
+
+    assert_eq!(interpreted.cells.len(), 6);
+    assert_eq!(
+        fingerprint(&interpreted),
+        fingerprint(&replayed),
+        "replay must not perturb any measurement"
+    );
+    assert_eq!(
+        interpreted.deterministic_json().render_pretty(),
+        replayed.deterministic_json().render_pretty(),
+        "the deterministic artifact projection must be byte-identical"
+    );
+}
+
+#[test]
+fn prewarmed_shared_cache_is_also_bit_identical() {
+    let engine = Engine::serial().quiet();
+    let cache = TraceCache::new();
+    // First run captures every trace and publishes every golden
+    // reference; the second replays everything from the shared cache.
+    let cold = engine.run_with_cache("identity", matrix().cells(), &cache);
+    let warm = engine.run_with_cache("identity", matrix().cells(), &cache);
+    assert!(cold.all_ok() && warm.all_ok());
+    assert_eq!(fingerprint(&cold), fingerprint(&warm));
+    assert_eq!(
+        cold.deterministic_json().render_pretty(),
+        warm.deterministic_json().render_pretty(),
+    );
+
+    // And the shared-cache artifact matches a cache-off run exactly.
+    let off = Engine::serial()
+        .quiet()
+        .trace_cache(false)
+        .run("identity", matrix().cells());
+    assert_eq!(
+        off.deterministic_json().render_pretty(),
+        warm.deterministic_json().render_pretty(),
+        "pre-warmed shared cache must not perturb artifacts"
+    );
+}
+
+#[test]
+fn parallel_replay_matches_serial_replay() {
+    let serial = Engine::new(1).quiet().run("identity", matrix().cells());
+    let parallel = Engine::new(4).quiet().run("identity", matrix().cells());
+    assert_eq!(parallel.threads, 4);
+    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    assert_eq!(
+        serial.deterministic_json().render_pretty(),
+        parallel.deterministic_json().render_pretty(),
+    );
+}

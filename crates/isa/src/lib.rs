@@ -17,7 +17,10 @@
 //!   function-granularity cycle stacks of the paper's Figure 9.
 //! * [`interp`] — a functional interpreter that executes a program and
 //!   yields the committed dynamic instruction stream ([`interp::DynInst`])
-//!   consumed by the `tea-sim` timing model.
+//!   consumed by the `tea-sim` timing model; [`capture`] records that
+//!   stream once into an immutable structure-of-arrays
+//!   [`capture::CapturedTrace`] so many simulations can replay one
+//!   functional execution.
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod capture;
 pub mod error;
 pub mod inst;
 pub mod interp;
@@ -59,6 +63,7 @@ pub mod program;
 pub mod reg;
 
 pub use asm::{Asm, AsmError};
+pub use capture::CapturedTrace;
 pub use error::IsaError;
 pub use inst::{ExecClass, Inst, RegRef};
 pub use interp::{DynInst, Machine};

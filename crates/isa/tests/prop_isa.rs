@@ -164,6 +164,134 @@ proptest! {
     }
 }
 
+/// Properties of the `Machine` word-access fast path: `load_u64` /
+/// `store_u64` take a single-page shortcut whenever the 8-byte word
+/// fits inside one 4 KiB page (offset <= 4088) and fall back to a
+/// byte-by-byte walk across two pages otherwise. The two paths must be
+/// indistinguishable from the outside.
+mod word_access {
+    use std::collections::HashMap;
+
+    use proptest::prelude::*;
+    use tea_isa::inst::Inst;
+    use tea_isa::program::{Program, TEXT_BASE};
+    use tea_isa::Machine;
+
+    const PAGE: u64 = 4096;
+
+    fn empty_program() -> Program {
+        Program::from_parts(TEXT_BASE, vec![Inst::Halt], vec![], vec![])
+    }
+
+    /// Byte-accurate memory model: zero-filled, little-endian words.
+    #[derive(Default)]
+    struct ByteModel(HashMap<u64, u8>);
+
+    impl ByteModel {
+        fn store_u64(&mut self, addr: u64, value: u64) {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.0.insert(addr + i as u64, *b);
+            }
+        }
+
+        fn load_u64(&self, addr: u64) -> u64 {
+            let mut bytes = [0u8; 8];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.0.get(&(addr + i as u64)).copied().unwrap_or(0);
+            }
+            u64::from_le_bytes(bytes)
+        }
+    }
+
+    /// Addresses drawn to cluster around page boundaries, where the
+    /// fast path hands over to the straddling slow path.
+    fn boundary_addr() -> impl Strategy<Value = u64> {
+        (1u64..64, 0u64..PAGE).prop_map(|(page, off)| page * PAGE + off - 16)
+    }
+
+    proptest! {
+        /// Words written at page-straddling offsets (off > 4088) read
+        /// back exactly, and the bytes land where the byte model says.
+        #[test]
+        fn straddling_word_round_trips(
+            off in 4089u64..PAGE,
+            page in 1u64..1024,
+            value in any::<u64>(),
+        ) {
+            let p = empty_program();
+            let mut m = Machine::new(&p);
+            let addr = page * PAGE + off;
+            m.store_u64(addr, value);
+            prop_assert_eq!(m.load_u64(addr), value);
+            // Both touched pages are readable on their aligned side.
+            let mut model = ByteModel::default();
+            model.store_u64(addr, value);
+            let left = addr & !7;
+            prop_assert_eq!(m.load_u64(left), model.load_u64(left));
+            prop_assert_eq!(m.load_u64((addr + 8) & !7), model.load_u64((addr + 8) & !7));
+        }
+
+        /// Reads from pages nothing ever wrote to are zero, including
+        /// straddling reads where only one side is mapped.
+        #[test]
+        fn unmapped_pages_read_as_zero(
+            addr in 0u64..(1 << 48),
+            off in 4089u64..PAGE,
+            page in 2u64..1024,
+        ) {
+            let p = empty_program();
+            let mut m = Machine::new(&p);
+            prop_assert_eq!(m.load_u64(addr), 0, "fresh memory is zero");
+            // Map one page (write at its base), then straddle-read from
+            // its zero-filled tail into the unmapped neighbour: every
+            // byte of the word must still read as zero.
+            let straddle = page * PAGE + off;
+            m.store_u64(page * PAGE, u64::MAX);
+            prop_assert_eq!(m.load_u64(straddle), 0);
+            prop_assert_eq!(m.load_u64((page + 1) * PAGE), 0, "neighbour stays unmapped");
+        }
+
+        /// An arbitrary interleaving of word stores and loads agrees
+        /// with a byte-by-byte reference model at every probe,
+        /// regardless of which path (fast or straddling) each access
+        /// takes.
+        #[test]
+        fn word_access_agrees_with_byte_model(
+            stores in prop::collection::vec((boundary_addr(), any::<u64>()), 1..60),
+            probes in prop::collection::vec(boundary_addr(), 1..30),
+        ) {
+            let p = empty_program();
+            let mut m = Machine::new(&p);
+            let mut model = ByteModel::default();
+            for &(addr, value) in &stores {
+                m.store_u64(addr, value);
+                model.store_u64(addr, value);
+            }
+            for &(addr, _) in &stores {
+                prop_assert_eq!(m.load_u64(addr), model.load_u64(addr));
+            }
+            for &addr in &probes {
+                prop_assert_eq!(m.load_u64(addr), model.load_u64(addr));
+            }
+        }
+
+        /// `load_f64`/`store_f64` preserve the exact bit pattern across
+        /// page boundaries — NaN payloads included.
+        #[test]
+        fn f64_round_trips_bitwise_at_straddles(
+            off in 4089u64..PAGE,
+            bits in any::<u64>(),
+        ) {
+            let p = empty_program();
+            let mut m = Machine::new(&p);
+            let addr = 7 * PAGE + off;
+            m.store_f64(addr, f64::from_bits(bits));
+            prop_assert_eq!(m.load_f64(addr).to_bits(), bits);
+            prop_assert_eq!(m.load_u64(addr), bits, "f64 and u64 views agree");
+        }
+    }
+}
+
 mod edge_cases {
     use tea_isa::asm::Asm;
     use tea_isa::reg::{FReg, Reg};

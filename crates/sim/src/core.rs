@@ -16,7 +16,9 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
+use tea_isa::capture::CapturedTrace;
 use tea_isa::interp::{DynInst, Machine};
 use tea_isa::program::Program;
 use tea_isa::{ExecClass, Inst, IsaError, Reg, RegRef};
@@ -189,49 +191,119 @@ struct StqEntry {
     drain_done: u64,
 }
 
-/// Correct-path instruction stream with a replay window, fed by the
-/// functional interpreter.
+/// Floor below which the live stream's replay buffer never shrinks:
+/// steady-state windows bounce around ROB size, and re-growing a tiny
+/// deque every few squashes would cost more than it saves.
+const STREAM_SHRINK_FLOOR: usize = 256;
+
+/// Correct-path instruction stream: either a live functional
+/// interpreter with a replay window, or a shared pre-captured trace.
+///
+/// The replay source turns `get(seq)` into a bounds-checked array read
+/// and squash/replay into pure cursor arithmetic on the [`Core`]; the
+/// live source interprets on demand and buffers the in-flight window so
+/// squashed instructions can be re-fetched without re-execution.
+// One StreamSource exists per Core, never in a collection, so the
+// Live/Replay size disparity costs nothing; boxing the machine would
+// only add a pointer chase to the live fetch path.
+#[allow(clippy::large_enum_variant)]
+enum StreamSource<'p> {
+    Live {
+        machine: Machine<'p>,
+        buf: VecDeque<DynInst>,
+        base: u64,
+    },
+    Replay {
+        /// The program the trace was captured from; the slim trace
+        /// stores only static instruction indices and reconstructs the
+        /// pc and decoded instruction from the program's layout.
+        program: &'p Program,
+        trace: Arc<CapturedTrace>,
+    },
+}
+
 struct Stream<'p> {
-    machine: Machine<'p>,
-    buf: VecDeque<DynInst>,
-    base: u64,
+    source: StreamSource<'p>,
     /// First architectural fault hit by the interpreter (e.g. the pc
     /// escaping the text segment). Once set, the stream reports
     /// end-of-program and [`Core::try_run_for`] surfaces the error.
+    /// A captured trace carries the fault of its capture run and
+    /// surfaces it at the same sequence number.
     error: Option<IsaError>,
 }
 
 impl<'p> Stream<'p> {
     fn new(program: &'p Program) -> Self {
         Stream {
-            machine: Machine::new(program),
-            buf: VecDeque::new(),
-            base: 0,
+            source: StreamSource::Live {
+                machine: Machine::new(program),
+                buf: VecDeque::new(),
+                base: 0,
+            },
+            error: None,
+        }
+    }
+
+    fn replay(program: &'p Program, trace: Arc<CapturedTrace>) -> Self {
+        Stream {
+            source: StreamSource::Replay { program, trace },
             error: None,
         }
     }
 
     fn get(&mut self, seq: u64) -> Option<DynInst> {
-        while self.base + self.buf.len() as u64 <= seq {
-            if self.error.is_some() {
-                return None;
-            }
-            match self.machine.try_step() {
-                Ok(Some(d)) => self.buf.push_back(d),
-                Ok(None) => return None,
-                Err(e) => {
-                    self.error = Some(e);
-                    return None;
+        match &mut self.source {
+            StreamSource::Live { machine, buf, base } => {
+                while *base + buf.len() as u64 <= seq {
+                    if self.error.is_some() {
+                        return None;
+                    }
+                    match machine.try_step() {
+                        Ok(Some(d)) => buf.push_back(d),
+                        Ok(None) => return None,
+                        Err(e) => {
+                            self.error = Some(e);
+                            return None;
+                        }
+                    }
                 }
+                buf.get((seq - *base) as usize).copied()
+            }
+            StreamSource::Replay { program, trace } => {
+                let d = trace.get(program, seq);
+                if d.is_none() && self.error.is_none() {
+                    self.error = trace.error().cloned();
+                }
+                d
             }
         }
-        self.buf.get((seq - self.base) as usize).copied()
     }
 
     fn release_below(&mut self, seq: u64) {
-        while self.base < seq && !self.buf.is_empty() {
-            self.buf.pop_front();
-            self.base += 1;
+        let StreamSource::Live { buf, base, .. } = &mut self.source else {
+            return; // replay holds no window: commits release nothing
+        };
+        while *base < seq && !buf.is_empty() {
+            buf.pop_front();
+            *base += 1;
+        }
+        // A large squash can leave the deque holding peak-window
+        // capacity forever; give it back once the live window has
+        // collapsed to a quarter of it (hysteresis: shrink to twice the
+        // current need, never below the steady-state floor).
+        let cap = buf.capacity();
+        if cap > STREAM_SHRINK_FLOOR && buf.len() * 4 < cap {
+            buf.shrink_to((buf.len() * 2).max(STREAM_SHRINK_FLOOR));
+        }
+    }
+
+    /// Capacity of the live replay window (0 for a replay stream);
+    /// exercised by the shrink regression test.
+    #[cfg(test)]
+    fn window_capacity(&self) -> usize {
+        match &self.source {
+            StreamSource::Live { buf, .. } => buf.capacity(),
+            StreamSource::Replay { .. } => 0,
         }
     }
 }
@@ -334,12 +406,51 @@ impl<'p> Core<'p> {
     /// Returns [`SimError::InvalidConfig`] naming the offending field
     /// when the configuration violates a structural invariant.
     pub fn try_new(program: &'p Program, cfg: SimConfig) -> Result<Self, SimError> {
+        Self::build(Stream::new(program), cfg)
+    }
+
+    /// Creates a core that replays a pre-captured instruction trace
+    /// instead of interpreting the program live.
+    ///
+    /// The replayed run is bit-identical to the interpreted run of the
+    /// same program — the timing model consumes the exact same
+    /// committed stream — but `stream.get` becomes an array read and
+    /// the squash/re-fetch path pure cursor arithmetic, so it is the
+    /// fast path when one workload is simulated under many
+    /// configurations (see `tea-exp`'s trace cache). `program` must be
+    /// the program `trace` was captured from: the slim trace stores
+    /// only static instruction indices and reconstructs the pc and
+    /// decoded instruction from the program's layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] as [`Core::try_new`] does.
+    pub fn try_with_trace(
+        program: &'p Program,
+        trace: Arc<CapturedTrace>,
+        cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        Self::build(Stream::replay(program, trace), cfg)
+    }
+
+    /// [`Core::try_with_trace`], panicking on an invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SimConfig::validate`]).
+    #[must_use]
+    pub fn with_trace(program: &'p Program, trace: Arc<CapturedTrace>, cfg: SimConfig) -> Self {
+        Self::try_with_trace(program, trace, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn build(stream: Stream<'p>, cfg: SimConfig) -> Result<Self, SimError> {
         cfg.validate()?;
         let slot_count = cfg.rob_entries + cfg.fetch_buffer + cfg.fetch_width + 4;
         Ok(Core {
             hier: MemHierarchy::new(&cfg),
             bp: BranchPredictor::new(&cfg.branch),
-            stream: Stream::new(program),
+            stream,
             cycle: 0,
             cursor: 0,
             slots: vec![Slot::vacant(); slot_count],
@@ -1368,4 +1479,94 @@ pub fn simulate(
     observers: &mut [&mut dyn Observer],
 ) -> SimStats {
     Core::new(program, cfg).run(observers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tea_isa::asm::Asm;
+
+    fn looped_program(iters: i64) -> Program {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, iters);
+        a.li(Reg::A0, 0x8000);
+        a.bind(top);
+        a.sd(Reg::T0, Reg::A0, 0);
+        a.ld(Reg::T2, Reg::A0, 0);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn replay_core_matches_live_core_exactly() {
+        let p = looped_program(500);
+        let live = Core::new(&p, SimConfig::default()).run(&mut []);
+        let trace = Arc::new(CapturedTrace::capture(&p, 1 << 20).expect("test program halts"));
+        let replay = Core::with_trace(&p, trace, SimConfig::default()).run(&mut []);
+        assert_eq!(live, replay);
+    }
+
+    #[test]
+    fn replay_surfaces_the_captured_fault_like_live() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 0xdead_0000);
+        a.jr(Reg::T0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let live_err = Core::new(&p, SimConfig::default())
+            .try_run(&mut [])
+            .expect_err("pc escapes");
+        let trace = Arc::new(CapturedTrace::capture(&p, 1 << 20).unwrap());
+        let replay_err = Core::with_trace(&p, trace, SimConfig::default())
+            .try_run(&mut [])
+            .expect_err("replay reproduces the fault");
+        assert_eq!(format!("{live_err}"), format!("{replay_err}"));
+    }
+
+    /// Regression (PR 5 satellite): after the live window collapses,
+    /// `release_below` must hand back peak-window deque capacity
+    /// instead of holding it for the rest of the run.
+    #[test]
+    fn release_below_shrinks_collapsed_replay_window() {
+        let p = looped_program(100_000);
+        let mut stream = Stream::new(&p);
+        // Stretch the window far past any real in-flight set.
+        let peak = 60_000u64;
+        assert!(stream.get(peak).is_some());
+        assert!(stream.window_capacity() >= peak as usize);
+        // Commit everything below the cursor: the window collapses.
+        stream.release_below(peak);
+        let cap = stream.window_capacity();
+        assert!(
+            cap <= STREAM_SHRINK_FLOOR.max(8),
+            "collapsed window still holds capacity {cap}"
+        );
+        // The stream still serves the live edge after shrinking.
+        assert_eq!(stream.get(peak).map(|d| d.seq), Some(peak));
+    }
+
+    /// The shrink must also fire when a window remains but is much
+    /// smaller than the peak (hysteresis keeps twice the need).
+    #[test]
+    fn release_below_keeps_hysteresis_margin() {
+        let p = looped_program(100_000);
+        let mut stream = Stream::new(&p);
+        let peak = 40_000u64;
+        assert!(stream.get(peak).is_some());
+        let live_window = 512u64;
+        stream.release_below(peak - live_window);
+        let cap = stream.window_capacity();
+        assert!(
+            cap <= 4 * live_window as usize,
+            "window of {live_window} still holds capacity {cap}"
+        );
+        // Every in-window entry survives the shrink.
+        for seq in (peak - live_window)..=peak {
+            assert_eq!(stream.get(seq).map(|d| d.seq), Some(seq));
+        }
+    }
 }

@@ -6,6 +6,7 @@
 //! tea-cli profile <workload> [--size test|ref] [--interval N] [--top N]
 //! tea-cli compare <workload> [--size test|ref] [--interval N]
 //! tea-cli suite [workload...] [--size test|ref] [--interval N] [--threads N] [--json out.json]
+//!               [--det-json out.json] [--no-trace-cache]
 //!               [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]
 //!               [--inject-panic <workload>] [--inject-diverge <workload>]
 //! tea-cli bench [workload...] [--size test|ref] [--interval N] [--iters N] [--json out.json]
@@ -51,6 +52,8 @@ struct Args {
     lines: usize,
     threads: usize,
     json: Option<String>,
+    det_json: Option<String>,
+    no_trace_cache: bool,
     resume: bool,
     max_retries: u32,
     cell_timeout: Option<u64>,
@@ -73,6 +76,8 @@ fn parse_args() -> Result<Args, String> {
         lines: 40,
         threads: 0,
         json: None,
+        det_json: None,
+        no_trace_cache: false,
         resume: false,
         max_retries: 1,
         cell_timeout: None,
@@ -117,6 +122,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad threads: {e}"))?
             }
             "--json" => args.json = Some(grab("--json")?),
+            "--det-json" => args.det_json = Some(grab("--det-json")?),
+            "--no-trace-cache" => args.no_trace_cache = true,
             "--resume" => args.resume = true,
             "--max-retries" => {
                 args.max_retries = grab("--max-retries")?
@@ -288,7 +295,9 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
     } else {
         Engine::new(args.threads)
     };
-    engine = engine.max_retries(args.max_retries);
+    engine = engine
+        .max_retries(args.max_retries)
+        .trace_cache(!args.no_trace_cache);
     if let Some(budget) = args.cell_timeout {
         engine = engine.cell_budget(budget);
     }
@@ -400,6 +409,15 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
         run.wall.as_secs_f64(),
         run.sim_mips()
     );
+    if let Some(path) = &args.det_json {
+        // The deterministic projection (wall-clock fields stripped):
+        // byte-for-byte comparable across thread counts, resumes, and
+        // trace-cache settings. CI's trace-replay-identity job diffs
+        // two of these.
+        std::fs::write(path, run.deterministic_json().render_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("deterministic artifact: {path}");
+    }
     if let Some(path) = &args.json {
         std::fs::write(path, run.to_json().render_pretty())
             .map_err(|e| format!("write {path}: {e}"))?;
@@ -448,28 +466,38 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     );
     let report = measure_suite(&workloads, size_name, args.interval, args.iters);
     println!(
-        "{:<12} {:>12} {:>10} {:>16} {:>16} {:>14}",
-        "workload", "cycles", "samples", "sim cyc/s", "profiled cyc/s", "samples/s"
+        "{:<12} {:>12} {:>10} {:>16} {:>16} {:>14} {:>14}",
+        "workload", "cycles", "samples", "sim cyc/s", "profiled cyc/s", "replay cyc/s", "samples/s"
     );
     for w in &report.workloads {
         println!(
-            "{:<12} {:>12} {:>10} {:>16.0} {:>16.0} {:>14.0}",
+            "{:<12} {:>12} {:>10} {:>16.0} {:>16.0} {:>14.0} {:>14.0}",
             w.name,
             w.cycles,
             w.samples,
             w.sim_cycles_per_second(),
             w.profiled_cycles_per_second(),
+            w.replay_cycles_per_second(),
             w.samples_per_second()
         );
     }
     println!(
-        "{:<12} {:>12} {:>10} {:>16.0} {:>16.0} {:>14.0}",
+        "{:<12} {:>12} {:>10} {:>16.0} {:>16.0} {:>14.0} {:>14.0}",
         "total",
         report.total_cycles(),
         report.total_samples(),
         report.sim_cycles_per_second(),
         report.profiled_cycles_per_second(),
+        report.replay_cycles_per_second(),
         report.samples_per_second()
+    );
+    println!(
+        "matrix ({} cells, {} seeds/workload): interpret {:.3}s, warm cache {:.3}s, speedup {:.2}x",
+        report.matrix.cells,
+        report.matrix.cells_per_workload,
+        report.matrix.interpret_wall,
+        report.matrix.replay_wall,
+        report.matrix.warm_speedup()
     );
     let path = args.json.clone().unwrap_or_else(|| {
         tea_exp::workspace_root()
@@ -764,6 +792,7 @@ fn main() -> ExitCode {
                  tea-cli profile <workload> [--size test|ref] [--interval N] [--top N]\n  \
                  tea-cli compare <workload> [--size test|ref] [--interval N]\n  \
                  tea-cli suite [workload...] [--size test|ref] [--interval N] [--threads N] [--json out.json]\n  \
+                 \u{20}             [--det-json out.json] [--no-trace-cache]\n  \
                  \u{20}             [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]\n  \
                  \u{20}             [--inject-panic <workload>] [--inject-diverge <workload>]\n  \
                  tea-cli bench [workload...] [--size test|ref] [--interval N] [--iters N]\n  \
