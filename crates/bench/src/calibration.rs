@@ -1,0 +1,485 @@
+//! Latency-calibration harness: measures per-opcode latency and
+//! initiation interval against the pinned functional-unit tables.
+//!
+//! The replay fast path reuses execution latencies captured by the
+//! functional model, so a silent drift in [`LatencyConfig`] — or in the
+//! issue/wakeup logic that realises it — would skew every attribution
+//! experiment without failing a single correctness test. This harness
+//! closes that gap: for each functional unit it assembles a dependent
+//! chain inside a fixed loop body, runs it for `ITERS` and `2*ITERS`
+//! trips, and recovers the per-op latency as `(cycles_long -
+//! cycles_short) / (ITERS * STEPS)`. Differencing two trip counts of
+//! the *same static code* cancels pipeline fill, cold icache misses,
+//! predictor warm-up, and halt drain exactly, so in the deterministic
+//! simulator the recovered latency is an integer and is compared for
+//! *equality* — any drift fails the run.
+//!
+//! Unpipelined units (integer divide, FP divide, FP square root) are
+//! additionally probed with *independent* chains: consecutive ops with
+//! no data dependency still serialise on the busy unit, so the
+//! initiation interval must equal the latency. Pipelined units accept
+//! one op per cycle and are pinned at interval ≤ 1.
+//!
+//! [`LatencyConfig`]: tea_sim::config::LatencyConfig
+
+use tea_exp::json::Json;
+use tea_isa::{Asm, FReg, Program, Reg};
+use tea_sim::core::simulate;
+use tea_sim::trace::NullObserver;
+use tea_sim::SimConfig;
+
+/// Schema identifier stamped into the JSON artifact.
+pub const CALIBRATION_SCHEMA: &str = "tea-bench-calibration/v1";
+
+/// Chain steps unrolled inside the loop body.
+const STEPS: usize = 32;
+
+/// Loop iterations for the short run; the long run doubles this. Must
+/// comfortably exceed the branch predictor's history length: the loop
+/// branch indexes a fresh gshare counter every trip until the global
+/// history saturates with taken bits, so both runs spend the same first
+/// ~14 trips mispredicting and then predict cleanly — keeping squash
+/// counts identical and cancelling their cost in the differencing.
+const ITERS: i64 = 32;
+
+/// What a measurement probed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// Dependent-chain latency: each op consumes the previous result.
+    Latency,
+    /// Independent-chain initiation interval: ops share no registers,
+    /// so only structural (functional-unit) hazards space them out.
+    Interval,
+}
+
+impl Probe {
+    fn as_str(self) -> &'static str {
+        match self {
+            Probe::Latency => "latency",
+            Probe::Interval => "interval",
+        }
+    }
+}
+
+/// How a measurement is judged against its expectation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Pin {
+    /// Must equal the pinned value exactly.
+    Exact(f64),
+    /// Must not exceed the pinned value (pipelined-unit intervals,
+    /// which can beat one op per cycle on a superscalar issue stage).
+    AtMost(f64),
+}
+
+/// One calibrated operation.
+#[derive(Clone, Debug)]
+pub struct OpMeasurement {
+    /// Functional unit / opcode under test (e.g. `"int_div"`).
+    pub name: &'static str,
+    /// Whether this row probed latency or initiation interval.
+    pub probe: Probe,
+    /// The pinned expectation from the simulator configuration.
+    pub expected: f64,
+    /// The recovered per-op cycles.
+    pub measured: f64,
+    pin: Pin,
+}
+
+impl OpMeasurement {
+    /// Whether the measurement matches the pinned expectation.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        match self.pin {
+            Pin::Exact(v) => self.measured == v,
+            Pin::AtMost(v) => self.measured <= v,
+        }
+    }
+}
+
+/// The full calibration run.
+#[derive(Clone, Debug)]
+pub struct CalibrationReport {
+    /// Every probed operation, in table order.
+    pub ops: Vec<OpMeasurement>,
+}
+
+impl CalibrationReport {
+    /// True when every operation matches its pin.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.ops.iter().all(OpMeasurement::passed)
+    }
+
+    /// JSON artifact (schema `tea-bench-calibration/v1`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(CALIBRATION_SCHEMA.into())),
+            ("passed", Json::Bool(self.passed())),
+            (
+                "ops",
+                Json::Arr(
+                    self.ops
+                        .iter()
+                        .map(|op| {
+                            Json::obj(vec![
+                                ("name", Json::Str(op.name.into())),
+                                ("probe", Json::Str(op.probe.as_str().into())),
+                                ("expected", Json::Num(op.expected)),
+                                ("measured", Json::Num(op.measured)),
+                                ("passed", Json::Bool(op.passed())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Fixed-width table for the CLI.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>9} {:>9} {:>9}  {}\n",
+            "op", "probe", "expected", "measured", "status"
+        ));
+        for op in &self.ops {
+            out.push_str(&format!(
+                "{:<10} {:>9} {:>9.2} {:>9.2}  {}\n",
+                op.name,
+                op.probe.as_str(),
+                op.expected,
+                op.measured,
+                if op.passed() { "ok" } else { "DRIFT" },
+            ));
+        }
+        out
+    }
+}
+
+/// A borrowed assembly-emitting closure: a chain's setup prologue or
+/// one step of its loop body.
+type Emit<'a> = &'a dyn Fn(&mut Asm);
+
+/// Simulated (cycles, squashes) of `program`.
+fn run_cycles(program: &Program, cfg: &SimConfig) -> (u64, u64) {
+    let stats = simulate(program, cfg.clone(), &mut [&mut NullObserver]);
+    (stats.cycles, stats.squashes)
+}
+
+/// Builds the calibration loop: `setup`, then `iters` trips over a body
+/// of [`STEPS`] chain steps plus the loop counter, then halt.
+///
+/// The body is the *same static code* regardless of `iters`, so
+/// one-time costs that scale with code size — cold icache misses most
+/// of all, which would otherwise add a fixed ~8 cycles per op and
+/// swamp the short-latency units — are identical between the short and
+/// long runs and cancel in the differencing. The counter decrement and
+/// backward branch overlap the dependent chain and add nothing to the
+/// critical path.
+fn chain(iters: i64, setup: Emit<'_>, step: Emit<'_>) -> Program {
+    let mut a = Asm::new();
+    a.func("calibrate");
+    setup(&mut a);
+    a.li(Reg::A7, iters);
+    let top = a.new_label();
+    a.bind(top);
+    for _ in 0..STEPS {
+        step(&mut a);
+    }
+    a.addi(Reg::A7, Reg::A7, -1);
+    a.bne(Reg::A7, Reg::ZERO, top);
+    a.halt();
+    a.finish().expect("calibration chain assembles")
+}
+
+/// Recovers per-step cycles by differencing an `ITERS`- and a
+/// `2*ITERS`-trip run of the same loop body.
+fn delta(cfg: &SimConfig, setup: Emit<'_>, step: Emit<'_>) -> f64 {
+    let (short, squashes_short) = run_cycles(&chain(ITERS, setup, step), cfg);
+    let (long, squashes_long) = run_cycles(&chain(2 * ITERS, setup, step), cfg);
+    // Predictor warm-up and the final-trip mispredict hit both runs in
+    // the same static places; anything else would skew the delta.
+    assert_eq!(
+        squashes_short, squashes_long,
+        "squash behaviour must match between the differenced runs"
+    );
+    (long - short) as f64 / (ITERS as usize * STEPS) as f64
+}
+
+/// Calibrates against the paper's Table 2 configuration.
+#[must_use]
+pub fn calibrate() -> CalibrationReport {
+    calibrate_with(&SimConfig::default())
+}
+
+/// Calibrates against an arbitrary configuration's latency table.
+#[must_use]
+pub fn calibrate_with(cfg: &SimConfig) -> CalibrationReport {
+    let lat = cfg.lat;
+    let mut ops = Vec::new();
+    let mut push = |name, probe, expected: u64, pin, measured: f64| {
+        ops.push(OpMeasurement {
+            name,
+            probe,
+            expected: expected as f64,
+            measured,
+            pin,
+        });
+    };
+
+    // Dependent chains: each op reads the previous op's destination, so
+    // the recovered delta is the full producer-to-consumer latency.
+    let dep: [(&'static str, u64, Emit<'_>, Emit<'_>); 7] = [
+        (
+            "int_alu",
+            lat.int_alu,
+            &|a| {
+                a.li(Reg::T0, 0);
+                a.li(Reg::T1, 1);
+            },
+            &|a| a.add(Reg::T0, Reg::T0, Reg::T1),
+        ),
+        (
+            "int_mul",
+            lat.int_mul,
+            &|a| {
+                a.li(Reg::T0, 1);
+                a.li(Reg::T1, 1);
+            },
+            &|a| a.mul(Reg::T0, Reg::T0, Reg::T1),
+        ),
+        (
+            "int_div",
+            lat.int_div,
+            &|a| {
+                a.li(Reg::T0, 1 << 30);
+                a.li(Reg::T1, 1);
+            },
+            &|a| a.div(Reg::T0, Reg::T0, Reg::T1),
+        ),
+        (
+            "fp_alu",
+            lat.fp_alu,
+            &|a| {
+                a.fli_d(FReg::FT0, 0.0);
+                a.fli_d(FReg::FT1, 1.0);
+            },
+            &|a| a.fadd_d(FReg::FT0, FReg::FT0, FReg::FT1),
+        ),
+        (
+            "fp_mul",
+            lat.fp_mul,
+            &|a| {
+                a.fli_d(FReg::FT0, 1.0);
+                a.fli_d(FReg::FT1, 1.0);
+            },
+            &|a| a.fmul_d(FReg::FT0, FReg::FT0, FReg::FT1),
+        ),
+        (
+            "fp_div",
+            lat.fp_div,
+            &|a| {
+                a.fli_d(FReg::FT0, 1.0);
+                a.fli_d(FReg::FT1, 1.0);
+            },
+            &|a| a.fdiv_d(FReg::FT0, FReg::FT0, FReg::FT1),
+        ),
+        ("fp_sqrt", lat.fp_sqrt, &|a| a.fli_d(FReg::FT0, 1.0), &|a| {
+            a.fsqrt_d(FReg::FT0, FReg::FT0)
+        }),
+    ];
+    for (name, expected, setup, step) in dep {
+        push(
+            name,
+            Probe::Latency,
+            expected,
+            Pin::Exact(expected as f64),
+            delta(cfg, setup, step),
+        );
+    }
+
+    // Store-to-load forwarding. The loaded value feeds the next store's
+    // data, so each iteration is one forwarding hop through the store
+    // queue. A naive `sd; ld` pair will not do: the load's address
+    // register is loop-invariant, so the load issues speculatively
+    // before the store's data resolves, reads stale memory, and the
+    // store's memory-ordering check squashes it — poisoning the
+    // differencing. Routing the load's address through two ALU ops that
+    // depend on the store's data delays the load until the store has
+    // issued, so every load forwards cleanly. The two address-
+    // generation ALU hops are then subtracted from the recovered delta,
+    // leaving exactly the forwarding latency.
+    push(
+        "forward",
+        Probe::Latency,
+        lat.forward,
+        Pin::Exact(lat.forward as f64),
+        delta(
+            cfg,
+            &|a| {
+                a.li(Reg::A0, 0x9000);
+                a.li(Reg::T0, 1);
+            },
+            &|a| {
+                a.sd(Reg::T0, Reg::A0, 0);
+                a.andi(Reg::T1, Reg::T0, 0);
+                a.add(Reg::A1, Reg::T1, Reg::A0);
+                a.ld(Reg::T0, Reg::A1, 0);
+            },
+        ) - 2.0 * lat.int_alu as f64,
+    );
+
+    // Independent chains: distinct destination registers, shared
+    // read-only sources. Unpipelined units serialise on the busy unit
+    // (interval == latency); pipelined units must sustain at least one
+    // op per cycle.
+    let indep: [(&'static str, u64, Pin, Emit<'_>, Emit<'_>); 4] = [
+        (
+            "int_mul",
+            1,
+            Pin::AtMost(1.0),
+            &|a| {
+                a.li(Reg::T0, 1);
+                a.li(Reg::T1, 1);
+            },
+            &|a| {
+                a.mul(Reg::T2, Reg::T0, Reg::T1);
+                a.mul(Reg::T3, Reg::T0, Reg::T1);
+            },
+        ),
+        (
+            "int_div",
+            lat.int_div,
+            Pin::Exact(lat.int_div as f64),
+            &|a| {
+                a.li(Reg::T0, 1 << 30);
+                a.li(Reg::T1, 3);
+            },
+            &|a| {
+                a.div(Reg::T2, Reg::T0, Reg::T1);
+                a.div(Reg::T3, Reg::T0, Reg::T1);
+            },
+        ),
+        (
+            "fp_div",
+            lat.fp_div,
+            Pin::Exact(lat.fp_div as f64),
+            &|a| {
+                a.fli_d(FReg::FT0, 1.0);
+                a.fli_d(FReg::FT1, 3.0);
+            },
+            &|a| {
+                a.fdiv_d(FReg::FT2, FReg::FT0, FReg::FT1);
+                a.fdiv_d(FReg::FT3, FReg::FT0, FReg::FT1);
+            },
+        ),
+        (
+            "fp_sqrt",
+            lat.fp_sqrt,
+            Pin::Exact(lat.fp_sqrt as f64),
+            &|a| a.fli_d(FReg::FT0, 2.0),
+            &|a| {
+                a.fsqrt_d(FReg::FT2, FReg::FT0);
+                a.fsqrt_d(FReg::FT3, FReg::FT0);
+            },
+        ),
+    ];
+    for (name, expected, pin, setup, step) in indep {
+        // Each step emits two ops, so halve the recovered delta.
+        push(
+            name,
+            Probe::Interval,
+            expected,
+            pin,
+            delta(cfg, setup, step) / 2.0,
+        );
+    }
+
+    CalibrationReport { ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_in_calibration() {
+        let report = calibrate();
+        assert!(
+            report.passed(),
+            "latency drift against the pinned table:\n{}",
+            report.render_table()
+        );
+        // Every Table 2 unit is covered by a latency probe.
+        for name in [
+            "int_alu", "int_mul", "int_div", "fp_alu", "fp_mul", "fp_div", "fp_sqrt", "forward",
+        ] {
+            assert!(
+                report
+                    .ops
+                    .iter()
+                    .any(|op| op.name == name && op.probe == Probe::Latency),
+                "missing latency probe for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_tracks_the_configured_latencies() {
+        // The harness must measure, not echo: change the table and the
+        // measured values must follow it.
+        let mut cfg = SimConfig::default();
+        cfg.lat.int_div = 23;
+        cfg.lat.fp_sqrt = 31;
+        cfg.lat.forward = 4;
+        let report = calibrate_with(&cfg);
+        assert!(
+            report.passed(),
+            "perturbed config fails to calibrate:\n{}",
+            report.render_table()
+        );
+        let measured = |name: &str, probe: Probe| {
+            report
+                .ops
+                .iter()
+                .find(|op| op.name == name && op.probe == probe)
+                .unwrap()
+                .measured
+        };
+        assert_eq!(measured("int_div", Probe::Latency), 23.0);
+        assert_eq!(measured("fp_sqrt", Probe::Latency), 31.0);
+        assert_eq!(measured("forward", Probe::Latency), 4.0);
+        assert_eq!(measured("int_div", Probe::Interval), 23.0);
+    }
+
+    #[test]
+    fn drift_is_detected() {
+        // A report calibrated against one table must fail another.
+        let mut cfg = SimConfig::default();
+        cfg.lat.int_mul += 1;
+        let report = calibrate_with(&cfg);
+        let drifted = report
+            .ops
+            .iter()
+            .find(|op| op.name == "int_mul" && op.probe == Probe::Latency)
+            .unwrap();
+        assert_eq!(drifted.measured, cfg.lat.int_mul as f64);
+        assert_ne!(drifted.measured, SimConfig::default().lat.int_mul as f64);
+    }
+
+    #[test]
+    fn json_artifact_has_the_schema_and_verdict() {
+        let report = calibrate();
+        let doc = report.to_json();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str().unwrap(),
+            CALIBRATION_SCHEMA
+        );
+        assert!(matches!(doc.get("passed"), Some(Json::Bool(true))));
+        let rendered = doc.render_pretty();
+        assert!(rendered.contains("\"passed\": true"));
+        assert!(!rendered.contains("NaN"));
+    }
+}

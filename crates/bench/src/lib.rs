@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod throughput;
 
 use std::collections::HashMap;

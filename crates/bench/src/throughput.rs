@@ -67,6 +67,12 @@ pub struct WorkloadThroughput {
     /// Best wall time of the profiled configuration replaying the
     /// captured trace instead of interpreting live.
     pub replay_wall: f64,
+    /// Resident heap bytes of the compressed captured trace (what a
+    /// trace-cache entry for this workload costs).
+    pub trace_resident_bytes: u64,
+    /// Bytes the same stream occupied in the uncompressed
+    /// structure-of-arrays layout (21 B per captured instruction).
+    pub trace_uncompressed_bytes: u64,
 }
 
 impl WorkloadThroughput {
@@ -101,6 +107,23 @@ fn rate(n: f64, secs: f64) -> f64 {
         n / secs
     } else {
         0.0
+    }
+}
+
+/// `num / den` as a JSON value, guarded against degenerate
+/// denominators: a zero, negative, or non-finite denominator — and any
+/// non-finite quotient — yields [`Json::Null`] instead of a `NaN`/`inf`
+/// smuggled through [`Json::Num`]. Keeps every ratio field in
+/// `BENCH_sim_throughput.json` either a finite number or `null`.
+fn json_ratio(num: f64, den: f64) -> Json {
+    if !(den.is_finite() && den > 0.0) {
+        return Json::Null;
+    }
+    let r = num / den;
+    if r.is_finite() {
+        Json::Num(r)
+    } else {
+        Json::Null
     }
 }
 
@@ -139,14 +162,19 @@ pub struct MatrixThroughput {
 
 impl MatrixThroughput {
     /// Whole-suite speedup of the warm trace cache over per-cell live
-    /// interpretation.
+    /// interpretation. Returns 0.0 when the replay wall time is zero or
+    /// non-finite (a degraded measurement, e.g. a sub-resolution
+    /// timer); the JSON artifact reports such a measurement as `null`
+    /// rather than a number (see [`MatrixThroughput::to_json`]).
     #[must_use]
     pub fn warm_speedup(&self) -> f64 {
-        if self.replay_wall > 0.0 {
-            self.interpret_wall / self.replay_wall
-        } else {
-            0.0
+        if self.replay_wall.is_finite() && self.replay_wall > 0.0 {
+            let r = self.interpret_wall / self.replay_wall;
+            if r.is_finite() {
+                return r;
+            }
         }
+        0.0
     }
 
     /// The measurement as the artifact's `matrix` object.
@@ -157,7 +185,10 @@ impl MatrixThroughput {
             ("cells", Json::UInt(self.cells)),
             ("interpret_wall_seconds", Json::Num(self.interpret_wall)),
             ("replay_wall_seconds", Json::Num(self.replay_wall)),
-            ("warm_speedup", Json::Num(self.warm_speedup())),
+            (
+                "warm_speedup",
+                json_ratio(self.interpret_wall, self.replay_wall),
+            ),
         ])
     }
 }
@@ -204,6 +235,22 @@ impl ThroughputReport {
         rate(self.total_cycles() as f64, wall)
     }
 
+    /// Total resident bytes of all compressed captured traces — the
+    /// trace-cache footprint of running the whole suite warm.
+    #[must_use]
+    pub fn total_trace_resident_bytes(&self) -> u64 {
+        self.workloads.iter().map(|w| w.trace_resident_bytes).sum()
+    }
+
+    /// Total bytes the same traces occupied uncompressed.
+    #[must_use]
+    pub fn total_trace_uncompressed_bytes(&self) -> u64 {
+        self.workloads
+            .iter()
+            .map(|w| w.trace_uncompressed_bytes)
+            .sum()
+    }
+
     /// The aggregate measurement as a JSON object (the shape of the
     /// artifact's `before` / `after` fields).
     #[must_use]
@@ -224,7 +271,21 @@ impl ThroughputReport {
                 Json::Num(self.replay_cycles_per_second()),
             ),
             ("samples_per_second", Json::Num(self.samples_per_second())),
-            ("matrix_warm_speedup", Json::Num(self.matrix.warm_speedup())),
+            (
+                "matrix_warm_speedup",
+                json_ratio(self.matrix.interpret_wall, self.matrix.replay_wall),
+            ),
+            (
+                "trace_resident_bytes",
+                Json::UInt(self.total_trace_resident_bytes()),
+            ),
+            (
+                "trace_compression",
+                json_ratio(
+                    self.total_trace_uncompressed_bytes() as f64,
+                    self.total_trace_resident_bytes() as f64,
+                ),
+            ),
         ])
     }
 
@@ -254,6 +315,11 @@ impl ThroughputReport {
                         ),
                         ("capture_wall_seconds", Json::Num(w.capture_wall)),
                         ("samples_per_second", Json::Num(w.samples_per_second())),
+                        ("trace_resident_bytes", Json::UInt(w.trace_resident_bytes)),
+                        (
+                            "trace_uncompressed_bytes",
+                            Json::UInt(w.trace_uncompressed_bytes),
+                        ),
                     ])
                 })
                 .collect(),
@@ -315,6 +381,17 @@ impl Observer for ProfiledObservers {
         self.ibs.on_retire(retired);
         self.spe.on_retire(retired);
         self.ris.on_retire(retired);
+    }
+
+    fn on_commit_batch(&mut self, batch: &[RetiredInst]) {
+        // Forward the whole commit group so each member's batched
+        // override (and its hoisted per-batch probes) stays active.
+        self.golden.on_commit_batch(batch);
+        self.tea.on_commit_batch(batch);
+        self.nci.on_commit_batch(batch);
+        self.ibs.on_commit_batch(batch);
+        self.spe.on_commit_batch(batch);
+        self.ris.on_commit_batch(batch);
     }
 
     fn on_squash(&mut self, from_seq: u64) {
@@ -420,6 +497,8 @@ pub fn measure_workload(w: &Workload, interval: u64, seed: u64, iters: u32) -> W
         profiled_wall,
         capture_wall,
         replay_wall,
+        trace_resident_bytes: trace.resident_bytes() as u64,
+        trace_uncompressed_bytes: trace.uncompressed_bytes() as u64,
     }
 }
 
@@ -504,13 +583,11 @@ pub fn render_artifact(report: &ThroughputReport, before: Option<Json>) -> Json 
     let after = report.summary_json();
     let before = before.unwrap_or_else(|| after.clone());
     let ratio = |key: &str| {
+        // A missing, zero, or (from a hand-edited or corrupted
+        // baseline) non-finite field yields `null`, never NaN/inf.
         let b = before.get(key).and_then(Json::as_f64).unwrap_or(0.0);
         let a = after.get(key).and_then(Json::as_f64).unwrap_or(0.0);
-        if b > 0.0 {
-            Json::Num(a / b)
-        } else {
-            Json::Null
-        }
+        json_ratio(a, b)
     };
     let speedup = Json::obj(vec![
         ("sim_cycles_per_second", ratio("sim_cycles_per_second")),
@@ -590,6 +667,89 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_denominators_emit_null_not_nan() {
+        // A zero or sub-resolution replay wall must not smuggle
+        // NaN/inf into the artifact through Json::Num.
+        let m = MatrixThroughput {
+            cells_per_workload: 4,
+            cells: 0,
+            interpret_wall: 1.5,
+            replay_wall: 0.0,
+        };
+        assert_eq!(m.warm_speedup(), 0.0);
+        let doc = m.to_json();
+        assert_eq!(doc.get("warm_speedup"), Some(&Json::Null));
+
+        // Both walls zero (nothing measured): still null, not 0/0 NaN.
+        let z = MatrixThroughput {
+            interpret_wall: 0.0,
+            ..m
+        };
+        assert_eq!(z.warm_speedup(), 0.0);
+        assert_eq!(z.to_json().get("warm_speedup"), Some(&Json::Null));
+
+        assert_eq!(json_ratio(1.0, 0.0), Json::Null);
+        assert_eq!(json_ratio(0.0, 0.0), Json::Null);
+        assert_eq!(json_ratio(1.0, f64::NAN), Json::Null);
+        assert_eq!(json_ratio(f64::NAN, 1.0), Json::Null);
+        assert_eq!(json_ratio(1.0, -2.0), Json::Null);
+        assert_eq!(json_ratio(3.0, 2.0), Json::Num(1.5));
+    }
+
+    #[test]
+    fn corrupt_baseline_fields_yield_null_speedups() {
+        let r = tiny_report();
+        // A baseline with zero, missing and NaN rate fields: every
+        // affected speedup must come out null, and the rendered text
+        // must stay valid JSON with no NaN/inf anywhere.
+        let bad = Json::obj(vec![
+            ("cycles", Json::UInt(0)),
+            ("sim_cycles_per_second", Json::Num(0.0)),
+            ("profiled_cycles_per_second", Json::Num(f64::NAN)),
+            // replay_cycles_per_second absent entirely.
+            ("samples_per_second", Json::Null),
+        ]);
+        let doc = render_artifact(&r, Some(bad));
+        let s = doc.get("speedup").unwrap();
+        for key in [
+            "sim_cycles_per_second",
+            "profiled_cycles_per_second",
+            "replay_cycles_per_second",
+            "samples_per_second",
+        ] {
+            assert_eq!(s.get(key), Some(&Json::Null), "{key} must be null");
+        }
+        let text = doc.render_pretty();
+        tea_exp::json::validate(&text).expect("artifact stays well-formed");
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+    }
+
+    #[test]
+    fn artifact_reports_trace_compression() {
+        let r = tiny_report();
+        assert!(r.total_trace_resident_bytes() > 0);
+        assert!(
+            r.total_trace_uncompressed_bytes() >= 3 * r.total_trace_resident_bytes(),
+            "suite trace compression below 3x: {} -> {}",
+            r.total_trace_uncompressed_bytes(),
+            r.total_trace_resident_bytes()
+        );
+        let doc = render_artifact(&r, None);
+        let after = doc.get("after").unwrap();
+        assert!(after.get("trace_resident_bytes").is_some());
+        let c = after
+            .get("trace_compression")
+            .and_then(Json::as_f64)
+            .expect("compression ratio present and numeric");
+        assert!(c >= 3.0, "compression ratio {c}");
+        let Json::Arr(rows) = doc.get("per_workload").unwrap() else {
+            panic!("per_workload must be an array");
+        };
+        assert!(rows[0].get("trace_resident_bytes").is_some());
+        assert!(rows[0].get("trace_uncompressed_bytes").is_some());
     }
 
     #[test]

@@ -194,6 +194,44 @@ impl GoldenReference {
         }
     }
 
+    /// Settles one retirement against the delayed-attribution state:
+    /// pending weight, the open stall run, and banked stall durations.
+    /// Shared verbatim by [`Observer::on_retire`] and the batched
+    /// [`Observer::on_commit_batch`] so the two delivery paths stay
+    /// bit-identical.
+    #[inline]
+    fn settle_retirement(&mut self, r: &RetiredInst) {
+        if self.pending_hot.is_some_and(|(seq, _)| seq == r.seq) {
+            self.flush_pending_hot();
+        }
+        // Compute-dominated stretches leave both maps empty; skip the
+        // probes entirely on that hot path.
+        if !self.pending.is_empty() {
+            if let Some(cycles) = self.pending.remove(&r.seq) {
+                self.pics.add(r.addr, r.psv, cycles);
+            }
+        }
+        // Close an open stall run on the retiring instruction.
+        if let Some((seq, n)) = self.stall_run {
+            if seq == r.seq {
+                self.stall_by_seq.insert(seq, n);
+                self.stall_run = None;
+            }
+        }
+        if self.stall_by_seq.is_empty() {
+            return;
+        }
+        if let Some(n) = self.stall_by_seq.remove(&r.seq) {
+            if r.psv.is_empty() {
+                // Record the stall *beyond* the instruction's own
+                // execution latency: per Section 3, events need only
+                // explain stalls that execution latencies and
+                // dependencies cannot.
+                self.eventless_stalls.push(n.saturating_sub(r.exec_latency));
+            }
+        }
+    }
+
     /// The `q`-quantile (0.0–1.0) of commit-stall durations among
     /// retired instructions with an empty PSV — the paper reports the
     /// 99th percentile as 5.8 cycles.
@@ -301,34 +339,28 @@ impl Observer for GoldenReference {
 
     fn on_retire(&mut self, r: &RetiredInst) {
         self.event_counts.record(r.addr, r.psv);
-        if self.pending_hot.is_some_and(|(seq, _)| seq == r.seq) {
-            self.flush_pending_hot();
+        self.settle_retirement(r);
+    }
+
+    fn on_commit_batch(&mut self, batch: &[RetiredInst]) {
+        // The event-count fold touches state disjoint from settlement,
+        // and u64 addition commutes, so folding the whole group first
+        // leaves the final counts identical to interleaved delivery.
+        for r in batch {
+            self.event_counts.record(r.addr, r.psv);
         }
-        // Compute-dominated stretches leave both maps empty; skip the
-        // probes entirely on that hot path.
-        if !self.pending.is_empty() {
-            if let Some(cycles) = self.pending.remove(&r.seq) {
-                self.pics.add(r.addr, r.psv, cycles);
-            }
-        }
-        // Close an open stall run on the retiring instruction.
-        if let Some((seq, n)) = self.stall_run {
-            if seq == r.seq {
-                self.stall_by_seq.insert(seq, n);
-                self.stall_run = None;
-            }
-        }
-        if self.stall_by_seq.is_empty() {
+        // Compute-dominated stretches carry no delayed state at all;
+        // one probe then covers the whole commit group (settlement can
+        // only drain these structures, never refill them mid-batch).
+        if self.pending_hot.is_none()
+            && self.pending.is_empty()
+            && self.stall_run.is_none()
+            && self.stall_by_seq.is_empty()
+        {
             return;
         }
-        if let Some(n) = self.stall_by_seq.remove(&r.seq) {
-            if r.psv.is_empty() {
-                // Record the stall *beyond* the instruction's own
-                // execution latency: per Section 3, events need only
-                // explain stalls that execution latencies and
-                // dependencies cannot.
-                self.eventless_stalls.push(n.saturating_sub(r.exec_latency));
-            }
+        for r in batch {
+            self.settle_retirement(r);
         }
     }
 }

@@ -93,6 +93,19 @@ impl Observer for NciProfiler {
         }
     }
 
+    fn on_commit_batch(&mut self, batch: &[RetiredInst]) {
+        // One emptiness probe per commit group (removals only drain
+        // `pending` mid-batch, so this matches the per-inst probes).
+        if self.pending.is_empty() {
+            return;
+        }
+        for r in batch {
+            if let Some(w) = self.pending.remove(&r.seq) {
+                self.pics.add(r.addr, r.psv, w);
+            }
+        }
+    }
+
     fn on_squash(&mut self, from_seq: u64) {
         // Same re-keying as TeaProfiler (fold in seq order so f64
         // accumulation stays bit-reproducible).

@@ -147,6 +147,19 @@ impl Observer for TaggingProfiler {
             self.pics.add(r.addr, r.psv.masked(self.mask), w);
         }
     }
+
+    fn on_commit_batch(&mut self, batch: &[RetiredInst]) {
+        // One emptiness probe per commit group (removals only drain
+        // `pending` mid-batch, so this matches the per-inst probes).
+        if self.pending.is_empty() {
+            return;
+        }
+        for r in batch {
+            if let Some(w) = self.pending.remove(&r.seq) {
+                self.pics.add(r.addr, r.psv.masked(self.mask), w);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

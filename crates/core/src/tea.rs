@@ -123,6 +123,20 @@ impl Observer for TeaProfiler {
         }
     }
 
+    fn on_commit_batch(&mut self, batch: &[RetiredInst]) {
+        // One emptiness probe covers the whole commit group: removals
+        // can only drain `pending`, never refill it mid-batch, so the
+        // result is bit-identical to the per-instruction probes.
+        if self.pending.is_empty() {
+            return;
+        }
+        for r in batch {
+            if let Some(w) = self.pending.remove(&r.seq) {
+                self.pics.add(r.addr, r.psv, w);
+            }
+        }
+    }
+
     fn on_squash(&mut self, from_seq: u64) {
         // Delayed samples keyed at or beyond the squash point describe
         // cycles that really elapsed (Section 3: samples are

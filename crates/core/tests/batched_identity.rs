@@ -1,0 +1,135 @@
+//! Batched-vs-per-instruction retirement delivery bit-identity.
+//!
+//! The core delivers retirements as one `on_commit_batch` slice per
+//! observer per cycle; every profiler that overrides the batched hook
+//! must process the group exactly as the sequence of `on_retire` calls
+//! the default fallback produces. This test runs each profiler twice
+//! over real workloads — once natively (batched overrides active) and
+//! once behind a forwarding shim that erases the overrides so the
+//! trait-default per-instruction fallback runs — and requires every
+//! PICS slot and side statistic to come out bit-identical.
+
+use tea_core::golden::GoldenReference;
+use tea_core::nci::NciProfiler;
+use tea_core::pics::Pics;
+use tea_core::sampling::SampleTimer;
+use tea_core::tagging::TaggingProfiler;
+use tea_core::tea::TeaProfiler;
+use tea_sim::core::simulate;
+use tea_sim::psv::Psv;
+use tea_sim::trace::{CycleView, Observer, RetiredInst};
+use tea_sim::SimConfig;
+use tea_workloads::{all_workloads, Size, Workload};
+
+/// Forwards the four per-event hooks but *not* `on_commit_batch`, so
+/// the wrapped observer receives retirements through the trait-default
+/// per-instruction fallback regardless of its own batched override.
+struct PerInst<'a>(&'a mut dyn Observer);
+
+impl Observer for PerInst<'_> {
+    fn on_cycle(&mut self, view: &CycleView<'_>) {
+        self.0.on_cycle(view);
+    }
+    fn on_retire(&mut self, retired: &RetiredInst) {
+        self.0.on_retire(retired);
+    }
+    fn on_squash(&mut self, from_seq: u64) {
+        self.0.on_squash(from_seq);
+    }
+    fn on_finish(&mut self, total_cycles: u64) {
+        self.0.on_finish(total_cycles);
+    }
+}
+
+struct Profilers {
+    golden: GoldenReference,
+    tea: TeaProfiler,
+    nci: NciProfiler,
+    ibs: TaggingProfiler,
+    ris: TaggingProfiler,
+}
+
+impl Profilers {
+    fn new() -> Self {
+        Profilers {
+            golden: GoldenReference::new(),
+            tea: TeaProfiler::new(SampleTimer::with_jitter(512, 64, 42)),
+            nci: NciProfiler::new(SampleTimer::with_jitter(512, 64, 42)),
+            ibs: TaggingProfiler::ibs(SampleTimer::with_jitter(512, 64, 42)),
+            ris: TaggingProfiler::ris(SampleTimer::with_jitter(512, 64, 42)),
+        }
+    }
+}
+
+/// Every (addr, psv, cycles-bits) triple in deterministic order.
+fn entries_bits(pics: &Pics) -> Vec<(u64, Psv, u64)> {
+    let mut v: Vec<(u64, Psv, u64)> = pics
+        .iter()
+        .flat_map(|(a, s)| s.iter().map(move |(&p, &c)| (a, p, c.to_bits())))
+        .collect();
+    v.sort_by_key(|&(a, p, _)| (a, p));
+    v
+}
+
+#[test]
+fn batched_and_per_inst_delivery_are_bit_identical() {
+    for name in ["lbm", "mcf", "exchange2"] {
+        let w: Workload = all_workloads(Size::Test)
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("workload present in suite");
+
+        let mut batched = Profilers::new();
+        {
+            let mut obs: [&mut dyn Observer; 5] = [
+                &mut batched.golden,
+                &mut batched.tea,
+                &mut batched.nci,
+                &mut batched.ibs,
+                &mut batched.ris,
+            ];
+            simulate(&w.program, SimConfig::default(), &mut obs);
+        }
+
+        let mut fallback = Profilers::new();
+        {
+            let mut g = PerInst(&mut fallback.golden);
+            let mut t = PerInst(&mut fallback.tea);
+            let mut n = PerInst(&mut fallback.nci);
+            let mut i = PerInst(&mut fallback.ibs);
+            let mut r = PerInst(&mut fallback.ris);
+            let mut obs: [&mut dyn Observer; 5] = [&mut g, &mut t, &mut n, &mut i, &mut r];
+            simulate(&w.program, SimConfig::default(), &mut obs);
+        }
+
+        for (scheme, a, b) in [
+            ("golden", batched.golden.pics(), fallback.golden.pics()),
+            ("tea", batched.tea.pics(), fallback.tea.pics()),
+            ("nci", batched.nci.pics(), fallback.nci.pics()),
+            ("ibs", batched.ibs.pics(), fallback.ibs.pics()),
+            ("ris", batched.ris.pics(), fallback.ris.pics()),
+        ] {
+            assert_eq!(
+                entries_bits(a),
+                entries_bits(b),
+                "{scheme} PICS diverges between batched and per-inst delivery on {name}"
+            );
+        }
+
+        // Golden side statistics settle through the same batched path.
+        assert_eq!(
+            batched.golden.eventless_stalls(),
+            fallback.golden.eventless_stalls(),
+            "eventless stalls diverge on {name}"
+        );
+        assert_eq!(
+            batched.golden.total_cycles(),
+            fallback.golden.total_cycles()
+        );
+        assert_eq!(batched.golden.pending_cycles(), 0);
+        assert_eq!(
+            batched.tea.pending_samples(),
+            fallback.tea.pending_samples()
+        );
+    }
+}

@@ -43,7 +43,7 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use tea_core::golden::GoldenReference;
@@ -117,6 +117,15 @@ pub struct TraceCache {
     limit: u64,
     slots: Mutex<HashMap<u64, Slot>>,
     golden: Mutex<HashMap<(u64, u64), Arc<GoldenSlot>>>,
+    /// Exactly the bytes this cache has added to the global
+    /// `trace_cache.resident_bytes` gauge. `Drop` subtracts this
+    /// amount — not a recomputed sum over the slots — so the gauge
+    /// books balance by construction: it can never go negative, stays
+    /// correct if a captured trace outlives the cache through a shared
+    /// `Arc` (the cache releases its *accounting*, not the memory),
+    /// and tracks encoded sizes automatically since it mirrors what
+    /// [`TraceCache::capture`] measured when it published the trace.
+    gauge_contribution: AtomicU64,
 }
 
 impl TraceCache {
@@ -135,6 +144,7 @@ impl TraceCache {
             limit,
             slots: Mutex::new(HashMap::new()),
             golden: Mutex::new(HashMap::new()),
+            gauge_contribution: AtomicU64::new(0),
         }
     }
 
@@ -180,8 +190,10 @@ impl TraceCache {
         match CapturedTrace::capture(program, self.limit) {
             Some(trace) => {
                 m.counter("trace_cache.builds").inc();
-                m.gauge("trace_cache.resident_bytes")
-                    .add(trace.resident_bytes() as i64);
+                let resident = trace.resident_bytes() as u64;
+                self.gauge_contribution
+                    .fetch_add(resident, Ordering::Relaxed);
+                m.gauge("trace_cache.resident_bytes").add(resident as i64);
                 tea_obs::debug(
                     CACHE_TARGET,
                     "trace captured",
@@ -267,22 +279,18 @@ impl TraceCache {
 
 impl Drop for TraceCache {
     fn drop(&mut self) {
-        let resident = self
-            .slots
-            .get_mut()
-            .map(|slots| {
-                slots
-                    .values()
-                    .filter_map(|s| s.get())
-                    .flatten()
-                    .map(|t| t.resident_bytes())
-                    .sum::<usize>()
-            })
-            .unwrap_or(0);
-        if resident > 0 {
+        // Subtract exactly what this cache added — never a recomputed
+        // sum, which could disagree with the additions (and drive the
+        // gauge negative) if the slot map were disturbed or a trace's
+        // size accounting changed between capture and drop. Shared
+        // `Arc`s keeping traces alive past this point are fine: the
+        // gauge tracks cache-accounted bytes, and this cache's account
+        // closes here.
+        let contributed = *self.gauge_contribution.get_mut();
+        if contributed > 0 {
             metrics()
                 .gauge("trace_cache.resident_bytes")
-                .add(-(resident as i64));
+                .add(-(contributed as i64));
         }
     }
 }
@@ -399,6 +407,43 @@ mod tests {
         // but cheapest to pin via the resident footprint staying zero).
         assert!(cache.checkout(&p).is_none());
         assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn dropping_the_cache_while_a_capture_is_held_balances_the_gauge() {
+        // Regression: `Drop` used to recompute the resident sum from the
+        // slots instead of subtracting what `capture` actually added.
+        // The two must stay in lock-step even when a checked-out
+        // `Arc<CapturedTrace>` outlives the cache — the cache releases
+        // its *accounting*, not the memory — and the gauge must land
+        // exactly back on its pre-cache level, never below it.
+        //
+        // The gauge is process-global and other tests in this binary
+        // build caches concurrently, so a correct implementation can
+        // still see transient interference between two reads; retry a
+        // few times. A wrong subtraction fails every attempt.
+        let gauge = metrics().gauge("trace_cache.resident_bytes");
+        let mut last = (0i64, 0i64, 0i64);
+        for _ in 0..8 {
+            let before = gauge.get();
+            let cache = TraceCache::new();
+            let held = cache
+                .checkout(&lbm::program(Size::Test))
+                .expect("lbm halts");
+            let resident = held.resident_bytes() as i64;
+            assert!(resident > 0);
+            // The gauge accounts encoded bytes, not the flat layout.
+            assert!((resident as usize) < held.uncompressed_bytes());
+            let after_capture = gauge.get();
+            drop(cache);
+            let after_drop = gauge.get();
+            assert!(!held.is_empty(), "the Arc keeps the trace usable");
+            if after_capture == before + resident && after_drop == before {
+                return;
+            }
+            last = (before, after_capture, after_drop);
+        }
+        panic!("gauge never balanced across a cache lifetime: {last:?}");
     }
 
     #[test]

@@ -5,39 +5,40 @@
 //! sampling seed — so a workload simulated under many configurations
 //! can be interpreted **once** and replayed everywhere else.
 //! [`CapturedTrace::capture`] runs the interpreter to completion and
-//! stores the stream in a flat structure-of-arrays layout; replaying it
-//! is a bounds-checked array read per instruction instead of
-//! interpreter steps ([`CapturedTrace::get`]).
+//! stores the stream compressed; replaying decodes one block at a time
+//! into a per-core window so the hot path stays a bounds-checked array
+//! read per instruction.
 //!
-//! The layout keeps the hot arrays dense — no per-entry `Option`
-//! padding. `mem_addr` and the branch target are full-length plain
-//! arrays whose entries are meaningful only where a one-byte metadata
-//! word says so; reconstructing a [`DynInst`] touches four parallel
-//! arrays and no pointers. The pc and decoded instruction are *not*
-//! stored: both are functions of the static instruction index
-//! ([`Program::addr_of`], [`Program::insts`]), so the trace carries
-//! only the 4-byte index and [`CapturedTrace::get`] takes the program
-//! it was captured from — 21 bytes per committed instruction instead
-//! of 53.
+//! The stream is stored in the block-wise delta/varint format of
+//! [`codec`]: static indices as deltas, data addresses through a
+//! stride predictor, branch targets as deltas, and the metadata byte
+//! run-length packed — typically 3–6× smaller than the previous flat
+//! 21 B-per-instruction structure-of-arrays layout. The pc and decoded
+//! instruction are still *not* stored: both are functions of the
+//! static instruction index ([`Program::addr_of`], [`Program::insts`]),
+//! so decode takes the program the trace was captured from.
+
+pub mod codec;
 
 use crate::error::IsaError;
 use crate::interp::{BranchOutcome, DynInst, Machine};
 use crate::program::Program;
 
-/// Metadata bit: the instruction carries a resolved data address.
-const META_MEM: u8 = 0b001;
-/// Metadata bit: the instruction is a control instruction.
-const META_BRANCH: u8 = 0b010;
-/// Metadata bit: the control instruction was taken.
-const META_TAKEN: u8 = 0b100;
+use codec::{Columns, BLOCK_LEN, META_BRANCH, META_MEM, META_TAKEN};
 
 /// The default capture ceiling: programs committing more instructions
 /// than this (in particular, programs that never halt) are not
 /// captured; callers fall back to live interpretation.
+///
+/// The boundary is inclusive: a program that halts having committed
+/// *exactly* this many instructions is still captured — only the
+/// (limit+1)-th commit classifies the program as divergent
+/// (`capture_at_exactly_the_limit_is_not_divergent` pins this).
 pub const DEFAULT_CAPTURE_LIMIT: u64 = 1 << 25;
 
-/// The full correct-path dynamic stream of one program, stored as a
-/// structure of dense arrays indexed by sequence number.
+/// The full correct-path dynamic stream of one program, stored as
+/// self-contained compressed blocks of [`codec::BLOCK_LEN`]
+/// instructions.
 ///
 /// A trace is immutable once built, so it can be shared across threads
 /// (`Arc<CapturedTrace>`) and replayed concurrently by any number of
@@ -47,16 +48,13 @@ pub const DEFAULT_CAPTURE_LIMIT: u64 = 1 << 25;
 /// faults architecturally ends the trace with the same [`IsaError`].
 #[derive(Clone, Debug)]
 pub struct CapturedTrace {
-    /// Static instruction index of each committed instruction; the pc
-    /// and decoded [`crate::inst::Inst`] are reconstructed from the
-    /// program at replay time.
-    index: Box<[u32]>,
-    /// Resolved data address; meaningful only where [`META_MEM`] is set.
-    mem_addr: Box<[u64]>,
-    /// Branch/jump target; meaningful only where [`META_BRANCH`] is set.
-    branch_target: Box<[u64]>,
-    /// Per-entry [`META_MEM`] | [`META_BRANCH`] | [`META_TAKEN`] bits.
-    meta: Box<[u8]>,
+    /// Number of committed instructions in the stream.
+    len: u64,
+    /// Concatenated [`codec`] blocks.
+    bytes: Box<[u8]>,
+    /// Byte offset of each block within `bytes`; block `b` spans
+    /// `block_offsets[b]..block_offsets.get(b + 1).unwrap_or(bytes.len())`.
+    block_offsets: Box<[usize]>,
     /// The architectural fault that ended the stream, if any. `None`
     /// for a program that ran to `halt`.
     error: Option<IsaError>,
@@ -76,28 +74,29 @@ impl CapturedTrace {
     #[must_use]
     pub fn capture(program: &Program, limit: u64) -> Option<CapturedTrace> {
         let mut machine = Machine::new(program);
-        let mut index = Vec::new();
-        let mut mem_addr = Vec::new();
-        let mut branch_target = Vec::new();
-        let mut meta = Vec::new();
+        let mut committed = 0u64;
+        let mut pending = Columns::default();
+        let mut bytes = Vec::new();
+        let mut block_offsets = Vec::new();
         let mut error = None;
         loop {
             match machine.try_step() {
                 Ok(Some(d)) => {
-                    if index.len() as u64 >= limit {
+                    if committed >= limit {
                         return None;
                     }
+                    committed += 1;
                     debug_assert_eq!(d.pc, program.addr_of(d.index as usize));
-                    index.push(d.index);
+                    pending.index.push(d.index);
                     let mut m = 0u8;
-                    mem_addr.push(match d.mem_addr {
+                    pending.mem_addr.push(match d.mem_addr {
                         Some(a) => {
                             m |= META_MEM;
                             a
                         }
                         None => 0,
                     });
-                    branch_target.push(match d.branch {
+                    pending.branch_target.push(match d.branch {
                         Some(b) => {
                             m |= META_BRANCH;
                             if b.taken {
@@ -107,7 +106,12 @@ impl CapturedTrace {
                         }
                         None => 0,
                     });
-                    meta.push(m);
+                    pending.meta.push(m);
+                    if pending.len() == BLOCK_LEN {
+                        block_offsets.push(bytes.len());
+                        codec::encode_block(&pending, &mut bytes);
+                        pending.clear();
+                    }
                 }
                 Ok(None) => break,
                 Err(e) => {
@@ -116,11 +120,14 @@ impl CapturedTrace {
                 }
             }
         }
+        if !pending.is_empty() {
+            block_offsets.push(bytes.len());
+            codec::encode_block(&pending, &mut bytes);
+        }
         Some(CapturedTrace {
-            index: index.into_boxed_slice(),
-            mem_addr: mem_addr.into_boxed_slice(),
-            branch_target: branch_target.into_boxed_slice(),
-            meta: meta.into_boxed_slice(),
+            len: committed,
+            bytes: bytes.into_boxed_slice(),
+            block_offsets: block_offsets.into_boxed_slice(),
             error,
         })
     }
@@ -134,13 +141,13 @@ impl CapturedTrace {
     /// Number of committed instructions in the trace.
     #[must_use]
     pub fn len(&self) -> u64 {
-        self.index.len() as u64
+        self.len
     }
 
     /// Whether the trace holds no instructions.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len == 0
     }
 
     /// The architectural fault that ended the stream, if the program
@@ -150,39 +157,116 @@ impl CapturedTrace {
         self.error.as_ref()
     }
 
+    /// Number of compressed blocks in the trace.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.block_offsets.len()
+    }
+
+    /// Decodes block `block` (instructions
+    /// `block * BLOCK_LEN ..` up to the next block boundary or the end
+    /// of the stream) into `out` as fully reconstructed [`DynInst`]s,
+    /// returning the sequence number of the first decoded instruction.
+    ///
+    /// `out` is cleared first; allocations are kept, so a reused
+    /// buffer makes steady-state replay allocation-free. `program`
+    /// must be the program the trace was captured from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= self.num_blocks()`.
+    pub fn decode_block_into(
+        &self,
+        program: &Program,
+        block: usize,
+        out: &mut Vec<DynInst>,
+    ) -> u64 {
+        let base = block as u64 * BLOCK_LEN as u64;
+        let count = (self.len - base).min(BLOCK_LEN as u64) as usize;
+        let start = self.block_offsets[block];
+        let end = self
+            .block_offsets
+            .get(block + 1)
+            .copied()
+            .unwrap_or(self.bytes.len());
+        let mut cols = Columns::default();
+        codec::decode_block(&self.bytes[start..end], count, &mut cols);
+        out.clear();
+        out.reserve(count);
+        for i in 0..count {
+            out.push(Self::reconstruct(program, base + i as u64, &cols, i));
+        }
+        base
+    }
+
+    /// Rebuilds the [`DynInst`] at column position `i`.
+    #[inline]
+    fn reconstruct(program: &Program, seq: u64, cols: &Columns, i: usize) -> DynInst {
+        let index = cols.index[i];
+        let m = cols.meta[i];
+        DynInst {
+            seq,
+            pc: program.addr_of(index as usize),
+            index,
+            inst: program.insts()[index as usize],
+            mem_addr: (m & META_MEM != 0).then(|| cols.mem_addr[i]),
+            branch: (m & META_BRANCH != 0).then(|| BranchOutcome {
+                taken: m & META_TAKEN != 0,
+                target: cols.branch_target[i],
+            }),
+        }
+    }
+
     /// The committed instruction at sequence number `seq`, or `None`
     /// past the end of the stream.
     ///
     /// `program` must be the program the trace was captured from: the
     /// pc and decoded instruction are reconstructed from its static
     /// layout rather than stored per entry.
+    ///
+    /// This is the random-access slow path — it decodes the containing
+    /// block on every call. The simulator's replay stream instead
+    /// keeps a decoded block resident via
+    /// [`CapturedTrace::decode_block_into`].
     #[must_use]
-    #[inline]
     pub fn get(&self, program: &Program, seq: u64) -> Option<DynInst> {
-        let i = usize::try_from(seq).ok()?;
-        if i >= self.index.len() {
+        if seq >= self.len {
             return None;
         }
-        let index = self.index[i];
-        let m = self.meta[i];
-        Some(DynInst {
+        let block = (seq / BLOCK_LEN as u64) as usize;
+        let base = block as u64 * BLOCK_LEN as u64;
+        let count = (self.len - base).min(BLOCK_LEN as u64) as usize;
+        let start = self.block_offsets[block];
+        let end = self
+            .block_offsets
+            .get(block + 1)
+            .copied()
+            .unwrap_or(self.bytes.len());
+        let mut cols = Columns::default();
+        codec::decode_block(&self.bytes[start..end], count, &mut cols);
+        Some(Self::reconstruct(
+            program,
             seq,
-            pc: program.addr_of(index as usize),
-            index,
-            inst: program.insts()[index as usize],
-            mem_addr: (m & META_MEM != 0).then(|| self.mem_addr[i]),
-            branch: (m & META_BRANCH != 0).then(|| BranchOutcome {
-                taken: m & META_TAKEN != 0,
-                target: self.branch_target[i],
-            }),
-        })
+            &cols,
+            (seq - base) as usize,
+        ))
     }
 
-    /// Heap bytes held by the trace arrays (the resident cost of
-    /// keeping the trace cached).
+    /// Heap bytes held by the trace (the resident cost of keeping the
+    /// trace cached): the compressed blocks plus the block offset
+    /// table. Decode windows are owned by replaying cores, not the
+    /// trace, so they are not counted here.
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
-        self.index.len()
+        self.bytes.len() + self.block_offsets.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Heap bytes the same stream occupied in the uncompressed
+    /// structure-of-arrays layout (21 B per instruction): the baseline
+    /// for compression-ratio reporting.
+    #[must_use]
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.len as usize
             * (std::mem::size_of::<u64>() * 2
                 + std::mem::size_of::<u32>()
                 + std::mem::size_of::<u8>())
@@ -228,6 +312,40 @@ mod tests {
     }
 
     #[test]
+    fn capture_spanning_many_blocks_matches_live() {
+        // Enough iterations that the stream crosses several block
+        // boundaries, where every codec predictor resets.
+        let iters = (2 * BLOCK_LEN) as i64;
+        let p = looped_program(iters);
+        let trace = CapturedTrace::capture(&p, 1 << 20).expect("halts under limit");
+        assert!(trace.num_blocks() >= 2, "stream must span blocks");
+        let mut m = Machine::new(&p);
+        let mut buf = Vec::new();
+        let mut base = u64::MAX;
+        while let Some(live) = m.step() {
+            let block = (live.seq / BLOCK_LEN as u64) as usize;
+            if base != block as u64 * BLOCK_LEN as u64 {
+                base = trace.decode_block_into(&p, block, &mut buf);
+            }
+            assert_eq!(buf[(live.seq - base) as usize], live);
+        }
+    }
+
+    #[test]
+    fn compression_beats_the_flat_layout() {
+        let p = looped_program(5000);
+        let trace = CapturedTrace::capture(&p, 1 << 20).unwrap();
+        let ratio = trace.uncompressed_bytes() as f64 / trace.resident_bytes() as f64;
+        assert!(
+            ratio >= 4.0,
+            "expected >=4x compression on a loop, got {ratio:.2}x \
+             ({} -> {} bytes)",
+            trace.uncompressed_bytes(),
+            trace.resident_bytes()
+        );
+    }
+
+    #[test]
     fn capture_is_random_access() {
         let p = looped_program(10);
         let trace = CapturedTrace::capture(&p, 1 << 20).unwrap();
@@ -250,6 +368,27 @@ mod tests {
         a.halt();
         let p = a.finish().unwrap();
         assert!(CapturedTrace::capture(&p, 10_000).is_none());
+    }
+
+    #[test]
+    fn capture_at_exactly_the_limit_is_not_divergent() {
+        // A program halting with exactly `limit` committed
+        // instructions sits on the divergence boundary; it must be
+        // captured in full, not classified as divergent. Only the
+        // (limit+1)-th commit overflows.
+        let p = looped_program(10);
+        let full = CapturedTrace::capture(&p, 1 << 20).unwrap();
+        let n = full.len();
+
+        let at_limit = CapturedTrace::capture(&p, n).expect("exactly-at-limit must capture");
+        assert_eq!(at_limit.len(), n);
+        assert!(at_limit.error().is_none());
+        assert_eq!(at_limit.get(&p, n - 1).unwrap().inst, Inst::Halt);
+
+        assert!(
+            CapturedTrace::capture(&p, n - 1).is_none(),
+            "one under the commit count must overflow"
+        );
     }
 
     #[test]

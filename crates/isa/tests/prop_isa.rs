@@ -292,6 +292,135 @@ mod word_access {
     }
 }
 
+/// Round-trip properties of the compressed-trace codec: any valid
+/// column stream — arbitrary indices, full-range 64-bit addresses
+/// (NaN bit patterns included), every legal meta combination, runs,
+/// and block-boundary lengths — must decode back to itself exactly.
+mod codec_props {
+    use proptest::prelude::*;
+    use tea_isa::capture::codec::{
+        decode_block, encode_block, Columns, BLOCK_LEN, META_BRANCH, META_MEM, META_TAKEN,
+    };
+
+    /// The six legal meta values (TAKEN implies BRANCH).
+    const META_CHOICES: [u8; 6] = [
+        0,
+        META_MEM,
+        META_BRANCH,
+        META_BRANCH | META_TAKEN,
+        META_MEM | META_BRANCH,
+        META_MEM | META_BRANCH | META_TAKEN,
+    ];
+
+    /// Builds columns from generated entries, zeroing unflagged
+    /// payloads (the invariant the capture path maintains).
+    fn columns_from(entries: &[(u32, usize, u64, u64)]) -> Columns {
+        let mut cols = Columns::default();
+        for &(index, meta_sel, mem, branch) in entries {
+            let meta = META_CHOICES[meta_sel % META_CHOICES.len()];
+            cols.index.push(index);
+            cols.mem_addr
+                .push(if meta & META_MEM != 0 { mem } else { 0 });
+            cols.branch_target
+                .push(if meta & META_BRANCH != 0 { branch } else { 0 });
+            cols.meta.push(meta);
+        }
+        cols
+    }
+
+    /// Encodes a whole stream block-by-block and decodes it back,
+    /// exactly as `CapturedTrace` does.
+    fn stream_round_trip(cols: &Columns) -> Columns {
+        let mut bytes = Vec::new();
+        let mut offsets = Vec::new();
+        let mut i = 0;
+        while i < cols.len() {
+            let n = (cols.len() - i).min(BLOCK_LEN);
+            let block = Columns {
+                index: cols.index[i..i + n].to_vec(),
+                mem_addr: cols.mem_addr[i..i + n].to_vec(),
+                branch_target: cols.branch_target[i..i + n].to_vec(),
+                meta: cols.meta[i..i + n].to_vec(),
+            };
+            offsets.push(bytes.len());
+            encode_block(&block, &mut bytes);
+            i += n;
+        }
+        offsets.push(bytes.len());
+        let mut back = Columns::default();
+        let mut scratch = Columns::default();
+        for (b, w) in offsets.windows(2).enumerate() {
+            let count = (cols.len() - b * BLOCK_LEN).min(BLOCK_LEN);
+            decode_block(&bytes[w[0]..w[1]], count, &mut scratch);
+            back.index.extend_from_slice(&scratch.index);
+            back.mem_addr.extend_from_slice(&scratch.mem_addr);
+            back.branch_target.extend_from_slice(&scratch.branch_target);
+            back.meta.extend_from_slice(&scratch.meta);
+        }
+        back
+    }
+
+    proptest! {
+        /// Arbitrary short streams round-trip exactly. `any::<u64>()`
+        /// mixes extreme values (0, MAX) in, covering NaN-payload
+        /// addresses and wrap-around deltas.
+        #[test]
+        fn arbitrary_stream_round_trips(
+            entries in prop::collection::vec(
+                (any::<u32>(), 0usize..6, any::<u64>(), any::<u64>()),
+                0..500,
+            ),
+        ) {
+            let cols = columns_from(&entries);
+            prop_assert_eq!(stream_round_trip(&cols), cols);
+        }
+
+        /// Streams with long same-meta runs (the RLE sweet spot)
+        /// round-trip exactly.
+        #[test]
+        fn run_heavy_stream_round_trips(
+            runs in prop::collection::vec((0usize..6, 1usize..200), 1..20),
+            seed in any::<u64>(),
+        ) {
+            let mut entries = Vec::new();
+            for (i, &(sel, len)) in runs.iter().enumerate() {
+                for j in 0..len {
+                    let x = seed
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add((i * 1000 + j) as u64);
+                    entries.push((x as u32 % 512, sel, x, x.rotate_left(17)));
+                }
+            }
+            let cols = columns_from(&entries);
+            prop_assert_eq!(stream_round_trip(&cols), cols);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Streams whose length sits right at the block boundary —
+        /// one under, exact, one over — round-trip across the
+        /// per-block predictor resets.
+        #[test]
+        fn block_boundary_stream_round_trips(
+            extra in 0usize..4,
+            seed in any::<u64>(),
+        ) {
+            let n = BLOCK_LEN - 1 + extra; // spans BLOCK_LEN-1 ..= BLOCK_LEN+2
+            let mut entries = Vec::with_capacity(n);
+            for i in 0..n {
+                let x = seed
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(i as u64);
+                entries.push((x as u32, (x >> 32) as usize % 6, x, !x));
+            }
+            let cols = columns_from(&entries);
+            prop_assert_eq!(stream_round_trip(&cols), cols);
+        }
+    }
+}
+
 mod edge_cases {
     use tea_isa::asm::Asm;
     use tea_isa::reg::{FReg, Reg};

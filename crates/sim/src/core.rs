@@ -18,7 +18,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use tea_isa::capture::CapturedTrace;
+use tea_isa::capture::{codec, CapturedTrace};
 use tea_isa::interp::{DynInst, Machine};
 use tea_isa::program::Program;
 use tea_isa::{ExecClass, Inst, IsaError, Reg, RegRef};
@@ -219,6 +219,14 @@ enum StreamSource<'p> {
         /// pc and decoded instruction from the program's layout.
         program: &'p Program,
         trace: Arc<CapturedTrace>,
+        /// The decode window: one compressed block decoded into
+        /// reconstructed [`DynInst`]s. Owned per core (the shared
+        /// `Arc` trace stays immutable), refilled on block-crossing
+        /// misses; the hot path is a bounds-checked array read.
+        buf: Vec<DynInst>,
+        /// Sequence number of `buf[0]` (a multiple of the codec block
+        /// length).
+        base: u64,
     },
 }
 
@@ -246,7 +254,12 @@ impl<'p> Stream<'p> {
 
     fn replay(program: &'p Program, trace: Arc<CapturedTrace>) -> Self {
         Stream {
-            source: StreamSource::Replay { program, trace },
+            source: StreamSource::Replay {
+                program,
+                trace,
+                buf: Vec::new(),
+                base: 0,
+            },
             error: None,
         }
     }
@@ -269,12 +282,30 @@ impl<'p> Stream<'p> {
                 }
                 buf.get((seq - *base) as usize).copied()
             }
-            StreamSource::Replay { program, trace } => {
-                let d = trace.get(program, seq);
-                if d.is_none() && self.error.is_none() {
-                    self.error = trace.error().cloned();
+            StreamSource::Replay {
+                program,
+                trace,
+                buf,
+                base,
+            } => {
+                // Hot path: the seq lives in the current decode block.
+                if seq >= *base {
+                    if let Some(d) = buf.get((seq - *base) as usize) {
+                        return Some(*d);
+                    }
                 }
-                d
+                if seq >= trace.len() {
+                    if self.error.is_none() {
+                        self.error = trace.error().cloned();
+                    }
+                    return None;
+                }
+                // Miss: decode the containing block. Squash recovery
+                // can also rewind across a block boundary, so this
+                // moves the window backward as readily as forward.
+                let block = (seq / codec::BLOCK_LEN as u64) as usize;
+                *base = trace.decode_block_into(program, block, buf);
+                buf.get((seq - *base) as usize).copied()
             }
         }
     }
@@ -1288,10 +1319,12 @@ impl<'p> Core<'p> {
                 obs.on_cycle(&view);
             }
             if !self.retired_buf.is_empty() {
-                for retired in &self.retired_buf {
-                    for obs in observers.iter_mut() {
-                        obs.on_retire(retired);
-                    }
+                // Retirements flow as one slice per observer per cycle
+                // (observer-major). Observers are independent, so each
+                // still sees the exact per-instruction sequence the old
+                // retire-major loop delivered.
+                for obs in observers.iter_mut() {
+                    obs.on_commit_batch(&self.retired_buf);
                 }
             }
             // Probe before cloning: the clone of the (almost always

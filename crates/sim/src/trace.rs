@@ -108,6 +108,24 @@ pub trait Observer {
     /// Called once per retired instruction with its final PSV.
     fn on_retire(&mut self, retired: &RetiredInst);
 
+    /// Called once per cycle that retires instructions, with every
+    /// instruction retired that cycle, oldest first — delivered after
+    /// the cycle's [`Observer::on_cycle`].
+    ///
+    /// This is the batched form of [`Observer::on_retire`]: the
+    /// default implementation forwards each element to `on_retire` in
+    /// order, so per-instruction observers need no change. Observers
+    /// on the hot path override it to hoist per-batch invariant checks
+    /// (e.g. "is any delayed weight pending at all?") out of the
+    /// per-instruction loop; an override must process the batch
+    /// exactly as the sequence of `on_retire` calls would, so batched
+    /// and per-instruction delivery stay bit-identical.
+    fn on_commit_batch(&mut self, batch: &[RetiredInst]) {
+        for retired in batch {
+            self.on_retire(retired);
+        }
+    }
+
     /// Called when the pipeline squashes every in-flight instruction
     /// with `seq >= from_seq` (mispredict recovery, commit-time flush,
     /// memory-order violation, sampling or external interrupt).

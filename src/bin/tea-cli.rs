@@ -525,6 +525,26 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Measures every functional-unit latency and initiation interval with
+/// dependent/independent instruction chains and compares them against
+/// the pinned Table 2 configuration. Exits non-zero on any drift so CI
+/// catches a silently changed latency table or issue-path regression.
+fn cmd_calibrate(args: &Args) -> Result<(), String> {
+    let report = tea_bench::calibration::calibrate();
+    print!("{}", report.render_table());
+    if let Some(path) = &args.json {
+        std::fs::write(path, report.to_json().render_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("calibration artifact: {path}");
+    }
+    if report.passed() {
+        println!("calibration ok: every unit matches the pinned latency table");
+        Ok(())
+    } else {
+        Err("latency calibration drift detected; see table above".to_string())
+    }
+}
+
 fn cmd_record(args: &Args) -> Result<(), String> {
     let name = args
         .positional
@@ -779,6 +799,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&args),
         "suite" => cmd_suite(&args),
         "bench" => cmd_bench(&args),
+        "calibrate" => cmd_calibrate(&args),
         "record" => cmd_record(&args),
         "casestudy" => cmd_casestudy(&args),
         "functions" => cmd_functions(&args),
@@ -797,6 +818,7 @@ fn main() -> ExitCode {
                  \u{20}             [--inject-panic <workload>] [--inject-diverge <workload>]\n  \
                  tea-cli bench [workload...] [--size test|ref] [--interval N] [--iters N]\n  \
                  \u{20}             [--json out.json] [--set-baseline]\n  \
+                 tea-cli calibrate [--json out.json]\n  \
                  tea-cli record <workload> <out.teas> [--size test|ref] [--interval N]\n  \
                  tea-cli report <in.teas> <workload> [--top N]\n  \
                  tea-cli casestudy <lbm|nab> [--size test|ref]\n  \
