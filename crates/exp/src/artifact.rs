@@ -68,11 +68,18 @@ pub struct CellSummary {
 ///
 /// # Errors
 ///
-/// Returns [`ExpError::Journal`] describing the first problem: invalid
-/// JSON, an unknown schema tag, or a cell missing required fields.
+/// Failures are typed so callers (the chaos invariant check,
+/// [`crate::Engine::resume`] tooling) can tell the two damage classes
+/// apart: [`ExpError::ArtifactTorn`] when the text is not valid JSON —
+/// the signature of a truncated or interrupted write — and
+/// [`ExpError::ArtifactSchema`] when the JSON is intact but the schema
+/// tag is missing/unknown or a cell lacks required fields (a complete
+/// write from a different producer or version).
 pub fn read_artifact(text: &str) -> Result<RunSummary, ExpError> {
-    let bad = |reason: String| ExpError::Journal { reason };
-    let doc = json::parse(text).map_err(|e| bad(format!("artifact is not valid JSON: {e}")))?;
+    let bad = |reason: String| ExpError::ArtifactSchema { reason };
+    let doc = json::parse(text).map_err(|e| ExpError::ArtifactTorn {
+        reason: format!("artifact is not valid JSON: {e}"),
+    })?;
     let schema = doc
         .get("schema")
         .and_then(Json::as_str)
@@ -196,5 +203,26 @@ mod tests {
         assert!(read_artifact(r#"{"name":"x","cells":[]}"#).is_err());
         let missing = r#"{"schema":"tea-experiment/v2","name":"x","cells":[{"workload":"a"}]}"#;
         assert!(read_artifact(missing).is_err());
+    }
+
+    #[test]
+    fn torn_writes_and_schema_damage_are_told_apart() {
+        // A truncated copy of a valid artifact is not JSON: torn.
+        let whole = r#"{"schema":"tea-experiment/v2","name":"x","cells":[]}"#;
+        for cut in [1, whole.len() / 2, whole.len() - 1] {
+            let err = read_artifact(&whole[..cut]).expect_err("truncation must fail");
+            assert_eq!(err.kind(), "artifact-torn", "cut at {cut}: {err}");
+        }
+        // Intact JSON with the wrong shape: schema damage, not a torn
+        // write.
+        for text in [
+            r#"{"schema":"tea-experiment/v9","cells":[]}"#,
+            r#"{"name":"x","cells":[]}"#,
+            r#"{"schema":"tea-experiment/v2","name":"x","cells":[{"workload":"a"}]}"#,
+        ] {
+            let err = read_artifact(text).expect_err("schema damage must fail");
+            assert_eq!(err.kind(), "artifact-schema", "{err}");
+        }
+        assert!(read_artifact(whole).is_ok());
     }
 }

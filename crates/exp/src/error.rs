@@ -41,6 +41,24 @@ pub enum ExpError {
         /// What went wrong.
         reason: String,
     },
+    /// An artifact file was truncated or not JSON at all — the
+    /// signature of a torn write (crash mid-write, partial copy).
+    /// The atomic temp-file+rename protocol makes this impossible for
+    /// artifacts written by this engine, so seeing it means the file
+    /// was damaged after the fact.
+    ArtifactTorn {
+        /// What went wrong.
+        reason: String,
+    },
+    /// An artifact file parsed as JSON but violated the
+    /// `tea-experiment` schema — wrong or missing schema tag, or
+    /// malformed cells. Unlike [`ExpError::ArtifactTorn`], the write
+    /// completed; the *contents* are from a different producer or
+    /// version.
+    ArtifactSchema {
+        /// What went wrong.
+        reason: String,
+    },
     /// The cell never ran: an earlier cell failed while the engine was
     /// in fail-fast mode. Resume re-runs skipped cells.
     Skipped,
@@ -57,6 +75,8 @@ impl ExpError {
             ExpError::Panic { .. } => "panic",
             ExpError::Injected { .. } => "injected",
             ExpError::Journal { .. } => "journal",
+            ExpError::ArtifactTorn { .. } => "artifact-torn",
+            ExpError::ArtifactSchema { .. } => "artifact-schema",
             ExpError::Skipped => "skipped",
         }
     }
@@ -64,7 +84,11 @@ impl ExpError {
     /// Whether retrying the cell could plausibly change the outcome.
     /// Deterministic failures (bad config, architectural faults, cycle
     /// budgets) are final; panics and injected faults may be transient
-    /// (a poisoned lock, an injected flake).
+    /// (a poisoned lock, an injected flake). Replay-trace integrity
+    /// failures arrive as [`ExpError::Sim`] and are likewise permanent:
+    /// re-decoding the same bytes cannot succeed, so the engine falls
+    /// back to live interpretation *within* the attempt instead of
+    /// burning retries.
     #[must_use]
     pub fn is_transient(&self) -> bool {
         matches!(self, ExpError::Panic { .. } | ExpError::Injected { .. })
@@ -84,6 +108,12 @@ impl fmt::Display for ExpError {
                 write!(f, "injected fault on attempt {attempt}")
             }
             ExpError::Journal { reason } => write!(f, "journal error: {reason}"),
+            ExpError::ArtifactTorn { reason } => {
+                write!(f, "artifact torn: {reason}")
+            }
+            ExpError::ArtifactSchema { reason } => {
+                write!(f, "artifact schema violation: {reason}")
+            }
             ExpError::Skipped => {
                 write!(
                     f,

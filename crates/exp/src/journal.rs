@@ -167,6 +167,33 @@ impl Journal {
         }
     }
 
+    /// Appends deliberately torn wreckage of `entry` — the first half
+    /// of its line — emulating a crash mid-append. Only the chaos
+    /// harness calls this; it exists to prove [`Journal::load`]'s
+    /// torn-line tolerance against real files, not just unit-test
+    /// strings. The split is byte-based (journal lines are ASCII JSON,
+    /// so no UTF-8 boundary concerns); the newline is kept so the tear
+    /// damages exactly one cell's record — the chaos run keeps
+    /// appending, unlike the real crash it emulates.
+    pub fn record_torn(&self, entry: &JournalEntry) {
+        let line = entry.to_line();
+        let torn = &line.as_bytes()[..line.len() / 2];
+        let mut file = match self.file.lock() {
+            Ok(f) => f,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Err(e) = write_torn(&mut file, torn) {
+            tea_obs::warn(
+                JOURNAL_TARGET,
+                "could not write torn journal line",
+                &[
+                    ("index", Value::from(entry.index)),
+                    ("error", Value::str(e.to_string())),
+                ],
+            );
+        }
+    }
+
     /// Loads the journal of run `name`: the surviving entry per index
     /// (last line wins). Unreadable or torn lines are recovered from by
     /// skipping them — a crash mid-append truncates at most the final
@@ -203,6 +230,13 @@ impl Journal {
         }
         entries
     }
+}
+
+/// The torn-record write body: fragment, newline, flush.
+fn write_torn(file: &mut File, torn: &[u8]) -> std::io::Result<()> {
+    file.write_all(torn)?;
+    file.write_all(b"\n")?;
+    file.flush()
 }
 
 /// An FNV-1a-64 fingerprint over everything that determines a cell's

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod chaos;
 pub mod error;
 pub mod journal;
 pub mod json;
@@ -65,15 +66,19 @@ use tea_core::tagging::TaggingProfiler;
 use tea_core::tea::TeaProfiler;
 use tea_core::tip::{TipProfile, TipProfiler};
 use tea_isa::program::Program;
+use tea_isa::CapturedTrace;
 use tea_obs::{Level, Value};
 use tea_sim::core::{Core, SimStats};
 use tea_sim::psv::CommitState;
 use tea_sim::trace::Observer;
-use tea_sim::SimConfig;
+use tea_sim::{SimConfig, SimError};
 use tea_workloads::Workload;
 
+pub use chaos::{ChaosInjector, ObserverFault};
 pub use error::ExpError;
 pub use trace_cache::TraceCache;
+
+use chaos::ChaosObserver;
 
 use trace_cache::GoldenCheckout;
 
@@ -412,6 +417,8 @@ pub struct Engine {
     cell_budget: Option<u64>,
     fail_fast: bool,
     trace_cache: bool,
+    trace_cache_budget: Option<u64>,
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 /// A unit of work handed to the pool: a spec to run, or an outcome
@@ -438,6 +445,8 @@ impl Engine {
             cell_budget: None,
             fail_fast: false,
             trace_cache: true,
+            trace_cache_budget: None,
+            chaos: None,
         }
     }
 
@@ -514,6 +523,38 @@ impl Engine {
     #[must_use]
     pub fn trace_cache(mut self, enabled: bool) -> Self {
         self.trace_cache = enabled;
+        self
+    }
+
+    /// Caps the per-run trace cache's accounted resident set at
+    /// `bytes` (`tea-cli --trace-cache-budget`). Unreferenced captures
+    /// are evicted deterministically — ascending fingerprint order —
+    /// after each build; an evicted workload re-captures on its next
+    /// checkout. Applies only to the engine's own per-run cache, never
+    /// to a caller-owned [`Engine::run_with_cache`] cache (configure
+    /// that one directly via [`TraceCache::set_budget`]).
+    #[must_use]
+    pub fn trace_cache_budget(mut self, bytes: u64) -> Self {
+        self.trace_cache_budget = Some(bytes);
+        self
+    }
+
+    /// Arms deterministic chaos injection from `seed` (`tea-cli suite
+    /// --chaos-seed`): trace corruption and forced capture failures in
+    /// the per-run cache, observer panics inside cells, and torn
+    /// journal records. Every decision is a pure function of the seed,
+    /// so a chaos run is exactly reproducible. See [`ChaosInjector`].
+    #[must_use]
+    pub fn chaos_seed(self, seed: u64) -> Self {
+        self.chaos(Arc::new(ChaosInjector::new(seed)))
+    }
+
+    /// [`Engine::chaos_seed`] with the injector built by the caller,
+    /// so one injector can be shared with other seams (e.g.
+    /// [`RunResult::write_artifact_with`]).
+    #[must_use]
+    pub fn chaos(mut self, injector: Arc<ChaosInjector>) -> Self {
+        self.chaos = Some(injector);
         self
     }
 
@@ -657,7 +698,16 @@ impl Engine {
         // workload interprets it, every later cell replays the capture.
         // A caller-owned cache (Engine::run_with_cache) takes priority
         // and survives the run, sharing captures across runs.
-        let own_cache = (shared_cache.is_none() && self.trace_cache).then(TraceCache::new);
+        let own_cache = (shared_cache.is_none() && self.trace_cache).then(|| {
+            let mut cache = TraceCache::new();
+            if let Some(bytes) = self.trace_cache_budget {
+                cache.set_budget(bytes);
+            }
+            if let Some(chaos) = &self.chaos {
+                cache.set_chaos(Arc::clone(chaos));
+            }
+            cache
+        });
         let cache = shared_cache.or(own_cache.as_ref());
         // Cells are handed to exactly one worker each (shared-nothing);
         // the slot Mutexes only guard the ownership transfer.
@@ -679,9 +729,10 @@ impl Engine {
                         if i >= total {
                             break;
                         }
-                        let work = slots[i]
-                            .lock()
-                            .expect("cell slot poisoned")
+                        // Slot locks only transfer ownership of complete
+                        // values; recover from poisoning (a panicking
+                        // sibling worker) rather than cascade the wedge.
+                        let work = trace_cache::lock_recover(&slots[i])
                             .take()
                             .expect("each cell is claimed exactly once");
                         let outcome = match work {
@@ -699,12 +750,22 @@ impl Engine {
                         }
                         if let Some(j) = journal {
                             if !matches!(outcome.data, CellData::Restored(_)) {
-                                j.record(&JournalEntry::of(&outcome));
+                                let entry = JournalEntry::of(&outcome);
+                                if self.chaos.as_ref().is_some_and(|c| c.tear_journal(i)) {
+                                    tea_obs::warn(
+                                        ENGINE_TARGET,
+                                        "chaos: tearing the cell's journal record mid-line",
+                                        &[("index", Value::from(i))],
+                                    );
+                                    j.record_torn(&entry);
+                                } else {
+                                    j.record(&entry);
+                                }
                             }
                         }
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         self.progress_line(name, finished, total, &outcome);
-                        *results[i].lock().expect("result slot poisoned") = Some(outcome);
+                        *trace_cache::lock_recover(&results[i]) = Some(outcome);
                     }
                 });
             }
@@ -713,7 +774,7 @@ impl Engine {
             .into_iter()
             .map(|m| {
                 m.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .expect("every cell produces an outcome")
             })
             .collect();
@@ -798,7 +859,7 @@ impl Engine {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            match run_cell_guarded(index, &spec, attempt, budget, cache) {
+            match run_cell_guarded(index, &spec, attempt, budget, cache, self.chaos.as_deref()) {
                 Ok(result) => {
                     return CellOutcome {
                         index,
@@ -908,12 +969,13 @@ fn run_cell_guarded(
     attempt: u32,
     budget: Option<u64>,
     cache: Option<&TraceCache>,
+    chaos: Option<&ChaosInjector>,
 ) -> Result<CellResult, ExpError> {
     quiet_panics::install();
     let spec = spec.clone();
     quiet_panics::with_quiet(|| {
         match catch_unwind(AssertUnwindSafe(|| {
-            run_cell_attempt(index, spec, attempt, budget, cache)
+            run_cell_attempt(index, spec, attempt, budget, cache, chaos)
         })) {
             Ok(inner) => inner,
             Err(payload) => Err(ExpError::Panic {
@@ -986,19 +1048,31 @@ mod quiet_panics {
 /// [`ExpError::Injected`] for an injected fault.
 pub fn run_cell(index: usize, spec: CellSpec) -> Result<CellResult, ExpError> {
     let budget = spec.budget;
-    run_cell_attempt(index, spec, 1, budget, None)
+    run_cell_attempt(index, spec, 1, budget, None, None)
 }
 
 /// One attempt of one cell. `attempt` is 1-based and keys injected
 /// faults; `budget` caps the simulation in simulated cycles; `cache`
 /// supplies a shared captured trace when the engine's trace cache is
-/// on (an uncacheable program falls back to live interpretation).
+/// on (an uncacheable program falls back to live interpretation);
+/// `chaos` injects deterministic faults at the attempt's seams.
+///
+/// Degradation, not failure: when a replayed trace fails its
+/// integrity checks mid-run ([`SimError::Trace`]), the attempt
+/// quarantines the trace — later cells of the program go straight to
+/// live interpretation — and transparently re-runs this cell live
+/// from cycle 0 with the same spec, seed, and attempt count, so the
+/// cell's results are bit-identical to a cell that never replayed.
+/// Integrity failures are permanent (re-decoding the same bytes
+/// cannot succeed), so the fallback happens *within* the attempt
+/// instead of burning the engine's retries.
 fn run_cell_attempt(
     index: usize,
     spec: CellSpec,
     attempt: u32,
     budget: Option<u64>,
     cache: Option<&TraceCache>,
+    chaos: Option<&ChaosInjector>,
 ) -> Result<CellResult, ExpError> {
     let t0 = Instant::now();
     match spec.fault {
@@ -1010,9 +1084,77 @@ fn run_cell_attempt(
         }
         _ => {}
     }
-    let timer = || SampleTimer::with_jitter(spec.interval, spec.interval / 8, spec.seed);
     // Hash the program once per cell; both cache lookups key on it.
     let program_key = cache.map(|_| trace_cache::program_fingerprint(&spec.program));
+    // Transient observer faults fire only on the first attempt (the
+    // retry loop recovers them); persistent ones fire on every attempt
+    // and surface as a failed cell.
+    let observer_fault = chaos
+        .and_then(|c| c.observer_fault(index))
+        .filter(|f| f.persistent || attempt == 1);
+    let trace = cache
+        .zip(program_key)
+        .and_then(|(c, key)| c.checkout_keyed(key, &spec.program));
+    let replaying = trace.is_some();
+    let first = run_cell_pass(
+        index,
+        &spec,
+        budget,
+        cache,
+        program_key,
+        trace,
+        observer_fault,
+        t0,
+    );
+    match first {
+        Err(ExpError::Sim(SimError::Trace(e))) if replaying => {
+            if let Some((c, key)) = cache.zip(program_key) {
+                c.quarantine_keyed(key);
+            }
+            metrics().counter("replay.fallback").inc();
+            tea_obs::warn(
+                ENGINE_TARGET,
+                "replay trace failed integrity checks mid-run; \
+                 falling back to live interpretation",
+                &[
+                    ("index", Value::from(index)),
+                    ("workload", Value::str(&*spec.workload)),
+                    ("error", Value::from(e.to_string())),
+                ],
+            );
+            // The failed pass dropped its golden ticket (if it held
+            // one), so this pass can re-claim and publish.
+            run_cell_pass(
+                index,
+                &spec,
+                budget,
+                cache,
+                program_key,
+                None,
+                observer_fault,
+                t0,
+            )
+        }
+        done => done,
+    }
+}
+
+/// One simulation pass of one cell: builds its observers, runs the
+/// core — replaying `trace` when given, interpreting live otherwise —
+/// and packages the measurements. `t0` is the enclosing attempt's
+/// start, so a fallback pass's wall time covers the wasted replay too.
+#[allow(clippy::too_many_arguments)]
+fn run_cell_pass(
+    index: usize,
+    spec: &CellSpec,
+    budget: Option<u64>,
+    cache: Option<&TraceCache>,
+    program_key: Option<u64>,
+    trace: Option<Arc<CapturedTrace>>,
+    observer_fault: Option<ObserverFault>,
+    t0: Instant,
+) -> Result<CellResult, ExpError> {
+    let timer = || SampleTimer::with_jitter(spec.interval, spec.interval / 8, spec.seed);
     // The golden reference is seed- and interval-independent, so cells
     // of one (program, config) pair share one finished reference: the
     // claim winner computes and publishes it, later cells skip the
@@ -1047,6 +1189,7 @@ fn run_cell_attempt(
         .iter()
         .map(|&s| (s, SchemeObserver::new(s, timer())))
         .collect();
+    let mut chaos_obs = observer_fault.map(ChaosObserver::new);
     let stats = {
         let mut observers: Vec<&mut dyn Observer> = Vec::new();
         if let Some(g) = golden.as_mut() {
@@ -1058,9 +1201,11 @@ fn run_cell_attempt(
         for (_, o) in &mut scheme_obs {
             observers.push(o.as_observer());
         }
-        let trace = cache
-            .zip(program_key)
-            .and_then(|(c, key)| c.checkout_keyed(key, &spec.program));
+        // Last, so the injected panic never masks real observer work
+        // in the same cycle.
+        if let Some(c) = chaos_obs.as_mut() {
+            observers.push(c);
+        }
         let mut core = match trace {
             Some(trace) => Core::try_with_trace(&spec.program, trace, spec.config.clone()),
             None => Core::try_new(&spec.program, spec.config.clone()),
@@ -1101,7 +1246,7 @@ fn run_cell_attempt(
     }
     Ok(CellResult {
         index,
-        spec,
+        spec: spec.clone(),
         stats,
         golden,
         tip: tip.map(|t| t.profile().clone()),
@@ -1424,18 +1569,58 @@ impl RunResult {
     /// outermost ancestor holding a `Cargo.lock` rather than to the
     /// CWD; every harness then writes to the same place.
     pub fn write_artifact(&self) -> std::io::Result<PathBuf> {
+        self.write_artifact_with(None)
+    }
+
+    /// [`RunResult::write_artifact`] with the artifact-write chaos seam
+    /// armed: when the injector decides to fail the first write
+    /// attempt, the temp file is abandoned half-written (emulating a
+    /// crash or full disk mid-write), cleaned up, and the write
+    /// retried — the retry always lands a complete, valid artifact,
+    /// and the target path is never exposed to a torn document.
+    pub fn write_artifact_with(&self, chaos: Option<&ChaosInjector>) -> std::io::Result<PathBuf> {
         let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
         let safe = safe_name(&self.name);
         let path = dir.join(format!("{safe}.json"));
-        let tmp = dir.join(format!(".{safe}.json.tmp.{}", std::process::id()));
-        {
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(self.to_json().render_pretty().as_bytes())?;
-            file.sync_all()?;
+        let rendered = self.to_json().render_pretty();
+        let mut last_err = None;
+        for attempt in 0..2u32 {
+            // A per-attempt temp name: a failed attempt's leftover can
+            // never be renamed over the target by a later one.
+            let tmp = dir.join(format!(".{safe}.json.tmp.{}.{attempt}", std::process::id()));
+            let wrote = (|| -> std::io::Result<()> {
+                let mut file = std::fs::File::create(&tmp)?;
+                if chaos.is_some_and(|c| c.fail_artifact_write(attempt)) {
+                    file.write_all(&rendered.as_bytes()[..rendered.len() / 2])?;
+                    return Err(std::io::Error::other(
+                        "chaos: injected artifact write failure after a partial temp write",
+                    ));
+                }
+                file.write_all(rendered.as_bytes())?;
+                file.sync_all()
+            })();
+            match wrote {
+                Ok(()) => {
+                    std::fs::rename(&tmp, &path)?;
+                    return Ok(path);
+                }
+                Err(e) => {
+                    let _ = std::fs::remove_file(&tmp);
+                    tea_obs::warn(
+                        ENGINE_TARGET,
+                        "artifact write failed; torn temp file removed",
+                        &[
+                            ("attempt", Value::from(u64::from(attempt))),
+                            ("path", Value::str(path.display().to_string())),
+                            ("error", Value::str(e.to_string())),
+                        ],
+                    );
+                    last_err = Some(e);
+                }
+            }
         }
-        std::fs::rename(&tmp, &path)?;
-        Ok(path)
+        Err(last_err.expect("loop ran at least once"))
     }
 }
 

@@ -23,7 +23,31 @@
 //! (whether it then built one or the program is uncacheable), and
 //! exactly one build/uncacheable event fires per program per run. The
 //! `trace_cache.resident_bytes` gauge rises as traces are captured and
-//! falls back when the cache drops at the end of its run.
+//! falls back when the cache drops at the end of its run. (Two
+//! opt-in features relax the once-per-program guarantee: with a byte
+//! *budget* an evicted program re-builds on its next checkout, and
+//! under *chaos* a quarantined program stops replaying. Both are off
+//! by default, so the schedule-independence the observability tests
+//! pin is untouched.)
+//!
+//! **Bounding and corruption.** [`TraceCache::set_budget`] caps the
+//! bytes the cache accounts for: after each capture, unreferenced
+//! traces (`Arc` strong count 1 — no cell holds a checkout) are
+//! evicted in ascending fingerprint order until the account fits.
+//! [`TraceCache::quarantine`] permanently retires a trace whose bytes
+//! failed integrity checks mid-replay, parking an uncacheable marker
+//! so every later cell of the program interprets live instead of
+//! re-decoding bad bytes. Both paths subtract the retired bytes from
+//! the gauge *and* from this cache's recorded contribution, so the
+//! `Drop` subtraction cannot double-count them.
+//!
+//! **Poison tolerance.** Both internal maps are touched only in brief
+//! critical sections that insert or read complete values — no
+//! invariant spans a panic point inside a lock — so a panicking cell
+//! (isolated by the engine's `catch_unwind`) leaves the maps valid.
+//! Every lock therefore *recovers* from poisoning instead of
+//! propagating it; one dead cell must not wedge every later checkout
+//! of the run.
 //!
 //! The cache also shares finished [`GoldenReference`]s across cells.
 //! The golden reference observes only the timing model — never the
@@ -44,7 +68,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use tea_core::golden::GoldenReference;
 use tea_isa::capture::{CapturedTrace, DEFAULT_CAPTURE_LIMIT};
@@ -52,7 +76,18 @@ use tea_isa::program::Program;
 use tea_obs::Value;
 use tea_sim::SimConfig;
 
+use crate::chaos::ChaosInjector;
 use crate::metrics;
+
+/// Locks `m`, recovering the guarded map from a poisoned mutex.
+///
+/// Sound because every critical section in this module only reads, or
+/// inserts/removes *complete* values — the maps satisfy their
+/// invariants at every instruction a panic could interrupt — so the
+/// data behind a poisoned lock is as valid as behind a clean one.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tracing target of cache-emitted records.
 const CACHE_TARGET: &str = "tea_exp::trace_cache";
@@ -115,6 +150,12 @@ impl Drop for GoldenTicket {
 #[derive(Debug, Default)]
 pub struct TraceCache {
     limit: u64,
+    /// Byte ceiling on the cache's accounted resident set; `None`
+    /// (the default) never evicts.
+    budget: Option<u64>,
+    /// Fault injector for the capture seams; `None` outside chaos
+    /// runs.
+    chaos: Option<Arc<ChaosInjector>>,
     slots: Mutex<HashMap<u64, Slot>>,
     golden: Mutex<HashMap<(u64, u64), Arc<GoldenSlot>>>,
     /// Exactly the bytes this cache has added to the global
@@ -142,10 +183,31 @@ impl TraceCache {
     pub fn with_limit(limit: u64) -> Self {
         TraceCache {
             limit,
+            budget: None,
+            chaos: None,
             slots: Mutex::new(HashMap::new()),
             golden: Mutex::new(HashMap::new()),
             gauge_contribution: AtomicU64::new(0),
         }
+    }
+
+    /// Caps the cache's accounted resident set at `bytes`. After every
+    /// capture, traces no cell currently holds are evicted — in
+    /// ascending fingerprint order, so the eviction sequence is a
+    /// deterministic function of which traces are unreferenced — until
+    /// the account fits. An evicted program re-captures on its next
+    /// checkout. The trace just built for the requesting cell is never
+    /// evicted (the requester already holds it), so a budget smaller
+    /// than one trace degrades to "keep only what's in use", never to
+    /// thrashing within a cell.
+    pub fn set_budget(&mut self, bytes: u64) {
+        self.budget = Some(bytes);
+    }
+
+    /// Wires a chaos injector into the capture seams (forced capture
+    /// failure, byte corruption of fresh captures).
+    pub fn set_chaos(&mut self, chaos: Arc<ChaosInjector>) {
+        self.chaos = Some(chaos);
     }
 
     /// The shared trace for `program`, capturing it on first request.
@@ -166,7 +228,7 @@ impl TraceCache {
         let m = metrics();
         m.counter("trace_cache.requests").inc();
         let slot = {
-            let mut slots = self.slots.lock().expect("trace cache poisoned");
+            let mut slots = lock_recover(&self.slots);
             Arc::clone(slots.entry(key).or_default())
         };
         // `get_or_init` runs the closure on exactly one request per
@@ -181,14 +243,63 @@ impl TraceCache {
         } else {
             m.counter("trace_cache.hits").inc();
         }
-        entry.clone()
+        let out = entry.clone();
+        // Enforce the budget only after cloning: the fresh trace is
+        // then referenced by the requester and cannot evict itself.
+        if built && out.is_some() {
+            self.enforce_budget();
+        }
+        out
     }
 
     /// The one-per-program capture body behind the slot's `OnceLock`.
     fn capture(&self, program: &Program, key: u64) -> Option<Arc<CapturedTrace>> {
         let m = metrics();
+        if self.chaos.as_ref().is_some_and(|c| c.fail_capture(key)) {
+            m.counter("trace_cache.uncacheable").inc();
+            tea_obs::warn(
+                CACHE_TARGET,
+                "chaos: capture forced to fail; cells fall back to live interpretation",
+                &[("program", Value::from(key))],
+            );
+            return None;
+        }
         match CapturedTrace::capture(program, self.limit) {
             Some(trace) => {
+                let trace = match self
+                    .chaos
+                    .as_ref()
+                    .and_then(|c| c.corrupt_trace(key, trace.encoded_len()))
+                {
+                    Some((offset, mask)) => {
+                        tea_obs::warn(
+                            CACHE_TARGET,
+                            "chaos: flipping a byte in the captured trace",
+                            &[
+                                ("program", Value::from(key)),
+                                ("offset", Value::from(offset)),
+                                ("mask", Value::from(u64::from(mask))),
+                            ],
+                        );
+                        trace.with_flipped_byte(offset, mask)
+                    }
+                    None => trace,
+                };
+                // Publish-time validation of the offset table: a trace
+                // whose block index is already inconsistent must never
+                // reach a replaying cell.
+                if let Err(e) = trace.validate() {
+                    m.counter("trace_cache.uncacheable").inc();
+                    tea_obs::warn(
+                        CACHE_TARGET,
+                        "captured trace failed validation; cells fall back to live interpretation",
+                        &[
+                            ("program", Value::from(key)),
+                            ("error", Value::from(e.to_string())),
+                        ],
+                    );
+                    return None;
+                }
                 m.counter("trace_cache.builds").inc();
                 let resident = trace.resident_bytes() as u64;
                 self.gauge_contribution
@@ -220,6 +331,106 @@ impl TraceCache {
         }
     }
 
+    /// Retires the cached trace whose bytes failed integrity checks,
+    /// parking an uncacheable marker in its place so every later
+    /// checkout of the program interprets live. Re-capturing would be
+    /// pointless optimism: the decode failure means the *published*
+    /// bytes rotted after capture, and the engine has already paid one
+    /// wasted replay finding out.
+    ///
+    /// Idempotent and exactly-once: concurrent quarantines of one
+    /// program serialize on the slot map, the first retires the trace
+    /// (gauge subtraction, `trace_cache.quarantined` increment), the
+    /// rest find the marker and do nothing.
+    pub fn quarantine(&self, program: &Program) {
+        self.quarantine_keyed(program_fingerprint(program));
+    }
+
+    /// [`TraceCache::quarantine`] with the fingerprint already in hand.
+    pub(crate) fn quarantine_keyed(&self, key: u64) {
+        let m = metrics();
+        let mut slots = lock_recover(&self.slots);
+        let resident = {
+            let Some(slot) = slots.get(&key) else { return };
+            let Some(Some(trace)) = slot.get() else {
+                return;
+            };
+            trace.resident_bytes() as u64
+        };
+        let parked: Slot = Arc::default();
+        let _ = parked.set(None);
+        slots.insert(key, parked);
+        drop(slots);
+        // Subtract from the gauge *and* the cache's recorded
+        // contribution, so Drop cannot subtract these bytes a second
+        // time.
+        self.gauge_contribution
+            .fetch_sub(resident, Ordering::Relaxed);
+        m.gauge("trace_cache.resident_bytes")
+            .add(-(resident as i64));
+        m.counter("trace_cache.quarantined").inc();
+        tea_obs::warn(
+            CACHE_TARGET,
+            "trace quarantined after integrity failure; cells fall back to live interpretation",
+            &[
+                ("program", Value::from(key)),
+                ("resident_bytes", Value::from(resident)),
+            ],
+        );
+    }
+
+    /// Evicts unreferenced captures, in ascending fingerprint order,
+    /// until the cache's accounted bytes fit the configured budget.
+    /// Called after each build; a no-op without a budget.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.budget else { return };
+        if self.gauge_contribution.load(Ordering::Relaxed) <= budget {
+            return;
+        }
+        let m = metrics();
+        let mut slots = lock_recover(&self.slots);
+        let mut keys: Vec<u64> = slots.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            if self.gauge_contribution.load(Ordering::Relaxed) <= budget {
+                break;
+            }
+            let resident = {
+                let Some(slot) = slots.get(&key) else {
+                    continue;
+                };
+                let Some(Some(trace)) = slot.get() else {
+                    continue;
+                };
+                // Evictable only while no cell holds a checkout: the
+                // one strong count is the map's own Arc inside the
+                // OnceLock. (A racing checkout that already cloned the
+                // *slot* but not yet the trace keeps working off the
+                // detached slot — it merely uses bytes the account no
+                // longer tracks.)
+                if Arc::strong_count(trace) != 1 {
+                    continue;
+                }
+                trace.resident_bytes() as u64
+            };
+            slots.remove(&key);
+            self.gauge_contribution
+                .fetch_sub(resident, Ordering::Relaxed);
+            m.gauge("trace_cache.resident_bytes")
+                .add(-(resident as i64));
+            m.counter("trace_cache.evicted").inc();
+            tea_obs::debug(
+                CACHE_TARGET,
+                "trace evicted under byte budget",
+                &[
+                    ("program", Value::from(key)),
+                    ("resident_bytes", Value::from(resident)),
+                    ("budget", Value::from(budget)),
+                ],
+            );
+        }
+    }
+
     /// Joins the golden-reference sharing scheme for one cell of
     /// `(program, config)`.
     ///
@@ -244,7 +455,7 @@ impl TraceCache {
     ) -> GoldenCheckout {
         let key = (program_key, config_fingerprint(config));
         let slot = {
-            let mut golden = self.golden.lock().expect("golden cache poisoned");
+            let mut golden = lock_recover(&self.golden);
             Arc::clone(golden.entry(key).or_default())
         };
         if let Some(v) = slot.value.get() {
@@ -267,7 +478,7 @@ impl TraceCache {
     /// Heap bytes currently held by cached traces.
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
-        let slots = self.slots.lock().expect("trace cache poisoned");
+        let slots = lock_recover(&self.slots);
         slots
             .values()
             .filter_map(|s| s.get())
@@ -285,7 +496,9 @@ impl Drop for TraceCache {
         // size accounting changed between capture and drop. Shared
         // `Arc`s keeping traces alive past this point are fine: the
         // gauge tracks cache-accounted bytes, and this cache's account
-        // closes here.
+        // closes here. Evictions and quarantines already subtracted
+        // their bytes from both the gauge and this contribution, so
+        // they are not (and must not be) subtracted again.
         let contributed = *self.gauge_contribution.get_mut();
         if contributed > 0 {
             metrics()
@@ -444,6 +657,154 @@ mod tests {
             last = (before, after_capture, after_drop);
         }
         panic!("gauge never balanced across a cache lifetime: {last:?}");
+    }
+
+    #[test]
+    fn budget_evicts_only_unreferenced_captures_in_key_order() {
+        // A 1-byte budget makes every capture over-budget, so each
+        // build tries to evict everything evictable.
+        let mut cache = TraceCache::new();
+        cache.set_budget(1);
+        let p1 = lbm::program(Size::Test);
+        let p2 = xz::program(Size::Test);
+
+        let held = cache.checkout(&p1).expect("lbm halts");
+        // The requester's own checkout is referenced: never evicted.
+        assert_eq!(cache.resident_bytes(), held.resident_bytes());
+
+        drop(held);
+        // p1 is now unreferenced; building p2 evicts it. p2 itself is
+        // referenced by this checkout and survives.
+        let held2 = cache.checkout(&p2).expect("xz halts");
+        assert_eq!(cache.resident_bytes(), held2.resident_bytes());
+
+        // The evicted program is rebuilt on demand, not wedged.
+        drop(held2);
+        assert!(cache.checkout(&p1).is_some());
+    }
+
+    /// Satellite regression (PR 7): budget evictions subtract their
+    /// bytes from the cache's recorded gauge contribution, so the
+    /// `Drop` subtraction cannot double-count an evicted trace —
+    /// evict-then-drop must land the gauge exactly back on its
+    /// pre-cache level, extending the PR-6 balanced-gauge test.
+    #[test]
+    fn evict_then_drop_cannot_double_count_the_gauge() {
+        let gauge = metrics().gauge("trace_cache.resident_bytes");
+        let mut last = (0i64, 0i64);
+        for _ in 0..8 {
+            let before = gauge.get();
+            let mut cache = TraceCache::new();
+            cache.set_budget(1);
+            drop(cache.checkout(&lbm::program(Size::Test)));
+            // Building xz evicts the unreferenced lbm trace.
+            let held = cache.checkout(&xz::program(Size::Test)).expect("xz halts");
+            drop(cache);
+            let after_drop = gauge.get();
+            drop(held);
+            if after_drop == before {
+                return;
+            }
+            last = (before, after_drop);
+        }
+        panic!("gauge drifted across evict-then-drop: {last:?}");
+    }
+
+    #[test]
+    fn quarantine_parks_the_program_as_uncacheable() {
+        let cache = TraceCache::new();
+        let p = lbm::program(Size::Test);
+        let held = cache.checkout(&p).expect("lbm halts");
+        cache.quarantine(&p);
+        // Later checkouts go live; the bytes are no longer accounted.
+        assert!(cache.checkout(&p).is_none());
+        assert_eq!(cache.resident_bytes(), 0);
+        // Idempotent: a second quarantine (e.g. a racing sibling cell)
+        // finds the marker and does nothing.
+        cache.quarantine(&p);
+        assert!(cache.checkout(&p).is_none());
+        // The cell that triggered the quarantine still holds a usable
+        // Arc for as long as it wants it.
+        assert!(!held.is_empty());
+    }
+
+    /// Satellite regression (PR 7): a cell that panics between golden
+    /// claim and publish must release its ticket via `Drop`, or every
+    /// later seed of the same `(program, config)` pair computes
+    /// locally forever.
+    #[test]
+    fn claimant_panicking_before_publish_releases_the_claim() {
+        let cache = TraceCache::new();
+        let p = lbm::program(Size::Test);
+        let cfg = SimConfig::default();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ticket = match cache.golden_checkout(&p, &cfg) {
+                GoldenCheckout::Compute(Some(t)) => t,
+                _ => unreachable!("first checkout wins the claim"),
+            };
+            std::panic::panic_any("injected: cell dies between claim and publish");
+        }));
+        assert!(panicked.is_err());
+        // A later cell of the same pair can claim and publish.
+        match cache.golden_checkout(&p, &cfg) {
+            GoldenCheckout::Compute(Some(t)) => t.publish(Arc::new(GoldenReference::new())),
+            _ => panic!("released claim must be reclaimable"),
+        }
+        assert!(matches!(
+            cache.golden_checkout(&p, &cfg),
+            GoldenCheckout::Shared(_)
+        ));
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_wedging_later_checkouts() {
+        let cache = TraceCache::new();
+        let p = lbm::program(Size::Test);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let _slots = cache.slots.lock().unwrap();
+                let _golden = cache.golden.lock().unwrap();
+                std::panic::panic_any("injected: panic while holding the cache locks");
+            });
+            assert!(h.join().is_err());
+        });
+        assert!(cache.slots.lock().is_err(), "slots lock must be poisoned");
+        assert!(cache.golden.lock().is_err(), "golden lock must be poisoned");
+        // Checkouts recover: the maps are valid at every panic point.
+        assert!(cache.checkout(&p).is_some());
+        assert!(matches!(
+            cache.golden_checkout(&p, &SimConfig::default()),
+            GoldenCheckout::Compute(Some(_))
+        ));
+        assert!(cache.resident_bytes() > 0);
+        cache.quarantine(&p);
+        assert!(cache.checkout(&p).is_none());
+    }
+
+    #[test]
+    fn chaos_corruption_publishes_a_trace_that_fails_decode() {
+        // Find a seed that corrupts (and does not uncache) lbm, then
+        // verify the published trace fails integrity checks — the seam
+        // the engine's live fallback consumes.
+        let p = lbm::program(Size::Test);
+        let key = program_fingerprint(&p);
+        let pristine = CapturedTrace::capture_default(&p).expect("lbm halts");
+        let seed = (1..500u64)
+            .find(|&s| {
+                let c = ChaosInjector::new(s);
+                !c.fail_capture(key) && c.corrupt_trace(key, pristine.encoded_len()).is_some()
+            })
+            .expect("some small seed corrupts lbm");
+        let mut cache = TraceCache::new();
+        cache.set_chaos(Arc::new(ChaosInjector::new(seed)));
+        let trace = cache.checkout(&p).expect("corrupted, not uncacheable");
+        let mut failed = false;
+        for block in 0..trace.num_blocks() {
+            if trace.decode_block_into(&p, block, &mut Vec::new()).is_err() {
+                failed = true;
+            }
+        }
+        assert!(failed, "corrupted trace must fail decode somewhere");
     }
 
     #[test]

@@ -17,14 +17,26 @@
 //! instruction are still *not* stored: both are functions of the
 //! static instruction index ([`Program::addr_of`], [`Program::insts`]),
 //! so decode takes the program the trace was captured from.
+//!
+//! Traces are shared across threads and runs, so decode treats the
+//! encoded bytes as untrusted: every block carries a version/checksum
+//! header (see [`codec`]) verified before its payload is interpreted,
+//! and every decode entry point returns a typed [`TraceError`] instead
+//! of panicking. Since the bytes behind a published trace are
+//! immutable, each block is verified at most once per trace — a
+//! per-block bitmap remembers blocks that already passed, making the
+//! steady-state replay cost identical to the unchecked codec.
 
 pub mod codec;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::IsaError;
 use crate::interp::{BranchOutcome, DynInst, Machine};
 use crate::program::Program;
 
-use codec::{Columns, BLOCK_LEN, META_BRANCH, META_MEM, META_TAKEN};
+use codec::{CodecError, Columns, BLOCK_LEN, META_BRANCH, META_MEM, META_TAKEN};
 
 /// The default capture ceiling: programs committing more instructions
 /// than this (in particular, programs that never halt) are not
@@ -36,6 +48,77 @@ use codec::{Columns, BLOCK_LEN, META_BRANCH, META_MEM, META_TAKEN};
 /// (`capture_at_exactly_the_limit_is_not_divergent` pins this).
 pub const DEFAULT_CAPTURE_LIMIT: u64 = 1 << 25;
 
+/// A detected defect in a captured trace's encoded form.
+///
+/// Everything here means the bytes no longer match what
+/// [`CapturedTrace::capture`] produced — bit rot, a torn copy, or
+/// deliberate chaos injection. The replay pipeline treats these as
+/// *permanent*: re-decoding the same bytes can never succeed, so the
+/// engine quarantines the trace and falls back to live interpretation
+/// rather than retrying.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// A block index at or past the number of blocks was requested.
+    BlockOutOfRange {
+        /// The requested block.
+        block: usize,
+        /// Number of blocks the trace holds.
+        blocks: usize,
+    },
+    /// The `block_offsets` table is inconsistent with the byte stream
+    /// (non-monotonic, or pointing past the end).
+    OffsetTable {
+        /// First block whose offsets are inconsistent.
+        block: usize,
+        /// The offending byte offset.
+        offset: usize,
+        /// Total encoded byte length.
+        len: usize,
+    },
+    /// The offset table holds the wrong number of blocks for the
+    /// declared instruction count.
+    BlockCount {
+        /// Blocks present in the table.
+        blocks: usize,
+        /// Blocks implied by the instruction count.
+        expected: usize,
+    },
+    /// A block failed header validation or payload decode.
+    Codec {
+        /// The block that failed.
+        block: usize,
+        /// The underlying codec defect.
+        error: CodecError,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BlockOutOfRange { block, blocks } => {
+                write!(f, "block {block} out of range for a {blocks}-block trace")
+            }
+            TraceError::OffsetTable { block, offset, len } => write!(
+                f,
+                "offset table corrupt at block {block}: offset {offset} in a {len}-byte stream"
+            ),
+            TraceError::BlockCount { blocks, expected } => {
+                write!(f, "offset table holds {blocks} blocks, expected {expected}")
+            }
+            TraceError::Codec { block, error } => write!(f, "block {block}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Codec { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
 /// The full correct-path dynamic stream of one program, stored as
 /// self-contained compressed blocks of [`codec::BLOCK_LEN`]
 /// instructions.
@@ -46,7 +129,7 @@ pub const DEFAULT_CAPTURE_LIMIT: u64 = 1 << 25;
 /// the same [`DynInst`] values, in the same order, that
 /// [`Machine::try_step`] produced during capture, and a program that
 /// faults architecturally ends the trace with the same [`IsaError`].
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct CapturedTrace {
     /// Number of committed instructions in the stream.
     len: u64,
@@ -58,6 +141,33 @@ pub struct CapturedTrace {
     /// The architectural fault that ended the stream, if any. `None`
     /// for a program that ran to `halt`.
     error: Option<IsaError>,
+    /// One bit per block, set once that block's header and checksum
+    /// have passed [`codec::check_block`]. The bytes are immutable, so
+    /// a set bit stays valid forever; relaxed ordering suffices
+    /// because re-verifying a block concurrently is merely redundant,
+    /// never wrong.
+    verified: Box<[AtomicU64]>,
+}
+
+impl Clone for CapturedTrace {
+    fn clone(&self) -> Self {
+        CapturedTrace {
+            len: self.len,
+            bytes: self.bytes.clone(),
+            block_offsets: self.block_offsets.clone(),
+            error: self.error.clone(),
+            verified: self
+                .verified
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+/// Bitmap words needed for `blocks` verified bits.
+fn bitmap_words(blocks: usize) -> usize {
+    blocks.div_ceil(64)
 }
 
 impl CapturedTrace {
@@ -124,11 +234,15 @@ impl CapturedTrace {
             block_offsets.push(bytes.len());
             codec::encode_block(&pending, &mut bytes);
         }
+        let blocks = block_offsets.len();
         Some(CapturedTrace {
             len: committed,
             bytes: bytes.into_boxed_slice(),
             block_offsets: block_offsets.into_boxed_slice(),
             error,
+            verified: (0..bitmap_words(blocks))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         })
     }
 
@@ -163,6 +277,99 @@ impl CapturedTrace {
         self.block_offsets.len()
     }
 
+    /// Total encoded byte length of the compressed stream.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Checks the `block_offsets` table against the byte stream: the
+    /// block count must match the declared instruction count, offsets
+    /// must start at 0, increase monotonically, and stay within the
+    /// stream. Cheap (no payload is touched) — run on load/publish so
+    /// a trace with a corrupt table is rejected before any cell
+    /// replays it. Per-block checksums are still verified lazily on
+    /// first decode.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let blocks = self.block_offsets.len();
+        let expected = (self.len as usize).div_ceil(BLOCK_LEN);
+        if blocks != expected {
+            return Err(TraceError::BlockCount { blocks, expected });
+        }
+        let len = self.bytes.len();
+        let mut prev = 0usize;
+        for (block, &offset) in self.block_offsets.iter().enumerate() {
+            let bad = offset > len || offset < prev || (block == 0 && offset != 0);
+            if bad {
+                return Err(TraceError::OffsetTable { block, offset, len });
+            }
+            prev = offset;
+        }
+        Ok(())
+    }
+
+    /// The byte span of `block` within the encoded stream.
+    fn block_span(&self, block: usize) -> Result<(usize, usize), TraceError> {
+        let blocks = self.block_offsets.len();
+        let Some(&start) = self.block_offsets.get(block) else {
+            return Err(TraceError::BlockOutOfRange { block, blocks });
+        };
+        let end = self
+            .block_offsets
+            .get(block + 1)
+            .copied()
+            .unwrap_or(self.bytes.len());
+        let len = self.bytes.len();
+        if start > end || end > len {
+            return Err(TraceError::OffsetTable {
+                block,
+                offset: start.max(end),
+                len,
+            });
+        }
+        Ok((start, end))
+    }
+
+    /// Decodes `block` into `cols`, verifying its header/checksum the
+    /// first time the block is touched. Returns the sequence number of
+    /// the block's first instruction and its entry count.
+    fn decode_block_cols(
+        &self,
+        block: usize,
+        cols: &mut Columns,
+    ) -> Result<(u64, usize), TraceError> {
+        let (start, end) = self.block_span(block)?;
+        let base = block as u64 * BLOCK_LEN as u64;
+        let count = (self.len - base).min(BLOCK_LEN as u64) as usize;
+        let slice = &self.bytes[start..end];
+        let word = block / 64;
+        let bit = 1u64 << (block % 64);
+        let already = self
+            .verified
+            .get(word)
+            .is_some_and(|w| w.load(Ordering::Relaxed) & bit != 0);
+        let payload = if already {
+            // The bit is only ever set after check_block passed, so the
+            // slice is known to carry a header.
+            slice.get(codec::HEADER_LEN..).ok_or(TraceError::Codec {
+                block,
+                error: CodecError::Truncated {
+                    offset: slice.len(),
+                },
+            })?
+        } else {
+            let payload =
+                codec::check_block(slice).map_err(|error| TraceError::Codec { block, error })?;
+            if let Some(w) = self.verified.get(word) {
+                w.fetch_or(bit, Ordering::Relaxed);
+            }
+            payload
+        };
+        codec::decode_payload(payload, count, cols)
+            .map_err(|error| TraceError::Codec { block, error })?;
+        Ok((base, count))
+    }
+
     /// Decodes block `block` (instructions
     /// `block * BLOCK_LEN ..` up to the next block boundary or the end
     /// of the stream) into `out` as fully reconstructed [`DynInst`]s,
@@ -172,31 +379,23 @@ impl CapturedTrace {
     /// buffer makes steady-state replay allocation-free. `program`
     /// must be the program the trace was captured from.
     ///
-    /// # Panics
-    ///
-    /// Panics if `block >= self.num_blocks()`.
+    /// Fails with a [`TraceError`] if `block` is out of range or the
+    /// encoded bytes no longer pass integrity checks; corruption never
+    /// panics and never yields a silently-wrong window.
     pub fn decode_block_into(
         &self,
         program: &Program,
         block: usize,
         out: &mut Vec<DynInst>,
-    ) -> u64 {
-        let base = block as u64 * BLOCK_LEN as u64;
-        let count = (self.len - base).min(BLOCK_LEN as u64) as usize;
-        let start = self.block_offsets[block];
-        let end = self
-            .block_offsets
-            .get(block + 1)
-            .copied()
-            .unwrap_or(self.bytes.len());
+    ) -> Result<u64, TraceError> {
         let mut cols = Columns::default();
-        codec::decode_block(&self.bytes[start..end], count, &mut cols);
+        let (base, count) = self.decode_block_cols(block, &mut cols)?;
         out.clear();
         out.reserve(count);
         for i in 0..count {
             out.push(Self::reconstruct(program, base + i as u64, &cols, i));
         }
-        base
+        Ok(base)
     }
 
     /// Rebuilds the [`DynInst`] at column position `i`.
@@ -217,8 +416,8 @@ impl CapturedTrace {
         }
     }
 
-    /// The committed instruction at sequence number `seq`, or `None`
-    /// past the end of the stream.
+    /// The committed instruction at sequence number `seq`, or
+    /// `Ok(None)` past the end of the stream.
     ///
     /// `program` must be the program the trace was captured from: the
     /// pc and decoded instruction are reconstructed from its static
@@ -228,28 +427,46 @@ impl CapturedTrace {
     /// block on every call. The simulator's replay stream instead
     /// keeps a decoded block resident via
     /// [`CapturedTrace::decode_block_into`].
-    #[must_use]
-    pub fn get(&self, program: &Program, seq: u64) -> Option<DynInst> {
+    pub fn get(&self, program: &Program, seq: u64) -> Result<Option<DynInst>, TraceError> {
         if seq >= self.len {
-            return None;
+            return Ok(None);
         }
         let block = (seq / BLOCK_LEN as u64) as usize;
-        let base = block as u64 * BLOCK_LEN as u64;
-        let count = (self.len - base).min(BLOCK_LEN as u64) as usize;
-        let start = self.block_offsets[block];
-        let end = self
-            .block_offsets
-            .get(block + 1)
-            .copied()
-            .unwrap_or(self.bytes.len());
         let mut cols = Columns::default();
-        codec::decode_block(&self.bytes[start..end], count, &mut cols);
-        Some(Self::reconstruct(
+        let (base, _) = self.decode_block_cols(block, &mut cols)?;
+        Ok(Some(Self::reconstruct(
             program,
             seq,
             &cols,
             (seq - base) as usize,
-        ))
+        )))
+    }
+
+    /// A copy of the trace with the encoded byte at `offset` XOR'd by
+    /// `mask`, and all verification state reset.
+    ///
+    /// This is the fault-injection seam for the chaos harness and the
+    /// corruption tests: it manufactures exactly the failure mode the
+    /// integrity checks exist to catch (bit rot in a shared trace)
+    /// without any unsafe aliasing of a published `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= self.encoded_len()`.
+    #[must_use]
+    pub fn with_flipped_byte(&self, offset: usize, mask: u8) -> CapturedTrace {
+        assert!(offset < self.bytes.len(), "flip offset out of range");
+        let mut bytes = self.bytes.clone();
+        bytes[offset] ^= mask;
+        CapturedTrace {
+            len: self.len,
+            bytes,
+            block_offsets: self.block_offsets.clone(),
+            error: self.error.clone(),
+            verified: (0..bitmap_words(self.block_offsets.len()))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
     }
 
     /// Heap bytes held by the trace (the resident cost of keeping the
@@ -299,15 +516,16 @@ mod tests {
     fn capture_matches_live_interpretation_exactly() {
         let p = looped_program(100);
         let trace = CapturedTrace::capture(&p, 1 << 20).expect("halts under limit");
+        trace.validate().expect("fresh capture validates");
         let mut m = Machine::new(&p);
         let mut n = 0u64;
         while let Some(live) = m.step() {
-            assert_eq!(trace.get(&p, live.seq), Some(live));
+            assert_eq!(trace.get(&p, live.seq).unwrap(), Some(live));
             n += 1;
         }
         assert_eq!(trace.len(), n);
         assert!(trace.error().is_none());
-        assert!(trace.get(&p, n).is_none());
+        assert!(trace.get(&p, n).unwrap().is_none());
         assert!(trace.resident_bytes() > 0);
     }
 
@@ -325,7 +543,7 @@ mod tests {
         while let Some(live) = m.step() {
             let block = (live.seq / BLOCK_LEN as u64) as usize;
             if base != block as u64 * BLOCK_LEN as u64 {
-                base = trace.decode_block_into(&p, block, &mut buf);
+                base = trace.decode_block_into(&p, block, &mut buf).unwrap();
             }
             assert_eq!(buf[(live.seq - base) as usize], live);
         }
@@ -351,11 +569,51 @@ mod tests {
         let trace = CapturedTrace::capture(&p, 1 << 20).unwrap();
         // Read out of order and repeatedly: replay after a pipeline
         // squash re-reads earlier sequence numbers.
-        let last = trace.get(&p, trace.len() - 1).unwrap();
+        let last = trace.get(&p, trace.len() - 1).unwrap().unwrap();
         assert_eq!(last.inst, Inst::Halt);
-        let first = trace.get(&p, 0).unwrap();
+        let first = trace.get(&p, 0).unwrap().unwrap();
         assert_eq!(first.seq, 0);
-        assert_eq!(trace.get(&p, 0), Some(first));
+        assert_eq!(trace.get(&p, 0).unwrap(), Some(first));
+    }
+
+    #[test]
+    fn any_flipped_byte_fails_decode_not_panics() {
+        let p = looped_program(50);
+        let trace = CapturedTrace::capture(&p, 1 << 20).unwrap();
+        for offset in [0, 1, codec::HEADER_LEN, trace.encoded_len() - 1] {
+            let bad = trace.with_flipped_byte(offset, 0x5a);
+            let err = bad.get(&p, 0).expect_err("corruption must be detected");
+            assert!(matches!(err, TraceError::Codec { block: 0, .. }), "{err}");
+            let mut buf = Vec::new();
+            assert!(bad.decode_block_into(&p, 0, &mut buf).is_err());
+        }
+    }
+
+    #[test]
+    fn verification_is_cached_per_block() {
+        let p = looped_program(50);
+        let trace = CapturedTrace::capture(&p, 1 << 20).unwrap();
+        assert_eq!(trace.verified[0].load(Ordering::Relaxed), 0);
+        trace.get(&p, 0).unwrap();
+        assert_eq!(trace.verified[0].load(Ordering::Relaxed) & 1, 1);
+        // Re-reads keep working off the cached verification.
+        trace.get(&p, 1).unwrap();
+        // A clone carries the verification state; a flipped copy does not.
+        let cloned = trace.clone();
+        assert_eq!(cloned.verified[0].load(Ordering::Relaxed) & 1, 1);
+        let flipped = trace.with_flipped_byte(0, 0xff);
+        assert_eq!(flipped.verified[0].load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn out_of_range_block_is_an_error() {
+        let p = looped_program(10);
+        let trace = CapturedTrace::capture(&p, 1 << 20).unwrap();
+        let mut buf = Vec::new();
+        let err = trace
+            .decode_block_into(&p, trace.num_blocks(), &mut buf)
+            .expect_err("block index past the end");
+        assert!(matches!(err, TraceError::BlockOutOfRange { .. }));
     }
 
     #[test]
@@ -383,7 +641,7 @@ mod tests {
         let at_limit = CapturedTrace::capture(&p, n).expect("exactly-at-limit must capture");
         assert_eq!(at_limit.len(), n);
         assert!(at_limit.error().is_none());
-        assert_eq!(at_limit.get(&p, n - 1).unwrap().inst, Inst::Halt);
+        assert_eq!(at_limit.get(&p, n - 1).unwrap().unwrap().inst, Inst::Halt);
 
         assert!(
             CapturedTrace::capture(&p, n - 1).is_none(),

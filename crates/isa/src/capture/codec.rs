@@ -12,8 +12,24 @@
 //! instructions. Every block resets all predictor state, so any block
 //! can be decoded without touching its predecessors — random access
 //! costs one block decode, and replay keeps exactly one decoded block
-//! resident per core. Within a block the four columns are stored
-//! contiguously (columnar, not interleaved), in this order:
+//! resident per core.
+//!
+//! Every block starts with a [`HEADER_LEN`]-byte header:
+//!
+//! ```text
+//! [ version: u8 = CODEC_VERSION ][ checksum: u64 LE = FNV-1a(payload) ]
+//! ```
+//!
+//! The checksum covers the whole payload that follows the header, so
+//! any single corrupted byte — header or payload — is detected before
+//! the payload is interpreted. [`decode_block`] verifies the header
+//! and returns a typed [`CodecError`] on any mismatch; it never panics
+//! on untrusted bytes. Callers that have already verified a block once
+//! (the bytes are immutable) may skip re-hashing via [`check_block`] +
+//! [`decode_payload`].
+//!
+//! Within a block the four columns are stored contiguously (columnar,
+//! not interleaved), in this order:
 //!
 //! 1. **meta** — the per-instruction flag byte, run-length encoded as
 //!    `(byte, varint run_length)` pairs until the block's instruction
@@ -37,6 +53,8 @@
 //! No section lengths are stored: a decoder recovers every boundary
 //! from the instruction count and the decoded meta bytes alone.
 
+use std::fmt;
+
 /// Number of instructions per self-contained block.
 ///
 /// Large enough that varint savings dominate the per-block predictor
@@ -44,12 +62,94 @@
 /// [`crate::DynInst`], 56 B each) stays cache-friendly at ~229 KiB.
 pub const BLOCK_LEN: usize = 4096;
 
+/// Current block format version, first byte of every block header.
+pub const CODEC_VERSION: u8 = 1;
+
+/// Bytes of per-block header: 1 version byte + 8 checksum bytes.
+pub const HEADER_LEN: usize = 9;
+
 /// Metadata bit: the instruction carries a resolved data address.
 pub const META_MEM: u8 = 0b001;
 /// Metadata bit: the instruction is a control instruction.
 pub const META_BRANCH: u8 = 0b010;
 /// Metadata bit: the control instruction was taken.
 pub const META_TAKEN: u8 = 0b100;
+
+/// A detected defect in an encoded block.
+///
+/// Returned instead of panicking: encoded traces are shared across
+/// cells and may be deliberately corrupted by the chaos harness, so
+/// the decoder treats its input as untrusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The block (or a varint inside it) ended before `offset` bytes.
+    Truncated {
+        /// Byte offset at which more input was required.
+        offset: usize,
+    },
+    /// The header's version byte does not match [`CODEC_VERSION`].
+    VersionSkew {
+        /// Version byte found in the header.
+        found: u8,
+        /// Version this decoder understands.
+        expected: u8,
+    },
+    /// The header checksum does not match the payload contents.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// FNV-1a checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// A varint ran past the width of a `u64`.
+    VarintOverflow {
+        /// Payload byte offset of the offending continuation byte.
+        offset: usize,
+    },
+    /// A meta run was empty or overflowed the block's entry count.
+    BadMetaRun {
+        /// Entries decoded before the bad run.
+        have: usize,
+        /// Run length the bad pair claimed.
+        run: u64,
+        /// Entry count the block was declared to hold.
+        count: usize,
+    },
+    /// Bytes remained after all `count` entries were decoded.
+    TrailingBytes {
+        /// Number of undecoded bytes left in the payload.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { offset } => {
+                write!(f, "block truncated at byte {offset}")
+            }
+            CodecError::VersionSkew { found, expected } => {
+                write!(f, "block version {found} (decoder expects {expected})")
+            }
+            CodecError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "block checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            CodecError::VarintOverflow { offset } => {
+                write!(f, "varint overflows u64 at payload byte {offset}")
+            }
+            CodecError::BadMetaRun { have, run, count } => write!(
+                f,
+                "meta run of {run} after {have} entries is invalid for a {count}-entry block"
+            ),
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after block decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
 
 /// One block's worth of decoded trace columns, parallel by entry.
 ///
@@ -90,6 +190,17 @@ impl Columns {
     }
 }
 
+/// FNV-1a over `bytes`; the block-header content checksum.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Appends `v` as an LEB128 varint.
 fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
@@ -101,20 +212,22 @@ fn write_varint(out: &mut Vec<u8>, mut v: u64) {
 
 /// Reads one LEB128 varint at `*pos`, advancing it.
 ///
-/// # Panics
-///
-/// Panics on a truncated stream; the encoder and decoder in this
-/// module always agree on section lengths, so this fires only on
-/// corrupted bytes.
-fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+/// Fails on a truncated stream and on varints that do not fit a
+/// `u64`; no input can make it panic.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let b = bytes[*pos];
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(CodecError::Truncated { offset: *pos });
+        };
         *pos += 1;
+        if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
+            return Err(CodecError::VarintOverflow { offset: *pos - 1 });
+        }
         v |= u64::from(b & 0x7f) << shift;
         if b < 0x80 {
-            return v;
+            return Ok(v);
         }
         shift += 7;
     }
@@ -133,18 +246,26 @@ fn unzigzag(v: u64) -> i64 {
 /// Encodes one block of parallel columns onto `out`.
 ///
 /// All four slices must have the same length, at most [`BLOCK_LEN`].
-/// The block is self-contained: decoding needs only the produced bytes
-/// and the entry count.
+/// The block is self-contained — a [`HEADER_LEN`]-byte
+/// version/checksum header followed by the columnar payload — so
+/// decoding needs only the produced bytes and the entry count.
 ///
 /// # Panics
 ///
-/// Panics if the column lengths disagree or exceed [`BLOCK_LEN`].
+/// Panics if the column lengths disagree or exceed [`BLOCK_LEN`];
+/// those are encoder-side programmer errors, not untrusted input.
 pub fn encode_block(cols: &Columns, out: &mut Vec<u8>) {
     let n = cols.len();
     assert!(n <= BLOCK_LEN, "block of {n} entries exceeds BLOCK_LEN");
     assert_eq!(cols.mem_addr.len(), n);
     assert_eq!(cols.branch_target.len(), n);
     assert_eq!(cols.meta.len(), n);
+
+    // Header: version now, checksum back-patched once the payload is
+    // fully encoded.
+    let header = out.len();
+    out.push(CODEC_VERSION);
+    out.extend_from_slice(&[0u8; 8]);
 
     // Meta: run-length pairs.
     let mut i = 0;
@@ -191,19 +312,56 @@ pub fn encode_block(cols: &Columns, out: &mut Vec<u8>) {
         write_varint(out, zigzag(target.wrapping_sub(prev) as i64));
         prev = target;
     }
+
+    let checksum = fnv1a64(&out[header + HEADER_LEN..]);
+    out[header + 1..header + HEADER_LEN].copy_from_slice(&checksum.to_le_bytes());
 }
 
-/// Decodes one block of `count` entries from `bytes` into `cols`.
+/// Verifies a block's header, returning the payload slice.
 ///
-/// `cols` is cleared first (allocations are kept, so a reused
-/// `Columns` makes steady-state decoding allocation-free). `bytes`
-/// must be exactly the slice produced by [`encode_block`] for a block
-/// of `count` entries.
+/// Checks the length, version byte, and the FNV-1a content checksum
+/// over the payload. Because the bytes behind a published trace are
+/// immutable, a block that passes once need not be re-verified;
+/// callers may cache the result and decode via [`decode_payload`].
+pub fn check_block(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CodecError::Truncated {
+            offset: bytes.len(),
+        });
+    }
+    if bytes[0] != CODEC_VERSION {
+        return Err(CodecError::VersionSkew {
+            found: bytes[0],
+            expected: CODEC_VERSION,
+        });
+    }
+    let stored = u64::from_le_bytes(bytes[1..HEADER_LEN].try_into().expect("fixed header width"));
+    let payload = &bytes[HEADER_LEN..];
+    let computed = fnv1a64(payload);
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Decodes one verified block of `count` entries from `bytes`.
 ///
-/// # Panics
+/// `bytes` must be the full block slice produced by [`encode_block`]
+/// (header included); the header is validated via [`check_block`]
+/// before any payload byte is interpreted. `cols` is cleared first
+/// (allocations are kept, so a reused `Columns` makes steady-state
+/// decoding allocation-free). Any corruption of the input yields an
+/// `Err`; no input can make this panic.
+pub fn decode_block(bytes: &[u8], count: usize, cols: &mut Columns) -> Result<(), CodecError> {
+    decode_payload(check_block(bytes)?, count, cols)
+}
+
+/// Decodes a block payload (header already stripped and verified).
 ///
-/// Panics if `bytes` is truncated or inconsistent with `count`.
-pub fn decode_block(bytes: &[u8], count: usize, cols: &mut Columns) {
+/// The checksum in [`check_block`] already rejects corrupted bytes,
+/// so the structural errors here are defence in depth; they keep the
+/// payload walk panic-free even if a caller skips verification.
+pub fn decode_payload(payload: &[u8], count: usize, cols: &mut Columns) -> Result<(), CodecError> {
     cols.clear();
     cols.index.reserve(count);
     cols.mem_addr.reserve(count);
@@ -214,18 +372,24 @@ pub fn decode_block(bytes: &[u8], count: usize, cols: &mut Columns) {
 
     // Meta runs.
     while cols.meta.len() < count {
-        let byte = bytes[pos];
+        let Some(&byte) = payload.get(pos) else {
+            return Err(CodecError::Truncated { offset: pos });
+        };
         pos += 1;
-        let run = read_varint(bytes, &mut pos) as usize;
-        let new_len = cols.meta.len() + run;
-        assert!(new_len <= count, "meta run overflows block");
+        let run = read_varint(payload, &mut pos)?;
+        let have = cols.meta.len();
+        let new_len = (run != 0)
+            .then(|| have.checked_add(run as usize))
+            .flatten()
+            .filter(|&n| n <= count)
+            .ok_or(CodecError::BadMetaRun { have, run, count })?;
         cols.meta.resize(new_len, byte);
     }
 
     // Index deltas.
     let mut prev = 0i64;
     for _ in 0..count {
-        let v = prev + unzigzag(read_varint(bytes, &mut pos));
+        let v = prev.wrapping_add(unzigzag(read_varint(payload, &mut pos)?));
         cols.index.push(v as u32);
         prev = v;
     }
@@ -239,7 +403,7 @@ pub fn decode_block(bytes: &[u8], count: usize, cols: &mut Columns) {
             continue;
         }
         let predicted = last.wrapping_add(stride);
-        let addr = predicted.wrapping_add(unzigzag(read_varint(bytes, &mut pos)) as u64);
+        let addr = predicted.wrapping_add(unzigzag(read_varint(payload, &mut pos)?) as u64);
         cols.mem_addr.push(addr);
         stride = addr.wrapping_sub(last);
         last = addr;
@@ -252,12 +416,17 @@ pub fn decode_block(bytes: &[u8], count: usize, cols: &mut Columns) {
             cols.branch_target.push(0);
             continue;
         }
-        let target = prev.wrapping_add(unzigzag(read_varint(bytes, &mut pos)) as u64);
+        let target = prev.wrapping_add(unzigzag(read_varint(payload, &mut pos)?) as u64);
         cols.branch_target.push(target);
         prev = target;
     }
 
-    assert_eq!(pos, bytes.len(), "trailing bytes after block decode");
+    if pos != payload.len() {
+        return Err(CodecError::TrailingBytes {
+            extra: payload.len() - pos,
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -268,7 +437,7 @@ mod tests {
         let mut bytes = Vec::new();
         encode_block(cols, &mut bytes);
         let mut back = Columns::default();
-        decode_block(&bytes, cols.len(), &mut back);
+        decode_block(&bytes, cols.len(), &mut back).expect("pristine block decodes");
         assert_eq!(&back, cols);
     }
 
@@ -290,9 +459,30 @@ mod tests {
             out.clear();
             write_varint(&mut out, v);
             let mut pos = 0;
-            assert_eq!(read_varint(&out, &mut pos), v);
+            assert_eq!(read_varint(&out, &mut pos), Ok(v));
             assert_eq!(pos, out.len());
         }
+    }
+
+    #[test]
+    fn truncated_and_oversized_varints_are_rejected() {
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&[0x80, 0x80], &mut pos),
+            Err(CodecError::Truncated { offset: 2 })
+        );
+        // Eleven continuation bytes overflow a u64.
+        let wide = [0xff; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            read_varint(&wide, &mut pos),
+            Err(CodecError::VarintOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_matches_the_reference_vector() {
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
     }
 
     #[test]
@@ -303,11 +493,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_block_is_empty_bytes() {
+    fn empty_block_is_just_a_header() {
         let cols = Columns::default();
         let mut bytes = Vec::new();
         encode_block(&cols, &mut bytes);
-        assert!(bytes.is_empty());
+        assert_eq!(bytes.len(), HEADER_LEN);
         round_trip(&cols);
     }
 
@@ -375,6 +565,83 @@ mod tests {
             });
         }
         round_trip(&cols);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let cols = Columns {
+            index: vec![3, 4, 5, 9],
+            mem_addr: vec![0x100, 0, 0x108, 0],
+            branch_target: vec![0, 0x40, 0, 0x40],
+            meta: vec![META_MEM, META_BRANCH | META_TAKEN, META_MEM, META_BRANCH],
+        };
+        let mut bytes = Vec::new();
+        encode_block(&cols, &mut bytes);
+        let mut out = Columns::default();
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x41;
+            assert!(
+                decode_block(&bad, cols.len(), &mut out).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let cols = Columns {
+            index: vec![1, 2, 3],
+            mem_addr: vec![8, 16, 24],
+            branch_target: vec![0, 0, 0],
+            meta: vec![META_MEM; 3],
+        };
+        let mut bytes = Vec::new();
+        encode_block(&cols, &mut bytes);
+        let mut out = Columns::default();
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_block(&bytes[..cut], cols.len(), &mut out).is_err(),
+                "truncation at {cut} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_skew_is_reported_as_such() {
+        let cols = Columns {
+            index: vec![0],
+            mem_addr: vec![0],
+            branch_target: vec![0],
+            meta: vec![0],
+        };
+        let mut bytes = Vec::new();
+        encode_block(&cols, &mut bytes);
+        bytes[0] = CODEC_VERSION + 1;
+        let mut out = Columns::default();
+        assert_eq!(
+            decode_block(&bytes, 1, &mut out),
+            Err(CodecError::VersionSkew {
+                found: CODEC_VERSION + 1,
+                expected: CODEC_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn zero_length_meta_runs_cannot_loop_forever() {
+        // Hand-built payload: a (byte, run=0) pair makes no progress;
+        // the decoder must reject it rather than spin.
+        let payload = [META_MEM, 0x00];
+        let mut out = Columns::default();
+        assert_eq!(
+            decode_payload(&payload, 4, &mut out),
+            Err(CodecError::BadMetaRun {
+                have: 0,
+                run: 0,
+                count: 4
+            })
+        );
     }
 
     #[test]

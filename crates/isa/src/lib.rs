@@ -63,7 +63,7 @@ pub mod program;
 pub mod reg;
 
 pub use asm::{Asm, AsmError};
-pub use capture::CapturedTrace;
+pub use capture::{CapturedTrace, TraceError};
 pub use error::IsaError;
 pub use inst::{ExecClass, Inst, RegRef};
 pub use interp::{DynInst, Machine};

@@ -351,7 +351,8 @@ mod codec_props {
         let mut scratch = Columns::default();
         for (b, w) in offsets.windows(2).enumerate() {
             let count = (cols.len() - b * BLOCK_LEN).min(BLOCK_LEN);
-            decode_block(&bytes[w[0]..w[1]], count, &mut scratch);
+            decode_block(&bytes[w[0]..w[1]], count, &mut scratch)
+                .expect("pristine generated blocks decode");
             back.index.extend_from_slice(&scratch.index);
             back.mem_addr.extend_from_slice(&scratch.mem_addr);
             back.branch_target.extend_from_slice(&scratch.branch_target);
@@ -393,6 +394,47 @@ mod codec_props {
             }
             let cols = columns_from(&entries);
             prop_assert_eq!(stream_round_trip(&cols), cols);
+        }
+    }
+
+    proptest! {
+        /// Satellite (PR 7): corruption of any *arbitrary generated*
+        /// block must surface as a typed `CodecError`, never a panic
+        /// and never silently-wrong columns. Three damage classes per
+        /// case: a single-byte XOR at a generated offset (FNV-1a
+        /// detects every single-byte change, so decode must error), a
+        /// truncation at a generated cut, and the pristine control
+        /// which must still round-trip.
+        #[test]
+        fn corrupted_and_truncated_blocks_error_and_never_panic(
+            entries in prop::collection::vec(
+                (any::<u32>(), 0usize..6, any::<u64>(), any::<u64>()),
+                1..300,
+            ),
+            damage in any::<u64>(),
+        ) {
+            let cols = columns_from(&entries);
+            let mut bytes = Vec::new();
+            encode_block(&cols, &mut bytes);
+            let mut scratch = Columns::default();
+            decode_block(&bytes, cols.len(), &mut scratch)
+                .expect("the pristine control decodes");
+            prop_assert_eq!(&scratch, &cols);
+
+            let offset = damage as usize % bytes.len();
+            let mask = ((damage >> 32) % 255 + 1) as u8;
+            let mut corrupt = bytes.clone();
+            corrupt[offset] ^= mask;
+            prop_assert!(
+                decode_block(&corrupt, cols.len(), &mut scratch).is_err(),
+                "flip of byte {} (mask {:#04x}) must be detected", offset, mask,
+            );
+
+            let cut = (damage >> 16) as usize % bytes.len();
+            prop_assert!(
+                decode_block(&bytes[..cut], cols.len(), &mut scratch).is_err(),
+                "truncation to {} of {} bytes must be detected", cut, bytes.len(),
+            );
         }
     }
 

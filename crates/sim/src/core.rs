@@ -230,14 +230,28 @@ enum StreamSource<'p> {
     },
 }
 
+/// The first failure hit while feeding the correct-path stream. One
+/// slot covers both failure kinds so [`Core::try_run_for`] pays a
+/// single `Option` probe per cycle, exactly as it did before replay
+/// integrity checking existed.
+#[derive(Clone)]
+enum StreamError {
+    /// An architectural fault from the interpreter (e.g. the pc
+    /// escaping the text segment). A captured trace carries the fault
+    /// of its capture run and surfaces it at the same sequence number.
+    Isa(IsaError),
+    /// An integrity failure while decoding a replay trace; the
+    /// experiment engine reacts by quarantining the trace and falling
+    /// back to live interpretation.
+    Trace(tea_isa::TraceError),
+}
+
 struct Stream<'p> {
     source: StreamSource<'p>,
-    /// First architectural fault hit by the interpreter (e.g. the pc
-    /// escaping the text segment). Once set, the stream reports
-    /// end-of-program and [`Core::try_run_for`] surfaces the error.
-    /// A captured trace carries the fault of its capture run and
-    /// surfaces it at the same sequence number.
-    error: Option<IsaError>,
+    /// First fault hit by the stream. Once set, the stream reports
+    /// end-of-program and [`Core::try_run_for`] surfaces it as the
+    /// matching [`SimError`] variant.
+    error: Option<StreamError>,
 }
 
 impl<'p> Stream<'p> {
@@ -275,7 +289,7 @@ impl<'p> Stream<'p> {
                         Ok(Some(d)) => buf.push_back(d),
                         Ok(None) => return None,
                         Err(e) => {
-                            self.error = Some(e);
+                            self.error = Some(StreamError::Isa(e));
                             return None;
                         }
                     }
@@ -296,7 +310,7 @@ impl<'p> Stream<'p> {
                 }
                 if seq >= trace.len() {
                     if self.error.is_none() {
-                        self.error = trace.error().cloned();
+                        self.error = trace.error().cloned().map(StreamError::Isa);
                     }
                     return None;
                 }
@@ -304,8 +318,21 @@ impl<'p> Stream<'p> {
                 // can also rewind across a block boundary, so this
                 // moves the window backward as readily as forward.
                 let block = (seq / codec::BLOCK_LEN as u64) as usize;
-                *base = trace.decode_block_into(program, block, buf);
-                buf.get((seq - *base) as usize).copied()
+                match trace.decode_block_into(program, block, buf) {
+                    Ok(b) => {
+                        *base = b;
+                        buf.get((seq - *base) as usize).copied()
+                    }
+                    Err(e) => {
+                        // Corrupt block: report end-of-stream now and
+                        // let try_run_for surface the error this cycle.
+                        if self.error.is_none() {
+                            self.error = Some(StreamError::Trace(e));
+                        }
+                        buf.clear();
+                        None
+                    }
+                }
             }
         }
     }
@@ -1281,7 +1308,10 @@ impl<'p> Core<'p> {
     /// while feeding the correct-path stream — e.g. the pc escapes the
     /// text segment through a wild `jalr`. The error carries the
     /// instruction context; statistics accumulated so far are kept on
-    /// the core but not returned.
+    /// the core but not returned. Returns [`SimError::Trace`] when a
+    /// replayed trace fails integrity checks mid-run; the experiment
+    /// engine reacts by quarantining the trace and re-running the cell
+    /// live.
     pub fn try_run_for(
         &mut self,
         max_cycles: u64,
@@ -1333,7 +1363,10 @@ impl<'p> Core<'p> {
                 self.stats.hier = self.hier.stats();
                 self.stats.branch = self.bp.stats();
                 let e = self.stream.error.clone().expect("checked above");
-                return Err(SimError::Isa(e));
+                return Err(match e {
+                    StreamError::Isa(e) => SimError::Isa(e),
+                    StreamError::Trace(e) => SimError::Trace(e),
+                });
             }
             assert!(
                 self.cycle - self.last_commit_cycle < 500_000,
@@ -1558,6 +1591,23 @@ mod tests {
             .try_run(&mut [])
             .expect_err("replay reproduces the fault");
         assert_eq!(format!("{live_err}"), format!("{replay_err}"));
+    }
+
+    #[test]
+    fn corrupt_replay_trace_surfaces_a_trace_error() {
+        let p = looped_program(500);
+        let pristine = CapturedTrace::capture(&p, 1 << 20).expect("test program halts");
+        // Flip one payload byte; the checksum rejects the block on the
+        // first decode and the core must fail typed, not panic or
+        // replay wrong instructions.
+        let trace = Arc::new(pristine.with_flipped_byte(pristine.encoded_len() / 2, 0x40));
+        let err = Core::with_trace(&p, trace, SimConfig::default())
+            .try_run(&mut [])
+            .expect_err("corrupt trace must not replay");
+        assert!(
+            matches!(err, SimError::Trace(_)),
+            "expected SimError::Trace, got {err:?}"
+        );
     }
 
     /// Regression (PR 5 satellite): after the live window collapses,

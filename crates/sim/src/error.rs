@@ -10,7 +10,7 @@
 use std::error::Error;
 use std::fmt;
 
-use tea_isa::IsaError;
+use tea_isa::{IsaError, TraceError};
 
 /// Errors raised by the timing simulator.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,6 +25,11 @@ pub enum SimError {
     },
     /// The simulated program faulted at the architectural level.
     Isa(IsaError),
+    /// A replayed trace failed integrity checks mid-run. Unlike
+    /// [`SimError::Isa`] this says nothing about the program: the same
+    /// cell re-run under live interpretation can still succeed, which
+    /// is exactly the fallback the experiment engine performs.
+    Trace(TraceError),
 }
 
 impl fmt::Display for SimError {
@@ -34,6 +39,7 @@ impl fmt::Display for SimError {
                 write!(f, "invalid config: {field}: {reason}")
             }
             SimError::Isa(e) => write!(f, "program fault: {e}"),
+            SimError::Trace(e) => write!(f, "replay trace corrupt: {e}"),
         }
     }
 }
@@ -42,6 +48,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Isa(e) => Some(e),
+            SimError::Trace(e) => Some(e),
             SimError::InvalidConfig { .. } => None,
         }
     }
@@ -50,6 +57,12 @@ impl Error for SimError {
 impl From<IsaError> for SimError {
     fn from(e: IsaError) -> Self {
         SimError::Isa(e)
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
     }
 }
 

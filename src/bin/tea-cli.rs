@@ -6,9 +6,10 @@
 //! tea-cli profile <workload> [--size test|ref] [--interval N] [--top N]
 //! tea-cli compare <workload> [--size test|ref] [--interval N]
 //! tea-cli suite [workload...] [--size test|ref] [--interval N] [--threads N] [--json out.json]
-//!               [--det-json out.json] [--no-trace-cache]
+//!               [--det-json out.json] [--no-trace-cache] [--trace-cache-budget BYTES]
 //!               [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]
 //!               [--inject-panic <workload>] [--inject-diverge <workload>]
+//!               [--chaos-seed N]
 //! tea-cli bench [workload...] [--size test|ref] [--interval N] [--iters N] [--json out.json]
 //!               [--set-baseline]
 //! tea-cli disasm <workload> [--lines N]
@@ -54,6 +55,8 @@ struct Args {
     json: Option<String>,
     det_json: Option<String>,
     no_trace_cache: bool,
+    trace_cache_budget: Option<u64>,
+    chaos_seed: Option<u64>,
     resume: bool,
     max_retries: u32,
     cell_timeout: Option<u64>,
@@ -78,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         det_json: None,
         no_trace_cache: false,
+        trace_cache_budget: None,
+        chaos_seed: None,
         resume: false,
         max_retries: 1,
         cell_timeout: None,
@@ -124,6 +129,20 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = Some(grab("--json")?),
             "--det-json" => args.det_json = Some(grab("--det-json")?),
             "--no-trace-cache" => args.no_trace_cache = true,
+            "--trace-cache-budget" => {
+                args.trace_cache_budget = Some(
+                    grab("--trace-cache-budget")?
+                        .parse()
+                        .map_err(|e| format!("bad trace-cache-budget: {e}"))?,
+                )
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = Some(
+                    grab("--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad chaos-seed: {e}"))?,
+                )
+            }
             "--resume" => args.resume = true,
             "--max-retries" => {
                 args.max_retries = grab("--max-retries")?
@@ -281,6 +300,13 @@ fn describe_error(cell: &tea_exp::CellOutcome) -> String {
 /// `--inject-*` flags deliberately break one cell (for exercising the
 /// fault-tolerance path end to end). Exits non-zero if any cell does
 /// not complete.
+///
+/// `--chaos-seed N` arms deterministic chaos injection (trace
+/// corruption, forced capture failures, observer panics, torn journal
+/// lines, a failed first artifact write) across the run — see
+/// EXPERIMENTS.md for the chaos-suite procedure. `--trace-cache-budget
+/// BYTES` bounds the per-run trace cache, evicting unreferenced
+/// captures deterministically.
 fn cmd_suite(args: &Args) -> Result<(), String> {
     let selected: Vec<String> = args.positional[1..].to_vec();
     let mut workloads = all_workloads(args.size);
@@ -300,6 +326,17 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
         .trace_cache(!args.no_trace_cache);
     if let Some(budget) = args.cell_timeout {
         engine = engine.cell_budget(budget);
+    }
+    if let Some(bytes) = args.trace_cache_budget {
+        engine = engine.trace_cache_budget(bytes);
+    }
+    // One injector shared between the engine seams and the artifact
+    // write below, so every decision derives from the one seed.
+    let chaos = args
+        .chaos_seed
+        .map(|seed| Arc::new(tea_exp::ChaosInjector::new(seed)));
+    if let Some(c) = &chaos {
+        engine = engine.chaos(Arc::clone(c));
     }
     if args.fail_fast {
         engine = engine.fail_fast();
@@ -423,7 +460,7 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("write {path}: {e}"))?;
         println!("results artifact: {path}");
     } else {
-        match run.write_artifact() {
+        match run.write_artifact_with(chaos.as_deref()) {
             Ok(path) => println!("results artifact: {}", path.display()),
             Err(e) => eprintln!("could not write results artifact: {e}"),
         }
@@ -813,9 +850,10 @@ fn main() -> ExitCode {
                  tea-cli profile <workload> [--size test|ref] [--interval N] [--top N]\n  \
                  tea-cli compare <workload> [--size test|ref] [--interval N]\n  \
                  tea-cli suite [workload...] [--size test|ref] [--interval N] [--threads N] [--json out.json]\n  \
-                 \u{20}             [--det-json out.json] [--no-trace-cache]\n  \
+                 \u{20}             [--det-json out.json] [--no-trace-cache] [--trace-cache-budget BYTES]\n  \
                  \u{20}             [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]\n  \
                  \u{20}             [--inject-panic <workload>] [--inject-diverge <workload>]\n  \
+                 \u{20}             [--chaos-seed N]\n  \
                  tea-cli bench [workload...] [--size test|ref] [--interval N] [--iters N]\n  \
                  \u{20}             [--json out.json] [--set-baseline]\n  \
                  tea-cli calibrate [--json out.json]\n  \
