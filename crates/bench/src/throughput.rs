@@ -64,9 +64,17 @@ pub struct WorkloadThroughput {
     /// Wall time of one trace capture (the cost a matrix pays once per
     /// workload before replay starts paying off).
     pub capture_wall: f64,
+    /// Best wall time of decoding every compressed block of the
+    /// captured trace into reconstructed instructions — the pure codec
+    /// share of the replay path, isolated from timing simulation.
+    pub decode_wall: f64,
     /// Best wall time of the profiled configuration replaying the
     /// captured trace instead of interpreting live.
     pub replay_wall: f64,
+    /// Best wall time with only the golden reference attached — the
+    /// cost of publishing a shared golden, which a matrix pays once per
+    /// `(program, config)` pair.
+    pub golden_wall: f64,
     /// Resident heap bytes of the compressed captured trace (what a
     /// trace-cache entry for this workload costs).
     pub trace_resident_bytes: u64,
@@ -313,7 +321,15 @@ impl ThroughputReport {
                             "replay_cycles_per_second",
                             Json::Num(w.replay_cycles_per_second()),
                         ),
+                        // Per-phase wall times (best of the timed
+                        // repetitions): where one workload's matrix
+                        // cell actually spends its time.
+                        ("sim_wall_seconds", Json::Num(w.sim_wall)),
+                        ("profiled_wall_seconds", Json::Num(w.profiled_wall)),
                         ("capture_wall_seconds", Json::Num(w.capture_wall)),
+                        ("block_decode_wall_seconds", Json::Num(w.decode_wall)),
+                        ("replay_wall_seconds", Json::Num(w.replay_wall)),
+                        ("golden_wall_seconds", Json::Num(w.golden_wall)),
                         ("samples_per_second", Json::Num(w.samples_per_second())),
                         ("trace_resident_bytes", Json::UInt(w.trace_resident_bytes)),
                         (
@@ -394,6 +410,17 @@ impl Observer for ProfiledObservers {
         self.ris.on_commit_batch(batch);
     }
 
+    fn on_stall_run(&mut self, view: &CycleView<'_>, n: u64) {
+        // Forward the folded span so each member's O(1) stall fold (not
+        // the default per-cycle replay) handles it.
+        self.golden.on_stall_run(view, n);
+        self.tea.on_stall_run(view, n);
+        self.nci.on_stall_run(view, n);
+        self.ibs.on_stall_run(view, n);
+        self.spe.on_stall_run(view, n);
+        self.ris.on_stall_run(view, n);
+    }
+
     fn on_squash(&mut self, from_seq: u64) {
         self.golden.on_squash(from_seq);
         self.tea.on_squash(from_seq);
@@ -450,15 +477,22 @@ pub fn profiled_replay_run(
 
 /// Measures one workload: `iters` timed runs of each configuration,
 /// reporting the fastest (wall-clock noise shrinks the minimum, not the
-/// mean).
+/// mean). `cfg` is the core configuration every phase runs under (the
+/// CLI maps `--no-fast-forward` onto it).
 #[must_use]
-pub fn measure_workload(w: &Workload, interval: u64, seed: u64, iters: u32) -> WorkloadThroughput {
+pub fn measure_workload(
+    w: &Workload,
+    interval: u64,
+    seed: u64,
+    iters: u32,
+    cfg: &SimConfig,
+) -> WorkloadThroughput {
     let iters = iters.max(1);
     let mut cycles = 0;
     let mut instructions = 0;
     let mut sim_wall = f64::INFINITY;
     for _ in 0..iters {
-        let mut core = Core::new(&w.program, SimConfig::default());
+        let mut core = Core::new(&w.program, cfg.clone());
         let t0 = Instant::now();
         let stats = core.run(&mut []);
         sim_wall = sim_wall.min(t0.elapsed().as_secs_f64());
@@ -469,7 +503,7 @@ pub fn measure_workload(w: &Workload, interval: u64, seed: u64, iters: u32) -> W
     let mut profiled_wall = f64::INFINITY;
     for _ in 0..iters {
         let mut obs = ProfiledObservers::new(interval, seed);
-        let mut core = Core::new(&w.program, SimConfig::default());
+        let mut core = Core::new(&w.program, cfg.clone());
         {
             let mut refs: [&mut dyn Observer; 1] = [&mut obs];
             let t0 = Instant::now();
@@ -478,14 +512,43 @@ pub fn measure_workload(w: &Workload, interval: u64, seed: u64, iters: u32) -> W
         }
         samples = obs.samples();
     }
+    let mut golden_wall = f64::INFINITY;
+    for _ in 0..iters {
+        let mut golden = GoldenReference::new();
+        let mut core = Core::new(&w.program, cfg.clone());
+        let mut refs: [&mut dyn Observer; 1] = [&mut golden];
+        let t0 = Instant::now();
+        core.run(&mut refs);
+        golden_wall = golden_wall.min(t0.elapsed().as_secs_f64());
+    }
     let t0 = Instant::now();
     let trace =
         Arc::new(CapturedTrace::capture_default(&w.program).expect("benchmark workloads halt"));
     let capture_wall = t0.elapsed().as_secs_f64();
-    let mut replay_wall = f64::INFINITY;
+    // Pure block-decode sweep: every compressed block reconstructed
+    // into a reused buffer, no timing model attached. This is the codec
+    // share every warm replay cell pays on top of simulation.
+    let mut decode_wall = f64::INFINITY;
+    let mut buf = Vec::new();
     for _ in 0..iters {
         let t0 = Instant::now();
-        let _ = profiled_replay_run(&w.program, &trace, interval, seed);
+        let mut decoded = 0u64;
+        for block in 0..trace.num_blocks() {
+            trace
+                .decode_block_into(&w.program, block, &mut buf)
+                .expect("freshly captured trace decodes");
+            decoded += buf.len() as u64;
+        }
+        decode_wall = decode_wall.min(t0.elapsed().as_secs_f64());
+        assert_eq!(decoded, trace.len(), "decode sweep covers the stream");
+    }
+    let mut replay_wall = f64::INFINITY;
+    for _ in 0..iters {
+        let mut obs = ProfiledObservers::new(interval, seed);
+        let mut core = Core::with_trace(&w.program, Arc::clone(&trace), cfg.clone());
+        let mut refs: [&mut dyn Observer; 1] = [&mut obs];
+        let t0 = Instant::now();
+        core.run(&mut refs);
         replay_wall = replay_wall.min(t0.elapsed().as_secs_f64());
     }
     WorkloadThroughput {
@@ -496,7 +559,9 @@ pub fn measure_workload(w: &Workload, interval: u64, seed: u64, iters: u32) -> W
         sim_wall,
         profiled_wall,
         capture_wall,
+        decode_wall,
         replay_wall,
+        golden_wall,
         trace_resident_bytes: trace.resident_bytes() as u64,
         trace_uncompressed_bytes: trace.uncompressed_bytes() as u64,
     }
@@ -515,9 +580,15 @@ pub const MATRIX_SEEDS: [u64; 4] = [11, 29, 42, 97];
 /// replay throughout (`Engine::run_with_cache`). Serial, so the
 /// comparison measures the replay path rather than scheduling.
 #[must_use]
-pub fn measure_matrix(workloads: &[Workload], interval: u64, iters: u32) -> MatrixThroughput {
+pub fn measure_matrix(
+    workloads: &[Workload],
+    interval: u64,
+    iters: u32,
+    cfg: &SimConfig,
+) -> MatrixThroughput {
     let cells = Matrix::new()
         .workloads(workloads.to_vec())
+        .configs(vec![("default", cfg.clone())])
         .intervals(&[interval])
         .seeds(&MATRIX_SEEDS)
         .cells();
@@ -558,6 +629,7 @@ pub fn measure_suite(
     size: &str,
     interval: u64,
     iters: u32,
+    cfg: &SimConfig,
 ) -> ThroughputReport {
     ThroughputReport {
         size: size.to_string(),
@@ -565,9 +637,9 @@ pub fn measure_suite(
         iterations: iters.max(1),
         workloads: workloads
             .iter()
-            .map(|w| measure_workload(w, interval, crate::HARNESS_SEED, iters))
+            .map(|w| measure_workload(w, interval, crate::HARNESS_SEED, iters, cfg))
             .collect(),
-        matrix: measure_matrix(workloads, interval, iters),
+        matrix: measure_matrix(workloads, interval, iters, cfg),
     }
 }
 
@@ -641,7 +713,30 @@ mod tests {
             .into_iter()
             .filter(|w| w.name == "lbm")
             .collect();
-        measure_suite(&w, "test", 512, 1)
+        measure_suite(&w, "test", 512, 1, &SimConfig::default())
+    }
+
+    #[test]
+    fn per_workload_rows_carry_finite_phase_walls() {
+        let r = tiny_report();
+        let doc = render_artifact(&r, None);
+        let Json::Arr(rows) = doc.get("per_workload").unwrap() else {
+            panic!("per_workload must be an array");
+        };
+        for key in [
+            "sim_wall_seconds",
+            "profiled_wall_seconds",
+            "capture_wall_seconds",
+            "block_decode_wall_seconds",
+            "replay_wall_seconds",
+            "golden_wall_seconds",
+        ] {
+            let v = rows[0]
+                .get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{key} present and numeric"));
+            assert!(v.is_finite() && v >= 0.0, "{key} = {v}");
+        }
     }
 
     #[test]

@@ -166,6 +166,23 @@ impl GoldenReference {
         }
     }
 
+    /// Charges `n` cycles of pending weight to `seq` — the fold of `n`
+    /// [`GoldenReference::pend_cycle`]s. Weights are integer-valued
+    /// cycle counts (exact in f64), so the batched add is bit-identical
+    /// to `n` unit adds.
+    #[inline]
+    fn pend_cycles(&mut self, seq: u64, n: u64) {
+        match &mut self.pending_hot {
+            Some((s, w)) if *s == seq => *w += n as f64,
+            hot => {
+                if let Some((s, w)) = hot.take() {
+                    *self.pending.entry(s).or_insert(0.0) += w;
+                }
+                *hot = Some((seq, n as f64));
+            }
+        }
+    }
+
     /// Compute cycles that carried no committed instructions (a
     /// CycleView-contract violation counted instead of silently
     /// producing infinite weights; normally zero).
@@ -297,6 +314,55 @@ impl Observer for GoldenReference {
                 if let Some(last) = view.last_committed {
                     // Already retired; its PSV is final.
                     self.pics.add(last.addr, last.psv, 1.0);
+                }
+            }
+        }
+    }
+
+    fn on_stall_run(&mut self, view: &CycleView<'_>, n: u64) {
+        if n == 0 {
+            return;
+        }
+        // Compute spans never fast-forward in a real run (committing is
+        // progress), and their 1/k splits don't fold; replay per cycle.
+        if view.state == CommitState::Compute {
+            for i in 0..n {
+                let v = CycleView {
+                    cycle: view.cycle + i,
+                    ..*view
+                };
+                self.on_cycle(&v);
+            }
+            return;
+        }
+        self.total_cycles += n;
+        match view.state {
+            CommitState::Compute => unreachable!(),
+            CommitState::Stalled => {
+                if let Some(head) = view.stalled_head {
+                    self.pend_cycles(head.seq, n);
+                    self.stall_run = match self.stall_run {
+                        Some((seq, k)) if seq == head.seq => Some((seq, k + n)),
+                        _ => {
+                            self.close_stall_run();
+                            Some((head.seq, n))
+                        }
+                    };
+                }
+            }
+            CommitState::Drained => {
+                self.close_stall_run();
+                if let Some(next) = view.next_commit {
+                    self.pend_cycles(next.seq, n);
+                }
+            }
+            CommitState::Flushed => {
+                self.close_stall_run();
+                if let Some(last) = view.last_committed {
+                    // PICS slots can hold non-integral Compute weights,
+                    // so add_n loops the adds (hoisting only the hash
+                    // lookups) to preserve bit identity.
+                    self.pics.add_n(last.addr, last.psv, 1.0, n);
                 }
             }
         }

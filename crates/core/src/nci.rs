@@ -83,6 +83,36 @@ impl Observer for NciProfiler {
         }
     }
 
+    fn on_stall_run(&mut self, view: &CycleView<'_>, n: u64) {
+        // Compute spans never fast-forward in a real run, and their
+        // direct PICS adds don't fold exactly; replay them per cycle.
+        if view.state == CommitState::Compute {
+            for i in 0..n {
+                let v = CycleView {
+                    cycle: view.cycle + i,
+                    ..*view
+                };
+                self.on_cycle(&v);
+            }
+            return;
+        }
+        let fires = self.timer.tick_n(n);
+        if fires == 0 {
+            return;
+        }
+        self.samples += fires;
+        let target = match view.state {
+            CommitState::Compute => unreachable!(),
+            CommitState::Stalled => view.stalled_head,
+            CommitState::Drained | CommitState::Flushed => view.next_commit,
+        };
+        if let Some(t) = target {
+            // Pending weights are integral sums of 1.0, so one folded
+            // add is bit-identical to `fires` unit adds.
+            *self.pending.entry(t.seq).or_insert(0.0) += fires as f64;
+        }
+    }
+
     fn on_retire(&mut self, r: &RetiredInst) {
         // Hot path: most retirements have no delayed sample attached.
         if self.pending.is_empty() {

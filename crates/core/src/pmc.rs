@@ -85,6 +85,10 @@ impl PmcProfiler {
 impl Observer for PmcProfiler {
     fn on_cycle(&mut self, _view: &CycleView<'_>) {}
 
+    // Cycles carry no information for an event counter (it samples on
+    // retirements); skip the default's n-iteration replay loop.
+    fn on_stall_run(&mut self, _view: &CycleView<'_>, _n: u64) {}
+
     fn on_retire(&mut self, r: &RetiredInst) {
         if !r.psv.contains(self.event) {
             return;

@@ -105,6 +105,22 @@ impl SampleTimer {
             false
         }
     }
+
+    /// Advances `n` cycles at once, returning how many samples fired —
+    /// bit-identical to `n` [`SampleTimer::tick`] calls, including the
+    /// jitter RNG state (`next_interval` is drawn exactly once per
+    /// fire). The stall fast-forward path folds whole quiescent spans
+    /// through this instead of looping the timer.
+    pub fn tick_n(&mut self, mut n: u64) -> u64 {
+        let mut fires = 0;
+        while n >= self.countdown {
+            n -= self.countdown;
+            self.countdown = self.next_interval();
+            fires += 1;
+        }
+        self.countdown -= n;
+        fires
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +155,24 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_interval_panics() {
         let _ = SampleTimer::periodic(0);
+    }
+
+    #[test]
+    fn tick_n_matches_ticks_bit_for_bit() {
+        // Any split of a cycle span into tick_n chunks must leave the
+        // timer in the exact state of per-cycle ticking: same fire
+        // count, same countdown, same RNG stream.
+        for (interval, jitter, seed) in [(10, 0, 0), (64, 7, 3), (509, 60, 42), (4096, 512, 7)] {
+            let mut ticked = SampleTimer::with_jitter(interval, jitter, seed);
+            let mut batched = SampleTimer::with_jitter(interval, jitter, seed);
+            let chunks = [1u64, 5, 0, 63, 64, 65, 1000, 2, 4097, 7, 300];
+            for &n in &chunks {
+                let fires: u64 = (0..n).map(|_| u64::from(ticked.tick())).sum();
+                assert_eq!(batched.tick_n(n), fires);
+                assert_eq!(batched.countdown, ticked.countdown);
+                assert_eq!(batched.rng_state, ticked.rng_state);
+            }
+        }
     }
 
     #[test]

@@ -136,6 +136,31 @@ impl Observer for TaggingProfiler {
         }
     }
 
+    fn on_stall_run(&mut self, view: &CycleView<'_>, n: u64) {
+        let stream = match self.point {
+            TagPoint::Dispatch => view.dispatched,
+            TagPoint::Fetch => view.fetched,
+        };
+        if stream.is_empty() {
+            // No instruction moves through the tag point anywhere in a
+            // quiescent run, so the only effect of the n cycles is
+            // (possibly) arming the timer.
+            if self.timer.tick_n(n) > 0 {
+                self.armed = true;
+            }
+            return;
+        }
+        // Synthetic views (proptests) may carry a tag-point stream; the
+        // arm/tag/disarm interplay doesn't fold, so replay per cycle.
+        for i in 0..n {
+            let v = CycleView {
+                cycle: view.cycle + i,
+                ..*view
+            };
+            self.on_cycle(&v);
+        }
+    }
+
     fn on_retire(&mut self, r: &RetiredInst) {
         // Hot path: pending is only populated between a tag and its
         // retirement, so nearly every call can return on the emptiness

@@ -112,6 +112,50 @@ impl Observer for TeaProfiler {
         }
     }
 
+    fn on_stall_run(&mut self, view: &CycleView<'_>, n: u64) {
+        // A real fast-forward never spans Compute cycles (committing is
+        // progress), but the contract admits any state; the 1/n-split
+        // weights don't fold exactly, so replay those per cycle.
+        if view.state == CommitState::Compute {
+            for i in 0..n {
+                let v = CycleView {
+                    cycle: view.cycle + i,
+                    ..*view
+                };
+                self.on_cycle(&v);
+            }
+            return;
+        }
+        let fires = self.timer.tick_n(n);
+        if fires == 0 {
+            return;
+        }
+        self.samples += fires;
+        match view.state {
+            CommitState::Compute => unreachable!(),
+            CommitState::Stalled => {
+                if let Some(head) = view.stalled_head {
+                    // Pending weights are integral sums of 1.0, so one
+                    // folded add is bit-identical to `fires` unit adds.
+                    *self.pending.entry(head.seq).or_insert(0.0) += fires as f64;
+                }
+            }
+            CommitState::Drained => {
+                if let Some(next) = view.next_commit {
+                    *self.pending.entry(next.seq).or_insert(0.0) += fires as f64;
+                }
+            }
+            CommitState::Flushed => {
+                if let Some(last) = view.last_committed {
+                    // PICS slots can hold non-integral Compute weights,
+                    // so add_n loops the adds (hoisting only the hash
+                    // lookups) to preserve bit identity.
+                    self.pics.add_n(last.addr, last.psv, 1.0, fires);
+                }
+            }
+        }
+    }
+
     fn on_retire(&mut self, r: &RetiredInst) {
         // Hot path: most retirements have no delayed sample attached, and
         // the emptiness probe is far cheaper than hashing the seq.

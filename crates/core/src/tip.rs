@@ -71,6 +71,20 @@ impl TipProfile {
         self.entries.entry(addr).or_default()[state.index()] += w;
         self.total += w;
     }
+
+    /// `n` repeated [`TipProfile::add`]s with the hash lookup hoisted.
+    /// The adds loop serially — the slot and `total` can hold
+    /// non-integral 1/k Compute weights, so a folded `n * w` multiply
+    /// would not be bit-identical.
+    fn add_n(&mut self, addr: u64, state: CommitState, w: f64, n: u64) {
+        let slot = &mut self.entries.entry(addr).or_default()[state.index()];
+        for _ in 0..n {
+            *slot += w;
+        }
+        for _ in 0..n {
+            self.total += w;
+        }
+    }
 }
 
 /// The TIP profiler (time-proportional sampling, no PSVs).
@@ -157,6 +171,55 @@ impl Observer for TipProfiler {
             CommitState::Flushed => {
                 if let Some(last) = view.last_committed {
                     self.profile.add(last.addr, CommitState::Flushed, 1.0);
+                }
+            }
+        }
+    }
+
+    fn on_stall_run(&mut self, view: &CycleView<'_>, n: u64) {
+        // Compute spans never fast-forward in a real run (committing is
+        // progress), and their 1/n splits don't fold; replay per cycle.
+        if view.state == CommitState::Compute {
+            for i in 0..n {
+                let v = CycleView {
+                    cycle: view.cycle + i,
+                    ..*view
+                };
+                self.on_cycle(&v);
+            }
+            return;
+        }
+        let fires = self.timer.tick_n(n);
+        if fires == 0 {
+            return;
+        }
+        self.samples += fires;
+        match view.state {
+            CommitState::Compute => unreachable!(),
+            CommitState::Stalled => {
+                if let Some(head) = view.stalled_head {
+                    let e = self
+                        .pending
+                        .entry(head.seq)
+                        .or_insert((0.0, CommitState::Stalled));
+                    // Pending weights are integral sums of 1.0, so one
+                    // folded add matches `fires` unit adds bit for bit.
+                    e.0 += fires as f64;
+                }
+            }
+            CommitState::Drained => {
+                if let Some(next) = view.next_commit {
+                    let e = self
+                        .pending
+                        .entry(next.seq)
+                        .or_insert((0.0, CommitState::Drained));
+                    e.0 += fires as f64;
+                }
+            }
+            CommitState::Flushed => {
+                if let Some(last) = view.last_committed {
+                    self.profile
+                        .add_n(last.addr, CommitState::Flushed, 1.0, fires);
                 }
             }
         }

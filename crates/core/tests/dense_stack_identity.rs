@@ -1,9 +1,11 @@
-//! Artifact bit-identity for the dense cycle-stack representation.
+//! Artifact bit-identity for the `CycleStack` representation.
 //!
-//! The dense `CycleStack` replaced the per-instruction `HashMap<Psv,
-//! f64>` purely as a storage change: every profiler artifact — golden
-//! and sampled PICS, error metrics, rendered reports — must come out
-//! bit-identical. Two angles are pinned here:
+//! `CycleStack` replaced the per-instruction `HashMap<Psv, f64>`
+//! purely as a storage change (first a dense `[f64; 512]`, now a
+//! sparse sorted vec — see INTERNALS §8): every profiler artifact —
+//! golden and sampled PICS, error metrics, rendered reports — must
+//! come out bit-identical regardless of the layout generation. Two
+//! angles are pinned here:
 //!
 //! 1. **Cross-representation**: a full simulated run attributed through
 //!    the real `Pics` must agree bit-for-bit with a map-based reference
@@ -11,9 +13,9 @@
 //!    `pics.rs` covers random streams; this covers a real pipeline's).
 //! 2. **Run-to-run**: repeating an identical profiled run must
 //!    reproduce every artifact byte-for-byte, including rendered
-//!    reports that fold f64 across stacks. With the dense stack this
-//!    holds by construction (iteration order is fixed); it would also
-//!    have caught any accidental dependence on map iteration order.
+//!    reports that fold f64 across stacks. With a fixed iteration
+//!    order this holds by construction; it would also have caught any
+//!    accidental dependence on map iteration order.
 
 use std::collections::HashMap;
 

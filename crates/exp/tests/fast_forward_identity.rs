@@ -1,0 +1,55 @@
+//! Stall fast-forward bit-identity at the experiment level.
+//!
+//! The fast-forwarding core must be indistinguishable from the ticked
+//! core everywhere a number escapes the engine: same statistics, same
+//! PICS, same per-scheme errors, same deterministic artifact bytes.
+//! This pins the entire skip machinery — quiescence detection, jump
+//! bounds, bulk accounting, folded observer delivery — against the
+//! cycle-by-cycle reference across three workloads, serially and in
+//! parallel. Both runs use the *same* config name, so the artifacts
+//! differ only if the simulation itself does.
+
+use tea_exp::{Engine, Matrix, RunResult};
+use tea_sim::SimConfig;
+use tea_workloads::{deepsjeng, lbm, xz, Size};
+
+fn run(threads: usize, fast_forward: bool) -> RunResult {
+    let cfg = SimConfig {
+        fast_forward,
+        ..SimConfig::default()
+    };
+    let matrix = Matrix::new()
+        .workloads(vec![
+            lbm::workload(Size::Test),
+            xz::workload(Size::Test),
+            deepsjeng::workload(Size::Test),
+        ])
+        .configs(vec![("default", cfg)])
+        .seeds(&[11]);
+    Engine::new(threads)
+        .quiet()
+        .run("ff-identity", matrix.cells())
+}
+
+#[test]
+fn fast_forward_artifact_is_byte_identical_serial() {
+    let ff = run(1, true);
+    let tk = run(1, false);
+    assert_eq!(
+        ff.deterministic_json().render_pretty(),
+        tk.deterministic_json().render_pretty(),
+        "fast-forward must not change a single artifact byte (serial)"
+    );
+}
+
+#[test]
+fn fast_forward_artifact_is_byte_identical_parallel() {
+    let ff = run(4, true);
+    let tk = run(4, false);
+    assert!(ff.threads > 1, "3-cell matrix must actually fan out");
+    assert_eq!(
+        ff.deterministic_json().render_pretty(),
+        tk.deterministic_json().render_pretty(),
+        "fast-forward must not change a single artifact byte (parallel)"
+    );
+}

@@ -169,6 +169,14 @@ pub struct SimConfig {
     /// cycles, pipeline-flushing and running the handler — the
     /// measurable runtime cost of enabling TEA.
     pub sampling_injection: Option<SamplingInjection>,
+    /// Fast-forward quiescent stall runs: when a cycle makes no
+    /// progress anywhere in the pipeline and none is possible before
+    /// the earliest pending event, jump the clock there directly and
+    /// deliver the skipped span to observers in bulk
+    /// ([`crate::trace::Observer::on_stall_run`]). Results are
+    /// bit-identical either way; disable only to cross-check that
+    /// identity or to debug the timing model cycle by cycle.
+    pub fast_forward: bool,
 }
 
 impl Default for SimConfig {
@@ -257,6 +265,7 @@ impl Default for SimConfig {
             redirect_penalty: 5,
             flush_penalty: 7,
             sampling_injection: None,
+            fast_forward: true,
         }
     }
 }

@@ -196,6 +196,11 @@ struct StqEntry {
 /// deque every few squashes would cost more than it saves.
 const STREAM_SHRINK_FLOOR: usize = 256;
 
+/// Cycles without a commit after which the run is declared a timing
+/// deadlock. Also caps the stall fast-forward jump so the deadlock
+/// assert fires at the exact cycle a ticked run would reach.
+const DEADLOCK_CYCLES: u64 = 500_000;
+
 /// Correct-path instruction stream: either a live functional
 /// interpreter with a replay window, or a shared pre-captured trace.
 ///
@@ -411,6 +416,11 @@ pub struct Core<'p> {
     last_committed: Option<InstRef>,
     halt_committed: bool,
     last_commit_cycle: u64,
+    /// Whether any pipeline phase changed machine state this cycle.
+    /// Cleared at the top of every cycle; a cycle that ends with it
+    /// still false (and empty commit/dispatch/fetch buffers) is
+    /// *quiescent* and eligible for stall fast-forward.
+    progress: bool,
 
     committed_buf: Vec<InstRef>,
     retired_buf: Vec<RetiredInst>,
@@ -537,6 +547,7 @@ impl<'p> Core<'p> {
             last_committed: None,
             halt_committed: false,
             last_commit_cycle: 0,
+            progress: false,
             committed_buf: Vec::with_capacity(8),
             retired_buf: Vec::with_capacity(8),
             dispatched_buf: Vec::with_capacity(8),
@@ -629,6 +640,7 @@ impl<'p> Core<'p> {
     // ---- squash ----
 
     fn squash_from(&mut self, from_seq: u64) {
+        self.progress = true;
         self.stats.squashes += 1;
         self.squashed_buf.push(from_seq);
         while let Some(&r) = self.rob.back() {
@@ -695,6 +707,7 @@ impl<'p> Core<'p> {
                 break;
             }
             self.events.pop();
+            self.progress = true;
             let r = SlotRef { idx, gen };
             if !self.valid(r) {
                 continue;
@@ -898,6 +911,7 @@ impl<'p> Core<'p> {
         while let Some(e) = self.stq.front() {
             if e.drain_started && e.drain_done <= now {
                 self.stq.pop_front();
+                self.progress = true;
             } else {
                 break;
             }
@@ -920,6 +934,7 @@ impl<'p> Core<'p> {
             entry.drain_started = true;
             entry.drain_done = out.ready;
             started += 1;
+            self.progress = true;
         }
     }
 
@@ -935,6 +950,7 @@ impl<'p> Core<'p> {
                     }
                     _ => break,
                 };
+                self.progress = true;
                 let Reverse((_, seq, idx, gen)) = top;
                 let r = SlotRef { idx, gen };
                 if !self.valid(r) {
@@ -1120,8 +1136,15 @@ impl<'p> Core<'p> {
                 ExecClass::Store if self.stq.len() >= self.cfg.stq_entries => {
                     // The paper's DR-SQ event: a store that cannot
                     // dispatch because the store queue is full of
-                    // completed-but-not-retired stores.
-                    self.slots[front.idx as usize].psv.set(Event::DrSq);
+                    // completed-but-not-retired stores. Setting the bit
+                    // is progress only the first time — later stalled
+                    // cycles re-set it idempotently, so they can still
+                    // fast-forward.
+                    let s = &mut self.slots[front.idx as usize];
+                    if !s.psv.contains(Event::DrSq) {
+                        self.progress = true;
+                    }
+                    s.psv.set(Event::DrSq);
                     break;
                 }
                 _ => {}
@@ -1200,6 +1223,7 @@ impl<'p> Core<'p> {
             }
             let Some(d) = self.stream.get(self.cursor) else {
                 self.fetch_done = true;
+                self.progress = true;
                 break;
             };
             let line = d.pc >> self.line_shift;
@@ -1209,6 +1233,7 @@ impl<'p> Core<'p> {
                         let out = self.hier.access_inst(d.pc, now);
                         if out.l1i_miss || out.itlb_miss {
                             self.fetch_blocked_until = out.ready;
+                            self.progress = true;
                             if out.l1i_miss {
                                 self.pending_fe_bits.set(Event::DrL1);
                             }
@@ -1262,6 +1287,55 @@ impl<'p> Core<'p> {
                 break;
             }
         }
+    }
+
+    /// Earliest future cycle at which a quiescent pipeline could act
+    /// again: the soonest pending completion event, issue-queue ready
+    /// time, store-queue front drain, or fetch unblock. `u64::MAX`
+    /// means nothing is in flight at all (a true deadlock — the jump
+    /// then lands on the deadlock-assert cycle).
+    ///
+    /// The bound is a *lower* bound on the next state change, never an
+    /// exact prediction: stale heap entries (squashed instructions) may
+    /// surface earlier and simply make that cycle non-quiescent. Commit
+    /// progress is bounded by the ROB head's own completion timestamp:
+    /// [`Core::commit`] compares `slot.complete` against the clock
+    /// lazily, so the head can retire on a cycle where no event pops
+    /// (its event and the commit are distinct state changes, and the
+    /// heap may have been drained by a squash's generation bumps).
+    fn quiescent_bound(&self) -> u64 {
+        let mut bound = u64::MAX;
+        if let Some(&head) = self.rob.front() {
+            if let Some(c) = self.slots[head.idx as usize].complete {
+                bound = bound.min(c);
+            }
+        }
+        if let Some(&Reverse((c, _, _, _))) = self.events.peek() {
+            bound = bound.min(c);
+        }
+        for q in [&self.int_q, &self.mem_q, &self.fp_q] {
+            if let Some(&Reverse((ready, _, _, _))) = q.ready.peek() {
+                bound = bound.min(ready);
+            }
+        }
+        if let Some(e) = self.stq.front() {
+            // Only the front entry's completion frees STQ space or pops
+            // the queue; deeper drains finish silently until they reach
+            // the front.
+            if e.drain_started {
+                bound = bound.min(e.drain_done);
+            }
+        }
+        // Fetch wakes at `fetch_blocked_until` unless it is finished or
+        // parked on an unresolved mispredicted branch (whose resolution
+        // is an event in the heap, already covered).
+        if !self.fetch_done
+            && self.fetch_stalled_branch.is_none()
+            && self.fetch_blocked_until > self.cycle
+        {
+            bound = bound.min(self.fetch_blocked_until);
+        }
+        bound
     }
 
     /// Runs to completion (the program's `halt` committing), driving the
@@ -1319,6 +1393,7 @@ impl<'p> Core<'p> {
     ) -> Result<SimStats, SimError> {
         let start = self.cycle;
         while !self.halt_committed && self.cycle - start < max_cycles {
+            self.progress = false;
             self.take_sampling_interrupt();
             self.process_events();
             let snapshot = self.commit();
@@ -1369,13 +1444,71 @@ impl<'p> Core<'p> {
                 });
             }
             assert!(
-                self.cycle - self.last_commit_cycle < 500_000,
+                self.cycle - self.last_commit_cycle < DEADLOCK_CYCLES,
                 "no commit for 500k cycles at cycle {} (pc of next inst: {:?}): timing deadlock",
                 self.cycle,
                 self.stream.get(self.cursor).map(|d| d.pc)
             );
-            self.cycle += 1;
-            self.stats.cycles += 1;
+            // Stall fast-forward: a quiescent cycle (no state change in
+            // any pipeline phase, nothing committed/dispatched/fetched)
+            // repeats identically until the earliest pending event, so
+            // jump there instead of simulating the copies. The jump is
+            // additionally bounded by the next sampling-interrupt fire,
+            // the deadlock assert, and the `max_cycles` budget, all of
+            // which must land on the exact cycle a ticked run reaches.
+            let mut step = 1;
+            if self.cfg.fast_forward
+                && !self.progress
+                && self.committed_buf.is_empty()
+                && self.dispatched_buf.is_empty()
+                && self.fetched_buf.is_empty()
+            {
+                let now = self.cycle;
+                let mut target = self.quiescent_bound();
+                if self.cfg.sampling_injection.is_some() {
+                    // The countdown is >= 1 here (a fire this cycle
+                    // squashes, which is progress), and the fire cycle
+                    // itself must be simulated.
+                    target = target.min(now.saturating_add(self.sample_countdown));
+                }
+                target = target
+                    .min(self.last_commit_cycle.saturating_add(DEADLOCK_CYCLES))
+                    .min(start.saturating_add(max_cycles));
+                if target > now + 1 {
+                    // Skip cycles now+1 .. target-1; cycle `target` is
+                    // simulated normally next iteration.
+                    let n = target - now - 1;
+                    let si = snapshot.state.index();
+                    self.stats.state_cycles[si] = self.stats.state_cycles[si].saturating_add(n);
+                    #[cfg(feature = "obs")]
+                    {
+                        // Quiescent cycles commit nothing: occupancy 0.
+                        self.obs.occupancy[0] = self.obs.occupancy[0].saturating_add(n);
+                    }
+                    if self.cfg.sampling_injection.is_some() {
+                        // n <= countdown - 1, so the timer never fires
+                        // inside the span and the next simulated cycle
+                        // decrements it exactly as a ticked run would.
+                        self.sample_countdown -= n;
+                    }
+                    let view = CycleView {
+                        cycle: now + 1,
+                        state: snapshot.state,
+                        committed: &self.committed_buf,
+                        stalled_head: snapshot.stalled_head,
+                        next_commit: snapshot.next_commit,
+                        last_committed: self.last_committed,
+                        dispatched: &self.dispatched_buf,
+                        fetched: &self.fetched_buf,
+                    };
+                    for obs in observers.iter_mut() {
+                        obs.on_stall_run(&view, n);
+                    }
+                    step = n + 1;
+                }
+            }
+            self.cycle += step;
+            self.stats.cycles += step;
         }
         self.stats.hier = self.hier.stats();
         self.stats.branch = self.bp.stats();
@@ -1651,5 +1784,150 @@ mod tests {
         for seq in (peak - live_window)..=peak {
             assert_eq!(stream.get(seq).map(|d| d.seq), Some(seq));
         }
+    }
+
+    /// A strided-load loop whose loads miss the LLC: long commit stalls,
+    /// the fast-forward path's bread and butter.
+    fn strided_program(iters: i64) -> Program {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, iters);
+        a.li(Reg::A0, 0x100_0000);
+        a.bind(top);
+        a.ld(Reg::T2, Reg::A0, 0);
+        a.add(Reg::A1, Reg::A1, Reg::T2);
+        a.addi(Reg::A0, Reg::A0, 4096 + 256);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    fn ticked(fast_forward: bool) -> SimConfig {
+        SimConfig {
+            fast_forward,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Counts exactly what the core delivers: per-cycle views and
+    /// folded stall runs.
+    #[derive(Default)]
+    struct SpanCounter {
+        cycles: u64,
+        runs: u64,
+        skipped: u64,
+    }
+
+    impl Observer for SpanCounter {
+        fn on_cycle(&mut self, _view: &CycleView<'_>) {
+            self.cycles += 1;
+        }
+        fn on_retire(&mut self, _retired: &RetiredInst) {}
+        fn on_stall_run(&mut self, _view: &CycleView<'_>, n: u64) {
+            self.runs += 1;
+            self.skipped += n;
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_ticked_run_exactly() {
+        for p in [looped_program(2_000), strided_program(2_000)] {
+            let ff = Core::new(&p, ticked(true)).run(&mut []);
+            let tk = Core::new(&p, ticked(false)).run(&mut []);
+            // SimStats equality covers cycles, retirements, the whole
+            // state_cycles histogram, squash counts and cache stats.
+            assert_eq!(ff, tk);
+        }
+    }
+
+    #[test]
+    fn fast_forward_engages_and_accounts_every_cycle() {
+        let p = strided_program(2_000);
+        let mut c = SpanCounter::default();
+        let stats = Core::new(&p, ticked(true)).run(&mut [&mut c]);
+        assert!(c.runs > 0, "memory-bound loop must fast-forward");
+        assert!(c.skipped > stats.cycles / 4, "skipped {}", c.skipped);
+        assert_eq!(c.cycles + c.skipped, stats.cycles);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn fast_forward_occupancy_histogram_matches_ticked() {
+        let p = strided_program(1_000);
+        let mut ff = Core::new(&p, ticked(true));
+        let mut tk = Core::new(&p, ticked(false));
+        ff.run(&mut []);
+        tk.run(&mut []);
+        assert_eq!(ff.obs.occupancy, tk.obs.occupancy);
+    }
+
+    #[test]
+    fn max_cycles_budget_lands_on_the_exact_cycle() {
+        let p = strided_program(5_000);
+        for budget in [1_000u64, 7_777, 33_333] {
+            let a = Core::new(&p, ticked(true)).run_for(budget, &mut []);
+            let b = Core::new(&p, ticked(false)).run_for(budget, &mut []);
+            assert_eq!(a, b, "budget {budget}");
+            assert!(a.cycles <= budget);
+        }
+    }
+
+    #[test]
+    fn sampling_injection_fires_identically_under_fast_forward() {
+        let p = strided_program(2_000);
+        let run = |fast_forward| {
+            let cfg = SimConfig {
+                sampling_injection: Some(crate::config::SamplingInjection {
+                    interval: 509,
+                    handler_cycles: 35,
+                }),
+                ..ticked(fast_forward)
+            };
+            let mut c = SpanCounter::default();
+            let stats = Core::new(&p, cfg).run(&mut [&mut c]);
+            (stats, c.cycles + c.skipped)
+        };
+        let (ff, ff_seen) = run(true);
+        let (tk, tk_seen) = run(false);
+        assert_eq!(ff, tk);
+        assert_eq!(ff_seen, tk_seen);
+    }
+
+    /// Empties every completion source so the core can never commit
+    /// again: the ROB head waits for an event that will never arrive.
+    /// Drives the timing-deadlock assert deterministically — the only
+    /// way to reach it from a correct timing model is surgery like
+    /// this.
+    fn starve(core: &mut Core<'_>) {
+        core.events.clear();
+        core.int_q.ready.clear();
+        core.mem_q.ready.clear();
+        core.fp_q.ready.clear();
+    }
+
+    #[test]
+    fn deadlock_assert_fires_at_the_same_cycle_under_fast_forward() {
+        let panic_msg = |fast_forward: bool| {
+            // The strided loop, not the store loop: its branches predict
+            // perfectly mid-run, so no squash ever re-dispatches (and
+            // thereby revives) the starved instructions.
+            let p = strided_program(100_000);
+            let mut core = Core::new(&p, ticked(fast_forward));
+            core.run_for(300, &mut []);
+            starve(&mut core);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                core.run_for(u64::MAX, &mut [])
+            }))
+            .expect_err("starved core must hit the deadlock assert");
+            *err.downcast::<String>().expect("assert message")
+        };
+        let ff = panic_msg(true);
+        let tk = panic_msg(false);
+        assert!(ff.contains("timing deadlock"), "{ff}");
+        // The message embeds the panicking cycle number, so string
+        // equality pins the assert to the identical cycle.
+        assert_eq!(ff, tk);
     }
 }

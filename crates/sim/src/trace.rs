@@ -126,6 +126,34 @@ pub trait Observer {
         }
     }
 
+    /// Called once for a *stall run*: `n` consecutive quiescent cycles
+    /// the core fast-forwarded over instead of simulating one by one
+    /// (see `tea_sim::core`'s stall fast-forward). The cycles span
+    /// `view.cycle .. view.cycle + n`; every one of them would have
+    /// produced a `CycleView` identical to `view` except for the cycle
+    /// number — no retirement, no squash, no dispatch, no fetch occurs
+    /// anywhere in the run, and the commit state and its attribution
+    /// targets are constant.
+    ///
+    /// This is the batched form of [`Observer::on_cycle`] for stall
+    /// spans, following the [`Observer::on_commit_batch`] pattern: the
+    /// default implementation replays `on_cycle` n times with the
+    /// cycle number advanced, so existing observers are untouched.
+    /// Hot-path observers override it to fold the n identical cycles
+    /// into their accumulators in O(1)-ish work; an override must leave
+    /// the observer in a state bit-identical to the n individual
+    /// `on_cycle` calls, so fast-forwarded and ticked runs produce
+    /// byte-identical artifacts.
+    fn on_stall_run(&mut self, view: &CycleView<'_>, n: u64) {
+        for i in 0..n {
+            let v = CycleView {
+                cycle: view.cycle + i,
+                ..*view
+            };
+            self.on_cycle(&v);
+        }
+    }
+
     /// Called when the pipeline squashes every in-flight instruction
     /// with `seq >= from_seq` (mispredict recovery, commit-time flush,
     /// memory-order violation, sampling or external interrupt).

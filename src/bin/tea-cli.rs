@@ -9,9 +9,9 @@
 //!               [--det-json out.json] [--no-trace-cache] [--trace-cache-budget BYTES]
 //!               [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]
 //!               [--inject-panic <workload>] [--inject-diverge <workload>]
-//!               [--chaos-seed N]
+//!               [--chaos-seed N] [--no-fast-forward]
 //! tea-cli bench [workload...] [--size test|ref] [--interval N] [--iters N] [--json out.json]
-//!               [--set-baseline]
+//!               [--set-baseline] [--no-fast-forward]
 //! tea-cli disasm <workload> [--lines N]
 //! tea-cli record <workload> <out.teas> [--size test|ref] [--interval N]
 //! tea-cli report <in.teas> <workload> [--top N]
@@ -65,6 +65,7 @@ struct Args {
     inject_diverge: Option<String>,
     iters: u32,
     set_baseline: bool,
+    no_fast_forward: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     log_level: Option<String>,
@@ -91,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         inject_diverge: None,
         iters: 3,
         set_baseline: false,
+        no_fast_forward: false,
         trace_out: None,
         metrics_out: None,
         log_level: None,
@@ -163,6 +165,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad iters: {e}"))?
             }
             "--set-baseline" => args.set_baseline = true,
+            "--no-fast-forward" => args.no_fast_forward = true,
             "--trace-out" => args.trace_out = Some(grab("--trace-out")?),
             "--metrics-out" => args.metrics_out = Some(grab("--metrics-out")?),
             "--log-level" => args.log_level = Some(grab("--log-level")?),
@@ -173,6 +176,18 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// The core configuration the CLI's commands run under:
+/// [`SimConfig::default`] with stall fast-forward switched off when
+/// `--no-fast-forward` was given. The two settings produce bit-identical
+/// artifacts (CI's fast-forward-identity job holds them to that);
+/// disabling exists for cross-checks and debugging.
+fn sim_config(args: &Args) -> SimConfig {
+    SimConfig {
+        fast_forward: !args.no_fast_forward,
+        ..SimConfig::default()
+    }
 }
 
 fn find_workload(name: &str, size: Size) -> Result<Workload, String> {
@@ -195,7 +210,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         .get(1)
         .ok_or("simulate needs a workload name")?;
     let w = find_workload(name, args.size)?;
-    let stats = Core::new(&w.program, SimConfig::default()).run(&mut []);
+    let stats = Core::new(&w.program, sim_config(args)).run(&mut []);
     println!(
         "{}: {} instructions, {} cycles, IPC {:.3}",
         w.name,
@@ -234,7 +249,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         42,
     ));
     let mut golden = GoldenReference::new();
-    let stats = Core::new(&w.program, SimConfig::default()).run(&mut [&mut tea, &mut golden]);
+    let stats = Core::new(&w.program, sim_config(args)).run(&mut [&mut tea, &mut golden]);
     println!(
         "{}: {} cycles, {} TEA samples (interval {})\n",
         w.name,
@@ -268,6 +283,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     ];
     let spec = CellSpec::for_workload(&w)
         .interval(args.interval)
+        .config("default", sim_config(args))
         .schemes(&schemes);
     let run = Engine::serial().quiet().run("compare", vec![spec]);
     let cell = run.cells[0]
@@ -371,7 +387,9 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
             } else {
                 CellSpec::for_workload(w)
             };
-            spec = spec.interval(args.interval);
+            spec = spec
+                .interval(args.interval)
+                .config("default", sim_config(args));
             if args.inject_panic.as_deref() == Some(w.name) {
                 spec = spec.fault(Fault::PanicUntilAttempt(u32::MAX));
             }
@@ -501,7 +519,13 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         args.interval,
         args.iters
     );
-    let report = measure_suite(&workloads, size_name, args.interval, args.iters);
+    let report = measure_suite(
+        &workloads,
+        size_name,
+        args.interval,
+        args.iters,
+        &sim_config(args),
+    );
     println!(
         "{:<12} {:>12} {:>10} {:>16} {:>16} {:>14} {:>14}",
         "workload", "cycles", "samples", "sim cyc/s", "profiled cyc/s", "replay cyc/s", "samples/s"
@@ -528,6 +552,22 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         report.replay_cycles_per_second(),
         report.samples_per_second()
     );
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "phase walls", "sim(s)", "profiled", "golden", "capture", "decode", "replay"
+    );
+    for w in &report.workloads {
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            w.name,
+            w.sim_wall,
+            w.profiled_wall,
+            w.golden_wall,
+            w.capture_wall,
+            w.decode_wall,
+            w.replay_wall
+        );
+    }
     println!(
         "matrix ({} cells, {} seeds/workload): interpret {:.3}s, warm cache {:.3}s, speedup {:.2}x",
         report.matrix.cells,
@@ -596,7 +636,7 @@ fn cmd_record(args: &Args) -> Result<(), String> {
         SampleTimer::with_jitter(args.interval, args.interval / 8, 42),
         std::process::id(),
     );
-    let stats = Core::new(&w.program, SimConfig::default()).run(&mut [&mut recorder]);
+    let stats = Core::new(&w.program, sim_config(args)).run(&mut [&mut recorder]);
     let mut file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
     write_samples(&mut file, recorder.samples()).map_err(|e| format!("write {path}: {e}"))?;
     println!(
@@ -853,9 +893,9 @@ fn main() -> ExitCode {
                  \u{20}             [--det-json out.json] [--no-trace-cache] [--trace-cache-budget BYTES]\n  \
                  \u{20}             [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]\n  \
                  \u{20}             [--inject-panic <workload>] [--inject-diverge <workload>]\n  \
-                 \u{20}             [--chaos-seed N]\n  \
+                 \u{20}             [--chaos-seed N] [--no-fast-forward]\n  \
                  tea-cli bench [workload...] [--size test|ref] [--interval N] [--iters N]\n  \
-                 \u{20}             [--json out.json] [--set-baseline]\n  \
+                 \u{20}             [--json out.json] [--set-baseline] [--no-fast-forward]\n  \
                  tea-cli calibrate [--json out.json]\n  \
                  tea-cli record <workload> <out.teas> [--size test|ref] [--interval N]\n  \
                  tea-cli report <in.teas> <workload> [--top N]\n  \
