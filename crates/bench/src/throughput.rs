@@ -61,6 +61,10 @@ pub struct WorkloadThroughput {
     pub sim_wall: f64,
     /// Best wall time with golden + all schemes attached (seconds).
     pub profiled_wall: f64,
+    /// Best wall time of the same profiled configuration with the
+    /// flight-recorder sampler ([`tea_obs::series::Sampler`]) running at
+    /// its default interval — what a suite run with `--series-out` pays.
+    pub sampled_wall: f64,
     /// Wall time of one trace capture (the cost a matrix pays once per
     /// workload before replay starts paying off).
     pub capture_wall: f64,
@@ -100,6 +104,25 @@ impl WorkloadThroughput {
     #[must_use]
     pub fn samples_per_second(&self) -> f64 {
         rate(self.samples as f64, self.profiled_wall)
+    }
+
+    /// Simulated cycles per second, profiled with the metrics sampler
+    /// running.
+    #[must_use]
+    pub fn sampled_cycles_per_second(&self) -> f64 {
+        rate(self.cycles as f64, self.sampled_wall)
+    }
+
+    /// Wall-clock inflation from the sampler: `sampled_wall /
+    /// profiled_wall`. 1.0 means free; 1.02 means 2% slower with the
+    /// flight recorder on.
+    #[must_use]
+    pub fn sampler_overhead(&self) -> f64 {
+        if self.profiled_wall > 0.0 {
+            self.sampled_wall / self.profiled_wall
+        } else {
+            0.0
+        }
     }
 
     /// Simulated cycles per second, profiled and replaying the
@@ -243,6 +266,26 @@ impl ThroughputReport {
         rate(self.total_cycles() as f64, wall)
     }
 
+    /// Aggregate profiled cycles per second with the sampler running.
+    #[must_use]
+    pub fn sampled_cycles_per_second(&self) -> f64 {
+        let wall: f64 = self.workloads.iter().map(|w| w.sampled_wall).sum();
+        rate(self.total_cycles() as f64, wall)
+    }
+
+    /// Suite-wide sampler overhead: total sampled wall over total
+    /// profiled wall (0.0 when nothing was measured).
+    #[must_use]
+    pub fn sampler_overhead(&self) -> f64 {
+        let profiled: f64 = self.workloads.iter().map(|w| w.profiled_wall).sum();
+        let sampled: f64 = self.workloads.iter().map(|w| w.sampled_wall).sum();
+        if profiled > 0.0 {
+            sampled / profiled
+        } else {
+            0.0
+        }
+    }
+
     /// Total resident bytes of all compressed captured traces — the
     /// trace-cache footprint of running the whole suite warm.
     #[must_use]
@@ -279,6 +322,17 @@ impl ThroughputReport {
                 Json::Num(self.replay_cycles_per_second()),
             ),
             ("samples_per_second", Json::Num(self.samples_per_second())),
+            (
+                "sampled_cycles_per_second",
+                Json::Num(self.sampled_cycles_per_second()),
+            ),
+            (
+                "sampler_overhead",
+                json_ratio(
+                    self.workloads.iter().map(|w| w.sampled_wall).sum(),
+                    self.workloads.iter().map(|w| w.profiled_wall).sum(),
+                ),
+            ),
             (
                 "matrix_warm_speedup",
                 json_ratio(self.matrix.interpret_wall, self.matrix.replay_wall),
@@ -326,6 +380,11 @@ impl ThroughputReport {
                         // cell actually spends its time.
                         ("sim_wall_seconds", Json::Num(w.sim_wall)),
                         ("profiled_wall_seconds", Json::Num(w.profiled_wall)),
+                        ("sampled_wall_seconds", Json::Num(w.sampled_wall)),
+                        (
+                            "sampler_overhead",
+                            json_ratio(w.sampled_wall, w.profiled_wall),
+                        ),
                         ("capture_wall_seconds", Json::Num(w.capture_wall)),
                         ("block_decode_wall_seconds", Json::Num(w.decode_wall)),
                         ("replay_wall_seconds", Json::Num(w.replay_wall)),
@@ -512,6 +571,22 @@ pub fn measure_workload(
         }
         samples = obs.samples();
     }
+    // Same profiled configuration, but with the flight-recorder
+    // sampler alive for the whole loop (one thread, default interval)
+    // — the deployment shape of a suite run with `--series-out`.
+    let mut sampled_wall = f64::INFINITY;
+    {
+        let sampler = tea_obs::series::Sampler::start(tea_obs::series::SamplerConfig::default());
+        for _ in 0..iters {
+            let mut obs = ProfiledObservers::new(interval, seed);
+            let mut core = Core::new(&w.program, cfg.clone());
+            let mut refs: [&mut dyn Observer; 1] = [&mut obs];
+            let t0 = Instant::now();
+            core.run(&mut refs);
+            sampled_wall = sampled_wall.min(t0.elapsed().as_secs_f64());
+        }
+        drop(sampler.stop());
+    }
     let mut golden_wall = f64::INFINITY;
     for _ in 0..iters {
         let mut golden = GoldenReference::new();
@@ -558,6 +633,7 @@ pub fn measure_workload(
         samples,
         sim_wall,
         profiled_wall,
+        sampled_wall,
         capture_wall,
         decode_wall,
         replay_wall,
@@ -726,6 +802,7 @@ mod tests {
         for key in [
             "sim_wall_seconds",
             "profiled_wall_seconds",
+            "sampled_wall_seconds",
             "capture_wall_seconds",
             "block_decode_wall_seconds",
             "replay_wall_seconds",
@@ -762,6 +839,37 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_overhead_columns_are_present_and_sane() {
+        let r = tiny_report();
+        let w = &r.workloads[0];
+        assert!(w.sampled_wall.is_finite() && w.sampled_wall > 0.0);
+        assert!(w.sampler_overhead() > 0.0);
+        assert!(r.sampled_cycles_per_second() > 0.0);
+        assert!(r.sampler_overhead() > 0.0);
+        let doc = render_artifact(&r, None);
+        let after = doc.get("after").unwrap();
+        assert!(after
+            .get("sampled_cycles_per_second")
+            .and_then(Json::as_f64)
+            .is_some_and(|v| v > 0.0));
+        let overhead = after
+            .get("sampler_overhead")
+            .and_then(Json::as_f64)
+            .expect("suite sampler_overhead present and numeric");
+        // Wall-clock noise on a tiny workload swamps the real cost;
+        // just pin the ratio to a sane band rather than the 2% budget
+        // the ref-size suite is held to.
+        assert!((0.2..=5.0).contains(&overhead), "overhead {overhead}");
+        let Json::Arr(rows) = doc.get("per_workload").unwrap() else {
+            panic!("per_workload must be an array");
+        };
+        assert!(rows[0]
+            .get("sampler_overhead")
+            .and_then(Json::as_f64)
+            .is_some());
     }
 
     #[test]

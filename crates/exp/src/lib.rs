@@ -46,6 +46,7 @@ pub mod chaos;
 pub mod error;
 pub mod journal;
 pub mod json;
+pub mod progress;
 pub mod trace_cache;
 
 use std::collections::HashMap;
@@ -76,6 +77,7 @@ use tea_workloads::Workload;
 
 pub use chaos::{ChaosInjector, ObserverFault};
 pub use error::ExpError;
+pub use progress::{ProgressEvent, ProgressRecorder, ProgressSink, ProgressStream};
 pub use trace_cache::TraceCache;
 
 use chaos::ChaosObserver;
@@ -419,6 +421,19 @@ pub struct Engine {
     trace_cache: bool,
     trace_cache_budget: Option<u64>,
     chaos: Option<Arc<ChaosInjector>>,
+    progress_sinks: ProgressSinks,
+    heartbeat: Duration,
+}
+
+/// The engine's installed progress sinks ([`Engine::progress_sink`]).
+/// Newtype so `Engine` keeps deriving `Debug`.
+#[derive(Clone, Default)]
+struct ProgressSinks(Vec<Arc<dyn ProgressSink>>);
+
+impl std::fmt::Debug for ProgressSinks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProgressSinks({})", self.0.len())
+    }
 }
 
 /// A unit of work handed to the pool: a spec to run, or an outcome
@@ -447,6 +462,8 @@ impl Engine {
             trace_cache: true,
             trace_cache_budget: None,
             chaos: None,
+            progress_sinks: ProgressSinks::default(),
+            heartbeat: Duration::from_millis(250),
         }
     }
 
@@ -555,6 +572,27 @@ impl Engine {
     #[must_use]
     pub fn chaos(mut self, injector: Arc<ChaosInjector>) -> Self {
         self.chaos = Some(injector);
+        self
+    }
+
+    /// Installs a [`ProgressSink`] receiving the run's live lifecycle
+    /// events (queued/start/retry/replay-fallback/finish), periodic
+    /// heartbeats, and the final per-cell status roll-up. Multiple
+    /// sinks may be installed; each sees every event. See
+    /// [`ProgressStream`] (`tea-cli --progress-stream`) and
+    /// [`ProgressRecorder`] (the HTML report's data source).
+    #[must_use]
+    pub fn progress_sink(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.progress_sinks.0.push(sink);
+        self
+    }
+
+    /// Sets the heartbeat cadence for installed progress sinks
+    /// (default 250 ms). Heartbeats only flow while at least one sink
+    /// is installed.
+    #[must_use]
+    pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat = interval.max(Duration::from_millis(1));
         self
     }
 
@@ -689,9 +727,28 @@ impl Engine {
                 ("workers", Value::from(workers)),
             ],
         );
+        // The queue-depth gauge is add-based (never `set`) so
+        // concurrent runs in one process each retire exactly the
+        // depth they added and the gauge deterministically reads 0 at
+        // every run boundary — which keeps serial and parallel
+        // metric snapshots equal.
+        let queue_depth = metrics().gauge("engine.queue_depth");
+        queue_depth.add(i64::try_from(total).unwrap_or(i64::MAX));
+        self.emit_progress(&ProgressEvent::RunStart {
+            ts_ns: tea_obs::now_ns(),
+            name: name.to_string(),
+            total,
+            workers,
+        });
         for (i, w) in work.iter().enumerate() {
             if let CellWork::Run(spec) = w {
                 tea_obs::debug(ENGINE_TARGET, "cell queued", &cell_fields(i, spec));
+                self.emit_progress(&ProgressEvent::CellQueued {
+                    ts_ns: tea_obs::now_ns(),
+                    index: i,
+                    workload: spec.workload.to_string(),
+                    config: spec.config_name.to_string(),
+                });
             }
         }
         // One trace cache serves the whole run: the first cell of each
@@ -718,17 +775,29 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
+        // Heartbeat inputs: cells currently executing, and finished
+        // fresh-cell wall times feeding the ETA estimate.
+        let running = AtomicUsize::new(0);
+        let finished_walls: Mutex<Vec<f64>> = Mutex::new(Vec::new());
         std::thread::scope(|s| {
+            if !self.progress_sinks.0.is_empty() && total > 0 {
+                let (done, running, walls) = (&done, &running, &finished_walls);
+                s.spawn(move || self.heartbeat_loop(total, workers, done, running, walls));
+            }
             for worker in 0..workers {
                 let (slots, results) = (&slots, &results);
                 let (next, done, abort) = (&next, &done, &abort);
+                let (running, finished_walls, queue_depth) =
+                    (&running, &finished_walls, &queue_depth);
                 s.spawn(move || {
                     tea_obs::set_thread_name(&format!("engine-worker-{worker}"));
+                    let _sinks = progress::install_current(&self.progress_sinks.0);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {
                             break;
                         }
+                        queue_depth.add(-1);
                         // Slot locks only transfer ownership of complete
                         // values; recover from poisoning (a panicking
                         // sibling worker) rather than cascade the wedge.
@@ -741,7 +810,17 @@ impl Engine {
                                 if self.fail_fast && abort.load(Ordering::Relaxed) {
                                     CellOutcome::skipped(i, *spec)
                                 } else {
-                                    self.run_cell_traced(i, *spec, cache)
+                                    self.emit_progress(&ProgressEvent::CellStart {
+                                        ts_ns: tea_obs::now_ns(),
+                                        index: i,
+                                        workload: spec.workload.to_string(),
+                                        config: spec.config_name.to_string(),
+                                        worker,
+                                    });
+                                    running.fetch_add(1, Ordering::Relaxed);
+                                    let outcome = self.run_cell_traced(i, *spec, cache);
+                                    running.fetch_sub(1, Ordering::Relaxed);
+                                    outcome
                                 }
                             }
                         };
@@ -765,6 +844,19 @@ impl Engine {
                         }
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         self.progress_line(name, finished, total, &outcome);
+                        if matches!(outcome.data, CellData::Fresh(_)) {
+                            trace_cache::lock_recover(finished_walls)
+                                .push(outcome.wall.as_secs_f64());
+                        }
+                        self.emit_progress(&ProgressEvent::CellFinish {
+                            ts_ns: tea_obs::now_ns(),
+                            index: i,
+                            status: outcome.status.name().to_string(),
+                            attempts: outcome.attempts,
+                            wall_ms: outcome.wall.as_secs_f64() * 1e3,
+                            done: finished,
+                            total,
+                        });
                         *trace_cache::lock_recover(&results[i]) = Some(outcome);
                     }
                 });
@@ -782,11 +874,71 @@ impl Engine {
         let wall = t0.elapsed();
         run_span.record("wall_ms", wall.as_millis() as u64);
         drop(run_span);
+        self.emit_progress(&ProgressEvent::RunFinish {
+            ts_ns: tea_obs::now_ns(),
+            name: name.to_string(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            statuses: cells.iter().map(|c| c.status.name().to_string()).collect(),
+        });
         RunResult {
             name: name.to_string(),
             threads: workers,
             wall,
             cells,
+        }
+    }
+
+    /// Fans one event out to every installed progress sink.
+    fn emit_progress(&self, event: &ProgressEvent) {
+        for sink in &self.progress_sinks.0 {
+            sink.emit(event);
+        }
+    }
+
+    /// Emits a heartbeat every [`Engine::heartbeat_interval`] until
+    /// every cell is done. Sleeps in short slices so run completion is
+    /// never held up by a pending interval.
+    fn heartbeat_loop(
+        &self,
+        total: usize,
+        workers: usize,
+        done: &AtomicUsize,
+        running: &AtomicUsize,
+        finished_walls: &Mutex<Vec<f64>>,
+    ) {
+        let slice = Duration::from_millis(10).min(self.heartbeat);
+        let mut elapsed = Duration::ZERO;
+        loop {
+            if done.load(Ordering::Relaxed) >= total {
+                return;
+            }
+            std::thread::sleep(slice);
+            elapsed += slice;
+            if elapsed < self.heartbeat {
+                continue;
+            }
+            elapsed = Duration::ZERO;
+            let finished = done.load(Ordering::Relaxed);
+            if finished >= total {
+                return;
+            }
+            let in_flight = running.load(Ordering::Relaxed);
+            let walls = trace_cache::lock_recover(finished_walls);
+            let eta_s = (!walls.is_empty()).then(|| {
+                let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+                let remaining = (total - finished) as f64;
+                mean * remaining / workers.max(1) as f64
+            });
+            drop(walls);
+            self.emit_progress(&ProgressEvent::Heartbeat {
+                ts_ns: tea_obs::now_ns(),
+                done: finished,
+                total,
+                running: in_flight,
+                workers,
+                utilization: in_flight as f64 / workers.max(1) as f64,
+                eta_s,
+            });
         }
     }
 
@@ -886,6 +1038,12 @@ impl Engine {
                             ],
                         );
                         metrics().counter("engine.retries").inc();
+                        self.emit_progress(&ProgressEvent::CellRetry {
+                            ts_ns: tea_obs::now_ns(),
+                            index,
+                            attempt,
+                            cause: e.kind().to_string(),
+                        });
                         if delay > Duration::ZERO {
                             std::thread::sleep(delay);
                         }
@@ -1122,6 +1280,11 @@ fn run_cell_attempt(
                     ("error", Value::from(e.to_string())),
                 ],
             );
+            progress::emit_current(&ProgressEvent::ReplayFallback {
+                ts_ns: tea_obs::now_ns(),
+                index,
+                workload: spec.workload.to_string(),
+            });
             // The failed pass dropped its golden ticket (if it held
             // one), so this pass can re-claim and publish.
             run_cell_pass(

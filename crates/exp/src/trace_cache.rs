@@ -418,7 +418,7 @@ impl TraceCache {
                 .fetch_sub(resident, Ordering::Relaxed);
             m.gauge("trace_cache.resident_bytes")
                 .add(-(resident as i64));
-            m.counter("trace_cache.evicted").inc();
+            m.counter("trace_cache.evictions").inc();
             tea_obs::debug(
                 CACHE_TARGET,
                 "trace evicted under byte budget",

@@ -1,0 +1,102 @@
+//! Live progress streaming against a real parallel engine run: the
+//! JSON-lines feed must be well-formed end to end, the final
+//! `run_finish` event must report exactly the cell statuses the run
+//! result (and hence the experiment artifact) carries, and the
+//! recorder's timeline must be consistent with the schedule.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tea_exp::json::{parse, Json};
+use tea_exp::{Engine, Matrix, ProgressRecorder, ProgressStream};
+use tea_workloads::{deepsjeng, lbm, Size};
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tea-progress-it-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn stream_matches_run_result_and_recorder_matches_schedule() {
+    let dir = temp_dir();
+    let path = dir.join("progress.jsonl");
+    let matrix = Matrix::new()
+        .workloads(vec![
+            lbm::workload(Size::Test),
+            deepsjeng::workload(Size::Test),
+        ])
+        .seeds(&[11, 29]);
+    let recorder = Arc::new(ProgressRecorder::new());
+    let run = Engine::new(2)
+        .quiet()
+        .progress_sink(Arc::new(ProgressStream::create(&path).unwrap()))
+        .progress_sink(Arc::clone(&recorder) as _)
+        .heartbeat_interval(Duration::from_millis(1))
+        .run("progress-it", matrix.cells());
+    assert!(run.all_ok());
+
+    let content = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = content.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines[0], "{\"schema\":\"tea-progress/v1\"}");
+    let events: Vec<Json> = lines[1..]
+        .iter()
+        .map(|l| parse(l).expect("every streamed line is valid JSON"))
+        .collect();
+    let kind = |e: &Json| e.get("t").and_then(Json::as_str).unwrap().to_string();
+    let count = |k: &str| events.iter().filter(|e| kind(e) == k).count();
+
+    assert_eq!(count("run_start"), 1);
+    assert_eq!(count("cell_queued"), run.cells.len());
+    assert_eq!(count("cell_start"), run.cells.len());
+    assert_eq!(count("cell_finish"), run.cells.len());
+    assert!(count("heartbeat") >= 1, "1ms heartbeat fires at least once");
+    assert_eq!(count("run_finish"), 1);
+
+    // The stream's last event is the run_finish, and its statuses are
+    // exactly the run result's cell statuses in matrix order — the
+    // same projection the experiment artifact stores.
+    let last = events.last().unwrap();
+    assert_eq!(kind(last), "run_finish");
+    let streamed: Vec<String> = last
+        .get("statuses")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|s| s.as_str().unwrap().to_string())
+        .collect();
+    let actual: Vec<String> = run
+        .cells
+        .iter()
+        .map(|c| c.status.name().to_string())
+        .collect();
+    assert_eq!(streamed, actual);
+
+    // Every cell_finish carries a monotone done/total pair.
+    let mut seen_done = 0;
+    for e in events.iter().filter(|e| kind(e) == "cell_finish") {
+        let done = e.get("done").and_then(Json::as_u64).unwrap();
+        assert!(done > seen_done, "done must advance monotonically");
+        seen_done = done;
+        assert_eq!(
+            e.get("total").and_then(Json::as_u64),
+            Some(run.cells.len() as u64)
+        );
+    }
+
+    // The recorder saw the same schedule: one interval per cell, on a
+    // valid worker, closing after it opened.
+    let cells = recorder.cells();
+    assert_eq!(cells.len(), run.cells.len());
+    for cell in &cells {
+        assert!(cell.worker < 2, "worker id in range: {}", cell.worker);
+        assert!(cell.end_ns >= cell.start_ns);
+        assert_eq!(cell.status, "ok");
+        assert!(run.cells.iter().any(|c| c.spec.workload == cell.workload));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

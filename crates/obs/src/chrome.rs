@@ -110,6 +110,11 @@ impl ChromeTraceSink {
 
     /// Render the collected records as a Chrome trace-event JSON
     /// document (`{"displayTimeUnit": ..., "traceEvents": [...]}`).
+    ///
+    /// Alongside the collected records, the document carries
+    /// `process_sort_index` / `thread_sort_index` metadata so viewers
+    /// order lanes by thread *name* (`engine-worker-0`, `-1`, …)
+    /// instead of load-completion order, which varies run to run.
     #[must_use]
     pub fn to_json(&self) -> String {
         let records = self.records.lock().unwrap();
@@ -120,6 +125,40 @@ impl ChromeTraceSink {
                 out.push_str(",\n");
             }
             render_event(record, &mut out);
+        }
+        // Stable lane ordering: named lanes sorted by name, then
+        // anonymous tids numerically. Last ThreadName per tid wins.
+        let mut names: Vec<(String, u64)> = Vec::new();
+        let mut anon: Vec<u64> = Vec::new();
+        for record in records.iter() {
+            let tid = record.meta().thread;
+            if let OwnedRecord::ThreadName { name, .. } = record {
+                names.retain(|(_, t)| *t != tid);
+                names.push((name.clone(), tid));
+                anon.retain(|t| *t != tid);
+            } else if !anon.contains(&tid) && !names.iter().any(|(_, t)| *t == tid) {
+                anon.push(tid);
+            }
+        }
+        names.sort();
+        anon.sort_unstable();
+        if !records.is_empty() {
+            out.push_str(",\n");
+            out.push_str(&format!(
+                "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{PID},\
+                 \"args\":{{\"sort_index\":0}}}}"
+            ));
+            for (i, tid) in names
+                .iter()
+                .map(|(_, t)| *t)
+                .chain(anon.iter().copied())
+                .enumerate()
+            {
+                out.push_str(&format!(
+                    ",\n{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\
+                     \"tid\":{tid},\"args\":{{\"sort_index\":{i}}}}}"
+                ));
+            }
         }
         out.push_str("\n]}\n");
         out
@@ -190,5 +229,43 @@ mod tests {
         assert!(json.contains("\"args\":{\"status\":\"ok\"}"));
         assert!(json.contains("\"ph\":\"i\",\"ts\":2.000"));
         assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn emits_stable_sort_index_metadata() {
+        let sink = ChromeTraceSink::new();
+        // Lanes complete loading in reverse name order; sort indices
+        // must still follow the names.
+        sink.record(&Record::ThreadName {
+            meta: meta(0, 9),
+            name: "engine-worker-1",
+        });
+        sink.record(&Record::ThreadName {
+            meta: meta(1, 4),
+            name: "engine-worker-0",
+        });
+        sink.record(&Record::Event {
+            meta: meta(2, 12),
+            message: "anon-lane-event",
+            fields: &[],
+        });
+
+        let json = sink.to_json();
+        assert!(json.contains(
+            "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":1,\"args\":{\"sort_index\":0}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":4,\
+             \"args\":{\"sort_index\":0}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":9,\
+             \"args\":{\"sort_index\":1}}"
+        ));
+        // The anonymous lane sorts after every named one.
+        assert!(json.contains(
+            "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":12,\
+             \"args\":{\"sort_index\":2}}"
+        ));
     }
 }

@@ -28,6 +28,9 @@
 
 pub mod chrome;
 pub mod metrics;
+pub mod profiler;
+pub mod report;
+pub mod series;
 pub mod sink;
 
 pub use sink::{JsonlSink, OwnedRecord, RingSink, Sink, StderrSink};
@@ -400,8 +403,18 @@ pub fn error(target: &'static str, message: &str, fields: &[Field]) {
 // Spans
 // ---------------------------------------------------------------------------
 
+/// One open span on the calling thread: its id, its interned name (for
+/// the sampler-visible stack in [`profiler`]), and the wall time its
+/// *direct* children have accumulated so far (for self-time
+/// attribution at close).
+struct SpanEntry {
+    id: u64,
+    intern: u32,
+    child_ns: u64,
+}
+
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<SpanEntry>> = const { RefCell::new(Vec::new()) };
 }
 
 /// An open span. Dropping it emits the matching [`Record::SpanEnd`]
@@ -413,6 +426,7 @@ thread_local! {
 #[must_use = "a span closes (and is reported) when dropped"]
 pub struct Span {
     id: u64,
+    intern: u32,
     level: Level,
     target: &'static str,
     name: &'static str,
@@ -426,12 +440,18 @@ pub struct Span {
 pub fn span(level: Level, target: &'static str, name: &'static str, fields: &[Field]) -> Span {
     static NEXT: AtomicU64 = AtomicU64::new(1);
     let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    let intern = profiler::intern(name);
     let parent = SPAN_STACK.with(|s| {
         let mut s = s.borrow_mut();
-        let parent = s.last().copied();
-        s.push(id);
+        let parent = s.last().map(|e| e.id);
+        s.push(SpanEntry {
+            id,
+            intern,
+            child_ns: 0,
+        });
         parent
     });
+    profiler::stack_push(intern);
     let m = meta(level, target);
     dispatch(&Record::SpanBegin {
         meta: m,
@@ -442,6 +462,7 @@ pub fn span(level: Level, target: &'static str, name: &'static str, fields: &[Fi
     });
     Span {
         id,
+        intern,
         level,
         target,
         name,
@@ -466,32 +487,63 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        let m = meta(self.level, self.target);
+        let dur_ns = m.ts_ns.saturating_sub(self.start_ns);
         SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
-            debug_assert_eq!(s.last().copied(), Some(self.id), "span close out of order");
-            s.retain(|&id| id != self.id);
+            debug_assert_eq!(
+                s.last().map(|e| e.id),
+                Some(self.id),
+                "span close out of order"
+            );
+            let child_ns = match s.iter().position(|e| e.id == self.id) {
+                Some(idx) => {
+                    let entry = s.remove(idx);
+                    // Credit this span's wall time to its parent's
+                    // child accumulator, so the parent's self time
+                    // excludes it.
+                    if idx > 0 {
+                        s[idx - 1].child_ns = s[idx - 1].child_ns.saturating_add(dur_ns);
+                    }
+                    if idx == s.len() {
+                        profiler::stack_pop();
+                    } else {
+                        // Out-of-order close: rebuild the sampled
+                        // stack from the authoritative one.
+                        let ids: Vec<u32> = s.iter().map(|e| e.intern).collect();
+                        profiler::stack_resync(&ids);
+                    }
+                    entry.child_ns
+                }
+                None => 0,
+            };
+            profiler::record_span_close(self.intern, dur_ns, child_ns);
         });
-        let m = meta(self.level, self.target);
         dispatch(&Record::SpanEnd {
             meta: m,
             id: self.id,
             name: self.name,
-            dur_ns: m.ts_ns.saturating_sub(self.start_ns),
+            dur_ns,
             fields: &self.end_fields,
         });
     }
+}
+
+/// Sinks and thread ids are process-global; tests that dispatch
+/// records serialize on this lock so they don't interleave.
+#[cfg(test)]
+pub(crate) fn test_dispatch_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Sinks and thread ids are process-global; keep facade tests from
-    /// interleaving records.
     fn lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        LOCK.lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        test_dispatch_lock()
     }
 
     #[test]

@@ -289,6 +289,20 @@ impl Snapshot {
     /// level, one compact line per instrument, keys in sorted order.
     #[must_use]
     pub fn to_json(&self) -> String {
+        self.render(None)
+    }
+
+    /// Render the artifact with the aggregated per-span-name
+    /// wall/self/count table from [`crate::profiler`] appended as a
+    /// `spans` section. The `metrics` map is unchanged — wall-clock
+    /// span timings stay out of it so serial-vs-parallel equality
+    /// holds.
+    #[must_use]
+    pub fn to_json_with_spans(&self, spans: &[crate::profiler::SpanStat]) -> String {
+        self.render(Some(spans))
+    }
+
+    fn render(&self, spans: Option<&[crate::profiler::SpanStat]>) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n  \"schema\": \"");
         out.push_str(METRICS_SCHEMA);
@@ -329,7 +343,20 @@ impl Snapshot {
                 }
             }
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  }");
+        if let Some(spans) = spans {
+            out.push_str(",\n  \"spans\": {");
+            for (i, r) in spans.iter().enumerate() {
+                out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+                crate::sink::push_json_str(&mut out, r.name);
+                out.push_str(&format!(
+                    ": {{\"count\": {}, \"wall_ns\": {}, \"self_ns\": {}}}",
+                    r.count, r.wall_ns, r.self_ns
+                ));
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -411,6 +438,25 @@ mod tests {
         assert!(json.contains("\"schema\": \"tea-metrics/v1\""));
         assert!(json.contains("\"a.first\": {\"type\": \"counter\", \"value\": 1}"));
         assert!(json.contains("\"c.third\": {\"type\": \"gauge\", \"value\": -9}"));
+    }
+
+    #[test]
+    fn snapshot_with_spans_appends_table() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        let spans = vec![crate::profiler::SpanStat {
+            name: "cell",
+            count: 8,
+            wall_ns: 900,
+            self_ns: 700,
+        }];
+        let json = reg.snapshot().to_json_with_spans(&spans);
+        assert!(json.contains("\"schema\": \"tea-metrics/v1\""));
+        assert!(json.contains(
+            "\"spans\": {\n    \"cell\": {\"count\": 8, \"wall_ns\": 900, \"self_ns\": 700}\n  }"
+        ));
+        // Plain rendering is unchanged by the span table's existence.
+        assert!(!reg.snapshot().to_json().contains("spans"));
     }
 
     #[test]

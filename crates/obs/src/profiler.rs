@@ -1,0 +1,335 @@
+//! Span self-profiler: lock-cheap per-thread current-span-stack
+//! registry plus an aggregated per-span-name wall/self/count table.
+//!
+//! The tracing facade's span enter/exit path maintains, per thread, a
+//! fixed-capacity stack of interned span-name ids in relaxed atomics
+//! (two stores to push, one to pop — no locks, no allocation after the
+//! first span on a thread). A sampler thread ([`crate::series`]) reads
+//! every live stack at a fixed interval and folds the observed stacks
+//! into collapsed-stack counts — time-proportional attribution of the
+//! harness's own wall clock, the same principle TEA applies to
+//! simulated programs.
+//!
+//! Separately, every span close folds its exact wall duration into a
+//! per-name aggregate (count, total wall, self time excluding
+//! children), surfaced as the `spans` table of the metrics artifact.
+//! Wall-clock quantities never enter the metrics registry itself, so
+//! serial-vs-parallel snapshot equality is preserved.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Deepest stack the per-thread registry records; frames below this
+/// depth are dropped from samples (never from the exact aggregate).
+pub const MAX_SAMPLED_DEPTH: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Span-name interning
+// ---------------------------------------------------------------------------
+
+/// Span names are `&'static str`, so a name is interned once
+/// process-wide and identified by a dense u32 thereafter. The
+/// thread-local fast path keys on the string's address, avoiding even
+/// a hash of the bytes for repeat names.
+fn intern_table() -> &'static Mutex<Vec<&'static str>> {
+    static TABLE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+pub(crate) fn intern(name: &'static str) -> u32 {
+    thread_local! {
+        static CACHE: std::cell::RefCell<HashMap<usize, u32>> =
+            std::cell::RefCell::new(HashMap::new());
+    }
+    CACHE.with(|c| {
+        let key = name.as_ptr() as usize;
+        if let Some(&id) = c.borrow().get(&key) {
+            return id;
+        }
+        let mut table = intern_table().lock().unwrap();
+        let id = match table.iter().position(|&n| n == name) {
+            Some(i) => u32::try_from(i).expect("span intern table overflow"),
+            None => {
+                table.push(name);
+                u32::try_from(table.len() - 1).expect("span intern table overflow")
+            }
+        };
+        drop(table);
+        c.borrow_mut().insert(key, id);
+        id
+    })
+}
+
+/// Resolve an interned id back to the span name.
+#[must_use]
+pub fn intern_name(id: u32) -> &'static str {
+    intern_table()
+        .lock()
+        .unwrap()
+        .get(id as usize)
+        .copied()
+        .unwrap_or("?")
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread current-span stacks
+// ---------------------------------------------------------------------------
+
+/// One thread's current span stack, readable from the sampler thread.
+///
+/// Push order (frame store, then depth store with `Release`) pairs
+/// with the sampler's `Acquire` depth load so a sampled prefix is
+/// always a stack that actually existed; a sample racing a push or pop
+/// can be one frame stale, which is inherent to sampling.
+struct ThreadStack {
+    depth: AtomicUsize,
+    frames: [AtomicU32; MAX_SAMPLED_DEPTH],
+}
+
+impl ThreadStack {
+    fn new() -> ThreadStack {
+        ThreadStack {
+            depth: AtomicUsize::new(0),
+            frames: std::array::from_fn(|_| AtomicU32::new(0)),
+        }
+    }
+
+    fn push(&self, id: u32) {
+        let d = self.depth.load(Ordering::Relaxed);
+        if let Some(slot) = self.frames.get(d) {
+            slot.store(id, Ordering::Relaxed);
+        }
+        self.depth.store(d + 1, Ordering::Release);
+    }
+
+    fn pop(&self) {
+        let d = self.depth.load(Ordering::Relaxed);
+        self.depth.store(d.saturating_sub(1), Ordering::Release);
+    }
+
+    /// Rewrite the whole stack (out-of-order span close — rare).
+    fn resync(&self, ids: &[u32]) {
+        self.depth.store(0, Ordering::Release);
+        for (slot, id) in self.frames.iter().zip(ids) {
+            slot.store(*id, Ordering::Relaxed);
+        }
+        self.depth.store(ids.len(), Ordering::Release);
+    }
+
+    fn sample(&self) -> Vec<u32> {
+        let d = self.depth.load(Ordering::Acquire).min(MAX_SAMPLED_DEPTH);
+        self.frames[..d]
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Registry of every live thread's stack. Threads register on their
+/// first span; dead threads drop the `Arc` and the sampler prunes the
+/// dead `Weak`s as it walks.
+fn stack_registry() -> &'static Mutex<Vec<Weak<ThreadStack>>> {
+    static REG: OnceLock<Mutex<Vec<Weak<ThreadStack>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static MY_STACK: Arc<ThreadStack> = {
+        let stack = Arc::new(ThreadStack::new());
+        let mut reg = stack_registry().lock().unwrap();
+        reg.retain(|w| w.strong_count() > 0);
+        reg.push(Arc::downgrade(&stack));
+        stack
+    };
+}
+
+pub(crate) fn stack_push(id: u32) {
+    MY_STACK.with(|s| s.push(id));
+}
+
+pub(crate) fn stack_pop() {
+    MY_STACK.with(|s| s.pop());
+}
+
+pub(crate) fn stack_resync(ids: &[u32]) {
+    MY_STACK.with(|s| s.resync(ids));
+}
+
+/// Sample every live thread's current span stack, leaf-last, resolved
+/// to names and joined with `;` in collapsed-stack (folded) order.
+/// Threads with an empty stack are skipped.
+#[must_use]
+pub fn sample_folded_stacks() -> Vec<String> {
+    let stacks: Vec<Arc<ThreadStack>> = {
+        let mut reg = stack_registry().lock().unwrap();
+        reg.retain(|w| w.strong_count() > 0);
+        reg.iter().filter_map(Weak::upgrade).collect()
+    };
+    let mut out = Vec::new();
+    for stack in stacks {
+        let ids = stack.sample();
+        if ids.is_empty() {
+            continue;
+        }
+        let names: Vec<&'static str> = ids.into_iter().map(intern_name).collect();
+        out.push(names.join(";"));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Exact per-span-name aggregation
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Default)]
+struct SpanAgg {
+    count: u64,
+    wall_ns: u64,
+    self_ns: u64,
+}
+
+/// Aggregated timing for one span name, from exact span close times
+/// (not sampling).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of closed spans with this name.
+    pub count: u64,
+    /// Total wall time across those spans, nanoseconds.
+    pub wall_ns: u64,
+    /// Wall time minus time spent in child spans, nanoseconds.
+    pub self_ns: u64,
+}
+
+/// Indexed by intern id.
+fn span_aggs() -> &'static Mutex<Vec<SpanAgg>> {
+    static AGGS: OnceLock<Mutex<Vec<SpanAgg>>> = OnceLock::new();
+    AGGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Fold one closed span into the aggregate. Called from the span drop
+/// path — per span, not per cycle, so a short mutex hold is fine.
+pub(crate) fn record_span_close(intern_id: u32, wall_ns: u64, child_ns: u64) {
+    let mut aggs = span_aggs().lock().unwrap();
+    let idx = intern_id as usize;
+    if aggs.len() <= idx {
+        aggs.resize(idx + 1, SpanAgg::default());
+    }
+    let a = &mut aggs[idx];
+    a.count += 1;
+    a.wall_ns += wall_ns;
+    a.self_ns += wall_ns.saturating_sub(child_ns);
+}
+
+/// The per-span-name wall/self/count table, sorted by name so the
+/// rendered artifact is stable. Names with no closed spans are absent.
+#[must_use]
+pub fn span_stats() -> Vec<SpanStat> {
+    let aggs = span_aggs().lock().unwrap().clone();
+    let mut rows: Vec<SpanStat> = aggs
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.count > 0)
+        .map(|(id, a)| SpanStat {
+            name: intern_name(u32::try_from(id).unwrap_or(u32::MAX)),
+            count: a.count,
+            wall_ns: a.wall_ns,
+            self_ns: a.self_ns,
+        })
+        .collect();
+    rows.sort_by_key(|r| r.name);
+    rows
+}
+
+/// Clear the aggregate table (tests; the table is process-global).
+pub fn reset_span_stats() {
+    span_aggs().lock().unwrap().clear();
+}
+
+/// Render the span table as a JSON object fragment
+/// (`{"name": {"count": N, "wall_ns": W, "self_ns": S}, ...}`).
+#[must_use]
+pub fn span_stats_json(rows: &[SpanStat]) -> String {
+    let mut out = String::from("{");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        crate::sink::push_json_str(&mut out, r.name);
+        out.push_str(&format!(
+            ": {{\"count\": {}, \"wall_ns\": {}, \"self_ns\": {}}}",
+            r.count, r.wall_ns, r.self_ns
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_reversible() {
+        let a = intern("profiler-test-a");
+        let b = intern("profiler-test-b");
+        assert_ne!(a, b);
+        assert_eq!(intern("profiler-test-a"), a);
+        assert_eq!(intern_name(a), "profiler-test-a");
+        assert_eq!(intern_name(u32::MAX), "?");
+    }
+
+    #[test]
+    fn thread_stack_push_pop_sample() {
+        let s = ThreadStack::new();
+        assert!(s.sample().is_empty());
+        s.push(3);
+        s.push(7);
+        assert_eq!(s.sample(), vec![3, 7]);
+        s.pop();
+        assert_eq!(s.sample(), vec![3]);
+        s.resync(&[1, 2, 3]);
+        assert_eq!(s.sample(), vec![1, 2, 3]);
+        s.pop();
+        s.pop();
+        s.pop();
+        s.pop(); // underflow saturates
+        assert!(s.sample().is_empty());
+    }
+
+    #[test]
+    fn deep_stacks_clamp_to_capacity() {
+        let s = ThreadStack::new();
+        for i in 0..2 * MAX_SAMPLED_DEPTH {
+            s.push(u32::try_from(i).unwrap());
+        }
+        let ids = s.sample();
+        assert_eq!(ids.len(), MAX_SAMPLED_DEPTH);
+        assert_eq!(ids[0], 0);
+        // Popping back down restores the visible frames.
+        for _ in 0..2 * MAX_SAMPLED_DEPTH - 1 {
+            s.pop();
+        }
+        assert_eq!(s.sample(), vec![0]);
+    }
+
+    #[test]
+    fn span_close_aggregation_separates_self_time() {
+        let id = intern("profiler-test-agg");
+        record_span_close(id, 1_000, 400);
+        record_span_close(id, 2_000, 0);
+        let rows = span_stats();
+        let row = rows.iter().find(|r| r.name == "profiler-test-agg").unwrap();
+        assert_eq!(row.count, 2);
+        assert_eq!(row.wall_ns, 3_000);
+        assert_eq!(row.self_ns, 600 + 2_000);
+
+        let json = span_stats_json(std::slice::from_ref(row));
+        assert_eq!(
+            json,
+            "{\"profiler-test-agg\": {\"count\": 2, \"wall_ns\": 3000, \"self_ns\": 2600}}"
+        );
+    }
+}

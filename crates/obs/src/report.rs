@@ -1,0 +1,387 @@
+//! Self-contained HTML run report.
+//!
+//! [`Report`] takes already-structured run data — summary rows,
+//! per-worker timeline lanes, metric time series, the span self-time
+//! table — and renders one HTML file with inline CSS and inline SVG
+//! charts: no scripts, no external resources, loadable from disk
+//! without network access. The CLI builds a [`Report`] either live at
+//! the end of a suite run (`--report-out`) or offline from the
+//! artifacts (`tea-cli report --report-out`).
+
+use std::path::Path;
+
+use crate::profiler::SpanStat;
+
+/// One slice on a timeline lane (a cell attempt on a worker).
+#[derive(Clone, Debug)]
+pub struct Slice {
+    /// Short label drawn in the slice when it fits (e.g. `lbm/3`).
+    pub label: String,
+    /// Start, monotonic nanoseconds.
+    pub start_ns: u64,
+    /// End, monotonic nanoseconds.
+    pub end_ns: u64,
+    /// Status keyword controlling the fill color
+    /// (`ok`/`restored`/`failed`/`timed_out`/`skipped`/other).
+    pub status: String,
+}
+
+/// One horizontal lane of the timeline (a worker thread).
+#[derive(Clone, Debug)]
+pub struct Lane {
+    /// Lane label (e.g. `engine-worker-0`).
+    pub name: String,
+    /// Slices, any order; rendering sorts by start.
+    pub slices: Vec<Slice>,
+}
+
+/// One metric's time series, charted as a line.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Metric name (chart title).
+    pub name: String,
+    /// `(ts_ns, value)` points, time-ordered.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Everything the report renders.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Page title.
+    pub title: String,
+    /// Key/value summary rows (cells ok, wall time, …).
+    pub summary: Vec<(String, String)>,
+    /// Per-worker timeline.
+    pub lanes: Vec<Lane>,
+    /// Metric time-series charts.
+    pub charts: Vec<Chart>,
+    /// Span self-time table.
+    pub spans: Vec<SpanStat>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn status_color(status: &str) -> &'static str {
+    match status {
+        "ok" => "#4c9f70",
+        "restored" => "#5a8fd6",
+        "failed" => "#c0504d",
+        "timed_out" => "#d98e2b",
+        "skipped" => "#9a9a9a",
+        _ => "#8064a2",
+    }
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e6)
+}
+
+const CHART_W: f64 = 880.0;
+const CHART_H: f64 = 140.0;
+const LANE_H: f64 = 24.0;
+const LABEL_W: f64 = 150.0;
+
+fn render_timeline(lanes: &[Lane], out: &mut String) {
+    let min_ns = lanes
+        .iter()
+        .flat_map(|l| l.slices.iter().map(|s| s.start_ns))
+        .min()
+        .unwrap_or(0);
+    let max_ns = lanes
+        .iter()
+        .flat_map(|l| l.slices.iter().map(|s| s.end_ns))
+        .max()
+        .unwrap_or(min_ns + 1)
+        .max(min_ns + 1);
+    let span = (max_ns - min_ns) as f64;
+    let h = LANE_H * lanes.len() as f64 + 22.0;
+    let x = |ns: u64| LABEL_W + (ns.saturating_sub(min_ns)) as f64 / span * CHART_W;
+    out.push_str(&format!(
+        "<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">\n",
+        w = LABEL_W + CHART_W + 10.0,
+    ));
+    for (i, lane) in lanes.iter().enumerate() {
+        let y = LANE_H * i as f64;
+        if i % 2 == 1 {
+            out.push_str(&format!(
+                "<rect x=\"0\" y=\"{y}\" width=\"{}\" height=\"{LANE_H}\" fill=\"#f4f4f4\"/>\n",
+                LABEL_W + CHART_W + 10.0
+            ));
+        }
+        out.push_str(&format!(
+            "<text x=\"4\" y=\"{:.1}\" class=\"lane\">{}</text>\n",
+            y + LANE_H - 8.0,
+            esc(&lane.name)
+        ));
+        let mut slices: Vec<&Slice> = lane.slices.iter().collect();
+        slices.sort_by_key(|s| s.start_ns);
+        for s in slices {
+            let x0 = x(s.start_ns);
+            let w = (x(s.end_ns) - x0).max(1.0);
+            out.push_str(&format!(
+                "<rect x=\"{x0:.1}\" y=\"{:.1}\" width=\"{w:.1}\" height=\"{:.1}\" \
+                 rx=\"2\" fill=\"{}\"><title>{} [{}] {}ms</title></rect>\n",
+                y + 3.0,
+                LANE_H - 6.0,
+                status_color(&s.status),
+                esc(&s.label),
+                esc(&s.status),
+                fmt_ms(s.end_ns.saturating_sub(s.start_ns)),
+            ));
+            if w > 9.0 * s.label.len() as f64 {
+                out.push_str(&format!(
+                    "<text x=\"{:.1}\" y=\"{:.1}\" class=\"slice\">{}</text>\n",
+                    x0 + 3.0,
+                    y + LANE_H - 8.0,
+                    esc(&s.label)
+                ));
+            }
+        }
+    }
+    let axis_y = LANE_H * lanes.len() as f64 + 14.0;
+    out.push_str(&format!(
+        "<text x=\"{LABEL_W}\" y=\"{axis_y:.1}\" class=\"axis\">0 ms</text>\n\
+         <text x=\"{:.1}\" y=\"{axis_y:.1}\" class=\"axis\" text-anchor=\"end\">{} ms</text>\n",
+        LABEL_W + CHART_W,
+        fmt_ms(max_ns - min_ns)
+    ));
+    out.push_str("</svg>\n");
+}
+
+fn render_chart(chart: &Chart, out: &mut String) {
+    let pts = &chart.points;
+    let min_ts = pts.first().map_or(0, |p| p.0);
+    let max_ts = pts.last().map_or(min_ts + 1, |p| p.0).max(min_ts + 1);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, v) in pts {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    if hi - lo < 1e-9 {
+        hi = lo + 1.0;
+    }
+    let x =
+        |ts: u64| LABEL_W + (ts.saturating_sub(min_ts)) as f64 / (max_ts - min_ts) as f64 * CHART_W;
+    let y = |v: f64| 8.0 + (1.0 - (v - lo) / (hi - lo)) * (CHART_H - 16.0);
+    out.push_str(&format!(
+        "<div class=\"chart\"><h3>{}</h3>\n<svg viewBox=\"0 0 {w} {CHART_H}\" \
+         width=\"{w}\" height=\"{CHART_H}\" xmlns=\"http://www.w3.org/2000/svg\">\n",
+        esc(&chart.name),
+        w = LABEL_W + CHART_W + 10.0,
+    ));
+    out.push_str(&format!(
+        "<text x=\"4\" y=\"14\" class=\"axis\">{hi:.0}</text>\n\
+         <text x=\"4\" y=\"{:.1}\" class=\"axis\">{lo:.0}</text>\n",
+        CHART_H - 4.0
+    ));
+    out.push_str(&format!(
+        "<line x1=\"{LABEL_W}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" class=\"grid\"/>\n",
+        CHART_H - 8.0,
+        LABEL_W + CHART_W,
+        CHART_H - 8.0
+    ));
+    if !pts.is_empty() {
+        let mut path = String::from(
+            "<polyline fill=\"none\" stroke=\"#2b6cb0\" \
+                                     stroke-width=\"1.5\" points=\"",
+        );
+        for &(ts, v) in pts {
+            path.push_str(&format!("{:.1},{:.1} ", x(ts), y(v)));
+        }
+        path.push_str("\"/>\n");
+        out.push_str(&path);
+    }
+    out.push_str("</svg></div>\n");
+}
+
+impl Report {
+    /// Render the complete single-file HTML document.
+    #[must_use]
+    pub fn to_html(&self) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+        out.push_str("<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+        out.push_str(&format!("<title>{}</title>\n", esc(&self.title)));
+        out.push_str(
+            "<style>\n\
+             body{font-family:system-ui,sans-serif;margin:24px;color:#222;max-width:1080px}\n\
+             h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.6em}h3{font-size:.95em;margin:.4em 0}\n\
+             table{border-collapse:collapse;font-size:.9em}\n\
+             td,th{border:1px solid #ccc;padding:3px 9px;text-align:left}\n\
+             th{background:#eee}td.num{text-align:right;font-variant-numeric:tabular-nums}\n\
+             text.lane{font-size:11px;fill:#333}text.slice{font-size:10px;fill:#fff}\n\
+             text.axis{font-size:10px;fill:#666}line.grid{stroke:#ddd}\n\
+             .legend span{display:inline-block;margin-right:12px;font-size:.85em}\n\
+             .legend i{display:inline-block;width:10px;height:10px;margin-right:4px;border-radius:2px}\n\
+             </style>\n</head>\n<body>\n",
+        );
+        out.push_str(&format!("<h1>{}</h1>\n", esc(&self.title)));
+
+        if !self.summary.is_empty() {
+            out.push_str("<h2>Summary</h2>\n<table>\n");
+            for (k, v) in &self.summary {
+                out.push_str(&format!(
+                    "<tr><th>{}</th><td>{}</td></tr>\n",
+                    esc(k),
+                    esc(v)
+                ));
+            }
+            out.push_str("</table>\n");
+        }
+
+        if !self.lanes.is_empty() {
+            out.push_str("<h2>Worker timeline</h2>\n<div class=\"legend\">");
+            for status in ["ok", "restored", "failed", "timed_out", "skipped"] {
+                out.push_str(&format!(
+                    "<span><i style=\"background:{}\"></i>{status}</span>",
+                    status_color(status)
+                ));
+            }
+            out.push_str("</div>\n");
+            render_timeline(&self.lanes, &mut out);
+        }
+
+        if !self.charts.is_empty() {
+            out.push_str("<h2>Metric time series</h2>\n");
+            for chart in &self.charts {
+                render_chart(chart, &mut out);
+            }
+        }
+
+        if !self.spans.is_empty() {
+            out.push_str(
+                "<h2>Span self-time</h2>\n<table>\n<tr><th>span</th><th>count</th>\
+                 <th>wall ms</th><th>self ms</th><th>self/call µs</th></tr>\n",
+            );
+            let mut rows: Vec<&SpanStat> = self.spans.iter().collect();
+            rows.sort_by_key(|r| std::cmp::Reverse(r.self_ns));
+            for r in rows {
+                out.push_str(&format!(
+                    "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+                     <td class=\"num\">{}</td><td class=\"num\">{:.1}</td></tr>\n",
+                    esc(r.name),
+                    r.count,
+                    fmt_ms(r.wall_ns),
+                    fmt_ms(r.self_ns),
+                    r.self_ns as f64 / 1e3 / r.count.max(1) as f64,
+                ));
+            }
+            out.push_str("</table>\n");
+        }
+
+        out.push_str("</body>\n</html>\n");
+        out
+    }
+
+    /// Write [`Report::to_html`] to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_html())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            title: "suite lbm <&> deepsjeng".to_string(),
+            summary: vec![
+                ("cells".to_string(), "8".to_string()),
+                ("wall".to_string(), "1.2s".to_string()),
+            ],
+            lanes: vec![
+                Lane {
+                    name: "engine-worker-0".to_string(),
+                    slices: vec![Slice {
+                        label: "lbm/0".to_string(),
+                        start_ns: 1_000_000,
+                        end_ns: 5_000_000,
+                        status: "ok".to_string(),
+                    }],
+                },
+                Lane {
+                    name: "engine-worker-1".to_string(),
+                    slices: vec![Slice {
+                        label: "xz/1".to_string(),
+                        start_ns: 1_200_000,
+                        end_ns: 2_000_000,
+                        status: "failed".to_string(),
+                    }],
+                },
+            ],
+            charts: vec![Chart {
+                name: "engine.queue_depth".to_string(),
+                points: vec![(0, 8.0), (1_000_000, 4.0), (2_000_000, 0.0)],
+            }],
+            spans: vec![SpanStat {
+                name: "cell",
+                count: 8,
+                wall_ns: 4_000_000,
+                self_ns: 3_000_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_all_sections_self_contained() {
+        let html = sample_report().to_html();
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(
+            html.contains("suite lbm &lt;&amp;&gt; deepsjeng"),
+            "title escaped"
+        );
+        assert!(html.contains("<h2>Summary</h2>"));
+        assert!(html.contains("<h2>Worker timeline</h2>"));
+        assert!(html.contains("engine-worker-0"));
+        assert!(html.contains("<h2>Metric time series</h2>"));
+        assert!(html.contains("engine.queue_depth"));
+        assert!(html.contains("<polyline"));
+        assert!(html.contains("<h2>Span self-time</h2>"));
+        // Self-contained: no scripts, no external fetches. The only
+        // allowed URL is the SVG xmlns identifier.
+        assert!(!html.contains("<script"));
+        assert!(
+            !html.contains("http://") || {
+                html.match_indices("http://")
+                    .all(|(i, _)| html[i..].starts_with("http://www.w3.org/2000/svg"))
+            }
+        );
+        assert!(!html.contains("https://"));
+        assert!(!html.contains("<link"));
+        assert!(!html.contains("<img"));
+    }
+
+    #[test]
+    fn empty_report_still_renders() {
+        let html = Report::default().to_html();
+        assert!(html.contains("<body>"));
+        assert!(!html.contains("<h2>"));
+    }
+
+    #[test]
+    fn timeline_scales_slices_into_viewbox() {
+        let report = sample_report();
+        let html = report.to_html();
+        // The ok slice spans 4ms of a 4ms window => width ≈ CHART_W.
+        assert!(html.contains("fill=\"#4c9f70\""));
+        assert!(html.contains("fill=\"#c0504d\""));
+        assert!(html.contains("[ok] 4.0ms"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Metrics time series: a sampler thread that snapshots the global
+//! registry at a fixed interval into a bounded ring, plus the folded
+//! span-stack counts from [`crate::profiler`], emitted as the
+//! `tea-metrics-series/v1` JSON-lines artifact and a collapsed-stack
+//! (`inferno`-compatible) profile.
+//!
+//! The sampler only *reads*: registry snapshots take relaxed loads
+//! under the registration mutex, span stacks are relaxed atomic loads.
+//! Nothing it does writes a metric, so serial-vs-parallel snapshot
+//! equality (pinned by `tests/observability.rs`) is unaffected by
+//! sampling.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::{self, MetricValue, Snapshot};
+use crate::profiler;
+
+/// Schema identifier of the series artifact (its JSONL header line).
+pub const SERIES_SCHEMA: &str = "tea-metrics-series/v1";
+
+/// Default sampling interval.
+pub const DEFAULT_INTERVAL_MS: u64 = 10;
+
+/// Default ring capacity (samples retained; oldest dropped beyond it).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Sampler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Milliseconds between samples.
+    pub interval_ms: u64,
+    /// Maximum samples retained (bounded ring; oldest dropped first).
+    pub capacity: usize,
+    /// Also sample per-thread span stacks into folded counts.
+    pub profile_spans: bool,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig {
+            interval_ms: DEFAULT_INTERVAL_MS,
+            capacity: DEFAULT_CAPACITY,
+            profile_spans: true,
+        }
+    }
+}
+
+/// One captured sample.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Monotonic capture time ([`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// Registry snapshot at that instant.
+    pub snapshot: Snapshot,
+}
+
+struct Shared {
+    ring: Mutex<VecDeque<Sample>>,
+    folded: Mutex<BTreeMap<String, u64>>,
+    stop: AtomicBool,
+    dropped: AtomicU64,
+}
+
+impl Shared {
+    fn take_sample(&self, config: &SamplerConfig) {
+        let snapshot = metrics::global().snapshot();
+        let sample = Sample {
+            ts_ns: snapshot.ts_ns,
+            snapshot,
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= config.capacity.max(1) {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(sample);
+        drop(ring);
+        if config.profile_spans {
+            let stacks = profiler::sample_folded_stacks();
+            if !stacks.is_empty() {
+                let mut folded = self.folded.lock().unwrap();
+                for stack in stacks {
+                    *folded.entry(stack).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A running sampler thread. Construct with [`Sampler::start`], stop
+/// (and collect the data) with [`Sampler::stop`]; dropping without
+/// stopping detaches the thread after signalling it to exit.
+pub struct Sampler {
+    config: SamplerConfig,
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Spawn the sampler thread. One sample is taken immediately and
+    /// one more at [`Sampler::stop`], so even a very short run yields
+    /// at least two samples.
+    #[must_use]
+    pub fn start(config: SamplerConfig) -> Sampler {
+        let shared = Arc::new(Shared {
+            ring: Mutex::new(VecDeque::new()),
+            folded: Mutex::new(BTreeMap::new()),
+            stop: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+        });
+        shared.take_sample(&config);
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("obs-sampler".to_string())
+            .spawn(move || {
+                let interval = Duration::from_millis(thread_shared_interval(&config));
+                while !thread_shared.stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if thread_shared.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    thread_shared.take_sample(&config);
+                }
+            })
+            .expect("spawn obs-sampler thread");
+        Sampler {
+            config,
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the thread, join it, take a final sample, and return
+    /// everything captured.
+    #[must_use]
+    pub fn stop(mut self) -> SeriesData {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.shared.take_sample(&self.config);
+        let samples: Vec<Sample> = self.shared.ring.lock().unwrap().iter().cloned().collect();
+        let folded = self.shared.folded.lock().unwrap().clone();
+        SeriesData {
+            interval_ms: self.config.interval_ms,
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            samples,
+            folded,
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+fn thread_shared_interval(config: &SamplerConfig) -> u64 {
+    config.interval_ms.max(1)
+}
+
+/// Everything a sampler captured, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct SeriesData {
+    /// Configured sampling interval.
+    pub interval_ms: u64,
+    /// Samples dropped because the ring was full (oldest-first).
+    pub dropped: u64,
+    /// Retained samples, oldest first.
+    pub samples: Vec<Sample>,
+    /// Folded span-stack sample counts (`a;b;c` → hits).
+    pub folded: BTreeMap<String, u64>,
+}
+
+fn render_sample_line(sample: &Sample) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!("{{\"ts_ns\":{},\"metrics\":{{", sample.ts_ns));
+    for (i, (name, value)) in sample.snapshot.metrics().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::sink::push_json_str(&mut out, name);
+        out.push(':');
+        match value {
+            MetricValue::Counter(v) => out.push_str(&v.to_string()),
+            MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+            MetricValue::Histogram { counts, sum, .. } => {
+                let total: u64 = counts.iter().sum();
+                out.push_str(&format!("{{\"count\":{total},\"sum\":{sum}}}"));
+            }
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+impl SeriesData {
+    /// Render the `tea-metrics-series/v1` artifact: a header line with
+    /// the schema and sampler parameters, then one JSON object per
+    /// sample.
+    #[must_use]
+    pub fn to_series_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + self.samples.len() * 256);
+        out.push_str(&format!(
+            "{{\"schema\":\"{SERIES_SCHEMA}\",\"interval_ms\":{},\"samples\":{},\"dropped\":{}}}\n",
+            self.interval_ms,
+            self.samples.len(),
+            self.dropped
+        ));
+        for sample in &self.samples {
+            out.push_str(&render_sample_line(sample));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the folded (collapsed) stack profile: one
+    /// `frame;frame count` line per distinct sampled stack, sorted,
+    /// loadable by inferno/speedscope/`flamegraph.pl`.
+    #[must_use]
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.folded {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write [`SeriesData::to_series_jsonl`] to `path`.
+    pub fn write_series(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_series_jsonl().as_bytes())
+    }
+
+    /// Write [`SeriesData::to_folded`] to `path`.
+    pub fn write_folded(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_folded().as_bytes())
+    }
+
+    /// Extract the time series of one scalar metric as
+    /// `(ts_ns, value)` points: counter and gauge values directly,
+    /// histograms as their cumulative observation count.
+    #[must_use]
+    pub fn points(&self, name: &str) -> Vec<(u64, f64)> {
+        self.samples
+            .iter()
+            .filter_map(|s| {
+                let v = match s.snapshot.metrics().get(name)? {
+                    MetricValue::Counter(v) => *v as f64,
+                    MetricValue::Gauge(v) => *v as f64,
+                    MetricValue::Histogram { counts, .. } => counts.iter().sum::<u64>() as f64,
+                };
+                Some((s.ts_ns, v))
+            })
+            .collect()
+    }
+
+    /// Names of every metric present in any sample, sorted.
+    #[must_use]
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .samples
+            .iter()
+            .flat_map(|s| s.snapshot.metrics().keys().cloned())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_run_yields_at_least_two_samples() {
+        let sampler = Sampler::start(SamplerConfig {
+            interval_ms: 1,
+            capacity: 8,
+            profile_spans: false,
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let data = sampler.stop();
+        assert!(data.samples.len() >= 2, "got {}", data.samples.len());
+        let jsonl = data.to_series_jsonl();
+        let mut lines = jsonl.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"schema\":\"tea-metrics-series/v1\""));
+        assert_eq!(lines.count(), data.samples.len());
+        let mut prev = 0;
+        for s in &data.samples {
+            assert!(s.ts_ns >= prev, "samples are time-ordered");
+            prev = s.ts_ns;
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let sampler = Sampler::start(SamplerConfig {
+            interval_ms: 1,
+            capacity: 3,
+            profile_spans: false,
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let data = sampler.stop();
+        assert_eq!(data.samples.len(), 3, "ring capped at capacity");
+        assert!(data.dropped > 0, "drops are counted");
+        let header = data.to_series_jsonl();
+        assert!(header.lines().next().unwrap().contains("\"dropped\":"));
+    }
+
+    #[test]
+    fn folded_output_formats_stack_lines() {
+        let data = SeriesData {
+            interval_ms: 10,
+            dropped: 0,
+            samples: Vec::new(),
+            folded: [("run;cell".to_string(), 41), ("run".to_string(), 2)]
+                .into_iter()
+                .collect(),
+        };
+        assert_eq!(data.to_folded(), "run 2\nrun;cell 41\n");
+    }
+
+    #[test]
+    fn sampler_observes_open_spans() {
+        let _g = crate::test_dispatch_lock();
+        let sampler = Sampler::start(SamplerConfig {
+            interval_ms: 1,
+            capacity: 64,
+            profile_spans: true,
+        });
+        {
+            let _outer = crate::span(
+                crate::Level::Debug,
+                "tea_obs::series_test",
+                "series-outer",
+                &[],
+            );
+            let _inner = crate::span(
+                crate::Level::Debug,
+                "tea_obs::series_test",
+                "series-inner",
+                &[],
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let data = sampler.stop();
+        assert!(
+            data.folded
+                .keys()
+                .any(|k| k.contains("series-outer;series-inner")),
+            "sampled folded stacks: {:?}",
+            data.folded
+        );
+    }
+}

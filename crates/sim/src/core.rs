@@ -1391,6 +1391,10 @@ impl<'p> Core<'p> {
         max_cycles: u64,
         observers: &mut [&mut dyn Observer],
     ) -> Result<SimStats, SimError> {
+        // One span per run segment (never per cycle): the frame the
+        // obs sampler's folded stacks attribute simulation time to.
+        #[cfg(feature = "obs")]
+        let _run_span = tea_obs::span(tea_obs::Level::Trace, "tea_sim::core", "sim_run", &[]);
         let start = self.cycle;
         while !self.halt_committed && self.cycle - start < max_cycles {
             self.progress = false;

@@ -25,6 +25,16 @@
 //! `--trace-out FILE` writes a Chrome trace-event JSON (load it at
 //! <https://ui.perfetto.dev>) with one lane per engine worker;
 //! `--metrics-out FILE` writes the `tea-metrics/v1` counters artifact.
+//!
+//! Flight-recorder flags (also any command): `--series-out FILE`
+//! writes the `tea-metrics-series/v1` JSON-lines time series sampled
+//! every `--series-interval-ms` (ring bounded by `--series-capacity`);
+//! `--profile-out FILE` writes sampled span stacks in collapsed/
+//! inferno format; `--report-out FILE` writes a self-contained HTML
+//! run report; `suite --progress-stream <path|->` streams
+//! `tea-progress/v1` cell lifecycle events and heartbeats as JSON
+//! lines. `tea-cli report <run.json> --report-out FILE` renders the
+//! HTML report from a previously saved experiment artifact.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -38,8 +48,11 @@ use tea_core::samples::{pics_from_samples, read_samples, write_samples, SampleRe
 use tea_core::sampling::SampleTimer;
 use tea_core::schemes::Scheme;
 use tea_core::tea::TeaProfiler;
-use tea_exp::{CellSpec, CellStatus, Engine, Fault};
+use tea_exp::json::Json;
+use tea_exp::{CellSpec, CellStatus, Engine, Fault, ProgressRecorder, ProgressStream};
 use tea_obs::chrome::ChromeTraceSink;
+use tea_obs::report::{Chart, Lane, Report, Slice};
+use tea_obs::series::{Sampler, SamplerConfig, SeriesData};
 use tea_sim::core::Core;
 use tea_sim::psv::CommitState;
 use tea_sim::SimConfig;
@@ -69,6 +82,12 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     log_level: Option<String>,
+    series_out: Option<String>,
+    series_interval_ms: u64,
+    series_capacity: usize,
+    profile_out: Option<String>,
+    progress_stream: Option<String>,
+    report_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -96,6 +115,12 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         metrics_out: None,
         log_level: None,
+        series_out: None,
+        series_interval_ms: tea_obs::series::DEFAULT_INTERVAL_MS,
+        series_capacity: tea_obs::series::DEFAULT_CAPACITY,
+        profile_out: None,
+        progress_stream: None,
+        report_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -169,6 +194,20 @@ fn parse_args() -> Result<Args, String> {
             "--trace-out" => args.trace_out = Some(grab("--trace-out")?),
             "--metrics-out" => args.metrics_out = Some(grab("--metrics-out")?),
             "--log-level" => args.log_level = Some(grab("--log-level")?),
+            "--series-out" => args.series_out = Some(grab("--series-out")?),
+            "--series-interval-ms" => {
+                args.series_interval_ms = grab("--series-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad series-interval-ms: {e}"))?
+            }
+            "--series-capacity" => {
+                args.series_capacity = grab("--series-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad series-capacity: {e}"))?
+            }
+            "--profile-out" => args.profile_out = Some(grab("--profile-out")?),
+            "--progress-stream" => args.progress_stream = Some(grab("--progress-stream")?),
+            "--report-out" => args.report_out = Some(grab("--report-out")?),
             "--inject-panic" => args.inject_panic = Some(grab("--inject-panic")?),
             "--inject-diverge" => args.inject_diverge = Some(grab("--inject-diverge")?),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
@@ -323,7 +362,7 @@ fn describe_error(cell: &tea_exp::CellOutcome) -> String {
 /// EXPERIMENTS.md for the chaos-suite procedure. `--trace-cache-budget
 /// BYTES` bounds the per-run trace cache, evicting unreferenced
 /// captures deterministically.
-fn cmd_suite(args: &Args) -> Result<(), String> {
+fn cmd_suite(args: &Args, capture: &mut RunCapture) -> Result<(), String> {
     let selected: Vec<String> = args.positional[1..].to_vec();
     let mut workloads = all_workloads(args.size);
     if !selected.is_empty() {
@@ -345,6 +384,21 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
     }
     if let Some(bytes) = args.trace_cache_budget {
         engine = engine.trace_cache_budget(bytes);
+    }
+    if let Some(path) = &args.progress_stream {
+        let stream = if path == "-" {
+            ProgressStream::stdout()
+        } else {
+            ProgressStream::create(path).map_err(|e| format!("create {path}: {e}"))?
+        };
+        engine = engine.progress_sink(Arc::new(stream));
+    }
+    if args.report_out.is_some() {
+        // The recorder feeds the HTML report's per-worker timeline;
+        // main reads it back out of `capture` after the run.
+        let recorder = Arc::new(ProgressRecorder::new());
+        engine = engine.progress_sink(Arc::clone(&recorder) as _);
+        capture.recorder = Some(recorder);
     }
     // One injector shared between the engine seams and the artifact
     // write below, so every decision derives from the one seed.
@@ -464,6 +518,33 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
         run.wall.as_secs_f64(),
         run.sim_mips()
     );
+    capture.summary = vec![
+        ("run".to_string(), "suite".to_string()),
+        ("cells".to_string(), run.cells.len().to_string()),
+        ("ok".to_string(), run.count(CellStatus::Ok).to_string()),
+        (
+            "failed".to_string(),
+            run.count(CellStatus::Failed).to_string(),
+        ),
+        (
+            "timed out".to_string(),
+            run.count(CellStatus::TimedOut).to_string(),
+        ),
+        (
+            "skipped".to_string(),
+            run.count(CellStatus::Skipped).to_string(),
+        ),
+        ("retried".to_string(), retried.to_string()),
+        ("threads".to_string(), run.threads.to_string()),
+        (
+            "wall".to_string(),
+            format!("{:.2}s", run.wall.as_secs_f64()),
+        ),
+        (
+            "throughput".to_string(),
+            format!("{:.2} Msim-inst/s", run.sim_mips()),
+        ),
+    ];
     if let Some(path) = &args.det_json {
         // The deterministic projection (wall-clock fields stripped):
         // byte-for-byte comparable across thread counts, resumes, and
@@ -649,7 +730,13 @@ fn cmd_record(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("report needs a sample file")?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("report needs a sample file (.teas) or experiment artifact (.json)")?;
+    if !path.ends_with(".teas") {
+        return cmd_report_html(args, path);
+    }
     let name = args
         .positional
         .get(2)
@@ -665,6 +752,98 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         args.top
     );
     print!("{}", render_top_instructions(&pics, &w.program, args.top));
+    Ok(())
+}
+
+/// Renders the self-contained HTML run report from a saved
+/// `tea-experiment` artifact (the `suite --json` output). Cells become
+/// one timeline lane laid end to end by their recorded wall time, and
+/// per-cell cycles/IPC become charts. Output goes to `--report-out`,
+/// defaulting to the input path with an `.html` extension.
+fn cmd_report_html(args: &Args, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = tea_exp::json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if !schema.starts_with("tea-experiment/") {
+        return Err(format!(
+            "{path}: schema {schema:?} is not a tea-experiment artifact; \
+             pass a suite --json artifact or a .teas sample file"
+        ));
+    }
+    let name = doc.get("name").and_then(Json::as_str).unwrap_or("run");
+    let mut report = Report {
+        title: format!("TEA run report — {name}"),
+        ..Report::default()
+    };
+    for key in [
+        "cells_total",
+        "cells_ok",
+        "cells_failed",
+        "cells_timed_out",
+        "cells_skipped",
+        "threads",
+    ] {
+        if let Some(v) = doc.get(key).and_then(Json::as_u64) {
+            report.summary.push((key.replace('_', " "), v.to_string()));
+        }
+    }
+    if let Some(v) = doc.get("wall_seconds").and_then(Json::as_f64) {
+        report
+            .summary
+            .push(("wall".to_string(), format!("{v:.2}s")));
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: artifact has no cells array"))?;
+    let mut lane = Lane {
+        name: "cells (artifact order)".to_string(),
+        slices: Vec::new(),
+    };
+    let mut cycles = Chart {
+        name: "cycles per cell".to_string(),
+        points: Vec::new(),
+    };
+    let mut ipc = Chart {
+        name: "ipc per cell".to_string(),
+        points: Vec::new(),
+    };
+    let mut clock_ns = 0u64;
+    for (i, cell) in cells.iter().enumerate() {
+        let workload = cell.get("workload").and_then(Json::as_str).unwrap_or("?");
+        let status = cell.get("status").and_then(Json::as_str).unwrap_or("ok");
+        let wall_ns = cell
+            .get("wall_seconds")
+            .and_then(Json::as_f64)
+            .map_or(1, |s| (s * 1e9).max(1.0) as u64);
+        lane.slices.push(Slice {
+            label: workload.to_string(),
+            start_ns: clock_ns,
+            end_ns: clock_ns + wall_ns,
+            status: status.to_string(),
+        });
+        clock_ns += wall_ns;
+        if let Some(c) = cell.get("cycles").and_then(Json::as_f64) {
+            cycles.points.push((i as u64, c));
+        }
+        if let Some(v) = cell.get("ipc").and_then(Json::as_f64) {
+            ipc.points.push((i as u64, v));
+        }
+    }
+    report.lanes.push(lane);
+    for chart in [cycles, ipc] {
+        if chart.points.len() >= 2 {
+            report.charts.push(chart);
+        }
+    }
+    let out = args
+        .report_out
+        .clone()
+        .unwrap_or_else(|| format!("{}.html", path.trim_end_matches(".json")));
+    report
+        .write_to(&out)
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("html report: {out}");
     Ok(())
 }
 
@@ -817,11 +996,72 @@ fn init_observability(args: &Args) -> Result<Option<Arc<ChromeTraceSink>>, Strin
     }))
 }
 
-/// Writes the `--trace-out` / `--metrics-out` artifacts, validating
-/// that each renders as well-formed JSON before it lands on disk.
-/// Runs even when the command failed — that is when a trace is most
-/// interesting — and never turns a succeeded command into a failure.
-fn write_observability_artifacts(args: &Args, trace: Option<&ChromeTraceSink>) {
+/// What a `suite` run leaves behind for the flight-recorder artifacts
+/// written in [`main`]: the progress recorder backing the HTML
+/// timeline and the summary table rows.
+#[derive(Default)]
+struct RunCapture {
+    recorder: Option<Arc<ProgressRecorder>>,
+    summary: Vec<(String, String)>,
+}
+
+/// Builds the live HTML run report from this process's own recording:
+/// the progress recorder's per-worker cell timeline, the sampler's
+/// metric time series, and the span self-time table.
+fn build_live_report(series: Option<&SeriesData>, capture: &RunCapture) -> Report {
+    let mut report = Report {
+        title: "TEA run report".to_string(),
+        summary: capture.summary.clone(),
+        ..Report::default()
+    };
+    if let Some(recorder) = &capture.recorder {
+        let mut lanes: std::collections::BTreeMap<usize, Lane> = std::collections::BTreeMap::new();
+        for cell in recorder.cells() {
+            let lane = lanes.entry(cell.worker).or_insert_with(|| Lane {
+                name: format!("worker-{}", cell.worker),
+                slices: Vec::new(),
+            });
+            lane.slices.push(Slice {
+                label: cell.workload.clone(),
+                start_ns: cell.start_ns,
+                end_ns: cell.end_ns,
+                status: cell.status.clone(),
+            });
+        }
+        report.lanes = lanes.into_values().collect();
+    }
+    if let Some(series) = series {
+        // Chart every metric that actually moved during the run, up to
+        // a cap that keeps the report readable.
+        const MAX_CHARTS: usize = 12;
+        for name in series.metric_names() {
+            if report.charts.len() >= MAX_CHARTS {
+                break;
+            }
+            let points = series.points(&name);
+            let moved = points.windows(2).any(|w| w[0].1 != w[1].1);
+            if moved {
+                report.charts.push(Chart { name, points });
+            }
+        }
+    }
+    report.spans = tea_obs::profiler::span_stats();
+    report
+}
+
+/// Writes the `--trace-out` / `--metrics-out` artifacts plus the
+/// flight-recorder outputs (`--series-out`, `--profile-out`,
+/// `--report-out`), validating that each JSON artifact renders
+/// well-formed before it lands on disk. Runs even when the command
+/// failed — that is when a trace is most interesting — and never turns
+/// a succeeded command into a failure.
+fn write_observability_artifacts(
+    args: &Args,
+    trace: Option<&ChromeTraceSink>,
+    series: Option<&SeriesData>,
+    capture: &RunCapture,
+    live_report: bool,
+) {
     if let (Some(path), Some(sink)) = (&args.trace_out, trace) {
         let json = sink.to_json();
         debug_assert!(
@@ -834,7 +1074,10 @@ fn write_observability_artifacts(args: &Args, trace: Option<&ChromeTraceSink>) {
         }
     }
     if let Some(path) = &args.metrics_out {
-        let json = tea_obs::metrics::global().snapshot().to_json();
+        let spans = tea_obs::profiler::span_stats();
+        let json = tea_obs::metrics::global()
+            .snapshot()
+            .to_json_with_spans(&spans);
         debug_assert!(
             tea_exp::json::validate(&json).is_ok(),
             "metrics snapshot must render as valid JSON"
@@ -842,6 +1085,30 @@ fn write_observability_artifacts(args: &Args, trace: Option<&ChromeTraceSink>) {
         match std::fs::write(path, &json) {
             Ok(()) => eprintln!("metrics written to {path}"),
             Err(e) => eprintln!("could not write metrics {path}: {e}"),
+        }
+    }
+    if let (Some(path), Some(series)) = (&args.series_out, series) {
+        match series.write_series(path) {
+            Ok(()) => eprintln!(
+                "metrics series written to {path} ({} samples, {} dropped)",
+                series.samples.len(),
+                series.dropped
+            ),
+            Err(e) => eprintln!("could not write series {path}: {e}"),
+        }
+    }
+    if let (Some(path), Some(series)) = (&args.profile_out, series) {
+        match series.write_folded(path) {
+            Ok(()) => eprintln!("folded span profile written to {path}"),
+            Err(e) => eprintln!("could not write profile {path}: {e}"),
+        }
+    }
+    if live_report {
+        if let Some(path) = &args.report_out {
+            match build_live_report(series, capture).write_to(path) {
+                Ok(()) => eprintln!("html report written to {path}"),
+                Err(e) => eprintln!("could not write report {path}: {e}"),
+            }
         }
     }
 }
@@ -866,6 +1133,20 @@ fn main() -> ExitCode {
         .first()
         .map(String::as_str)
         .unwrap_or("help");
+    // The `report` subcommand renders from a saved artifact; there is
+    // nothing live to sample, and its `--report-out` names that
+    // render's destination rather than a live report.
+    let live_report = args.report_out.is_some() && cmd != "report";
+    let sampler = if args.series_out.is_some() || args.profile_out.is_some() || live_report {
+        Some(Sampler::start(SamplerConfig {
+            interval_ms: args.series_interval_ms,
+            capacity: args.series_capacity,
+            profile_spans: args.profile_out.is_some(),
+        }))
+    } else {
+        None
+    };
+    let mut capture = RunCapture::default();
     let result = match cmd {
         "list" => {
             cmd_list();
@@ -874,7 +1155,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args),
         "profile" => cmd_profile(&args),
         "compare" => cmd_compare(&args),
-        "suite" => cmd_suite(&args),
+        "suite" => cmd_suite(&args, &mut capture),
         "bench" => cmd_bench(&args),
         "calibrate" => cmd_calibrate(&args),
         "record" => cmd_record(&args),
@@ -893,12 +1174,13 @@ fn main() -> ExitCode {
                  \u{20}             [--det-json out.json] [--no-trace-cache] [--trace-cache-budget BYTES]\n  \
                  \u{20}             [--resume] [--max-retries N] [--cell-timeout CYCLES] [--fail-fast]\n  \
                  \u{20}             [--inject-panic <workload>] [--inject-diverge <workload>]\n  \
-                 \u{20}             [--chaos-seed N] [--no-fast-forward]\n  \
+                 \u{20}             [--chaos-seed N] [--no-fast-forward] [--progress-stream <path|->]\n  \
                  tea-cli bench [workload...] [--size test|ref] [--interval N] [--iters N]\n  \
                  \u{20}             [--json out.json] [--set-baseline] [--no-fast-forward]\n  \
                  tea-cli calibrate [--json out.json]\n  \
                  tea-cli record <workload> <out.teas> [--size test|ref] [--interval N]\n  \
                  tea-cli report <in.teas> <workload> [--top N]\n  \
+                 tea-cli report <run.json> [--report-out out.html]\n  \
                  tea-cli casestudy <lbm|nab> [--size test|ref]\n  \
                  tea-cli functions <workload> [--size test|ref] [--top N]\n  \
                  tea-cli cpi <workload> [--size test|ref]\n  \
@@ -906,12 +1188,23 @@ fn main() -> ExitCode {
                  observability (any command):\n  \
                  --log-level trace|debug|info|warn|error|off\n  \
                  --trace-out FILE   Chrome trace-event JSON (Perfetto-loadable)\n  \
-                 --metrics-out FILE tea-metrics/v1 counters artifact"
+                 --metrics-out FILE tea-metrics/v1 counters artifact\n  \
+                 --series-out FILE  tea-metrics-series/v1 JSON-lines time series\n  \
+                 \u{20}                  [--series-interval-ms N] [--series-capacity N]\n  \
+                 --profile-out FILE collapsed span stacks (inferno/speedscope-loadable)\n  \
+                 --report-out FILE  self-contained HTML run report"
             );
             Ok(())
         }
     };
-    write_observability_artifacts(&args, trace_sink.as_deref());
+    let series = sampler.map(Sampler::stop);
+    write_observability_artifacts(
+        &args,
+        trace_sink.as_deref(),
+        series.as_ref(),
+        &capture,
+        live_report,
+    );
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

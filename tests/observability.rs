@@ -67,6 +67,52 @@ fn metrics_snapshot_is_identical_for_serial_and_parallel_runs() {
 }
 
 #[test]
+fn series_sampling_never_perturbs_metric_determinism() {
+    let _gate = lock();
+    let matrix = Matrix::new()
+        .workloads(vec![lbm::workload(Size::Test), xz::workload(Size::Test)])
+        .seeds(&[11, 29]);
+
+    // Serial run with no sampler: the reference metric map.
+    metrics::global().reset();
+    let _ = Engine::new(1).quiet().run("obs-series", matrix.cells());
+    let serial = metrics::global().snapshot();
+
+    // Parallel run with the flight-recorder sampler hammering the
+    // registry at a 1ms interval throughout. The sampler only *reads*
+    // (registry snapshots, span-stack loads), so the final metric map
+    // must stay byte-identical to the serial, sampler-free run.
+    metrics::global().reset();
+    let sampler = tea_obs::series::Sampler::start(tea_obs::series::SamplerConfig {
+        interval_ms: 1,
+        capacity: 4096,
+        profile_spans: true,
+    });
+    let _ = Engine::new(4).quiet().run("obs-series", matrix.cells());
+    let series = sampler.stop();
+    let parallel = metrics::global().snapshot();
+
+    assert!(
+        series.samples.len() >= 2,
+        "sampler takes at least a first and a final sample"
+    );
+    assert_eq!(
+        serial.metrics(),
+        parallel.metrics(),
+        "a running sampler must not perturb metric determinism"
+    );
+    // The queue-depth gauge is add-based accounting, so it nets back to
+    // zero at every run boundary regardless of worker interleaving.
+    assert_eq!(
+        serial.metrics().get("engine.queue_depth"),
+        Some(&MetricValue::Gauge(0)),
+        "engine.queue_depth gauge must net to zero after the run"
+    );
+    // The series itself saw the gauge and the cell counters move.
+    assert!(series.metric_names().iter().any(|n| n == "engine.cells_ok"));
+}
+
+#[test]
 fn sim_counters_cross_check_against_the_golden_reference() {
     let _gate = lock();
     metrics::global().reset();
