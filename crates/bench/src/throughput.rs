@@ -34,15 +34,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use tea_core::golden::GoldenReference;
-use tea_core::nci::NciProfiler;
-use tea_core::sampling::SampleTimer;
-use tea_core::tagging::TaggingProfiler;
-use tea_core::tea::TeaProfiler;
+use tea_core::observers::ProfiledObservers;
 use tea_exp::json::Json;
 use tea_exp::{Engine, Matrix};
 use tea_isa::CapturedTrace;
 use tea_sim::core::Core;
-use tea_sim::trace::{CycleView, Observer, RetiredInst};
 use tea_sim::SimConfig;
 use tea_workloads::Workload;
 
@@ -57,6 +53,12 @@ pub struct WorkloadThroughput {
     pub instructions: u64,
     /// Samples attributed across all schemes in the profiled run.
     pub samples: u64,
+    /// Cycles the profiled run actually ticked through the pipeline
+    /// (total minus fast-forwarded), from
+    /// [`tea_sim::CycleBreakdown`].
+    pub active_cycles: u64,
+    /// Cycles the profiled run skipped via stall fast-forward.
+    pub skipped_cycles: u64,
     /// Best wall time of the bare simulation (seconds).
     pub sim_wall: f64,
     /// Best wall time with golden + all schemes attached (seconds).
@@ -237,6 +239,19 @@ impl ThroughputReport {
         self.workloads.iter().map(|w| w.samples).sum()
     }
 
+    /// Total cycles the profiled runs actually ticked (the complement
+    /// of [`ThroughputReport::total_skipped_cycles`]).
+    #[must_use]
+    pub fn total_active_cycles(&self) -> u64 {
+        self.workloads.iter().map(|w| w.active_cycles).sum()
+    }
+
+    /// Total cycles the profiled runs fast-forwarded past.
+    #[must_use]
+    pub fn total_skipped_cycles(&self) -> u64 {
+        self.workloads.iter().map(|w| w.skipped_cycles).sum()
+    }
+
     /// Aggregate bare-simulator cycles per second (total cycles over
     /// total best wall time).
     #[must_use]
@@ -309,6 +324,12 @@ impl ThroughputReport {
         Json::obj(vec![
             ("cycles", Json::UInt(self.total_cycles())),
             ("samples", Json::UInt(self.total_samples())),
+            // Engine-level cycle breakdown of the profiled runs: how
+            // much of the simulated time was actually ticked vs skipped
+            // by stall fast-forward. Diagnostic only — identical
+            // simulation results regardless of the split.
+            ("active_cycles", Json::UInt(self.total_active_cycles())),
+            ("skipped_cycles", Json::UInt(self.total_skipped_cycles())),
             (
                 "sim_cycles_per_second",
                 Json::Num(self.sim_cycles_per_second()),
@@ -363,6 +384,8 @@ impl ThroughputReport {
                         ("cycles", Json::UInt(w.cycles)),
                         ("instructions", Json::UInt(w.instructions)),
                         ("samples", Json::UInt(w.samples)),
+                        ("active_cycles", Json::UInt(w.active_cycles)),
+                        ("skipped_cycles", Json::UInt(w.skipped_cycles)),
                         (
                             "sim_cycles_per_second",
                             Json::Num(w.sim_cycles_per_second()),
@@ -402,115 +425,17 @@ impl ThroughputReport {
     }
 }
 
-/// The standard profiled observer set: golden reference plus the five
-/// sampling schemes of the paper's comparison (one jittered timer
-/// sequence, so all schemes fire in the same cycles).
-struct ProfiledObservers {
-    golden: GoldenReference,
-    tea: TeaProfiler,
-    nci: NciProfiler,
-    ibs: TaggingProfiler,
-    spe: TaggingProfiler,
-    ris: TaggingProfiler,
-}
-
-impl ProfiledObservers {
-    fn new(interval: u64, seed: u64) -> Self {
-        let timer = || SampleTimer::with_jitter(interval, interval / 8, seed);
-        ProfiledObservers {
-            golden: GoldenReference::new(),
-            tea: TeaProfiler::new(timer()),
-            nci: NciProfiler::new(timer()),
-            ibs: TaggingProfiler::ibs(timer()),
-            spe: TaggingProfiler::spe(timer()),
-            ris: TaggingProfiler::ris(timer()),
-        }
-    }
-
-    fn samples(&self) -> u64 {
-        self.tea.samples()
-            + self.nci.samples()
-            + self.ibs.samples()
-            + self.spe.samples()
-            + self.ris.samples()
-    }
-}
-
-/// The set is itself one observer: a real profiling tool composes its
-/// analyses statically, so the core pays a single virtual call per
-/// pipeline event and the fan-out below inlines.
-impl Observer for ProfiledObservers {
-    fn on_cycle(&mut self, view: &CycleView<'_>) {
-        self.golden.on_cycle(view);
-        self.tea.on_cycle(view);
-        self.nci.on_cycle(view);
-        self.ibs.on_cycle(view);
-        self.spe.on_cycle(view);
-        self.ris.on_cycle(view);
-    }
-
-    fn on_retire(&mut self, retired: &RetiredInst) {
-        self.golden.on_retire(retired);
-        self.tea.on_retire(retired);
-        self.nci.on_retire(retired);
-        self.ibs.on_retire(retired);
-        self.spe.on_retire(retired);
-        self.ris.on_retire(retired);
-    }
-
-    fn on_commit_batch(&mut self, batch: &[RetiredInst]) {
-        // Forward the whole commit group so each member's batched
-        // override (and its hoisted per-batch probes) stays active.
-        self.golden.on_commit_batch(batch);
-        self.tea.on_commit_batch(batch);
-        self.nci.on_commit_batch(batch);
-        self.ibs.on_commit_batch(batch);
-        self.spe.on_commit_batch(batch);
-        self.ris.on_commit_batch(batch);
-    }
-
-    fn on_stall_run(&mut self, view: &CycleView<'_>, n: u64) {
-        // Forward the folded span so each member's O(1) stall fold (not
-        // the default per-cycle replay) handles it.
-        self.golden.on_stall_run(view, n);
-        self.tea.on_stall_run(view, n);
-        self.nci.on_stall_run(view, n);
-        self.ibs.on_stall_run(view, n);
-        self.spe.on_stall_run(view, n);
-        self.ris.on_stall_run(view, n);
-    }
-
-    fn on_squash(&mut self, from_seq: u64) {
-        self.golden.on_squash(from_seq);
-        self.tea.on_squash(from_seq);
-        self.nci.on_squash(from_seq);
-        self.ibs.on_squash(from_seq);
-        self.spe.on_squash(from_seq);
-        self.ris.on_squash(from_seq);
-    }
-
-    fn on_finish(&mut self, total_cycles: u64) {
-        self.golden.on_finish(total_cycles);
-        self.tea.on_finish(total_cycles);
-        self.nci.on_finish(total_cycles);
-        self.ibs.on_finish(total_cycles);
-        self.spe.on_finish(total_cycles);
-        self.ris.on_finish(total_cycles);
-    }
-}
-
-/// Runs `w` once under the standard profiled observer set, returning
-/// `(cycles, samples)`. This is the exact workload one `profiled` cell
-/// of the throughput report times; the criterion bench wraps it so the
-/// same code path can be measured under `cargo bench`.
+/// Runs `w` once under the standard profiled observer set
+/// ([`tea_core::observers::ProfiledObservers`], statically dispatched
+/// through `Core::run_with`), returning `(cycles, samples)`. This is
+/// the exact workload one `profiled` cell of the throughput report
+/// times; the criterion bench wraps it so the same code path can be
+/// measured under `cargo bench`.
 #[must_use]
 pub fn profiled_run(w: &Workload, interval: u64, seed: u64) -> (u64, u64) {
     let mut obs = ProfiledObservers::new(interval, seed);
     let mut core = Core::new(&w.program, SimConfig::default());
-    let stats = {
-        let mut refs: [&mut dyn Observer; 1] = [&mut obs];
-        core.run(&mut refs)
-    };
+    let stats = core.run_with(&mut obs);
     (stats.cycles, obs.samples())
 }
 
@@ -527,10 +452,7 @@ pub fn profiled_replay_run(
 ) -> (u64, u64) {
     let mut obs = ProfiledObservers::new(interval, seed);
     let mut core = Core::with_trace(program, Arc::clone(trace), SimConfig::default());
-    let stats = {
-        let mut refs: [&mut dyn Observer; 1] = [&mut obs];
-        core.run(&mut refs)
-    };
+    let stats = core.run_with(&mut obs);
     (stats.cycles, obs.samples())
 }
 
@@ -560,16 +482,18 @@ pub fn measure_workload(
     }
     let mut samples = 0;
     let mut profiled_wall = f64::INFINITY;
+    let mut active_cycles = 0;
+    let mut skipped_cycles = 0;
     for _ in 0..iters {
         let mut obs = ProfiledObservers::new(interval, seed);
         let mut core = Core::new(&w.program, cfg.clone());
-        {
-            let mut refs: [&mut dyn Observer; 1] = [&mut obs];
-            let t0 = Instant::now();
-            core.run(&mut refs);
-            profiled_wall = profiled_wall.min(t0.elapsed().as_secs_f64());
-        }
+        let t0 = Instant::now();
+        core.run_with(&mut obs);
+        profiled_wall = profiled_wall.min(t0.elapsed().as_secs_f64());
         samples = obs.samples();
+        let breakdown = core.cycle_breakdown();
+        active_cycles = breakdown.active_cycles;
+        skipped_cycles = breakdown.skipped_cycles;
     }
     // Same profiled configuration, but with the flight-recorder
     // sampler alive for the whole loop (one thread, default interval)
@@ -580,9 +504,8 @@ pub fn measure_workload(
         for _ in 0..iters {
             let mut obs = ProfiledObservers::new(interval, seed);
             let mut core = Core::new(&w.program, cfg.clone());
-            let mut refs: [&mut dyn Observer; 1] = [&mut obs];
             let t0 = Instant::now();
-            core.run(&mut refs);
+            core.run_with(&mut obs);
             sampled_wall = sampled_wall.min(t0.elapsed().as_secs_f64());
         }
         drop(sampler.stop());
@@ -591,9 +514,8 @@ pub fn measure_workload(
     for _ in 0..iters {
         let mut golden = GoldenReference::new();
         let mut core = Core::new(&w.program, cfg.clone());
-        let mut refs: [&mut dyn Observer; 1] = [&mut golden];
         let t0 = Instant::now();
-        core.run(&mut refs);
+        core.run_with(&mut golden);
         golden_wall = golden_wall.min(t0.elapsed().as_secs_f64());
     }
     let t0 = Instant::now();
@@ -621,9 +543,8 @@ pub fn measure_workload(
     for _ in 0..iters {
         let mut obs = ProfiledObservers::new(interval, seed);
         let mut core = Core::with_trace(&w.program, Arc::clone(&trace), cfg.clone());
-        let mut refs: [&mut dyn Observer; 1] = [&mut obs];
         let t0 = Instant::now();
-        core.run(&mut refs);
+        core.run_with(&mut obs);
         replay_wall = replay_wall.min(t0.elapsed().as_secs_f64());
     }
     WorkloadThroughput {
@@ -631,6 +552,8 @@ pub fn measure_workload(
         cycles,
         instructions,
         samples,
+        active_cycles,
+        skipped_cycles,
         sim_wall,
         profiled_wall,
         sampled_wall,

@@ -28,7 +28,10 @@
 //!   (Figure 7);
 //! * [`overhead`] — storage/power/performance overhead accounting
 //!   (Section 3);
-//! * [`render`] — plain-text rendering for the experiment harnesses.
+//! * [`render`] — plain-text rendering for the experiment harnesses;
+//! * [`observers`] — statically dispatched observer sets
+//!   ([`observers::AnyObserver`] / [`observers::ObserverSet`]) that
+//!   devirtualize scheme delivery in the simulator's cycle loop.
 //!
 //! # Example: profile a loop and print its PICS
 //!
@@ -78,6 +81,7 @@ pub mod diff;
 pub mod error;
 pub mod golden;
 pub mod nci;
+pub mod observers;
 pub mod overhead;
 pub mod pics;
 pub mod pmc;
@@ -92,6 +96,7 @@ pub mod tip;
 pub use error::pics_error;
 pub use golden::GoldenReference;
 pub use nci::NciProfiler;
+pub use observers::{AnyObserver, ObserverSet, ProfiledObservers};
 pub use pics::{Granularity, Pics, UnitMap};
 pub use pmc::PmcProfiler;
 pub use sampling::SampleTimer;

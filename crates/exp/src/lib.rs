@@ -58,20 +58,17 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tea_core::golden::GoldenReference;
-use tea_core::nci::NciProfiler;
+use tea_core::observers::{AnyObserver, ObserverSet};
 use tea_core::pics::{Granularity, Pics, UnitMap};
 use tea_core::pics_error;
 use tea_core::sampling::SampleTimer;
 use tea_core::schemes::Scheme;
-use tea_core::tagging::TaggingProfiler;
-use tea_core::tea::TeaProfiler;
 use tea_core::tip::{TipProfile, TipProfiler};
 use tea_isa::program::Program;
 use tea_isa::CapturedTrace;
 use tea_obs::{Level, Value};
 use tea_sim::core::{Core, SimStats};
 use tea_sim::psv::CommitState;
-use tea_sim::trace::Observer;
 use tea_sim::{SimConfig, SimError};
 use tea_workloads::Workload;
 
@@ -1342,33 +1339,30 @@ fn run_cell_pass(
     } else {
         None
     };
-    let mut tip = if spec.tip {
-        Some(TipProfiler::new(timer()))
+    // One statically dispatched set (ISSUE 10): every known profiler is
+    // an `AnyObserver` variant, so the run loop delivers notifications
+    // through enum matches instead of a `&mut dyn Observer` slice. Each
+    // push index is remembered so the observers can be taken back out
+    // after the run.
+    let mut set = ObserverSet::new();
+    let golden_at = golden.take().map(|g| set.push(AnyObserver::Golden(g)));
+    let tip_at = if spec.tip {
+        Some(set.push(AnyObserver::Tip(TipProfiler::new(timer()))))
     } else {
         None
     };
-    let mut scheme_obs: Vec<(Scheme, SchemeObserver)> = spec
+    let scheme_at: Vec<(Scheme, usize)> = spec
         .schemes
         .iter()
-        .map(|&s| (s, SchemeObserver::new(s, timer())))
+        .map(|&s| (s, set.push(AnyObserver::for_scheme(s, timer()))))
         .collect();
-    let mut chaos_obs = observer_fault.map(ChaosObserver::new);
+    // Last, so the injected panic never masks real observer work in
+    // the same cycle. Chaos is the one observer outside the known set;
+    // it rides the `Dyn` escape hatch at the old virtual-call cost.
+    if let Some(fault) = observer_fault {
+        set.push(AnyObserver::Dyn(Box::new(ChaosObserver::new(fault))));
+    }
     let stats = {
-        let mut observers: Vec<&mut dyn Observer> = Vec::new();
-        if let Some(g) = golden.as_mut() {
-            observers.push(g);
-        }
-        if let Some(t) = tip.as_mut() {
-            observers.push(t);
-        }
-        for (_, o) in &mut scheme_obs {
-            observers.push(o.as_observer());
-        }
-        // Last, so the injected panic never masks real observer work
-        // in the same cycle.
-        if let Some(c) = chaos_obs.as_mut() {
-            observers.push(c);
-        }
         let mut core = match trace {
             Some(trace) => Core::try_with_trace(&spec.program, trace, spec.config.clone()),
             None => Core::try_new(&spec.program, spec.config.clone()),
@@ -1377,17 +1371,31 @@ fn run_cell_pass(
         match budget {
             Some(max) => {
                 let stats = core
-                    .try_run_for(max, &mut observers)
+                    .try_run_for_with(max, &mut set)
                     .map_err(ExpError::Sim)?;
                 if !core.is_halted() {
                     return Err(ExpError::Timeout { budget: max });
                 }
                 stats
             }
-            None => core.try_run(&mut observers).map_err(ExpError::Sim)?,
+            None => core.try_run_with(&mut set).map_err(ExpError::Sim)?,
         }
     };
     let wall = t0.elapsed();
+    // Disassemble the set back into its typed members.
+    let mut items: Vec<Option<AnyObserver>> = set.into_items().into_iter().map(Some).collect();
+    let golden = golden_at.map(|at| match items[at].take() {
+        Some(AnyObserver::Golden(g)) => g,
+        _ => unreachable!("golden observer keeps its slot"),
+    });
+    let tip = tip_at.map(|at| match items[at].take() {
+        Some(AnyObserver::Tip(t)) => t,
+        _ => unreachable!("tip observer keeps its slot"),
+    });
+    let scheme_obs: Vec<(Scheme, AnyObserver)> = scheme_at
+        .into_iter()
+        .map(|(s, at)| (s, items[at].take().expect("scheme observer keeps its slot")))
+        .collect();
     // The run succeeded: publish a claimed reference for later cells of
     // the pair, or adopt the shared one so the cell's artifact (and the
     // profiler.golden.* counters) are identical to a computed run's.
@@ -1404,8 +1412,14 @@ fn run_cell_pass(
     let mut pics = HashMap::new();
     let mut samples = HashMap::new();
     for (scheme, obs) in scheme_obs {
-        samples.insert(scheme, obs.samples());
-        pics.insert(scheme, obs.into_pics());
+        samples.insert(
+            scheme,
+            obs.samples().expect("scheme observers count samples"),
+        );
+        pics.insert(
+            scheme,
+            obs.into_pics().expect("scheme observers produce PICS"),
+        );
     }
     Ok(CellResult {
         index,
@@ -1427,15 +1441,15 @@ fn run_cell_pass(
 fn record_profiler_metrics(
     golden: Option<&GoldenReference>,
     tip: Option<&TipProfiler>,
-    scheme_obs: &[(Scheme, SchemeObserver)],
+    scheme_obs: &[(Scheme, AnyObserver)],
 ) {
     let m = metrics();
     for (scheme, obs) in scheme_obs {
         let name = scheme.name();
         m.counter(&format!("profiler.{name}.samples_taken"))
-            .add(obs.samples());
+            .add(obs.samples().unwrap_or(0));
         m.counter(&format!("profiler.{name}.samples_dropped"))
-            .add(obs.pending_samples() as u64);
+            .add(obs.pending_samples().unwrap_or(0) as u64);
     }
     if let Some(t) = tip {
         m.counter("profiler.TIP.samples_taken").add(t.samples());
@@ -1449,59 +1463,6 @@ fn record_profiler_metrics(
             .add(g.pending_cycles() as u64);
         m.counter("profiler.golden.unattributed_compute_cycles")
             .add(g.unattributed_compute_cycles());
-    }
-}
-
-/// A scheme's profiler behind one constructor, so cells can hold a
-/// heterogeneous observer set in a plain `Vec`.
-enum SchemeObserver {
-    Tea(TeaProfiler),
-    Nci(NciProfiler),
-    Tagging(TaggingProfiler),
-}
-
-impl SchemeObserver {
-    fn new(scheme: Scheme, timer: SampleTimer) -> Self {
-        match scheme {
-            Scheme::Tea => SchemeObserver::Tea(TeaProfiler::new(timer)),
-            Scheme::NciTea => SchemeObserver::Nci(NciProfiler::new(timer)),
-            Scheme::Ibs | Scheme::Spe | Scheme::Ris | Scheme::TeaDispatchTagged => {
-                SchemeObserver::Tagging(TaggingProfiler::new(scheme, timer))
-            }
-        }
-    }
-
-    fn as_observer(&mut self) -> &mut dyn Observer {
-        match self {
-            SchemeObserver::Tea(o) => o,
-            SchemeObserver::Nci(o) => o,
-            SchemeObserver::Tagging(o) => o,
-        }
-    }
-
-    fn samples(&self) -> u64 {
-        match self {
-            SchemeObserver::Tea(o) => o.samples(),
-            SchemeObserver::Nci(o) => o.samples(),
-            SchemeObserver::Tagging(o) => o.samples(),
-        }
-    }
-
-    /// Samples still pending (taken but never attributed) at finish.
-    fn pending_samples(&self) -> usize {
-        match self {
-            SchemeObserver::Tea(o) => o.pending_samples(),
-            SchemeObserver::Nci(o) => o.pending_samples(),
-            SchemeObserver::Tagging(o) => o.pending_samples(),
-        }
-    }
-
-    fn into_pics(self) -> Pics {
-        match self {
-            SchemeObserver::Tea(o) => o.into_pics(),
-            SchemeObserver::Nci(o) => o.into_pics(),
-            SchemeObserver::Tagging(o) => o.into_pics(),
-        }
     }
 }
 

@@ -14,8 +14,7 @@
 //! every cycle observers receive a [`CycleView`] — this is TEA's
 //! hardware substrate.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use tea_isa::capture::{codec, CapturedTrace};
@@ -28,7 +27,9 @@ use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::hierarchy::{HierarchyStats, MemHierarchy};
 use crate::psv::{CommitState, Event, Psv};
-use crate::trace::{CycleView, InstRef, Observer, RetiredInst};
+use crate::queue::{wheel_cycles, CalendarQueue};
+use crate::slab::{IqKind, Ring, Slab, SlotRef};
+use crate::trace::{CycleView, DynObservers, InstRef, Observer, ObserverHost, RetiredInst};
 
 /// Aggregate statistics of one simulation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -91,85 +92,45 @@ impl SimStats {
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct SlotRef {
-    idx: u32,
-    gen: u32,
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum IqKind {
-    Int,
-    Mem,
-    Fp,
-}
-
-#[derive(Clone, Debug)]
-struct Slot {
-    gen: u32,
-    live: bool,
-    d: DynInst,
-    psv: Psv,
-    unknown_deps: u8,
-    ready_lb: u64,
-    waiters: Vec<SlotRef>,
-    issued: bool,
-    complete: Option<u64>,
-    in_iq: Option<IqKind>,
-    mispredicted: bool,
-    resolved: bool,
-    dispatch_cycle: u64,
-    issue_cycle: u64,
-}
-
-impl Slot {
-    fn vacant() -> Self {
-        Slot {
-            gen: 0,
-            live: false,
-            d: DynInst {
-                seq: 0,
-                pc: 0,
-                index: 0,
-                inst: Inst::Nop,
-                mem_addr: None,
-                branch: None,
-            },
-            psv: Psv::empty(),
-            unknown_deps: 0,
-            ready_lb: 0,
-            waiters: Vec::new(),
-            issued: false,
-            complete: None,
-            in_iq: None,
-            mispredicted: false,
-            resolved: false,
-            dispatch_cycle: 0,
-            issue_cycle: 0,
-        }
-    }
-}
-
 #[derive(Debug)]
 struct IssueQueue {
     cap: usize,
     width: usize,
     count: usize,
-    ready: BinaryHeap<Reverse<(u64, u64, u32, u32)>>, // (ready, seq, idx, gen)
+    /// `(ready, seq, idx, gen)` calendar queue; pop order matches the
+    /// old `BinaryHeap<Reverse<_>>` exactly.
+    ready: CalendarQueue,
 }
 
 impl IssueQueue {
-    fn new(cap: usize, width: usize) -> Self {
+    fn new(cap: usize, width: usize, wheel: u64) -> Self {
         IssueQueue {
             cap,
             width,
             count: 0,
-            ready: BinaryHeap::new(),
+            ready: CalendarQueue::new(wheel),
         }
     }
     fn push_ready(&mut self, ready: u64, seq: u64, r: SlotRef) {
-        self.ready.push(Reverse((ready, seq, r.idx, r.gen)));
+        self.ready.push(ready, seq, r.idx, r.gen);
     }
+}
+
+/// How a run's simulated cycles were spent by the engine itself:
+/// actively simulated versus covered by stall fast-forward jumps.
+/// `active_cycles + skipped_cycles == SimStats::cycles`.
+///
+/// This lives outside [`SimStats`] because the split is an engine
+/// property, not a machine property: a ticked run of the same program
+/// reports all-active while producing bit-identical `SimStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Cycles the engine simulated one by one.
+    pub active_cycles: u64,
+    /// Cycles covered by quiescent-stall fast-forward jumps.
+    pub skipped_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    pub stall_runs: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -388,10 +349,9 @@ pub struct Core<'p> {
     cycle: u64,
     cursor: u64,
 
-    slots: Vec<Slot>,
-    free: Vec<u32>,
-    fetch_buf: VecDeque<SlotRef>,
-    rob: VecDeque<SlotRef>,
+    slab: Slab,
+    fetch_buf: Ring<SlotRef>,
+    rob: Ring<SlotRef>,
     rename: [Option<SlotRef>; 64],
     int_q: IssueQueue,
     mem_q: IssueQueue,
@@ -400,8 +360,9 @@ pub struct Core<'p> {
     fp_div_free: u64,
     fp_sqrt_free: u64,
     ldq: Vec<LdqEntry>,
-    stq: VecDeque<StqEntry>,
-    events: BinaryHeap<Reverse<(u64, u64, u32, u32)>>, // (cycle, seq, idx, gen)
+    stq: Ring<StqEntry>,
+    /// `(cycle, seq, idx, gen)` completion events.
+    events: CalendarQueue,
 
     fetch_done: bool,
     fetch_blocked_until: u64,
@@ -432,6 +393,14 @@ pub struct Core<'p> {
     /// Spare waiter buffer rotated through slots in `process_events`, so
     /// waking a completion's dependents never allocates in steady state.
     waiters_scratch: Vec<SlotRef>,
+
+    /// Cycles covered by stall fast-forward jumps (a subset of
+    /// `stats.cycles`). Kept outside [`SimStats`] on purpose: the
+    /// breakdown differs between fast-forwarded and ticked runs, while
+    /// `SimStats` equality is the bit-identity contract between them.
+    skipped_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    stall_runs: u64,
 
     stats: SimStats,
 
@@ -515,26 +484,36 @@ impl<'p> Core<'p> {
     fn build(stream: Stream<'p>, cfg: SimConfig) -> Result<Self, SimError> {
         cfg.validate()?;
         let slot_count = cfg.rob_entries + cfg.fetch_buffer + cfg.fetch_width + 4;
+        let wheel = wheel_cycles(&cfg);
+        let no_slot = SlotRef { idx: 0, gen: 0 };
+        let no_store = StqEntry {
+            seq: 0,
+            addr: 0,
+            addr_known: false,
+            complete: None,
+            committed: false,
+            drain_started: false,
+            drain_done: 0,
+        };
         Ok(Core {
             hier: MemHierarchy::new(&cfg),
             bp: BranchPredictor::new(&cfg.branch),
             stream,
             cycle: 0,
             cursor: 0,
-            slots: vec![Slot::vacant(); slot_count],
-            free: (0..slot_count as u32).rev().collect(),
-            fetch_buf: VecDeque::with_capacity(cfg.fetch_buffer),
-            rob: VecDeque::with_capacity(cfg.rob_entries),
+            slab: Slab::new(slot_count),
+            fetch_buf: Ring::new(cfg.fetch_buffer, no_slot),
+            rob: Ring::new(cfg.rob_entries, no_slot),
             rename: [None; 64],
-            int_q: IssueQueue::new(cfg.int_iq.entries, cfg.int_iq.issue_width),
-            mem_q: IssueQueue::new(cfg.mem_iq.entries, cfg.mem_iq.issue_width),
-            fp_q: IssueQueue::new(cfg.fp_iq.entries, cfg.fp_iq.issue_width),
+            int_q: IssueQueue::new(cfg.int_iq.entries, cfg.int_iq.issue_width, wheel),
+            mem_q: IssueQueue::new(cfg.mem_iq.entries, cfg.mem_iq.issue_width, wheel),
+            fp_q: IssueQueue::new(cfg.fp_iq.entries, cfg.fp_iq.issue_width, wheel),
             int_div_free: 0,
             fp_div_free: 0,
             fp_sqrt_free: 0,
             ldq: Vec::with_capacity(cfg.ldq_entries),
-            stq: VecDeque::with_capacity(cfg.stq_entries),
-            events: BinaryHeap::new(),
+            stq: Ring::new(cfg.stq_entries, no_store),
+            events: CalendarQueue::new(wheel),
             fetch_done: false,
             fetch_blocked_until: 0,
             pending_fe_bits: Psv::empty(),
@@ -554,6 +533,8 @@ impl<'p> Core<'p> {
             fetched_buf: Vec::with_capacity(8),
             squashed_buf: Vec::with_capacity(4),
             waiters_scratch: Vec::new(),
+            skipped_cycles: 0,
+            stall_runs: 0,
             stats: SimStats::default(),
             #[cfg(feature = "obs")]
             obs: ObsAccum::default(),
@@ -568,43 +549,17 @@ impl<'p> Core<'p> {
     }
 
     fn valid(&self, r: SlotRef) -> bool {
-        let s = &self.slots[r.idx as usize];
-        s.live && s.gen == r.gen
-    }
-
-    fn alloc_slot(&mut self, d: DynInst) -> SlotRef {
-        let idx = self.free.pop().expect("slot pool exhausted");
-        let s = &mut self.slots[idx as usize];
-        s.gen = s.gen.wrapping_add(1);
-        s.live = true;
-        s.d = d;
-        s.psv = Psv::empty();
-        s.unknown_deps = 0;
-        s.ready_lb = 0;
-        s.waiters.clear();
-        s.issued = false;
-        s.complete = None;
-        s.in_iq = None;
-        s.mispredicted = false;
-        s.resolved = false;
-        s.dispatch_cycle = 0;
-        s.issue_cycle = 0;
-        SlotRef { idx, gen: s.gen }
+        self.slab.valid(r)
     }
 
     fn kill_slot(&mut self, idx: u32) {
-        let s = &mut self.slots[idx as usize];
-        debug_assert!(s.live);
-        s.live = false;
-        s.gen = s.gen.wrapping_add(1);
-        if let Some(kind) = s.in_iq.take() {
+        if let Some(kind) = self.slab.kill(idx) {
             match kind {
                 IqKind::Int => self.int_q.count -= 1,
                 IqKind::Mem => self.mem_q.count -= 1,
                 IqKind::Fp => self.fp_q.count -= 1,
             }
         }
-        self.free.push(idx);
     }
 
     fn iq_kind(class: ExecClass) -> IqKind {
@@ -629,7 +584,7 @@ impl<'p> Core<'p> {
     }
 
     fn inst_ref(&self, r: SlotRef) -> InstRef {
-        let s = &self.slots[r.idx as usize];
+        let s = &self.slab[r.idx];
         InstRef {
             seq: s.d.seq,
             addr: s.d.pc,
@@ -644,14 +599,14 @@ impl<'p> Core<'p> {
         self.stats.squashes += 1;
         self.squashed_buf.push(from_seq);
         while let Some(&r) = self.rob.back() {
-            if self.slots[r.idx as usize].d.seq >= from_seq {
+            if self.slab[r.idx].d.seq >= from_seq {
                 self.rob.pop_back();
             } else {
                 break;
             }
         }
         while let Some(&r) = self.fetch_buf.back() {
-            if self.slots[r.idx as usize].d.seq >= from_seq {
+            if self.slab[r.idx].d.seq >= from_seq {
                 self.fetch_buf.pop_back();
             } else {
                 break;
@@ -665,15 +620,15 @@ impl<'p> Core<'p> {
                 break;
             }
         }
-        for idx in 0..self.slots.len() as u32 {
-            if self.slots[idx as usize].live && self.slots[idx as usize].d.seq >= from_seq {
+        for idx in 0..self.slab.capacity() as u32 {
+            if self.slab[idx].live && self.slab[idx].d.seq >= from_seq {
                 self.kill_slot(idx);
             }
         }
         // Rebuild the rename map from the surviving ROB contents.
         self.rename = [None; 64];
-        for &r in &self.rob {
-            if let Some(dst) = self.slots[r.idx as usize].d.inst.dst() {
+        for &r in self.rob.iter() {
+            if let Some(dst) = self.slab[r.idx].d.inst.dst() {
                 self.rename[Self::reg_index(dst)] = Some(r);
             }
         }
@@ -683,7 +638,7 @@ impl<'p> Core<'p> {
             .iter()
             .chain(self.fetch_buf.iter())
             .filter(|r| {
-                let s = &self.slots[r.idx as usize];
+                let s = &self.slab[r.idx];
                 Self::is_ctrl(s.d.inst.class()) && !s.resolved
             })
             .count();
@@ -700,13 +655,11 @@ impl<'p> Core<'p> {
 
     // ---- cycle phases ----
 
+    #[inline(always)]
     fn process_events(&mut self) {
         let now = self.cycle;
-        while let Some(&Reverse((c, _seq, idx, gen))) = self.events.peek() {
-            if c > now {
-                break;
-            }
-            self.events.pop();
+        self.events.advance(now);
+        while let Some((_c, _seq, idx, gen)) = self.events.pop_due() {
             self.progress = true;
             let r = SlotRef { idx, gen };
             if !self.valid(r) {
@@ -718,7 +671,7 @@ impl<'p> Core<'p> {
             // list and cost a fresh allocation per completion.
             let mut waiters = std::mem::take(&mut self.waiters_scratch);
             let (comp, class, mispredicted, already_resolved, seq) = {
-                let s = &mut self.slots[idx as usize];
+                let s = &mut self.slab[idx];
                 std::mem::swap(&mut s.waiters, &mut waiters);
                 (
                     s.complete
@@ -734,7 +687,7 @@ impl<'p> Core<'p> {
                     continue;
                 }
                 let (push, ready, wseq, kind) = {
-                    let ws = &mut self.slots[w.idx as usize];
+                    let ws = &mut self.slab[w.idx];
                     ws.ready_lb = ws.ready_lb.max(comp);
                     ws.unknown_deps -= 1;
                     (
@@ -751,10 +704,10 @@ impl<'p> Core<'p> {
             waiters.clear();
             self.waiters_scratch = waiters;
             if Self::is_ctrl(class) && !already_resolved {
-                self.slots[idx as usize].resolved = true;
+                self.slab[idx].resolved = true;
                 self.inflight_ctrl = self.inflight_ctrl.saturating_sub(1);
                 if mispredicted {
-                    self.slots[idx as usize].psv.set(Event::FlMb);
+                    self.slab[idx].psv.set(Event::FlMb);
                     self.squash_from(seq + 1);
                     self.flush_active = true;
                     self.fetch_blocked_until = self
@@ -774,6 +727,7 @@ impl<'p> Core<'p> {
         }
     }
 
+    #[inline(always)]
     fn commit(&mut self) -> CommitSnapshot {
         let now = self.cycle;
         self.committed_buf.clear();
@@ -781,7 +735,7 @@ impl<'p> Core<'p> {
         while self.committed_buf.len() < self.cfg.commit_width {
             let Some(&head) = self.rob.front() else { break };
             let (complete, seq) = {
-                let s = &self.slots[head.idx as usize];
+                let s = &self.slab[head.idx];
                 (s.complete, s.d.seq)
             };
             let Some(c) = complete else { break };
@@ -789,7 +743,7 @@ impl<'p> Core<'p> {
                 break;
             }
             let (mut psv, addr, class, dispatch_cycle, exec_latency, inst) = {
-                let s = &self.slots[head.idx as usize];
+                let s = &self.slab[head.idx];
                 let exec_latency = s.complete.unwrap_or(s.issue_cycle) - s.issue_cycle;
                 (
                     s.psv,
@@ -905,6 +859,7 @@ impl<'p> Core<'p> {
         })
     }
 
+    #[inline(always)]
     fn drain_stores(&mut self) {
         let now = self.cycle;
         // Free fully drained stores from the front, in order.
@@ -938,28 +893,27 @@ impl<'p> Core<'p> {
         }
     }
 
+    #[inline(always)]
     fn issue(&mut self) {
         for kind in [IqKind::Int, IqKind::Mem, IqKind::Fp] {
             let width = self.iq_mut(kind).width;
             let mut issued = 0;
             while issued < width {
                 let cycle = self.cycle;
-                let top = match self.iq_mut(kind).ready.peek() {
-                    Some(&Reverse((ready, _, _, _))) if ready <= cycle => {
-                        self.iq_mut(kind).ready.pop().unwrap()
-                    }
-                    _ => break,
+                let q = self.iq_mut(kind);
+                q.ready.advance(cycle);
+                let Some((_, seq, idx, gen)) = q.ready.pop_due() else {
+                    break;
                 };
                 self.progress = true;
-                let Reverse((_, seq, idx, gen)) = top;
                 let r = SlotRef { idx, gen };
                 if !self.valid(r) {
                     continue; // squashed while queued; costs no slot
                 }
-                if self.slots[idx as usize].issued {
+                if self.slab[idx].issued {
                     continue;
                 }
-                let class = self.slots[idx as usize].d.inst.class();
+                let class = self.slab[idx].d.inst.class();
                 let now = self.cycle;
                 let lat = self.cfg.lat;
                 let complete = match class {
@@ -1008,7 +962,7 @@ impl<'p> Core<'p> {
                 // The slot may have been squashed by its own store's MO
                 // violation handling (never: squashes start strictly
                 // after the issuing instruction), so it is still valid.
-                let s = &mut self.slots[idx as usize];
+                let s = &mut self.slab[idx];
                 s.issued = true;
                 s.issue_cycle = now;
                 s.complete = Some(complete);
@@ -1016,7 +970,7 @@ impl<'p> Core<'p> {
                     debug_assert_eq!(k, kind);
                     self.iq_mut(kind).count -= 1;
                 }
-                self.events.push(Reverse((complete, seq, idx, gen)));
+                self.events.push(complete, seq, idx, gen);
                 issued += 1;
             }
         }
@@ -1025,12 +979,12 @@ impl<'p> Core<'p> {
     fn issue_load(&mut self, r: SlotRef) -> u64 {
         let now = self.cycle;
         let (addr, seq) = {
-            let s = &self.slots[r.idx as usize];
+            let s = &self.slab[r.idx];
             (s.d.mem_addr.expect("load without address"), s.d.seq)
         };
         let tr = self.hier.translate_data(addr, now);
         if tr.miss {
-            self.slots[r.idx as usize].psv.set(Event::StTlb);
+            self.slab[r.idx].psv.set(Event::StTlb);
         }
         let word = addr >> 3;
         let mut forward: Option<(u64, u64)> = None;
@@ -1055,10 +1009,10 @@ impl<'p> Core<'p> {
         } else {
             let out = self.hier.access_data(addr, tr.ready);
             if out.l1_miss {
-                self.slots[r.idx as usize].psv.set(Event::StL1);
+                self.slab[r.idx].psv.set(Event::StL1);
             }
             if out.llc_miss {
-                self.slots[r.idx as usize].psv.set(Event::StLlc);
+                self.slab[r.idx].psv.set(Event::StLlc);
             }
             out.ready
         }
@@ -1067,12 +1021,12 @@ impl<'p> Core<'p> {
     fn issue_store(&mut self, r: SlotRef) -> u64 {
         let now = self.cycle;
         let (addr, seq) = {
-            let s = &self.slots[r.idx as usize];
+            let s = &self.slab[r.idx];
             (s.d.mem_addr.expect("store without address"), s.d.seq)
         };
         let tr = self.hier.translate_data(addr, now);
         if tr.miss {
-            self.slots[r.idx as usize].psv.set(Event::StTlb);
+            self.slab[r.idx].psv.set(Event::StTlb);
         }
         let complete = tr.ready + 1;
         if let Some(e) = self.stq.iter_mut().find(|e| e.seq == seq) {
@@ -1094,7 +1048,7 @@ impl<'p> Core<'p> {
             .map(|le| le.seq)
             .min();
         if let Some(vseq) = victim {
-            self.slots[r.idx as usize].psv.set(Event::FlMo);
+            self.slab[r.idx].psv.set(Event::FlMo);
             self.stats.mo_violations += 1;
             self.squash_from(vseq);
             self.flush_active = true;
@@ -1105,7 +1059,7 @@ impl<'p> Core<'p> {
 
     fn issue_prefetch(&mut self, r: SlotRef) -> u64 {
         let now = self.cycle;
-        let addr = self.slots[r.idx as usize]
+        let addr = self.slab[r.idx]
             .d
             .mem_addr
             .expect("prefetch without address");
@@ -1114,6 +1068,7 @@ impl<'p> Core<'p> {
         now + 1
     }
 
+    #[inline(always)]
     fn dispatch(&mut self) {
         let now = self.cycle;
         self.dispatched_buf.clear();
@@ -1121,7 +1076,7 @@ impl<'p> Core<'p> {
             let Some(&front) = self.fetch_buf.front() else {
                 break;
             };
-            let class = self.slots[front.idx as usize].d.inst.class();
+            let class = self.slab[front.idx].d.inst.class();
             if self.rob.len() >= self.cfg.rob_entries {
                 break;
             }
@@ -1140,7 +1095,7 @@ impl<'p> Core<'p> {
                     // is progress only the first time — later stalled
                     // cycles re-set it idempotently, so they can still
                     // fast-forward.
-                    let s = &mut self.slots[front.idx as usize];
+                    let s = &mut self.slab[front.idx];
                     if !s.psv.contains(Event::DrSq) {
                         self.progress = true;
                     }
@@ -1153,7 +1108,7 @@ impl<'p> Core<'p> {
             self.rob.push_back(front);
             self.flush_active = false;
             let (d, mut ready_lb, mut unknown) = {
-                let s = &mut self.slots[front.idx as usize];
+                let s = &mut self.slab[front.idx];
                 s.dispatch_cycle = now;
                 (s.d, now + 1, 0u8)
             };
@@ -1162,11 +1117,11 @@ impl<'p> Core<'p> {
                 let ri = Self::reg_index(src);
                 if let Some(pref) = self.rename[ri] {
                     if self.valid(pref) {
-                        match self.slots[pref.idx as usize].complete {
+                        match self.slab[pref.idx].complete {
                             Some(c) => ready_lb = ready_lb.max(c),
                             None => {
                                 unknown += 1;
-                                self.slots[pref.idx as usize].waiters.push(front);
+                                self.slab[pref.idx].waiters.push(front);
                             }
                         }
                     }
@@ -1176,7 +1131,7 @@ impl<'p> Core<'p> {
                 self.rename[Self::reg_index(dst)] = Some(front);
             }
             {
-                let s = &mut self.slots[front.idx as usize];
+                let s = &mut self.slab[front.idx];
                 s.ready_lb = ready_lb;
                 s.unknown_deps = unknown;
                 s.in_iq = Some(kind);
@@ -1206,6 +1161,7 @@ impl<'p> Core<'p> {
         }
     }
 
+    #[inline(always)]
     fn fetch(&mut self) {
         let now = self.cycle;
         self.fetched_buf.clear();
@@ -1249,8 +1205,8 @@ impl<'p> Core<'p> {
                 Some(l) if l != line => break,
                 _ => {}
             }
-            let r = self.alloc_slot(d);
-            self.slots[r.idx as usize].psv = self.pending_fe_bits;
+            let r = self.slab.alloc(d);
+            self.slab[r.idx].psv = self.pending_fe_bits;
             self.pending_fe_bits = Psv::empty();
             self.fetch_buf.push_back(r);
             self.fetched_buf.push(self.inst_ref(r));
@@ -1271,7 +1227,7 @@ impl<'p> Core<'p> {
                 let mispredict =
                     self.bp
                         .predict_and_update(d.pc, kind, outcome.taken, outcome.target);
-                self.slots[r.idx as usize].mispredicted = mispredict;
+                self.slab[r.idx].mispredicted = mispredict;
                 self.inflight_ctrl += 1;
                 if mispredict {
                     self.fetch_stalled_branch = Some(r);
@@ -1303,18 +1259,19 @@ impl<'p> Core<'p> {
     /// lazily, so the head can retire on a cycle where no event pops
     /// (its event and the commit are distinct state changes, and the
     /// heap may have been drained by a squash's generation bumps).
+    #[inline]
     fn quiescent_bound(&self) -> u64 {
         let mut bound = u64::MAX;
         if let Some(&head) = self.rob.front() {
-            if let Some(c) = self.slots[head.idx as usize].complete {
+            if let Some(c) = self.slab[head.idx].complete {
                 bound = bound.min(c);
             }
         }
-        if let Some(&Reverse((c, _, _, _))) = self.events.peek() {
+        if let Some(c) = self.events.next_cycle() {
             bound = bound.min(c);
         }
         for q in [&self.int_q, &self.mem_q, &self.fp_q] {
-            if let Some(&Reverse((ready, _, _, _))) = q.ready.peek() {
+            if let Some(ready) = q.ready.next_cycle() {
                 bound = bound.min(ready);
             }
         }
@@ -1359,8 +1316,7 @@ impl<'p> Core<'p> {
     /// [`Core::try_run_for`]) or the core makes no forward progress for
     /// an extended period.
     pub fn run_for(&mut self, max_cycles: u64, observers: &mut [&mut dyn Observer]) -> SimStats {
-        self.try_run_for(max_cycles, observers)
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.run_for_with(max_cycles, &mut DynObservers(observers))
     }
 
     /// Runs to completion, surfacing architectural program faults as
@@ -1378,6 +1334,59 @@ impl<'p> Core<'p> {
     ///
     /// # Errors
     ///
+    /// See [`Core::try_run_for_with`].
+    pub fn try_run_for(
+        &mut self,
+        max_cycles: u64,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<SimStats, SimError> {
+        self.try_run_for_with(max_cycles, &mut DynObservers(observers))
+    }
+
+    /// [`Core::run`] against a statically typed [`ObserverHost`] (a
+    /// single observer, or an enum-dispatched set): observer delivery
+    /// monomorphizes into the cycle loop instead of going through the
+    /// `dyn Observer` vtable.
+    ///
+    /// # Panics
+    ///
+    /// As [`Core::run`].
+    pub fn run_with<H: ObserverHost + ?Sized>(&mut self, host: &mut H) -> SimStats {
+        self.run_for_with(u64::MAX, host)
+    }
+
+    /// [`Core::run_for`] against a statically typed [`ObserverHost`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Core::run_for`].
+    pub fn run_for_with<H: ObserverHost + ?Sized>(
+        &mut self,
+        max_cycles: u64,
+        host: &mut H,
+    ) -> SimStats {
+        self.try_run_for_with(max_cycles, host)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Core::try_run`] against a statically typed [`ObserverHost`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Core::try_run_for_with`].
+    pub fn try_run_with<H: ObserverHost + ?Sized>(
+        &mut self,
+        host: &mut H,
+    ) -> Result<SimStats, SimError> {
+        self.try_run_for_with(u64::MAX, host)
+    }
+
+    /// Runs for at most `max_cycles`, driving an [`ObserverHost`],
+    /// surfacing architectural program faults as values. This is the
+    /// engine's one cycle loop; every other run entry point wraps it.
+    ///
+    /// # Errors
+    ///
     /// Returns [`SimError::Isa`] when the functional interpreter faults
     /// while feeding the correct-path stream — e.g. the pc escapes the
     /// text segment through a wild `jalr`. The error carries the
@@ -1386,10 +1395,10 @@ impl<'p> Core<'p> {
     /// replayed trace fails integrity checks mid-run; the experiment
     /// engine reacts by quarantining the trace and re-running the cell
     /// live.
-    pub fn try_run_for(
+    pub fn try_run_for_with<H: ObserverHost + ?Sized>(
         &mut self,
         max_cycles: u64,
-        observers: &mut [&mut dyn Observer],
+        host: &mut H,
     ) -> Result<SimStats, SimError> {
         // One span per run segment (never per cycle): the frame the
         // obs sampler's folded stacks attribute simulation time to.
@@ -1413,7 +1422,7 @@ impl<'p> Core<'p> {
             }
             // Squash notifications precede the cycle view so profilers
             // re-key delayed samples before attributing this cycle.
-            self.notify_squashes(observers);
+            self.notify_squashes(host);
             let view = CycleView {
                 cycle: self.cycle,
                 state: snapshot.state,
@@ -1424,17 +1433,9 @@ impl<'p> Core<'p> {
                 dispatched: &self.dispatched_buf,
                 fetched: &self.fetched_buf,
             };
-            for obs in observers.iter_mut() {
-                obs.on_cycle(&view);
-            }
+            host.deliver_cycle(&view);
             if !self.retired_buf.is_empty() {
-                // Retirements flow as one slice per observer per cycle
-                // (observer-major). Observers are independent, so each
-                // still sees the exact per-instruction sequence the old
-                // retire-major loop delivered.
-                for obs in observers.iter_mut() {
-                    obs.on_commit_batch(&self.retired_buf);
-                }
+                host.deliver_commit_batch(&self.retired_buf);
             }
             // Probe before cloning: the clone of the (almost always
             // absent) error used to run every cycle.
@@ -1505,9 +1506,9 @@ impl<'p> Core<'p> {
                         dispatched: &self.dispatched_buf,
                         fetched: &self.fetched_buf,
                     };
-                    for obs in observers.iter_mut() {
-                        obs.on_stall_run(&view, n);
-                    }
+                    host.deliver_stall_run(&view, n);
+                    self.skipped_cycles += n;
+                    self.stall_runs += 1;
                     step = n + 1;
                 }
             }
@@ -1519,10 +1520,8 @@ impl<'p> Core<'p> {
         if self.halt_committed {
             // A squash raised in the halt-committing cycle's later
             // pipeline phases must still reach observers.
-            self.notify_squashes(observers);
-            for obs in observers.iter_mut() {
-                obs.on_finish(self.stats.cycles);
-            }
+            self.notify_squashes(host);
+            host.deliver_finish(self.stats.cycles);
             #[cfg(feature = "obs")]
             self.publish_obs_metrics();
         }
@@ -1567,14 +1566,12 @@ impl<'p> Core<'p> {
     /// Delivers (and drains) any buffered squash notifications to every
     /// observer. No-op when nothing was squashed, so the per-cycle call
     /// costs one emptiness check.
-    fn notify_squashes(&mut self, observers: &mut [&mut dyn Observer]) {
+    fn notify_squashes<H: ObserverHost + ?Sized>(&mut self, host: &mut H) {
         if self.squashed_buf.is_empty() {
             return;
         }
         for &from_seq in &self.squashed_buf {
-            for obs in observers.iter_mut() {
-                obs.on_squash(from_seq);
-            }
+            host.deliver_squash(from_seq);
         }
         self.squashed_buf.clear();
     }
@@ -1598,12 +1595,8 @@ impl<'p> Core<'p> {
         let resume_seq = self
             .rob
             .front()
-            .map(|r| self.slots[r.idx as usize].d.seq)
-            .or_else(|| {
-                self.fetch_buf
-                    .front()
-                    .map(|r| self.slots[r.idx as usize].d.seq)
-            })
+            .map(|r| self.slab[r.idx].d.seq)
+            .or_else(|| self.fetch_buf.front().map(|r| self.slab[r.idx].d.seq))
             .unwrap_or(self.cursor);
         self.squash_from(resume_seq);
         self.flush_active = true;
@@ -1648,12 +1641,8 @@ impl<'p> Core<'p> {
         let resume_seq = self
             .rob
             .front()
-            .map(|r| self.slots[r.idx as usize].d.seq)
-            .or_else(|| {
-                self.fetch_buf
-                    .front()
-                    .map(|r| self.slots[r.idx as usize].d.seq)
-            })
+            .map(|r| self.slab[r.idx].d.seq)
+            .or_else(|| self.fetch_buf.front().map(|r| self.slab[r.idx].d.seq))
             .unwrap_or(self.cursor);
         self.squash_from(resume_seq);
         self.flush_active = true;
@@ -1663,6 +1652,20 @@ impl<'p> Core<'p> {
 
     pub(crate) fn hierarchy_mut(&mut self) -> &mut MemHierarchy {
         &mut self.hier
+    }
+
+    /// How the run's cycles were spent by the engine: actively
+    /// simulated vs covered by stall fast-forward jumps.
+    /// `active_cycles + skipped_cycles` always equals
+    /// [`SimStats::cycles`]; a ticked (`fast_forward: false`) run
+    /// reports all cycles active.
+    #[must_use]
+    pub fn cycle_breakdown(&self) -> CycleBreakdown {
+        CycleBreakdown {
+            active_cycles: self.stats.cycles - self.skipped_cycles,
+            skipped_cycles: self.skipped_cycles,
+            stall_runs: self.stall_runs,
+        }
     }
 
     /// Cumulative statistics so far.

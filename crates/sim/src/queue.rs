@@ -1,0 +1,710 @@
+//! Calendar (bucket-wheel) event queues for the core's active-cycle hot
+//! path.
+//!
+//! The core's completion-event queue and the three issue-queue ready
+//! queues hold `(cycle, seq, idx, gen)` tuples and pop them in ascending
+//! tuple order. Simulated time advances in small bounded steps — almost
+//! every timestamp lands within the configured memory-latency horizon of
+//! the clock — which is exactly the regime where an O(1) calendar queue
+//! beats an O(log n) binary heap: a push is a bucket append, and a pop
+//! drains the (almost always singleton) bucket of the current cycle.
+//!
+//! [`CalendarQueue`] reproduces the heap's pop order *exactly*,
+//! tie-breaks included, so the simulated machine is bit-identical under
+//! either implementation (the `queue_equivalence` proptest drives both
+//! side by side and asserts identical pop sequences):
+//!
+//! * a power-of-two wheel of `W` buckets indexed by `cycle & (W - 1)`
+//!   holds entries due within `(now, now + W]`; an occupancy bitmap
+//!   makes "next non-empty bucket" a few word scans;
+//! * far-future entries (`cycle > now + W`) wait in a small overflow
+//!   heap and migrate into the wheel as the clock approaches;
+//! * entries already due (`cycle <= now`) sit in a sorted `due` list;
+//!   [`CalendarQueue::advance`] moves ripe wheel/overflow entries there,
+//!   sorting same-cycle groups by the full tuple so pops reproduce the
+//!   heap's `(cycle, seq, idx, gen)` order.
+//!
+//! The wheel is sized once from the [`SimConfig`](crate::SimConfig)
+//! latency bounds (see [`wheel_cycles`]); an undersized wheel only
+//! routes more entries through the overflow heap, never changes
+//! ordering.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One queue entry: `(cycle, seq, idx, gen)` for the completion-event
+/// queue, `(ready, seq, idx, gen)` for an issue queue's ready queue.
+/// Pops ascend in full-tuple lexicographic order, exactly like
+/// `BinaryHeap<Reverse<Entry>>`.
+pub type Entry = (u64, u64, u32, u32);
+
+/// Floor below which per-queue storage never shrinks: steady-state
+/// occupancy is a handful of entries, and re-growing a small vector
+/// after every squash burst would cost more than the memory it returns.
+/// Mirrors the live stream's `STREAM_SHRINK_FLOOR` hysteresis.
+pub const QUEUE_SHRINK_FLOOR: usize = 64;
+
+/// Sentinel terminating a bucket list / the free chain.
+const NIL: u32 = u32::MAX;
+
+/// One wheel entry: the tuple plus the link to the next entry of the
+/// same bucket (unordered within the bucket; the drain sorts each
+/// same-cycle group as it moves to `due`).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    e: Entry,
+    next: u32,
+}
+
+/// A calendar queue over `(cycle, seq, idx, gen)` entries whose pop
+/// order is bit-identical to a min-heap's.
+///
+/// Callers advance the queue's clock monotonically with
+/// [`advance`](CalendarQueue::advance) and then pop every due entry;
+/// pushes may target any cycle, past or future.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// Entries due at or before the clock (`cycle <= now`), in ascending
+    /// tuple order from `due_head` on; consumed by bumping the cursor
+    /// (a plain `Vec` so drains append with a memcpy, not deque
+    /// wrap-around machinery). The prefix before the cursor is spent
+    /// and reclaimed whenever the list empties.
+    due: Vec<Entry>,
+    /// Index of the next unpopped entry in `due`.
+    due_head: usize,
+    /// `heads[cycle & mask]` starts the singly linked bucket list of
+    /// entries with `cycle` in `(now, now + W]` (`NIL` when empty).
+    /// Each bucket covers exactly one distinct cycle of that window, so
+    /// draining a bucket yields one same-cycle group. Lists thread
+    /// through the shared [`pool`](Self::pool) rather than per-bucket
+    /// vectors: W separate `Vec`s scatter their headers and data across
+    /// W allocations, while the pool keeps the tens of live entries on
+    /// a couple of hot cache lines.
+    heads: Box<[u32]>,
+    /// Backing store for every bucket node; freed nodes chain through
+    /// [`free`](Self::free) and are reused before the pool grows.
+    pool: Vec<Node>,
+    /// Head of the free-node chain inside `pool` (`NIL` when none).
+    free: u32,
+    /// One bit per bucket: set iff the bucket is non-empty. `W` is a
+    /// power of two >= 64, so buckets fill whole words.
+    occupied: Box<[u64]>,
+    mask: u64,
+    /// The clock: the cycle most recently passed to `advance`.
+    now: u64,
+    /// Entries more than `W` cycles out; migrated into the wheel (or
+    /// straight to `due`) as the clock approaches.
+    overflow: BinaryHeap<Reverse<Entry>>,
+    /// Entries in the wheel (not `due`, not `overflow`).
+    in_wheel: usize,
+    /// Total entries across all three tiers.
+    len: usize,
+    /// Earliest cycle of any wheel or overflow entry (`u64::MAX` when
+    /// both are empty). Exact, not a bound: pushes fold into it and the
+    /// drain recomputes it, so the per-cycle [`advance`] fast path is
+    /// two compares and [`next_cycle`] never scans the bitmap.
+    ///
+    /// [`advance`]: CalendarQueue::advance
+    /// [`next_cycle`]: CalendarQueue::next_cycle
+    pending_min: u64,
+    /// Reused drain buffer: ripe entries collect here, sort once, then
+    /// append to `due`.
+    scratch: Vec<Entry>,
+}
+
+impl CalendarQueue {
+    /// Creates an empty queue with a wheel of `wheel_cycles` buckets
+    /// (rounded up to a power of two, minimum 64).
+    #[must_use]
+    pub fn new(wheel_cycles: u64) -> Self {
+        let w = wheel_cycles.next_power_of_two().max(64) as usize;
+        CalendarQueue {
+            due: Vec::new(),
+            due_head: 0,
+            heads: vec![NIL; w].into_boxed_slice(),
+            pool: Vec::new(),
+            free: NIL,
+            occupied: vec![0u64; w / 64].into_boxed_slice(),
+            mask: w as u64 - 1,
+            now: 0,
+            overflow: BinaryHeap::new(),
+            in_wheel: 0,
+            len: 0,
+            pending_min: u64::MAX,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of entries across all tiers (stale generations included,
+    /// exactly as a heap would count them).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no entries at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry. The clock is unchanged.
+    pub fn clear(&mut self) {
+        self.due.clear();
+        self.due_head = 0;
+        self.overflow.clear();
+        if self.in_wheel > 0 {
+            self.heads.fill(NIL);
+            self.occupied.fill(0);
+        }
+        self.pool.clear();
+        self.free = NIL;
+        self.in_wheel = 0;
+        self.len = 0;
+        self.pending_min = u64::MAX;
+    }
+
+    /// Inserts `(cycle, seq, idx, gen)`. Past-due cycles are allowed
+    /// (e.g. an issue-queue wakeup whose ready lower bound has already
+    /// elapsed) and keep the due list sorted.
+    #[inline]
+    pub fn push(&mut self, cycle: u64, seq: u64, idx: u32, gen: u32) {
+        let e = (cycle, seq, idx, gen);
+        self.len += 1;
+        if cycle <= self.now {
+            // Already ripe: insert in tuple order (within the live
+            // suffix) so the next pop still reproduces the heap's
+            // global ordering.
+            let pos = self.due_head + self.due[self.due_head..].partition_point(|x| *x < e);
+            self.due.insert(pos, e);
+            return;
+        }
+        if cycle < self.pending_min {
+            self.pending_min = cycle;
+        }
+        if cycle - self.now <= self.mask + 1 {
+            let b = (cycle & self.mask) as usize;
+            let next = self.heads[b];
+            debug_assert!(next == NIL || self.pool[next as usize].e.0 == cycle);
+            let id = self.alloc_node(Node { e, next });
+            self.heads[b] = id;
+            self.occupied[b >> 6] |= 1u64 << (b & 63);
+            self.in_wheel += 1;
+        } else {
+            self.overflow.push(Reverse(e));
+        }
+    }
+
+    /// Allocates a pool node, reusing the free chain when possible.
+    #[inline]
+    fn alloc_node(&mut self, node: Node) -> u32 {
+        if self.free != NIL {
+            let id = self.free;
+            let slot = &mut self.pool[id as usize];
+            self.free = slot.next;
+            *slot = node;
+            id
+        } else {
+            let id = self.pool.len() as u32;
+            self.pool.push(node);
+            id
+        }
+    }
+
+    /// Advances the clock to `now` (no-op if not in the future), moving
+    /// every entry with `cycle <= now` into the due list in tuple
+    /// order. Amortized O(ripe entries): the common nothing-ripens case
+    /// is two compares against the cached pending minimum, and skipped
+    /// empty buckets in a real drain cost a bitmap word scan, not a
+    /// per-cycle probe.
+    #[inline]
+    pub fn advance(&mut self, now: u64) {
+        if now <= self.now {
+            return;
+        }
+        if now < self.pending_min {
+            // Nothing outside `due` ripens in (self.now, now]; entries
+            // keep their wheel/overflow placement (the wheel window
+            // only grows away from them).
+            self.now = now;
+            return;
+        }
+        self.drain_ripe(now);
+    }
+
+    /// The out-of-line path of [`advance`](CalendarQueue::advance): at
+    /// least one wheel/overflow entry ripens at or before `now`. Not
+    /// `#[cold]` — every event-bearing cycle lands here; only the
+    /// nothing-ripens fast path above is hotter.
+    ///
+    /// With the overflow tier quiet (the overwhelmingly common case),
+    /// ripe buckets already come out in ascending cycle order, so each
+    /// bucket moves straight into `due` after an in-bucket sort of its
+    /// same-cycle group — one copy, no global re-sort. Ripe overflow
+    /// timestamps can interleave arbitrarily with bucket groups, so
+    /// that rare shape routes through a scratch-and-sort slow path.
+    fn drain_ripe(&mut self, now: u64) {
+        let w = self.heads.len() as u64;
+        if !self.overflow.is_empty()
+            && self
+                .overflow
+                .peek()
+                .is_some_and(|&Reverse((c, ..))| c <= now)
+        {
+            self.drain_ripe_with_overflow(now, w);
+            return;
+        }
+
+        // Drain ripe wheel buckets in ascending cycle order, straight
+        // into `due` (every ripe cycle exceeds every cycle already
+        // there, so appending keeps it sorted). The scan is one
+        // continuous bitmap walk: it starts at the cached pending
+        // minimum — which IS the wheel minimum here, since the overflow
+        // peek above showed nothing ripe — and the probe that finds the
+        // first non-ripe bucket doubles as the pending-minimum
+        // recomputation, so the epilogue never rescans.
+        let mut wheel_min = u64::MAX;
+        if self.in_wheel > 0 {
+            let mut c = self.pending_min;
+            debug_assert!(c > self.now && c <= now);
+            loop {
+                let b = (c & self.mask) as usize;
+                self.occupied[b >> 6] &= !(1u64 << (b & 63));
+                let head = self.heads[b];
+                self.heads[b] = NIL;
+                debug_assert_ne!(head, NIL);
+                let start = self.due.len();
+                let mut cur = head;
+                let mut n = 0;
+                loop {
+                    let node = self.pool[cur as usize];
+                    debug_assert_eq!(node.e.0, c);
+                    self.due.push(node.e);
+                    n += 1;
+                    if node.next == NIL {
+                        // Splice the walked chain onto the free list.
+                        self.pool[cur as usize].next = self.free;
+                        self.free = head;
+                        break;
+                    }
+                    cur = node.next;
+                }
+                self.in_wheel -= n;
+                // A same-cycle group: the sort orders the heap's
+                // (seq, idx, gen) tie-break. Usually a single entry, so
+                // skip the sorter's call overhead outright.
+                if n > 1 {
+                    self.due[start..].sort_unstable();
+                }
+                debug_assert!(start == 0 || self.due[start - 1] < self.due[start]);
+                // `c >= self.now` keeps the scan span within one wheel
+                // revolution, as next_wheel_cycle requires.
+                match self.next_wheel_cycle(c + 1, self.now + w) {
+                    Some(nc) if nc <= now => c = nc,
+                    Some(nc) => {
+                        wheel_min = nc;
+                        break;
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        self.finish_drain(now, w, wheel_min);
+    }
+
+    /// Unlinks bucket `b` into `out` (unordered), returning its nodes
+    /// to the free chain. The caller guarantees the bucket is non-empty
+    /// (its occupancy bit is set).
+    #[inline]
+    fn take_bucket(&mut self, b: usize, out: &mut Vec<Entry>) -> usize {
+        let head = self.heads[b];
+        self.heads[b] = NIL;
+        self.occupied[b >> 6] &= !(1u64 << (b & 63));
+        debug_assert_ne!(head, NIL);
+        let mut cur = head;
+        let mut n = 0;
+        loop {
+            let node = self.pool[cur as usize];
+            out.push(node.e);
+            n += 1;
+            if node.next == NIL {
+                // Splice the whole walked chain onto the free list.
+                self.pool[cur as usize].next = self.free;
+                self.free = head;
+                break;
+            }
+            cur = node.next;
+        }
+        self.in_wheel -= n;
+        n
+    }
+
+    /// Slow drain shape: at least one overflow entry is itself ripe.
+    /// Its timestamp can precede a recently pushed bucket entry, so ripe
+    /// buckets and ripe overflow entries collect into the scratch buffer
+    /// and one global sort restores full tuple order before the append.
+    fn drain_ripe_with_overflow(&mut self, now: u64, w: u64) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        debug_assert!(scratch.is_empty());
+
+        if self.in_wheel > 0 {
+            let end = now.min(self.now + w);
+            let mut c = self.now + 1;
+            while let Some(nc) = self.next_wheel_cycle(c, end) {
+                let b = (nc & self.mask) as usize;
+                let before = scratch.len();
+                self.take_bucket(b, &mut scratch);
+                debug_assert!(scratch[before..].iter().all(|x| x.0 == nc));
+                if nc == end {
+                    break;
+                }
+                c = nc + 1;
+            }
+        }
+
+        while let Some(&Reverse(e)) = self.overflow.peek() {
+            if e.0 > now {
+                break;
+            }
+            scratch.push(e);
+            self.overflow.pop();
+        }
+
+        if !scratch.is_empty() {
+            scratch.sort_unstable();
+            debug_assert!(self.due.last().is_none_or(|b| b < &scratch[0]));
+            self.due.extend_from_slice(&scratch);
+            scratch.clear();
+        }
+        self.scratch = scratch;
+
+        // The slow shape rescans for the wheel minimum; it is rare
+        // enough that sharing the fast path's fused scan is not worth
+        // the extra bookkeeping.
+        let wheel_min = self.next_wheel_cycle(now + 1, now + w).unwrap_or(u64::MAX);
+        self.finish_drain(now, w, wheel_min);
+    }
+
+    /// Shared drain epilogue: migrate near-future overflow entries into
+    /// the wheel's new window `(now, now + w]`, fold them into the
+    /// caller-computed wheel minimum to re-derive the cached pending
+    /// minimum, and apply the storage shrink hysteresis.
+    fn finish_drain(&mut self, now: u64, w: u64, mut wheel_min: u64) {
+        if !self.overflow.is_empty() {
+            while let Some(&Reverse(e)) = self.overflow.peek() {
+                if e.0 - now > w {
+                    break;
+                }
+                let b = (e.0 & self.mask) as usize;
+                let next = self.heads[b];
+                let id = self.alloc_node(Node { e, next });
+                self.heads[b] = id;
+                self.occupied[b >> 6] |= 1u64 << (b & 63);
+                self.in_wheel += 1;
+                wheel_min = wheel_min.min(e.0);
+                self.overflow.pop();
+            }
+        }
+
+        if self.in_wheel == 0 && self.pool.capacity() > QUEUE_SHRINK_FLOOR {
+            // A squash burst can balloon the node pool; hand the
+            // capacity back once the wheel fully drains (mirrors
+            // STREAM_SHRINK_FLOOR hysteresis on the stream).
+            self.pool.clear();
+            self.free = NIL;
+            self.pool.shrink_to(QUEUE_SHRINK_FLOOR);
+        }
+
+        self.now = now;
+
+        debug_assert_eq!(
+            wheel_min,
+            self.next_wheel_cycle(now + 1, now + w).unwrap_or(u64::MAX),
+            "fused drain scan must agree with a fresh bitmap rescan"
+        );
+        let mut min = wheel_min;
+        if let Some(&Reverse((c, _, _, _))) = self.overflow.peek() {
+            min = min.min(c);
+        }
+        self.pending_min = min;
+
+        // Burst hysteresis on the due list itself: after a squash the
+        // stale entries pop out quickly and the vector would otherwise
+        // hold peak capacity forever.
+        let cap = self.due.capacity();
+        if cap > QUEUE_SHRINK_FLOOR && (self.due.len() - self.due_head) * 4 < cap {
+            // Reclaim the spent prefix before giving capacity back.
+            self.due.drain(..self.due_head);
+            self.due_head = 0;
+            self.due
+                .shrink_to((self.due.len() * 2).max(QUEUE_SHRINK_FLOOR));
+        }
+    }
+
+    /// First set bucket for a cycle in `[from, end]` (a window of at
+    /// most `W` cycles), as the cycle it is due at.
+    fn next_wheel_cycle(&self, from: u64, end: u64) -> Option<u64> {
+        if self.in_wheel == 0 || from > end {
+            return None;
+        }
+        debug_assert!(end - from < self.heads.len() as u64);
+        let mut c = from;
+        let mut remaining = end - from + 1;
+        while remaining > 0 {
+            let b = (c & self.mask) as usize;
+            let bit = b & 63;
+            // Cycles map to consecutive bits until the word (and wheel)
+            // boundary; W is a multiple of 64 so words never straddle
+            // the wrap.
+            let span = (64 - bit as u64).min(remaining);
+            let word = self.occupied[b >> 6] >> bit;
+            if word != 0 {
+                let tz = u64::from(word.trailing_zeros());
+                if tz < span {
+                    return Some(c + tz);
+                }
+            }
+            c += span;
+            remaining -= span;
+        }
+        None
+    }
+
+    /// The earliest due entry (`cycle <= now`), without removing it.
+    /// Call [`advance`](CalendarQueue::advance) first.
+    #[must_use]
+    pub fn peek_due(&self) -> Option<&Entry> {
+        self.due.get(self.due_head)
+    }
+
+    /// Pops the earliest due entry (`cycle <= now`). Call
+    /// [`advance`](CalendarQueue::advance) first.
+    #[inline]
+    pub fn pop_due(&mut self) -> Option<Entry> {
+        let e = *self.due.get(self.due_head)?;
+        self.due_head += 1;
+        self.len -= 1;
+        if self.due_head == self.due.len() {
+            // Fully consumed (the common shape: every drain is followed
+            // by a pop-everything loop): reclaim the spent prefix.
+            self.due.clear();
+            self.due_head = 0;
+        }
+        Some(e)
+    }
+
+    /// The earliest cycle of any entry in the queue (due, wheel, or
+    /// overflow) — the calendar equivalent of `heap.peek().0`. Used by
+    /// the quiescent-stall bound; needs no prior `advance`. O(1): the
+    /// wheel/overflow side is the cached pending minimum.
+    #[inline]
+    #[must_use]
+    pub fn next_cycle(&self) -> Option<u64> {
+        match self.due.get(self.due_head) {
+            Some(&(c, ..)) => Some(c.min(self.pending_min)),
+            None if self.pending_min != u64::MAX => Some(self.pending_min),
+            None => None,
+        }
+    }
+
+    /// Capacity of the due list (regression hook for the shrink
+    /// hysteresis; not part of the simulation API).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn due_capacity(&self) -> usize {
+        self.due.capacity()
+    }
+
+    /// Capacity of the wheel's node pool (regression hook for the
+    /// shrink hysteresis; not part of the simulation API).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn max_bucket_capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+}
+
+/// Sizes the calendar wheel from the configuration's latency bounds:
+/// the longest single-instruction completion latency the timing model
+/// can schedule (a TLB-missing, LLC-missing, bandwidth-queued load plus
+/// the longest functional-unit latency and pipeline penalties), with
+/// slack for event-over-event chaining. Anything rarer lands in the
+/// overflow heap, which is correct at any wheel size; the clamp keeps
+/// degenerate configurations from allocating megabyte wheels.
+#[must_use]
+pub fn wheel_cycles(cfg: &crate::SimConfig) -> u64 {
+    let lat = &cfg.lat;
+    let unit = lat
+        .int_alu
+        .max(lat.int_mul)
+        .max(lat.int_div)
+        .max(lat.fp_alu)
+        .max(lat.fp_mul)
+        .max(lat.fp_div)
+        .max(lat.fp_sqrt)
+        .max(lat.forward);
+    let mem = cfg.l1d.hit_latency
+        + cfg.llc.hit_latency
+        + cfg.mem.latency
+        + cfg.mem.min_line_interval * cfg.l1d.mshrs as u64
+        + cfg.ptw_latency
+        + cfg.l2_tlb.hit_latency;
+    (unit + mem + cfg.flush_penalty + cfg.redirect_penalty + 16)
+        .next_power_of_two()
+        .clamp(64, 4096)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut CalendarQueue, now: u64) -> Vec<Entry> {
+        q.advance(now);
+        let mut out = Vec::new();
+        while let Some(e) = q.pop_due() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_ascend_in_full_tuple_order() {
+        let mut q = CalendarQueue::new(64);
+        // Same cycle, shuffled seq/idx/gen: the heap tie-break.
+        q.push(5, 9, 1, 1);
+        q.push(5, 2, 7, 3);
+        q.push(3, 1, 0, 0);
+        q.push(5, 2, 3, 9);
+        q.push(4, 8, 2, 2);
+        let got = drain(&mut q, 10);
+        let mut want = vec![
+            (3, 1, 0, 0),
+            (4, 8, 2, 2),
+            (5, 2, 3, 9),
+            (5, 2, 7, 3),
+            (5, 9, 1, 1),
+        ];
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_entries_merge_in_order() {
+        let mut q = CalendarQueue::new(64);
+        // Far future at push time (beyond the 64-cycle wheel)…
+        q.push(100, 1, 0, 0);
+        q.advance(50);
+        // …then a nearer entry pushed later but due after it.
+        q.push(110, 2, 0, 0);
+        q.push(90, 3, 0, 0);
+        assert_eq!(q.next_cycle(), Some(90));
+        let got = drain(&mut q, 200);
+        assert_eq!(got, vec![(90, 3, 0, 0), (100, 1, 0, 0), (110, 2, 0, 0)]);
+    }
+
+    #[test]
+    fn past_pushes_interleave_with_due_entries() {
+        let mut q = CalendarQueue::new(64);
+        q.push(10, 5, 0, 0);
+        q.advance(20);
+        // Ready lower bound already elapsed: lands in the due list in
+        // order, exactly where the heap would surface it.
+        q.push(8, 9, 0, 0);
+        q.push(10, 1, 0, 0);
+        assert_eq!(q.pop_due(), Some((8, 9, 0, 0)));
+        assert_eq!(q.pop_due(), Some((10, 1, 0, 0)));
+        assert_eq!(q.pop_due(), Some((10, 5, 0, 0)));
+        assert_eq!(q.pop_due(), None);
+    }
+
+    #[test]
+    fn next_cycle_spans_all_tiers() {
+        let mut q = CalendarQueue::new(64);
+        assert_eq!(q.next_cycle(), None);
+        q.push(500, 1, 0, 0); // overflow
+        assert_eq!(q.next_cycle(), Some(500));
+        q.push(30, 2, 0, 0); // wheel
+        assert_eq!(q.next_cycle(), Some(30));
+        q.advance(40);
+        assert_eq!(q.next_cycle(), Some(30)); // now due
+        q.pop_due();
+        assert_eq!(q.next_cycle(), Some(500));
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_laps() {
+        let mut q = CalendarQueue::new(64);
+        let mut expect = Vec::new();
+        for lap in 0..10u64 {
+            for step in [1u64, 7, 63, 64] {
+                let c = lap * 64 + step;
+                q.push(c, lap, step as u32, 0);
+                expect.push((c, lap, step as u32, 0));
+            }
+        }
+        expect.sort_unstable();
+        let got = drain(&mut q, 10 * 64 + 64);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn clear_empties_every_tier() {
+        let mut q = CalendarQueue::new(64);
+        q.advance(10);
+        q.push(5, 1, 0, 0); // due
+        q.push(20, 2, 0, 0); // wheel
+        q.push(1000, 3, 0, 0); // overflow
+        assert_eq!(q.len(), 3);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.next_cycle(), None);
+        assert_eq!(q.pop_due(), None);
+        // Still usable after clear.
+        q.push(15, 4, 0, 0);
+        assert_eq!(drain(&mut q, 20), vec![(15, 4, 0, 0)]);
+    }
+
+    /// Regression (ISSUE 10 satellite): a squash burst must not leave
+    /// the queue holding peak capacity forever — the due list and the
+    /// burst bucket both shrink back once drained.
+    #[test]
+    fn burst_capacity_shrinks_after_drain() {
+        let mut q = CalendarQueue::new(64);
+        // Burst: thousands of same-cycle entries (a squash wave).
+        for i in 0..4096u32 {
+            q.push(10, u64::from(i), i, 0);
+        }
+        q.advance(10);
+        assert!(q.due_capacity() >= 4096);
+        while q.pop_due().is_some() {}
+        // Steady state afterwards: small pushes and advances.
+        for c in 11..200u64 {
+            q.push(c + 3, c, 0, 0);
+            q.advance(c);
+            while q.pop_due().is_some() {}
+        }
+        assert!(
+            q.due_capacity() <= 2 * QUEUE_SHRINK_FLOOR,
+            "due list still holds burst capacity {}",
+            q.due_capacity()
+        );
+        assert!(
+            q.max_bucket_capacity() <= 2 * QUEUE_SHRINK_FLOOR,
+            "bucket still holds burst capacity {}",
+            q.max_bucket_capacity()
+        );
+    }
+
+    #[test]
+    fn wheel_cycles_covers_default_config_latencies() {
+        let cfg = crate::SimConfig::default();
+        let w = wheel_cycles(&cfg);
+        assert!(w.is_power_of_two());
+        assert!((64..=4096).contains(&w));
+        // The common long-latency op (an LLC-missing load) fits the
+        // wheel with room to spare.
+        assert!(w >= cfg.mem.latency + cfg.llc.hit_latency + cfg.l1d.hit_latency);
+    }
+}

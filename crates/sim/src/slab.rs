@@ -1,0 +1,406 @@
+//! Generation-checked slot slab and fixed-capacity ring buffers for the
+//! core's pipeline state.
+//!
+//! Every in-flight instruction lives in one [`Slot`] of a [`Slab`]
+//! allocated once at core construction; [`SlotRef`]s carry the slot
+//! index plus a generation stamp so references into squashed
+//! instructions go stale instead of aliasing the slot's next tenant.
+//! The ROB, fetch buffer and store queue are [`Ring`]s — power-of-two
+//! ring buffers over `Copy` entries whose capacity is fixed by the
+//! configuration, so the per-instruction push/pop path is an index mask
+//! away from an array write, with no growth checks or reallocation.
+
+use tea_isa::interp::DynInst;
+use tea_isa::Inst;
+
+use crate::psv::Psv;
+
+/// A generation-stamped reference to a [`Slab`] slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SlotRef {
+    pub(crate) idx: u32,
+    pub(crate) gen: u32,
+}
+
+/// Which issue queue an instruction dispatches into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum IqKind {
+    Int,
+    Mem,
+    Fp,
+}
+
+/// Per-instruction in-flight state.
+#[derive(Clone, Debug)]
+pub(crate) struct Slot {
+    pub(crate) gen: u32,
+    pub(crate) live: bool,
+    pub(crate) d: DynInst,
+    pub(crate) psv: Psv,
+    pub(crate) unknown_deps: u8,
+    pub(crate) ready_lb: u64,
+    pub(crate) waiters: Vec<SlotRef>,
+    pub(crate) issued: bool,
+    pub(crate) complete: Option<u64>,
+    pub(crate) in_iq: Option<IqKind>,
+    pub(crate) mispredicted: bool,
+    pub(crate) resolved: bool,
+    pub(crate) dispatch_cycle: u64,
+    pub(crate) issue_cycle: u64,
+}
+
+impl Slot {
+    fn vacant() -> Self {
+        Slot {
+            gen: 0,
+            live: false,
+            d: DynInst {
+                seq: 0,
+                pc: 0,
+                index: 0,
+                inst: Inst::Nop,
+                mem_addr: None,
+                branch: None,
+            },
+            psv: Psv::empty(),
+            unknown_deps: 0,
+            ready_lb: 0,
+            waiters: Vec::new(),
+            issued: false,
+            complete: None,
+            in_iq: None,
+            mispredicted: false,
+            resolved: false,
+            dispatch_cycle: 0,
+            issue_cycle: 0,
+        }
+    }
+}
+
+/// Fixed-size slot pool with free-list reuse and generation stamping.
+///
+/// Allocation pops a free index and bumps the slot generation; kill
+/// bumps it again, so any [`SlotRef`] minted before the kill fails
+/// [`Slab::valid`] and never observes the reused slot.
+#[derive(Debug)]
+pub(crate) struct Slab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+}
+
+impl Slab {
+    /// A slab of `count` vacant slots.
+    pub(crate) fn new(count: usize) -> Self {
+        Slab {
+            slots: vec![Slot::vacant(); count],
+            free: (0..count as u32).rev().collect(),
+        }
+    }
+
+    /// Total slot count (live or not).
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether `r` still refers to the live instruction it was minted
+    /// for.
+    pub(crate) fn valid(&self, r: SlotRef) -> bool {
+        let s = &self.slots[r.idx as usize];
+        s.live && s.gen == r.gen
+    }
+
+    /// Claims a free slot for `d`, resetting all per-instruction state
+    /// (the waiter list keeps its capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is exhausted — the pool is sized past the sum
+    /// of every buffer that can hold a reference, so exhaustion is a
+    /// bookkeeping bug.
+    pub(crate) fn alloc(&mut self, d: DynInst) -> SlotRef {
+        let idx = self.free.pop().expect("slot pool exhausted");
+        let s = &mut self.slots[idx as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.live = true;
+        s.d = d;
+        s.psv = Psv::empty();
+        s.unknown_deps = 0;
+        s.ready_lb = 0;
+        s.waiters.clear();
+        s.issued = false;
+        s.complete = None;
+        s.in_iq = None;
+        s.mispredicted = false;
+        s.resolved = false;
+        s.dispatch_cycle = 0;
+        s.issue_cycle = 0;
+        SlotRef { idx, gen: s.gen }
+    }
+
+    /// Retires or squashes the slot at `idx`: bumps the generation
+    /// (staling outstanding references) and returns the slot to the
+    /// free list. Returns the issue queue the instruction was waiting
+    /// in, if any, so the caller can release its queue slot.
+    pub(crate) fn kill(&mut self, idx: u32) -> Option<IqKind> {
+        let s = &mut self.slots[idx as usize];
+        debug_assert!(s.live);
+        s.live = false;
+        s.gen = s.gen.wrapping_add(1);
+        let was_queued = s.in_iq.take();
+        self.free.push(idx);
+        was_queued
+    }
+}
+
+impl std::ops::Index<u32> for Slab {
+    type Output = Slot;
+    #[inline]
+    fn index(&self, idx: u32) -> &Slot {
+        &self.slots[idx as usize]
+    }
+}
+
+impl std::ops::IndexMut<u32> for Slab {
+    #[inline]
+    fn index_mut(&mut self, idx: u32) -> &mut Slot {
+        &mut self.slots[idx as usize]
+    }
+}
+
+/// A fixed-capacity power-of-two ring buffer over `Copy` entries.
+///
+/// Capacity is rounded up to a power of two at construction and never
+/// changes; push/pop are mask-and-index operations. The element type
+/// must provide a fill value so the backing storage can be initialized
+/// without `unsafe`.
+#[derive(Debug)]
+pub(crate) struct Ring<T: Copy> {
+    buf: Box<[T]>,
+    head: usize,
+    len: usize,
+    mask: usize,
+}
+
+impl<T: Copy> Ring<T> {
+    /// A ring holding at least `cap` entries, pre-filled with `fill`
+    /// (never observed through the public API).
+    pub(crate) fn new(cap: usize, fill: T) -> Self {
+        let cap = cap.next_power_of_two().max(4);
+        Ring {
+            buf: vec![fill; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    #[allow(dead_code)] // natural pair of `len`; kept for clippy's len-without-is-empty
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub(crate) fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.buf[self.head])
+        }
+    }
+
+    #[inline]
+    pub(crate) fn back(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.buf[(self.head + self.len - 1) & self.mask])
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push_back(&mut self, v: T) {
+        debug_assert!(self.len <= self.mask, "ring over capacity");
+        self.buf[(self.head + self.len) & self.mask] = v;
+        self.len += 1;
+    }
+
+    #[inline]
+    pub(crate) fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.head];
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(v)
+    }
+
+    #[inline]
+    pub(crate) fn pop_back(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.buf[(self.head + self.len) & self.mask])
+    }
+
+    /// The occupied span as (at most) two contiguous slices, front
+    /// half first.
+    fn as_slices(&self) -> (&[T], &[T]) {
+        let cap = self.buf.len();
+        let end = self.head + self.len;
+        if end <= cap {
+            (&self.buf[self.head..end], &[])
+        } else {
+            let (lo, hi) = self.buf.split_at(self.head);
+            (hi, &lo[..end - cap])
+        }
+    }
+
+    fn as_mut_slices(&mut self) -> (&mut [T], &mut [T]) {
+        let cap = self.buf.len();
+        let end = self.head + self.len;
+        if end <= cap {
+            (&mut self.buf[self.head..end], &mut [])
+        } else {
+            let (lo, hi) = self.buf.split_at_mut(self.head);
+            let take = end - cap;
+            (hi, &mut lo[..take])
+        }
+    }
+
+    pub(crate) fn iter(&self) -> impl DoubleEndedIterator<Item = &T> {
+        let (a, b) = self.as_slices();
+        a.iter().chain(b.iter())
+    }
+
+    pub(crate) fn iter_mut(&mut self) -> impl DoubleEndedIterator<Item = &mut T> {
+        let (a, b) = self.as_mut_slices();
+        a.iter_mut().chain(b.iter_mut())
+    }
+}
+
+impl<T: Copy> std::ops::Index<usize> for Ring<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        debug_assert!(i < self.len);
+        &self.buf[(self.head + i) & self.mask]
+    }
+}
+
+impl<T: Copy> std::ops::IndexMut<usize> for Ring<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut self.buf[(self.head + i) & self.mask]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_iterates_in_order() {
+        let mut r: Ring<u32> = Ring::new(4, 0);
+        for round in 0..5u32 {
+            let base = round * 3;
+            r.push_back(base);
+            r.push_back(base + 1);
+            r.push_back(base + 2);
+            assert_eq!(r.len(), 3);
+            assert_eq!(
+                r.iter().copied().collect::<Vec<_>>(),
+                vec![base, base + 1, base + 2]
+            );
+            assert_eq!(
+                r.iter().rev().copied().collect::<Vec<_>>(),
+                vec![base + 2, base + 1, base]
+            );
+            assert_eq!(r.front(), Some(&base));
+            assert_eq!(r.back(), Some(&(base + 2)));
+            assert_eq!(r[1], base + 1);
+            assert_eq!(r.pop_front(), Some(base));
+            assert_eq!(r.pop_back(), Some(base + 2));
+            assert_eq!(r.pop_front(), Some(base + 1));
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn ring_fills_to_full_power_of_two_capacity() {
+        let mut r: Ring<u32> = Ring::new(5, 0); // rounds up to 8
+        for i in 0..8u32 {
+            r.push_back(i);
+        }
+        assert_eq!(r.len(), 8);
+        assert_eq!(
+            r.iter().copied().collect::<Vec<_>>(),
+            (0..8).collect::<Vec<_>>()
+        );
+        for i in 0..8u32 {
+            assert_eq!(r.pop_front(), Some(i));
+        }
+    }
+
+    #[test]
+    fn ring_iter_mut_sees_both_halves() {
+        let mut r: Ring<u32> = Ring::new(4, 0);
+        r.push_back(0);
+        r.push_back(1);
+        r.pop_front();
+        r.pop_front();
+        // head is now mid-buffer; wrap the occupied span.
+        for i in 10..13u32 {
+            r.push_back(i);
+        }
+        for v in r.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn slab_generation_stales_old_refs() {
+        let mut slab = Slab::new(2);
+        let d = DynInst {
+            seq: 1,
+            pc: 0x100,
+            index: 0,
+            inst: Inst::Nop,
+            mem_addr: None,
+            branch: None,
+        };
+        let a = slab.alloc(d);
+        assert!(slab.valid(a));
+        assert_eq!(slab.kill(a.idx), None);
+        assert!(!slab.valid(a));
+        let b = slab.alloc(d);
+        assert_eq!(b.idx, a.idx, "free list reuses the slot");
+        assert!(!slab.valid(a), "old ref stays stale after reuse");
+        assert!(slab.valid(b));
+    }
+
+    #[test]
+    fn slab_kill_reports_issue_queue_membership() {
+        let mut slab = Slab::new(1);
+        let d = DynInst {
+            seq: 7,
+            pc: 0,
+            index: 0,
+            inst: Inst::Nop,
+            mem_addr: None,
+            branch: None,
+        };
+        let r = slab.alloc(d);
+        slab[r.idx].in_iq = Some(IqKind::Mem);
+        assert_eq!(slab.kill(r.idx), Some(IqKind::Mem));
+    }
+}

@@ -608,14 +608,24 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         &sim_config(args),
     );
     println!(
-        "{:<12} {:>12} {:>10} {:>16} {:>16} {:>14} {:>14}",
-        "workload", "cycles", "samples", "sim cyc/s", "profiled cyc/s", "replay cyc/s", "samples/s"
+        "{:<12} {:>12} {:>12} {:>12} {:>10} {:>16} {:>16} {:>14} {:>14}",
+        "workload",
+        "cycles",
+        "active",
+        "skipped",
+        "samples",
+        "sim cyc/s",
+        "profiled cyc/s",
+        "replay cyc/s",
+        "samples/s"
     );
     for w in &report.workloads {
         println!(
-            "{:<12} {:>12} {:>10} {:>16.0} {:>16.0} {:>14.0} {:>14.0}",
+            "{:<12} {:>12} {:>12} {:>12} {:>10} {:>16.0} {:>16.0} {:>14.0} {:>14.0}",
             w.name,
             w.cycles,
+            w.active_cycles,
+            w.skipped_cycles,
             w.samples,
             w.sim_cycles_per_second(),
             w.profiled_cycles_per_second(),
@@ -624,9 +634,11 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         );
     }
     println!(
-        "{:<12} {:>12} {:>10} {:>16.0} {:>16.0} {:>14.0} {:>14.0}",
+        "{:<12} {:>12} {:>12} {:>12} {:>10} {:>16.0} {:>16.0} {:>14.0} {:>14.0}",
         "total",
         report.total_cycles(),
+        report.total_active_cycles(),
+        report.total_skipped_cycles(),
         report.total_samples(),
         report.sim_cycles_per_second(),
         report.profiled_cycles_per_second(),
